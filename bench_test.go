@@ -1,0 +1,266 @@
+// Benchmarks regenerating every table and figure of the reproduction
+// (one BenchmarkExperiment sub-benchmark per artefact ID from
+// DESIGN.md), plus micro-benchmarks of the mechanism hot paths and
+// whole-machine simulation speed.
+//
+// Run: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/regfile"
+	"repro/internal/workload"
+)
+
+// BenchmarkExperiment regenerates each paper artefact (figures F1-F8,
+// Table T1, claims C1-C12). The cost reported is the full regeneration,
+// workload simulation included.
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, t := range e.Run() {
+					_ = t.String()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMachineKernels measures whole-machine simulation throughput
+// per kernel under the tightly merged scheme, reporting simulated
+// cycles and retired instructions alongside wall time.
+func BenchmarkMachineKernels(b *testing.B) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		b.Run(k.Name, func(b *testing.B) {
+			var cycles, retired int64
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(p, machine.Config{
+					Scheme:    core.NewSchemeTight(4, 0),
+					Predictor: bpred.NewBimodal(256),
+					Speculate: true,
+					MemSystem: machine.MemBackward3b,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, retired = res.Stats.Cycles, res.Stats.Retired
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(retired), "sim-insts")
+		})
+	}
+}
+
+// BenchmarkSchemes compares the repair schemes on the branchy bubble
+// kernel, reporting simulated IPC.
+func BenchmarkSchemes(b *testing.B) {
+	mks := map[string]func() core.Scheme{
+		"schemeB4": func() core.Scheme { return core.NewSchemeB(4) },
+		"tight4":   func() core.Scheme { return core.NewSchemeTight(4, 0) },
+		"loose":    func() core.Scheme { return core.NewSchemeLoose(2, 4, 16) },
+		"direct":   func() core.Scheme { return core.NewSchemeDirect(2, 4, 16, 0) },
+	}
+	k, _ := workload.ByName("bubble")
+	p := k.Load()
+	for name, mk := range mks {
+		b.Run(name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(p, machine.Config{
+					Scheme:    mk(),
+					Predictor: bpred.NewBimodal(256),
+					Speculate: true,
+					MemSystem: machine.MemForward,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = res.Stats.IPC()
+			}
+			b.ReportMetric(ipc, "sim-IPC")
+		})
+	}
+}
+
+// BenchmarkMemSystems compares the memory checkpointing techniques on
+// the store-heavy sieve kernel.
+func BenchmarkMemSystems(b *testing.B) {
+	k, _ := workload.ByName("sieve")
+	p := k.Load()
+	for _, ms := range []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b, machine.MemForward} {
+		b.Run(ms.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := machine.Run(p, machine.Config{
+					Scheme:    core.NewSchemeTight(4, 0),
+					Predictor: bpred.NewBimodal(256),
+					Speculate: true,
+					MemSystem: ms,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegfile measures the copy-technique hot paths.
+func BenchmarkRegfile(b *testing.B) {
+	b.Run("deliver", func(b *testing.B) {
+		f := regfile.New(4)
+		f.Push(0)
+		f.Push(0)
+		depths := []int{2}
+		for i := 0; i < b.N; i++ {
+			tag := uint64(i)
+			f.Reserve(5, tag)
+			f.Deliver(depths, 5, uint32(i), tag)
+		}
+	})
+	b.Run("push-drop", func(b *testing.B) {
+		f := regfile.New(4)
+		for i := 0; i < b.N; i++ {
+			f.Push(0)
+			f.DropOldest(0)
+		}
+	})
+	b.Run("recall", func(b *testing.B) {
+		f := regfile.New(4)
+		for i := 0; i < b.N; i++ {
+			f.Push(0)
+			f.RecallAt(0, 1)
+		}
+	})
+}
+
+// BenchmarkBackwardDiff measures undo-log push and repair costs.
+func BenchmarkBackwardDiff(b *testing.B) {
+	newBD := func() *diff.Backward {
+		m := mem.New()
+		m.Map(0, mem.PageSize)
+		c := cache.MustNew(cache.DefaultConfig, m)
+		return diff.NewBackward(c, diff.Sophisticated, 0)
+	}
+	b.Run("store", func(b *testing.B) {
+		bd := newBD()
+		for i := 0; i < b.N; i++ {
+			bd.Store(uint64(i+1), uint32(i%64)*4, uint32(i), 0b1111)
+			if i%64 == 63 {
+				bd.Release(uint64(i + 1)) // keep the buffer bounded
+			}
+		}
+	})
+	b.Run("store+repair8", func(b *testing.B) {
+		bd := newBD()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*8 + 1)
+			for j := uint64(0); j < 8; j++ {
+				bd.Store(base+j, uint32(j*4), uint32(i), 0b1111)
+			}
+			bd.Repair(base)
+		}
+	})
+}
+
+// BenchmarkForwardDiff measures redo-log costs including load snooping.
+func BenchmarkForwardDiff(b *testing.B) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	f := diff.NewForward(c, 0)
+	for j := uint64(1); j <= 16; j++ {
+		f.Store(j, uint32(j%8)*4, uint32(j), 0b1111)
+	}
+	b.Run("forwarded-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Load(uint32(i%8) * 4)
+		}
+	})
+}
+
+// BenchmarkCache measures hit-path access cost.
+func BenchmarkCache(b *testing.B) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	for i := 0; i < b.N; i++ {
+		c.ReadLongword(uint32(i%32) * 4)
+	}
+}
+
+// BenchmarkPredictors measures predict+update cost per predictor.
+func BenchmarkPredictors(b *testing.B) {
+	in := isa.Inst{Op: isa.OpBNE, Imm: -4}
+	for _, p := range []bpred.Predictor{
+		bpred.NewBimodal(1024),
+		bpred.NewGShare(4096, 8),
+		bpred.NewBTFN(),
+		bpred.NewSynthetic(0.85, 1),
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := p.Predict(i&1023, in, bpred.OracleHint{Known: true, Taken: i&3 != 0})
+				p.Update(i&1023, t)
+			}
+		})
+	}
+}
+
+// BenchmarkRefsim measures golden-model interpretation speed.
+func BenchmarkRefsim(b *testing.B) {
+	k, _ := workload.ByName("sieve")
+	p := k.Load()
+	var retired int
+	for i := 0; i < b.N; i++ {
+		res, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired = res.Retired
+	}
+	b.ReportMetric(float64(retired), "sim-insts")
+}
+
+// BenchmarkRandomProgramGolden is the property-test inner loop: one
+// random program, one machine run, one golden comparison.
+func BenchmarkRandomProgramGolden(b *testing.B) {
+	p := workload.Random(1, workload.DefaultRandomOpts)
+	ref := refsim.MustRun(p, refsim.Options{})
+	for i := 0; i < b.N; i++ {
+		res, err := machine.Run(p, machine.Config{
+			Scheme:    core.NewSchemeLoose(2, 4, 12),
+			Predictor: bpred.NewGShare(256, 6),
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.MatchRef(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of driving the experiment registry programmatically.
+func Example() {
+	e, _ := experiments.ByID("F5")
+	for _, t := range e.Run() {
+		fmt.Println(t.ID)
+	}
+	_ = io.Discard
+	// Output: F5
+}

@@ -1,0 +1,87 @@
+// Command ckptasm assembles, disassembles, and inspects programs for
+// the simulator ISA.
+//
+// Usage:
+//
+//	ckptasm prog.s             # assemble, print listing and stats
+//	ckptasm -run prog.s        # assemble and execute on the reference interpreter
+//	ckptasm -encode prog.s     # assemble and dump the binary word stream
+//	ckptasm -kernel fib        # disassemble a built-in kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	runIt := flag.Bool("run", false, "execute on the reference interpreter")
+	encode := flag.Bool("encode", false, "dump the binary encoding")
+	kernel := flag.String("kernel", "", "operate on a built-in kernel instead of a file")
+	flag.Parse()
+
+	var p *prog.Program
+	var err error
+	switch {
+	case *kernel != "":
+		var k workload.Kernel
+		if k, err = workload.ByName(*kernel); err == nil {
+			p = k.Load()
+		}
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			p, err = asm.Assemble(flag.Arg(0), string(src))
+		}
+	default:
+		err = fmt.Errorf("usage: ckptasm [-run|-encode] (prog.s | -kernel name)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckptasm:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *encode:
+		words := isa.EncodeProgram(p.Code)
+		for i, w := range words {
+			fmt.Printf("%04x: %08x\n", i, w)
+		}
+		fmt.Printf("; %d instructions, %d words\n", len(p.Code), len(words))
+	case *runIt:
+		res, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckptasm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("halted=%v retired=%d branches=%d (%.1f%% taken)\n",
+			res.Halted, res.Retired, res.Branches, pct(res.Taken, res.Branches))
+		for _, e := range res.Exceptions {
+			fmt.Printf("exception: %v\n", e)
+		}
+		for r := 1; r < isa.NumRegs; r++ {
+			if res.Regs[r] != 0 {
+				fmt.Printf("r%-2d = %d (%#x)\n", r, int32(res.Regs[r]), res.Regs[r])
+			}
+		}
+	default:
+		fmt.Print(asm.Disassemble(p))
+		st := p.StaticStats()
+		fmt.Printf("; %d instructions, %d branches (b=%.1f), %d loads, %d stores\n",
+			st.Insts, st.Branches, st.BranchEvery, st.Loads, st.Stores)
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

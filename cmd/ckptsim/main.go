@@ -1,0 +1,251 @@
+// Command ckptsim runs a workload on a configurable checkpoint-repair
+// machine and reports the run statistics.
+//
+// Usage examples:
+//
+//	ckptsim -kernel bubble -scheme tight -c 4
+//	ckptsim -kernel pagedemo -scheme loose -ce 2 -cb 4 -dist 12 -mem 3b
+//	ckptsim -prog myprog.s -scheme direct -pred gshare -trace
+//	ckptsim -kernel sieve -scheme e -c 2 -dist 8 -nospec
+//	ckptsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "", "built-in kernel to run (see -list)")
+		progFile = flag.String("prog", "", "assembly file to run instead of a kernel")
+		list     = flag.Bool("list", false, "list built-in kernels and exit")
+		scheme   = flag.String("scheme", "tight", "repair scheme: e, b, tight, loose, direct")
+		c        = flag.Int("c", 4, "backup spaces (schemes e, b, tight)")
+		ce       = flag.Int("ce", 2, "E backup spaces (loose, direct)")
+		cb       = flag.Int("cb", 4, "B backup spaces (loose, direct)")
+		dist     = flag.Int("dist", 16, "instructions between E checkpoints (e, loose, direct)")
+		w        = flag.Int("w", 0, "max memory writes per checkpoint range, 0 = unlimited")
+		memKind  = flag.String("mem", "3b", "memory system: 3a, 3b, forward")
+		bufCap   = flag.Int("bufcap", 0, "difference buffer capacity, 0 = unbounded")
+		predName = flag.String("pred", "bimodal", "predictor: nottaken, taken, btfn, bimodal, gshare, oracle, synthetic")
+		hit      = flag.Float64("hit", 0.85, "synthetic predictor hit ratio")
+		nospec   = flag.Bool("nospec", false, "disable branch speculation (required for -scheme e)")
+		check    = flag.Bool("check", true, "verify the result against the reference interpreter")
+		traceOn  = flag.Bool("trace", false, "print repair/precise-mode events")
+		vizEvery = flag.Int("viz", 0, "render the checkpoint window every N cycles (0 = off)")
+		jsonOut  = flag.Bool("json", false, "emit machine statistics as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range workload.Kernels() {
+			fmt.Printf("%-10s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	p, err := loadProgram(*kernel, *progFile)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := machine.Config{Speculate: !*nospec}
+	switch *scheme {
+	case "e":
+		cfg.Scheme = core.NewSchemeE(*c, *dist, *w)
+		cfg.Speculate = false
+	case "b":
+		cfg.Scheme = core.NewSchemeB(*c)
+	case "tight":
+		cfg.Scheme = core.NewSchemeTight(*c, *w)
+	case "loose":
+		cfg.Scheme = core.NewSchemeLoose(*ce, *cb, *dist)
+	case "direct":
+		cfg.Scheme = core.NewSchemeDirect(*ce, *cb, *dist, *w)
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	switch *memKind {
+	case "3a":
+		cfg.MemSystem = machine.MemBackward3a
+	case "3b":
+		cfg.MemSystem = machine.MemBackward3b
+	case "forward":
+		cfg.MemSystem = machine.MemForward
+	default:
+		fail(fmt.Errorf("unknown memory system %q", *memKind))
+	}
+	cfg.BufferCap = *bufCap
+	if cfg.Speculate {
+		switch *predName {
+		case "nottaken":
+			cfg.Predictor = bpred.NewNotTaken()
+		case "taken":
+			cfg.Predictor = bpred.NewTaken()
+		case "btfn":
+			cfg.Predictor = bpred.NewBTFN()
+		case "bimodal":
+			cfg.Predictor = bpred.NewBimodal(1024)
+		case "gshare":
+			cfg.Predictor = bpred.NewGShare(4096, 8)
+		case "oracle":
+			cfg.Predictor = bpred.NewOracle()
+		case "synthetic":
+			cfg.Predictor = bpred.NewSynthetic(*hit, 1)
+		default:
+			fail(fmt.Errorf("unknown predictor %q", *predName))
+		}
+	}
+	if *traceOn {
+		cfg.Trace = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	}
+
+	var res *machine.Result
+	if *vizEvery > 0 {
+		m, err := machine.New(p, cfg)
+		if err != nil {
+			fail(err)
+		}
+		next := int64(0)
+		for m.Step() {
+			if m.Cycle() >= next {
+				fmt.Print(trace.Render(trace.Capture(
+					fmt.Sprintf("cycle %d (%d ops in flight)", m.Cycle(), m.InFlight()), m.Scheme())))
+				next = m.Cycle() + int64(*vizEvery)
+			}
+		}
+		res, err = m.Finish()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		res, err = machine.Run(p, cfg)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *jsonOut {
+		reportJSON(p, cfg, res)
+	} else {
+		report(p, cfg, res)
+	}
+
+	if *check {
+		ref, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			fail(err)
+		}
+		if err := res.MatchRef(ref); err != nil {
+			fail(fmt.Errorf("GOLDEN MISMATCH: %v", err))
+		}
+		fmt.Println("\ngolden check: machine state matches the reference interpreter")
+	}
+}
+
+func loadProgram(kernel, progFile string) (*prog.Program, error) {
+	switch {
+	case progFile != "":
+		src, err := os.ReadFile(progFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(progFile, string(src))
+	case kernel != "":
+		k, err := workload.ByName(kernel)
+		if err != nil {
+			return nil, err
+		}
+		return k.Load(), nil
+	default:
+		return nil, fmt.Errorf("specify -kernel or -prog (or -list)")
+	}
+}
+
+// reportJSON emits the run statistics as a single JSON object.
+func reportJSON(p *prog.Program, cfg machine.Config, res *machine.Result) {
+	type out struct {
+		Program      string  `json:"program"`
+		Scheme       string  `json:"scheme"`
+		Spaces       int     `json:"logicalSpaces"`
+		MemSystem    string  `json:"memSystem"`
+		Cycles       int64   `json:"cycles"`
+		Retired      int64   `json:"retired"`
+		IPC          float64 `json:"ipc"`
+		Issued       int64   `json:"issuedOps"`
+		WrongPath    int64   `json:"wrongPathOps"`
+		Precise      int64   `json:"preciseModeOps"`
+		BRepairs     int64   `json:"bRepairs"`
+		ERepairs     int64   `json:"eRepairs"`
+		Checkpoints  int64   `json:"checkpoints"`
+		StallTotal   int64   `json:"stallCycles"`
+		CacheHits    int     `json:"cacheHits"`
+		CacheMisses  int     `json:"cacheMisses"`
+		WriteBacks   int     `json:"writeBacks"`
+		DiffPushes   int     `json:"diffPushes"`
+		DiffMaxOcc   int     `json:"diffMaxOccupancy"`
+		Exceptions   int     `json:"exceptionsHandled"`
+		PredictorAcc float64 `json:"predictorAccuracy,omitempty"`
+	}
+	o := out{
+		Program: p.Name, Scheme: cfg.Scheme.Name(), Spaces: cfg.Scheme.Spaces(),
+		MemSystem: cfg.MemSystem.String(),
+		Cycles:    res.Stats.Cycles, Retired: res.Stats.Retired, IPC: res.Stats.IPC(),
+		Issued: res.Stats.Issued, WrongPath: res.Stats.WrongPath, Precise: res.Stats.PreciseInsts,
+		BRepairs: res.Stats.BRepairs, ERepairs: res.Stats.ERepairs, Checkpoints: res.Stats.Checkpoints,
+		StallTotal: res.Stats.StallTotal(),
+		CacheHits:  res.Cache.Hits, CacheMisses: res.Cache.Misses, WriteBacks: res.Cache.WriteBacks,
+		DiffPushes: int(res.Diff.Pushes), DiffMaxOcc: res.Diff.MaxOccupancy,
+		Exceptions: len(res.Exceptions), PredictorAcc: res.PredictorAccuracy,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		fail(err)
+	}
+}
+
+func report(p *prog.Program, cfg machine.Config, res *machine.Result) {
+	fmt.Printf("program:   %s (%d instructions)\n", p.Name, len(p.Code))
+	fmt.Printf("scheme:    %s (%d logical spaces)\n", cfg.Scheme.Name(), cfg.Scheme.Spaces())
+	fmt.Printf("memory:    %v difference buffer\n", cfg.MemSystem)
+	if cfg.Predictor != nil {
+		fmt.Printf("predictor: %s (accuracy %.1f%%)\n", cfg.Predictor.Name(), res.PredictorAccuracy*100)
+	}
+	s := res.Stats
+	fmt.Printf("\ncycles:    %d\n", s.Cycles)
+	fmt.Printf("retired:   %d (IPC %.3f)\n", s.Retired, s.IPC())
+	fmt.Printf("issued:    %d (%d wrong-path, %d precise-mode)\n", s.Issued, s.WrongPath, s.PreciseInsts)
+	fmt.Printf("repairs:   %d B-repairs, %d E-repairs, %d checkpoints\n", s.BRepairs, s.ERepairs, s.Checkpoints)
+	fmt.Printf("stalls:    %d total\n", s.StallTotal())
+	for r := 1; r < stats.NumStallReasons; r++ {
+		if s.StallCycles[r] > 0 {
+			fmt.Printf("           %-12s %d\n", stats.StallReason(r).String(), s.StallCycles[r])
+		}
+	}
+	fmt.Printf("cache:     %d hits, %d misses, %d write-backs\n", res.Cache.Hits, res.Cache.Misses, res.Cache.WriteBacks)
+	fmt.Printf("diff:      %d pushes, max occupancy %d, %d undone, %d discarded\n",
+		res.Diff.Pushes, res.Diff.MaxOccupancy, res.Diff.Undone, res.Diff.Discarded)
+	fmt.Printf("exceptions:%d handled precisely\n", len(res.Exceptions))
+	for _, e := range res.Exceptions {
+		fmt.Printf("           %v\n", e)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ckptsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for a captured run with commentary).
+//
+// Usage:
+//
+//	experiments           # run everything
+//	experiments -list     # list experiment IDs
+//	experiments -id C7    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	id := flag.String("id", "", "run a single experiment by ID (e.g. C7)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *id)
+			os.Exit(1)
+		}
+		for _, t := range e.Run() {
+			fmt.Println(t.String())
+		}
+		return
+	}
+	experiments.RunAll(os.Stdout)
+}

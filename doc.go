@@ -1,0 +1,22 @@
+// Package repro is a complete Go reproduction of Hwu & Patt,
+// "Checkpoint Repair for Out-of-order Execution Machines" (ISCA 1987).
+//
+// The module root carries the benchmark harness (bench_test.go, one
+// benchmark per reproduced figure/table/claim); the implementation
+// lives under internal/:
+//
+//   - internal/core — the paper's contribution: the five checkpoint
+//     repair schemes (E, B, direct, tight, loose);
+//   - internal/regfile, internal/diff, internal/cache — the two
+//     logical-space techniques (register copy; backward/forward
+//     difference buffers over a cache);
+//   - internal/machine, internal/ooo — the out-of-order machine the
+//     schemes plug into;
+//   - internal/baseline — the Smith–Pleszkun comparators;
+//   - internal/experiments — regenerates every artefact (see
+//     EXPERIMENTS.md);
+//   - cmd/ckptsim, cmd/ckptasm, cmd/experiments — the tools.
+//
+// Start with README.md, DESIGN.md (system inventory, experiment index,
+// deviations), and EXPERIMENTS.md (captured paper-vs-measured run).
+package repro

@@ -1,0 +1,76 @@
+// Branchy: the §2.2/§4 B-repair study. Runs the paper's parameter
+// point — one conditional branch every ~4 instructions — across
+// predictor accuracies and B backup space counts, showing how repair
+// frequency follows the b/(1-h) arithmetic and how quickly B backup
+// spaces stop being the bottleneck.
+//
+//	go run ./examples/branchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	scfg := workload.DefaultSynth
+	scfg.Iters = 1500
+	p := workload.Synth(scfg)
+	ref := refsim.MustRun(p, refsim.Options{})
+	b := float64(ref.Retired) / float64(ref.Branches)
+	fmt.Printf("workload: %d instructions, one branch every %.2f (the paper assumes 4)\n\n", ref.Retired, b)
+
+	fmt.Println("B-repair frequency vs prediction accuracy (schemeB, 4 spaces):")
+	fmt.Println("  hit    analytic b/(1-h)   measured instr/B-repair   cycles")
+	for _, h := range []float64{0.70, 0.85, 0.95} {
+		res, err := machine.Run(p, machine.Config{
+			Scheme:    core.NewSchemeB(4),
+			Predictor: bpred.NewSynthetic(h, 1),
+			Speculate: true,
+			MemSystem: machine.MemForward,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.0f%%   %8.1f           %8.1f                  %d\n",
+			h*100, b/(1-h), res.Stats.InstsPerBRepair(), res.Stats.Cycles)
+	}
+
+	fmt.Println("\nissue stalls vs B backup spaces (85% accuracy):")
+	fmt.Println("  cB   scheme stalls   cycles")
+	for _, c := range []int{1, 2, 4, 8} {
+		res, err := machine.Run(p, machine.Config{
+			Scheme:    core.NewSchemeB(c),
+			Predictor: bpred.NewSynthetic(0.85, 1),
+			Speculate: true,
+			MemSystem: machine.MemForward,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4d %-15d %d\n", c, res.Stats.StallCycles[1], res.Stats.Cycles)
+	}
+
+	fmt.Println("\nreal predictors on the same workload (tight(4)):")
+	for _, pr := range []bpred.Predictor{
+		bpred.NewNotTaken(), bpred.NewBTFN(), bpred.NewBimodal(1024), bpred.NewGShare(4096, 8), bpred.NewOracle(),
+	} {
+		res, err := machine.Run(p, machine.Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: pr,
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s accuracy %5.1f%%  B-repairs %5d  cycles %6d  IPC %.2f\n",
+			pr.Name(), res.PredictorAccuracy*100, res.Stats.BRepairs, res.Stats.Cycles, res.Stats.IPC())
+	}
+}

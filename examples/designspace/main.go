@@ -1,0 +1,92 @@
+// Designspace: sweep the §5 scheme space against predictors on one
+// kernel and print the cycle grid — the at-a-glance view of how repair
+// scheme choice and prediction quality interact.
+//
+//	go run ./examples/designspace [kernel]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	kernel := "bubble"
+	if len(os.Args) > 1 {
+		kernel = os.Args[1]
+	}
+	k, err := workload.ByName(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := k.Load()
+	ref := refsim.MustRun(p, refsim.Options{})
+	fmt.Printf("kernel %s: %d architectural instructions, %d branches (%.0f%% taken), %d exceptions\n\n",
+		kernel, ref.Retired, ref.Branches, 100*float64(ref.Taken)/float64(max(1, ref.Branches)), len(ref.Exceptions))
+
+	schemes := []struct {
+		name string
+		mk   func() core.Scheme
+	}{
+		{"schemeB(4)", func() core.Scheme { return core.NewSchemeB(4) }},
+		{"tight(4)", func() core.Scheme { return core.NewSchemeTight(4, 0) }},
+		{"tight(8)", func() core.Scheme { return core.NewSchemeTight(8, 0) }},
+		{"loose(2,4)", func() core.Scheme { return core.NewSchemeLoose(2, 4, 16) }},
+		{"direct(2,4)", func() core.Scheme { return core.NewSchemeDirect(2, 4, 16, 0) }},
+	}
+	preds := []struct {
+		name string
+		mk   func() bpred.Predictor
+	}{
+		{"nottaken", bpred.NewNotTaken},
+		{"btfn", bpred.NewBTFN},
+		{"bimodal", func() bpred.Predictor { return bpred.NewBimodal(1024) }},
+		{"gshare", func() bpred.Predictor { return bpred.NewGShare(4096, 8) }},
+		{"oracle", bpred.NewOracle},
+	}
+
+	fmt.Printf("cycles (golden-checked):\n%-12s", "")
+	for _, pr := range preds {
+		fmt.Printf("%10s", pr.name)
+	}
+	fmt.Println()
+	for _, sc := range schemes {
+		fmt.Printf("%-12s", sc.name)
+		for _, pr := range preds {
+			s := sc.mk()
+			if _, isB := s.(*core.SchemeB); isB && k.Excepts {
+				fmt.Printf("%10s", "n/a") // pure B cannot E-repair
+				continue
+			}
+			res, err := machine.Run(p, machine.Config{
+				Scheme:    s,
+				Predictor: pr.mk(),
+				Speculate: true,
+				MemSystem: machine.MemBackward3b,
+			})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", sc.name, pr.name, err)
+			}
+			if err := res.MatchRef(ref); err != nil {
+				log.Fatalf("%s/%s golden mismatch: %v", sc.name, pr.name, err)
+			}
+			fmt.Printf("%10d", res.Stats.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nevery cell above reproduced the reference interpreter's state exactly")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Exceptions: the §3 E-repair walkthrough. A program that demand-pages
+// memory (page faults), overflows (traps), divides by zero (faults) and
+// issues a software trap runs on a schemeE machine with a live event
+// trace, showing each repair-to-checkpoint followed by single-step
+// precise handling — Theorem 1 in action.
+//
+//	go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+)
+
+const source = `
+; touch three unmapped pages, then raise each exception kind once
+    addi r1, r0, 0x8000
+    addi r2, r0, 0
+    addi r3, r0, 3
+pages:
+    sw   r2, 0(r1)         ; page fault on first touch (demand paging)
+    lw   r4, 0(r1)
+    add  r2, r4, r2
+    lui  r5, 1
+    add  r1, r1, r5        ; next page (+0x10000)
+    addi r3, r3, -1
+    bne  r3, r0, pages
+
+    lui  r6, 0x7fff
+    ori  r6, r6, 0xffff
+    addiv r7, r6, 1        ; overflow trap: completes (wraps), then traps
+
+    addi r8, r0, 0
+    div  r9, r6, r8        ; divide fault: skipped, r9 keeps its value
+
+    trap 99                ; software trap
+    sw   r2, result(r0)
+    halt
+.data 0x1000
+result: .word 0
+`
+
+func main() {
+	p, err := asm.Assemble("exceptions", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running with schemeE(2, distance 6): repair events below")
+	fmt.Println("--------------------------------------------------------")
+	cfg := machine.Config{
+		// Pure E-repair scheme: no branch speculation, so the branches
+		// stall the front end but every exception repairs precisely.
+		Scheme:    core.NewSchemeE(2, 6, 0),
+		Speculate: false,
+		MemSystem: machine.MemBackward3b,
+		Trace:     func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+	}
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--------------------------------------------------------")
+	fmt.Printf("exceptions handled precisely, in architectural order:\n")
+	for i, e := range res.Exceptions {
+		fmt.Printf("  %d: %v\n", i+1, e)
+	}
+	fmt.Printf("\nE-repairs: %d   precise-mode instructions: %d   cycles: %d\n",
+		res.Stats.ERepairs, res.Stats.PreciseInsts, res.Stats.Cycles)
+
+	ref := refsim.MustRun(p, refsim.Options{})
+	if err := res.MatchRef(ref); err != nil {
+		log.Fatalf("golden mismatch: %v", err)
+	}
+	fmt.Println("golden check: state and exception sequence match sequential execution")
+}

@@ -1,0 +1,25 @@
+; Collatz trajectory length of 27 (should be 111 steps).
+; Branches here are data-dependent and essentially unpredictable —
+; a stress case for B-repair. Run with:
+;   go run ./cmd/ckptsim -prog examples/progs/collatz.s -scheme tight -c 8
+    addi r1, r0, 27
+    addi r2, r0, 0        ; steps
+    addi r3, r0, 1
+loop:
+    beq  r1, r3, done
+    andi r4, r1, 1
+    bne  r4, r0, odd
+    srli r1, r1, 1        ; n /= 2
+    j    next
+odd:
+    add  r5, r1, r1
+    add  r1, r5, r1       ; n *= 3
+    addi r1, r1, 1        ; n += 1
+next:
+    addi r2, r2, 1
+    j    loop
+done:
+    sw   r2, steps(r0)
+    halt
+.data 0x1000
+steps: .word 0

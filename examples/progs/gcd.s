@@ -1,0 +1,15 @@
+; Euclid's algorithm: gcd(1071, 462) = 21.
+; Run with: go run ./cmd/ckptsim -prog examples/progs/gcd.s
+    addi r1, r0, 1071
+    addi r2, r0, 462
+gcd:
+    beq  r2, r0, done
+    rem  r3, r1, r2
+    add  r1, r0, r2
+    add  r2, r0, r3
+    j    gcd
+done:
+    sw   r1, result(r0)
+    halt
+.data 0x1000
+result: .word 0

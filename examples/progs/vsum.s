@@ -1,0 +1,22 @@
+; Vector sum: adds two 16-element arrays with VLW/VADD/VSW
+; (4 operations per instruction — the paper's incr(k) case).
+;   go run ./cmd/ckptsim -prog examples/progs/vsum.s
+    addi r1, r0, 4
+    addi r2, r0, xs
+    addi r3, r0, ys
+    addi r4, r0, zs
+vl:
+    vlw  r8, 0(r2)
+    vlw  r12, 0(r3)
+    vadd r16, r8, r12
+    vsw  r16, 0(r4)
+    addi r2, r2, 16
+    addi r3, r3, 16
+    addi r4, r4, 16
+    addi r1, r1, -1
+    bne  r1, r0, vl
+    halt
+.data 0x1000
+xs: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+ys: .word 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160
+zs: .space 64

@@ -1,0 +1,497 @@
+// Package asm implements a two-pass assembler for the simulator ISA.
+//
+// Syntax overview (one statement per line, ';' or '#' start a comment):
+//
+//	.text                 ; switch to code (default)
+//	.data 0x1000          ; switch to data at the given byte address
+//	.entry main           ; set the entry point (default: first instruction)
+//	.word 1, 2, 0x30      ; emit longwords (data mode)
+//	.byte 1, 2, 3         ; emit bytes (data mode)
+//	.space 64             ; reserve zeroed bytes (data mode)
+//
+//	main:                 ; labels end with ':'
+//	    addi r1, r0, 10
+//	loop:
+//	    beq  r1, r0, done ; branch targets are labels (or numeric offsets)
+//	    addi r1, r1, -1
+//	    j    loop         ; jump targets are labels (or absolute indices)
+//	done:
+//	    lw   r2, table(r0)
+//	    halt
+//
+// Code labels resolve to instruction indices; data labels resolve to
+// byte addresses. Branch immediates are encoded relative to pc+1, jump
+// immediates as absolute instruction indices, matching internal/isa.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Error reports an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type symbol struct {
+	value  int32
+	isCode bool
+}
+
+type dataChunk struct {
+	addr  uint32
+	bytes []byte
+}
+
+type assembler struct {
+	name    string
+	lines   []string
+	symbols map[string]symbol
+	code    []srcInst
+	chunks  []dataChunk
+	entry   string
+	inData  bool
+	dataPos uint32
+	curData *dataChunk
+}
+
+type srcInst struct {
+	line   int
+	op     isa.Op
+	fields []string // raw operand fields
+}
+
+// Assemble assembles source text into a program.
+func Assemble(name, src string) (*prog.Program, error) {
+	a := &assembler{
+		name:    name,
+		lines:   strings.Split(src, "\n"),
+		symbols: make(map[string]symbol),
+	}
+	if err := a.pass1(); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble assembles known-good source, panicking on error. Used by
+// the built-in workload kernels, whose sources are compiled into the
+// binary and covered by tests.
+func MustAssemble(name, src string) *prog.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// pass1 scans lines, records label values, and collects instruction and
+// data statements for pass2.
+func (a *assembler) pass1() error {
+	for ln, raw := range a.lines {
+		line := stripComment(raw)
+		lineNo := ln + 1
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validIdent(label) {
+				return &Error{lineNo, fmt.Sprintf("invalid label %q", label)}
+			}
+			if _, dup := a.symbols[label]; dup {
+				return &Error{lineNo, fmt.Sprintf("duplicate label %q", label)}
+			}
+			if a.inData {
+				a.symbols[label] = symbol{value: int32(a.dataPos), isCode: false}
+			} else {
+				a.symbols[label] = symbol{value: int32(len(a.code)), isCode: true}
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(lineNo, line); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.inData {
+			return &Error{lineNo, "instruction in data section"}
+		}
+		mnemonic, rest := splitWord(line)
+		op, ok := isa.OpByName(strings.ToLower(mnemonic))
+		if !ok {
+			return &Error{lineNo, fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+		}
+		a.code = append(a.code, srcInst{line: lineNo, op: op, fields: splitOperands(rest)})
+	}
+	return nil
+}
+
+func (a *assembler) directive(lineNo int, line string) error {
+	word, rest := splitWord(line)
+	switch word {
+	case ".text":
+		a.inData = false
+		a.curData = nil
+	case ".data":
+		v, err := parseNum(rest)
+		if err != nil {
+			return &Error{lineNo, fmt.Sprintf(".data address: %v", err)}
+		}
+		a.inData = true
+		a.dataPos = uint32(v)
+		a.chunks = append(a.chunks, dataChunk{addr: a.dataPos})
+		a.curData = &a.chunks[len(a.chunks)-1]
+	case ".entry":
+		a.entry = strings.TrimSpace(rest)
+	case ".word", ".byte":
+		if !a.inData || a.curData == nil {
+			return &Error{lineNo, word + " outside data section"}
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := a.resolveLate(f)
+			if err != nil {
+				return &Error{lineNo, err.Error()}
+			}
+			if word == ".word" {
+				a.curData.bytes = append(a.curData.bytes, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				a.dataPos += 4
+			} else {
+				a.curData.bytes = append(a.curData.bytes, byte(v))
+				a.dataPos++
+			}
+		}
+	case ".space":
+		if !a.inData || a.curData == nil {
+			return &Error{lineNo, ".space outside data section"}
+		}
+		v, err := parseNum(strings.TrimSpace(rest))
+		if err != nil || v < 0 {
+			return &Error{lineNo, fmt.Sprintf(".space size: %v", err)}
+		}
+		a.curData.bytes = append(a.curData.bytes, make([]byte, v)...)
+		a.dataPos += uint32(v)
+	default:
+		return &Error{lineNo, fmt.Sprintf("unknown directive %q", word)}
+	}
+	return nil
+}
+
+// resolveLate resolves a value that may reference a label. During pass1
+// data emission, only already-defined labels can be referenced; numeric
+// values always work. (Forward data references are rare enough in the
+// built-in kernels not to warrant a third pass.)
+func (a *assembler) resolveLate(f string) (int32, error) {
+	if v, err := parseNum(f); err == nil {
+		return v, nil
+	}
+	if s, ok := a.symbols[f]; ok {
+		return s.value, nil
+	}
+	return 0, fmt.Errorf("undefined or forward symbol %q in data", f)
+}
+
+// pass2 encodes instructions with all labels resolved.
+func (a *assembler) pass2() (*prog.Program, error) {
+	p := &prog.Program{
+		Name:    a.name,
+		Code:    make([]isa.Inst, 0, len(a.code)),
+		Symbols: make(map[string]int32, len(a.symbols)),
+	}
+	for name, s := range a.symbols {
+		p.Symbols[name] = s.value
+	}
+	for pc, si := range a.code {
+		in, err := a.encode(pc, si)
+		if err != nil {
+			return nil, err
+		}
+		p.Code = append(p.Code, in)
+	}
+	for _, c := range a.chunks {
+		if len(c.bytes) > 0 {
+			p.Data = append(p.Data, prog.Segment{Addr: c.addr, Data: c.bytes})
+		}
+	}
+	if a.entry != "" {
+		s, ok := a.symbols[a.entry]
+		if !ok || !s.isCode {
+			return nil, &Error{0, fmt.Sprintf(".entry %q: no such code label", a.entry)}
+		}
+		p.Entry = int(s.value)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) encode(pc int, si srcInst) (isa.Inst, error) {
+	in := isa.Inst{Op: si.op}
+	f := si.fields
+	need := func(n int) error {
+		if len(f) != n {
+			return &Error{si.line, fmt.Sprintf("%s expects %d operands, got %d", si.op, n, len(f))}
+		}
+		return nil
+	}
+	var err error
+	switch si.op.Format() {
+	case isa.FormatRRR:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.reg(si.line, f[1]); err != nil {
+			return in, err
+		}
+		in.Rs2, err = a.reg(si.line, f[2])
+	case isa.FormatRRI:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.reg(si.line, f[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.value(si.line, f[2])
+	case isa.FormatRI:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.value(si.line, f[1])
+	case isa.FormatMem:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		var dataReg isa.Reg
+		if dataReg, err = a.reg(si.line, f[0]); err != nil {
+			return in, err
+		}
+		if si.op.Class() == isa.ClassStore {
+			in.Rs2 = dataReg
+		} else {
+			in.Rd = dataReg
+		}
+		in.Imm, in.Rs1, err = a.memOperand(si.line, f[1])
+	case isa.FormatBr:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.reg(si.line, f[0]); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = a.reg(si.line, f[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.branchTarget(si.line, pc, f[2])
+	case isa.FormatJ:
+		if si.op == isa.OpJAL {
+			if err = need(2); err != nil {
+				return in, err
+			}
+			if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+				return in, err
+			}
+			in.Imm, err = a.codeTarget(si.line, f[1])
+		} else {
+			if err = need(1); err != nil {
+				return in, err
+			}
+			in.Imm, err = a.codeTarget(si.line, f[0])
+		}
+	case isa.FormatJR:
+		if si.op == isa.OpJALR {
+			if err = need(2); err != nil {
+				return in, err
+			}
+			if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+				return in, err
+			}
+			in.Rs1, err = a.reg(si.line, f[1])
+		} else {
+			if err = need(1); err != nil {
+				return in, err
+			}
+			in.Rs1, err = a.reg(si.line, f[0])
+		}
+	case isa.FormatSys:
+		if si.op == isa.OpTRAP {
+			if err = need(1); err != nil {
+				return in, err
+			}
+			in.Imm, err = a.value(si.line, f[0])
+		} else if err = need(0); err != nil {
+			return in, err
+		}
+	}
+	return in, err
+}
+
+var regAliases = map[string]isa.Reg{"zero": 0, "sp": 30, "ra": 31, "fp": 29}
+
+func (a *assembler) reg(line int, f string) (isa.Reg, error) {
+	f = strings.ToLower(strings.TrimSpace(f))
+	if r, ok := regAliases[f]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(f, "r") {
+		if n, err := strconv.Atoi(f[1:]); err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, &Error{line, fmt.Sprintf("bad register %q", f)}
+}
+
+// value resolves a numeric or symbolic immediate.
+func (a *assembler) value(line int, f string) (int32, error) {
+	f = strings.TrimSpace(f)
+	if v, err := parseNum(f); err == nil {
+		return v, nil
+	}
+	if s, ok := a.symbols[f]; ok {
+		return s.value, nil
+	}
+	return 0, &Error{line, fmt.Sprintf("bad immediate %q", f)}
+}
+
+// memOperand parses "imm(rs)" with imm numeric or symbolic, or a bare
+// symbol/number meaning offset off r0.
+func (a *assembler) memOperand(line int, f string) (int32, isa.Reg, error) {
+	f = strings.TrimSpace(f)
+	open := strings.Index(f, "(")
+	if open < 0 {
+		imm, err := a.value(line, f)
+		return imm, 0, err
+	}
+	if !strings.HasSuffix(f, ")") {
+		return 0, 0, &Error{line, fmt.Sprintf("bad memory operand %q", f)}
+	}
+	immPart := strings.TrimSpace(f[:open])
+	var imm int32
+	var err error
+	if immPart != "" {
+		if imm, err = a.value(line, immPart); err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := a.reg(line, f[open+1:len(f)-1])
+	return imm, r, err
+}
+
+func (a *assembler) branchTarget(line, pc int, f string) (int32, error) {
+	f = strings.TrimSpace(f)
+	if s, ok := a.symbols[f]; ok && s.isCode {
+		return s.value - int32(pc) - 1, nil
+	}
+	if v, err := parseNum(f); err == nil {
+		return v, nil // already a relative displacement
+	}
+	return 0, &Error{line, fmt.Sprintf("bad branch target %q", f)}
+}
+
+func (a *assembler) codeTarget(line int, f string) (int32, error) {
+	f = strings.TrimSpace(f)
+	if s, ok := a.symbols[f]; ok && s.isCode {
+		return s.value, nil
+	}
+	if v, err := parseNum(f); err == nil {
+		return v, nil
+	}
+	return 0, &Error{line, fmt.Sprintf("bad jump target %q", f)}
+}
+
+func splitWord(s string) (first, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseNum(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -1<<31 || v > 1<<32-1 {
+		return 0, fmt.Errorf("value %d out of 32-bit range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders a program listing with instruction indices,
+// matching the assembler's input syntax where possible.
+func Disassemble(p *prog.Program) string {
+	var b strings.Builder
+	labels := make(map[int32][]string)
+	for name, v := range p.Symbols {
+		labels[v] = append(labels[v], name)
+	}
+	for pc, in := range p.Code {
+		for _, l := range labels[int32(pc)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%4d:  %s\n", pc, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBasicProgram(t *testing.T) {
+	p, err := Assemble("t", `
+    addi r1, r0, 10     ; comment
+loop:
+    addi r1, r1, -1     # another comment style
+    bne  r1, r0, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("len %d", len(p.Code))
+	}
+	if p.Code[0].Op != isa.OpADDI || p.Code[0].Imm != 10 {
+		t.Errorf("inst 0: %v", p.Code[0])
+	}
+	// bne at pc 2 targets pc 1: imm = 1 - 3 = -2.
+	if p.Code[2].Op != isa.OpBNE || p.Code[2].Imm != -2 {
+		t.Errorf("branch: %v", p.Code[2])
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("label loop = %d", p.Symbols["loop"])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble("t", `
+    lw r1, tab(r0)
+    halt
+.data 0x1000
+tab: .word 1, 2, 0x30
+bs:  .byte 9, 8
+sp:  .space 6
+end: .word -1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMemory()
+	if v, _ := m.Read32(0x1000); v != 1 {
+		t.Errorf("tab[0] = %d", v)
+	}
+	if v, _ := m.Read32(0x1008); v != 0x30 {
+		t.Errorf("tab[2] = %#x", v)
+	}
+	if b, _ := m.Read8(0x100C); b != 9 {
+		t.Errorf("bs[0] = %d", b)
+	}
+	// end = 0x1000 + 12 + 2 + 6 = 0x1014
+	if p.Symbols["end"] != 0x1014 {
+		t.Errorf("end = %#x", p.Symbols["end"])
+	}
+	if v, _ := m.Read32(0x1014); v != 0xFFFFFFFF {
+		t.Errorf("end word = %#x", v)
+	}
+	// The lw references the data label as an absolute offset.
+	if p.Code[0].Imm != 0x1000 || p.Code[0].Rs1 != 0 {
+		t.Errorf("lw operand: %v", p.Code[0])
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p, err := Assemble("t", `
+helper:
+    halt
+main:
+    j main
+.entry main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p, err := Assemble("t", `
+    addi sp, r0, 64
+    addi fp, sp, 0
+    jal  ra, f
+    halt
+f:
+    jr ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Rd != 30 || p.Code[1].Rd != 29 || p.Code[2].Rd != 31 || p.Code[4].Rs1 != 31 {
+		t.Errorf("aliases: %v", p.Code)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p, err := Assemble("t", `
+    lw r1, 8(r2)
+    lw r1, (r2)
+    lw r1, 0x20
+    sw r3, -4(r5)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 8 || p.Code[0].Rs1 != 2 {
+		t.Error("imm(reg)")
+	}
+	if p.Code[1].Imm != 0 || p.Code[1].Rs1 != 2 {
+		t.Error("(reg)")
+	}
+	if p.Code[2].Imm != 0x20 || p.Code[2].Rs1 != 0 {
+		t.Error("bare imm")
+	}
+	if p.Code[3].Imm != -4 || p.Code[3].Rs2 != 3 || p.Code[3].Rs1 != 5 {
+		t.Error("store form")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus r1, r2, r3":          "unknown mnemonic",
+		"add r1, r2":                "expects 3 operands",
+		"add r1, r2, r99":           "bad register",
+		"beq r1, r2, nowhere\nhalt": "bad branch target",
+		"lw r1, 8(r2\nhalt":         "bad memory operand",
+		".data\nhalt":               ".data address",
+		".word 1":                   "outside data section",
+		"x: halt\nx: halt":          "duplicate label",
+		"halt\n.entry missing":      "no such code label",
+		"1bad: halt":                "invalid label",
+		".data 0x100\nhalt":         "instruction in data section",
+	}
+	for src, wantSub := range cases {
+		_, err := Assemble("t", src)
+		if err == nil {
+			t.Errorf("%q: expected error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q, want substring %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestBranchOutOfRangeRejected(t *testing.T) {
+	if _, err := Assemble("t", "beq r1, r2, +100\nhalt"); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	p, err := Assemble("t", `
+a: b: halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 {
+		t.Error("stacked labels")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+main:
+    addi r1, r0, 5
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    trap 3
+    halt
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(p)
+	for _, want := range []string{"main:", "loop:", "addi r1, r0, 5", "trap 3", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestNumericFormats(t *testing.T) {
+	p, err := Assemble("t", `
+    addi r1, r0, 0x10
+    addi r2, r0, -16
+    addi r3, r0, 0b101
+    addi r4, r0, 0o17
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0x10, -16, 5, 15}
+	for i, w := range want {
+		if p.Code[i].Imm != w {
+			t.Errorf("imm %d = %d, want %d", i, p.Code[i].Imm, w)
+		}
+	}
+}
+
+func TestVectorSyntax(t *testing.T) {
+	p, err := Assemble("t", `
+    addi r2, r0, 0x1000
+    vlw  r8, 0(r2)
+    vadd r16, r8, r8
+    vsw  r16, 16(r2)
+    halt
+.data 0x1000
+v: .space 64
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Op != isa.OpVLW || p.Code[1].Rd != 8 || p.Code[1].Rs1 != 2 {
+		t.Errorf("vlw: %v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.OpVADD || p.Code[2].Rd != 16 {
+		t.Errorf("vadd: %v", p.Code[2])
+	}
+	if p.Code[3].Op != isa.OpVSW || p.Code[3].Rs2 != 16 || p.Code[3].Imm != 16 {
+		t.Errorf("vsw: %v", p.Code[3])
+	}
+	// Register-group overflow is rejected at validation.
+	if _, err := Assemble("t", "vlw r30, 0(r1)\nhalt"); err == nil {
+		t.Error("vlw r30 (group 30..33) accepted")
+	}
+}

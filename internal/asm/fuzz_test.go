@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/refsim"
+)
+
+// FuzzAssemble checks the assembler never panics and that everything it
+// accepts is a structurally valid program the interpreter can start.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"addi r1, r0, 1\nhalt",
+		"x: beq r1, r2, x\nhalt",
+		".data 0x1000\nw: .word 1, 2\n.text\nlw r1, w(r0)\nhalt",
+		"jal ra, f\nhalt\nf: jr ra",
+		".entry main\nmain: trap 1\nhalt",
+		"lw r1, 4(r2)\nsw r1, -4(sp)\nhalt",
+		"lui r1, 0xffff\nori r1, r1, 0xffff\nhalt",
+		"; comment only",
+		".data 0x0\n.space 10\n.byte 1\n.word -1",
+		"add r1 r2 r3",
+		"label without colon",
+		".data zzz",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("assembler produced invalid program: %v\nsource:\n%s", err, src)
+		}
+		// Anything accepted must be runnable (bounded).
+		if _, err := refsim.Run(p, refsim.Options{MaxSteps: 2000}); err != nil {
+			t.Fatalf("accepted program failed to run: %v", err)
+		}
+		// And disassembly must not panic.
+		_ = Disassemble(p)
+	})
+}

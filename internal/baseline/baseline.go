@@ -1,0 +1,258 @@
+// Package baseline implements the comparator machines the paper is
+// positioned against.
+//
+//   - InOrder: a scoreboarded in-order pipeline with in-order completion
+//     (the result-shift-register discipline of Smith & Pleszkun [5]).
+//     Precise interrupts come for free; the price is no out-of-order
+//     execution and no branch speculation. This is the "no repair
+//     mechanism needed" reference point.
+//
+//   - HistoryBufferConfig / ReorderBufferConfig: the paper observes that
+//     the History Buffer Method is "a special case of the backward
+//     difference technique" and the Reorder Buffer Method a special case
+//     of the forward difference, both with checkpoints at every
+//     instruction boundary. The helpers return machine.Config values
+//     realising exactly that: SchemeE with Distance 1 and c = buffer
+//     depth, over the corresponding difference direction, without branch
+//     speculation (as in [5]). Running them through internal/machine
+//     makes them directly comparable with the sparse-checkpoint schemes.
+package baseline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/sem"
+)
+
+// HistoryBufferConfig returns a machine configuration equivalent to the
+// Smith–Pleszkun history buffer of the given depth: per-instruction
+// checkpoints over a backward difference (undo log), no speculation.
+func HistoryBufferConfig(depth int) machine.Config {
+	return machine.Config{
+		Scheme:    core.NewSchemeE(depth, 1, 0),
+		Speculate: false,
+		MemSystem: machine.MemBackward3a,
+	}
+}
+
+// ReorderBufferConfig returns a machine configuration equivalent to the
+// Smith–Pleszkun reorder buffer of the given depth: per-instruction
+// checkpoints over a forward difference (stores held until retirement),
+// no speculation.
+func ReorderBufferConfig(depth int) machine.Config {
+	return machine.Config{
+		Scheme:    core.NewSchemeE(depth, 1, 0),
+		Speculate: false,
+		MemSystem: machine.MemForward,
+	}
+}
+
+// Timing reuses the machine timing parameters for the in-order model.
+type Timing = machine.Timing
+
+// InOrderResult is the outcome of an in-order baseline run.
+type InOrderResult struct {
+	Regs       [isa.NumRegs]uint32
+	Mem        *mem.Memory
+	Exceptions []isa.Exception
+	Halted     bool
+	Cycles     int64
+	Retired    int64
+	CacheStats cache.Stats
+}
+
+// IPC returns retired instructions per cycle.
+func (r *InOrderResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// InOrder runs the program on the in-order baseline: architectural
+// behaviour comes from the reference interpreter (so it is precise by
+// construction), and timing from a scoreboard model — in-order issue of
+// one instruction per cycle, operand availability and structural
+// hazards delay issue, results complete in order (one writeback port),
+// conditional branches and indirect jumps stall fetch until they
+// resolve, and memory operations run through a real cache.
+func InOrder(p *prog.Program, t Timing, cacheCfg cache.Config) (*InOrderResult, error) {
+	if t.IssueWidth == 0 {
+		t = machine.DefaultTiming
+	}
+	if cacheCfg.Sets == 0 {
+		cacheCfg = cache.DefaultConfig
+	}
+	// The timing cache simulates hits and misses over the architectural
+	// address trace; its backing store is a scratch image (contents are
+	// irrelevant to timing, and the architectural memory belongs to the
+	// interpreter).
+	shadowMem := p.NewMemory()
+	tcache := cache.MustNew(cacheCfg, shadowMem)
+
+	var (
+		cycles    int64 // issue time of the most recent instruction
+		lastDone  int64 // in-order completion horizon
+		regReady  [isa.NumRegs]int64
+		stallTo   int64 // fetch stalled until (branch/jump resolution)
+		retired   int64
+		excCycles int64
+	)
+	alu := make([]int64, maxi(1, t.ALUUnits))
+	mul := make([]int64, maxi(1, t.MulDivUnit))
+	mport := make([]int64, maxi(1, t.MemPorts))
+
+	acquire := func(units []int64, at int64) int64 {
+		best := 0
+		for i := range units {
+			if units[i] < units[best] {
+				best = i
+			}
+		}
+		if units[best] > at {
+			at = units[best]
+		}
+		return at
+	}
+	commit := func(units []int64, at, until int64) {
+		best := 0
+		for i := range units {
+			if units[i] <= at {
+				best = i
+				break
+			}
+			if units[i] < units[best] {
+				best = i
+			}
+		}
+		units[best] = until
+	}
+
+	// Memory accesses are accounted as they happen (OnMem fires once
+	// per operation, so a k-operation vector instruction accumulates k
+	// access latencies before it retires).
+	var pendingMemLat int64
+	opts := refsim.Options{
+		OnMem: func(_ int, addr uint32, store bool) {
+			_, hit, _ := accessCache(tcache, addr, store)
+			if hit {
+				pendingMemLat += int64(t.CacheHit)
+			} else {
+				pendingMemLat += int64(t.CacheMiss)
+			}
+		},
+		OnRetire: func(pc int, in isa.Inst) {
+			issueAt := cycles + 1
+			if issueAt < stallTo {
+				issueAt = stallTo
+			}
+			// RAW hazards: operands must be ready.
+			if in.Op.ReadsRs1() && regReady[in.Rs1] > issueAt {
+				issueAt = regReady[in.Rs1]
+			}
+			if in.Op.ReadsRs2() && regReady[in.Rs2] > issueAt {
+				issueAt = regReady[in.Rs2]
+			}
+			// Structural hazard + latency.
+			var done int64
+			switch {
+			case in.Op.Class() == isa.ClassLoad || in.Op.Class() == isa.ClassStore:
+				start := acquire(mport, issueAt)
+				lat := pendingMemLat
+				if lat == 0 {
+					lat = int64(t.CacheHit)
+				}
+				done = start + lat
+				commit(mport, start, done)
+			case in.Op.Class() == isa.ClassMulDiv:
+				start := acquire(mul, issueAt)
+				lat := int64(t.MulLat)
+				if in.Op == isa.OpDIV || in.Op == isa.OpREM {
+					lat = int64(t.DivLat)
+				}
+				done = start + lat
+				commit(mul, start, done)
+			case in.Op.Class() == isa.ClassBranch, in.Op.Class() == isa.ClassJump:
+				start := acquire(alu, issueAt)
+				done = start + int64(t.BranchLat)
+				commit(alu, start, done)
+				// No speculation: fetch resumes after resolution.
+				stallTo = done
+			default:
+				start := acquire(alu, issueAt)
+				// Multi-operation instructions occupy the unit once per
+				// operation.
+				done = start + int64(t.ALULat*in.Op.Ops())
+				commit(alu, start, done)
+			}
+			pendingMemLat = 0
+			// In-order completion: one writeback per cycle.
+			if done <= lastDone {
+				done = lastDone + 1
+			}
+			lastDone = done
+			if rd, ok := in.Dest(); ok {
+				regReady[rd] = done
+			}
+			cycles = issueAt
+			retired++
+		},
+	}
+	// Exceptions serialize the pipeline: charge a drain to the
+	// completion horizon per exception.
+	res, err := refsim.Run(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	excCycles = int64(len(res.Exceptions)) * (lastDone/maxi64(retired, 1) + 2)
+
+	out := &InOrderResult{
+		Regs:       res.Regs,
+		Mem:        res.Mem,
+		Exceptions: res.Exceptions,
+		Halted:     res.Halted,
+		Cycles:     lastDone + excCycles,
+		Retired:    retired,
+		CacheStats: tcache.Stats(),
+	}
+	return out, nil
+}
+
+// accessCache performs a timing-only cache access; backing faults are
+// ignored (the architectural interpreter already validated the access,
+// but its demand-paged memory may be ahead of the timing image, so
+// missing pages are mapped on demand here too).
+func accessCache(c *cache.Cache, addr uint32, store bool) (uint32, bool, isa.ExcCode) {
+	if c.CheckAccess(addr&^3, 4) == isa.ExcCodePageFault {
+		c.Backing().Map(addr&^(mem.PageSize-1), mem.PageSize)
+	}
+	if store {
+		wr, exc := c.WriteLongword(addr&^3, 0, 0)
+		return 0, wr.Hit, exc
+	}
+	v, hit, exc := c.ReadLongword(addr &^ 3)
+	return v, hit, exc
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Check that the handler policy stays shared (compile-time coupling so
+// a change in sem shows up here).
+var _ = sem.ActResume

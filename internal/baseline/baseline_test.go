@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func TestInOrderMatchesReference(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		ref, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := InOrder(p, machine.DefaultTiming, cache.DefaultConfig)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if !res.Halted {
+			t.Errorf("%s: not halted", k.Name)
+		}
+		for i := 1; i < 32; i++ {
+			if res.Regs[i] != ref.Regs[i] {
+				t.Errorf("%s: r%d differs", k.Name, i)
+				break
+			}
+		}
+		if res.Cycles < res.Retired {
+			t.Errorf("%s: cycles %d < retired %d (in-order IPC cannot exceed 1)", k.Name, res.Cycles, res.Retired)
+		}
+		if res.Retired != int64(ref.Retired) {
+			t.Errorf("%s: retired %d != %d", k.Name, res.Retired, ref.Retired)
+		}
+	}
+}
+
+func TestBufferConfigsMatchGolden(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		ref, _ := refsim.Run(p, refsim.Options{})
+		for name, cfg := range map[string]machine.Config{
+			"history": HistoryBufferConfig(8),
+			"reorder": ReorderBufferConfig(8),
+		} {
+			res, err := machine.Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, name, err)
+			}
+			if err := res.MatchRef(ref); err != nil {
+				t.Errorf("%s/%s: %v", k.Name, name, err)
+			}
+		}
+	}
+}
+
+// TestCheckpointRepairBeatsInOrder establishes the headline shape: on a
+// branchy workload, the speculative checkpoint-repair machine retires
+// instructions faster than both the in-order baseline and the
+// non-speculative per-instruction-checkpoint (reorder-buffer) machine.
+func TestCheckpointRepairBeatsInOrder(t *testing.T) {
+	k, _ := workload.ByName("bubble")
+	p := k.Load()
+
+	inord, err := InOrder(p, machine.DefaultTiming, cache.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rob, err := machine.Run(p, ReorderBufferConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := machine.Run(p, machine.Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewBimodal(256),
+		Speculate: true,
+		MemSystem: machine.MemBackward3b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ckpt.Stats.Cycles >= inord.Cycles {
+		t.Errorf("checkpoint repair (%d cycles) not faster than in-order (%d)", ckpt.Stats.Cycles, inord.Cycles)
+	}
+	if ckpt.Stats.Cycles >= rob.Stats.Cycles {
+		t.Errorf("checkpoint repair (%d cycles) not faster than non-speculative ROB (%d)", ckpt.Stats.Cycles, rob.Stats.Cycles)
+	}
+}

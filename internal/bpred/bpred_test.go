@@ -1,0 +1,168 @@
+package bpred
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+var fwd = isa.Inst{Op: isa.OpBEQ, Imm: 4}
+var bwd = isa.Inst{Op: isa.OpBNE, Imm: -4}
+
+func TestStatic(t *testing.T) {
+	nt := NewNotTaken()
+	tk := NewTaken()
+	for pc := 0; pc < 10; pc++ {
+		if nt.Predict(pc, fwd, OracleHint{}) {
+			t.Fatal("not-taken predicted taken")
+		}
+		if !tk.Predict(pc, fwd, OracleHint{}) {
+			t.Fatal("taken predicted not-taken")
+		}
+	}
+}
+
+func TestBTFN(t *testing.T) {
+	p := NewBTFN()
+	if p.Predict(0, fwd, OracleHint{}) {
+		t.Error("forward branch predicted taken")
+	}
+	if !p.Predict(0, bwd, OracleHint{}) {
+		t.Error("backward branch predicted not-taken")
+	}
+}
+
+func TestBimodalLearns(t *testing.T) {
+	p := NewBimodal(16)
+	// Train strongly not-taken at pc 3.
+	for i := 0; i < 4; i++ {
+		p.Update(3, false)
+	}
+	if p.Predict(3, fwd, OracleHint{}) {
+		t.Error("did not learn not-taken")
+	}
+	// Hysteresis: one taken outcome must not flip a strong counter.
+	p.Update(3, true)
+	if p.Predict(3, fwd, OracleHint{}) {
+		t.Error("flipped too eagerly")
+	}
+	p.Update(3, true)
+	if !p.Predict(3, fwd, OracleHint{}) {
+		t.Error("did not relearn taken")
+	}
+	p.Reset()
+	if !p.Predict(3, fwd, OracleHint{}) {
+		t.Error("reset should restore weakly-taken")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	p := NewBimodal(4)
+	p.Update(1, false)
+	p.Update(1, false)
+	p.Update(1, false)
+	// pc 5 aliases pc 1 in a 4-entry table.
+	if p.Predict(5, fwd, OracleHint{}) {
+		t.Error("aliased entry should predict not-taken")
+	}
+}
+
+func TestGShareUsesHistory(t *testing.T) {
+	p := NewGShare(64, 4)
+	// Alternating outcomes at one PC: bimodal stays ~50%, gshare can
+	// learn the pattern because history disambiguates.
+	for i := 0; i < 200; i++ {
+		taken := i%2 == 0
+		p.Update(7, taken)
+	}
+	correct := 0
+	for i := 200; i < 300; i++ {
+		taken := i%2 == 0
+		if p.Predict(7, fwd, OracleHint{}) == taken {
+			correct++
+		}
+		p.Update(7, taken)
+	}
+	if correct < 90 {
+		t.Errorf("gshare alternation accuracy %d%%", correct)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	p := NewOracle()
+	if !p.Predict(0, fwd, OracleHint{Known: true, Taken: true}) {
+		t.Error("oracle ignored hint")
+	}
+	if p.Predict(0, fwd, OracleHint{Known: true, Taken: false}) {
+		t.Error("oracle ignored hint")
+	}
+	if p.Predict(0, fwd, OracleHint{}) {
+		t.Error("oracle fallback should be not-taken")
+	}
+}
+
+func TestSyntheticAccuracy(t *testing.T) {
+	for _, ratio := range []float64{0.5, 0.85, 0.95, 1.0} {
+		p := NewSynthetic(ratio, 42)
+		rng := rand.New(rand.NewSource(7))
+		n, correct := 50000, 0
+		for i := 0; i < n; i++ {
+			actual := rng.Intn(2) == 0
+			if p.Predict(i, fwd, OracleHint{Known: true, Taken: actual}) == actual {
+				correct++
+			}
+		}
+		got := float64(correct) / float64(n)
+		if math.Abs(got-ratio) > 0.01 {
+			t.Errorf("synthetic %.2f achieved %.4f", ratio, got)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := NewSynthetic(0.85, 9)
+	b := NewSynthetic(0.85, 9)
+	for i := 0; i < 1000; i++ {
+		h := OracleHint{Known: true, Taken: i%3 == 0}
+		if a.Predict(i, fwd, h) != b.Predict(i, fwd, h) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTrackedAccuracy(t *testing.T) {
+	tr := NewTracked(NewTaken())
+	tr.Predict(1, fwd, OracleHint{})
+	tr.Update(1, true) // correct
+	tr.Predict(2, fwd, OracleHint{})
+	tr.Update(2, false) // incorrect
+	if tr.Correct != 1 || tr.Incorrect != 1 {
+		t.Errorf("tracked: %d/%d", tr.Correct, tr.Incorrect)
+	}
+	if tr.Accuracy() != 0.5 {
+		t.Errorf("accuracy %f", tr.Accuracy())
+	}
+	tr.Reset()
+	if tr.Accuracy() != 0 || tr.Predicts != 0 {
+		t.Error("reset")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBimodal(3) },
+		func() { NewGShare(100, 4) },
+		func() { NewSynthetic(1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

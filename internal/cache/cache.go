@@ -1,0 +1,396 @@
+// Package cache implements the set-associative data cache that sits
+// between the machines and main memory.
+//
+// The cache is where the paper's §3.2.2 memory checkpointing lives:
+// stores performed out of order write directly into the cache (and, for
+// a write-through policy, into main memory), and the difference buffers
+// of internal/diff record enough information to undo them on repair.
+// The cache therefore exposes, besides normal read/write/replace
+// operations, the repair-oriented operations Algorithms 3(a) and 3(b)
+// need: probing for line presence, patching line contents during
+// recovery, and manipulating per-line dirty and hazard bits (the hazard
+// bit is the extra state Algorithm 3(b) introduces; its next-state
+// functions come from Table 1 of the paper).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Policy selects the write policy.
+type Policy uint8
+
+// Write policies.
+const (
+	WriteBack Policy = iota
+	WriteThrough
+)
+
+// String returns a readable policy name.
+func (p Policy) String() string {
+	if p == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Config sizes the cache. LineBytes must be a multiple of 4 and a power
+// of two; Sets must be a power of two.
+type Config struct {
+	Sets      int
+	Ways      int
+	LineBytes int
+	Policy    Policy
+}
+
+// DefaultConfig is a small cache that misses often enough on the kernel
+// workloads to exercise replacement and write-back behaviour.
+var DefaultConfig = Config{Sets: 16, Ways: 2, LineBytes: 16, Policy: WriteBack}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d not a power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d", c.Ways)
+	}
+	if c.LineBytes < isa.WordSize || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d", c.LineBytes)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       int
+	Misses     int
+	WriteBacks int // dirty lines written back on replacement
+	Fills      int
+	// RepairWriteBacksAvoided counts replacements of lines whose dirty
+	// bit Algorithm 3(b) kept clear where 3(a) would have set it.
+	// Maintained by the diff package via MarkAvoidedWriteBack.
+	RepairWriteBacksAvoided int
+}
+
+type line struct {
+	valid  bool
+	dirty  bool
+	hazard bool // Algorithm 3(b) repair-sequence hazard bit
+	tag    uint32
+	lru    uint64
+	data   []byte
+}
+
+// Cache is a set-associative data cache backed by a mem.Memory.
+type Cache struct {
+	cfg     Config
+	backing *mem.Memory
+	sets    [][]line
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache over backing main memory.
+func New(cfg Config, backing *mem.Memory) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, backing: backing, sets: make([][]line, cfg.Sets)}
+	for i := range c.sets {
+		ws := make([]line, cfg.Ways)
+		for w := range ws {
+			ws[w].data = make([]byte, cfg.LineBytes)
+		}
+		c.sets[i] = ws
+	}
+	return c, nil
+}
+
+// MustNew is New panicking on configuration error.
+func MustNew(cfg Config, backing *mem.Memory) *Cache {
+	c, err := New(cfg, backing)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Backing returns the main memory behind the cache.
+func (c *Cache) Backing() *mem.Memory { return c.backing }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Policy returns the write policy.
+func (c *Cache) Policy() Policy { return c.cfg.Policy }
+
+func (c *Cache) index(addr uint32) (set int, tag uint32, off int) {
+	lineAddr := addr / uint32(c.cfg.LineBytes)
+	return int(lineAddr) & (c.cfg.Sets - 1), lineAddr / uint32(c.cfg.Sets), int(addr) & (c.cfg.LineBytes - 1)
+}
+
+func (c *Cache) lookup(addr uint32) (*line, int, uint32, int) {
+	set, tag, off := c.index(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return l, set, tag, off
+		}
+	}
+	return nil, set, tag, off
+}
+
+// Present reports whether the line containing addr is in the cache, and
+// whether it is dirty. This is the probe repair algorithms use to
+// distinguish their case 1 (line replaced, memory holds the modified
+// data) from case 2 (line still cached).
+func (c *Cache) Present(addr uint32) (present, dirty bool) {
+	l, _, _, _ := c.lookup(addr)
+	if l == nil {
+		return false, false
+	}
+	return true, l.dirty
+}
+
+// lineBase returns the address of the first byte of the line holding
+// addr, given its set and tag.
+func (c *Cache) lineBase(set int, tag uint32) uint32 {
+	return (tag*uint32(c.cfg.Sets) + uint32(set)) * uint32(c.cfg.LineBytes)
+}
+
+// fill brings the line containing addr into the cache, evicting (and
+// writing back, if dirty) the LRU way. It returns the filled line or an
+// exception if the backing memory faults.
+func (c *Cache) fill(addr uint32) (*line, isa.ExcCode) {
+	set, tag, _ := c.index(addr)
+	base := addr &^ uint32(c.cfg.LineBytes-1)
+	if !c.backing.MappedRange(base, uint32(c.cfg.LineBytes)) {
+		return nil, isa.ExcCodePageFault
+	}
+	// Choose victim: first invalid way, else LRU.
+	victim := &c.sets[set][0]
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.writeBackLine(victim, set)
+	}
+	for i := 0; i < c.cfg.LineBytes; i++ {
+		b, _ := c.backing.Read8(base + uint32(i))
+		victim.data[i] = b
+	}
+	victim.valid = true
+	victim.dirty = false
+	victim.hazard = false
+	victim.tag = tag
+	c.stats.Fills++
+	return victim, isa.ExcCodeNone
+}
+
+// writeBackLine flushes a dirty line to main memory. The write-back
+// makes memory consistent with the line, so the hazard bit clears.
+func (c *Cache) writeBackLine(l *line, set int) {
+	base := c.lineBase(set, l.tag)
+	for i := 0; i < c.cfg.LineBytes; i++ {
+		c.backing.Write8(base+uint32(i), l.data[i])
+	}
+	l.dirty = false
+	l.hazard = false
+	c.stats.WriteBacks++
+}
+
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+func word(data []byte, off int) uint32 {
+	return uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+}
+
+func putWord(data []byte, off int, v uint32) {
+	data[off] = byte(v)
+	data[off+1] = byte(v >> 8)
+	data[off+2] = byte(v >> 16)
+	data[off+3] = byte(v >> 24)
+}
+
+// ReadLongword reads the aligned longword containing addr through the
+// cache, filling on miss. hit reports whether the access hit.
+func (c *Cache) ReadLongword(addr uint32) (v uint32, hit bool, exc isa.ExcCode) {
+	addr &^= 3
+	l, _, _, off := c.lookup(addr)
+	if l == nil {
+		var code isa.ExcCode
+		l, code = c.fill(addr)
+		if code != isa.ExcCodeNone {
+			c.stats.Misses++
+			return 0, false, code
+		}
+		_, _, off = c.index(addr)
+		c.stats.Misses++
+		c.touch(l)
+		return word(l.data, off), false, isa.ExcCodeNone
+	}
+	c.stats.Hits++
+	c.touch(l)
+	return word(l.data, off), true, isa.ExcCodeNone
+}
+
+// WriteResult describes a completed cache write, carrying everything a
+// backward difference entry needs (paper Figure 6): the overwritten
+// longword and the line's prior dirty state (Algorithm 3(b) saves the
+// "purged dirty bit" in the entry).
+type WriteResult struct {
+	Old      uint32 // longword content before the write
+	WasDirty bool   // line dirty bit before the write
+	Hit      bool
+}
+
+// WriteLongword merges the bytes of v selected by mask into the aligned
+// longword containing addr. Under write-back the line is dirtied; under
+// write-through the backing memory is updated too and the line stays
+// clean. Write misses allocate.
+func (c *Cache) WriteLongword(addr uint32, v uint32, mask uint8) (WriteResult, isa.ExcCode) {
+	addr &^= 3
+	var res WriteResult
+	l, _, _, off := c.lookup(addr)
+	if l == nil {
+		var code isa.ExcCode
+		l, code = c.fill(addr)
+		if code != isa.ExcCodeNone {
+			c.stats.Misses++
+			return res, code
+		}
+		_, _, off = c.index(addr)
+		c.stats.Misses++
+	} else {
+		c.stats.Hits++
+		res.Hit = true
+	}
+	c.touch(l)
+	res.Old = word(l.data, off)
+	res.WasDirty = l.dirty
+	merged := mem.MergeMasked(res.Old, v, mask)
+	putWord(l.data, off, merged)
+	if c.cfg.Policy == WriteThrough {
+		c.backing.Write32(addr, merged)
+	} else {
+		l.dirty = true
+	}
+	return res, isa.ExcCodeNone
+}
+
+// CheckAccess reports the exception a size-byte access at addr would
+// raise, without performing it or perturbing cache state.
+func (c *Cache) CheckAccess(addr, size uint32) isa.ExcCode {
+	if size == isa.WordSize && addr%isa.WordSize != 0 {
+		return isa.ExcCodeMisaligned
+	}
+	base := addr &^ uint32(c.cfg.LineBytes-1)
+	if l, _, _, _ := c.lookup(addr); l != nil {
+		return isa.ExcCodeNone
+	}
+	if !c.backing.MappedRange(base, uint32(c.cfg.LineBytes)) {
+		return isa.ExcCodePageFault
+	}
+	return isa.ExcCodeNone
+}
+
+// --- Repair-sequence operations (used by internal/diff) ---
+
+// BeginRepair is retained for compatibility with the paper's Algorithm
+// 3(b) narrative ("a hazard bit ... is cleared when a repair sequence is
+// initiated") but is a no-op in this implementation: hazard bits are
+// PERSISTENT, cleared only when the line provably matches memory again
+// (on refill and on write-back). Per-repair clearing is unsound when
+// repairs are frequent — a second repair sequence would forget that an
+// earlier one left main memory holding undone data, and Table 1's
+// clean-cell inference could then drop a line whose memory copy is
+// wrong. See DESIGN.md §6 and the model checks in internal/diff.
+func (c *Cache) BeginRepair() {}
+
+// ClearAllHazards clears every hazard bit (the paper's literal
+// per-repair rule; kept only for the soundness demonstration tests).
+func (c *Cache) ClearAllHazards() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].hazard = false
+		}
+	}
+}
+
+// RecoverInCache patches the bytes of old selected by mask into the
+// cached line containing addr and applies the given dirty/hazard bits.
+// It must only be called when Present(addr) is true.
+func (c *Cache) RecoverInCache(addr uint32, old uint32, mask uint8, dirty, hazard bool) {
+	l, _, _, off := c.lookup(addr &^ 3)
+	if l == nil {
+		panic(fmt.Sprintf("cache: RecoverInCache on absent line %#x", addr))
+	}
+	cur := word(l.data, off)
+	putWord(l.data, off, mem.MergeMasked(cur, old, mask))
+	l.dirty = dirty
+	l.hazard = hazard
+}
+
+// PeekLongword returns the cached longword containing addr without
+// filling on miss or perturbing replacement state. Used by audits and
+// the difference-buffer model checks.
+func (c *Cache) PeekLongword(addr uint32) (v uint32, present bool) {
+	l, _, _, off := c.lookup(addr &^ 3)
+	if l == nil {
+		return 0, false
+	}
+	return word(l.data, off), true
+}
+
+// LineBits returns the dirty and hazard bits of the line containing
+// addr. Only meaningful when the line is present.
+func (c *Cache) LineBits(addr uint32) (dirty, hazard bool) {
+	l, _, _, _ := c.lookup(addr)
+	if l == nil {
+		return false, false
+	}
+	return l.dirty, l.hazard
+}
+
+// RecoverInMemory patches the bytes of old selected by mask directly
+// into main memory; used for repair case 1, when the modified line has
+// already been written back and replaced.
+func (c *Cache) RecoverInMemory(addr uint32, old uint32, mask uint8) {
+	c.backing.WriteMasked(addr&^3, old, mask)
+}
+
+// FlushAll writes every dirty line back to memory and invalidates the
+// cache. Machines call it at the end of a run so final main memory
+// reflects the architectural state for golden-model comparison.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				c.writeBackLine(l, s)
+			}
+			l.valid = false
+			l.hazard = false
+		}
+	}
+}
+
+// CountAvoidedWriteBack increments the counter of write-backs that
+// Algorithm 3(b)'s hazard logic avoided relative to 3(a).
+func (c *Cache) CountAvoidedWriteBack() { c.stats.RepairWriteBacksAvoided++ }

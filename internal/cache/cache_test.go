@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func newCache(t *testing.T, cfg Config) (*Cache, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	m.Map(0, 4*mem.PageSize)
+	c, err := New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := mem.New()
+	bad := []Config{
+		{Sets: 3, Ways: 1, LineBytes: 16},
+		{Sets: 4, Ways: 0, LineBytes: 16},
+		{Sets: 4, Ways: 1, LineBytes: 12},
+		{Sets: 4, Ways: 1, LineBytes: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, m); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestReadMissFillHit(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 4, Ways: 1, LineBytes: 16, Policy: WriteBack})
+	m.Write32(0x40, 1234)
+	v, hit, exc := c.ReadLongword(0x40)
+	if exc != isa.ExcCodeNone || hit || v != 1234 {
+		t.Fatalf("first read: v=%d hit=%v exc=%v", v, hit, exc)
+	}
+	v, hit, _ = c.ReadLongword(0x40)
+	if !hit || v != 1234 {
+		t.Fatalf("second read: v=%d hit=%v", v, hit)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fills != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestWriteBackOnEviction(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 1, Ways: 1, LineBytes: 16, Policy: WriteBack})
+	c.WriteLongword(0x00, 42, 0b1111)
+	// Memory not yet updated.
+	if v, _ := m.Read32(0x00); v != 0 {
+		t.Fatal("write-back leaked early")
+	}
+	// Conflict evicts and writes back.
+	c.ReadLongword(0x40)
+	if v, _ := m.Read32(0x00); v != 42 {
+		t.Errorf("write-back value: %d", v)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("writebacks: %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestWriteThroughKeepsClean(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 1, Ways: 1, LineBytes: 16, Policy: WriteThrough})
+	c.WriteLongword(0x00, 42, 0b1111)
+	if v, _ := m.Read32(0x00); v != 42 {
+		t.Fatal("write-through must update memory")
+	}
+	if dirty, _ := c.LineBits(0x00); dirty {
+		t.Error("write-through line dirty")
+	}
+	c.ReadLongword(0x40) // evict
+	if c.Stats().WriteBacks != 0 {
+		t.Error("write-through produced a write-back")
+	}
+}
+
+func TestWriteResultOldData(t *testing.T) {
+	c, _ := newCache(t, Config{Sets: 4, Ways: 2, LineBytes: 16, Policy: WriteBack})
+	c.WriteLongword(0x10, 0x1111, 0b1111)
+	wr, _ := c.WriteLongword(0x10, 0x2222, 0b1111)
+	if wr.Old != 0x1111 || !wr.WasDirty || !wr.Hit {
+		t.Errorf("write result: %+v", wr)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, _ := newCache(t, Config{Sets: 1, Ways: 2, LineBytes: 16, Policy: WriteBack})
+	c.ReadLongword(0x00) // A
+	c.ReadLongword(0x40) // B
+	c.ReadLongword(0x00) // touch A
+	c.ReadLongword(0x80) // C should evict B (LRU)
+	if p, _ := c.Present(0x00); !p {
+		t.Error("A evicted")
+	}
+	if p, _ := c.Present(0x40); p {
+		t.Error("B kept")
+	}
+	if p, _ := c.Present(0x80); !p {
+		t.Error("C absent")
+	}
+}
+
+func TestRecoverOperations(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 1, Ways: 1, LineBytes: 16, Policy: WriteBack})
+	c.WriteLongword(0x00, 99, 0b1111)
+	c.RecoverInCache(0x00, 11, 0b1111, true, true)
+	if v, p := c.PeekLongword(0x00); !p || v != 11 {
+		t.Errorf("recover in cache: %d %v", v, p)
+	}
+	d, h := c.LineBits(0x00)
+	if !d || !h {
+		t.Error("bits not applied")
+	}
+	c.RecoverInMemory(0x80, 7, 0b1111)
+	if v, _ := m.Read32(0x80); v != 7 {
+		t.Errorf("recover in memory: %d", v)
+	}
+	// Hazard bits are persistent (see BeginRepair doc): they clear when
+	// the line provably matches memory again — on write-back...
+	c.WriteLongword(0x40, 5, 0b1111) // conflicting line: evicts + writes back 0x00
+	c.ReadLongword(0x00)             // refill
+	if d, h := c.LineBits(0x00); d || h {
+		t.Errorf("refetched line must be clean (d=%v h=%v)", d, h)
+	}
+}
+
+func TestHazardClearsOnWriteBackAndRefill(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 1, Ways: 1, LineBytes: 16, Policy: WriteBack})
+	c.WriteLongword(0x00, 7, 0b1111)
+	c.RecoverInCache(0x00, 3, 0b1111, true, true) // dirty + hazard
+	// Eviction writes back (memory := line) and the refill is clean.
+	c.ReadLongword(0x40)
+	if v, _ := m.Read32(0x00); v != 3 {
+		t.Fatalf("write-back value %d", v)
+	}
+	c.ReadLongword(0x00)
+	if d, h := c.LineBits(0x00); d || h {
+		t.Errorf("post-refill bits d=%v h=%v", d, h)
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	c, _ := newCache(t, DefaultConfig)
+	if c.CheckAccess(0x2, 4) != isa.ExcCodeMisaligned {
+		t.Error("misaligned")
+	}
+	if c.CheckAccess(0x10000, 4) != isa.ExcCodePageFault {
+		t.Error("unmapped")
+	}
+	if c.CheckAccess(0x10, 4) != isa.ExcCodeNone {
+		t.Error("valid access")
+	}
+	if c.Stats().Fills != 0 {
+		t.Error("CheckAccess must not fill")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c, m := newCache(t, Config{Sets: 4, Ways: 2, LineBytes: 16, Policy: WriteBack})
+	c.WriteLongword(0x00, 1, 0b1111)
+	c.WriteLongword(0x10, 2, 0b1111)
+	c.WriteLongword(0x20, 3, 0b1111)
+	c.FlushAll()
+	for i, want := range []uint32{1, 2, 3} {
+		if v, _ := m.Read32(uint32(i * 0x10)); v != want {
+			t.Errorf("flush %d: %d", i, v)
+		}
+	}
+	if p, _ := c.Present(0x00); p {
+		t.Error("flush must invalidate")
+	}
+}
+
+func TestUnmappedLineFaults(t *testing.T) {
+	c, _ := newCache(t, DefaultConfig)
+	if _, _, exc := c.ReadLongword(0x100000); exc != isa.ExcCodePageFault {
+		t.Errorf("read unmapped: %v", exc)
+	}
+	if _, exc := c.WriteLongword(0x100000, 1, 0b1111); exc != isa.ExcCodePageFault {
+		t.Errorf("write unmapped: %v", exc)
+	}
+}
+
+func TestByteMaskedWrite(t *testing.T) {
+	c, _ := newCache(t, DefaultConfig)
+	c.WriteLongword(0x10, 0xAABBCCDD, 0b1111)
+	c.WriteLongword(0x10, 0x00EE0000, 0b0100)
+	if v, _, _ := c.ReadLongword(0x10); v != 0xAAEECCDD {
+		t.Errorf("masked write: %#x", v)
+	}
+}

@@ -1,0 +1,343 @@
+// Package core implements the checkpoint repair schemes of Hwu & Patt,
+// "Checkpoint Repair for Out-of-order Execution Machines" (ISCA 1987) —
+// the paper's primary contribution.
+//
+// A scheme manages the set of active checkpoints: where they are
+// established (every K instructions for E-repair schemes, at every
+// conditional branch for B-repair schemes), when instruction issue must
+// stall for lack of backup spaces, how out-of-order execution results
+// are reflected into the right logical spaces, and how the machine
+// state is repaired on an exception (E-repair) or a branch prediction
+// miss (B-repair). Five schemes are provided:
+//
+//	SchemeE(c, distance, W)   §3, Algorithm 1
+//	SchemeB(c)                §4
+//	SchemeDirect(cE,cB,..)    §5.1, directly combined
+//	SchemeTight(c)            §5.2, tightly merged
+//	SchemeLoose(cE,cB,dist)   §5.3, Algorithm 4, loosely merged
+//
+// # Mapping from the paper's hardware structures
+//
+// The paper's shift-register arrays (countE, exceptE, pendB) and the
+// (log2(e)+1)-bit ident counter are represented by an explicit list of
+// Checkpoint records ordered oldest-first. The "checkpoint
+// identification carried by an operation" is the operation's issue
+// sequence number: monotonically increasing, never reused (sequence
+// counters rewind across repairs to the squash boundary, so live
+// numbers stay unique). An operation with sequence s belongs to the
+// E-repair range of the newest checkpoint whose BornSeq is < s, and its
+// result must be reflected in every backup space whose checkpoint has
+// BornSeq >= s — the paper's write_index action, with the index
+// direction fixed as discussed in DESIGN.md.
+//
+// Schemes manipulate the copy-technique register file
+// (internal/regfile) and a difference-buffer memory system
+// (internal/diff) directly, and call back into the machine through the
+// Engine interface for pipeline squashes and fetch redirects.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// OpInfo describes one issued operation to a scheme.
+type OpInfo struct {
+	Seq      uint64 // issue sequence number (the carried checkpoint identification)
+	PC       int    // instruction index
+	IsBranch bool   // conditional branch (B-repair source)
+	IsStore  bool   // memory write (counts against the per-segment W limit)
+}
+
+// Engine is the machine-side interface schemes use to effect repairs.
+type Engine interface {
+	// SquashAfter removes from the pipeline (reservation stations,
+	// functional units, load/store queue, issue buffers) every in-flight
+	// operation with issue sequence greater than seq, and returns the
+	// operations removed so the scheme can retract their count
+	// contributions. Squashed operations never deliver.
+	SquashAfter(seq uint64) []OpInfo
+	// RedirectFetch restarts instruction fetch at pc (the correct
+	// branch path after a B-repair).
+	RedirectFetch(pc int)
+	// EnterPreciseMode switches the machine to one-instruction-at-a-time
+	// in-order execution starting at pc — the paper's post-E-repair
+	// single-stepping ("the machine executes one instruction at a time
+	// until the precise repair point is reached"). The machine calls
+	// Scheme.Restart when it leaves precise mode.
+	EnterPreciseMode(pc int)
+}
+
+// Stats counts scheme events.
+type Stats struct {
+	Checkpoints int // checkpoints established
+	Retired     int // checkpoints retired (window advanced past them)
+	Graduated   int // loose scheme: B checkpoints promoted to E checkpoints
+	ERepairs    int
+	BRepairs    int
+	// SquashedOps counts in-flight operations discarded by repairs (the
+	// paper's "discarding useful work").
+	SquashedOps int
+}
+
+// Scheme is a checkpoint repair mechanism. The machine drives it
+// through the issue/deliver/resolve/tick lifecycle.
+type Scheme interface {
+	// Name identifies the scheme and its parameters.
+	Name() string
+	// Spaces returns the total number of logical spaces (backups +
+	// current) the scheme requires.
+	Spaces() int
+	// RegStackCaps returns the backup-stack capacities the register
+	// file must provide, one entry per stack.
+	RegStackCaps() []int
+
+	// Attach binds the scheme to its register file, memory system and
+	// engine. Must be called once before Restart.
+	Attach(regs *regfile.File, mem diff.MemSystem, eng Engine)
+
+	// Restart re-initialises checkpoint state when (re)entering normal
+	// speculative execution: the paper's initial "check action performed
+	// before the execution starts". pc is where issue resumes and
+	// nextSeq the sequence number the next issued instruction receives.
+	Restart(pc int, nextSeq uint64)
+
+	// CanIssue reports whether the instruction at pc may issue now; if
+	// not, reason explains the checkpoint-related stall. CanIssue may
+	// establish a checkpoint as a side effect (a store that would
+	// exceed the per-segment write limit W forces one).
+	CanIssue(in isa.Inst, pc int) (ok bool, reason string)
+
+	// OnIssue records the issue of op and performs any check actions it
+	// triggers. nextPC is the index of the next instruction on the
+	// (predicted) path — the location of a checkpoint established at
+	// op's right boundary.
+	OnIssue(op OpInfo, nextPC int)
+
+	// Depths fills out[s] with the delivery depth for each register
+	// file stack: the number of newest checkpoints of stack s
+	// established at or after the issue of the operation with sequence
+	// seq. out must have len == len(RegStackCaps()).
+	Depths(seq uint64, out []int)
+
+	// OnDeliver records the completion of the operation with sequence
+	// seq; exc reports whether it raised an exception.
+	OnDeliver(seq uint64, exc bool)
+
+	// OnBranchResolve reports resolution of the conditional branch with
+	// sequence seq. If the prediction missed, the scheme performs the
+	// B-repair (restoring state, squashing, redirecting fetch to
+	// actualNext) and returns true; a scheme without B-repair capability
+	// returns false on a miss, which the machine treats as fatal.
+	OnBranchResolve(seq uint64, mispredicted bool, actualNext int) (handled bool)
+
+	// Tick runs end-of-cycle work: retrying blocked check actions and
+	// firing the E-repair trigger (oldest active checkpoint has a
+	// recorded exception). It returns whether an E-repair occurred and
+	// a fatal error if the scheme cannot make progress (e.g. an
+	// exception reached a scheme with no E-repair capability).
+	Tick() (eRepaired bool, err error)
+
+	// Drain is called when instruction fetch has run out (HALT issued or
+	// fetch fell off the code) and the pipeline is empty, yet the run
+	// cannot finish because exceptions are still recorded on active
+	// checkpoints. The paper's trigger waits for the excepting
+	// checkpoint to shift to the oldest position, which requires further
+	// checkpoint pushes; with issue stopped, Drain fires the repair to
+	// the oldest checkpoint directly (its backup is always complete).
+	// It returns whether a repair occurred, and an error for schemes
+	// with no E-repair capability.
+	Drain() (eRepaired bool, err error)
+
+	// Stats returns scheme event counters.
+	Stats() Stats
+}
+
+// Checkpoint is one active checkpoint: an instruction boundary with an
+// identified logical space (paper §2.3) plus the shift-register state
+// the paper keeps per position (count, except, pend, miss).
+type Checkpoint struct {
+	// BornSeq is the issue sequence of the last instruction to the left
+	// of the checkpoint. Operations with Seq > BornSeq are to its right.
+	BornSeq uint64
+	// PC is the instruction index just right of the checkpoint on the
+	// path being issued — the E-repair resume point.
+	PC int
+	// Issued counts instructions issued into the checkpoint's fault
+	// repair range (the segment to its right, up to the next checkpoint
+	// of the same role).
+	Issued int
+	// Active counts issued-but-unfinished operations in that segment —
+	// the paper's countE entry.
+	Active int
+	// Stores counts memory writes issued into the segment, for the
+	// paper's Definition 3 per-segment write limit W.
+	Stores int
+	// ExceptSeqs lists the sequences of segment operations that
+	// delivered an exception — the paper's exceptE flag, kept as a list
+	// so squashes of wrong-path operations can retract their
+	// contributions.
+	ExceptSeqs []uint64
+	// BranchSeq / Pend / Miss describe the owning conditional branch of
+	// a B-repair checkpoint: the branch just to its left, whether its
+	// prediction is still unverified, and whether it missed.
+	BranchSeq uint64
+	Pend      bool
+	Miss      bool
+}
+
+// Except reports whether any segment operation delivered an exception.
+func (c *Checkpoint) Except() bool { return len(c.ExceptSeqs) > 0 }
+
+// pruneExcepts drops recorded exceptions from operations newer than the
+// squash boundary.
+func (c *Checkpoint) pruneExcepts(boundary uint64) {
+	kept := c.ExceptSeqs[:0]
+	for _, s := range c.ExceptSeqs {
+		if s <= boundary {
+			kept = append(kept, s)
+		}
+	}
+	c.ExceptSeqs = kept
+}
+
+// window is an ordered set of active checkpoints (oldest first) bound
+// to one register-file backup stack.
+type window struct {
+	stack int
+	cap   int
+	cks   []*Checkpoint
+}
+
+func newWindow(stack, cap int) window {
+	return window{stack: stack, cap: cap, cks: make([]*Checkpoint, 0, cap)}
+}
+
+func (w *window) len() int   { return len(w.cks) }
+func (w *window) full() bool { return len(w.cks) >= w.cap }
+
+func (w *window) oldest() *Checkpoint {
+	if len(w.cks) == 0 {
+		return nil
+	}
+	return w.cks[0]
+}
+
+func (w *window) newest() *Checkpoint {
+	if len(w.cks) == 0 {
+		return nil
+	}
+	return w.cks[len(w.cks)-1]
+}
+
+// depthFor returns how many checkpoints were established at or after
+// the issue of the operation with sequence seq — the number of newest
+// backup spaces its delivery must update.
+func (w *window) depthFor(seq uint64) int {
+	d := 0
+	for i := len(w.cks) - 1; i >= 0; i-- {
+		if w.cks[i].BornSeq >= seq {
+			d++
+		} else {
+			break
+		}
+	}
+	return d
+}
+
+// owner returns the newest checkpoint whose BornSeq is < seq: the
+// checkpoint in whose E-repair (fault) range the operation resides.
+func (w *window) owner(seq uint64) *Checkpoint {
+	for i := len(w.cks) - 1; i >= 0; i-- {
+		if w.cks[i].BornSeq < seq {
+			return w.cks[i]
+		}
+	}
+	return nil
+}
+
+// findBranch returns the checkpoint owned by the branch with the given
+// sequence, and its index.
+func (w *window) findBranch(seq uint64) (*Checkpoint, int) {
+	for i, c := range w.cks {
+		if c.BranchSeq == seq && c.Pend {
+			return c, i
+		}
+	}
+	return nil, -1
+}
+
+// push appends a new newest checkpoint. The caller must have ensured
+// capacity.
+func (w *window) push(c *Checkpoint) {
+	if w.full() {
+		panic(fmt.Sprintf("core: window push beyond capacity %d", w.cap))
+	}
+	w.cks = append(w.cks, c)
+}
+
+// retireOldest removes the oldest checkpoint.
+func (w *window) retireOldest() *Checkpoint {
+	c := w.cks[0]
+	w.cks = append(w.cks[:0], w.cks[1:]...)
+	return c
+}
+
+// popFrom removes checkpoints at index i and newer, returning how many
+// were removed.
+func (w *window) popFrom(i int) int {
+	n := len(w.cks) - i
+	w.cks = w.cks[:i]
+	return n
+}
+
+// clear removes every checkpoint.
+func (w *window) clear() { w.cks = w.cks[:0] }
+
+// depthFromNewest converts a slice index into a 1-based depth from the
+// newest end (the regfile RecallAt convention).
+func (w *window) depthFromNewest(i int) int { return len(w.cks) - i }
+
+// View is a read-only copy of one active checkpoint for rendering and
+// auditing (internal/trace renders the paper's Figure 3/4/7 execution
+// snapshots from it).
+type View struct {
+	BornSeq uint64
+	PC      int
+	Active  int
+	Issued  int
+	Except  bool
+	Pend    bool
+	IsE     bool // may serve E-repair
+	IsB     bool // may serve B-repair (pending branch verification)
+}
+
+// Inspectable is implemented by every scheme: Views returns the active
+// checkpoints per register-file stack, oldest first.
+type Inspectable interface {
+	Views() [][]View
+}
+
+func viewOf(c *Checkpoint, isE, isB bool) View {
+	return View{
+		BornSeq: c.BornSeq,
+		PC:      c.PC,
+		Active:  c.Active,
+		Issued:  c.Issued,
+		Except:  c.Except(),
+		Pend:    c.Pend,
+		IsE:     isE,
+		IsB:     isB,
+	}
+}
+
+func viewsOf(w *window, isE, isB bool) []View {
+	out := make([]View, 0, len(w.cks))
+	for _, c := range w.cks {
+		out = append(out, viewOf(c, isE, isB))
+	}
+	return out
+}

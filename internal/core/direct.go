@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// SchemeDirect is the directly combined scheme of §5.1: two independent
+// submechanisms, an E-repair window with checkpoints every Distance
+// instructions and a B-repair window with checkpoints at every
+// conditional branch, using cE + cB + 1 logical spaces. All properties
+// follow from the subschemes; the price is the extra spaces and the
+// interaction work a B-repair must do on the E bookkeeping (discarding
+// E checkpoints established on the squashed path and retracting
+// squashed operations' counts) — the "inefficiency in the logical space
+// usage due to the lack of interaction" the paper notes.
+type SchemeDirect struct {
+	CE, CB   int
+	Distance int
+	W        int
+
+	ewin window
+	bwin window
+	regs *regfile.File
+	mem  diff.MemSystem
+	eng  Engine
+
+	eBlocked bool
+	ePending struct {
+		bornSeq uint64
+		pc      int
+	}
+	bBlocked      bool
+	blockedBranch uint64
+	blockedPC     int
+	lastSeq       uint64
+	stats         Stats
+}
+
+// NewSchemeDirect returns a directly combined scheme with cE E-repair
+// spaces (checkpoints every distance instructions, at most w writes per
+// segment; 0 = unlimited) and cB B-repair spaces.
+func NewSchemeDirect(cE, cB, distance, w int) *SchemeDirect {
+	if cE < 1 || cB < 1 {
+		panic("core: SchemeDirect needs at least one space per submechanism")
+	}
+	if distance < 1 {
+		panic("core: SchemeDirect distance must be positive")
+	}
+	return &SchemeDirect{
+		CE: cE, CB: cB, Distance: distance, W: w,
+		ewin: newWindow(0, cE),
+		bwin: newWindow(1, cB),
+	}
+}
+
+// Name implements Scheme.
+func (s *SchemeDirect) Name() string {
+	return fmt.Sprintf("direct(cE=%d,cB=%d,dist=%d,W=%d)", s.CE, s.CB, s.Distance, s.W)
+}
+
+// Spaces implements Scheme.
+func (s *SchemeDirect) Spaces() int { return s.CE + s.CB + 1 }
+
+// RegStackCaps implements Scheme.
+func (s *SchemeDirect) RegStackCaps() []int { return []int{s.CE, s.CB} }
+
+// Attach implements Scheme.
+func (s *SchemeDirect) Attach(regs *regfile.File, mem diff.MemSystem, eng Engine) {
+	s.regs, s.mem, s.eng = regs, mem, eng
+}
+
+// Restart implements Scheme.
+func (s *SchemeDirect) Restart(pc int, nextSeq uint64) {
+	s.ewin.clear()
+	s.bwin.clear()
+	s.regs.Clear()
+	s.eBlocked, s.bBlocked = false, false
+	s.lastSeq = nextSeq - 1
+	if !s.establishE(nextSeq-1, pc) {
+		panic("core: SchemeDirect initial checkpoint blocked")
+	}
+}
+
+// CanIssue implements Scheme.
+func (s *SchemeDirect) CanIssue(in isa.Inst, pc int) (bool, string) {
+	if s.eBlocked && !s.tryPendingE() {
+		return false, "checkE blocked: oldest E backup space not free"
+	}
+	if s.bBlocked && !s.tryPendingB() {
+		return false, "checkB blocked: all B backup spaces pending verification"
+	}
+	if s.W > 0 && in.IsMemWrite() && s.ewin.newest().Stores >= s.W {
+		if !s.checkE(s.lastSeq, pc) {
+			return false, "checkE blocked: write limit W reached, no backup space"
+		}
+	}
+	return true, ""
+}
+
+// OnIssue implements Scheme.
+func (s *SchemeDirect) OnIssue(op OpInfo, nextPC int) {
+	n := s.ewin.newest()
+	n.Issued++
+	n.Active++
+	if op.IsStore {
+		n.Stores++
+	}
+	s.lastSeq = op.Seq
+	// nextPC < 0: checkpoint boundary unknown (unresolved jump); defer.
+	if n.Issued >= s.Distance && nextPC >= 0 {
+		s.checkE(op.Seq, nextPC)
+	}
+	if op.IsBranch {
+		if !s.establishB(op.Seq, nextPC) {
+			s.bBlocked = true
+			s.blockedBranch = op.Seq
+			s.blockedPC = nextPC
+		}
+	}
+}
+
+func (s *SchemeDirect) checkE(bornSeq uint64, pc int) bool {
+	if s.establishE(bornSeq, pc) {
+		return true
+	}
+	s.eBlocked = true
+	s.ePending.bornSeq = bornSeq
+	s.ePending.pc = pc
+	return false
+}
+
+func (s *SchemeDirect) tryPendingE() bool {
+	if !s.eBlocked {
+		return true
+	}
+	if s.establishE(s.ePending.bornSeq, s.ePending.pc) {
+		s.eBlocked = false
+		return true
+	}
+	return false
+}
+
+func (s *SchemeDirect) tryPendingB() bool {
+	if !s.bBlocked {
+		return true
+	}
+	if s.establishB(s.blockedBranch, s.blockedPC) {
+		s.bBlocked = false
+		return true
+	}
+	return false
+}
+
+func (s *SchemeDirect) establishE(bornSeq uint64, pc int) bool {
+	if s.ewin.full() {
+		old := s.ewin.oldest()
+		if old.Active > 0 || old.Except() {
+			return false
+		}
+		s.ewin.retireOldest()
+		s.regs.DropOldest(s.ewin.stack)
+		s.stats.Retired++
+		s.release()
+	}
+	s.ewin.push(&Checkpoint{BornSeq: bornSeq, PC: pc})
+	s.regs.Push(s.ewin.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+func (s *SchemeDirect) establishB(branchSeq uint64, pc int) bool {
+	if s.bwin.full() {
+		old := s.bwin.oldest()
+		if old.Pend {
+			return false
+		}
+		s.bwin.retireOldest()
+		s.regs.DropOldest(s.bwin.stack)
+		s.stats.Retired++
+		s.release()
+	}
+	s.bwin.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	s.regs.Push(s.bwin.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+// release tells the memory system which difference entries are dead:
+// those older than every possible repair target (the oldest E
+// checkpoint and the oldest B checkpoint).
+func (s *SchemeDirect) release() {
+	boundary := s.lastSeq
+	if old := s.ewin.oldest(); old != nil && old.BornSeq < boundary {
+		boundary = old.BornSeq
+	}
+	if old := s.bwin.oldest(); old != nil && old.BornSeq < boundary {
+		boundary = old.BornSeq
+	}
+	if s.bBlocked && s.blockedBranch < boundary {
+		boundary = s.blockedBranch
+	}
+	s.mem.Release(boundary + 1)
+}
+
+// Depths implements Scheme.
+func (s *SchemeDirect) Depths(seq uint64, out []int) {
+	out[0] = s.ewin.depthFor(seq)
+	out[1] = s.bwin.depthFor(seq)
+}
+
+// OnDeliver implements Scheme.
+func (s *SchemeDirect) OnDeliver(seq uint64, exc bool) {
+	own := s.ewin.owner(seq)
+	if own == nil {
+		return
+	}
+	own.Active--
+	if exc {
+		own.ExceptSeqs = append(own.ExceptSeqs, seq)
+	}
+}
+
+// OnBranchResolve implements Scheme: verify or B-repair, with the
+// cross-submechanism cleanup a direct combination requires.
+func (s *SchemeDirect) OnBranchResolve(seq uint64, mispredicted bool, actualNext int) bool {
+	if s.bBlocked && s.blockedBranch == seq {
+		s.bBlocked = false
+		if mispredicted {
+			s.bRepairCommon(seq, actualNext)
+		}
+		return true
+	}
+	ck, idx := s.bwin.findBranch(seq)
+	if ck == nil {
+		return true
+	}
+	if !mispredicted {
+		ck.Pend = false
+		return true
+	}
+	s.regs.RecallAt(s.bwin.stack, s.bwin.depthFromNewest(idx))
+	s.bwin.popFrom(idx)
+	s.bRepairCommon(ck.BornSeq, actualNext)
+	return true
+}
+
+// bRepairCommon performs the parts of a B-repair shared by the normal
+// and resolved-while-blocked paths: squash, memory repair, E-window
+// cleanup, fetch redirect.
+func (s *SchemeDirect) bRepairCommon(boundary uint64, actualNext int) {
+	sq := s.eng.SquashAfter(boundary)
+	s.stats.SquashedOps += len(sq)
+	s.mem.Repair(boundary + 1)
+
+	// Discard E checkpoints established on the squashed path. The E
+	// checkpoint containing the branch always survives (the branch was
+	// in flight, so its segment had not retired), keeping the E window
+	// non-empty.
+	keep := len(s.ewin.cks)
+	for keep > 0 && s.ewin.cks[keep-1].BornSeq > boundary {
+		keep--
+	}
+	minPopped := ^uint64(0)
+	if keep < len(s.ewin.cks) {
+		minPopped = s.ewin.cks[keep].BornSeq
+	}
+	if n := s.ewin.popFrom(keep); n > 0 {
+		s.regs.PopNewest(s.ewin.stack, n)
+	}
+	// An E checkpoint established exactly at the mispredicted branch's
+	// boundary survives (its logical space is valid), but its resume PC
+	// was recorded from the predicted path; the repair just proved the
+	// real successor is actualNext.
+	if n := s.ewin.newest(); n != nil && n.BornSeq == boundary {
+		n.PC = actualNext
+	}
+	// Retract squashed operations' contributions from the E bookkeeping:
+	// unlike the merged schemes, E segments do not end at branch
+	// boundaries, so the newest surviving E checkpoint may own squashed
+	// operations. Operations counted on a popped checkpoint (issued
+	// after the oldest popped boundary) died with it and must not be
+	// retracted from a survivor.
+	for _, op := range sq {
+		if op.Seq > minPopped {
+			continue
+		}
+		if own := s.ewin.owner(op.Seq); own != nil {
+			own.Active--
+			own.Issued--
+			if op.IsStore {
+				own.Stores--
+			}
+		}
+	}
+	if n := s.ewin.newest(); n != nil {
+		n.pruneExcepts(boundary)
+	}
+	// A blocked E check pending beyond the boundary was squashed; a new
+	// check re-triggers at the next issue past the distance threshold.
+	if s.eBlocked && s.ePending.bornSeq >= boundary {
+		s.eBlocked = false
+	}
+	s.bBlocked = false
+	s.eng.RedirectFetch(actualNext)
+	s.stats.BRepairs++
+}
+
+// Tick implements Scheme.
+func (s *SchemeDirect) Tick() (bool, error) {
+	if old := s.ewin.oldest(); old != nil && old.Except() {
+		sq := s.eng.SquashAfter(old.BornSeq)
+		s.stats.SquashedOps += len(sq)
+		s.regs.RecallOldest(s.ewin.stack)
+		s.regs.PopNewest(s.bwin.stack, s.regs.Depth(s.bwin.stack))
+		s.mem.Repair(old.BornSeq + 1)
+		s.ewin.clear()
+		s.bwin.clear()
+		s.eBlocked, s.bBlocked = false, false
+		s.stats.ERepairs++
+		s.eng.EnterPreciseMode(old.PC)
+		return true, nil
+	}
+	s.tryPendingE()
+	s.tryPendingB()
+	return false, nil
+}
+
+// Stats implements Scheme.
+func (s *SchemeDirect) Stats() Stats { return s.stats }
+
+var _ Scheme = (*SchemeDirect)(nil)
+
+// Drain implements Scheme.
+func (s *SchemeDirect) Drain() (bool, error) {
+	for _, ck := range s.ewin.cks {
+		if ck.Except() {
+			old := s.ewin.oldest()
+			sq := s.eng.SquashAfter(old.BornSeq)
+			s.stats.SquashedOps += len(sq)
+			s.regs.RecallOldest(s.ewin.stack)
+			s.regs.PopNewest(s.bwin.stack, s.regs.Depth(s.bwin.stack))
+			s.mem.Repair(old.BornSeq + 1)
+			s.ewin.clear()
+			s.bwin.clear()
+			s.eBlocked, s.bBlocked = false, false
+			s.stats.ERepairs++
+			s.eng.EnterPreciseMode(old.PC)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Views implements Inspectable.
+func (s *SchemeDirect) Views() [][]View {
+	return [][]View{viewsOf(&s.ewin, true, false), viewsOf(&s.bwin, false, true)}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// SchemeLoose is the loosely merged scheme of §5.3 (Algorithm 4): every
+// conditional branch gets a B-repair checkpoint, and a subset of those
+// checkpoints — one roughly every Distance instructions, selected by
+// the accumulating register when a B checkpoint is about to be reused —
+// graduates into an E-repair checkpoint instead of being discarded.
+// cE + cB + 1 logical spaces are used. Because B backup spaces are
+// reused as soon as their branch verifies while E spaces must wait for
+// their range to drain, the loose coupling keeps B-repairs fast while
+// needing far fewer long-lived E spaces than a per-branch E scheme
+// would.
+//
+// Age invariant: every E checkpoint is older than every B checkpoint
+// (graduation happens at the old end of the B window), so a B-repair
+// never touches the E window and an E-repair discards the whole B
+// window.
+type SchemeLoose struct {
+	CE, CB   int
+	Distance int
+
+	ewin window
+	bwin window
+	regs *regfile.File
+	mem  diff.MemSystem
+	eng  Engine
+
+	lastEBorn     uint64 // BornSeq of the most recent E checkpoint (the accumulating register's base)
+	bBlocked      bool
+	blockedBranch uint64
+	blockedPC     int
+	stats         Stats
+}
+
+// NewSchemeLoose returns a loosely merged scheme with cE E-repair
+// spaces, cB B-repair spaces, and E checkpoints at the first branch
+// boundary past every distance issued instructions.
+func NewSchemeLoose(cE, cB, distance int) *SchemeLoose {
+	if cE < 1 || cB < 1 {
+		panic("core: SchemeLoose needs at least one space per role")
+	}
+	if distance < 1 {
+		panic("core: SchemeLoose distance must be positive")
+	}
+	return &SchemeLoose{
+		CE: cE, CB: cB, Distance: distance,
+		ewin: newWindow(0, cE),
+		bwin: newWindow(1, cB),
+	}
+}
+
+// Name implements Scheme.
+func (s *SchemeLoose) Name() string {
+	return fmt.Sprintf("loose(cE=%d,cB=%d,dist=%d)", s.CE, s.CB, s.Distance)
+}
+
+// Spaces implements Scheme.
+func (s *SchemeLoose) Spaces() int { return s.CE + s.CB + 1 }
+
+// RegStackCaps implements Scheme.
+func (s *SchemeLoose) RegStackCaps() []int { return []int{s.CE, s.CB} }
+
+// Attach implements Scheme.
+func (s *SchemeLoose) Attach(regs *regfile.File, mem diff.MemSystem, eng Engine) {
+	s.regs, s.mem, s.eng = regs, mem, eng
+}
+
+// Restart implements Scheme: an initial E checkpoint anchors the
+// accumulating register and makes early exceptions repairable.
+func (s *SchemeLoose) Restart(pc int, nextSeq uint64) {
+	s.ewin.clear()
+	s.bwin.clear()
+	s.regs.Clear()
+	s.bBlocked = false
+	s.lastEBorn = nextSeq - 1
+	s.ewin.push(&Checkpoint{BornSeq: nextSeq - 1, PC: pc})
+	s.regs.Push(s.ewin.stack)
+	s.stats.Checkpoints++
+}
+
+// CanIssue implements Scheme.
+func (s *SchemeLoose) CanIssue(_ isa.Inst, _ int) (bool, string) {
+	if s.bBlocked && !s.tryPending() {
+		return false, "check blocked: no reusable B backup space (or E graduation blocked)"
+	}
+	return true, ""
+}
+
+// newestOverall returns the youngest active checkpoint of either role.
+func (s *SchemeLoose) newestOverall() *Checkpoint {
+	if n := s.bwin.newest(); n != nil {
+		return n
+	}
+	return s.ewin.newest()
+}
+
+// OnIssue implements Scheme.
+func (s *SchemeLoose) OnIssue(op OpInfo, nextPC int) {
+	n := s.newestOverall()
+	n.Issued++
+	n.Active++
+	if op.IsStore {
+		n.Stores++
+	}
+	if !op.IsBranch {
+		return
+	}
+	if s.establishB(op.Seq, nextPC) {
+		return
+	}
+	s.bBlocked = true
+	s.blockedBranch = op.Seq
+	s.blockedPC = nextPC
+}
+
+func (s *SchemeLoose) tryPending() bool {
+	if !s.bBlocked {
+		return true
+	}
+	if s.establishB(s.blockedBranch, s.blockedPC) {
+		s.bBlocked = false
+		return true
+	}
+	return false
+}
+
+// establishB is Algorithm 4's check action: push a B checkpoint,
+// reusing the oldest B space by either graduating it to an E checkpoint
+// (case 2: enough instructions accumulated) or merging its bookkeeping
+// into the newest E checkpoint and discarding it (case 1).
+func (s *SchemeLoose) establishB(branchSeq uint64, pc int) bool {
+	if s.bwin.full() {
+		old := s.bwin.oldest()
+		if old.Pend {
+			return false
+		}
+		if old.BornSeq-s.lastEBorn >= uint64(s.Distance) {
+			// Case 2: graduate. Needs a free E space.
+			if s.ewin.full() {
+				if !s.eOldestDrained() {
+					return false
+				}
+				s.ewin.retireOldest()
+				s.regs.DropOldest(s.ewin.stack)
+				s.stats.Retired++
+			}
+			s.bwin.retireOldest()
+			s.regs.TransferOldest(s.bwin.stack, s.ewin.stack)
+			old.Pend = false
+			s.ewin.push(old)
+			s.lastEBorn = old.BornSeq
+			s.stats.Graduated++
+		} else {
+			// Case 1: not enough instructions collected; fold the
+			// checkpoint's segment into the newest E checkpoint's range.
+			s.bwin.retireOldest()
+			s.regs.DropOldest(s.bwin.stack)
+			s.stats.Retired++
+			tgt := s.ewin.newest()
+			tgt.Active += old.Active
+			tgt.Issued += old.Issued
+			tgt.Stores += old.Stores
+			tgt.ExceptSeqs = append(tgt.ExceptSeqs, old.ExceptSeqs...)
+		}
+		s.mem.Release(s.ewin.oldest().BornSeq + 1)
+	}
+	s.bwin.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	s.regs.Push(s.bwin.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+// eOldestDrained reports whether the oldest E checkpoint's E-repair
+// range has no active instructions and no pending exception — the
+// retire condition. When it is the only E checkpoint its range extends
+// through every live B segment.
+func (s *SchemeLoose) eOldestDrained() bool {
+	old := s.ewin.oldest()
+	if old.Except() {
+		return false
+	}
+	total := old.Active
+	if s.ewin.len() == 1 {
+		for _, b := range s.bwin.cks {
+			total += b.Active
+		}
+	}
+	return total == 0
+}
+
+// Depths implements Scheme.
+func (s *SchemeLoose) Depths(seq uint64, out []int) {
+	out[0] = s.ewin.depthFor(seq)
+	out[1] = s.bwin.depthFor(seq)
+}
+
+// OnDeliver implements Scheme.
+func (s *SchemeLoose) OnDeliver(seq uint64, exc bool) {
+	own := s.bwin.owner(seq)
+	if own == nil {
+		own = s.ewin.owner(seq)
+	}
+	if own == nil {
+		return
+	}
+	own.Active--
+	if exc {
+		own.ExceptSeqs = append(own.ExceptSeqs, seq)
+	}
+}
+
+// OnBranchResolve implements Scheme.
+func (s *SchemeLoose) OnBranchResolve(seq uint64, mispredicted bool, actualNext int) bool {
+	if s.bBlocked && s.blockedBranch == seq {
+		s.bBlocked = false
+		if mispredicted {
+			sq := s.eng.SquashAfter(seq)
+			s.stats.SquashedOps += len(sq)
+			s.mem.Repair(seq + 1)
+			s.eng.RedirectFetch(actualNext)
+			s.stats.BRepairs++
+		}
+		return true
+	}
+	ck, idx := s.bwin.findBranch(seq)
+	if ck == nil {
+		return true
+	}
+	if !mispredicted {
+		ck.Pend = false
+		return true
+	}
+	sq := s.eng.SquashAfter(ck.BornSeq)
+	s.stats.SquashedOps += len(sq)
+	s.regs.RecallAt(s.bwin.stack, s.bwin.depthFromNewest(idx))
+	s.mem.Repair(ck.BornSeq + 1)
+	s.bwin.popFrom(idx)
+	s.bBlocked = false
+	s.eng.RedirectFetch(actualNext)
+	s.stats.BRepairs++
+	return true
+}
+
+// Tick implements Scheme: the E-repair trigger on the oldest E
+// checkpoint, which is the oldest checkpoint overall.
+func (s *SchemeLoose) Tick() (bool, error) {
+	if old := s.ewin.oldest(); old != nil && old.Except() {
+		sq := s.eng.SquashAfter(old.BornSeq)
+		s.stats.SquashedOps += len(sq)
+		s.regs.RecallOldest(s.ewin.stack)
+		s.regs.PopNewest(s.bwin.stack, s.regs.Depth(s.bwin.stack))
+		s.mem.Repair(old.BornSeq + 1)
+		s.ewin.clear()
+		s.bwin.clear()
+		s.bBlocked = false
+		s.stats.ERepairs++
+		s.eng.EnterPreciseMode(old.PC)
+		return true, nil
+	}
+	s.tryPending()
+	return false, nil
+}
+
+// Stats implements Scheme.
+func (s *SchemeLoose) Stats() Stats { return s.stats }
+
+var _ Scheme = (*SchemeLoose)(nil)
+
+// Drain implements Scheme: exceptions may still sit on live B
+// checkpoints whose bookkeeping never merged into the E window; with
+// issue stopped they repair via the oldest E checkpoint.
+func (s *SchemeLoose) Drain() (bool, error) {
+	pending := false
+	for _, ck := range s.ewin.cks {
+		pending = pending || ck.Except()
+	}
+	for _, ck := range s.bwin.cks {
+		pending = pending || ck.Except()
+	}
+	if !pending {
+		return false, nil
+	}
+	old := s.ewin.oldest()
+	sq := s.eng.SquashAfter(old.BornSeq)
+	s.stats.SquashedOps += len(sq)
+	s.regs.RecallOldest(s.ewin.stack)
+	s.regs.PopNewest(s.bwin.stack, s.regs.Depth(s.bwin.stack))
+	s.mem.Repair(old.BornSeq + 1)
+	s.ewin.clear()
+	s.bwin.clear()
+	s.bBlocked = false
+	s.stats.ERepairs++
+	s.eng.EnterPreciseMode(old.PC)
+	return true, nil
+}
+
+// Views implements Inspectable.
+func (s *SchemeLoose) Views() [][]View {
+	return [][]View{viewsOf(&s.ewin, true, false), viewsOf(&s.bwin, false, true)}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// SchemeB is the checkpoint B-repair mechanism of §4: a checkpoint is
+// established just to the right of every conditional branch, so a
+// prediction miss repairs without discarding any useful work. Instead
+// of countE there is a pend bit per checkpoint recording whether the
+// prediction has been verified; the reuse rule for backup spaces is the
+// relaxed one — a checkpoint retires as soon as it is the oldest and
+// verified, regardless of active instructions.
+//
+// SchemeB has no E-repair capability: an exception raised by an
+// operation that is provably on the correct path (no unverified older
+// branch remains) is a fatal error. Use the §5 combined schemes for
+// workloads that except.
+type SchemeB struct {
+	C int
+
+	win  window
+	regs *regfile.File
+	mem  diff.MemSystem
+	eng  Engine
+
+	// blockedBranch is the sequence of a branch whose checkB could not
+	// complete (all backup spaces pending). Issue stalls; the branch's
+	// checkpoint is established when a space frees, or abandoned if the
+	// branch resolves first — with no younger instructions issued, a
+	// resolution needs no state restore.
+	blockedBranch uint64
+	blockedPC     int
+	blocked       bool
+
+	// excSeqs records delivered exceptions awaiting classification as
+	// wrong-path noise (discarded by a B-repair) or correct-path
+	// (fatal for this scheme).
+	excSeqs []uint64
+
+	stats Stats
+}
+
+// NewSchemeB returns a B-repair scheme with c backup spaces.
+func NewSchemeB(c int) *SchemeB {
+	if c < 1 {
+		// Theorem 8: any machine that issues along a predicted path
+		// needs at least one backupB space.
+		panic("core: SchemeB needs at least one backup space (Theorem 8)")
+	}
+	return &SchemeB{C: c, win: newWindow(0, c)}
+}
+
+// Name implements Scheme.
+func (s *SchemeB) Name() string { return fmt.Sprintf("schemeB(c=%d)", s.C) }
+
+// Spaces implements Scheme.
+func (s *SchemeB) Spaces() int { return s.C + 1 }
+
+// RegStackCaps implements Scheme.
+func (s *SchemeB) RegStackCaps() []int { return []int{s.C} }
+
+// Attach implements Scheme.
+func (s *SchemeB) Attach(regs *regfile.File, mem diff.MemSystem, eng Engine) {
+	s.regs, s.mem, s.eng = regs, mem, eng
+}
+
+// Restart implements Scheme. SchemeB establishes no initial checkpoint:
+// checkpoints exist only at branch boundaries.
+func (s *SchemeB) Restart(_ int, _ uint64) {
+	s.win.clear()
+	s.regs.Clear()
+	s.blocked = false
+	s.excSeqs = s.excSeqs[:0]
+}
+
+// CanIssue implements Scheme.
+func (s *SchemeB) CanIssue(_ isa.Inst, _ int) (bool, string) {
+	if s.blocked {
+		if !s.tryPending() {
+			return false, "checkB blocked: all backup spaces pending verification"
+		}
+	}
+	return true, ""
+}
+
+// OnIssue implements Scheme: the checkB action after each conditional
+// branch.
+func (s *SchemeB) OnIssue(op OpInfo, nextPC int) {
+	if !op.IsBranch {
+		return
+	}
+	if s.establish(op.Seq, nextPC) {
+		return
+	}
+	s.blocked = true
+	s.blockedBranch = op.Seq
+	s.blockedPC = nextPC
+}
+
+func (s *SchemeB) tryPending() bool {
+	if !s.blocked {
+		return true
+	}
+	if s.establish(s.blockedBranch, s.blockedPC) {
+		s.blocked = false
+		return true
+	}
+	return false
+}
+
+// establish pushes a branch checkpoint, retiring the oldest if it has
+// verified (the relaxed B reuse rule).
+func (s *SchemeB) establish(branchSeq uint64, pc int) bool {
+	if s.win.full() {
+		old := s.win.oldest()
+		if old.Pend {
+			return false
+		}
+		s.win.retireOldest()
+		s.regs.DropOldest(s.win.stack)
+		s.stats.Retired++
+		if next := s.win.oldest(); next != nil {
+			s.mem.Release(next.BornSeq + 1)
+		} else {
+			s.mem.Release(branchSeq + 1)
+		}
+	}
+	s.win.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	s.regs.Push(s.win.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+// Depths implements Scheme.
+func (s *SchemeB) Depths(seq uint64, out []int) {
+	out[0] = s.win.depthFor(seq)
+}
+
+// OnDeliver implements Scheme: SchemeB keeps no counts, but records
+// exceptions for wrong-path/fatal classification.
+func (s *SchemeB) OnDeliver(seq uint64, exc bool) {
+	if exc {
+		s.excSeqs = append(s.excSeqs, seq)
+	}
+}
+
+// OnBranchResolve implements Scheme: verifyB / repairB.
+func (s *SchemeB) OnBranchResolve(seq uint64, mispredicted bool, actualNext int) bool {
+	if s.blocked && s.blockedBranch == seq {
+		// The branch resolved before its checkpoint could be
+		// established. Nothing issued after it, so a miss needs only a
+		// fetch redirect.
+		s.blocked = false
+		if mispredicted {
+			sq := s.eng.SquashAfter(seq)
+			s.stats.SquashedOps += len(sq)
+			s.mem.Repair(seq + 1)
+			s.pruneExcSeqs(seq)
+			s.eng.RedirectFetch(actualNext)
+			s.stats.BRepairs++
+		}
+		return true
+	}
+	ck, idx := s.win.findBranch(seq)
+	if ck == nil {
+		// The branch's checkpoint was discarded by an older repair; its
+		// resolution is stale.
+		return true
+	}
+	if !mispredicted {
+		ck.Pend = false
+		return true
+	}
+	s.repairTo(ck, idx, actualNext)
+	return true
+}
+
+// repairTo performs the B-repair to checkpoint ck at window index idx.
+func (s *SchemeB) repairTo(ck *Checkpoint, idx int, actualNext int) {
+	sq := s.eng.SquashAfter(ck.BornSeq)
+	s.stats.SquashedOps += len(sq)
+	s.regs.RecallAt(s.win.stack, s.win.depthFromNewest(idx))
+	s.mem.Repair(ck.BornSeq + 1)
+	s.win.popFrom(idx)
+	s.pruneExcSeqs(ck.BornSeq)
+	// A blocked checkB belongs to a branch younger than the repair
+	// point; it was just squashed.
+	s.blocked = false
+	s.eng.RedirectFetch(actualNext)
+	s.stats.BRepairs++
+}
+
+func (s *SchemeB) pruneExcSeqs(boundary uint64) {
+	kept := s.excSeqs[:0]
+	for _, e := range s.excSeqs {
+		if e <= boundary {
+			kept = append(kept, e)
+		}
+	}
+	s.excSeqs = kept
+}
+
+// Tick implements Scheme. An exception becomes fatal once no unverified
+// branch older than it remains — at that point it is provably on the
+// correct path and SchemeB has no way to repair it.
+func (s *SchemeB) Tick() (bool, error) {
+	s.tryPending()
+	for _, e := range s.excSeqs {
+		wrongPathPossible := false
+		for _, ck := range s.win.cks {
+			if ck.Pend && ck.BornSeq < e {
+				wrongPathPossible = true
+				break
+			}
+		}
+		if s.blocked && s.blockedBranch < e {
+			wrongPathPossible = true
+		}
+		if !wrongPathPossible {
+			return false, fmt.Errorf("core: schemeB cannot E-repair: correct-path exception from op %d", e)
+		}
+	}
+	return false, nil
+}
+
+// Stats implements Scheme.
+func (s *SchemeB) Stats() Stats { return s.stats }
+
+var _ Scheme = (*SchemeB)(nil)
+
+// Drain implements Scheme: SchemeB has no E-repair; surviving
+// exceptions at drain time are fatal.
+func (s *SchemeB) Drain() (bool, error) {
+	if len(s.excSeqs) > 0 {
+		return false, fmt.Errorf("core: schemeB cannot E-repair: %d exception(s) pending at drain", len(s.excSeqs))
+	}
+	return false, nil
+}
+
+// Views implements Inspectable.
+func (s *SchemeB) Views() [][]View { return [][]View{viewsOf(&s.win, false, true)} }

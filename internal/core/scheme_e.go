@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// SchemeE is the checkpoint E-repair mechanism of §3 (Algorithm 1):
+// checkpoints are established every Distance instructions, at most C of
+// them active at once, backed by C register backup spaces and the
+// memory difference buffer. Per Definition 3, at most W memory writes
+// are allowed in each checkpoint's E-repair range (0 disables the
+// limit); a store that would exceed it forces an early checkpoint.
+//
+// SchemeE has no B-repair capability: it is meant either for machines
+// that do not speculate past conditional branches, or as a component of
+// the combined schemes of §5.
+type SchemeE struct {
+	C        int
+	Distance int
+	W        int
+
+	win     window
+	regs    *regfile.File
+	mem     diff.MemSystem
+	eng     Engine
+	blocked bool
+	pending struct {
+		bornSeq uint64
+		pc      int
+	}
+	lastSeq uint64
+	stats   Stats
+}
+
+// NewSchemeE returns an E-repair scheme with c backup spaces,
+// checkpoints every distance instructions, and at most w memory writes
+// per checkpoint range (0 = unlimited).
+func NewSchemeE(c, distance, w int) *SchemeE {
+	if c < 1 {
+		panic("core: SchemeE needs at least one backup space")
+	}
+	if distance < 1 {
+		panic("core: SchemeE distance must be positive")
+	}
+	return &SchemeE{C: c, Distance: distance, W: w, win: newWindow(0, c)}
+}
+
+// Name implements Scheme.
+func (s *SchemeE) Name() string {
+	return fmt.Sprintf("schemeE(c=%d,dist=%d,W=%d)", s.C, s.Distance, s.W)
+}
+
+// Spaces implements Scheme.
+func (s *SchemeE) Spaces() int { return s.C + 1 }
+
+// RegStackCaps implements Scheme.
+func (s *SchemeE) RegStackCaps() []int { return []int{s.C} }
+
+// Attach implements Scheme.
+func (s *SchemeE) Attach(regs *regfile.File, mem diff.MemSystem, eng Engine) {
+	s.regs, s.mem, s.eng = regs, mem, eng
+}
+
+// Restart implements Scheme: the initial check action.
+func (s *SchemeE) Restart(pc int, nextSeq uint64) {
+	s.win.clear()
+	s.regs.Clear()
+	s.blocked = false
+	s.lastSeq = nextSeq - 1
+	if !s.establish(nextSeq-1, pc) {
+		panic("core: SchemeE initial checkpoint blocked")
+	}
+}
+
+// CanIssue implements Scheme. A store that would exceed the
+// per-segment write limit W forces a checkpoint first; if the check
+// cannot complete the issue stalls.
+func (s *SchemeE) CanIssue(in isa.Inst, pc int) (bool, string) {
+	if s.blocked {
+		if !s.tryPending() {
+			return false, "checkE blocked: oldest backup space not free"
+		}
+	}
+	if s.W > 0 && in.IsMemWrite() && s.win.newest().Stores >= s.W {
+		if !s.check(s.lastSeq, pc) {
+			return false, "checkE blocked: write limit W reached, no backup space"
+		}
+	}
+	return true, ""
+}
+
+// OnIssue implements Scheme.
+func (s *SchemeE) OnIssue(op OpInfo, nextPC int) {
+	n := s.win.newest()
+	n.Issued++
+	n.Active++
+	if op.IsStore {
+		n.Stores++
+	}
+	s.lastSeq = op.Seq
+	// nextPC < 0 means the next instruction's location is unknown (an
+	// unresolved jump or a non-speculated branch); the check is
+	// deferred to the next issue, whose boundary is known.
+	if n.Issued >= s.Distance && nextPC >= 0 {
+		s.check(op.Seq, nextPC)
+	}
+}
+
+// check attempts the checkE action: establish a checkpoint whose left
+// neighbour is the instruction with sequence bornSeq. On failure
+// (insufficient backup spaces) the scheme blocks issue until Tick can
+// complete it.
+func (s *SchemeE) check(bornSeq uint64, pc int) bool {
+	if s.establish(bornSeq, pc) {
+		return true
+	}
+	s.blocked = true
+	s.pending.bornSeq = bornSeq
+	s.pending.pc = pc
+	return false
+}
+
+func (s *SchemeE) tryPending() bool {
+	if !s.blocked {
+		return true
+	}
+	if s.establish(s.pending.bornSeq, s.pending.pc) {
+		s.blocked = false
+		return true
+	}
+	return false
+}
+
+// establish performs the push actions of checkE, retiring the oldest
+// checkpoint if the window is full and it has drained (countE,e == 0
+// and no pending exception).
+func (s *SchemeE) establish(bornSeq uint64, pc int) bool {
+	if s.win.full() {
+		old := s.win.oldest()
+		if old.Active > 0 || old.Except() {
+			return false
+		}
+		s.win.retireOldest()
+		s.regs.DropOldest(s.win.stack)
+		s.stats.Retired++
+		if next := s.win.oldest(); next != nil {
+			s.mem.Release(next.BornSeq + 1)
+		} else {
+			// c == 1: the incoming checkpoint becomes the only repair
+			// target.
+			s.mem.Release(bornSeq + 1)
+		}
+	}
+	s.win.push(&Checkpoint{BornSeq: bornSeq, PC: pc})
+	s.regs.Push(s.win.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+// Depths implements Scheme.
+func (s *SchemeE) Depths(seq uint64, out []int) {
+	out[0] = s.win.depthFor(seq)
+}
+
+// OnDeliver implements Scheme: the deliverE action.
+func (s *SchemeE) OnDeliver(seq uint64, exc bool) {
+	own := s.win.owner(seq)
+	if own == nil {
+		return
+	}
+	own.Active--
+	if exc {
+		own.ExceptSeqs = append(own.ExceptSeqs, seq)
+	}
+}
+
+// OnBranchResolve implements Scheme. SchemeE cannot repair prediction
+// misses.
+func (s *SchemeE) OnBranchResolve(_ uint64, mispredicted bool, _ int) bool {
+	return !mispredicted
+}
+
+// Tick implements Scheme: fire the E-repair trigger and retry blocked
+// checks.
+func (s *SchemeE) Tick() (bool, error) {
+	if old := s.win.oldest(); old != nil && old.Except() {
+		s.repair(old)
+		return true, nil
+	}
+	s.tryPending()
+	return false, nil
+}
+
+// repair performs the repairE action: recall the oldest backup space,
+// undo the memory difference, squash every active instruction, and
+// enter single-step (precise) mode at the checkpoint.
+func (s *SchemeE) repair(target *Checkpoint) {
+	squashed := s.eng.SquashAfter(target.BornSeq)
+	s.stats.SquashedOps += len(squashed)
+	s.regs.RecallOldest(s.win.stack)
+	s.mem.Repair(target.BornSeq + 1)
+	s.win.clear()
+	s.blocked = false
+	s.stats.ERepairs++
+	s.eng.EnterPreciseMode(target.PC)
+}
+
+// Stats implements Scheme.
+func (s *SchemeE) Stats() Stats { return s.stats }
+
+var _ Scheme = (*SchemeE)(nil)
+
+// Drain implements Scheme: with issue stopped, fire any recorded
+// exception's repair directly at the oldest checkpoint.
+func (s *SchemeE) Drain() (bool, error) {
+	for _, ck := range s.win.cks {
+		if ck.Except() {
+			s.repair(s.win.oldest())
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Views implements Inspectable.
+func (s *SchemeE) Views() [][]View { return [][]View{viewsOf(&s.win, true, false)} }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// SchemeTight is the tightly merged scheme of §5.2: a single set of
+// checkpoints serves both repairs. The mechanism is the E-repair
+// mechanism with two changes: the checkpoint selection rule places
+// checkpoints at the right boundaries of instructions containing
+// conditional branches (so they double as B-repair checkpoints), and a
+// miss bit per checkpoint records prediction outcomes. When a
+// checkpoint's except and miss are both raised, the miss is processed
+// and the exception ignored — the excepting instruction was on the
+// wrong path. In this implementation the B-repair fires immediately at
+// branch resolution, which squashes the wrong-path operations and
+// retracts their exception records, subsuming that rule.
+//
+// One initial checkpoint is established at (re)start so early
+// exceptions are repairable before the first branch.
+type SchemeTight struct {
+	C int
+	// W bounds memory writes per checkpoint range (0 = unlimited). The
+	// tight scheme cannot force mid-segment checkpoints (checkpoints
+	// live only at branch boundaries), so a store exceeding W stalls
+	// until the segment becomes repair-free. Size difference buffers
+	// accordingly.
+	W int
+
+	win  window
+	regs *regfile.File
+	mem  diff.MemSystem
+	eng  Engine
+
+	blocked  bool
+	pendSeq  uint64
+	pendPC   int
+	pendIsBr bool
+	stats    Stats
+}
+
+// NewSchemeTight returns a tightly merged scheme with c backup spaces.
+func NewSchemeTight(c, w int) *SchemeTight {
+	if c < 2 {
+		// Theorem 9: a merged mechanism needs at least two backup
+		// spaces to avoid draining the active window when establishing
+		// checkpoints while continuing along predicted paths.
+		panic("core: SchemeTight needs at least two backup spaces (Theorem 9)")
+	}
+	return &SchemeTight{C: c, W: w, win: newWindow(0, c)}
+}
+
+// Name implements Scheme.
+func (s *SchemeTight) Name() string { return fmt.Sprintf("tight(c=%d,W=%d)", s.C, s.W) }
+
+// Spaces implements Scheme.
+func (s *SchemeTight) Spaces() int { return s.C + 1 }
+
+// RegStackCaps implements Scheme.
+func (s *SchemeTight) RegStackCaps() []int { return []int{s.C} }
+
+// Attach implements Scheme.
+func (s *SchemeTight) Attach(regs *regfile.File, mem diff.MemSystem, eng Engine) {
+	s.regs, s.mem, s.eng = regs, mem, eng
+}
+
+// Restart implements Scheme.
+func (s *SchemeTight) Restart(pc int, nextSeq uint64) {
+	s.win.clear()
+	s.regs.Clear()
+	s.blocked = false
+	if !s.establish(nextSeq-1, pc, 0, false) {
+		panic("core: SchemeTight initial checkpoint blocked")
+	}
+}
+
+// CanIssue implements Scheme.
+func (s *SchemeTight) CanIssue(in isa.Inst, _ int) (bool, string) {
+	if s.blocked {
+		if !s.tryPending() {
+			return false, "check blocked: oldest backup space not free"
+		}
+	}
+	if s.W > 0 && in.IsMemWrite() && s.win.newest().Stores >= s.W {
+		return false, "write limit W reached in current segment"
+	}
+	return true, ""
+}
+
+// OnIssue implements Scheme: checkpoint after every conditional branch.
+func (s *SchemeTight) OnIssue(op OpInfo, nextPC int) {
+	n := s.win.newest()
+	n.Issued++
+	n.Active++
+	if op.IsStore {
+		n.Stores++
+	}
+	if !op.IsBranch {
+		return
+	}
+	if s.establish(op.Seq, nextPC, op.Seq, true) {
+		return
+	}
+	s.blocked = true
+	s.pendSeq, s.pendPC, s.pendIsBr = op.Seq, nextPC, true
+}
+
+func (s *SchemeTight) tryPending() bool {
+	if !s.blocked {
+		return true
+	}
+	if s.establish(s.pendSeq, s.pendPC, s.pendSeq, s.pendIsBr) {
+		s.blocked = false
+		return true
+	}
+	return false
+}
+
+// establish applies the E-style retire rule (oldest must have drained
+// and be exception-free) before pushing.
+func (s *SchemeTight) establish(bornSeq uint64, pc int, branchSeq uint64, pend bool) bool {
+	if s.win.full() {
+		old := s.win.oldest()
+		if old.Active > 0 || old.Except() || old.Pend {
+			return false
+		}
+		s.win.retireOldest()
+		s.regs.DropOldest(s.win.stack)
+		s.stats.Retired++
+		s.mem.Release(s.win.oldest().BornSeq + 1)
+	}
+	s.win.push(&Checkpoint{BornSeq: bornSeq, PC: pc, BranchSeq: branchSeq, Pend: pend})
+	s.regs.Push(s.win.stack)
+	s.stats.Checkpoints++
+	return true
+}
+
+// Depths implements Scheme.
+func (s *SchemeTight) Depths(seq uint64, out []int) {
+	out[0] = s.win.depthFor(seq)
+}
+
+// OnDeliver implements Scheme.
+func (s *SchemeTight) OnDeliver(seq uint64, exc bool) {
+	own := s.win.owner(seq)
+	if own == nil {
+		return
+	}
+	own.Active--
+	if exc {
+		own.ExceptSeqs = append(own.ExceptSeqs, seq)
+	}
+}
+
+// OnBranchResolve implements Scheme: a miss triggers an immediate
+// B-repair to the branch's checkpoint.
+func (s *SchemeTight) OnBranchResolve(seq uint64, mispredicted bool, actualNext int) bool {
+	if s.blocked && s.pendSeq == seq && s.pendIsBr {
+		// Resolution before the checkpoint existed; nothing issued
+		// after the branch.
+		s.blocked = false
+		if mispredicted {
+			sq := s.eng.SquashAfter(seq)
+			s.stats.SquashedOps += len(sq)
+			s.mem.Repair(seq + 1)
+			s.eng.RedirectFetch(actualNext)
+			s.stats.BRepairs++
+		}
+		return true
+	}
+	ck, idx := s.win.findBranch(seq)
+	if ck == nil {
+		return true
+	}
+	if !mispredicted {
+		ck.Pend = false
+		return true
+	}
+	ck.Miss = true
+	sq := s.eng.SquashAfter(ck.BornSeq)
+	s.stats.SquashedOps += len(sq)
+	s.regs.RecallAt(s.win.stack, s.win.depthFromNewest(idx))
+	s.mem.Repair(ck.BornSeq + 1)
+	s.win.popFrom(idx)
+	s.blocked = false
+	s.eng.RedirectFetch(actualNext)
+	s.stats.BRepairs++
+	return true
+}
+
+// Squash bookkeeping note: a tight B-repair squashes only operations
+// with sequences greater than the repaired checkpoint's BornSeq. Every
+// such operation was counted on (and may have recorded exceptions
+// against) the repaired checkpoint or a newer one — all popped by the
+// repair — because checkpoint segments end exactly at the next
+// checkpoint's BornSeq. Surviving checkpoints therefore need no count
+// retraction, and the paper's "if both except and miss are true, the
+// branch prediction miss is processed and the exception is ignored"
+// rule is realised by the wrong-path exception records dying with the
+// popped checkpoints.
+
+// Tick implements Scheme: the E-repair trigger.
+func (s *SchemeTight) Tick() (bool, error) {
+	if old := s.win.oldest(); old != nil && old.Except() {
+		sq := s.eng.SquashAfter(old.BornSeq)
+		s.stats.SquashedOps += len(sq)
+		s.regs.RecallOldest(s.win.stack)
+		s.mem.Repair(old.BornSeq + 1)
+		s.win.clear()
+		s.blocked = false
+		s.stats.ERepairs++
+		s.eng.EnterPreciseMode(old.PC)
+		return true, nil
+	}
+	s.tryPending()
+	return false, nil
+}
+
+// Stats implements Scheme.
+func (s *SchemeTight) Stats() Stats { return s.stats }
+
+var _ Scheme = (*SchemeTight)(nil)
+
+// Drain implements Scheme.
+func (s *SchemeTight) Drain() (bool, error) {
+	for _, ck := range s.win.cks {
+		if ck.Except() {
+			old := s.win.oldest()
+			sq := s.eng.SquashAfter(old.BornSeq)
+			s.stats.SquashedOps += len(sq)
+			s.regs.RecallOldest(s.win.stack)
+			s.mem.Repair(old.BornSeq + 1)
+			s.win.clear()
+			s.blocked = false
+			s.stats.ERepairs++
+			s.eng.EnterPreciseMode(old.PC)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Views implements Inspectable.
+func (s *SchemeTight) Views() [][]View { return [][]View{viewsOf(&s.win, true, true)} }

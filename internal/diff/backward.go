@@ -1,0 +1,244 @@
+package diff
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Algo selects the backward-difference repair algorithm.
+type Algo uint8
+
+// Repair algorithms.
+const (
+	// Simple is Algorithm 3(a): every recovered cached line is
+	// conservatively marked dirty, guaranteeing the next replacement
+	// writes it back whether or not memory was actually wrong.
+	Simple Algo = iota
+	// Sophisticated is Algorithm 3(b): the purged dirty bit saved in
+	// each entry and a per-line hazard bit drive the Table 1 next-state
+	// functions, keeping lines clean whenever memory is still correct.
+	Sophisticated
+)
+
+// String returns a readable algorithm name.
+func (a Algo) String() string {
+	if a == Simple {
+		return "3(a)-simple"
+	}
+	return "3(b)-sophisticated"
+}
+
+// Backward is the backward-difference memory system of §3.2.2: stores
+// write the cache immediately (current space semantics) and push undo
+// records; Repair pops them to reconstruct an earlier logical space.
+//
+// Capacity models the hardware buffer (a bidirectional shift register in
+// the paper). Theorem 7: (2c-1)·W entries are necessary and sufficient
+// to handle all possible repairs without extra stalls, where c is the
+// number of active checkpoints and W the per-checkpoint write limit.
+// Entries older than the oldest live checkpoint are dead and may be
+// discarded on overflow; if the buffer fills with live entries, Store
+// reports ok=false and the machine must stall the store.
+type Backward struct {
+	cache    *cache.Cache
+	algo     Algo
+	capacity int // 0 = unbounded
+	entries  []Entry
+	oldest   uint64 // oldest live checkpoint id
+	stats    Stats
+}
+
+// NewBackward builds a backward-difference system over a cache.
+// capacity 0 means unbounded.
+func NewBackward(c *cache.Cache, algo Algo, capacity int) *Backward {
+	return &Backward{cache: c, algo: algo, capacity: capacity}
+}
+
+// Cache returns the underlying cache.
+func (b *Backward) Cache() *cache.Cache { return b.cache }
+
+// Algo returns the repair algorithm in use.
+func (b *Backward) Algo() Algo { return b.algo }
+
+// Occupancy returns the current number of buffered entries.
+func (b *Backward) Occupancy() int { return len(b.entries) }
+
+// Stats implements MemSystem.
+func (b *Backward) Stats() Stats { return b.stats }
+
+// Load implements MemSystem: reads go straight to the cache, which holds
+// the current logical space.
+func (b *Backward) Load(addr uint32) (uint32, bool, isa.ExcCode) {
+	return b.cache.ReadLongword(addr)
+}
+
+// CheckAccess implements MemSystem.
+func (b *Backward) CheckAccess(addr, size uint32) isa.ExcCode {
+	return b.cache.CheckAccess(addr, size)
+}
+
+// Store implements MemSystem: the write is performed on the cache and
+// the overwritten longword (with the purged dirty bit, for Algorithm
+// 3(b)) is pushed onto the difference.
+func (b *Backward) Store(ckpt uint64, addr uint32, data uint32, mask uint8) (bool, bool, isa.ExcCode) {
+	if b.capacity > 0 && len(b.entries) >= b.capacity {
+		b.compact()
+		if len(b.entries) >= b.capacity {
+			b.stats.StallStores++
+			return false, false, isa.ExcCodeNone
+		}
+	}
+	wr, exc := b.cache.WriteLongword(addr, data, mask)
+	if exc != isa.ExcCodeNone {
+		return true, false, exc
+	}
+	b.entries = append(b.entries, Entry{
+		Addr:       addr &^ 3,
+		Mask:       mask,
+		Data:       wr.Old,
+		Ckpt:       ckpt,
+		SavedDirty: wr.WasDirty,
+	})
+	b.stats.Pushes++
+	if len(b.entries) > b.stats.MaxOccupancy {
+		b.stats.MaxOccupancy = len(b.entries)
+	}
+	return true, wr.Hit, isa.ExcCodeNone
+}
+
+// compact discards dead entries — entries whose checkpoint id is below
+// the oldest live checkpoint and which therefore can never be needed by
+// any future repair (the paper's "the overflowed entry is simply
+// discarded"). Because pushes happen in memory-modification order, dead
+// entries can interleave with live ones; compaction filters them out
+// wherever they sit, preserving the relative order of live entries.
+func (b *Backward) compact() {
+	kept := b.entries[:0]
+	dropped := 0
+	for _, e := range b.entries {
+		if e.Ckpt >= b.oldest {
+			kept = append(kept, e)
+		} else {
+			dropped++
+		}
+	}
+	// Only bounded buffers report overflow discards; eager reclamation
+	// of an unbounded buffer is a simulator memory optimisation, not a
+	// hardware event.
+	if b.capacity > 0 {
+		b.stats.Overflowed += dropped
+	}
+	b.entries = kept
+}
+
+// Release implements MemSystem. In the bounded (hardware) buffer, dead
+// entries are dropped lazily on overflow, matching the shift register;
+// an unbounded buffer compacts eagerly once enough dead entries
+// accumulate, so simulation memory stays proportional to the live
+// window rather than to the run length.
+func (b *Backward) Release(oldestLive uint64) {
+	if oldestLive > b.oldest {
+		b.oldest = oldestLive
+	}
+	if b.capacity == 0 && len(b.entries) > 256 && b.entries[0].Ckpt < b.oldest {
+		b.compact()
+	}
+}
+
+// Repair implements MemSystem: restore the logical space of checkpoint
+// `to` by undoing, newest first, every entry whose operation carried a
+// checkpoint identification >= to (those operations sit to the right of
+// the checkpoint in the issuing stream).
+//
+// Entries carrying older identifications can interleave with the undone
+// ones, because pushes happen in memory-modification order; they belong
+// to instructions left of the repair point and are preserved in place
+// (they remain needed if an even older checkpoint is repaired to
+// later). For any single longword the load/store queue enforces
+// program-order writes, so the undone entries are always the newest
+// entries for the addresses they cover; undoing them newest-first
+// restores exactly the checkpoint's logical space.
+func (b *Backward) Repair(to uint64) {
+	b.stats.Repairs++
+	// Pass 1: undo matching entries newest-first.
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].Ckpt >= to {
+			b.applyUndo(b.entries[i], b.lineWrittenLater(i, to))
+			b.stats.Undone++
+		}
+	}
+	// Pass 2: stable-compact the surviving entries in push order.
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if e.Ckpt < to {
+			kept = append(kept, e)
+		}
+	}
+	b.entries = kept
+}
+
+// lineWrittenLater reports whether any entry that stays live (Ckpt <
+// to) was pushed AFTER entry i and touches the same cache line. Such an
+// entry is an instructionally-older write that executed later (the
+// load/store queue orders same-longword accesses only), so the line's
+// saved dirty bit from entry i cannot be trusted to mean "the memory
+// copy matched this line when the write executed": the kept write's
+// data may live only in the cache. The undo then treats the entry's
+// saved dirty bit as set, which is always conservative-safe.
+func (b *Backward) lineWrittenLater(i int, to uint64) bool {
+	mask := ^uint32(b.cache.Config().LineBytes - 1)
+	line := b.entries[i].Addr & mask
+	for j := i + 1; j < len(b.entries); j++ {
+		if b.entries[j].Ckpt < to && b.entries[j].Addr&mask == line {
+			return true
+		}
+	}
+	return false
+}
+
+// applyUndo recovers one longword per Algorithm 3(a)/3(b). sameLineKept
+// forces the conservative saved-dirty treatment (see lineWrittenLater).
+func (b *Backward) applyUndo(e Entry, sameLineKept bool) {
+	present, _ := b.cache.Present(e.Addr)
+	if !present {
+		// Case 1: the modified line has been replaced, so its (wrong)
+		// data was written back; patch main memory directly.
+		b.cache.RecoverInMemory(e.Addr, e.Data, e.Mask)
+		return
+	}
+	// Case 2: the line is still cached.
+	if b.cache.Policy() == cache.WriteThrough {
+		// Under write-through cache and memory never diverge: recover
+		// both and keep the line clean.
+		b.cache.RecoverInCache(e.Addr, e.Data, e.Mask, false, false)
+		b.cache.RecoverInMemory(e.Addr, e.Data, e.Mask)
+		return
+	}
+	switch b.algo {
+	case Simple:
+		// Conservative: always set dirty so the next replacement writes
+		// back, making memory correct whether or not it was.
+		b.cache.RecoverInCache(e.Addr, e.Data, e.Mask, true, false)
+	case Sophisticated:
+		d, h := b.cache.LineBits(e.Addr)
+		nd, nh := Table1(h, e.SavedDirty || sameLineKept, d)
+		if d && !nd {
+			// 3(a) would have left this line dirty; 3(b) proved memory
+			// still correct and cleared it.
+			b.cache.CountAvoidedWriteBack()
+		}
+		b.cache.RecoverInCache(e.Addr, e.Data, e.Mask, nd, nh)
+	default:
+		panic(fmt.Sprintf("diff: unknown algorithm %d", b.algo))
+	}
+}
+
+// Finish implements MemSystem.
+func (b *Backward) Finish() {
+	b.entries = b.entries[:0]
+	b.cache.FlushAll()
+}
+
+var _ MemSystem = (*Backward)(nil)

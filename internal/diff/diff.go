@@ -1,0 +1,132 @@
+// Package diff implements the paper's "difference technique" for
+// checkpointing cache/main memory (§3.2.2, §4.1.2): one full-sized
+// physical storage reflects the current (out-of-order) execution state,
+// and per-checkpoint lists of modifications — differences — allow any
+// active checkpoint's logical space to be reconstructed.
+//
+//   - A BACKWARD difference is an undo log: each out-of-order memory
+//     write goes straight into the cache and pushes the overwritten
+//     longword (physical longword address, byte mask, longword data,
+//     checkpoint identification — exactly the paper's entry format).
+//     Repair pops entries, newest first, restoring original contents.
+//     Two repair algorithms are provided: Algorithm 3(a), which
+//     conservatively sets the dirty bit of every recovered cached line,
+//     and Algorithm 3(b), which additionally saves the purged dirty bit
+//     in each entry and keeps a per-line hazard bit so that lines whose
+//     memory copy is still correct stay clean — avoiding unnecessary
+//     future write-backs.
+//
+//   - A FORWARD difference is a redo log: writes are buffered and only
+//     applied to the memory system when their checkpoint verifies
+//     (retires); repair simply discards the not-yet-applied suffix.
+//     Loads must snoop the buffer (store-to-load forwarding). This is
+//     the Reorder Buffer Method of Smith & Pleszkun generalised to
+//     unpredictable execution times, and is the technique the paper
+//     recommends for B-repair.
+//
+// Checkpoint identifiers are monotonically increasing uint64 sequence
+// numbers (the paper decrements a small hardware counter; the direction
+// is immaterial to the algorithms).
+package diff
+
+import (
+	"repro/internal/isa"
+)
+
+// MemSystem is the interface the machines use for speculative data
+// memory, implemented by both difference directions (and by the plain
+// write-through used in baselines).
+type MemSystem interface {
+	// Load returns the aligned longword containing addr as observed by
+	// the current speculative execution state, and whether it hit in the
+	// cache (or forwarded from the buffer).
+	Load(addr uint32) (v uint32, hit bool, exc isa.ExcCode)
+	// Store performs a speculative masked longword write tagged with the
+	// checkpoint identification carried by the storing operation.
+	// ok=false means the difference buffer is full of live entries and
+	// the store must stall (paper Theorem 7 territory).
+	Store(ckpt uint64, addr uint32, data uint32, mask uint8) (ok bool, hit bool, exc isa.ExcCode)
+	// CheckAccess reports the exception a size-byte access at addr would
+	// raise, without side effects.
+	CheckAccess(addr, size uint32) isa.ExcCode
+	// Release informs the system that every checkpoint with id <
+	// oldestLive has retired and can no longer be a repair target.
+	Release(oldestLive uint64)
+	// Repair restores the memory state of the checkpoint with id `to`:
+	// the effects of every store carrying id >= to are undone (backward)
+	// or discarded (forward).
+	Repair(to uint64)
+	// Finish drains all speculative state (applies pending forward
+	// entries, flushes the cache) so the backing memory holds the final
+	// architectural image.
+	Finish()
+	// Stats returns buffer event counters.
+	Stats() Stats
+}
+
+// Stats counts difference-buffer events.
+type Stats struct {
+	Pushes       int
+	MaxOccupancy int
+	StallStores  int // stores rejected because the buffer was full of live entries
+	Repairs      int
+	Undone       int // backward: entries applied during repairs
+	Discarded    int // forward: entries dropped by repairs
+	Applied      int // forward: entries retired into the cache
+	Overflowed   int // backward: dead entries discarded on overflow
+}
+
+// Table1 computes the next state of a cache line's dirty and hazard
+// bits when Algorithm 3(b) applies one backward-difference entry to a
+// line that is present in the cache (repair case 2).
+//
+// Inputs follow the paper's Table 1: h is the line's hazard bit, s the
+// saved dirty bit carried by the entry (the line's dirty bit at the
+// moment the write being undone was performed), d the line's current
+// dirty bit.
+//
+// The printed table in our source scan is partially illegible, so the
+// function is derived from the paper's own specification of the bits —
+// hazard means "the memory version of this line is known incorrect",
+// and Theorem 6 requires dirty to be set after repair iff memory is
+// inconsistent with the line:
+//
+//   - h=1: memory is already wrong for this line; undoing more writes
+//     cannot fix it. dirty'=1, hazard'=1.
+//   - h=0, s=0, d=1: the line was clean when the write executed, so the
+//     value being restored equals the memory copy of that time, and no
+//     write-back has intervened (an intervening write-back would have
+//     been detected by an earlier-undone, newer entry and set the
+//     hazard). After restoring, cache == memory: dirty'=0, hazard'=0.
+//   - h=0, d=0 (any s): the line currently matches memory, and the undo
+//     is about to change the cache, leaving memory holding undone —
+//     wrong — data: dirty'=1, hazard'=1.
+//   - h=0, s=1, d=1: an ordinary dirty chain; memory is stale in the
+//     usual write-back sense but not wrong: dirty'=1, hazard'=0.
+//
+// The exhaustive history model-check in table1_test.go verifies that
+// these functions make Theorem 6 hold over every interleaving of
+// writes, replacements and refills.
+func Table1(h, s, d bool) (nextDirty, nextHazard bool) {
+	if h {
+		return true, true
+	}
+	if !d {
+		return true, true
+	}
+	if s {
+		return true, false
+	}
+	return false, false
+}
+
+// Entry is one difference-buffer element: the paper's (physical
+// longword address, byte mask, longword data, checkpoint
+// identification) plus, for Algorithm 3(b), the saved dirty bit.
+type Entry struct {
+	Addr       uint32 // longword-aligned physical address
+	Mask       uint8  // byte lanes covered
+	Data       uint32 // backward: overwritten data; forward: data to write
+	Ckpt       uint64 // checkpoint identification carried by the operation
+	SavedDirty bool   // backward, Algorithm 3(b): line dirty bit before the write
+}

@@ -1,0 +1,252 @@
+package diff
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func newBD(t *testing.T, algo Algo, cap int) (*Backward, *cache.Cache, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.Config{Sets: 4, Ways: 2, LineBytes: 16, Policy: cache.WriteBack}, m)
+	return NewBackward(c, algo, cap), c, m
+}
+
+func TestBackwardBasicUndo(t *testing.T) {
+	b, _, _ := newBD(t, Sophisticated, 0)
+	b.Store(1, 0x10, 111, 0b1111)
+	b.Store(2, 0x10, 222, 0b1111)
+	b.Store(3, 0x20, 333, 0b1111)
+	if v, _, _ := b.Load(0x10); v != 222 {
+		t.Fatalf("pre-repair read %d", v)
+	}
+	b.Repair(2) // undo seq 2 and 3
+	if v, _, _ := b.Load(0x10); v != 111 {
+		t.Errorf("0x10 = %d, want 111", v)
+	}
+	if v, _, _ := b.Load(0x20); v != 0 {
+		t.Errorf("0x20 = %d, want 0", v)
+	}
+	if b.Occupancy() != 1 {
+		t.Errorf("occupancy %d, want 1 (entry for seq 1)", b.Occupancy())
+	}
+	b.Repair(1)
+	if v, _, _ := b.Load(0x10); v != 0 {
+		t.Errorf("full undo: %d", v)
+	}
+}
+
+func TestBackwardByteMasks(t *testing.T) {
+	b, _, _ := newBD(t, Sophisticated, 0)
+	b.Store(1, 0x10, 0xAABBCCDD, 0b1111)
+	b.Store(2, 0x10, 0x00EE0000, 0b0100) // overwrite lane 2
+	if v, _, _ := b.Load(0x10); v != 0xAAEECCDD {
+		t.Fatalf("masked store: %#x", v)
+	}
+	b.Repair(2)
+	if v, _, _ := b.Load(0x10); v != 0xAABBCCDD {
+		t.Errorf("masked undo: %#x", v)
+	}
+}
+
+func TestBackwardInterleavedLiveKept(t *testing.T) {
+	// Entries push in memory-modification order; a repair must undo the
+	// young suffix by sequence, preserving interleaved older entries.
+	b, _, _ := newBD(t, Simple, 0)
+	b.Store(5, 0x10, 50, 0b1111) // young (will be undone)
+	b.Store(2, 0x20, 20, 0b1111) // old (kept)
+	b.Store(6, 0x30, 60, 0b1111) // young (undone)
+	b.Store(3, 0x40, 30, 0b1111) // old (kept)
+	b.Repair(5)
+	if b.Occupancy() != 2 {
+		t.Fatalf("occupancy %d, want 2", b.Occupancy())
+	}
+	if v, _, _ := b.Load(0x10); v != 0 {
+		t.Errorf("0x10 not undone: %d", v)
+	}
+	if v, _, _ := b.Load(0x20); v != 20 {
+		t.Errorf("0x20 lost: %d", v)
+	}
+	if v, _, _ := b.Load(0x40); v != 30 {
+		t.Errorf("0x40 lost: %d", v)
+	}
+	// The kept entries still work for an older repair.
+	b.Repair(2)
+	if v, _, _ := b.Load(0x20); v != 0 {
+		t.Errorf("0x20 second repair: %d", v)
+	}
+	if v, _, _ := b.Load(0x40); v != 0 {
+		t.Errorf("0x40 second repair: %d", v)
+	}
+}
+
+func TestBackwardCapacityStall(t *testing.T) {
+	b, _, _ := newBD(t, Simple, 2)
+	if ok, _, _ := b.Store(1, 0x10, 1, 0b1111); !ok {
+		t.Fatal("store 1")
+	}
+	if ok, _, _ := b.Store(2, 0x14, 2, 0b1111); !ok {
+		t.Fatal("store 2")
+	}
+	// Buffer full of live entries: the third store must stall.
+	if ok, _, _ := b.Store(3, 0x18, 3, 0b1111); ok {
+		t.Fatal("store 3 should stall")
+	}
+	if b.Stats().StallStores != 1 {
+		t.Errorf("stall count %d", b.Stats().StallStores)
+	}
+	// Releasing makes the old entries dead; the store now succeeds by
+	// discarding them (the paper's overflow rule).
+	b.Release(3)
+	if ok, _, _ := b.Store(3, 0x18, 3, 0b1111); !ok {
+		t.Fatal("store 3 after release")
+	}
+	if b.Stats().Overflowed != 2 {
+		t.Errorf("overflowed %d, want 2", b.Stats().Overflowed)
+	}
+}
+
+func TestBackwardWriteThrough(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.Config{Sets: 4, Ways: 2, LineBytes: 16, Policy: cache.WriteThrough}, m)
+	b := NewBackward(c, Simple, 0)
+	b.Store(1, 0x10, 77, 0b1111)
+	// Write-through: memory updated immediately.
+	if v, _ := m.Read32(0x10); v != 77 {
+		t.Fatalf("write-through mem: %d", v)
+	}
+	b.Store(2, 0x10, 88, 0b1111)
+	b.Repair(2)
+	if v, _ := m.Read32(0x10); v != 77 {
+		t.Errorf("write-through undo mem: %d", v)
+	}
+	if v, _, _ := b.Load(0x10); v != 77 {
+		t.Errorf("write-through undo cache: %d", v)
+	}
+}
+
+func TestForwardBasics(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	f := NewForward(c, 0)
+	f.Store(1, 0x10, 11, 0b1111)
+	f.Store(2, 0x10, 22, 0b1111)
+	// Loads must forward from the buffer.
+	if v, hit, _ := f.Load(0x10); v != 22 || !hit {
+		t.Fatalf("forwarded load: %d hit=%v", v, hit)
+	}
+	// Memory untouched until release.
+	c.FlushAll()
+	if v, _ := m.Read32(0x10); v != 0 {
+		t.Fatalf("forward wrote memory early: %d", v)
+	}
+	// Repair discards; nothing to undo.
+	f.Repair(2)
+	if v, _, _ := f.Load(0x10); v != 11 {
+		t.Errorf("after discard: %d", v)
+	}
+	f.Release(2) // applies seq 1
+	c.FlushAll()
+	if v, _ := m.Read32(0x10); v != 11 {
+		t.Errorf("after release+flush: %d", v)
+	}
+	if f.Occupancy() != 0 {
+		t.Errorf("occupancy %d", f.Occupancy())
+	}
+}
+
+func TestForwardPartialMaskOverlay(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	m.Write32(0x10, 0xAABBCCDD)
+	f := NewForward(c, 0)
+	f.Store(1, 0x10, 0x00EE0000, 0b0100)
+	if v, _, _ := f.Load(0x10); v != 0xAAEECCDD {
+		t.Errorf("overlay: %#x", v)
+	}
+	f.Store(2, 0x10, 0x000000FF, 0b0001)
+	if v, _, _ := f.Load(0x10); v != 0xAAEECCFF {
+		t.Errorf("double overlay: %#x", v)
+	}
+	f.Repair(2)
+	if v, _, _ := f.Load(0x10); v != 0xAAEECCDD {
+		t.Errorf("after discard: %#x", v)
+	}
+}
+
+func TestForwardCapacityStall(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	f := NewForward(c, 1)
+	if ok, _, _ := f.Store(1, 0x10, 1, 0b1111); !ok {
+		t.Fatal("store 1")
+	}
+	if ok, _, _ := f.Store(2, 0x14, 2, 0b1111); ok {
+		t.Fatal("store 2 should stall")
+	}
+	f.Release(2)
+	if ok, _, _ := f.Store(2, 0x14, 2, 0b1111); !ok {
+		t.Fatal("store 2 after release")
+	}
+	// A store whose checkpoint already verified applies immediately.
+	if ok, _, _ := f.Store(1, 0x18, 3, 0b1111); !ok {
+		t.Fatal("pre-verified store")
+	}
+	if f.Stats().Applied == 0 {
+		t.Error("expected immediate application")
+	}
+}
+
+func TestForwardFinish(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	f := NewForward(c, 0)
+	f.Store(1, 0x10, 5, 0b1111)
+	f.Store(2, 0x14, 6, 0b1111)
+	f.Finish()
+	if v, _ := m.Read32(0x10); v != 5 {
+		t.Errorf("finish 0x10: %d", v)
+	}
+	if v, _ := m.Read32(0x14); v != 6 {
+		t.Errorf("finish 0x14: %d", v)
+	}
+}
+
+func TestPlainCannotRepair(t *testing.T) {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	c := cache.MustNew(cache.DefaultConfig, m)
+	p := NewPlain(c)
+	p.Store(1, 0x10, 9, 0b1111)
+	if v, _, _ := p.Load(0x10); v != 9 {
+		t.Errorf("plain store/load: %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Plain.Repair must panic")
+		}
+	}()
+	p.Repair(1)
+}
+
+func TestBackwardFaultPropagation(t *testing.T) {
+	b, _, _ := newBD(t, Simple, 0)
+	if b.CheckAccess(0x9000, 4) != isa.ExcCodePageFault {
+		t.Error("unmapped access must fault")
+	}
+	if b.CheckAccess(0x12, 4) != isa.ExcCodeMisaligned {
+		t.Error("misaligned longword must fault")
+	}
+	if b.CheckAccess(0x12, 1) != isa.ExcCodeNone {
+		t.Error("byte access has no alignment rule")
+	}
+}

@@ -1,0 +1,192 @@
+package diff
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Forward is the forward-difference memory system of §4.1.2: a redo
+// log. Speculative stores are buffered instead of modifying the cache;
+// they are applied ("retired") only when their checkpoint verifies, and
+// a repair simply discards the buffered suffix belonging to discarded
+// checkpoints — nothing in cache or memory needs undoing, which is what
+// makes the technique attractive for frequent B-repairs.
+//
+// The price is load snooping: a load must overlay any buffered stores
+// covering its longword (store-to-load forwarding) to observe the
+// current logical space.
+type Forward struct {
+	cache    *cache.Cache
+	capacity int // 0 = unbounded
+	entries  []Entry
+	oldest   uint64
+	stats    Stats
+}
+
+// NewForward builds a forward-difference system over a cache.
+// capacity 0 means unbounded.
+func NewForward(c *cache.Cache, capacity int) *Forward {
+	return &Forward{cache: c, capacity: capacity}
+}
+
+// Cache returns the underlying cache.
+func (f *Forward) Cache() *cache.Cache { return f.cache }
+
+// Occupancy returns the current number of buffered entries.
+func (f *Forward) Occupancy() int { return len(f.entries) }
+
+// Stats implements MemSystem.
+func (f *Forward) Stats() Stats { return f.stats }
+
+// Load implements MemSystem: the cached longword overlaid, oldest
+// first, with every buffered store covering it. forwarded counts as a
+// hit for timing purposes.
+func (f *Forward) Load(addr uint32) (uint32, bool, isa.ExcCode) {
+	base := addr &^ 3
+	v, hit, exc := f.cache.ReadLongword(base)
+	if exc != isa.ExcCodeNone {
+		return 0, false, exc
+	}
+	for _, e := range f.entries {
+		if e.Addr == base {
+			v = overlay(v, e.Data, e.Mask)
+			hit = true
+		}
+	}
+	return v, hit, isa.ExcCodeNone
+}
+
+// CheckAccess implements MemSystem.
+func (f *Forward) CheckAccess(addr, size uint32) isa.ExcCode {
+	return f.cache.CheckAccess(addr, size)
+}
+
+// Store implements MemSystem: buffer the write. Stores whose checkpoint
+// already verified (possible because verification and execution are
+// asynchronous) apply immediately.
+func (f *Forward) Store(ckpt uint64, addr uint32, data uint32, mask uint8) (bool, bool, isa.ExcCode) {
+	addr &^= 3
+	if ckpt < f.oldest {
+		wr, exc := f.cache.WriteLongword(addr, data, mask)
+		if exc != isa.ExcCodeNone {
+			return true, false, exc
+		}
+		f.stats.Applied++
+		return true, wr.Hit, isa.ExcCodeNone
+	}
+	if f.capacity > 0 && len(f.entries) >= f.capacity {
+		f.stats.StallStores++
+		return false, false, isa.ExcCodeNone
+	}
+	f.entries = append(f.entries, Entry{Addr: addr, Mask: mask, Data: data, Ckpt: ckpt})
+	f.stats.Pushes++
+	if len(f.entries) > f.stats.MaxOccupancy {
+		f.stats.MaxOccupancy = len(f.entries)
+	}
+	return true, true, isa.ExcCodeNone
+}
+
+// Release implements MemSystem: apply, in buffer order, every entry
+// whose checkpoint has verified. Buffer order equals dynamic-stream
+// order per address (the load/store queue enforces program-order writes
+// to the same longword), which is all the forward difference needs.
+func (f *Forward) Release(oldestLive uint64) {
+	if oldestLive > f.oldest {
+		f.oldest = oldestLive
+	}
+	kept := f.entries[:0]
+	for _, e := range f.entries {
+		if e.Ckpt < f.oldest {
+			f.cache.WriteLongword(e.Addr, e.Data, e.Mask)
+			f.stats.Applied++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	f.entries = kept
+}
+
+// Repair implements MemSystem: discard every buffered store carrying a
+// checkpoint identification >= to. The current space never saw them, so
+// there is nothing else to do.
+func (f *Forward) Repair(to uint64) {
+	f.stats.Repairs++
+	kept := f.entries[:0]
+	for _, e := range f.entries {
+		if e.Ckpt < to {
+			kept = append(kept, e)
+		} else {
+			f.stats.Discarded++
+		}
+	}
+	f.entries = kept
+}
+
+// Finish implements MemSystem: at program end everything outstanding is
+// verified; apply it and flush.
+func (f *Forward) Finish() {
+	for _, e := range f.entries {
+		f.cache.WriteLongword(e.Addr, e.Data, e.Mask)
+		f.stats.Applied++
+	}
+	f.entries = f.entries[:0]
+	f.cache.FlushAll()
+}
+
+func overlay(base, data uint32, mask uint8) uint32 {
+	for i := 0; i < 4; i++ {
+		if mask&(1<<i) != 0 {
+			shift := uint(8 * i)
+			base = base&^(0xff<<shift) | data&(0xff<<shift)
+		}
+	}
+	return base
+}
+
+var _ MemSystem = (*Forward)(nil)
+
+// Plain is a degenerate MemSystem with no checkpointing: stores write
+// the cache immediately and repairs are impossible. The in-order
+// baseline machine, which never needs memory repair, uses it.
+type Plain struct {
+	cache *cache.Cache
+	stats Stats
+}
+
+// NewPlain wraps a cache with no difference machinery.
+func NewPlain(c *cache.Cache) *Plain { return &Plain{cache: c} }
+
+// Cache returns the underlying cache.
+func (p *Plain) Cache() *cache.Cache { return p.cache }
+
+// Load implements MemSystem.
+func (p *Plain) Load(addr uint32) (uint32, bool, isa.ExcCode) {
+	return p.cache.ReadLongword(addr)
+}
+
+// Store implements MemSystem.
+func (p *Plain) Store(_ uint64, addr uint32, data uint32, mask uint8) (bool, bool, isa.ExcCode) {
+	wr, exc := p.cache.WriteLongword(addr, data, mask)
+	return true, wr.Hit, exc
+}
+
+// CheckAccess implements MemSystem.
+func (p *Plain) CheckAccess(addr, size uint32) isa.ExcCode {
+	return p.cache.CheckAccess(addr, size)
+}
+
+// Release implements MemSystem (no-op).
+func (p *Plain) Release(uint64) {}
+
+// Repair implements MemSystem; a Plain system cannot repair.
+func (p *Plain) Repair(uint64) {
+	panic("diff: Plain memory system cannot repair")
+}
+
+// Finish implements MemSystem.
+func (p *Plain) Finish() { p.cache.FlushAll() }
+
+// Stats implements MemSystem.
+func (p *Plain) Stats() Stats { return p.stats }
+
+var _ MemSystem = (*Plain)(nil)

@@ -1,0 +1,139 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Model-based property test: arbitrary interleavings of stores,
+// releases, and repairs — under the machine's contract (per-address
+// writes in ascending sequence order, repairs only above the release
+// boundary, sequence rewind after repair) — must leave every longword
+// holding exactly what a naive per-address history model says.
+
+type histEntry struct {
+	seq uint64
+	val uint32
+}
+
+type model struct {
+	hist map[uint32][]histEntry
+}
+
+func newModel() *model { return &model{hist: make(map[uint32][]histEntry)} }
+
+func (m *model) store(seq uint64, addr, val uint32) {
+	m.hist[addr] = append(m.hist[addr], histEntry{seq, val})
+}
+
+func (m *model) repair(to uint64) {
+	for a, h := range m.hist {
+		kept := h[:0]
+		for _, e := range h {
+			if e.seq < to {
+				kept = append(kept, e)
+			}
+		}
+		m.hist[a] = kept
+	}
+}
+
+func (m *model) value(addr uint32) uint32 {
+	h := m.hist[addr]
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].val
+}
+
+func runModelCheck(t *testing.T, mk func(c *cache.Cache) MemSystem, seeds int) {
+	t.Helper()
+	addrs := []uint32{0x00, 0x10, 0x40, 0x50, 0x100, 0x104}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		backing := mem.New()
+		backing.Map(0, mem.PageSize)
+		// A tiny cache forces evictions and refills mid-history.
+		c := cache.MustNew(cache.Config{Sets: 2, Ways: 1, LineBytes: 16, Policy: cache.WriteBack}, backing)
+		sys := mk(c)
+		mod := newModel()
+
+		nextSeq := uint64(1)
+		released := uint64(0) // boundary: seqs < released can never repair
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5: // store
+				addr := addrs[rng.Intn(len(addrs))]
+				val := rng.Uint32()
+				seq := nextSeq
+				nextSeq++
+				ok, _, exc := sys.Store(seq, addr, val, 0b1111)
+				if !ok || exc != 0 {
+					t.Fatalf("seed %d step %d: store failed", seed, step)
+				}
+				mod.store(seq, addr, val)
+			case 6: // release: advance the dead boundary
+				if nextSeq > released {
+					released += uint64(rng.Intn(int(nextSeq-released))) + 0
+					sys.Release(released)
+					// Releasing also lets the forward system apply
+					// entries; the model's values are unaffected.
+				}
+			case 7, 8: // repair to a live boundary
+				if nextSeq > released+1 {
+					to := released + 1 + uint64(rng.Intn(int(nextSeq-released-1)))
+					sys.Repair(to)
+					mod.repair(to)
+					nextSeq = to // sequence rewind, as the machine does
+				}
+			case 9: // read-check one address immediately
+				addr := addrs[rng.Intn(len(addrs))]
+				v, _, exc := sys.Load(addr)
+				if exc != 0 {
+					t.Fatalf("seed %d step %d: load fault", seed, step)
+				}
+				if want := mod.value(addr); v != want {
+					t.Fatalf("seed %d step %d: %#x = %d, want %d", seed, step, addr, v, want)
+				}
+			}
+		}
+		// Final check of every address through the speculative view...
+		for _, a := range addrs {
+			v, _, _ := sys.Load(a)
+			if want := mod.value(a); v != want {
+				t.Fatalf("seed %d final: %#x = %d, want %d", seed, a, v, want)
+			}
+		}
+		// ...and through main memory after draining.
+		sys.Finish()
+		for _, a := range addrs {
+			v, _ := backing.Read32(a)
+			if want := mod.value(a); v != want {
+				t.Fatalf("seed %d drained: %#x = %d, want %d", seed, a, v, want)
+			}
+		}
+	}
+}
+
+func TestModelBackwardSimple(t *testing.T) {
+	runModelCheck(t, func(c *cache.Cache) MemSystem { return NewBackward(c, Simple, 0) }, 60)
+}
+
+func TestModelBackwardSophisticated(t *testing.T) {
+	runModelCheck(t, func(c *cache.Cache) MemSystem { return NewBackward(c, Sophisticated, 0) }, 60)
+}
+
+func TestModelForward(t *testing.T) {
+	runModelCheck(t, func(c *cache.Cache) MemSystem { return NewForward(c, 0) }, 60)
+}
+
+func TestModelBackwardWriteThrough(t *testing.T) {
+	runModelCheck(t, func(c *cache.Cache) MemSystem {
+		wt := cache.MustNew(cache.Config{Sets: 2, Ways: 1, LineBytes: 16, Policy: cache.WriteThrough}, c.Backing())
+		return NewBackward(wt, Sophisticated, 0)
+	}, 40)
+}

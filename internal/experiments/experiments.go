@@ -1,0 +1,152 @@
+// Package experiments regenerates every figure, table, and quantitative
+// claim of the paper as a text table. DESIGN.md carries the experiment
+// index (IDs F1–F8, T1, C1–C12); EXPERIMENTS.md records a captured run
+// with commentary. cmd/experiments prints them all.
+//
+// The paper reports no measured numbers ("Simulation and hardware
+// design are being conducted"), so the reproduced artefacts are the
+// mechanism figures, Table 1, the analytical claims of §2.2/§3.1, and
+// the simulation study the paper explicitly calls for (Algorithm 3(a)
+// vs 3(b), buffer sizing, scheme comparisons). Shape expectations are
+// noted on each table.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string // the paper claim / expected shape, and what we see
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(wrap(t.Note, 74), "\n") {
+			fmt.Fprintf(&b, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintf(&b, "   %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func wrap(s string, w int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	col := 0
+	for _, word := range words {
+		if col > 0 && col+1+len(word) > w {
+			b.WriteByte('\n')
+			col = 0
+		} else if col > 0 {
+			b.WriteByte(' ')
+			col++
+		}
+		b.WriteString(word)
+		col += len(word)
+	}
+	return b.String()
+}
+
+// Experiment is a registered experiment generator.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() []*Table // some experiments emit several tables
+}
+
+var registry []Experiment
+
+func register(id, name string, run func() []*Table) {
+	registry = append(registry, Experiment{ID: id, Name: name, Run: run})
+}
+
+// All returns the registered experiments in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey orders F1..F8, T1, C1..C12 naturally.
+func idKey(id string) string {
+	if len(id) < 2 {
+		return id
+	}
+	kind := id[0]
+	rank := map[byte]string{'F': "0", 'T': "1", 'C': "2", 'A': "3"}[kind]
+	return fmt.Sprintf("%s%02s", rank, id[1:])
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing the tables to w.
+func RunAll(w io.Writer) {
+	for _, e := range All() {
+		for _, t := range e.Run() {
+			fmt.Fprintln(w, t.String())
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests pin the paper's claims as assertions, not just printouts:
+// if a change to the mechanisms breaks a shape the paper predicts, the
+// suite fails.
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func num(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tab, row, col), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, s)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1",
+		"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11", "C12",
+		"A1", "A2", "A3", "A4", "A5", "A6"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	// Ordering: figures, table, claims.
+	if all[0].ID != "F1" || all[8].ID != "T1" || all[9].ID != "C1" || all[len(all)-1].ID != "A6" {
+		t.Errorf("ordering: %v...", all[0].ID)
+	}
+}
+
+func TestEveryExperimentRenders(t *testing.T) {
+	for _, e := range All() {
+		tables := e.Run()
+		if len(tables) == 0 {
+			t.Errorf("%s produced no tables", e.ID)
+		}
+		for _, tab := range tables {
+			s := tab.String()
+			if !strings.Contains(s, tab.ID) || len(tab.Rows) == 0 {
+				t.Errorf("%s: empty or unlabelled table", e.ID)
+			}
+		}
+	}
+}
+
+// TestC1Paper28 pins the paper's headline arithmetic: at 85% accuracy
+// and b=4, one B-repair per ~28 instructions (analytic 26.7 for our
+// exact b), and the measured value within 15%.
+func TestC1Paper28(t *testing.T) {
+	tab := c1()
+	// Row 1 is hit=85% with the b=4 workload.
+	if got := cell(t, tab, 1, 0); got != "85%" {
+		t.Fatalf("row layout changed: %q", got)
+	}
+	analytic := num(t, tab, 1, 2)
+	measured := num(t, tab, 1, 3)
+	if math.Abs(analytic-26.7) > 1.5 {
+		t.Errorf("analytic %v, expected near 26.7 (paper's 28 at exactly b=4)", analytic)
+	}
+	if math.Abs(measured-analytic)/analytic > 0.15 {
+		t.Errorf("measured %v deviates >15%% from analytic %v", measured, analytic)
+	}
+	// E-repairs orders of magnitude rarer than B-repairs.
+	perE := num(t, tab, 1, 4)
+	if perE < 50*measured {
+		t.Errorf("E-repair interval %v not >> B-repair interval %v", perE, measured)
+	}
+}
+
+// TestC2Theorem2Shape: c=1 stalls strictly dominate c=2 on every
+// kernel, and c=2 is within noise of c=4.
+func TestC2Theorem2Shape(t *testing.T) {
+	tab := c2()
+	for r := range tab.Rows {
+		s1, s2, s4 := num(t, tab, r, 1), num(t, tab, r, 2), num(t, tab, r, 4)
+		if s1 <= s2 {
+			t.Errorf("%s: c=1 stalls (%v) not greater than c=2 (%v)", cell(t, tab, r, 0), s1, s2)
+		}
+		if s4 > s2 {
+			t.Errorf("%s: stalls grew with more spaces (%v -> %v)", cell(t, tab, r, 0), s2, s4)
+		}
+	}
+}
+
+// TestC3BoundHolds: every row must report ok.
+func TestC3BoundHolds(t *testing.T) {
+	tab := c3()
+	for r := range tab.Rows {
+		if cell(t, tab, r, 5) != "true" {
+			t.Errorf("Theorem 3 bound violated: %v", tab.Rows[r])
+		}
+	}
+}
+
+// TestC5Monotone: along each row, stalls do not increase with distance;
+// along each column, they do not increase with spaces.
+func TestC5Monotone(t *testing.T) {
+	tab := c5()
+	for r := range tab.Rows {
+		for c := 2; c <= 5; c++ {
+			if num(t, tab, r, c) > num(t, tab, r, c-1) {
+				t.Errorf("row %s: stalls increased with distance (%v)", cell(t, tab, r, 0), tab.Rows[r])
+			}
+		}
+	}
+	for c := 1; c <= 5; c++ {
+		for r := 1; r < len(tab.Rows); r++ {
+			if num(t, tab, r, c) > num(t, tab, r-1, c) {
+				t.Errorf("col %d: stalls increased with spaces", c)
+			}
+		}
+	}
+}
+
+// TestC6Theorem7: at and above the (2c-1)W bound there are no store
+// stalls and no deadlock; well below it the machine suffers.
+func TestC6Theorem7(t *testing.T) {
+	tab := c6()
+	last := len(tab.Rows) - 1
+	for _, r := range []int{3, 4, last} { // capacity == bound and above
+		if num(t, tab, r, 1) != 0 || cell(t, tab, r, 3) != "completed" {
+			t.Errorf("capacity %s (>= bound) stalled: %v", cell(t, tab, r, 0), tab.Rows[r])
+		}
+	}
+	// The smallest capacity must show distress.
+	if num(t, tab, 0, 1) == 0 && cell(t, tab, 0, 3) == "completed" {
+		t.Errorf("undersized buffer showed no stalls: %v", tab.Rows[0])
+	}
+}
+
+// TestC7Never3bWorse: 3(b) write-backs <= 3(a) on every workload, with
+// at least one workload showing savings.
+func TestC7Never3bWorse(t *testing.T) {
+	tab := c7()
+	saved := 0.0
+	for r := range tab.Rows {
+		a, b := num(t, tab, r, 1), num(t, tab, r, 2)
+		if b > a {
+			t.Errorf("%s: 3(b) wrote back more than 3(a) (%v > %v)", cell(t, tab, r, 0), b, a)
+		}
+		saved += a - b
+	}
+	if saved <= 0 {
+		t.Error("3(b) saved nothing anywhere; expected savings on store-heavy kernels")
+	}
+}
+
+// TestC8MoreSpacesNeverHurt: stalls are non-increasing in cB.
+func TestC8MoreSpacesNeverHurt(t *testing.T) {
+	tab := c8()
+	for r := 1; r < len(tab.Rows); r++ {
+		if num(t, tab, r, 1) > num(t, tab, r-1, 1) {
+			t.Errorf("stalls increased with cB: %v -> %v", tab.Rows[r-1], tab.Rows[r])
+		}
+	}
+}
+
+// TestC10NoExtraWriteBackStalls: for each kernel, write-back and
+// write-through have identical store-stall cycles and cycle counts,
+// and write-back writes memory less.
+func TestC10NoExtraWriteBackStalls(t *testing.T) {
+	tab := c10()
+	for r := 0; r+1 < len(tab.Rows); r += 2 {
+		wb, wt := tab.Rows[r], tab.Rows[r+1]
+		if wb[3] != wt[3] {
+			t.Errorf("%s: store stalls differ (%s vs %s)", wb[0], wb[3], wt[3])
+		}
+		if wb[2] != wt[2] {
+			t.Errorf("%s: cycles differ (%s vs %s)", wb[0], wb[2], wt[2])
+		}
+		if num(t, tab, r, 4) >= num(t, tab, r+1, 4) {
+			t.Errorf("%s: write-back did not reduce memory writes", wb[0])
+		}
+	}
+}
+
+// TestC11CheckpointWins: the speculative checkpoint machine is at
+// least as fast as in-order and the ROB baseline on every kernel, and
+// oracle prediction is at least as fast as bimodal.
+func TestC11CheckpointWins(t *testing.T) {
+	tab := c11()
+	for r := range tab.Rows {
+		inord, rob := num(t, tab, r, 1), num(t, tab, r, 3)
+		bim, ora := num(t, tab, r, 4), num(t, tab, r, 5)
+		if bim > inord {
+			t.Errorf("%s: checkpoint machine (%v) slower than in-order (%v)", cell(t, tab, r, 0), bim, inord)
+		}
+		if bim > rob {
+			t.Errorf("%s: checkpoint machine (%v) slower than ROB (%v)", cell(t, tab, r, 0), bim, rob)
+		}
+		if ora > bim {
+			t.Errorf("%s: oracle (%v) slower than bimodal (%v)", cell(t, tab, r, 0), ora, bim)
+		}
+	}
+}
+
+// TestC12AllMatch: the equivalence summary must be clean.
+func TestC12AllMatch(t *testing.T) {
+	tab := c12()
+	for r := range tab.Rows {
+		if cell(t, tab, r, 2) != cell(t, tab, r, 3) {
+			t.Errorf("golden mismatch row: %v", tab.Rows[r])
+		}
+	}
+}
+
+// TestT1MatchesDerivation: the printed table equals the Table1 function
+// over all 8 input combinations (guards against drift between the
+// experiment rendering and the implementation).
+func TestT1MatchesDerivation(t *testing.T) {
+	tab := t1()()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("T1 rows: %d", len(tab.Rows))
+	}
+	// The one clean cell: H=0,S=0,D=1 -> dirty'=0.
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "0" && r[1] == "0" && r[2] == "1" {
+			found = true
+			if r[3] != "0" || r[4] != "0" {
+				t.Errorf("clean cell wrong: %v", r)
+			}
+		} else if r[3] != "1" {
+			t.Errorf("non-clean cell must set dirty': %v", r)
+		}
+	}
+	if !found {
+		t.Error("missing H=0,S=0,D=1 row")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Note: "note text", Header: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.AddRow(22.5, "yyyy")
+	s := tab.String()
+	for _, want := range []string{"== X: demo ==", "note text", "a     bb", "22.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestA1MonotoneWithAccuracy: cycles fall as prediction accuracy rises;
+// the repair machinery never makes better prediction worse.
+func TestA1MonotoneWithAccuracy(t *testing.T) {
+	tab := a1()
+	for r := 1; r < len(tab.Rows); r++ {
+		prev := num(t, tab, r-1, 4)
+		cur := num(t, tab, r, 4)
+		if cur > prev {
+			t.Errorf("cycles rose with accuracy: %v -> %v (%s)", prev, cur, cell(t, tab, r, 0))
+		}
+	}
+	// Oracle row: zero B-repairs and zero wrong-path ops.
+	last := len(tab.Rows) - 1
+	if num(t, tab, last, 2) != 0 || num(t, tab, last, 3) != 0 {
+		t.Errorf("oracle row not clean: %v", tab.Rows[last])
+	}
+}
+
+// TestA6VectorDensity: the vector encoding must achieve > 2 operations
+// per instruction on the vector kernel and use fewer checkpoints.
+func TestA6VectorDensity(t *testing.T) {
+	tab := a6()
+	scalarCk := num(t, tab, 0, 5)
+	vecOPI := num(t, tab, 1, 3)
+	vecCk := num(t, tab, 1, 5)
+	if vecOPI <= 2 {
+		t.Errorf("vector ops/instr = %v", vecOPI)
+	}
+	if vecCk >= scalarCk {
+		t.Errorf("vector checkpoints %v not fewer than scalar %v", vecCk, scalarCk)
+	}
+}
+
+// TestA4ReasonablePoint: with frequent exceptions, cycles grow with
+// checkpoint distance at the far end of the sweep.
+func TestA4ReasonablePoint(t *testing.T) {
+	tab := a4()
+	first := num(t, tab, 0, 4)
+	last := num(t, tab, len(tab.Rows)-1, 4)
+	if last <= first {
+		t.Errorf("cycles at distance 64 (%v) not above distance 4 (%v) under frequent exceptions", last, first)
+	}
+	// Squashed work grows with distance.
+	if num(t, tab, len(tab.Rows)-1, 2) <= num(t, tab, 0, 2) {
+		t.Error("discarded work did not grow with distance")
+	}
+}
+
+// TestFigureContent asserts the staged snapshots actually show the
+// paper's configurations: two active checkpoints at t1 in F4 and F7.
+func TestFigureContent(t *testing.T) {
+	f4 := ByIDMust(t, "F4").Run()[0].String()
+	for _, want := range []string{"t1:", "t2:", "active2", "active1", "backup2", "backup1"} {
+		if !strings.Contains(f4, want) {
+			t.Errorf("F4 missing %q", want)
+		}
+	}
+	f7 := ByIDMust(t, "F7").Run()[0].String()
+	for _, want := range []string{"pend", "t1:", "t2:"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("F7 missing %q", want)
+		}
+	}
+	f1 := ByIDMust(t, "F1").Run()[0].String()
+	if !strings.Contains(f1, "101") || !strings.Contains(f1, "100") {
+		t.Error("F1 missing repair points")
+	}
+}
+
+func ByIDMust(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %s", id)
+	}
+	return e
+}
+
+// TestA5ForwardWinsOnBranchHeavy: with serial undo work charged, the
+// forward difference must not lose to the backward difference on the
+// misprediction-prone kernels in the table.
+func TestA5ForwardWinsOnBranchHeavy(t *testing.T) {
+	tab := a5()
+	// Rows come in triples (3a, 3b, forward) per kernel.
+	for r := 0; r+2 < len(tab.Rows); r += 3 {
+		bd := num(t, tab, r+1, 2) // 3(b) cycles
+		fd := num(t, tab, r+2, 2) // forward cycles
+		if fd > bd {
+			t.Errorf("%s: forward (%v) slower than backward (%v)", cell(t, tab, r, 0), fd, bd)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("F1", "precise repair points (Figure 1)", one(f1()))
+	register("F2", "repair ranges of a checkpoint (Figure 2)", one(f2()))
+	register("F3", "backup spaces under schemeE(2) (Figure 3)", one(f3()))
+	register("F4", "schemeE(2) execution snapshots (Figure 4)", one(f4()))
+	register("F5", "register bit cost, copy technique (Figure 5)", one(f5()))
+	register("F6", "cache with backward difference (Figure 6)", one(f6()))
+	register("F7", "schemeB(2) execution snapshots (Figure 7)", one(f7()))
+	register("F8", "cache with forward difference (Figure 8)", one(f8()))
+	register("T1", "dirty/hazard next-state functions (Table 1)", one(t1()))
+}
+
+// lazy wraps table construction so registration stays cheap and the
+// work happens at Run time.
+func one(f func() *Table) func() []*Table {
+	return func() []*Table { return []*Table{f()} }
+}
+
+func f1() func() *Table {
+	return func() *Table {
+		t := &Table{
+			ID:    "F1",
+			Title: "precise repair points per exception kind",
+			Note: "Figure 1/§2.2: a trap's precise repair point is the boundary just " +
+				"right of the violating instruction (it completes); a fault's is just " +
+				"left of it (it must appear never to have executed). Values from the " +
+				"implemented isa.Exception semantics for a violator at pc=100.",
+			Header: []string{"exception", "kind", "resume pc"},
+		}
+		for _, code := range []isa.ExcCode{
+			isa.ExcCodeOverflow, isa.ExcCodeSoftware,
+			isa.ExcCodeDivideZero, isa.ExcCodePageFault, isa.ExcCodeMisaligned,
+		} {
+			e := isa.Exception{Code: code, PC: 100}
+			t.AddRow(code.String(), e.Kind().String(), e.PreciseRepairPC())
+		}
+		return t
+	}
+}
+
+func f2() func() *Table {
+	return func() *Table {
+		// Stage schemeE(2) with checkpoints at boundaries 4 and 8:
+		// instructions 1..4 are in the trap range of ckpt@4 / fault
+		// range of ckpt@0, etc.
+		t := &Table{
+			ID:    "F2",
+			Title: "E-repair range composition (checkpoints every 4 instructions)",
+			Note: "Figure 2: the E-repair range of a checkpoint is the union of its " +
+				"trap repair range (instructions to its left, back to the previous " +
+				"checkpoint) and its fault repair range (instructions to its right, up " +
+				"to the next checkpoint). Adjacent checkpoints' E-ranges overlap only " +
+				"at the instructions immediately left of each checkpoint. Segment " +
+				"ownership below is from the implemented scheme's bookkeeping.",
+			Header: []string{"op seq", "faults repair to", "traps repair to"},
+		}
+		s := core.NewSchemeE(2, 4, 0)
+		sc := newScript(s, plainMem())
+		sc.issue(1, 8) // creates checkpoints after ops 4 and 8
+		views := s.Views()[0]
+		for seq := 1; seq <= 8; seq++ {
+			// The mechanism repairs a fault to the newest checkpoint
+			// left of the instruction, and reaches a trap's precise
+			// point (right of the instruction) from the same checkpoint
+			// by single-stepping.
+			faultTo := "ckpt@start"
+			for _, v := range views {
+				if v.BornSeq < uint64(seq) {
+					faultTo = label(v)
+				}
+			}
+			t.AddRow(seq, faultTo, faultTo+" + single-step")
+		}
+		return t
+	}
+}
+
+func label(v core.View) string {
+	if v.BornSeq == 0 {
+		return "ckpt@start"
+	}
+	return "ckpt@" + itoa(int(v.BornSeq))
+}
+
+func itoa(i int) string {
+	return string(appendInt(nil, i))
+}
+
+func appendInt(b []byte, i int) []byte {
+	if i < 0 {
+		b = append(b, '-')
+		i = -i
+	}
+	if i >= 10 {
+		b = appendInt(b, i/10)
+	}
+	return append(b, byte('0'+i%10))
+}
+
+func f3() func() *Table {
+	return func() *Table {
+		s := core.NewSchemeE(2, 4, 0)
+		sc := newScript(s, plainMem())
+		sc.issue(0, 8) // two segments in flight, both checkpoints active
+		t := &Table{
+			ID:    "F3",
+			Title: "three logical spaces under schemeE(2)",
+			Note: "Figure 3: current is the dominant space all active instructions " +
+				"fetch from and store to; backup1 reflects only instructions left of " +
+				"active1, backup2 only those left of active2. Rendered from the live " +
+				"scheme state:",
+			Header: []string{"diagram"},
+		}
+		t.AddRow(trace.Render(trace.Capture("schemeE(2), 8 issued, none finished", s)))
+		return t
+	}
+}
+
+func f4() func() *Table {
+	return func() *Table {
+		s := core.NewSchemeE(2, 4, 0)
+		sc := newScript(s, plainMem())
+		// t1: checkpoints A (after 4 ops) and B (after 8), all active.
+		sc.issue(0, 8)
+		t1 := trace.Capture("t1: activeE,2 = A, activeE,1 = B", s)
+		// Retire A's range, issue past C: matches the paper's t2.
+		sc.finish(4)
+		sc.issue(8, 5)
+		t2 := trace.Capture("t2: A retired; activeE,2 = B, activeE,1 = C", s)
+		t := &Table{
+			ID:    "F4",
+			Title: "execution snapshots under schemeE(2)",
+			Note: "Figure 4 / Example 2: after all instructions in A's E-repair range " +
+				"finish, A retires, checkE adds C, and issue continues.",
+			Header: []string{"diagram"},
+		}
+		t.AddRow(trace.Series(t1, t2))
+		return t
+	}
+}
+
+func f5() func() *Table {
+	return func() *Table {
+		t := &Table{
+			ID:    "F5",
+			Title: "copy-technique register file cost vs backup spaces",
+			Note: "Figure 5/§3.2.1: each register bit is replicated once per logical " +
+				"space; result word/bit line pairs cover current and backups 1..c-1 " +
+				"(Theorem 4 removes the oldest backup's delivery lines). Push/recall " +
+				"move no data through the ports — the technique's advantage — at a " +
+				"storage cost growing with c+1.",
+			Header: []string{"c", "cells/bit", "total bits", "result line pairs", "control lines"},
+		}
+		for c := 1; c <= 6; c++ {
+			cm := regfile.Cost(c)
+			t.AddRow(c, cm.CellsPerBit, cm.TotalBits, cm.ResultLinePairs, cm.SharedControlLines)
+		}
+		cm := regfile.Cost(2, 4)
+		t.AddRow("2+4 (direct)", cm.CellsPerBit, cm.TotalBits, cm.ResultLinePairs, cm.SharedControlLines)
+		return t
+	}
+}
+
+func f6() func() *Table {
+	return func() *Table {
+		m := mem.New()
+		m.Map(0, mem.PageSize)
+		c := cache.MustNew(cache.Config{Sets: 4, Ways: 1, LineBytes: 16, Policy: cache.WriteBack}, m)
+		b := diff.NewBackward(c, diff.Sophisticated, 0)
+		// A write burst across two checkpoints, then a repair.
+		for i := 0; i < 6; i++ {
+			b.Store(uint64(i+1), uint32(i*4), uint32(100+i), 0b1111)
+		}
+		occBefore := b.Occupancy()
+		b.Repair(4) // undo writes 4..6
+		t := &Table{
+			ID:    "F6",
+			Title: "backward difference buffer in action",
+			Note: "Figure 6: each out-of-order memory write pushes (address, mask, " +
+				"old longword, checkpoint id); repair pops entries to recover cache " +
+				"and memory. The buffer drains by exactly the undone suffix.",
+			Header: []string{"metric", "value"},
+		}
+		st := b.Stats()
+		t.AddRow("writes performed", st.Pushes)
+		t.AddRow("occupancy before repair", occBefore)
+		t.AddRow("entries undone by repair(ckpt 4)", st.Undone)
+		t.AddRow("occupancy after repair", b.Occupancy())
+		t.AddRow("value at 0x0c after undo", read32(c, 0x0c))
+		t.AddRow("value at 0x08 (kept)", read32(c, 0x08))
+		return t
+	}
+}
+
+func read32(c *cache.Cache, addr uint32) uint32 {
+	v, _, _ := c.ReadLongword(addr)
+	return v
+}
+
+func f7() func() *Table {
+	return func() *Table {
+		s := core.NewSchemeB(2)
+		sc := newScript(s, plainMem())
+		// t1: two unverified branches A and B.
+		sc.issue(0, 3)
+		bA := sc.branch(3)
+		sc.issue(4, 3)
+		bB := sc.branch(7)
+		sc.issue(8, 2)
+		t1 := trace.Capture("t1: activeB,2 = A, activeB,1 = B (both pending)", s)
+		// A verifies; a third branch C is issued: the window slides.
+		sc.verify(bA, 4)
+		sc.issue(10, 2)
+		_ = sc.branch(12)
+		t2 := trace.Capture("t2: A verified and reused; activeB,2 = B, activeB,1 = C", s)
+		_ = bB
+		t := &Table{
+			ID:    "F7",
+			Title: "execution snapshots under schemeB(2)",
+			Note: "Figure 7 / Example 4: B checkpoints live at branch boundaries and " +
+				"their spaces are reused as soon as the prediction verifies — the " +
+				"relaxed reuse rule — even with instructions still active everywhere.",
+			Header: []string{"diagram"},
+		}
+		t.AddRow(trace.Series(t1, t2))
+		return t
+	}
+}
+
+func f8() func() *Table {
+	return func() *Table {
+		m := mem.New()
+		m.Map(0, mem.PageSize)
+		c := cache.MustNew(cache.DefaultConfig, m)
+		f := diff.NewForward(c, 0)
+		for i := 0; i < 6; i++ {
+			f.Store(uint64(i+1), uint32(i*4), uint32(200+i), 0b1111)
+		}
+		v, _, _ := f.Load(0x08)
+		f.Repair(4)  // discard 4..6: nothing to undo
+		f.Release(4) // retire 1..3 into the cache
+		after, _, _ := f.Load(0x0c)
+		t := &Table{
+			ID:    "F8",
+			Title: "forward difference buffer in action",
+			Note: "Figure 8/§4.1.2: speculative stores are buffered (loads snoop the " +
+				"buffer); verification applies them in order; a repair just discards " +
+				"the unverified suffix — no undo work, which is why the paper " +
+				"recommends forward differences for frequent B-repairs.",
+			Header: []string{"metric", "value"},
+		}
+		st := f.Stats()
+		t.AddRow("stores buffered", st.Pushes)
+		t.AddRow("load of 0x08 before retire (forwarded)", v)
+		t.AddRow("entries discarded by repair", st.Discarded)
+		t.AddRow("entries applied at verification", st.Applied)
+		t.AddRow("load of 0x0c after repair (never written)", after)
+		return t
+	}
+}
+
+func t1() func() *Table {
+	return func() *Table {
+		t := &Table{
+			ID:    "T1",
+			Title: "next-state functions of the dirty and hazard bits",
+			Note: "Paper Table 1 for Algorithm 3(b), recovering a cached line " +
+				"(repair case 2). H = line hazard bit, S = saved dirty bit in the " +
+				"entry, D = line dirty bit. Derived from the paper's bit semantics " +
+				"(the printed table is partially illegible in our scan) and verified " +
+				"exhaustively against Theorem 6 by the model check in " +
+				"internal/diff/table1_test.go: dirty is set after repair iff memory " +
+				"is inconsistent with the line.",
+			Header: []string{"H", "S", "D", "dirty'", "hazard'"},
+		}
+		for _, h := range []bool{false, true} {
+			for _, s := range []bool{false, true} {
+				for _, d := range []bool{false, true} {
+					nd, nh := diff.Table1(h, s, d)
+					t.AddRow(b01(h), b01(s), b01(d), b01(nd), b01(nh))
+				}
+			}
+		}
+		return t
+	}
+}
+
+func b01(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

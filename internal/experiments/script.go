@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+)
+
+// scriptEngine is a minimal core.Engine for driving schemes through
+// scripted sequences (the Figure 3/4/7 snapshots are staged scenarios,
+// not full machine runs).
+type scriptEngine struct {
+	inflight []core.OpInfo
+	precise  []int
+}
+
+func (e *scriptEngine) SquashAfter(seq uint64) []core.OpInfo {
+	var out []core.OpInfo
+	kept := e.inflight[:0]
+	for _, op := range e.inflight {
+		if op.Seq > seq {
+			out = append(out, op)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	e.inflight = kept
+	return out
+}
+func (e *scriptEngine) RedirectFetch(int)       {}
+func (e *scriptEngine) EnterPreciseMode(pc int) { e.precise = append(e.precise, pc) }
+
+// script drives a scheme without a machine.
+type script struct {
+	s    core.Scheme
+	eng  *scriptEngine
+	mem  diff.MemSystem
+	regs *regfile.File
+	seq  uint64
+}
+
+func newScript(s core.Scheme, mem diff.MemSystem) *script {
+	sc := &script{s: s, eng: &scriptEngine{}, mem: mem}
+	sc.regs = regfile.NewStacks(s.RegStackCaps()...)
+	s.Attach(sc.regs, mem, sc.eng)
+	s.Restart(0, 1)
+	sc.seq = 1
+	return sc
+}
+
+// issue issues n plain operations starting at pc.
+func (sc *script) issue(pc int, n int) {
+	for i := 0; i < n; i++ {
+		op := core.OpInfo{Seq: sc.seq, PC: pc + i}
+		if ok, _ := sc.s.CanIssue(isa.Inst{Op: isa.OpADD}, pc+i); !ok {
+			return
+		}
+		sc.seq++
+		sc.eng.inflight = append(sc.eng.inflight, op)
+		sc.s.OnIssue(op, pc+i+1)
+	}
+}
+
+// branch issues a conditional branch at pc predicted to fall through.
+func (sc *script) branch(pc int) uint64 {
+	op := core.OpInfo{Seq: sc.seq, PC: pc, IsBranch: true}
+	sc.seq++
+	sc.eng.inflight = append(sc.eng.inflight, op)
+	sc.s.OnIssue(op, pc+1)
+	return op.Seq
+}
+
+// finish delivers the n oldest in-flight operations.
+func (sc *script) finish(n int) {
+	for i := 0; i < n && len(sc.eng.inflight) > 0; i++ {
+		op := sc.eng.inflight[0]
+		sc.eng.inflight = sc.eng.inflight[1:]
+		sc.s.OnDeliver(op.Seq, false)
+	}
+	sc.s.Tick()
+}
+
+func (sc *script) verify(branchSeq uint64, next int) {
+	sc.s.OnBranchResolve(branchSeq, false, next)
+	// Remove the branch from the in-flight set.
+	for i, op := range sc.eng.inflight {
+		if op.Seq == branchSeq {
+			sc.eng.inflight = append(sc.eng.inflight[:i], sc.eng.inflight[i+1:]...)
+			break
+		}
+	}
+	sc.s.OnDeliver(branchSeq, false)
+	sc.s.Tick()
+}
+
+// plainMem returns a no-checkpointing memory system over a fresh
+// mapped page, for scripted scenarios that never repair memory.
+func plainMem() diff.MemSystem {
+	m := mem.New()
+	m.Map(0, mem.PageSize)
+	return diff.NewPlain(cache.MustNew(cache.DefaultConfig, m))
+}

@@ -1,0 +1,104 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding. The first word of every instruction is
+//
+//	[31:24] opcode (8 bits)
+//	[23:19] rd     (5 bits)
+//	[18:14] rs1    (5 bits)
+//	[13:9]  rs2    (5 bits)
+//	 [8:0]  zero
+//
+// Formats that carry an immediate (FormatRRI, FormatRI, FormatMem,
+// FormatBr, FormatJ, and TRAP) append a second word holding the full
+// 32-bit immediate. EncodeProgram and DecodeProgram handle the variable
+// length. The simulators operate on decoded []Inst; the binary form
+// exists for tooling (ckptasm, round-trip tests).
+
+// HasImmWord reports whether the encoded form of the opcode carries a
+// trailing 32-bit immediate word.
+func (op Op) HasImmWord() bool {
+	switch op.Format() {
+	case FormatRRR, FormatJR:
+		return false
+	case FormatSys:
+		return op == OpTRAP
+	default:
+		return true
+	}
+}
+
+// Encode appends the binary encoding of in to buf and returns the
+// extended slice. The encoding is one or two 32-bit words.
+func (in Inst) Encode(buf []uint32) []uint32 {
+	w := uint32(in.Op)<<24 | uint32(in.Rd&31)<<19 | uint32(in.Rs1&31)<<14 | uint32(in.Rs2&31)<<9
+	buf = append(buf, w)
+	if in.Op.HasImmWord() {
+		buf = append(buf, uint32(in.Imm))
+	}
+	return buf
+}
+
+// DecodeError reports a malformed binary instruction stream.
+type DecodeError struct {
+	Offset int    // word offset of the faulty instruction
+	Reason string // human-readable description
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: decode error at word %d: %s", e.Offset, e.Reason)
+}
+
+// Decode decodes one instruction starting at words[0] and returns it
+// together with the number of words consumed.
+func Decode(words []uint32) (Inst, int, error) {
+	if len(words) == 0 {
+		return Inst{}, 0, &DecodeError{Offset: 0, Reason: "empty stream"}
+	}
+	w := words[0]
+	op := Op(w >> 24)
+	if !op.Valid() {
+		return Inst{}, 0, &DecodeError{Offset: 0, Reason: fmt.Sprintf("invalid opcode %d", uint8(op))}
+	}
+	in := Inst{
+		Op:  op,
+		Rd:  Reg(w >> 19 & 31),
+		Rs1: Reg(w >> 14 & 31),
+		Rs2: Reg(w >> 9 & 31),
+	}
+	n := 1
+	if op.HasImmWord() {
+		if len(words) < 2 {
+			return Inst{}, 0, &DecodeError{Offset: 0, Reason: "truncated immediate"}
+		}
+		in.Imm = int32(words[1])
+		n = 2
+	}
+	return in, n, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into binary words.
+func EncodeProgram(insts []Inst) []uint32 {
+	buf := make([]uint32, 0, len(insts)*2)
+	for _, in := range insts {
+		buf = in.Encode(buf)
+	}
+	return buf
+}
+
+// DecodeProgram decodes a full binary word stream back to instructions.
+func DecodeProgram(words []uint32) ([]Inst, error) {
+	var insts []Inst
+	for off := 0; off < len(words); {
+		in, n, err := Decode(words[off:])
+		if err != nil {
+			de := err.(*DecodeError)
+			de.Offset += off
+			return nil, de
+		}
+		insts = append(insts, in)
+		off += n
+	}
+	return insts, nil
+}

@@ -1,0 +1,115 @@
+package isa
+
+import "fmt"
+
+// ExcKind distinguishes traps from faults. The distinction matters for
+// checkpoint repair because the two have different precise repair points
+// (paper §2.2):
+//
+//   - a trap's precise repair point is the instruction boundary just to
+//     the RIGHT of the violating instruction (the instruction completes);
+//   - a fault's precise repair point is the instruction boundary just to
+//     the LEFT of the violating instruction (the instruction must appear
+//     never to have executed).
+type ExcKind uint8
+
+// Exception kinds.
+const (
+	ExcNone ExcKind = iota
+	ExcTrap
+	ExcFault
+)
+
+// String returns a readable kind name.
+func (k ExcKind) String() string {
+	switch k {
+	case ExcNone:
+		return "none"
+	case ExcTrap:
+		return "trap"
+	case ExcFault:
+		return "fault"
+	}
+	return fmt.Sprintf("exckind(%d)", uint8(k))
+}
+
+// ExcCode identifies the architectural cause of an exception.
+type ExcCode uint8
+
+// Exception codes.
+const (
+	ExcCodeNone       ExcCode = iota
+	ExcCodeOverflow           // trap: ADDV/SUBV/MULV/ADDIV signed overflow
+	ExcCodeSoftware           // trap: TRAP instruction
+	ExcCodeDivideZero         // fault: DIV/REM by zero
+	ExcCodePageFault          // fault: access to unmapped memory
+	ExcCodeMisaligned         // fault: unaligned longword access
+	ExcCodeBadInst            // fault: invalid opcode
+)
+
+// String returns a readable code name.
+func (c ExcCode) String() string {
+	switch c {
+	case ExcCodeNone:
+		return "none"
+	case ExcCodeOverflow:
+		return "overflow"
+	case ExcCodeSoftware:
+		return "software-trap"
+	case ExcCodeDivideZero:
+		return "divide-by-zero"
+	case ExcCodePageFault:
+		return "page-fault"
+	case ExcCodeMisaligned:
+		return "misaligned"
+	case ExcCodeBadInst:
+		return "bad-instruction"
+	}
+	return fmt.Sprintf("exccode(%d)", uint8(c))
+}
+
+// Kind returns whether the code is a trap or a fault.
+func (c ExcCode) Kind() ExcKind {
+	switch c {
+	case ExcCodeOverflow, ExcCodeSoftware:
+		return ExcTrap
+	case ExcCodeDivideZero, ExcCodePageFault, ExcCodeMisaligned, ExcCodeBadInst:
+		return ExcFault
+	}
+	return ExcNone
+}
+
+// Exception describes an architectural exception raised by one
+// instruction.
+type Exception struct {
+	Code ExcCode
+	PC   int    // instruction index of the violating instruction
+	Addr uint32 // faulting address for memory exceptions
+	Info int32  // trap code for software traps
+}
+
+// Kind returns the exception kind (trap or fault).
+func (e Exception) Kind() ExcKind { return e.Code.Kind() }
+
+// PreciseRepairPC returns the precise repair point expressed as the index
+// of the first instruction that must re-execute after the exception is
+// handled: PC for faults (the violating instruction re-executes), PC+1
+// for traps (the violating instruction completed).
+func (e Exception) PreciseRepairPC() int {
+	if e.Kind() == ExcFault {
+		return e.PC
+	}
+	return e.PC + 1
+}
+
+// String renders the exception for diagnostics.
+func (e Exception) String() string {
+	switch e.Code {
+	case ExcCodeSoftware:
+		return fmt.Sprintf("%s(%d) at pc=%d", e.Code, e.Info, e.PC)
+	case ExcCodePageFault, ExcCodeMisaligned:
+		return fmt.Sprintf("%s addr=%#x at pc=%d", e.Code, e.Addr, e.PC)
+	default:
+		return fmt.Sprintf("%s at pc=%d", e.Code, e.PC)
+	}
+}

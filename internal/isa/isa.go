@@ -1,0 +1,411 @@
+// Package isa defines the instruction set architecture executed by the
+// simulators in this repository.
+//
+// The ISA is a small 32-bit RISC-like load/store architecture chosen to
+// exercise every repair-relevant behaviour in Hwu & Patt's checkpoint
+// repair paper (ISCA 1987):
+//
+//   - almost every instruction can raise an exception (E-repair source):
+//     trapping arithmetic (overflow), divide faults, page faults on
+//     unmapped memory, misaligned accesses, and an explicit TRAP
+//     instruction;
+//   - conditional branches (B-repair source) are plain compare-and-branch
+//     instructions so branch density is directly controlled by workloads;
+//   - loads and stores operate on 4-byte longwords or single bytes, which
+//     exercises the byte masks carried by the paper's difference buffer
+//     entries.
+//
+// The architectural state is 32 general-purpose registers (R0 hardwired
+// to zero), a program counter, and a byte-addressed memory of 32-bit
+// longwords. There are no delay slots: the precise repair point for a
+// mispredicted conditional branch is the instruction boundary just to the
+// right of the branch, as in the non-delayed semantics of the paper.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+// Register 0 reads as zero and ignores writes.
+const NumRegs = 32
+
+// WordSize is the size in bytes of an architectural longword.
+const WordSize = 4
+
+// Reg identifies an architectural register.
+type Reg uint8
+
+// String returns the conventional assembly name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. The groups matter: simulators dispatch on Class(), and
+// exception behaviour is declared per opcode in the opInfo table.
+const (
+	// OpInvalid is the zero Op; decoding it faults.
+	OpInvalid Op = iota
+
+	// Register-register ALU operations.
+	OpADD  // rd = rs1 + rs2 (wrapping)
+	OpADDV // rd = rs1 + rs2, overflow trap
+	OpSUB  // rd = rs1 - rs2 (wrapping)
+	OpSUBV // rd = rs1 - rs2, overflow trap
+	OpMUL  // rd = low 32 bits of rs1 * rs2
+	OpMULV // rd = rs1 * rs2, overflow trap
+	OpDIV  // rd = rs1 / rs2 (signed), divide-by-zero fault
+	OpREM  // rd = rs1 % rs2 (signed), divide-by-zero fault
+	OpAND  // rd = rs1 & rs2
+	OpOR   // rd = rs1 | rs2
+	OpXOR  // rd = rs1 ^ rs2
+	OpNOR  // rd = ^(rs1 | rs2)
+	OpSLL  // rd = rs1 << (rs2 & 31)
+	OpSRL  // rd = rs1 >> (rs2 & 31) logical
+	OpSRA  // rd = rs1 >> (rs2 & 31) arithmetic
+	OpSLT  // rd = 1 if rs1 < rs2 (signed) else 0
+	OpSLTU // rd = 1 if rs1 < rs2 (unsigned) else 0
+
+	// Register-immediate ALU operations. Imm is sign-extended 16 bits
+	// except for the logical operations, which zero-extend, and the
+	// shifts, which use the low 5 bits.
+	OpADDI  // rd = rs1 + imm
+	OpADDIV // rd = rs1 + imm, overflow trap
+	OpANDI  // rd = rs1 & uimm
+	OpORI   // rd = rs1 | uimm
+	OpXORI  // rd = rs1 ^ uimm
+	OpSLTI  // rd = 1 if rs1 < imm (signed) else 0
+	OpSLLI  // rd = rs1 << shamt
+	OpSRLI  // rd = rs1 >> shamt logical
+	OpSRAI  // rd = rs1 >> shamt arithmetic
+	OpLUI   // rd = imm << 16
+
+	// Memory operations. Effective address is rs1 + imm.
+	OpLW  // rd = mem32[ea]; ea must be 4-aligned
+	OpLB  // rd = sign-extended mem8[ea]
+	OpLBU // rd = zero-extended mem8[ea]
+	OpSW  // mem32[ea] = rs2; ea must be 4-aligned
+	OpSB  // mem8[ea] = low byte of rs2
+
+	// Conditional branches. Target is pc + 1 + imm (instruction-indexed).
+	OpBEQ  // branch if rs1 == rs2
+	OpBNE  // branch if rs1 != rs2
+	OpBLT  // branch if rs1 < rs2 (signed)
+	OpBGE  // branch if rs1 >= rs2 (signed)
+	OpBLTU // branch if rs1 < rs2 (unsigned)
+	OpBGEU // branch if rs1 >= rs2 (unsigned)
+
+	// Unconditional control transfers.
+	OpJ    // pc = imm (absolute instruction index)
+	OpJAL  // rd = pc + 1; pc = imm
+	OpJR   // pc = rs1 (instruction index)
+	OpJALR // rd = pc + 1; pc = rs1
+
+	// System instructions.
+	OpTRAP // software trap with code imm
+	OpHALT // stop the machine
+	OpNOP  // no operation
+
+	// Vector instructions (the §6 extension direction: "uniprocessors
+	// with vector, string, and commercial instructions"). Each contains
+	// VectorLen operations — the paper's issueE performs incr(k) for an
+	// instruction of k operations. Element semantics are sequential:
+	// element i completes before element i+1 starts, and the first
+	// excepting element stops the instruction with the exception
+	// reported at the instruction's PC.
+	OpVLW  // rd+i  = mem32[rs1+imm+4i], i in [0,VectorLen)
+	OpVSW  // mem32[rs1+imm+4i] = rs2+i
+	OpVADD // rd+i  = (rs1+i) + (rs2+i)
+
+	numOps
+)
+
+// VectorLen is the fixed element count of vector instructions.
+const VectorLen = 4
+
+// Class partitions opcodes by the pipeline resources they use.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU    Class = iota // integer ALU, including LUI and NOP
+	ClassMulDiv              // long-latency multiply/divide
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional control transfer
+	ClassSystem // TRAP, HALT
+)
+
+// String returns a readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMulDiv:
+		return "muldiv"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassSystem:
+		return "system"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Format describes how an instruction's operand fields are used, which
+// drives encoding, decoding, assembly syntax and dependence analysis.
+type Format uint8
+
+// Instruction formats.
+const (
+	FormatRRR Format = iota // op rd, rs1, rs2
+	FormatRRI               // op rd, rs1, imm
+	FormatRI                // op rd, imm (LUI)
+	FormatMem               // op rd, imm(rs1) loads / op rs2, imm(rs1) stores
+	FormatBr                // op rs1, rs2, target
+	FormatJ                 // op target / op rd, target (JAL)
+	FormatJR                // op rs1 / op rd, rs1 (JALR)
+	FormatSys               // op imm (TRAP) or bare op (HALT, NOP)
+)
+
+type opInfo struct {
+	name     string
+	class    Class
+	format   Format
+	readsRs1 bool
+	readsRs2 bool
+	writesRd bool
+	canTrap  bool // may raise a trap (repair point right of instruction)
+	canFault bool // may raise a fault (repair point left of instruction)
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {name: "invalid", class: ClassSystem, format: FormatSys, canFault: true},
+
+	OpADD:  {name: "add", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpADDV: {name: "addv", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true, canTrap: true},
+	OpSUB:  {name: "sub", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSUBV: {name: "subv", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true, canTrap: true},
+	OpMUL:  {name: "mul", class: ClassMulDiv, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpMULV: {name: "mulv", class: ClassMulDiv, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true, canTrap: true},
+	OpDIV:  {name: "div", class: ClassMulDiv, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true, canFault: true},
+	OpREM:  {name: "rem", class: ClassMulDiv, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true, canFault: true},
+	OpAND:  {name: "and", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpOR:   {name: "or", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpXOR:  {name: "xor", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpNOR:  {name: "nor", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLL:  {name: "sll", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSRL:  {name: "srl", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSRA:  {name: "sra", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLT:  {name: "slt", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLTU: {name: "sltu", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+
+	OpADDI:  {name: "addi", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpADDIV: {name: "addiv", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true, canTrap: true},
+	OpANDI:  {name: "andi", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpORI:   {name: "ori", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpXORI:  {name: "xori", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpSLTI:  {name: "slti", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpSLLI:  {name: "slli", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpSRLI:  {name: "srli", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpSRAI:  {name: "srai", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpLUI:   {name: "lui", class: ClassALU, format: FormatRI, writesRd: true},
+
+	OpLW:  {name: "lw", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpLB:  {name: "lb", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpLBU: {name: "lbu", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpSW:  {name: "sw", class: ClassStore, format: FormatMem, readsRs1: true, readsRs2: true, canFault: true},
+	OpSB:  {name: "sb", class: ClassStore, format: FormatMem, readsRs1: true, readsRs2: true, canFault: true},
+
+	OpBEQ:  {name: "beq", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+	OpBNE:  {name: "bne", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+	OpBLT:  {name: "blt", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+	OpBGE:  {name: "bge", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+	OpBLTU: {name: "bltu", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+	OpBGEU: {name: "bgeu", class: ClassBranch, format: FormatBr, readsRs1: true, readsRs2: true},
+
+	OpJ:    {name: "j", class: ClassJump, format: FormatJ},
+	OpJAL:  {name: "jal", class: ClassJump, format: FormatJ, writesRd: true},
+	OpJR:   {name: "jr", class: ClassJump, format: FormatJR, readsRs1: true},
+	OpJALR: {name: "jalr", class: ClassJump, format: FormatJR, readsRs1: true, writesRd: true},
+
+	OpTRAP: {name: "trap", class: ClassSystem, format: FormatSys, canTrap: true},
+	OpHALT: {name: "halt", class: ClassSystem, format: FormatSys},
+	OpNOP:  {name: "nop", class: ClassALU, format: FormatSys},
+
+	OpVLW:  {name: "vlw", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpVSW:  {name: "vsw", class: ClassStore, format: FormatMem, readsRs1: true, readsRs2: true, canFault: true},
+	OpVADD: {name: "vadd", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+}
+
+// Ops returns the number of operations the instruction contains: 1 for
+// scalar instructions, VectorLen for vector instructions (the paper's
+// k in incr(k)).
+func (op Op) Ops() int {
+	switch op {
+	case OpVLW, OpVSW, OpVADD:
+		return VectorLen
+	}
+	return 1
+}
+
+// IsVector reports whether the opcode is a multi-operation vector
+// instruction.
+func (op Op) IsVector() bool { return op.Ops() > 1 }
+
+// NumOps returns the number of defined opcodes (including OpInvalid).
+func NumOps() int { return int(numOps) }
+
+// Valid reports whether op is a defined opcode other than OpInvalid.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the assembly mnemonic of the opcode.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the pipeline resource class of the opcode.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassSystem
+	}
+	return opTable[op].class
+}
+
+// Format returns the operand format of the opcode.
+func (op Op) Format() Format {
+	if op >= numOps {
+		return FormatSys
+	}
+	return opTable[op].format
+}
+
+// CanTrap reports whether the opcode can raise a trap. The precise repair
+// point of a trap is the instruction boundary just to the right of the
+// violating instruction.
+func (op Op) CanTrap() bool { return op < numOps && opTable[op].canTrap }
+
+// CanFault reports whether the opcode can raise a fault. The precise
+// repair point of a fault is the instruction boundary just to the left of
+// the violating instruction.
+func (op Op) CanFault() bool { return op < numOps && opTable[op].canFault }
+
+// CanExcept reports whether the opcode can raise any exception.
+func (op Op) CanExcept() bool { return op.CanTrap() || op.CanFault() }
+
+// ReadsRs1 reports whether the opcode reads its first source register.
+func (op Op) ReadsRs1() bool { return op < numOps && opTable[op].readsRs1 }
+
+// ReadsRs2 reports whether the opcode reads its second source register.
+func (op Op) ReadsRs2() bool { return op < numOps && opTable[op].readsRs2 }
+
+// WritesRd reports whether the opcode writes its destination register.
+func (op Op) WritesRd() bool { return op < numOps && opTable[op].writesRd }
+
+// OpByName returns the opcode with the given assembly mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// Inst is a decoded instruction. PC-relative branch displacements and
+// absolute jump targets are stored in Imm as instruction indices (the
+// simulated instruction memory is word-indexed, one Inst per index).
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// String renders the instruction in assembly syntax.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatRRR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FormatRRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatRI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case FormatMem:
+		if in.Op.Class() == ClassStore {
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FormatBr:
+		return fmt.Sprintf("%s %s, %s, %+d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case FormatJ:
+		if in.Op == OpJAL {
+			return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+		}
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case FormatJR:
+		if in.Op == OpJALR {
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+		}
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case FormatSys:
+		if in.Op == OpTRAP {
+			return fmt.Sprintf("%s %d", in.Op, in.Imm)
+		}
+		return in.Op.String()
+	}
+	return fmt.Sprintf("%s ???", in.Op)
+}
+
+// IsBranch reports whether the instruction is a conditional branch, the
+// only instruction kind that can cause a B-repair.
+func (in Inst) IsBranch() bool { return in.Op.Class() == ClassBranch }
+
+// IsControl reports whether the instruction redirects the PC
+// (conditional branch or unconditional jump).
+func (in Inst) IsControl() bool {
+	c := in.Op.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsMemWrite reports whether the instruction writes memory.
+func (in Inst) IsMemWrite() bool { return in.Op.Class() == ClassStore }
+
+// Sources returns the architectural registers read by the instruction.
+// The result is at most two registers; absent sources are reported by n.
+func (in Inst) Sources() (rs [2]Reg, n int) {
+	if in.Op.ReadsRs1() {
+		rs[n] = in.Rs1
+		n++
+	}
+	if in.Op.ReadsRs2() {
+		rs[n] = in.Rs2
+		n++
+	}
+	return rs, n
+}
+
+// Dest returns the destination register and whether the instruction
+// writes one.
+func (in Inst) Dest() (Reg, bool) {
+	if in.Op.WritesRd() {
+		return in.Rd, true
+	}
+	return 0, false
+}

@@ -1,0 +1,290 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := OpInvalid + 1; op < Op(NumOps()); op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if !op.Valid() {
+			t.Errorf("op %d not valid", op)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if Op(NumOps()).Valid() {
+		t.Error("out-of-range op must not be valid")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < Op(NumOps()); op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+}
+
+func TestTrapFaultPartition(t *testing.T) {
+	traps := map[Op]bool{OpADDV: true, OpSUBV: true, OpMULV: true, OpADDIV: true, OpTRAP: true}
+	faults := map[Op]bool{
+		OpDIV: true, OpREM: true,
+		OpLW: true, OpLB: true, OpLBU: true, OpSW: true, OpSB: true,
+		OpVLW: true, OpVSW: true,
+		OpInvalid: true,
+	}
+	for op := Op(0); op < Op(NumOps()); op++ {
+		if op.CanTrap() != traps[op] {
+			t.Errorf("%v CanTrap = %v", op, op.CanTrap())
+		}
+		if op.CanFault() != faults[op] {
+			t.Errorf("%v CanFault = %v", op, op.CanFault())
+		}
+		if op.CanTrap() && op.CanFault() {
+			t.Errorf("%v both traps and faults", op)
+		}
+	}
+}
+
+func TestBranchesAreOnlyBRepairSources(t *testing.T) {
+	// "Only those instructions containing conditional branches can cause
+	// B-repairs" (§2.2).
+	n := 0
+	for op := OpInvalid + 1; op < Op(NumOps()); op++ {
+		if op.Class() == ClassBranch {
+			n++
+			in := Inst{Op: op}
+			if !in.IsBranch() {
+				t.Errorf("%v class branch but IsBranch false", op)
+			}
+		}
+	}
+	if n != 6 {
+		t.Errorf("expected 6 conditional branch opcodes, got %d", n)
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	in := Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}
+	rs, n := in.Sources()
+	if n != 2 || rs[0] != 2 || rs[1] != 3 {
+		t.Errorf("ADD sources = %v, %d", rs, n)
+	}
+	if d, ok := in.Dest(); !ok || d != 1 {
+		t.Errorf("ADD dest = %v, %v", d, ok)
+	}
+	st := Inst{Op: OpSW, Rs1: 4, Rs2: 5}
+	if _, ok := st.Dest(); ok {
+		t.Error("SW has no dest")
+	}
+	rs, n = st.Sources()
+	if n != 2 || rs[0] != 4 || rs[1] != 5 {
+		t.Errorf("SW sources = %v, %d", rs, n)
+	}
+	j := Inst{Op: OpJ, Imm: 7}
+	if _, n := j.Sources(); n != 0 {
+		t.Error("J reads no registers")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := Inst{
+			Op:  Op(1 + rng.Intn(NumOps()-1)),
+			Rd:  Reg(rng.Intn(NumRegs)),
+			Rs1: Reg(rng.Intn(NumRegs)),
+			Rs2: Reg(rng.Intn(NumRegs)),
+		}
+		if in.Op.HasImmWord() {
+			in.Imm = int32(rng.Uint32())
+		}
+		words := in.Encode(nil)
+		got, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if n != len(words) || got != in {
+			t.Fatalf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: OpADDI, Rd: 1, Rs1: 0, Imm: 42},
+		{Op: OpADD, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -3},
+		{Op: OpHALT},
+	}
+	words := EncodeProgram(insts)
+	got, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("len %d != %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Errorf("inst %d: %v != %v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty stream must fail")
+	}
+	if _, _, err := Decode([]uint32{uint32(200) << 24}); err == nil {
+		t.Error("invalid opcode must fail")
+	}
+	// ADDI needs an immediate word.
+	if _, _, err := Decode([]uint32{uint32(OpADDI) << 24}); err == nil {
+		t.Error("truncated immediate must fail")
+	}
+	if _, err := DecodeProgram([]uint32{uint32(OpADD) << 24, 0xFF000000}); err == nil {
+		t.Error("invalid second instruction must fail")
+	}
+}
+
+func TestExceptionRepairPoints(t *testing.T) {
+	// Paper §2.2: trap repairs to the right of the violator, fault to
+	// the left.
+	trap := Exception{Code: ExcCodeOverflow, PC: 10}
+	if trap.Kind() != ExcTrap || trap.PreciseRepairPC() != 11 {
+		t.Errorf("trap repair point = %d", trap.PreciseRepairPC())
+	}
+	fault := Exception{Code: ExcCodePageFault, PC: 10, Addr: 0x1000}
+	if fault.Kind() != ExcFault || fault.PreciseRepairPC() != 10 {
+		t.Errorf("fault repair point = %d", fault.PreciseRepairPC())
+	}
+	if ExcCodeNone.Kind() != ExcNone {
+		t.Error("none kind")
+	}
+}
+
+func TestInstStringFormats(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"addi r1, r2, -5": {Op: OpADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"lui r4, 255":     {Op: OpLUI, Rd: 4, Imm: 255},
+		"lw r1, 8(r2)":    {Op: OpLW, Rd: 1, Rs1: 2, Imm: 8},
+		"sw r3, 8(r2)":    {Op: OpSW, Rs2: 3, Rs1: 2, Imm: 8},
+		"beq r1, r2, +4":  {Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 4},
+		"j 12":            {Op: OpJ, Imm: 12},
+		"jal r31, 12":     {Op: OpJAL, Rd: 31, Imm: 12},
+		"jr r31":          {Op: OpJR, Rs1: 31},
+		"jalr r1, r2":     {Op: OpJALR, Rd: 1, Rs1: 2},
+		"trap 3":          {Op: OpTRAP, Imm: 3},
+		"halt":            {Op: OpHALT},
+		"nop":             {Op: OpNOP},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", in.Op, got, want)
+		}
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(opRaw uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		op := Op(1 + int(opRaw)%(NumOps()-1))
+		in := Inst{Op: op, Rd: Reg(rd % NumRegs), Rs1: Reg(rs1 % NumRegs), Rs2: Reg(rs2 % NumRegs)}
+		if op.HasImmWord() {
+			in.Imm = imm
+		}
+		words := in.Encode(nil)
+		got, _, err := Decode(words)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllStringsRender(t *testing.T) {
+	// Every opcode renders in its format without panicking or emitting
+	// placeholder text, and class/kind/code names are all defined.
+	for op := OpInvalid + 1; op < Op(NumOps()); op++ {
+		in := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: 5}
+		s := in.String()
+		if s == "" || strings.Contains(s, "???") {
+			t.Errorf("%v renders %q", op, s)
+		}
+		if op.Class().String() == "" {
+			t.Errorf("%v class unnamed", op)
+		}
+	}
+	for c := ExcCode(0); c <= ExcCodeBadInst; c++ {
+		if strings.HasPrefix(c.String(), "exccode(") {
+			t.Errorf("code %d unnamed", c)
+		}
+	}
+	for k := ExcNone; k <= ExcFault; k++ {
+		if strings.HasPrefix(k.String(), "exckind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Reg(7).String() != "r7" {
+		t.Error("reg name")
+	}
+}
+
+func TestExceptionStrings(t *testing.T) {
+	cases := []Exception{
+		{Code: ExcCodeSoftware, PC: 3, Info: 9},
+		{Code: ExcCodePageFault, PC: 4, Addr: 0x8000},
+		{Code: ExcCodeMisaligned, PC: 5, Addr: 0x13},
+		{Code: ExcCodeOverflow, PC: 6},
+	}
+	for _, e := range cases {
+		s := e.String()
+		if !strings.Contains(s, "pc=") {
+			t.Errorf("exception string %q", s)
+		}
+	}
+}
+
+func TestOperandMetadataConsistency(t *testing.T) {
+	// Formats and operand-usage flags must agree: e.g. FormatRRR ops
+	// read both sources and write rd; stores never write rd.
+	for op := OpInvalid + 1; op < Op(NumOps()); op++ {
+		switch op.Format() {
+		case FormatRRR:
+			if !op.ReadsRs1() || !op.ReadsRs2() || !op.WritesRd() {
+				t.Errorf("%v: FormatRRR flags", op)
+			}
+		case FormatBr:
+			if !op.ReadsRs1() || !op.ReadsRs2() || op.WritesRd() {
+				t.Errorf("%v: FormatBr flags", op)
+			}
+		}
+		if op.Class() == ClassStore && op.WritesRd() {
+			t.Errorf("%v: store writes rd", op)
+		}
+		if op.CanExcept() != (op.CanTrap() || op.CanFault()) {
+			t.Errorf("%v: CanExcept inconsistent", op)
+		}
+	}
+}
+
+func TestVectorOpsInFormats(t *testing.T) {
+	if v := (Inst{Op: OpVLW, Rd: 8, Rs1: 2, Imm: 4}).String(); !strings.Contains(v, "vlw r8, 4(r2)") {
+		t.Errorf("vlw string: %q", v)
+	}
+	if v := (Inst{Op: OpVSW, Rs2: 8, Rs1: 2, Imm: 4}).String(); !strings.Contains(v, "vsw r8, 4(r2)") {
+		t.Errorf("vsw string: %q", v)
+	}
+}

@@ -1,0 +1,516 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Behavioural and timing tests: beyond architectural correctness, the
+// machine must exhibit the pipeline effects the experiments rely on.
+
+func mustAsm(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func tightCfg() Config {
+	return Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewBimodal(256),
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	}
+}
+
+func TestDependenceChainSerializes(t *testing.T) {
+	// A chain of dependent adds cannot beat 1 IPC; independent adds can.
+	chain := mustAsm(t, `
+    addi r1, r0, 1
+    add  r1, r1, r1
+    add  r1, r1, r1
+    add  r1, r1, r1
+    add  r1, r1, r1
+    add  r1, r1, r1
+    add  r1, r1, r1
+    halt
+`)
+	indep := mustAsm(t, `
+    addi r1, r0, 1
+    add  r2, r1, r1
+    add  r3, r1, r1
+    add  r4, r1, r1
+    add  r5, r1, r1
+    add  r6, r1, r1
+    add  r7, r1, r1
+    halt
+`)
+	rc, err := Run(chain, tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Run(indep, tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Stats.Cycles >= rc.Stats.Cycles {
+		t.Errorf("independent ops (%d cycles) not faster than chain (%d)", ri.Stats.Cycles, rc.Stats.Cycles)
+	}
+}
+
+func TestCacheMissCostsCycles(t *testing.T) {
+	// The same load stream with a huge vs tiny cache: the tiny cache
+	// must cost more cycles (misses at 8 cycles vs hits at 1).
+	p, _ := workload.ByName("sieve")
+	big := tightCfg()
+	big.Cache = cache.Config{Sets: 256, Ways: 4, LineBytes: 16, Policy: cache.WriteBack}
+	small := tightCfg()
+	small.Cache = cache.Config{Sets: 1, Ways: 1, LineBytes: 16, Policy: cache.WriteBack}
+	rb, err := Run(p.Load(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(p.Load(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Stats.Cycles <= rb.Stats.Cycles {
+		t.Errorf("1-line cache (%d cycles) not slower than big cache (%d)", rs.Stats.Cycles, rb.Stats.Cycles)
+	}
+	if rs.Cache.Misses <= rb.Cache.Misses {
+		t.Errorf("miss counts: small %d, big %d", rs.Cache.Misses, rb.Cache.Misses)
+	}
+}
+
+func TestIssueWidthMatters(t *testing.T) {
+	p, _ := workload.ByName("matmul")
+	narrow := tightCfg()
+	narrow.Timing = DefaultTiming
+	narrow.Timing.IssueWidth = 1
+	wide := tightCfg()
+	wide.Timing = DefaultTiming
+	wide.Timing.IssueWidth = 4
+	wide.Timing.CDBWidth = 4
+	wide.Timing.ALUUnits = 4
+	rn, err := Run(p.Load(), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Run(p.Load(), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.Cycles >= rn.Stats.Cycles {
+		t.Errorf("4-wide (%d) not faster than 1-wide (%d)", rw.Stats.Cycles, rn.Stats.Cycles)
+	}
+}
+
+func TestJRStallsAndResolves(t *testing.T) {
+	p := mustAsm(t, `
+    addi r1, r0, target
+    jalr r2, r1
+    halt
+target:
+    addi r3, r0, 7
+    jr   r2
+`)
+	res, err := Run(p, tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[3] != 7 {
+		t.Errorf("r3 = %d", res.Regs[3])
+	}
+	if res.Stats.StallCycles[4] == 0 { // StallJump
+		t.Error("indirect jumps should have stalled fetch")
+	}
+}
+
+func TestWrongPathIsReal(t *testing.T) {
+	// With a deliberately wrong predictor, the machine must issue
+	// wrong-path work and squash it.
+	p, _ := workload.ByName("fib")
+	cfg := tightCfg()
+	cfg.Predictor = bpred.NewNotTaken() // the fib loop branch is mostly taken
+	res, err := Run(p.Load(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WrongPath == 0 {
+		t.Error("expected wrong-path issues under an anti-predictor")
+	}
+	if res.Stats.BRepairs == 0 {
+		t.Error("expected B-repairs")
+	}
+	if res.Stats.Issued <= res.Stats.Retired {
+		t.Errorf("issued %d should exceed retired %d", res.Stats.Issued, res.Stats.Retired)
+	}
+}
+
+func TestOracleVsAntiPredictorCycles(t *testing.T) {
+	p, _ := workload.ByName("bubble")
+	anti := tightCfg()
+	anti.Predictor = bpred.NewNotTaken()
+	ra, err := Run(p.Load(), anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := tightCfg()
+	orc.Predictor = bpred.NewOracle()
+	ro, err := Run(p.Load(), orc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Stats.Cycles >= ra.Stats.Cycles {
+		t.Errorf("oracle (%d) not faster than anti-predictor (%d)", ro.Stats.Cycles, ra.Stats.Cycles)
+	}
+}
+
+func TestUndersizedBufferDeadlockDetected(t *testing.T) {
+	// A 2-entry backward difference under a store-heavy segment cannot
+	// make progress; the watchdog must turn that into an error, not a
+	// hang.
+	p := mustAsm(t, `
+    addi r1, r0, 0x1000
+    sw r0, 0(r1)
+    sw r0, 4(r1)
+    sw r0, 8(r1)
+    sw r0, 12(r1)
+    sw r0, 16(r1)
+    sw r0, 20(r1)
+    halt
+.data 0x1000
+buf: .space 64
+`)
+	cfg := Config{
+		Scheme:         core.NewSchemeE(2, 1000, 0), // no W limit, no checkpoints
+		Speculate:      false,
+		MemSystem:      MemBackward3a,
+		BufferCap:      2,
+		WatchdogCycles: 2000,
+	}
+	_, err := Run(p, cfg)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestStallAccountingCoversCycles(t *testing.T) {
+	p, _ := workload.ByName("listsum")
+	res, err := Run(p.Load(), tightCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StallTotal() == 0 {
+		t.Error("pointer chase should stall the front end sometimes")
+	}
+	if res.Stats.StallTotal() >= res.Stats.Cycles {
+		t.Errorf("stalls %d exceed cycles %d", res.Stats.StallTotal(), res.Stats.Cycles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, _ := workload.ByName("fib")
+	if _, err := Run(p.Load(), Config{}); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := Run(p.Load(), Config{Scheme: core.NewSchemeTight(2, 0), Speculate: true}); err == nil {
+		t.Error("speculation without predictor accepted")
+	}
+	if _, err := Run(p.Load(), Config{Scheme: core.NewSchemeTight(2, 0), Speculate: false}); err == nil {
+		t.Error("non-speculative tight scheme accepted (branch checkpoints need successor PCs)")
+	}
+}
+
+func TestMaxCyclesLimit(t *testing.T) {
+	p := mustAsm(t, `
+loop: j loop
+`)
+	cfg := tightCfg()
+	cfg.MaxCycles = 500
+	cfg.WatchdogCycles = 10_000
+	_, err := Run(p, cfg)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("expected cycle-limit error, got %v", err)
+	}
+}
+
+func TestPreciseBudgetSmallStillCorrect(t *testing.T) {
+	// A tiny precise budget forces many repair/exit rounds; correctness
+	// must be unaffected (only speed).
+	for _, k := range []string{"pagedemo", "divzero"} {
+		p, _ := workload.ByName(k)
+		cfg := tightCfg()
+		cfg.PreciseBudget = 2
+		runBoth(t, p.Load(), cfg)
+	}
+}
+
+func TestLatencyJitterChangesTimingNotState(t *testing.T) {
+	p, _ := workload.ByName("crc")
+	base := tightCfg()
+	r1, err := Run(p.Load(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := tightCfg()
+	jit.Timing = DefaultTiming
+	jit.Timing.ExtraLatency = func(seq uint64) int { return int(seq % 7) }
+	r2, err := Run(p.Load(), jit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Cycles <= r1.Stats.Cycles {
+		t.Errorf("jitter did not slow the machine (%d vs %d)", r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+	for i := 1; i < 32; i++ {
+		if r1.Regs[i] != r2.Regs[i] {
+			t.Fatalf("jitter changed architectural state at r%d", i)
+		}
+	}
+}
+
+func TestShadowRetiredMatchesReference(t *testing.T) {
+	// After a full run with exceptions, the shadow must have reached the
+	// architectural end and its retirement count must match refsim's.
+	for _, k := range []string{"pagedemo", "divzero", "bubble"} {
+		p, _ := workload.ByName(k)
+		pl := p.Load()
+		res, err := Run(pl, tightCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.ShadowHalted {
+			t.Errorf("%s: shadow did not halt (alignment lost)", k)
+			continue
+		}
+	}
+}
+
+// TestVectorIncrK: a vector instruction contributes Ops() operations to
+// the issue stream and the scheme bookkeeping — the paper's incr(k).
+func TestVectorIncrK(t *testing.T) {
+	p, _ := workload.ByName("vecadd")
+	cfg := tightCfg()
+	cfg.Predictor = bpred.NewOracle()
+	res, err := Run(p.Load(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vecadd: prologue 4 + 8 iterations x (4 vector + 4 scalar + branch)
+	// + halt. Retired counts instructions; Issued counts operations
+	// (oracle: no wrong-path noise), so Issued - Retired = 8 iters x 4
+	// vector instructions x (VectorLen-1) extra ops = 96.
+	extra := res.Stats.Issued - res.Stats.Retired
+	if extra != 96 {
+		t.Errorf("vector op expansion: issued-retired = %d, want 96", extra)
+	}
+	if !res.ShadowHalted {
+		t.Error("alignment lost on vector kernel")
+	}
+}
+
+// TestVectorMidFaultPrecise: the vecfault kernel faults at element 2 of
+// a vector store; repair and single-step must produce the exact
+// architectural exception and final state under every memory system.
+func TestVectorMidFaultPrecise(t *testing.T) {
+	p, _ := workload.ByName("vecfault")
+	for _, ms := range []MemSystemKind{MemBackward3a, MemBackward3b, MemForward} {
+		t.Run(ms.String(), func(t *testing.T) {
+			cfg := tightCfg()
+			cfg.MemSystem = ms
+			runBoth(t, p.Load(), cfg)
+		})
+	}
+}
+
+// TestVectorWithWriteLimit: a vector store's four operations interact
+// with the per-segment write limit W; a forced checkpoint may land at
+// the instruction's own PC, and re-execution from it is idempotent.
+func TestVectorWithWriteLimit(t *testing.T) {
+	p, _ := workload.ByName("vecadd")
+	cfg := Config{
+		Scheme:    core.NewSchemeE(4, 16, 2), // W=2 < VectorLen
+		Speculate: false,
+		MemSystem: MemBackward3a,
+	}
+	runBoth(t, p.Load(), cfg)
+}
+
+// TestVectorSquashMidCrack: a mispredicted branch resolves while a
+// wrong-path vector instruction is partially cracked; the repair must
+// abandon the remaining micro-ops and restore state exactly.
+func TestVectorSquashMidCrack(t *testing.T) {
+	// The div makes the branch resolve slowly; the anti-predictor sends
+	// fetch into the wrong path, which is packed with vector ops so a
+	// crack is in flight whenever the repair fires.
+	p := mustAsm(t, `
+    addi r1, r0, 40
+    addi r2, r0, 7
+    addi r3, r0, vbuf
+    div  r4, r1, r2        ; slow producer
+    beq  r4, r0, wrong     ; actually not taken (r4=5)
+    addi r5, r0, 1
+    j    done
+wrong:
+    vlw  r8, 0(r3)         ; wrong path: vector work to squash
+    vadd r16, r8, r8
+    vsw  r16, 16(r3)
+    vlw  r20, 0(r3)
+    addi r5, r0, 2
+done:
+    sw   r5, vres(r0)
+    halt
+.data 0x1000
+vbuf: .word 1, 2, 3, 4
+      .space 48
+vres: .word 0
+`)
+	cfg := Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewTaken(), // forces the wrong path at beq
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BRepairs == 0 || res.Stats.WrongPath == 0 {
+		t.Fatalf("scenario did not exercise a wrong-path squash (brep=%d wrong=%d)",
+			res.Stats.BRepairs, res.Stats.WrongPath)
+	}
+	runBoth(t, p, Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewTaken(),
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	})
+	// And under forward differences.
+	runBoth(t, p, Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewTaken(),
+		Speculate: true,
+		MemSystem: MemForward,
+	})
+}
+
+// TestForwardingMakesDependentLoadsFast: under the forward difference a
+// dependent load is served from the buffer (a hit) even when the line
+// is cold, while the backward difference pays the miss on the store.
+func TestForwardingMakesDependentLoadsFast(t *testing.T) {
+	src := `
+    addi r1, r0, 0x1000
+    addi r2, r0, 42
+    sw   r2, 0(r1)
+    lw   r3, 0(r1)
+    sw   r3, 0x2000(r0)
+    halt
+.data 0x1000
+a: .space 16
+.data 0x2000
+b: .space 16
+`
+	p := mustAsm(t, src)
+	run := func(ms MemSystemKind) *Result {
+		cfg := Config{
+			Scheme:    core.NewSchemeE(2, 8, 0),
+			Speculate: false,
+			MemSystem: ms,
+		}
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regs[3] != 42 {
+			t.Fatalf("%v: r3 = %d", ms, res.Regs[3])
+		}
+		return res
+	}
+	fd := run(MemForward)
+	bd := run(MemBackward3b)
+	// The forward system defers the store, so the cold-line miss cost
+	// moves off the critical path (the load forwards).
+	if fd.Stats.Cycles > bd.Stats.Cycles {
+		t.Errorf("forward (%d cycles) slower than backward (%d) on store-load pair", fd.Stats.Cycles, bd.Stats.Cycles)
+	}
+}
+
+// TestCDBWidthContention: with one result bus, independent ops serialise
+// at writeback; widening the bus shortens the run.
+func TestCDBWidthContention(t *testing.T) {
+	p, _ := workload.ByName("matmul")
+	narrow := tightCfg()
+	narrow.Timing = DefaultTiming
+	narrow.Timing.IssueWidth = 4
+	narrow.Timing.ALUUnits = 4
+	narrow.Timing.CDBWidth = 1
+	wide := narrow
+	wide.Timing.CDBWidth = 4
+	rn, err := Run(p.Load(), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Run(p.Load(), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.Cycles >= rn.Stats.Cycles {
+		t.Errorf("CDB=4 (%d cycles) not faster than CDB=1 (%d)", rw.Stats.Cycles, rn.Stats.Cycles)
+	}
+}
+
+// TestTraceEmitsRepairEvents: the Trace hook reports B-misses and
+// E-repair transitions.
+func TestTraceEmitsRepairEvents(t *testing.T) {
+	var events []string
+	k, _ := workload.ByName("pagedemo")
+	cfg := tightCfg()
+	cfg.Trace = func(f string, a ...any) { events = append(events, fmt.Sprintf(f, a...)) }
+	if _, err := Run(k.Load(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var sawPrecise, sawExc bool
+	for _, e := range events {
+		if strings.Contains(e, "precise mode") {
+			sawPrecise = true
+		}
+		if strings.Contains(e, "page-fault") {
+			sawExc = true
+		}
+	}
+	if !sawPrecise || !sawExc {
+		t.Errorf("trace missing events (precise=%v exc=%v, %d lines)", sawPrecise, sawExc, len(events))
+	}
+}
+
+// TestNonZeroEntryPoint: the machine honours .entry.
+func TestNonZeroEntryPoint(t *testing.T) {
+	p := mustAsm(t, `
+helper:
+    addi r9, r0, 99
+    jr   r31
+main:
+    jal  r31, helper
+    addi r1, r9, 1
+    halt
+.entry main
+`)
+	cfg := tightCfg()
+	runBoth(t, p, cfg)
+	res, _ := Run(p, cfg)
+	if res.Regs[1] != 100 {
+		t.Errorf("r1 = %d", res.Regs[1])
+	}
+}

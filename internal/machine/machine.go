@@ -1,0 +1,1162 @@
+// Package machine assembles the complete out-of-order execution machine
+// of the paper: the ooo engine (issue unit, reservation window,
+// functional units, load/store queue), a branch predictor, the
+// copy-technique checkpointed register file, a difference-buffer memory
+// hierarchy, and — at the centre — one of the internal/core checkpoint
+// repair schemes.
+//
+// The machine is cycle-driven and deterministic. Instructions are
+// issued sequentially along the predicted path, so the issuing stream
+// really is "the dynamic instruction stream interspersed with some
+// noise from the incorrectly predicted branch paths" (§2.1): wrong-path
+// operations allocate resources, execute, and modify the current
+// logical space, and only checkpoint repair undoes them.
+//
+// A shadow reference interpreter runs alongside, following the
+// architecturally correct path. It serves two purposes: supplying
+// oracle outcomes to the oracle/synthetic predictors at issue time, and
+// providing the golden architectural state the property-based tests
+// compare against. It never influences machine state.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/ooo"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/regfile"
+	"repro/internal/sem"
+	"repro/internal/stats"
+)
+
+// MemSystemKind selects the memory checkpointing technique.
+type MemSystemKind uint8
+
+// Memory system kinds.
+const (
+	// MemBackward3a: backward difference with Algorithm 3(a) repair.
+	MemBackward3a MemSystemKind = iota
+	// MemBackward3b: backward difference with Algorithm 3(b) repair
+	// (hazard bits, Table 1).
+	MemBackward3b
+	// MemForward: forward difference (redo log with load forwarding).
+	MemForward
+)
+
+// String returns a readable kind name.
+func (k MemSystemKind) String() string {
+	switch k {
+	case MemBackward3a:
+		return "backward-3a"
+	case MemBackward3b:
+		return "backward-3b"
+	case MemForward:
+		return "forward"
+	}
+	return fmt.Sprintf("memsys(%d)", uint8(k))
+}
+
+// Timing sizes the pipeline.
+type Timing struct {
+	IssueWidth int
+	Window     int // reservation window entries (all in-flight ops)
+	LSQ        int
+	ALUUnits   int
+	ALULat     int
+	MulDivUnit int
+	MulLat     int
+	DivLat     int
+	BranchLat  int
+	MemPorts   int
+	CacheHit   int
+	CacheMiss  int
+	CDBWidth   int // results delivered per cycle
+	// ExtraLatency, if non-nil, adds per-operation latency jitter —
+	// "execution times ... are not, in general, predictable" (§2.1).
+	// Must be a pure function of seq for reproducibility.
+	ExtraLatency func(seq uint64) int
+}
+
+// DefaultTiming is a modest four-wide-ish configuration.
+var DefaultTiming = Timing{
+	IssueWidth: 2,
+	Window:     32,
+	LSQ:        16,
+	ALUUnits:   2,
+	ALULat:     1,
+	MulDivUnit: 1,
+	MulLat:     4,
+	DivLat:     12,
+	BranchLat:  1,
+	MemPorts:   1,
+	CacheHit:   1,
+	CacheMiss:  8,
+	CDBWidth:   2,
+}
+
+// Config assembles a machine.
+type Config struct {
+	Scheme    core.Scheme
+	Predictor bpred.Predictor
+	Timing    Timing
+	Cache     cache.Config
+	MemSystem MemSystemKind
+	// BufferCap bounds the difference buffer (0 = unbounded). Theorem 7
+	// says (2c-1)·W entries suffice for a backward difference.
+	BufferCap int
+	// Speculate issues past unresolved conditional branches using the
+	// predictor. When false the issue unit stalls at branches (the only
+	// mode in which the pure E-repair scheme is safe).
+	Speculate bool
+	// PreciseBudget is how many instructions single-step mode executes
+	// after an E-repair before concluding the exception was wrong-path
+	// noise and resuming full speed (paper: "until ... all the
+	// instructions in the E-repair range of the checkpoint used for
+	// repair have finished"). 0 picks a default.
+	PreciseBudget int
+	MaxCycles     int64
+	// WatchdogCycles aborts the run if no instruction issues or
+	// delivers for this many cycles (an undersized difference buffer
+	// can deadlock the pipeline). 0 picks a default.
+	WatchdogCycles int64
+	// Trace, if non-nil, receives one line per notable machine event
+	// (repairs, precise-mode transitions, exceptions). For debugging
+	// and the trace-rendering experiments.
+	Trace func(format string, args ...any)
+}
+
+// Result is the outcome of a machine run.
+type Result struct {
+	Regs       [isa.NumRegs]uint32
+	Mem        *mem.Memory // backing memory after draining all speculative state
+	Exceptions []isa.Exception
+	Halted     bool
+	Stats      stats.Run
+	Scheme     core.Stats
+	Cache      cache.Stats
+	Diff       diff.Stats
+	Regfile    regfile.Stats
+	// PredictorAccuracy is the observed hit ratio over resolved
+	// correct-path branches.
+	PredictorAccuracy float64
+	// ShadowHalted reports whether the shadow interpreter reached the
+	// architectural end of the program (it does whenever alignment was
+	// never permanently lost; Stats.Retired comes from it).
+	ShadowHalted bool
+}
+
+// MatchRef compares the machine's architectural outcome against a
+// reference interpreter result, returning a descriptive error on the
+// first mismatch.
+func (r *Result) MatchRef(ref *refsim.Result) error {
+	if r.Halted != ref.Halted {
+		return fmt.Errorf("halted: machine=%v ref=%v", r.Halted, ref.Halted)
+	}
+	for i := 1; i < isa.NumRegs; i++ {
+		if r.Regs[i] != ref.Regs[i] {
+			return fmt.Errorf("r%d: machine=%#x ref=%#x", i, r.Regs[i], ref.Regs[i])
+		}
+	}
+	if d := r.Mem.Diff(ref.Mem); d != "" {
+		return fmt.Errorf("memory: %s", d)
+	}
+	if len(r.Exceptions) != len(ref.Exceptions) {
+		return fmt.Errorf("exception count: machine=%d ref=%d (machine=%v ref=%v)",
+			len(r.Exceptions), len(ref.Exceptions), r.Exceptions, ref.Exceptions)
+	}
+	for i := range r.Exceptions {
+		if r.Exceptions[i] != ref.Exceptions[i] {
+			return fmt.Errorf("exception %d: machine=%v ref=%v", i, r.Exceptions[i], ref.Exceptions[i])
+		}
+	}
+	return nil
+}
+
+type mode uint8
+
+const (
+	modeNormal mode = iota
+	modePrecise
+)
+
+// Machine is a configured machine instance bound to one program run.
+type Machine struct {
+	cfg  Config
+	prog *prog.Program
+
+	scheme  core.Scheme
+	regs    *regfile.File
+	backing *mem.Memory
+	dcache  *cache.Cache
+	memsys  diff.MemSystem
+	pred    *bpred.Tracked
+
+	shadow  *refsim.Shadow
+	aligned bool
+
+	window *ooo.Station
+	lsq    *ooo.LSQ
+	alu    *ooo.FUPool
+	muldiv *ooo.FUPool
+	branch *ooo.FUPool
+	mport  *ooo.FUPool
+
+	cycle   int64
+	nextSeq uint64
+	fetchPC int
+
+	fetchHalted bool // HALT issued (possibly speculatively)
+	fetchOOR    bool // fetch fell off the code image
+	jumpStall   bool // unresolved indirect jump
+	branchStall bool // non-speculative branch wait
+
+	// crack holds the remaining micro-operations of a partially issued
+	// multi-operation (vector) instruction. Fetch stays at the
+	// instruction until every micro-op has issued; any fetch redirect
+	// abandons the crack.
+	crack struct {
+		elems  []isa.Inst
+		pos    int
+		onTrue bool
+	}
+
+	// repairBusyUntil stalls the issue unit while the backward
+	// difference buffer pops undo entries — one entry per cycle, the
+	// serial shift-register behaviour that makes backward differences
+	// expensive for frequent B-repairs (§4.1.2's argument for forward
+	// differences). Forward-difference repairs discard in place and
+	// cost nothing.
+	repairBusyUntil int64
+	lastUndone      int
+
+	mode          mode
+	preciseLeft   int
+	depthBuf      []int
+	excLog        []isa.Exception
+	done          bool
+	fatal         error
+	lastProgress  int64
+	st            stats.Run
+	preciseTraceC int // precise-mode completions since entry (diagnostics)
+}
+
+// New validates the configuration and builds a machine for one run of p.
+func New(p *prog.Program, cfg Config) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheme == nil {
+		return nil, errors.New("machine: no scheme configured")
+	}
+	if cfg.Timing.IssueWidth == 0 {
+		cfg.Timing = DefaultTiming
+	}
+	if cfg.Cache.Sets == 0 {
+		cfg.Cache = cache.DefaultConfig
+	}
+	if cfg.PreciseBudget <= 0 {
+		cfg.PreciseBudget = 64
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+	if cfg.WatchdogCycles <= 0 {
+		cfg.WatchdogCycles = 100_000
+	}
+	if cfg.Speculate && cfg.Predictor == nil {
+		return nil, errors.New("machine: speculation requires a predictor")
+	}
+	if !cfg.Speculate {
+		if _, ok := cfg.Scheme.(*core.SchemeE); !ok {
+			return nil, errors.New("machine: non-speculative mode supports only SchemeE (branch checkpoints need a known successor PC)")
+		}
+	}
+
+	m := &Machine{cfg: cfg, prog: p, scheme: cfg.Scheme}
+	m.backing = p.NewMemory()
+	c, err := cache.New(cfg.Cache, m.backing)
+	if err != nil {
+		return nil, err
+	}
+	m.dcache = c
+	switch cfg.MemSystem {
+	case MemBackward3a:
+		m.memsys = diff.NewBackward(c, diff.Simple, cfg.BufferCap)
+	case MemBackward3b:
+		m.memsys = diff.NewBackward(c, diff.Sophisticated, cfg.BufferCap)
+	case MemForward:
+		m.memsys = diff.NewForward(c, cfg.BufferCap)
+	default:
+		return nil, fmt.Errorf("machine: unknown memory system %v", cfg.MemSystem)
+	}
+	caps := m.scheme.RegStackCaps()
+	m.regs = regfile.NewStacks(caps...)
+	m.depthBuf = make([]int, len(caps))
+	if cfg.Predictor != nil {
+		m.pred = bpred.NewTracked(cfg.Predictor)
+	}
+	t := cfg.Timing
+	m.window = ooo.NewStation(t.Window)
+	m.lsq = ooo.NewLSQ(t.LSQ)
+	m.alu = ooo.NewFUPool("alu", t.ALUUnits, t.ALULat)
+	m.muldiv = ooo.NewFUPool("muldiv", t.MulDivUnit, t.MulLat)
+	m.branch = ooo.NewFUPool("branch", 1, t.BranchLat)
+	m.mport = ooo.NewFUPool("mem", t.MemPorts, t.CacheHit)
+
+	m.shadow = refsim.NewShadow(p)
+	m.aligned = true
+	m.fetchPC = p.Entry
+	m.nextSeq = 1
+
+	m.scheme.Attach(m.regs, m.memsys, m)
+	m.scheme.Restart(m.fetchPC, m.nextSeq)
+	m.lastProgress = 0
+	return m, nil
+}
+
+// Run executes the machine to completion.
+func Run(p *prog.Program, cfg Config) (*Result, error) {
+	m, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunLoop()
+}
+
+// RunLoop drives cycles until the program completes, a fatal error
+// occurs, or a cycle/watchdog limit trips.
+func (m *Machine) RunLoop() (*Result, error) {
+	for m.Step() {
+	}
+	return m.Finish()
+}
+
+// Step advances the machine one cycle, returning false once the run has
+// completed or failed. External drivers (visualisation, tests) can
+// interleave Step with state inspection; call Finish when done.
+func (m *Machine) Step() bool {
+	if m.done || m.fatal != nil {
+		return false
+	}
+	if m.cycle >= m.cfg.MaxCycles {
+		m.fatal = fmt.Errorf("machine: exceeded %d cycles", m.cfg.MaxCycles)
+		return false
+	}
+	if m.cycle-m.lastProgress > m.cfg.WatchdogCycles {
+		m.fatal = fmt.Errorf("machine: deadlock: no progress for %d cycles (cycle %d, mode %d, window %d, %s)",
+			m.cfg.WatchdogCycles, m.cycle, m.mode, m.window.Len(), m.scheme.Name())
+		return false
+	}
+	m.step()
+	return !m.done && m.fatal == nil
+}
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Done reports whether the program has completed.
+func (m *Machine) Done() bool { return m.done }
+
+// Scheme returns the attached repair scheme (for trace.Capture and
+// inspection while stepping).
+func (m *Machine) Scheme() core.Scheme { return m.scheme }
+
+// InFlight returns the number of operations currently in the window.
+func (m *Machine) InFlight() int { return m.window.Len() }
+
+// Finish drains speculative state and returns the run result, plus the
+// fatal error if the run did not complete cleanly.
+func (m *Machine) Finish() (*Result, error) {
+	res := m.result()
+	if m.fatal != nil {
+		return res, m.fatal
+	}
+	return res, nil
+}
+
+// step advances one cycle: writeback, execute, issue, scheme tick,
+// drain check.
+func (m *Machine) step() {
+	m.writeback()
+	if m.done || m.fatal != nil {
+		return
+	}
+	if n := int64(m.window.Len()); n > m.st.MaxWindow {
+		m.st.MaxWindow = n
+	}
+	m.execute()
+	if m.mode == modePrecise {
+		m.issuePrecise()
+	} else {
+		m.issue()
+	}
+	if m.mode == modeNormal && m.fatal == nil && !m.done {
+		if _, err := m.scheme.Tick(); err != nil {
+			m.fatal = err
+			return
+		}
+		m.chargeRepairWork()
+		m.drainCheck()
+		m.chargeRepairWork()
+	}
+	m.cycle++
+}
+
+// result snapshots the architectural outcome. The memory system is
+// drained so backing memory holds the final image.
+func (m *Machine) result() *Result {
+	m.memsys.Finish()
+	r := &Result{
+		Regs:         m.regs.Snapshot(),
+		Mem:          m.backing,
+		Exceptions:   m.excLog,
+		Halted:       m.done,
+		Stats:        m.st,
+		Scheme:       m.scheme.Stats(),
+		Cache:        m.dcache.Stats(),
+		Diff:         m.memsys.Stats(),
+		Regfile:      m.regs.Stats(),
+		ShadowHalted: m.shadow.Halted(),
+	}
+	r.Stats.Cycles = m.cycle
+	r.Stats.Retired = int64(m.shadow.Retired())
+	r.Stats.ERepairs = int64(r.Scheme.ERepairs)
+	r.Stats.BRepairs = int64(r.Scheme.BRepairs)
+	r.Stats.Checkpoints = int64(r.Scheme.Checkpoints)
+	r.Stats.Exceptions = int64(len(m.excLog))
+	if m.pred != nil {
+		r.PredictorAccuracy = m.pred.Accuracy()
+	}
+	return r
+}
+
+// trace emits a debug event line when tracing is enabled.
+func (m *Machine) trace(format string, args ...any) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace("[cyc %d] "+format, append([]any{m.cycle}, args...)...)
+	}
+}
+
+// --- core.Engine implementation ---
+
+// SquashAfter implements core.Engine.
+func (m *Machine) SquashAfter(seq uint64) []core.OpInfo {
+	squashed := m.window.SquashAfter(seq)
+	m.lsq.SquashAfter(seq)
+	infos := make([]core.OpInfo, 0, len(squashed))
+	for _, o := range squashed {
+		infos = append(infos, core.OpInfo{Seq: o.Seq, PC: o.PC, IsBranch: o.Inst.IsBranch(), IsStore: o.IsStore()})
+	}
+	m.st.WrongPath += int64(len(squashed))
+	m.nextSeq = seq + 1
+	return infos
+}
+
+// RedirectFetch implements core.Engine.
+func (m *Machine) RedirectFetch(pc int) {
+	m.trace("redirect fetch -> pc=%d", pc)
+	m.crack.elems = nil
+	m.crack.pos = 0
+	m.fetchPC = pc
+	m.fetchHalted = false
+	m.fetchOOR = false
+	m.jumpStall = false
+	m.branchStall = false
+}
+
+// EnterPreciseMode implements core.Engine.
+func (m *Machine) EnterPreciseMode(pc int) {
+	m.trace("E-repair: precise mode from pc=%d (shadow pc=%d retired=%d aligned=%v)", pc, m.shadow.PC(), m.shadow.Retired(), m.aligned)
+	m.mode = modePrecise
+	m.preciseLeft = m.cfg.PreciseBudget
+	m.preciseTraceC = 0
+	m.RedirectFetch(pc)
+}
+
+// --- writeback ---
+
+// writeback delivers up to CDBWidth finished results, oldest first.
+func (m *Machine) writeback() {
+	delivered := 0
+	for delivered < m.cfg.Timing.CDBWidth {
+		var next *ooo.Op
+		for _, o := range m.window.Ops() {
+			if o.State == ooo.StateExecuting && o.DoneAt <= m.cycle {
+				next = o
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		m.deliver(next)
+		delivered++
+		if m.done || m.fatal != nil {
+			return
+		}
+	}
+}
+
+// deliver completes one operation: register/broadcast writes, scheme
+// bookkeeping, branch resolution, and (in precise mode) direct
+// exception handling.
+func (m *Machine) deliver(op *ooo.Op) {
+	op.State = ooo.StateDone
+	m.window.Remove(op)
+	if op.IsLoad() || op.IsStore() {
+		m.lsq.Remove(op)
+	}
+	m.lastProgress = m.cycle
+
+	if rd, hasDest := op.Inst.Dest(); hasDest {
+		if m.mode == modePrecise {
+			for i := range m.depthBuf {
+				m.depthBuf[i] = 0
+			}
+		} else {
+			m.scheme.Depths(op.Seq, m.depthBuf)
+		}
+		if op.WroteRd {
+			m.regs.Deliver(m.depthBuf, rd, op.Result, op.Seq)
+			m.window.Broadcast(op.Seq, op.Result)
+		} else {
+			// The operation faulted: architecturally it never executed,
+			// so the reservation is withdrawn (rd keeps its old value in
+			// every space) and waiting consumers are unblocked with the
+			// current value. Anything that consumes it is younger than
+			// the fault and will be squashed by the eventual E-repair;
+			// until then its results are ordinary wrong-path noise.
+			val := m.regs.Cancel(m.depthBuf, rd, op.Seq)
+			m.window.Broadcast(op.Seq, val)
+		}
+	}
+
+	if m.mode == modePrecise {
+		m.deliverPrecise(op)
+		return
+	}
+
+	m.scheme.OnDeliver(op.Seq, op.Exc != isa.ExcCodeNone)
+
+	switch {
+	case op.Inst.IsBranch():
+		actualNext := op.PC + 1
+		if op.Taken {
+			actualNext = op.Target
+		}
+		defer m.chargeRepairWork()
+		if !m.cfg.Speculate {
+			// No prediction was made; resolution just unblocks fetch.
+			m.scheme.OnBranchResolve(op.Seq, false, actualNext)
+			m.branchStall = false
+			m.fetchPC = actualNext
+			if actualNext < 0 || actualNext >= len(m.prog.Code) {
+				m.fetchOOR = true
+			}
+			return
+		}
+		mispredicted := actualNext != op.PredNext
+		if mispredicted {
+			m.trace("B-miss seq=%d pc=%d true=%v actualNext=%d", op.Seq, op.PC, op.OnTruePath, actualNext)
+		}
+		if op.OnTruePath {
+			m.st.Branches++
+			if mispredicted {
+				m.st.Mispredicts++
+			}
+			if m.pred != nil {
+				m.pred.Update(op.PC, op.Taken)
+			}
+		}
+		if !m.scheme.OnBranchResolve(op.Seq, mispredicted, actualNext) {
+			m.fatal = fmt.Errorf("machine: %s cannot repair branch miss at pc=%d", m.scheme.Name(), op.PC)
+			return
+		}
+		if mispredicted && op.OnTruePath {
+			// The repair redirected fetch to the correct path; the
+			// shadow stepped this branch at issue and froze right after
+			// it, so its PC is the actual target and alignment resumes.
+			m.aligned = !m.shadow.Halted() && m.shadow.PC() == actualNext
+		}
+	case op.Inst.Op == isa.OpJR || op.Inst.Op == isa.OpJALR:
+		m.jumpStall = false
+		m.fetchPC = op.Target
+		if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
+			m.fetchOOR = true
+		}
+	}
+}
+
+// deliverPrecise completes one instruction of single-step mode,
+// handling exceptions architecturally (the paper's "the exception
+// handler is invoked in this case").
+func (m *Machine) deliverPrecise(op *ooo.Op) {
+	m.st.PreciseInsts++
+	m.preciseTraceC++
+	m.memsys.Release(op.Seq + 1)
+	m.stepShadowPrecise(op)
+
+	if op.Exc != isa.ExcCodeNone {
+		// An excepting micro-op abandons the rest of its instruction;
+		// a resume-kind handler re-executes the instruction from
+		// element 0 (idempotent — the same values are rewritten).
+		m.crack.elems = nil
+		m.crack.pos = 0
+		exc := isa.Exception{Code: op.Exc, PC: op.PC, Addr: op.ExcAddr, Info: op.TrapInfo}
+		m.trace("precise exception %v handled (seq=%d)", exc, op.Seq)
+		m.excLog = append(m.excLog, exc)
+		switch sem.HandlerAction(op.Exc) {
+		case sem.ActResume:
+			m.backing.Map(op.ExcAddr&^(mem.PageSize-1), mem.PageSize)
+			m.fetchPC = op.PC
+		case sem.ActSkip:
+			m.fetchPC = op.PC + 1
+		case sem.ActContinue:
+			m.fetchPC = op.PC + 1
+		case sem.ActHalt:
+			m.done = true
+			return
+		}
+		m.exitPrecise()
+		return
+	}
+
+	switch {
+	case op.Inst.IsBranch():
+		if op.Taken {
+			m.fetchPC = op.Target
+		} else {
+			m.fetchPC = op.PC + 1
+		}
+	case op.Inst.Op == isa.OpJR || op.Inst.Op == isa.OpJALR:
+		m.fetchPC = op.Target
+	case op.Halt:
+		m.done = true
+		return
+	}
+	if op.LastElem() {
+		m.preciseLeft--
+	}
+	if m.preciseLeft <= 0 {
+		m.exitPrecise()
+	}
+}
+
+// stepShadowPrecise keeps the shadow interpreter in lockstep during
+// single-step mode. Precise execution partly RE-executes instructions
+// the shadow already consumed (everything between the repaired
+// checkpoint and where the shadow froze), so a bare PC match is not
+// enough to know whether the shadow should advance; the exception logs
+// disambiguate. Both sides handle exceptions identically and in the
+// same architectural order, so:
+//
+//   - a non-excepting completion at the shadow's PC advances the shadow
+//     only when the logs are level (the shadow isn't paused on an
+//     exception occurrence the machine has yet to reach);
+//   - an excepting completion at the shadow's PC advances the shadow
+//     only when the shadow has NOT yet logged this occurrence — its
+//     step observes and handles the same exception, keeping the logs
+//     level again.
+func (m *Machine) stepShadowPrecise(op *ooo.Op) {
+	if m.shadow.Halted() || m.shadow.PC() != op.PC {
+		return
+	}
+	// Multi-operation instructions advance the shadow once, at their
+	// final micro-op (the shadow consumes the whole instruction in one
+	// step) — or at an excepting micro-op, where the shadow observes
+	// and handles the same exception.
+	if op.Exc == isa.ExcCodeNone && !op.LastElem() {
+		return
+	}
+	if len(m.shadow.Exceptions()) == len(m.excLog) {
+		m.shadow.Step()
+	}
+}
+
+// exitPrecise resumes full-speed checkpointed execution.
+func (m *Machine) exitPrecise() {
+	m.trace("exit precise: fetchPC=%d shadowPC=%d budgetLeft=%d", m.fetchPC, m.shadow.PC(), m.preciseLeft)
+	m.mode = modeNormal
+	m.fetchHalted = false
+	m.fetchOOR = m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code)
+	m.scheme.Restart(m.fetchPC, m.nextSeq)
+	m.aligned = !m.shadow.Halted() && m.shadow.PC() == m.fetchPC
+}
+
+// --- execute ---
+
+// execute moves ready operations onto functional units and performs
+// memory accesses permitted by the load/store queue ordering rules.
+func (m *Machine) execute() {
+	for _, op := range m.window.Ops() {
+		if op.State != ooo.StateWaiting {
+			continue
+		}
+		if op.IsLoad() || op.IsStore() {
+			m.executeMem(op)
+			continue
+		}
+		if !op.Ready() {
+			continue
+		}
+		pool, extra := m.poolFor(op)
+		if pool == nil {
+			continue
+		}
+		if m.cfg.Timing.ExtraLatency != nil {
+			extra += m.cfg.Timing.ExtraLatency(op.Seq)
+		}
+		done, ok := pool.Acquire(m.cycle, extra)
+		if !ok {
+			continue
+		}
+		m.compute(op)
+		op.State = ooo.StateExecuting
+		op.DoneAt = done
+	}
+}
+
+// poolFor selects the functional unit pool and extra latency for a
+// non-memory operation.
+func (m *Machine) poolFor(op *ooo.Op) (*ooo.FUPool, int) {
+	switch op.Inst.Op.Class() {
+	case isa.ClassMulDiv:
+		extra := 0
+		if op.Inst.Op == isa.OpDIV || op.Inst.Op == isa.OpREM {
+			extra = m.cfg.Timing.DivLat - m.cfg.Timing.MulLat
+		}
+		return m.muldiv, extra
+	case isa.ClassBranch:
+		return m.branch, 0
+	default:
+		return m.alu, 0
+	}
+}
+
+// compute evaluates a non-memory operation's architectural semantics.
+func (m *Machine) compute(op *ooo.Op) {
+	o := sem.EvalALU(op.Inst, op.AVal, op.BVal, op.PC)
+	op.Result = o.Result
+	op.Taken = o.Taken
+	op.Target = o.Target
+	op.TrapInfo = o.TrapInfo
+	op.Halt = o.Halt
+	op.Exc = o.Exc
+	// Fault semantics: the instruction has no effect. Trap semantics:
+	// it completes (result written) and then traps.
+	op.WroteRd = o.WroteRd && o.Exc.Kind() != isa.ExcFault
+}
+
+// executeMem advances one memory operation: address generation, then
+// the cache access once the LSQ ordering rules and a memory port allow.
+func (m *Machine) executeMem(op *ooo.Op) {
+	if !op.AddrReady {
+		if !op.AReady {
+			return
+		}
+		op.Addr = sem.EffAddr(op.Inst, op.AVal)
+		op.AddrReady = true
+	}
+	if op.IsStore() && !op.BReady {
+		return
+	}
+	if !m.lsq.MayAccess(op) {
+		return
+	}
+	unit, ok := m.mport.AcquireUnit(m.cycle)
+	if !ok {
+		return
+	}
+	size := sem.AccessSize(op.Inst.Op)
+	if code := m.memsys.CheckAccess(op.Addr, size); code != isa.ExcCodeNone {
+		// The access faults: it never touches memory, and the fault is
+		// reported at delivery.
+		op.Exc = code
+		op.ExcAddr = op.Addr
+		op.Accessed = true
+		op.State = ooo.StateExecuting
+		op.DoneAt = m.cycle + int64(m.cfg.Timing.CacheHit)
+		m.mport.SetBusy(unit, op.DoneAt)
+		return
+	}
+	if op.IsLoad() {
+		word, hit, _ := m.memsys.Load(op.Addr)
+		op.Result = sem.LoadValue(op.Inst.Op, op.Addr, word)
+		op.WroteRd = true
+		lat := m.cfg.Timing.CacheMiss
+		if hit {
+			lat = m.cfg.Timing.CacheHit
+		}
+		op.Accessed = true
+		op.State = ooo.StateExecuting
+		op.DoneAt = m.cycle + int64(lat)
+		m.mport.SetBusy(unit, op.DoneAt)
+		return
+	}
+	// Store: out-of-order write into the current logical space, with
+	// the difference buffer recording how to undo (backward) or when to
+	// apply (forward).
+	aligned, data, mask := sem.StoreBytes(op.Inst.Op, op.Addr, op.BVal)
+	ok, hit, exc := m.memsys.Store(op.Seq, aligned, data, mask)
+	if exc != isa.ExcCodeNone {
+		op.Exc = exc
+		op.ExcAddr = op.Addr
+		op.Accessed = true
+		op.State = ooo.StateExecuting
+		op.DoneAt = m.cycle + int64(m.cfg.Timing.CacheHit)
+		m.mport.SetBusy(unit, op.DoneAt)
+		return
+	}
+	if !ok {
+		// Difference buffer full of live entries: the store stalls.
+		m.st.StallCycles[stats.StallStoreBuf]++
+		m.mport.SetBusy(unit, m.cycle) // port not consumed
+		return
+	}
+	lat := m.cfg.Timing.CacheMiss
+	if hit {
+		lat = m.cfg.Timing.CacheHit
+	}
+	op.Accessed = true
+	op.State = ooo.StateExecuting
+	op.DoneAt = m.cycle + int64(lat)
+	m.mport.SetBusy(unit, op.DoneAt)
+}
+
+// chargeRepairWork converts difference-buffer undo entries popped since
+// the last call into issue-stall cycles (one entry per cycle, as a
+// serial shift register would take). Called after every scheme
+// operation that can trigger a repair.
+func (m *Machine) chargeRepairWork() {
+	undone := m.memsys.Stats().Undone
+	if d := undone - m.lastUndone; d > 0 {
+		until := m.cycle + int64(d)
+		if until > m.repairBusyUntil {
+			m.repairBusyUntil = until
+		}
+		m.lastProgress = m.cycle // repair work is progress
+	}
+	m.lastUndone = undone
+}
+
+// --- issue ---
+
+// issue runs the normal-mode issue stage: up to IssueWidth instructions
+// along the predicted path.
+func (m *Machine) issue() {
+	issued := 0
+	reason := stats.StallNone
+	for issued < m.cfg.Timing.IssueWidth {
+		if m.cycle < m.repairBusyUntil {
+			reason = stats.StallRepair
+			break
+		}
+		if m.fetchHalted || m.fetchOOR {
+			reason = stats.StallFetchOut
+			break
+		}
+		if m.jumpStall {
+			reason = stats.StallJump
+			break
+		}
+		if m.branchStall {
+			reason = stats.StallBranch
+			break
+		}
+		if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
+			m.fetchOOR = true
+			reason = stats.StallFetchOut
+			break
+		}
+		in := m.prog.Code[m.fetchPC]
+		elem := in
+		if in.Op.IsVector() {
+			if m.crack.elems == nil {
+				m.crack.elems = sem.Expand(in)
+				m.crack.pos = 0
+			}
+			elem = m.crack.elems[m.crack.pos]
+		}
+		if ok, _ := m.scheme.CanIssue(elem, m.fetchPC); !ok {
+			reason = stats.StallScheme
+			break
+		}
+		if m.window.Full() {
+			reason = stats.StallRS
+			break
+		}
+		isMem := elem.Op.Class() == isa.ClassLoad || elem.Op.Class() == isa.ClassStore
+		if isMem && m.lsq.Full() {
+			reason = stats.StallLSQ
+			break
+		}
+		if in.Op.IsVector() {
+			m.issueVectorElem(in, elem)
+		} else {
+			m.issueOne(in)
+		}
+		issued++
+	}
+	if issued == 0 && reason != stats.StallNone {
+		m.st.StallCycles[reason]++
+	}
+}
+
+// issueOne issues the instruction at fetchPC, stepping the shadow for
+// oracle alignment, predicting branches, reserving the destination, and
+// dispatching into the window (and LSQ for memory operations).
+func (m *Machine) issueOne(in isa.Inst) {
+	pc := m.fetchPC
+	seq := m.nextSeq
+	m.nextSeq++
+	m.lastProgress = m.cycle
+
+	op := &ooo.Op{Seq: seq, PC: pc, Inst: in, PredNext: -1}
+	m.readOperands(op)
+
+	// Shadow step for oracle hints and true-path tracking.
+	hint := bpred.OracleHint{}
+	if m.aligned && !m.shadow.Halted() && m.shadow.PC() == pc {
+		r := m.shadow.Step()
+		op.OnTruePath = true
+		switch {
+		case r.Exc.Code != isa.ExcCodeNone:
+			// The shadow handled the exception and froze in a state the
+			// machine will converge to after its own E-repair; until
+			// then the streams diverge.
+			m.aligned = false
+		case r.Branch:
+			hint = bpred.OracleHint{Known: true, Taken: r.Taken}
+		}
+	} else if m.aligned && !m.shadow.Halted() {
+		// Defensive: alignment invariant broken; drop alignment rather
+		// than corrupt oracle hints.
+		m.aligned = false
+	}
+
+	nextPC := pc + 1
+	switch in.Op.Class() {
+	case isa.ClassBranch:
+		if m.cfg.Speculate {
+			taken := m.pred.Predict(pc, in, hint)
+			op.PredTaken = taken
+			if taken {
+				op.PredNext = prog.BranchTarget(in, pc)
+			} else {
+				op.PredNext = pc + 1
+			}
+			nextPC = op.PredNext
+			if op.OnTruePath && hint.Known && taken != hint.Taken {
+				// Mispredicted on the true path: issue continues down
+				// the wrong path until the branch resolves.
+				m.aligned = false
+			}
+		} else {
+			m.branchStall = true
+			nextPC = -1
+		}
+	case isa.ClassJump:
+		if in.Op == isa.OpJ || in.Op == isa.OpJAL {
+			nextPC = int(in.Imm)
+		} else {
+			m.jumpStall = true
+			nextPC = -1
+		}
+	case isa.ClassSystem:
+		if in.Op == isa.OpHALT {
+			m.fetchHalted = true
+			nextPC = -1
+		}
+	}
+
+	if rd, ok := in.Dest(); ok {
+		m.regs.Reserve(rd, seq)
+	}
+	m.window.Add(op)
+	if in.Op.Class() == isa.ClassLoad || in.Op.Class() == isa.ClassStore {
+		m.lsq.Add(op)
+	}
+	m.scheme.OnIssue(core.OpInfo{Seq: seq, PC: pc, IsBranch: in.IsBranch(), IsStore: in.IsMemWrite()}, nextPC)
+	m.st.Issued++
+	if nextPC >= 0 {
+		m.fetchPC = nextPC
+	}
+}
+
+// issueVectorElem issues one micro-operation of a vector instruction.
+// The shadow steps once, at element 0 (the reference interpreter
+// executes the whole instruction in one step); fetch advances only
+// after the last element; the scheme sees one OpInfo per operation —
+// the paper's incr(k) for an instruction of k operations — with the
+// checkpoint boundary (nextPC) known only at the final one, so no
+// checkpoint lands mid-instruction.
+func (m *Machine) issueVectorElem(in isa.Inst, elem isa.Inst) {
+	pc := m.fetchPC
+	seq := m.nextSeq
+	m.nextSeq++
+	m.lastProgress = m.cycle
+
+	if m.crack.pos == 0 {
+		m.crack.onTrue = false
+		if m.aligned && !m.shadow.Halted() && m.shadow.PC() == pc {
+			r := m.shadow.Step()
+			m.crack.onTrue = true
+			if r.Exc.Code != isa.ExcCodeNone {
+				m.aligned = false
+			}
+		} else if m.aligned && !m.shadow.Halted() {
+			m.aligned = false
+		}
+	}
+
+	op := &ooo.Op{
+		Seq: seq, PC: pc, Inst: elem, PredNext: -1,
+		OnTruePath: m.crack.onTrue,
+		Elem:       m.crack.pos, ElemCount: len(m.crack.elems),
+	}
+	m.readOperands(op)
+	if rd, ok := elem.Dest(); ok {
+		m.regs.Reserve(rd, seq)
+	}
+	m.window.Add(op)
+	if elem.Op.Class() == isa.ClassLoad || elem.Op.Class() == isa.ClassStore {
+		m.lsq.Add(op)
+	}
+	nextPC := -1
+	last := m.crack.pos == len(m.crack.elems)-1
+	if last {
+		nextPC = pc + 1
+	}
+	m.scheme.OnIssue(core.OpInfo{Seq: seq, PC: pc, IsStore: elem.IsMemWrite()}, nextPC)
+	m.st.Issued++
+	if last {
+		m.crack.elems = nil
+		m.crack.pos = 0
+		m.fetchPC = pc + 1
+	} else {
+		m.crack.pos++
+	}
+}
+
+// readOperands captures source values or producer tags from the
+// current logical space.
+func (m *Machine) readOperands(op *ooo.Op) {
+	in := op.Inst
+	if in.Op.ReadsRs1() {
+		v, pending, tag := m.regs.Read(in.Rs1)
+		op.AVal, op.AReady, op.ATag = v, !pending, tag
+	} else {
+		op.AReady = true
+	}
+	if in.Op.ReadsRs2() {
+		v, pending, tag := m.regs.Read(in.Rs2)
+		op.BVal, op.BReady, op.BTag = v, !pending, tag
+	} else {
+		op.BReady = true
+	}
+}
+
+// issuePrecise runs single-step mode: one instruction at a time, each
+// completing before the next issues, following actual (not predicted)
+// control flow.
+func (m *Machine) issuePrecise() {
+	if m.window.Len() > 0 {
+		m.st.StallCycles[stats.StallPrecise]++
+		return
+	}
+	if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
+		// Running off the code on the true path: bad-instruction fault,
+		// handler halts.
+		m.excLog = append(m.excLog, isa.Exception{Code: isa.ExcCodeBadInst, PC: m.fetchPC})
+		m.done = true
+		return
+	}
+	pc := m.fetchPC
+	in := m.prog.Code[pc]
+	elem := in
+	elemIdx, elemCount := 0, 1
+	if in.Op.IsVector() {
+		if m.crack.elems == nil {
+			m.crack.elems = sem.Expand(in)
+			m.crack.pos = 0
+		}
+		elem = m.crack.elems[m.crack.pos]
+		elemIdx, elemCount = m.crack.pos, len(m.crack.elems)
+	}
+	seq := m.nextSeq
+	m.nextSeq++
+	m.lastProgress = m.cycle
+
+	op := &ooo.Op{Seq: seq, PC: pc, Inst: elem, PredNext: -1, OnTruePath: true,
+		Elem: elemIdx, ElemCount: elemCount}
+	m.readOperands(op)
+	if rd, ok := elem.Dest(); ok {
+		m.regs.Reserve(rd, seq)
+	}
+	m.window.Add(op)
+	if elem.Op.Class() == isa.ClassLoad || elem.Op.Class() == isa.ClassStore {
+		m.lsq.Add(op)
+	}
+	m.st.Issued++
+	if in.Op.IsVector() {
+		if op.LastElem() {
+			m.crack.elems = nil
+			m.crack.pos = 0
+			m.fetchPC = pc + 1
+		} else {
+			m.crack.pos++
+		}
+	} else if !in.IsControl() && in.Op != isa.OpHALT {
+		m.fetchPC = pc + 1
+	}
+	// Control instructions set fetchPC at delivery.
+}
+
+// stuckThreshold is how many progress-free cycles the machine waits
+// before asking the scheme to fire a pending repair out of turn. The
+// paper's E-repair trigger waits for the excepting checkpoint to shift
+// to the oldest window position, which requires further checkpoint
+// pushes; a clogged pipeline (issue stalled on a full window whose
+// operations transitively depend on a faulted producer) can prevent
+// those pushes forever. Repairing to the oldest checkpoint is always
+// state-safe, so firing early merely discards more work.
+const stuckThreshold = 1024
+
+// drainCheck detects the end of the run (fetch exhausted, pipeline
+// empty, no pending repair work) and fires stuck-pipeline repairs.
+func (m *Machine) drainCheck() {
+	if m.window.Len() > 0 && m.cycle-m.lastProgress > stuckThreshold {
+		repaired, err := m.scheme.Drain()
+		if err != nil {
+			m.fatal = err
+			return
+		}
+		if repaired {
+			m.lastProgress = m.cycle
+			return
+		}
+	}
+	if !(m.fetchHalted || m.fetchOOR) || m.window.Len() > 0 {
+		return
+	}
+	repaired, err := m.scheme.Drain()
+	if err != nil {
+		m.fatal = err
+		return
+	}
+	if repaired {
+		return // precise mode will take it from here
+	}
+	if m.fetchOOR {
+		m.excLog = append(m.excLog, isa.Exception{Code: isa.ExcCodeBadInst, PC: m.fetchPC})
+	}
+	m.done = true
+}

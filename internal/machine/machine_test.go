@@ -1,0 +1,384 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+// schemesUnderTest builds one fresh instance of every scheme
+// configuration the matrix runs. Schemes are stateful, so each test run
+// needs its own.
+func schemesUnderTest() map[string]func() core.Scheme {
+	return map[string]func() core.Scheme{
+		"tight4":     func() core.Scheme { return core.NewSchemeTight(4, 0) },
+		"tight2":     func() core.Scheme { return core.NewSchemeTight(2, 0) },
+		"direct":     func() core.Scheme { return core.NewSchemeDirect(2, 4, 12, 0) },
+		"loose":      func() core.Scheme { return core.NewSchemeLoose(2, 4, 12) },
+		"loose-tiny": func() core.Scheme { return core.NewSchemeLoose(1, 2, 6) },
+	}
+}
+
+func runBoth(t *testing.T, p *prog.Program, cfg Config) {
+	t.Helper()
+	ref, err := refsim.Run(p, refsim.Options{})
+	if err != nil {
+		t.Fatalf("refsim: %v", err)
+	}
+	if !ref.Halted {
+		t.Fatalf("refsim did not halt")
+	}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if err := res.MatchRef(ref); err != nil {
+		t.Fatalf("golden mismatch: %v", err)
+	}
+}
+
+// TestKernelsAllSchemes is the master correctness matrix: every kernel
+// on every combined scheme and memory system must match the golden
+// model exactly (registers, memory, exception sequence).
+func TestKernelsAllSchemes(t *testing.T) {
+	memKinds := []MemSystemKind{MemBackward3a, MemBackward3b, MemForward}
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		for name, mk := range schemesUnderTest() {
+			for _, mem := range memKinds {
+				t.Run(fmt.Sprintf("%s/%s/%s", k.Name, name, mem), func(t *testing.T) {
+					cfg := Config{
+						Scheme:    mk(),
+						Predictor: bpred.NewBimodal(256),
+						MemSystem: mem,
+						Speculate: true,
+					}
+					runBoth(t, p, cfg)
+				})
+			}
+		}
+	}
+}
+
+// TestKernelsSchemeE runs the pure E-repair scheme in its safe
+// configuration: no branch speculation.
+func TestKernelsSchemeE(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		for _, c := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/c%d", k.Name, c), func(t *testing.T) {
+				cfg := Config{
+					Scheme:    core.NewSchemeE(c, 8, 0),
+					Speculate: false,
+					MemSystem: MemBackward3b,
+				}
+				runBoth(t, k.Load(), cfg)
+			})
+		}
+	}
+}
+
+// TestKernelsSchemeB runs the pure B-repair scheme on exception-free
+// kernels.
+func TestKernelsSchemeB(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		if k.Excepts {
+			continue
+		}
+		for _, c := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/c%d", k.Name, c), func(t *testing.T) {
+				cfg := Config{
+					Scheme:    core.NewSchemeB(c),
+					Predictor: bpred.NewBimodal(256),
+					Speculate: true,
+					MemSystem: MemForward,
+				}
+				runBoth(t, k.Load(), cfg)
+			})
+		}
+	}
+}
+
+// TestPredictors runs a branchy kernel under every predictor.
+func TestPredictors(t *testing.T) {
+	p, err := workload.ByName("bubble")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []bpred.Predictor{
+		bpred.NewNotTaken(),
+		bpred.NewTaken(),
+		bpred.NewBTFN(),
+		bpred.NewBimodal(64),
+		bpred.NewGShare(256, 6),
+		bpred.NewOracle(),
+		bpred.NewSynthetic(0.85, 1),
+		bpred.NewSynthetic(0.5, 2),
+	}
+	for _, pr := range preds {
+		t.Run(pr.Name(), func(t *testing.T) {
+			cfg := Config{
+				Scheme:    core.NewSchemeTight(4, 0),
+				Predictor: pr,
+				Speculate: true,
+				MemSystem: MemBackward3b,
+			}
+			runBoth(t, p.Load(), cfg)
+		})
+	}
+}
+
+// TestOracleHasNoMispredicts checks the oracle predictor eliminates
+// B-repairs on the true path.
+func TestOracleHasNoMispredicts(t *testing.T) {
+	p, _ := workload.ByName("bubble")
+	cfg := Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewOracle(),
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	}
+	res, err := Run(p.Load(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Mispredicts != 0 {
+		t.Errorf("oracle mispredicted %d times", res.Stats.Mispredicts)
+	}
+	if !res.ShadowHalted {
+		t.Error("shadow alignment lost under oracle prediction")
+	}
+}
+
+// TestRandomProperty is the main property-based shakedown: random
+// programs (with dynamic faults, traps, demand paging, data-dependent
+// branches) under random scheme/memory/timing configurations must match
+// the golden model.
+func TestRandomProperty(t *testing.T) {
+	memKinds := []MemSystemKind{MemBackward3a, MemBackward3b, MemForward}
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := workload.Random(seed, workload.DefaultRandomOpts)
+		i := 0
+		for name, mk := range schemesUnderTest() {
+			mem := memKinds[(int(seed)+i)%len(memKinds)]
+			i++
+			t.Run(fmt.Sprintf("seed%d/%s/%s", seed, name, mem), func(t *testing.T) {
+				cfg := Config{
+					Scheme:    mk(),
+					Predictor: bpred.NewBimodal(128),
+					MemSystem: mem,
+					Speculate: true,
+				}
+				// Latency jitter: unpredictable execution times (§2.1).
+				cfg.Timing = DefaultTiming
+				cfg.Timing.ExtraLatency = func(s uint64) int {
+					return int((s*2654435761 + uint64(seed)) % 5)
+				}
+				runBoth(t, p, cfg)
+			})
+		}
+	}
+}
+
+// TestRandomPropertySchemeB runs exception-free random programs on the
+// pure B scheme.
+func TestRandomPropertySchemeB(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		p := workload.Random(seed, workload.ExceptionFreeRandomOpts)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Scheme:    core.NewSchemeB(3),
+				Predictor: bpred.NewGShare(128, 5),
+				Speculate: true,
+				MemSystem: MemForward,
+			}
+			runBoth(t, p, cfg)
+		})
+	}
+}
+
+// TestLoopNestProperty runs nested-loop programs (correlated branch
+// history, inner branches resolving while outer ones stay pending)
+// through the golden matrix.
+func TestLoopNestProperty(t *testing.T) {
+	memKinds := []MemSystemKind{MemBackward3a, MemBackward3b, MemForward}
+	for seed := int64(0); seed < 12; seed++ {
+		p := workload.LoopNest(seed, workload.DefaultLoopNest)
+		i := 0
+		for name, mk := range schemesUnderTest() {
+			mem := memKinds[(int(seed)+i)%len(memKinds)]
+			i++
+			t.Run(fmt.Sprintf("seed%d/%s/%s", seed, name, mem), func(t *testing.T) {
+				cfg := Config{
+					Scheme:    mk(),
+					Predictor: bpred.NewGShare(512, 8),
+					MemSystem: mem,
+					Speculate: true,
+				}
+				runBoth(t, p, cfg)
+			})
+		}
+	}
+}
+
+// TestStressLongRandom runs a few large random programs end to end
+// (thousands of architectural instructions, heavy exception mix).
+func TestStressLongRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress run")
+	}
+	opts := workload.DefaultRandomOpts
+	opts.BodyLen = 120
+	opts.Iters = 60
+	for seed := int64(500); seed < 506; seed++ {
+		p := workload.Random(seed, opts)
+		cfg := Config{
+			Scheme:    core.NewSchemeTight(6, 0),
+			Predictor: bpred.NewBimodal(512),
+			MemSystem: MemBackward3b,
+			Speculate: true,
+		}
+		cfg.Timing = DefaultTiming
+		cfg.Timing.ExtraLatency = func(s uint64) int { return int(s % 4) }
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { runBoth(t, p, cfg) })
+	}
+}
+
+// TestBufferCapMatrix: bounded difference buffers sized at the safe
+// bound must stay golden (no silent corruption from overflow-discard).
+func TestBufferCapMatrix(t *testing.T) {
+	for _, k := range []string{"sieve", "memcpy"} {
+		kn, _ := workload.ByName(k)
+		p := kn.Load()
+		for _, cap := range []int{64, 256} {
+			t.Run(fmt.Sprintf("%s/cap%d", k, cap), func(t *testing.T) {
+				cfg := Config{
+					Scheme:    core.NewSchemeTight(4, 0),
+					Predictor: bpred.NewBimodal(256),
+					MemSystem: MemBackward3a,
+					Speculate: true,
+					BufferCap: cap,
+				}
+				runBoth(t, p, cfg)
+			})
+		}
+	}
+}
+
+// TestRandomPropertyWiderConfigs varies predictors, write limits, cache
+// geometry and buffer caps across random programs.
+func TestRandomPropertyWiderConfigs(t *testing.T) {
+	type cfgMk func() Config
+	cfgs := []cfgMk{
+		func() Config {
+			return Config{
+				Scheme:    core.NewSchemeTight(4, 0),
+				Predictor: bpred.NewOracle(),
+				Speculate: true,
+				MemSystem: MemBackward3b,
+			}
+		},
+		func() Config {
+			return Config{
+				Scheme:    core.NewSchemeTight(6, 0),
+				Predictor: bpred.NewSynthetic(0.85, 11),
+				Speculate: true,
+				MemSystem: MemForward,
+			}
+		},
+		func() Config {
+			c := Config{
+				Scheme:    core.NewSchemeDirect(3, 3, 10, 4), // W enforced
+				Predictor: bpred.NewBTFN(),
+				Speculate: true,
+				MemSystem: MemBackward3a,
+				BufferCap: 128,
+			}
+			return c
+		},
+		func() Config {
+			c := Config{
+				Scheme:    core.NewSchemeE(3, 6, 3),
+				Speculate: false,
+				MemSystem: MemBackward3a,
+				BufferCap: 64,
+			}
+			c.Cache = cacheTiny()
+			return c
+		},
+	}
+	for seed := int64(200); seed < 212; seed++ {
+		p := workload.Random(seed, workload.DefaultRandomOpts)
+		for i, mk := range cfgs {
+			t.Run(fmt.Sprintf("seed%d/cfg%d", seed, i), func(t *testing.T) {
+				runBoth(t, p, mk())
+			})
+		}
+	}
+}
+
+// TestPublicSteppingAPI drives a run manually through Step/Finish and
+// captures mid-run checkpoint snapshots.
+func TestPublicSteppingAPI(t *testing.T) {
+	k, _ := workload.ByName("fib")
+	p := k.Load()
+	m, err := New(p, Config{
+		Scheme:    core.NewSchemeTight(3, 0),
+		Predictor: bpred.NewBimodal(64),
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	sawCheckpoint := false
+	for m.Step() {
+		steps++
+		if insp, ok := m.Scheme().(core.Inspectable); ok {
+			for _, st := range insp.Views() {
+				if len(st) > 0 {
+					sawCheckpoint = true
+				}
+			}
+		}
+		if m.InFlight() < 0 {
+			t.Fatal("negative occupancy")
+		}
+	}
+	res, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() || !res.Halted {
+		t.Error("stepped run did not complete")
+	}
+	if int64(steps) > m.Cycle() || steps == 0 {
+		t.Errorf("steps %d vs cycles %d", steps, m.Cycle())
+	}
+	if !sawCheckpoint {
+		t.Error("never observed an active checkpoint via Views")
+	}
+	ref, _ := refsim.Run(p, refsim.Options{})
+	if err := res.MatchRef(ref); err != nil {
+		t.Fatalf("stepped run mismatch: %v", err)
+	}
+	// Step after completion is inert.
+	if m.Step() {
+		t.Error("Step after completion returned true")
+	}
+}
+
+func cacheTiny() cache.Config {
+	return cache.Config{Sets: 2, Ways: 1, LineBytes: 16, Policy: cache.WriteBack}
+}

@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Regression tests for defects found while bringing the machine up.
+// Each reproduces the original failure's trigger conditions.
+
+// Regression: Backward.Repair compacted kept entries in place while
+// iterating the same slice backwards, corrupting interleaved live
+// entries (symptom: stale bytes in scratch memory after repeated
+// B+E-repairs on seed-3 random programs under loose(1,2,6)/3b).
+func TestRegressionBackwardRepairAliasing(t *testing.T) {
+	p := workload.Random(3, workload.DefaultRandomOpts)
+	cfg := Config{
+		Scheme:    core.NewSchemeLoose(1, 2, 6),
+		Predictor: bpred.NewBimodal(128),
+		MemSystem: MemBackward3b,
+		Speculate: true,
+	}
+	cfg.Timing = DefaultTiming
+	cfg.Timing.ExtraLatency = func(s uint64) int { return int((s*2654435761 + 3) % 5) }
+	runBoth(t, p, cfg)
+}
+
+// Regression: an E checkpoint established exactly at a mispredicted
+// branch's boundary survived the B-repair with its PREDICTED-path
+// resume PC; a later E-repair then precise-executed the wrong path
+// (symptom: register divergence on seed-3 under direct/forward).
+func TestRegressionDirectCheckpointAtBranchBoundary(t *testing.T) {
+	p := workload.Random(3, workload.DefaultRandomOpts)
+	cfg := Config{
+		Scheme:    core.NewSchemeDirect(2, 4, 12, 0),
+		Predictor: bpred.NewBimodal(128),
+		MemSystem: MemForward,
+		Speculate: true,
+	}
+	cfg.Timing = DefaultTiming
+	cfg.Timing.ExtraLatency = func(s uint64) int { return int((s*2654435761 + 3) % 5) }
+	runBoth(t, p, cfg)
+}
+
+// Regression: a faulting operation left its destination-register
+// reservation pending in the current space and in backup spaces;
+// dependents hung forever (pipeline deadlock) and a later Restart
+// pushed the stale mark into a fresh checkpoint, blowing the Theorem 4
+// guard on the next recall (symptom: panic on divzero under tight/3a).
+func TestRegressionFaultLeavesNoStaleReservation(t *testing.T) {
+	for _, ms := range []MemSystemKind{MemBackward3a, MemBackward3b, MemForward} {
+		k, _ := workload.ByName("divzero")
+		cfg := Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			MemSystem: ms,
+			Speculate: true,
+		}
+		runBoth(t, k.Load(), cfg)
+	}
+}
+
+// Regression: the E-repair trigger waits for the excepting checkpoint
+// to become the oldest, which requires further checkpoint pushes; a
+// window clogged with dependents of a faulted load prevented the pushes
+// forever (symptom: watchdog deadlock on pagedemo under tight/loose).
+// The stuck-pipeline Drain escape fires the repair instead.
+func TestRegressionStuckPipelineRepairEscape(t *testing.T) {
+	for _, mk := range []func() core.Scheme{
+		func() core.Scheme { return core.NewSchemeTight(4, 0) },
+		func() core.Scheme { return core.NewSchemeLoose(1, 2, 6) },
+	} {
+		k, _ := workload.ByName("pagedemo")
+		cfg := Config{
+			Scheme:    mk(),
+			Predictor: bpred.NewBimodal(256),
+			MemSystem: MemBackward3a,
+			Speculate: true,
+		}
+		runBoth(t, k.Load(), cfg)
+	}
+}
+
+// Regression: scheme window and register-file stack depth must stay in
+// lockstep across establish/retire/repair; a SchemeE(1) retire left a
+// nil oldest checkpoint dereference in the memory release path.
+func TestRegressionSchemeESingleSpace(t *testing.T) {
+	for _, k := range []string{"fib", "sieve", "divzero"} {
+		kn, _ := workload.ByName(k)
+		cfg := Config{
+			Scheme:    core.NewSchemeE(1, 8, 0),
+			Speculate: false,
+			MemSystem: MemBackward3b,
+		}
+		runBoth(t, kn.Load(), cfg)
+	}
+}
+
+// Regression: count retraction after a direct-scheme B-repair
+// mis-attributed operations counted on popped E checkpoints to the
+// surviving ones, driving Active negative and letting undrained
+// checkpoints retire (symptom: Theorem 4 panic on random seed 0).
+func TestRegressionDirectSquashAccounting(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p := workload.Random(seed, workload.DefaultRandomOpts)
+		cfg := Config{
+			Scheme:    core.NewSchemeDirect(2, 4, 12, 0),
+			Predictor: bpred.NewBimodal(128),
+			MemSystem: MemBackward3b,
+			Speculate: true,
+		}
+		cfg.Timing = DefaultTiming
+		cfg.Timing.ExtraLatency = func(s uint64) int { return int((s*2654435761 + uint64(seed)) % 5) }
+		runBoth(t, p, cfg)
+	}
+}

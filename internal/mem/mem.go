@@ -1,0 +1,246 @@
+// Package mem implements the simulated main memory.
+//
+// Memory is byte-addressed and paged. Accesses to unmapped pages raise
+// page faults, one of the E-repair sources in the checkpoint repair
+// paper: a faulting load or store must appear never to have executed, so
+// the repair mechanism has to restore state to the instruction boundary
+// just to the left of the access.
+//
+// The data memory modelled here is the architectural "main memory" half
+// of a logical space (paper §2.3). The cache (internal/cache) and
+// difference buffers (internal/diff) layer the checkpointing machinery on
+// top of this backing store; the in-order reference interpreter
+// (internal/refsim) uses it directly.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// PageSize is the size in bytes of a memory page. Page granularity only
+// matters for fault behaviour; it has no timing significance.
+const PageSize = 4096
+
+// Memory is a paged byte-addressed memory. The zero value is an empty
+// memory with no mapped pages.
+type Memory struct {
+	pages map[uint32][]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32][]byte)}
+}
+
+// Clone returns a deep copy of the memory.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, pg := range m.pages {
+		np := make([]byte, PageSize)
+		copy(np, pg)
+		c.pages[pn] = np
+	}
+	return c
+}
+
+// Map ensures every page overlapping [addr, addr+size) is mapped,
+// zero-filling newly created pages.
+func (m *Memory) Map(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint32][]byte)
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for pn := first; ; pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			m.pages[pn] = make([]byte, PageSize)
+		}
+		if pn == last {
+			break
+		}
+	}
+}
+
+// Mapped reports whether the single byte at addr is mapped.
+func (m *Memory) Mapped(addr uint32) bool {
+	_, ok := m.pages[addr/PageSize]
+	return ok
+}
+
+// MappedRange reports whether every byte of [addr, addr+size) is mapped.
+func (m *Memory) MappedRange(addr, size uint32) bool {
+	if size == 0 {
+		return true
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for pn := first; ; pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			return false
+		}
+		if pn == last {
+			break
+		}
+	}
+	return true
+}
+
+// page returns the page containing addr, or nil if unmapped.
+func (m *Memory) page(addr uint32) []byte {
+	return m.pages[addr/PageSize]
+}
+
+// check validates an access and returns the exception code it raises,
+// or isa.ExcCodeNone. Longword accesses must be 4-aligned; an aligned
+// longword never straddles a page.
+func (m *Memory) check(addr, size uint32) isa.ExcCode {
+	if size == isa.WordSize && addr%isa.WordSize != 0 {
+		return isa.ExcCodeMisaligned
+	}
+	if !m.MappedRange(addr, size) {
+		return isa.ExcCodePageFault
+	}
+	return isa.ExcCodeNone
+}
+
+// CheckRead returns the exception code a read of the given size at addr
+// would raise, without performing it. Reads and writes fault identically.
+func (m *Memory) CheckRead(addr, size uint32) isa.ExcCode { return m.check(addr, size) }
+
+// CheckWrite returns the exception code a write of the given size at
+// addr would raise, without performing it.
+func (m *Memory) CheckWrite(addr, size uint32) isa.ExcCode { return m.check(addr, size) }
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) (byte, isa.ExcCode) {
+	if code := m.check(addr, 1); code != isa.ExcCodeNone {
+		return 0, code
+	}
+	return m.page(addr)[addr%PageSize], isa.ExcCodeNone
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) isa.ExcCode {
+	if code := m.check(addr, 1); code != isa.ExcCodeNone {
+		return code
+	}
+	m.page(addr)[addr%PageSize] = v
+	return isa.ExcCodeNone
+}
+
+// Read32 reads an aligned little-endian longword.
+func (m *Memory) Read32(addr uint32) (uint32, isa.ExcCode) {
+	if code := m.check(addr, isa.WordSize); code != isa.ExcCodeNone {
+		return 0, code
+	}
+	pg := m.page(addr)
+	off := addr % PageSize
+	return uint32(pg[off]) | uint32(pg[off+1])<<8 | uint32(pg[off+2])<<16 | uint32(pg[off+3])<<24, isa.ExcCodeNone
+}
+
+// Write32 writes an aligned little-endian longword.
+func (m *Memory) Write32(addr uint32, v uint32) isa.ExcCode {
+	if code := m.check(addr, isa.WordSize); code != isa.ExcCodeNone {
+		return code
+	}
+	pg := m.page(addr)
+	off := addr % PageSize
+	pg[off] = byte(v)
+	pg[off+1] = byte(v >> 8)
+	pg[off+2] = byte(v >> 16)
+	pg[off+3] = byte(v >> 24)
+	return isa.ExcCodeNone
+}
+
+// ReadMasked reads the aligned longword containing addr and returns it;
+// used by the difference buffers, which operate on whole longwords with
+// byte masks as in the paper's buffer entry format.
+func (m *Memory) ReadMasked(addr uint32) (uint32, isa.ExcCode) {
+	return m.Read32(addr &^ 3)
+}
+
+// WriteMasked writes the bytes of v selected by mask (bit i covers byte
+// i) into the aligned longword containing addr.
+func (m *Memory) WriteMasked(addr uint32, v uint32, mask uint8) isa.ExcCode {
+	base := addr &^ 3
+	old, code := m.Read32(base)
+	if code != isa.ExcCodeNone {
+		return code
+	}
+	merged := MergeMasked(old, v, mask)
+	return m.Write32(base, merged)
+}
+
+// MergeMasked overlays the bytes of v selected by mask onto old.
+func MergeMasked(old, v uint32, mask uint8) uint32 {
+	out := old
+	for i := 0; i < isa.WordSize; i++ {
+		if mask&(1<<i) != 0 {
+			shift := uint(8 * i)
+			out = out&^(0xff<<shift) | v&(0xff<<shift)
+		}
+	}
+	return out
+}
+
+// MappedPages returns the sorted list of mapped page numbers.
+func (m *Memory) MappedPages() []uint32 {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// Equal reports whether two memories have identical mapped pages with
+// identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.pages) != len(o.pages) {
+		return false
+	}
+	for pn, pg := range m.pages {
+		opg, ok := o.pages[pn]
+		if !ok {
+			return false
+		}
+		for i := range pg {
+			if pg[i] != opg[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first difference
+// between two memories, or "" if they are equal. Intended for test
+// failure messages.
+func (m *Memory) Diff(o *Memory) string {
+	seen := make(map[uint32]bool)
+	for pn := range m.pages {
+		seen[pn] = true
+		opg, ok := o.pages[pn]
+		if !ok {
+			return fmt.Sprintf("page %#x mapped only on left", pn)
+		}
+		pg := m.pages[pn]
+		for i := range pg {
+			if pg[i] != opg[i] {
+				return fmt.Sprintf("byte %#x: %#x vs %#x", pn*PageSize+uint32(i), pg[i], opg[i])
+			}
+		}
+	}
+	for pn := range o.pages {
+		if !seen[pn] {
+			return fmt.Sprintf("page %#x mapped only on right", pn)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestUnmappedFaults(t *testing.T) {
+	m := New()
+	if _, code := m.Read8(0x1000); code != isa.ExcCodePageFault {
+		t.Errorf("read unmapped: %v", code)
+	}
+	if code := m.Write32(0x1000, 1); code != isa.ExcCodePageFault {
+		t.Errorf("write unmapped: %v", code)
+	}
+	m.Map(0x1000, 8)
+	if _, code := m.Read32(0x1000); code != isa.ExcCodeNone {
+		t.Errorf("read mapped: %v", code)
+	}
+	// The whole page is mapped, not just 8 bytes.
+	if !m.Mapped(0x1FFF) {
+		t.Error("page granularity")
+	}
+	if m.Mapped(0x2000) {
+		t.Error("next page must stay unmapped")
+	}
+}
+
+func TestMisaligned(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	if _, code := m.Read32(2); code != isa.ExcCodeMisaligned {
+		t.Errorf("misaligned read: %v", code)
+	}
+	if code := m.Write32(5, 1); code != isa.ExcCodeMisaligned {
+		t.Errorf("misaligned write: %v", code)
+	}
+	// Byte accesses have no alignment requirement.
+	if _, code := m.Read8(3); code != isa.ExcCodeNone {
+		t.Errorf("byte read: %v", code)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	m.Write32(0, 0x11223344)
+	b0, _ := m.Read8(0)
+	b3, _ := m.Read8(3)
+	if b0 != 0x44 || b3 != 0x11 {
+		t.Errorf("endianness: b0=%#x b3=%#x", b0, b3)
+	}
+	m.Write8(1, 0xAA)
+	v, _ := m.Read32(0)
+	if v != 0x1122AA44 {
+		t.Errorf("byte write merge: %#x", v)
+	}
+}
+
+func TestMaskedAccess(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	m.Write32(8, 0xAABBCCDD)
+	// Overlay lanes 1 and 2.
+	m.WriteMasked(8, 0x00112200, 0b0110)
+	v, _ := m.Read32(8)
+	if v != 0xAA1122DD {
+		t.Errorf("masked write: %#x", v)
+	}
+	w, _ := m.ReadMasked(10) // unaligned address reads containing longword
+	if w != 0xAA1122DD {
+		t.Errorf("masked read: %#x", w)
+	}
+}
+
+func TestMergeMasked(t *testing.T) {
+	if got := MergeMasked(0xAABBCCDD, 0x11223344, 0b1111); got != 0x11223344 {
+		t.Errorf("full mask: %#x", got)
+	}
+	if got := MergeMasked(0xAABBCCDD, 0x11223344, 0); got != 0xAABBCCDD {
+		t.Errorf("empty mask: %#x", got)
+	}
+	if got := MergeMasked(0xAABBCCDD, 0x11223344, 0b0001); got != 0xAABBCC44 {
+		t.Errorf("lane 0: %#x", got)
+	}
+}
+
+// TestQuickMergeMasked checks the lane-by-lane definition: selected
+// lanes come from v, unselected from old; and merging is idempotent.
+func TestQuickMergeMasked(t *testing.T) {
+	f := func(old, v uint32, mask uint8) bool {
+		mask &= 0b1111
+		got := MergeMasked(old, v, mask)
+		for lane := 0; lane < 4; lane++ {
+			shift := uint(8 * lane)
+			want := old >> shift & 0xff
+			if mask&(1<<lane) != 0 {
+				want = v >> shift & 0xff
+			}
+			if got>>shift&0xff != want {
+				return false
+			}
+		}
+		return MergeMasked(got, v, mask) == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 64)
+	m.Write32(0x1000, 42)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatalf("clone differs: %s", m.Diff(c))
+	}
+	c.Write32(0x1000, 43)
+	if m.Equal(c) {
+		t.Error("mutated clone still equal")
+	}
+	if d := m.Diff(c); d == "" {
+		t.Error("Diff found nothing")
+	}
+	c2 := m.Clone()
+	c2.Map(0x9000, 4)
+	if m.Equal(c2) || m.Diff(c2) == "" {
+		t.Error("extra page not detected")
+	}
+}
+
+func TestMappedPages(t *testing.T) {
+	m := New()
+	m.Map(0x3000, 4)
+	m.Map(0x1000, 4)
+	pns := m.MappedPages()
+	if len(pns) != 2 || pns[0] != 1 || pns[1] != 3 {
+		t.Errorf("pages: %v", pns)
+	}
+}
+
+func TestCheckDoesNotMap(t *testing.T) {
+	m := New()
+	if m.CheckRead(0x5000, 4) != isa.ExcCodePageFault {
+		t.Error("check should report fault")
+	}
+	if m.Mapped(0x5000) {
+		t.Error("check must not map")
+	}
+	if m.CheckWrite(0x5002, 4) != isa.ExcCodeMisaligned {
+		t.Error("alignment precedes mapping check")
+	}
+}
+
+func TestMapSpanningPages(t *testing.T) {
+	m := New()
+	m.Map(PageSize-2, 4) // spans two pages
+	if !m.Mapped(PageSize-1) || !m.Mapped(PageSize) {
+		t.Error("span mapping")
+	}
+	if code := m.Write32(PageSize-4, 0xDEADBEEF); code != isa.ExcCodeNone {
+		t.Errorf("aligned write at page edge: %v", code)
+	}
+}

@@ -1,0 +1,316 @@
+// Package ooo provides the out-of-order execution engine substrate the
+// machines are built from: in-flight operation records, Tomasulo-style
+// reservation stations, functional units, and a load/store queue.
+//
+// The engine realises the execution model of the paper's §2.1:
+// instructions are issued sequentially along the predicted path
+// (including wrong-path noise), execute out of order on functional
+// units with unpredictable latencies, and modify the architectural
+// registers and memory out of order. Checkpoint repair (internal/core)
+// is what makes that safe; this package deliberately knows nothing
+// about it beyond carrying each operation's issue sequence number so a
+// repair can squash everything younger than a boundary.
+package ooo
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// OpState tracks an in-flight operation's progress.
+type OpState uint8
+
+// Operation states.
+const (
+	StateWaiting   OpState = iota // in a reservation station, operands may be pending
+	StateExecuting                // on a functional unit / memory port
+	StateDone                     // result delivered
+	StateSquashed                 // discarded by a repair; must never deliver
+)
+
+// Op is one in-flight operation.
+type Op struct {
+	Seq  uint64
+	PC   int
+	Inst isa.Inst
+
+	// Operands, captured at issue or by common-data-bus broadcast.
+	AVal, BVal     uint32
+	AReady, BReady bool
+	ATag, BTag     uint64
+
+	// Branch prediction state.
+	PredTaken bool
+	PredNext  int // predicted next instruction index (-1: unknown, JR-style)
+
+	// OnTruePath records whether the machine was provably on the
+	// architecturally correct path when this operation issued (shadow
+	// interpreter alignment). Used for predictor training and oracle
+	// hints only; never for correctness.
+	OnTruePath bool
+
+	State  OpState
+	DoneAt int64 // cycle at which execution finishes
+
+	// Execution results.
+	Result   uint32
+	WroteRd  bool
+	Exc      isa.ExcCode
+	ExcAddr  uint32
+	TrapInfo int32
+	Taken    bool
+	Target   int
+	Halt     bool
+
+	// Memory state.
+	Addr      uint32
+	AddrReady bool
+	Accessed  bool // memory access performed (store wrote / load read)
+
+	// Elem/ElemCount identify a micro-operation of a multi-operation
+	// (vector) instruction: element Elem of ElemCount sharing PC.
+	// Scalar operations have Elem 0, ElemCount 1.
+	Elem      int
+	ElemCount int
+}
+
+// LastElem reports whether this is the final micro-operation of its
+// instruction (always true for scalars).
+func (o *Op) LastElem() bool { return o.Elem == o.ElemCount-1 }
+
+// Ready reports whether every source operand is available.
+func (o *Op) Ready() bool { return o.AReady && o.BReady }
+
+// IsLoad reports whether the operation reads memory.
+func (o *Op) IsLoad() bool { return o.Inst.Op.Class() == isa.ClassLoad }
+
+// IsStore reports whether the operation writes memory.
+func (o *Op) IsStore() bool { return o.Inst.Op.Class() == isa.ClassStore }
+
+// Capture delivers a broadcast result to this operation's pending
+// operands (the common data bus).
+func (o *Op) Capture(tag uint64, val uint32) {
+	if !o.AReady && o.ATag == tag {
+		o.AVal = val
+		o.AReady = true
+	}
+	if !o.BReady && o.BTag == tag {
+		o.BVal = val
+		o.BReady = true
+	}
+}
+
+// Station is a reservation-station pool with a capacity.
+type Station struct {
+	Cap int
+	ops []*Op
+}
+
+// NewStation returns a station with the given number of entries.
+func NewStation(cap int) *Station { return &Station{Cap: cap} }
+
+// Full reports whether the station has no free entry.
+func (s *Station) Full() bool { return len(s.ops) >= s.Cap }
+
+// Len returns the number of occupied entries.
+func (s *Station) Len() int { return len(s.ops) }
+
+// Add dispatches an operation into the station.
+func (s *Station) Add(op *Op) {
+	if s.Full() {
+		panic("ooo: station overflow")
+	}
+	s.ops = append(s.ops, op)
+}
+
+// Ops returns the resident operations in issue order (oldest first).
+// The returned slice is the station's own storage; do not mutate.
+func (s *Station) Ops() []*Op {
+	sort.Slice(s.ops, func(i, j int) bool { return s.ops[i].Seq < s.ops[j].Seq })
+	return s.ops
+}
+
+// Remove deletes the given operation.
+func (s *Station) Remove(op *Op) {
+	for i, o := range s.ops {
+		if o == op {
+			s.ops = append(s.ops[:i], s.ops[i+1:]...)
+			return
+		}
+	}
+}
+
+// SquashAfter removes every operation with Seq > seq and returns them.
+func (s *Station) SquashAfter(seq uint64) []*Op {
+	var squashed []*Op
+	kept := s.ops[:0]
+	for _, o := range s.ops {
+		if o.Seq > seq {
+			o.State = StateSquashed
+			squashed = append(squashed, o)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	s.ops = kept
+	return squashed
+}
+
+// Broadcast captures a delivered result in every waiting operation.
+func (s *Station) Broadcast(tag uint64, val uint32) {
+	for _, o := range s.ops {
+		if o.State == StateWaiting {
+			o.Capture(tag, val)
+		}
+	}
+}
+
+// FUPool models a set of identical functional units for one class.
+type FUPool struct {
+	Name    string
+	Units   int
+	Latency int
+	busy    []int64 // per-unit cycle until which it is busy
+}
+
+// NewFUPool returns units functional units with the given latency.
+func NewFUPool(name string, units, latency int) *FUPool {
+	return &FUPool{Name: name, Units: units, Latency: latency, busy: make([]int64, units)}
+}
+
+// Acquire reserves a unit starting at cycle now, returning the
+// completion cycle, or ok=false when all units are busy.
+func (p *FUPool) Acquire(now int64, extraLatency int) (doneAt int64, ok bool) {
+	for i := range p.busy {
+		if p.busy[i] <= now {
+			done := now + int64(p.Latency+extraLatency)
+			if done == now {
+				done = now + 1 // every operation takes at least one cycle
+			}
+			p.busy[i] = done
+			return done, true
+		}
+	}
+	return 0, false
+}
+
+// AcquireUnit reserves a free unit without committing to a completion
+// time, returning its index; use SetBusy to set the release cycle. Used
+// by memory ports, whose latency is only known after the access (cache
+// hit or miss).
+func (p *FUPool) AcquireUnit(now int64) (unit int, ok bool) {
+	for i := range p.busy {
+		if p.busy[i] <= now {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SetBusy marks a unit busy until the given cycle.
+func (p *FUPool) SetBusy(unit int, until int64) { p.busy[unit] = until }
+
+// Reset frees every unit.
+func (p *FUPool) Reset() {
+	for i := range p.busy {
+		p.busy[i] = 0
+	}
+}
+
+// LSQ is the load/store queue: memory operations in issue order. It
+// enforces sequential memory semantics per longword — same-address
+// accesses happen in program order — while letting independent accesses
+// proceed out of order, so stores really do modify the current logical
+// space out of program order (the behaviour checkpoint repair exists to
+// undo).
+type LSQ struct {
+	Cap int
+	ops []*Op
+}
+
+// NewLSQ returns a queue with the given capacity.
+func NewLSQ(cap int) *LSQ { return &LSQ{Cap: cap} }
+
+// Full reports whether the queue has no free entry.
+func (q *LSQ) Full() bool { return len(q.ops) >= q.Cap }
+
+// Len returns the number of resident memory operations.
+func (q *LSQ) Len() int { return len(q.ops) }
+
+// Add appends a memory operation (issue order).
+func (q *LSQ) Add(op *Op) {
+	if q.Full() {
+		panic("ooo: LSQ overflow")
+	}
+	q.ops = append(q.ops, op)
+}
+
+// Ops returns resident operations oldest first.
+func (q *LSQ) Ops() []*Op { return q.ops }
+
+// Remove deletes the given operation.
+func (q *LSQ) Remove(op *Op) {
+	for i, o := range q.ops {
+		if o == op {
+			q.ops = append(q.ops[:i], q.ops[i+1:]...)
+			return
+		}
+	}
+}
+
+// SquashAfter removes every operation with Seq > seq and returns them.
+func (q *LSQ) SquashAfter(seq uint64) []*Op {
+	var squashed []*Op
+	kept := q.ops[:0]
+	for _, o := range q.ops {
+		if o.Seq > seq {
+			o.State = StateSquashed
+			squashed = append(squashed, o)
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	q.ops = kept
+	return squashed
+}
+
+// Broadcast captures a delivered result in waiting memory operations.
+func (q *LSQ) Broadcast(tag uint64, val uint32) {
+	for _, o := range q.ops {
+		if o.State == StateWaiting {
+			o.Capture(tag, val)
+		}
+	}
+}
+
+// MayAccess reports whether op may perform its memory access now under
+// per-longword ordering:
+//
+//   - a load must wait for every older store whose address is unknown or
+//     falls in the same longword and which has not yet accessed memory;
+//   - a store must additionally wait for older same-longword loads
+//     (write-after-read) and, like loads, for unknown-address elders.
+//
+// op must be resident and have its address ready.
+func (q *LSQ) MayAccess(op *Op) bool {
+	line := op.Addr &^ 3
+	for _, o := range q.ops {
+		if o.Seq >= op.Seq {
+			break
+		}
+		if o.Accessed || o.State == StateDone {
+			continue
+		}
+		if !o.AddrReady {
+			return false
+		}
+		if o.Addr&^3 != line {
+			continue
+		}
+		if o.IsStore() || op.IsStore() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package ooo
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func memOp(seq uint64, op isa.Op, addr uint32, addrReady bool) *Op {
+	o := &Op{Seq: seq, Inst: isa.Inst{Op: op}, Addr: addr, AddrReady: addrReady, AReady: true, BReady: true}
+	return o
+}
+
+func TestCaptureOperands(t *testing.T) {
+	o := &Op{ATag: 5, BTag: 7}
+	o.Capture(5, 100)
+	if !o.AReady || o.AVal != 100 || o.BReady {
+		t.Errorf("capture A: %+v", o)
+	}
+	o.Capture(7, 200)
+	if !o.Ready() || o.BVal != 200 {
+		t.Errorf("capture B: %+v", o)
+	}
+	// A second broadcast of the same tag must not clobber.
+	o.Capture(5, 999)
+	if o.AVal != 100 {
+		t.Error("re-capture clobbered")
+	}
+}
+
+func TestStationSquash(t *testing.T) {
+	s := NewStation(8)
+	for i := 1; i <= 5; i++ {
+		s.Add(&Op{Seq: uint64(i)})
+	}
+	sq := s.SquashAfter(3)
+	if len(sq) != 2 || s.Len() != 3 {
+		t.Fatalf("squash: %d removed, %d left", len(sq), s.Len())
+	}
+	for _, o := range sq {
+		if o.Seq <= 3 || o.State != StateSquashed {
+			t.Errorf("bad squash victim: %+v", o)
+		}
+	}
+}
+
+func TestStationOrdering(t *testing.T) {
+	s := NewStation(8)
+	s.Add(&Op{Seq: 3})
+	s.Add(&Op{Seq: 1})
+	s.Add(&Op{Seq: 2})
+	ops := s.Ops()
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Seq < ops[i-1].Seq {
+			t.Fatal("Ops not in sequence order")
+		}
+	}
+}
+
+func TestFUPool(t *testing.T) {
+	p := NewFUPool("alu", 2, 3)
+	d1, ok := p.Acquire(10, 0)
+	if !ok || d1 != 13 {
+		t.Fatalf("acquire 1: %d %v", d1, ok)
+	}
+	d2, ok := p.Acquire(10, 2)
+	if !ok || d2 != 15 {
+		t.Fatalf("acquire 2: %d %v", d2, ok)
+	}
+	if _, ok := p.Acquire(10, 0); ok {
+		t.Fatal("third unit should be busy")
+	}
+	if _, ok := p.Acquire(13, 0); !ok {
+		t.Fatal("unit 1 should free at its DoneAt")
+	}
+	// Zero-latency requests still take one cycle.
+	q := NewFUPool("x", 1, 0)
+	if d, _ := q.Acquire(5, 0); d != 6 {
+		t.Errorf("min latency: %d", d)
+	}
+}
+
+func TestLSQPerAddressOrdering(t *testing.T) {
+	q := NewLSQ(8)
+	st := memOp(1, isa.OpSW, 0x100, true)
+	ld := memOp(2, isa.OpLW, 0x100, true)
+	ldOther := memOp(3, isa.OpLW, 0x200, true)
+	q.Add(st)
+	q.Add(ld)
+	q.Add(ldOther)
+	if q.MayAccess(ld) {
+		t.Error("load must wait for older same-longword store")
+	}
+	if !q.MayAccess(ldOther) {
+		t.Error("independent load must proceed")
+	}
+	if !q.MayAccess(st) {
+		t.Error("oldest store must proceed")
+	}
+	st.Accessed = true
+	if !q.MayAccess(ld) {
+		t.Error("load may proceed once the store accessed")
+	}
+}
+
+func TestLSQUnknownAddressBlocks(t *testing.T) {
+	q := NewLSQ(8)
+	unk := memOp(1, isa.OpSW, 0, false)
+	ld := memOp(2, isa.OpLW, 0x100, true)
+	q.Add(unk)
+	q.Add(ld)
+	if q.MayAccess(ld) {
+		t.Error("unknown-address elder must block")
+	}
+}
+
+func TestLSQWARBlocking(t *testing.T) {
+	q := NewLSQ(8)
+	ld := memOp(1, isa.OpLW, 0x100, true)
+	st := memOp(2, isa.OpSW, 0x100, true)
+	q.Add(ld)
+	q.Add(st)
+	if q.MayAccess(st) {
+		t.Error("store must wait for older same-longword load (WAR)")
+	}
+	ld.Accessed = true
+	if !q.MayAccess(st) {
+		t.Error("store may proceed after elder load accessed")
+	}
+}
+
+func TestLSQLoadsPassLoads(t *testing.T) {
+	q := NewLSQ(8)
+	a := memOp(1, isa.OpLW, 0x100, true)
+	b := memOp(2, isa.OpLW, 0x100, true)
+	q.Add(a)
+	q.Add(b)
+	if !q.MayAccess(b) {
+		t.Error("loads do not conflict with loads")
+	}
+}
+
+func TestLSQByteOpsConflictWithinLongword(t *testing.T) {
+	q := NewLSQ(8)
+	sb := memOp(1, isa.OpSB, 0x101, true)
+	lb := memOp(2, isa.OpLB, 0x102, true) // same longword, different byte
+	q.Add(sb)
+	q.Add(lb)
+	if q.MayAccess(lb) {
+		t.Error("byte ops in the same longword must order")
+	}
+}
+
+func TestLSQSquash(t *testing.T) {
+	q := NewLSQ(4)
+	q.Add(memOp(1, isa.OpSW, 0x100, true))
+	q.Add(memOp(5, isa.OpLW, 0x100, true))
+	sq := q.SquashAfter(2)
+	if len(sq) != 1 || q.Len() != 1 {
+		t.Fatalf("squash %d/%d", len(sq), q.Len())
+	}
+}
+
+func TestCapacityPanics(t *testing.T) {
+	s := NewStation(1)
+	s.Add(&Op{Seq: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("station overflow must panic")
+			}
+		}()
+		s.Add(&Op{Seq: 2})
+	}()
+	q := NewLSQ(1)
+	q.Add(memOp(1, isa.OpLW, 0, false))
+	defer func() {
+		if recover() == nil {
+			t.Error("lsq overflow must panic")
+		}
+	}()
+	q.Add(memOp(2, isa.OpLW, 0, false))
+}
+
+func TestFUPoolReset(t *testing.T) {
+	p := NewFUPool("x", 1, 5)
+	p.Acquire(0, 0)
+	if _, ok := p.Acquire(1, 0); ok {
+		t.Fatal("unit should be busy")
+	}
+	p.Reset()
+	if _, ok := p.Acquire(1, 0); !ok {
+		t.Fatal("reset should free units")
+	}
+}
+
+func TestLSQBroadcast(t *testing.T) {
+	q := NewLSQ(4)
+	op := &Op{Seq: 1, Inst: isa.Inst{Op: isa.OpLW}, ATag: 9, State: StateWaiting}
+	op.BReady = true
+	q.Add(op)
+	q.Broadcast(9, 77)
+	if !op.AReady || op.AVal != 77 {
+		t.Error("lsq broadcast missed")
+	}
+}
+
+func TestStationRemoveMissing(t *testing.T) {
+	s := NewStation(2)
+	a := &Op{Seq: 1}
+	s.Add(a)
+	s.Remove(&Op{Seq: 99}) // not present: no-op
+	if s.Len() != 1 {
+		t.Error("remove of missing op changed station")
+	}
+	s.Remove(a)
+	if s.Len() != 0 {
+		t.Error("remove failed")
+	}
+	q := NewLSQ(2)
+	m := &Op{Seq: 1, Inst: isa.Inst{Op: isa.OpLW}}
+	q.Add(m)
+	q.Remove(&Op{Seq: 99})
+	if q.Len() != 1 {
+		t.Error("lsq remove of missing op changed queue")
+	}
+}
+
+func TestLastElem(t *testing.T) {
+	scalar := &Op{Elem: 0, ElemCount: 1}
+	if !scalar.LastElem() {
+		t.Error("scalar is its own last element")
+	}
+	mid := &Op{Elem: 1, ElemCount: 4}
+	last := &Op{Elem: 3, ElemCount: 4}
+	if mid.LastElem() || !last.LastElem() {
+		t.Error("vector element positions")
+	}
+}

@@ -1,0 +1,141 @@
+// Package prog defines the program container shared by the assembler,
+// the reference interpreter, and the machine simulators.
+//
+// Instruction memory and data memory are separate (a Harvard
+// organisation): instructions live in a slice indexed by PC, data lives
+// in a byte-addressed mem.Memory image. This keeps the checkpoint repair
+// machinery focused on the architectural state the paper checkpoints —
+// registers and data memory — without modelling self-modifying code,
+// which the paper's execution model also excludes.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Segment is one initialised data region of a program image.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is a loadable unit: code, initial data, entry point, symbols.
+type Program struct {
+	Name    string
+	Code    []isa.Inst
+	Entry   int // instruction index where execution starts
+	Data    []Segment
+	Symbols map[string]int32 // label -> instruction index or data address
+}
+
+// Validate checks structural well-formedness: every opcode valid, every
+// register in range, every static control-flow target inside the code.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("prog %q: empty code", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("prog %q: entry %d out of range [0,%d)", p.Name, p.Entry, len(p.Code))
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("prog %q: pc=%d: invalid opcode", p.Name, pc)
+		}
+		if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() {
+			return fmt.Errorf("prog %q: pc=%d: register out of range", p.Name, pc)
+		}
+		if in.Op.IsVector() {
+			// Vector register groups must fit in the file.
+			if in.Op.WritesRd() && int(in.Rd)+isa.VectorLen > isa.NumRegs {
+				return fmt.Errorf("prog %q: pc=%d: vector destination group overflows", p.Name, pc)
+			}
+			if in.Op == isa.OpVSW && int(in.Rs2)+isa.VectorLen > isa.NumRegs {
+				return fmt.Errorf("prog %q: pc=%d: vector source group overflows", p.Name, pc)
+			}
+			if in.Op == isa.OpVADD && (int(in.Rs1)+isa.VectorLen > isa.NumRegs || int(in.Rs2)+isa.VectorLen > isa.NumRegs) {
+				return fmt.Errorf("prog %q: pc=%d: vector source group overflows", p.Name, pc)
+			}
+		}
+		switch in.Op.Format() {
+		case isa.FormatBr:
+			t := pc + 1 + int(in.Imm)
+			if t < 0 || t >= len(p.Code) {
+				return fmt.Errorf("prog %q: pc=%d: branch target %d out of range", p.Name, pc, t)
+			}
+		case isa.FormatJ:
+			if int(in.Imm) < 0 || int(in.Imm) >= len(p.Code) {
+				return fmt.Errorf("prog %q: pc=%d: jump target %d out of range", p.Name, pc, in.Imm)
+			}
+		}
+	}
+	return nil
+}
+
+// NewMemory builds a fresh data memory holding the program's initialised
+// segments. Pages touched by segments are mapped; everything else is
+// unmapped and will page-fault if accessed.
+func (p *Program) NewMemory() *mem.Memory {
+	m := mem.New()
+	for _, s := range p.Data {
+		m.Map(s.Addr, uint32(len(s.Data)))
+		for i, b := range s.Data {
+			m.Write8(s.Addr+uint32(i), b)
+		}
+	}
+	return m
+}
+
+// BranchTarget returns the taken target of the control instruction at
+// pc. It panics if the instruction is not a branch or direct jump.
+func BranchTarget(in isa.Inst, pc int) int {
+	switch in.Op.Format() {
+	case isa.FormatBr:
+		return pc + 1 + int(in.Imm)
+	case isa.FormatJ:
+		return int(in.Imm)
+	}
+	panic(fmt.Sprintf("prog: BranchTarget on %v", in))
+}
+
+// Stats summarises static program properties used by experiment reports.
+type Stats struct {
+	Insts       int
+	Branches    int
+	Jumps       int
+	Loads       int
+	Stores      int
+	MayTrap     int
+	MayFault    int
+	BranchEvery float64 // instructions per conditional branch (the paper's b)
+}
+
+// StaticStats computes static instruction-mix statistics.
+func (p *Program) StaticStats() Stats {
+	var s Stats
+	s.Insts = len(p.Code)
+	for _, in := range p.Code {
+		switch in.Op.Class() {
+		case isa.ClassBranch:
+			s.Branches++
+		case isa.ClassJump:
+			s.Jumps++
+		case isa.ClassLoad:
+			s.Loads++
+		case isa.ClassStore:
+			s.Stores++
+		}
+		if in.Op.CanTrap() {
+			s.MayTrap++
+		}
+		if in.Op.CanFault() {
+			s.MayFault++
+		}
+	}
+	if s.Branches > 0 {
+		s.BranchEvery = float64(s.Insts) / float64(s.Branches)
+	}
+	return s
+}

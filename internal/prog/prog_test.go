@@ -1,0 +1,121 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func valid() *Program {
+	return &Program{
+		Name: "t",
+		Code: []isa.Inst{
+			{Op: isa.OpADDI, Rd: 1, Imm: 3},
+			{Op: isa.OpBNE, Rs1: 1, Imm: -2},
+			{Op: isa.OpJ, Imm: 0},
+			{Op: isa.OpHALT},
+		},
+		Data: []Segment{{Addr: 0x1000, Data: []byte{1, 2, 3, 4}}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(p *Program){
+		"empty code":       func(p *Program) { p.Code = nil },
+		"bad entry":        func(p *Program) { p.Entry = 99 },
+		"invalid opcode":   func(p *Program) { p.Code[0].Op = isa.OpInvalid },
+		"branch oob":       func(p *Program) { p.Code[1].Imm = 100 },
+		"branch negative":  func(p *Program) { p.Code[1].Imm = -10 },
+		"jump oob":         func(p *Program) { p.Code[2].Imm = 77 },
+		"register invalid": func(p *Program) { p.Code[0].Rd = 40 },
+	}
+	for name, mutate := range cases {
+		p := valid()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestNewMemory(t *testing.T) {
+	m := valid().NewMemory()
+	v, code := m.Read32(0x1000)
+	if code != isa.ExcCodeNone || v != 0x04030201 {
+		t.Errorf("segment load: %#x %v", v, code)
+	}
+	if m.Mapped(0x9000) {
+		t.Error("unrelated pages mapped")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	if got := BranchTarget(isa.Inst{Op: isa.OpBEQ, Imm: 3}, 10); got != 14 {
+		t.Errorf("branch target %d", got)
+	}
+	if got := BranchTarget(isa.Inst{Op: isa.OpJ, Imm: 5}, 10); got != 5 {
+		t.Errorf("jump target %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTarget on non-control must panic")
+		}
+	}()
+	BranchTarget(isa.Inst{Op: isa.OpADD}, 0)
+}
+
+func TestStaticStats(t *testing.T) {
+	p := &Program{
+		Name: "s",
+		Code: []isa.Inst{
+			{Op: isa.OpADDI, Rd: 1},
+			{Op: isa.OpBNE, Imm: -1},
+			{Op: isa.OpLW, Rd: 2},
+			{Op: isa.OpSW},
+			{Op: isa.OpADDV, Rd: 3},
+			{Op: isa.OpDIV, Rd: 4},
+			{Op: isa.OpJ, Imm: 0},
+			{Op: isa.OpBEQ, Imm: -1},
+		},
+	}
+	st := p.StaticStats()
+	if st.Insts != 8 || st.Branches != 2 || st.Jumps != 1 || st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MayTrap != 1 || st.MayFault != 3 { // ADDV; DIV+LW+SW
+		t.Errorf("exception stats: %+v", st)
+	}
+	if st.BranchEvery != 4 {
+		t.Errorf("b = %v", st.BranchEvery)
+	}
+}
+
+func TestValidateVectorGroups(t *testing.T) {
+	ok := &Program{Name: "v", Code: []isa.Inst{
+		{Op: isa.OpVLW, Rd: 28, Rs1: 1, Imm: 0x1000},
+		{Op: isa.OpHALT},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("rd=28 (28..31) should fit: %v", err)
+	}
+	bad := &Program{Name: "v", Code: []isa.Inst{
+		{Op: isa.OpVLW, Rd: 29, Rs1: 1, Imm: 0x1000},
+		{Op: isa.OpHALT},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("rd=29 overflows the register file")
+	}
+	badS := &Program{Name: "v", Code: []isa.Inst{
+		{Op: isa.OpVSW, Rs2: 30, Rs1: 1, Imm: 0x1000},
+		{Op: isa.OpHALT},
+	}}
+	if err := badS.Validate(); err == nil {
+		t.Error("vsw rs2=30 overflows")
+	}
+}

@@ -1,0 +1,264 @@
+// Package refsim implements the in-order architectural reference
+// interpreter — the golden model.
+//
+// It executes the sequential model of §2.1 of the checkpoint repair
+// paper literally: an architectural program counter sequences through
+// instructions one by one, finishing one before starting the next, with
+// trivially precise exceptions. Every out-of-order machine in this
+// repository, whatever its repair scheme, must produce exactly the same
+// final registers, final memory, and exception sequence as this
+// interpreter; the property-based tests in internal/machine enforce
+// that.
+package refsim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/sem"
+)
+
+// DefaultMaxSteps bounds interpreter runs on possibly-diverging
+// programs.
+const DefaultMaxSteps = 2_000_000
+
+// Options configures a reference run.
+type Options struct {
+	MaxSteps int // 0 means DefaultMaxSteps
+	// OnBranch, if non-nil, is called for every executed conditional
+	// branch with its PC and outcome. Used to gather branch statistics
+	// and to train predictors offline.
+	OnBranch func(pc int, taken bool, target int)
+	// OnRetire, if non-nil, is called for every architecturally completed
+	// instruction in order.
+	OnRetire func(pc int, in isa.Inst)
+	// OnMem, if non-nil, is called for every successful memory access
+	// with its effective address. Used by trace-driven timing models
+	// (the in-order baseline feeds these addresses to its cache).
+	OnMem func(pc int, addr uint32, store bool)
+}
+
+// Result is the architectural outcome of a program run.
+type Result struct {
+	Regs       [isa.NumRegs]uint32
+	Mem        *mem.Memory
+	Exceptions []isa.Exception
+	Halted     bool // reached HALT (or a halting exception)
+	TimedOut   bool // exceeded MaxSteps before halting
+	Retired    int  // architecturally completed instructions
+	Branches   int  // conditional branches executed
+	Taken      int  // conditional branches taken
+	MemWrites  int  // stores retired
+}
+
+// RegsEqual reports whether the architectural registers match,
+// ignoring R0.
+func (r *Result) RegsEqual(o *Result) bool {
+	for i := 1; i < isa.NumRegs; i++ {
+		if r.Regs[i] != o.Regs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExceptionsEqual reports whether the exception sequences match.
+func (r *Result) ExceptionsEqual(o *Result) bool {
+	if len(r.Exceptions) != len(o.Exceptions) {
+		return false
+	}
+	for i := range r.Exceptions {
+		if r.Exceptions[i] != o.Exceptions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the program to completion on the reference interpreter.
+func Run(p *prog.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	res := &Result{Mem: p.NewMemory()}
+	pc := p.Entry
+	for res.Retired < maxSteps {
+		if pc < 0 || pc >= len(p.Code) {
+			// Running off the code image is a bad-instruction fault, and
+			// the handler for it halts the machine.
+			res.Exceptions = append(res.Exceptions, isa.Exception{Code: isa.ExcCodeBadInst, PC: pc})
+			res.Halted = true
+			return res, nil
+		}
+		in := p.Code[pc]
+		next, exc, halted := step(res, in, pc, opts)
+		if exc.Code != isa.ExcCodeNone {
+			res.Exceptions = append(res.Exceptions, exc)
+			switch sem.HandlerAction(exc.Code) {
+			case sem.ActResume:
+				// Demand paging: map the faulting page, re-execute.
+				res.Mem.Map(exc.Addr&^(mem.PageSize-1), mem.PageSize)
+				continue
+			case sem.ActSkip:
+				pc++
+				continue
+			case sem.ActContinue:
+				// Trap: the instruction completed; next already points
+				// after it.
+			case sem.ActHalt:
+				res.Halted = true
+				return res, nil
+			}
+		}
+		if halted {
+			res.Halted = true
+			return res, nil
+		}
+		pc = next
+	}
+	res.TimedOut = true
+	return res, nil
+}
+
+// step executes one instruction. It returns the next PC, the exception
+// raised (ExcCodeNone if none), and whether the machine halted. Faulting
+// instructions have no architectural effect; trapping instructions
+// complete first.
+func step(res *Result, in isa.Inst, pc int, opts Options) (next int, exc isa.Exception, halted bool) {
+	a := res.Regs[in.Rs1]
+	b := res.Regs[in.Rs2]
+	next = pc + 1
+
+	if in.Op.IsVector() {
+		// Sequential element semantics: element i completes before
+		// element i+1 starts; the first excepting element stops the
+		// instruction with the exception reported at the instruction's
+		// PC. Re-execution after a resume-kind handler redoes the
+		// earlier elements, which is idempotent given unchanged state.
+		for _, e := range sem.Expand(in) {
+			if exc := execElem(res, e, pc, opts); exc.Code != isa.ExcCodeNone {
+				return next, exc, false
+			}
+		}
+		res.Retired++
+		if opts.OnRetire != nil {
+			opts.OnRetire(pc, in)
+		}
+		return next, isa.Exception{}, false
+	}
+
+	switch in.Op.Class() {
+	case isa.ClassLoad:
+		if exc := execElem(res, in, pc, opts); exc.Code != isa.ExcCodeNone {
+			return next, exc, false
+		}
+	case isa.ClassStore:
+		if exc := execElem(res, in, pc, opts); exc.Code != isa.ExcCodeNone {
+			return next, exc, false
+		}
+	default:
+		o := sem.EvalALU(in, a, b, pc)
+		if o.Exc != isa.ExcCodeNone && o.Exc.Kind() == isa.ExcFault {
+			return next, isa.Exception{Code: o.Exc, PC: pc}, false
+		}
+		if o.WroteRd {
+			writeReg(res, in.Rd, o.Result)
+		}
+		if in.IsBranch() {
+			res.Branches++
+			if o.Taken {
+				res.Taken++
+			}
+			if opts.OnBranch != nil {
+				opts.OnBranch(pc, o.Taken, o.Target)
+			}
+		}
+		if o.Taken {
+			next = o.Target
+		}
+		if o.Exc != isa.ExcCodeNone {
+			// Trap: completes, then raises.
+			res.Retired++
+			if opts.OnRetire != nil {
+				opts.OnRetire(pc, in)
+			}
+			return next, isa.Exception{Code: o.Exc, PC: pc, Info: o.TrapInfo}, false
+		}
+		if o.Halt {
+			res.Retired++
+			if opts.OnRetire != nil {
+				opts.OnRetire(pc, in)
+			}
+			return next, isa.Exception{}, true
+		}
+	}
+	res.Retired++
+	if opts.OnRetire != nil {
+		opts.OnRetire(pc, in)
+	}
+	return next, isa.Exception{}, false
+}
+
+// execElem executes one memory or ALU micro-operation (a scalar
+// instruction, or one element of a vector instruction) against the
+// architectural state, returning any exception attributed to pc.
+func execElem(res *Result, e isa.Inst, pc int, opts Options) isa.Exception {
+	a := res.Regs[e.Rs1]
+	b := res.Regs[e.Rs2]
+	switch e.Op.Class() {
+	case isa.ClassLoad:
+		addr := sem.EffAddr(e, a)
+		size := sem.AccessSize(e.Op)
+		if code := res.Mem.CheckRead(addr, size); code != isa.ExcCodeNone {
+			return isa.Exception{Code: code, PC: pc, Addr: addr}
+		}
+		word, _ := res.Mem.ReadMasked(addr)
+		writeReg(res, e.Rd, sem.LoadValue(e.Op, addr, word))
+		if opts.OnMem != nil {
+			opts.OnMem(pc, addr, false)
+		}
+	case isa.ClassStore:
+		addr := sem.EffAddr(e, a)
+		size := sem.AccessSize(e.Op)
+		if code := res.Mem.CheckWrite(addr, size); code != isa.ExcCodeNone {
+			return isa.Exception{Code: code, PC: pc, Addr: addr}
+		}
+		aligned, data, mask := sem.StoreBytes(e.Op, addr, b)
+		res.Mem.WriteMasked(aligned, data, mask)
+		res.MemWrites++
+		if opts.OnMem != nil {
+			opts.OnMem(pc, addr, true)
+		}
+	default:
+		o := sem.EvalALU(e, a, b, pc)
+		if o.Exc != isa.ExcCodeNone {
+			return isa.Exception{Code: o.Exc, PC: pc, Info: o.TrapInfo}
+		}
+		if o.WroteRd {
+			writeReg(res, e.Rd, o.Result)
+		}
+	}
+	return isa.Exception{}
+}
+
+func writeReg(res *Result, r isa.Reg, v uint32) {
+	if r != 0 {
+		res.Regs[r] = v
+	}
+}
+
+// MustRun is Run but panics on error; convenient in examples and
+// experiment drivers operating on known-good programs.
+func MustRun(p *prog.Program, opts Options) *Result {
+	res, err := Run(p, opts)
+	if err != nil {
+		panic(fmt.Sprintf("refsim: %v", err))
+	}
+	return res
+}

@@ -1,0 +1,289 @@
+package refsim
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustProg(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTrapCompletesThenRaises(t *testing.T) {
+	p := mustProg(t, `
+    lui  r1, 0x7fff
+    ori  r1, r1, 0xffff
+    addi r2, r0, 1
+    addv r3, r1, r2
+    halt
+`)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[3] != 0x80000000 {
+		t.Errorf("trap result not written: %#x", res.Regs[3])
+	}
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodeOverflow {
+		t.Errorf("exceptions: %v", res.Exceptions)
+	}
+}
+
+func TestFaultSkipsWithoutEffect(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 7
+    addi r2, r0, 0
+    addi r3, r0, 99
+    div  r3, r1, r2
+    halt
+`)
+	res, _ := Run(p, Options{})
+	if res.Regs[3] != 99 {
+		t.Errorf("faulting div wrote rd: %d", res.Regs[3])
+	}
+}
+
+func TestDemandPaging(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 55
+    sw   r1, 0x8000(r0)
+    lw   r2, 0x8000(r0)
+    halt
+`)
+	res, _ := Run(p, Options{})
+	if res.Regs[2] != 55 {
+		t.Errorf("demand-paged readback: %d", res.Regs[2])
+	}
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodePageFault {
+		t.Errorf("exceptions: %v", res.Exceptions)
+	}
+	if res.Exceptions[0].Addr != 0x8000 {
+		t.Errorf("fault addr %#x", res.Exceptions[0].Addr)
+	}
+}
+
+func TestMisalignedSkips(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 2
+    lw   r2, 0x1000(r1)
+    addi r3, r0, 5
+    halt
+.data 0x1000
+x: .word 42
+`)
+	res, _ := Run(p, Options{})
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodeMisaligned {
+		t.Fatalf("exceptions: %v", res.Exceptions)
+	}
+	if res.Regs[3] != 5 {
+		t.Error("execution did not continue after skip")
+	}
+}
+
+func TestRunOffCodeEnd(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 1
+    addi r2, r0, 2
+`)
+	res, _ := Run(p, Options{})
+	if !res.Halted {
+		t.Fatal("should halt via BadInst")
+	}
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodeBadInst || res.Exceptions[0].PC != 2 {
+		t.Errorf("exceptions: %v", res.Exceptions)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	p := mustProg(t, `
+loop: j loop
+`)
+	res, _ := Run(p, Options{MaxSteps: 100})
+	if res.Halted || !res.TimedOut {
+		t.Error("infinite loop must time out")
+	}
+}
+
+func TestBranchCallback(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 3
+l:  addi r1, r1, -1
+    bne  r1, r0, l
+    halt
+`)
+	var outcomes []bool
+	res, _ := Run(p, Options{OnBranch: func(pc int, taken bool, target int) {
+		outcomes = append(outcomes, taken)
+		if pc != 2 || target != 1 {
+			t.Errorf("branch pc=%d target=%d", pc, target)
+		}
+	}})
+	if res.Branches != 3 || res.Taken != 2 {
+		t.Errorf("branches=%d taken=%d", res.Branches, res.Taken)
+	}
+	want := []bool{true, true, false}
+	for i, w := range want {
+		if outcomes[i] != w {
+			t.Errorf("outcome %d = %v", i, outcomes[i])
+		}
+	}
+}
+
+func TestShadowMatchesRun(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 10
+    addi r4, r0, 0
+l:  addi r4, r4, 3
+    addi r1, r1, -1
+    sw   r4, 0x8000(r0)
+    bne  r1, r0, l
+    trap 1
+    halt
+`)
+	full, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShadow(p)
+	steps := 0
+	for !sh.Halted() && steps < 10000 {
+		sh.Step()
+		steps++
+	}
+	if !sh.Halted() {
+		t.Fatal("shadow did not halt")
+	}
+	res := sh.Result()
+	if !full.RegsEqual(res) {
+		t.Error("shadow registers differ from Run")
+	}
+	if !full.ExceptionsEqual(res) {
+		t.Errorf("shadow exceptions %v != %v", res.Exceptions, full.Exceptions)
+	}
+	if !full.Mem.Equal(res.Mem) {
+		t.Errorf("shadow memory differs: %s", full.Mem.Diff(res.Mem))
+	}
+	if full.Retired != res.Retired {
+		t.Errorf("retired %d != %d", res.Retired, full.Retired)
+	}
+}
+
+func TestShadowStepResults(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 1
+    beq  r1, r0, skip
+    addi r2, r0, 7
+skip:
+    halt
+`)
+	sh := NewShadow(p)
+	r := sh.Step()
+	if r.PC != 0 || r.Branch {
+		t.Errorf("step 0: %+v", r)
+	}
+	r = sh.Step()
+	if !r.Branch || r.Taken {
+		t.Errorf("branch step: %+v", r)
+	}
+	sh.Step()
+	r = sh.Step()
+	if !r.Halted || !sh.Halted() {
+		t.Errorf("halt step: %+v", r)
+	}
+	// Stepping past the end is inert.
+	r = sh.Step()
+	if !r.Halted {
+		t.Error("post-halt step")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := &prog.Program{Name: "bad", Code: []isa.Inst{{Op: isa.OpBEQ, Imm: 100}}}
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestResultComparisons(t *testing.T) {
+	a := &Result{}
+	b := &Result{}
+	a.Regs[3] = 7
+	if a.RegsEqual(b) {
+		t.Error("unequal regs reported equal")
+	}
+	b.Regs[3] = 7
+	if !a.RegsEqual(b) {
+		t.Error("equal regs reported unequal")
+	}
+	a.Exceptions = []isa.Exception{{Code: isa.ExcCodeOverflow, PC: 1}}
+	if a.ExceptionsEqual(b) {
+		t.Error("exception count mismatch missed")
+	}
+	b.Exceptions = []isa.Exception{{Code: isa.ExcCodeOverflow, PC: 2}}
+	if a.ExceptionsEqual(b) {
+		t.Error("exception content mismatch missed")
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun must panic on invalid programs")
+		}
+	}()
+	MustRun(&prog.Program{Name: "bad"}, Options{})
+}
+
+func TestShadowAccessors(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 5
+    sw   r1, 0x1000(r0)
+    trap 2
+    halt
+.data 0x1000
+x: .word 0
+`)
+	sh := NewShadow(p)
+	if sh.PC() != 0 || sh.Halted() || sh.Retired() != 0 {
+		t.Fatal("fresh shadow state")
+	}
+	sh.Step()
+	if sh.Regs()[1] != 5 || sh.Retired() != 1 {
+		t.Error("step effects")
+	}
+	sh.Step()
+	if v, _ := sh.Mem().Read32(0x1000); v != 5 {
+		t.Error("memory access")
+	}
+	sh.Step() // trap
+	if len(sh.Exceptions()) != 1 {
+		t.Error("exception log")
+	}
+	sh.Step() // halt
+	res := sh.Result()
+	if !res.Halted || res.Retired != 4 {
+		t.Errorf("result: halted=%v retired=%d", res.Halted, res.Retired)
+	}
+}
+
+func TestShadowBadInstHalts(t *testing.T) {
+	p := mustProg(t, `
+    addi r1, r0, 1
+    addi r2, r0, 2
+`)
+	sh := NewShadow(p)
+	sh.Step()
+	sh.Step()
+	r := sh.Step() // falls off the code
+	if !r.Halted || r.Exc.Code != isa.ExcCodeBadInst {
+		t.Errorf("off-end step: %+v", r)
+	}
+}

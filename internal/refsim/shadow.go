@@ -1,0 +1,123 @@
+package refsim
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/sem"
+)
+
+// Shadow is a step-wise variant of the reference interpreter. The
+// out-of-order machines run one alongside the timing simulation to
+//
+//   - supply oracle branch outcomes at issue time (for the oracle and
+//     fixed-accuracy synthetic predictors of internal/bpred), and
+//   - audit repair correctness continuously: whenever a machine claims a
+//     consistent architectural state (at checkpoint retirement, repair, or
+//     completion), it can be compared against the shadow.
+//
+// The shadow always follows the architecturally correct path, handling
+// exceptions with the same sem.HandlerAction policy as everything else.
+// Each Step executes one attempt: it either completes an instruction,
+// or observes an exception and applies the handler action.
+type Shadow struct {
+	prog *prog.Program
+	res  Result
+	pc   int
+	done bool
+}
+
+// NewShadow returns a shadow positioned at the program entry.
+func NewShadow(p *prog.Program) *Shadow {
+	s := &Shadow{prog: p, pc: p.Entry}
+	s.res.Mem = p.NewMemory()
+	return s
+}
+
+// StepResult describes one shadow execution attempt.
+type StepResult struct {
+	PC     int
+	Inst   isa.Inst
+	Branch bool // instruction is a conditional branch
+	Taken  bool // branch outcome
+	Target int  // taken target for control instructions
+	Exc    isa.Exception
+	Halted bool
+}
+
+// PC returns the instruction index of the next architectural attempt.
+func (s *Shadow) PC() int { return s.pc }
+
+// Halted reports whether the architectural program has finished.
+func (s *Shadow) Halted() bool { return s.done }
+
+// Regs returns the current architectural registers.
+func (s *Shadow) Regs() *[isa.NumRegs]uint32 { return &s.res.Regs }
+
+// Mem returns the current architectural memory.
+func (s *Shadow) Mem() *mem.Memory { return s.res.Mem }
+
+// Retired returns the number of architecturally completed instructions.
+func (s *Shadow) Retired() int { return s.res.Retired }
+
+// Exceptions returns the exception log so far.
+func (s *Shadow) Exceptions() []isa.Exception { return s.res.Exceptions }
+
+// Step executes one attempt and returns what happened. Calling Step
+// after the program halted returns Halted without effect.
+func (s *Shadow) Step() StepResult {
+	if s.done {
+		return StepResult{PC: s.pc, Halted: true}
+	}
+	if s.pc < 0 || s.pc >= len(s.prog.Code) {
+		exc := isa.Exception{Code: isa.ExcCodeBadInst, PC: s.pc}
+		s.res.Exceptions = append(s.res.Exceptions, exc)
+		s.done = true
+		return StepResult{PC: s.pc, Exc: exc, Halted: true}
+	}
+	pc := s.pc
+	in := s.prog.Code[pc]
+	r := StepResult{PC: pc, Inst: in, Branch: in.IsBranch()}
+
+	// Peek at branch outcome before executing so the result carries it
+	// even when the instruction later faults (branches cannot fault, so
+	// this is just structured for clarity).
+	next, exc, halted := step(&s.res, in, pc, Options{OnBranch: func(_ int, taken bool, target int) {
+		r.Taken = taken
+		r.Target = target
+	}})
+	if exc.Code != isa.ExcCodeNone {
+		r.Exc = exc
+		s.res.Exceptions = append(s.res.Exceptions, exc)
+		switch sem.HandlerAction(exc.Code) {
+		case sem.ActResume:
+			s.res.Mem.Map(exc.Addr&^(mem.PageSize-1), mem.PageSize)
+			// pc unchanged: re-execute.
+		case sem.ActSkip:
+			s.pc = pc + 1
+		case sem.ActContinue:
+			s.pc = next
+		case sem.ActHalt:
+			s.done = true
+			r.Halted = true
+		}
+		return r
+	}
+	if halted {
+		s.done = true
+		r.Halted = true
+		return r
+	}
+	s.pc = next
+	return r
+}
+
+// Result returns a copy of the accumulated architectural result. Valid
+// at any point; most useful after Halted.
+func (s *Shadow) Result() *Result {
+	res := s.res
+	res.Halted = s.done
+	// Exception slice and memory are shared with the live shadow; callers
+	// comparing against a finished shadow treat them as read-only.
+	return &res
+}

@@ -1,0 +1,348 @@
+// Package regfile implements the paper's copy technique for
+// checkpointed registers (Algorithm 2, Figure 5).
+//
+// Each register "bit" is physically replicated once per logical space:
+// one cell for the current space and one per backup space, organised as
+// hardware stacks with the newest checkpoint on top. Establishing a
+// checkpoint pushes the current cells onto a stack; repair recalls a
+// backup into current. Neither operation moves data through the
+// register file ports, which is the technique's selling point — at the
+// price of multiplying storage by the number of spaces (Cost quantifies
+// the Figure 5 overhead).
+//
+// A File can maintain several independent stacks over the same current
+// space because the directly combined scheme of §5.1 keeps separate
+// E-repair and B-repair backup spaces (c_E + c_B + 1 logical spaces in
+// total); single-mechanism schemes use one stack.
+//
+// Beyond values, every cell carries the reservation state of the
+// Tomasulo-style dependency machinery ("the destination registers are
+// marked reserved ... on the current cells"): a pending flag and the
+// tag of the producing operation. A delivering operation writes a cell
+// only when the cell still carries its tag, which makes out-of-order
+// delivery respect write-after-write ordering independently in every
+// logical space — a checkpoint pushed between two writers of the same
+// register keeps the elder's value while current keeps the younger's.
+package regfile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// space is one logical space's worth of register cells.
+type space struct {
+	val     [isa.NumRegs]uint32
+	pending [isa.NumRegs]bool
+	tag     [isa.NumRegs]uint64
+}
+
+// File is a checkpointed register file: one current space plus one or
+// more backup stacks.
+type File struct {
+	caps    []int
+	current space
+	// stacks[s][0] is the newest checkpoint of stack s, matching the
+	// paper's "hardware stack with backupE,1 being the top entry".
+	stacks [][]space
+	stats  Stats
+}
+
+// Stats counts register-file checkpoint events.
+type Stats struct {
+	Pushes     int
+	Recalls    int
+	Drops      int
+	Deliveries int
+	CellWrites int // cells actually written by deliveries
+}
+
+// New returns a register file with one backup stack of capacity c.
+func New(c int) *File { return NewStacks(c) }
+
+// NewStacks returns a register file with one backup stack per given
+// capacity.
+func NewStacks(caps ...int) *File {
+	for _, c := range caps {
+		if c < 0 {
+			panic(fmt.Sprintf("regfile: negative backup count %d", c))
+		}
+	}
+	f := &File{caps: append([]int(nil), caps...), stacks: make([][]space, len(caps))}
+	for s, c := range caps {
+		f.stacks[s] = make([]space, 0, c)
+	}
+	return f
+}
+
+// Stacks returns the number of backup stacks.
+func (f *File) Stacks() int { return len(f.stacks) }
+
+// Capacity returns the capacity of stack s.
+func (f *File) Capacity(s int) int { return f.caps[s] }
+
+// Depth returns the number of occupied backups in stack s.
+func (f *File) Depth(s int) int { return len(f.stacks[s]) }
+
+// Stats returns a copy of the event counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// Read returns the current-space view of register r: its value if no
+// operation is pending on it, otherwise the tag of the producer to wait
+// for. R0 always reads zero and is never pending.
+func (f *File) Read(r isa.Reg) (val uint32, pending bool, tag uint64) {
+	if r == 0 {
+		return 0, false, 0
+	}
+	return f.current.val[r], f.current.pending[r], f.current.tag[r]
+}
+
+// Reserve marks r reserved in the current space by the operation with
+// the given tag (instruction issue). Reserving R0 is a no-op.
+func (f *File) Reserve(r isa.Reg, tag uint64) {
+	if r == 0 {
+		return
+	}
+	f.current.pending[r] = true
+	f.current.tag[r] = tag
+}
+
+// Push establishes a checkpoint on stack s: the current cells,
+// including their reservation state, go on top. It panics if the stack
+// is full — schemes must check their stall condition first.
+func (f *File) Push(s int) {
+	st := f.stacks[s]
+	if len(st) >= f.caps[s] {
+		panic(fmt.Sprintf("regfile: push on full stack %d", s))
+	}
+	st = append(st, space{})
+	copy(st[1:], st[:len(st)-1])
+	st[0] = f.current
+	f.stacks[s] = st
+	f.stats.Pushes++
+}
+
+// Deliver writes an execution result into the current space and, for
+// each stack, its newest depths[s] backups — the spaces whose
+// checkpoints were established at or after the producing operation
+// issued and therefore must reflect it. Each cell is written only if it
+// still carries the operation's tag, preserving per-space WAW order.
+// Depths are clamped to stack occupancy.
+func (f *File) Deliver(depths []int, r isa.Reg, v uint32, tag uint64) {
+	if r == 0 {
+		return
+	}
+	f.stats.Deliveries++
+	if f.current.pending[r] && f.current.tag[r] == tag {
+		f.current.val[r] = v
+		f.current.pending[r] = false
+		f.stats.CellWrites++
+	}
+	for s, st := range f.stacks {
+		d := depths[s]
+		if d > len(st) {
+			d = len(st)
+		}
+		for i := 0; i < d; i++ {
+			sp := &st[i]
+			if sp.pending[r] && sp.tag[r] == tag {
+				sp.val[r] = v
+				sp.pending[r] = false
+				f.stats.CellWrites++
+			}
+		}
+	}
+}
+
+// Cancel withdraws a reservation without delivering a value: the
+// producing operation faulted, so architecturally it never executed and
+// r keeps its prior value in every logical space. Cells are cleared
+// only where they still carry the operation's tag, in the current space
+// and the newest depths[s] backups of each stack (the same spaces a
+// delivery would have written). It returns the current-space value of r
+// so the machine can unblock waiting consumers.
+func (f *File) Cancel(depths []int, r isa.Reg, tag uint64) uint32 {
+	if r == 0 {
+		return 0
+	}
+	if f.current.pending[r] && f.current.tag[r] == tag {
+		f.current.pending[r] = false
+	}
+	for s, st := range f.stacks {
+		d := depths[s]
+		if d > len(st) {
+			d = len(st)
+		}
+		for i := 0; i < d; i++ {
+			sp := &st[i]
+			if sp.pending[r] && sp.tag[r] == tag {
+				sp.pending[r] = false
+			}
+		}
+	}
+	return f.current.val[r]
+}
+
+// RecallAt restores the k-th newest checkpoint of stack s (k=1 is the
+// newest) into the current space and pops backups 1..k of that stack.
+// Pending cells may legitimately remain in the recalled space: they
+// belong to still-active instructions older than the checkpoint, which
+// are not squashed by the repair.
+func (f *File) RecallAt(s, k int) {
+	st := f.stacks[s]
+	if k < 1 || k > len(st) {
+		panic(fmt.Sprintf("regfile: RecallAt(%d,%d) with depth %d", s, k, len(st)))
+	}
+	f.current = st[k-1]
+	f.stacks[s] = append(st[:0], st[k:]...)
+	f.stats.Recalls++
+}
+
+// RecallOldest restores the oldest checkpoint of stack s into current
+// and empties the stack. Used by E-repairs, after which every active
+// instruction is squashed; by Theorem 4 the recalled space has no
+// pending cells, and the call panics if that invariant is violated.
+func (f *File) RecallOldest(s int) {
+	st := f.stacks[s]
+	if len(st) == 0 {
+		panic("regfile: RecallOldest with no checkpoints")
+	}
+	oldest := st[len(st)-1]
+	for r := 1; r < isa.NumRegs; r++ {
+		if oldest.pending[r] {
+			panic(fmt.Sprintf("regfile: Theorem 4 violation: r%d pending in oldest backup at recall", r))
+		}
+	}
+	f.current = oldest
+	f.stacks[s] = st[:0]
+	f.stats.Recalls++
+}
+
+// DropOldest retires the oldest checkpoint of stack s without
+// recalling it (its repair window has passed).
+func (f *File) DropOldest(s int) {
+	st := f.stacks[s]
+	if len(st) == 0 {
+		panic("regfile: DropOldest on empty stack")
+	}
+	f.stacks[s] = st[:len(st)-1]
+	f.stats.Drops++
+}
+
+// PopNewest discards the n newest checkpoints of stack s (checkpoints
+// invalidated by a repair that restored an older state).
+func (f *File) PopNewest(s, n int) {
+	st := f.stacks[s]
+	if n < 0 || n > len(st) {
+		panic(fmt.Sprintf("regfile: PopNewest(%d,%d) with depth %d", s, n, len(st)))
+	}
+	f.stacks[s] = append(st[:0], st[n:]...)
+	f.stats.Drops += n
+}
+
+// TransferOldest moves the oldest checkpoint of stack `from` to become
+// the newest checkpoint of stack `to` — the loose scheme's graduation
+// of an aged B backup space into an E backup space ("BackupE,cB is
+// pushed onto the E-repair hardware stack", Algorithm 4 case 2). The
+// age ordering is preserved because every graduating space is older
+// than everything in the B stack and younger than everything in the E
+// stack.
+func (f *File) TransferOldest(from, to int) {
+	src := f.stacks[from]
+	if len(src) == 0 {
+		panic("regfile: TransferOldest from empty stack")
+	}
+	if len(f.stacks[to]) >= f.caps[to] {
+		panic("regfile: TransferOldest to full stack")
+	}
+	sp := src[len(src)-1]
+	f.stacks[from] = src[:len(src)-1]
+	dst := f.stacks[to]
+	dst = append(dst, space{})
+	copy(dst[1:], dst[:len(dst)-1])
+	dst[0] = sp
+	f.stacks[to] = dst
+}
+
+// Clear empties every stack (E-repair resets the whole window).
+func (f *File) Clear() {
+	for s := range f.stacks {
+		f.stacks[s] = f.stacks[s][:0]
+	}
+}
+
+// Snapshot returns the register values of the current space.
+func (f *File) Snapshot() [isa.NumRegs]uint32 { return f.current.val }
+
+// BackupSnapshot returns the register values of the k-th newest backup
+// of stack s (k=1 is the newest). Used by invariant audits comparing
+// backup spaces against the shadow interpreter.
+func (f *File) BackupSnapshot(s, k int) [isa.NumRegs]uint32 {
+	st := f.stacks[s]
+	if k < 1 || k > len(st) {
+		panic(fmt.Sprintf("regfile: BackupSnapshot(%d,%d) with depth %d", s, k, len(st)))
+	}
+	return st[k-1].val
+}
+
+// OldestHasPending reports whether the oldest backup of stack s has any
+// reserved cell; schemes use it to audit Theorem 4.
+func (f *File) OldestHasPending(s int) bool {
+	st := f.stacks[s]
+	if len(st) == 0 {
+		return false
+	}
+	sp := &st[len(st)-1]
+	for r := 1; r < isa.NumRegs; r++ {
+		if sp.pending[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// CurrentPending reports whether register r is reserved in the current
+// space, and by which tag.
+func (f *File) CurrentPending(r isa.Reg) (bool, uint64) {
+	if r == 0 {
+		return false, 0
+	}
+	return f.current.pending[r], f.current.tag[r]
+}
+
+// CostModel quantifies the Figure 5 hardware overhead of the copy
+// technique.
+type CostModel struct {
+	BackupSpaces int // total backup spaces across stacks
+	CellsPerBit  int // backups + 1 (current)
+	TotalBits    int // NumRegs * 32 * CellsPerBit
+	// ResultLinePairs is the number of word/bit line pairs needed to
+	// deliver results: current plus all but the oldest backup of each
+	// stack. Theorem 4 removes the need for delivery lines to the
+	// oldest backup ("there is no need for such lines for the
+	// backupE,2 cell" in the paper's c=2 figure).
+	ResultLinePairs int
+	// SharedControlLines counts the push-enable and recall-enable lines
+	// shared by all bits, per stack.
+	SharedControlLines int
+}
+
+// Cost returns the hardware cost model for the given stack capacities.
+func Cost(caps ...int) CostModel {
+	total := 0
+	lines := 1 // current
+	for _, c := range caps {
+		total += c
+		if c > 0 {
+			lines += c - 1
+		}
+	}
+	return CostModel{
+		BackupSpaces:       total,
+		CellsPerBit:        total + 1,
+		TotalBits:          isa.NumRegs * 32 * (total + 1),
+		ResultLinePairs:    lines,
+		SharedControlLines: 2 * len(caps),
+	}
+}

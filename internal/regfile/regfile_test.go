@@ -1,0 +1,241 @@
+package regfile
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestReadReserveDeliver(t *testing.T) {
+	f := New(2)
+	if v, p, _ := f.Read(5); v != 0 || p {
+		t.Fatal("fresh register must read 0, not pending")
+	}
+	f.Reserve(5, 100)
+	if _, p, tag := f.Read(5); !p || tag != 100 {
+		t.Fatal("reserve not visible")
+	}
+	f.Deliver([]int{0}, 5, 42, 100)
+	if v, p, _ := f.Read(5); p || v != 42 {
+		t.Fatalf("deliver: v=%d p=%v", v, p)
+	}
+}
+
+func TestR0Immutable(t *testing.T) {
+	f := New(1)
+	f.Reserve(0, 1)
+	f.Deliver([]int{0}, 0, 99, 1)
+	if v, p, _ := f.Read(0); v != 0 || p {
+		t.Error("r0 must stay zero and never pend")
+	}
+}
+
+func TestWAWAcrossCheckpoint(t *testing.T) {
+	// A checkpoint pushed between two writers of the same register must
+	// keep the elder's value while current keeps the younger's — the
+	// per-cell tag rule.
+	f := New(2)
+	f.Reserve(3, 10) // elder writer
+	f.Push(0)        // checkpoint: backup1 carries the tag-10 reservation
+	f.Reserve(3, 20) // younger writer re-reserves in current only
+	// Younger delivers first (out of order): writes current only.
+	f.Deliver([]int{1}, 3, 222, 20)
+	if v, p, _ := f.Read(3); p || v != 222 {
+		t.Fatalf("current after younger: %d %v", v, p)
+	}
+	// Elder delivers with depth 1: current cell no longer carries its
+	// tag (skip), backup1 does (write).
+	f.Deliver([]int{1}, 3, 111, 10)
+	if v, _, _ := f.Read(3); v != 222 {
+		t.Errorf("current clobbered by elder: %d", v)
+	}
+	if b := f.BackupSnapshot(0, 1); b[3] != 111 {
+		t.Errorf("backup1 r3 = %d, want 111", b[3])
+	}
+}
+
+func TestDeliverDepthSelectsSpaces(t *testing.T) {
+	f := New(3)
+	f.Reserve(4, 50)
+	f.Push(0) // backup1
+	f.Push(0) // backup1 (new), old becomes backup2
+	// Deliver with depth 1: only current and backup1 updated; backup2
+	// keeps the pending mark (it would be a bug for a real scheme, but
+	// exercises the clamping).
+	f.Deliver([]int{1}, 4, 7, 50)
+	if b := f.BackupSnapshot(0, 1); b[4] != 7 {
+		t.Errorf("backup1 = %d", b[4])
+	}
+	if !f.OldestHasPending(0) {
+		t.Error("backup2 should still pend")
+	}
+}
+
+func TestRecallAt(t *testing.T) {
+	f := New(3)
+	f.Reserve(1, 1)
+	f.Deliver([]int{0}, 1, 100, 1)
+	f.Push(0) // ckpt A: r1=100
+	f.Reserve(1, 2)
+	f.Deliver([]int{0}, 1, 200, 2)
+	f.Push(0) // ckpt B: r1=200
+	f.Reserve(1, 3)
+	f.Deliver([]int{0}, 1, 300, 3)
+	// Repair to ckpt B (newest, depth 1).
+	f.RecallAt(0, 1)
+	if v, _, _ := f.Read(1); v != 200 {
+		t.Errorf("recall B: %d", v)
+	}
+	if f.Depth(0) != 1 {
+		t.Errorf("depth %d", f.Depth(0))
+	}
+	// Repair to ckpt A.
+	f.RecallAt(0, 1)
+	if v, _, _ := f.Read(1); v != 100 {
+		t.Errorf("recall A: %d", v)
+	}
+}
+
+func TestRecallOldestTheorem4Guard(t *testing.T) {
+	f := New(2)
+	f.Reserve(7, 9)
+	f.Push(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("RecallOldest must enforce the Theorem 4 invariant")
+		}
+	}()
+	f.RecallOldest(0)
+}
+
+func TestRecallOldestClearsStack(t *testing.T) {
+	f := New(2)
+	f.Reserve(1, 1)
+	f.Deliver([]int{0}, 1, 5, 1)
+	f.Push(0)
+	f.Push(0)
+	f.Reserve(1, 2)
+	f.Deliver([]int{2}, 1, 9, 2)
+	f.RecallOldest(0)
+	if f.Depth(0) != 0 {
+		t.Error("stack not cleared")
+	}
+	if v, _, _ := f.Read(1); v != 5 {
+		t.Errorf("recalled value %d", v)
+	}
+}
+
+func TestPushCapacityPanics(t *testing.T) {
+	f := New(1)
+	f.Push(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("push beyond capacity must panic")
+		}
+	}()
+	f.Push(0)
+}
+
+func TestMultiStack(t *testing.T) {
+	f := NewStacks(2, 3)
+	if f.Stacks() != 2 || f.Capacity(0) != 2 || f.Capacity(1) != 3 {
+		t.Fatal("geometry")
+	}
+	f.Reserve(2, 1)
+	f.Deliver([]int{0, 0}, 2, 10, 1)
+	f.Push(0)
+	f.Reserve(2, 2)
+	f.Deliver([]int{0, 0}, 2, 20, 2)
+	f.Push(1)
+	f.Reserve(2, 3)
+	f.Deliver([]int{0, 0}, 2, 30, 3)
+	// Recall from stack 1 (B-repair): r2 back to 20; stack 0 untouched.
+	f.RecallAt(1, 1)
+	if v, _, _ := f.Read(2); v != 20 {
+		t.Errorf("stack1 recall: %d", v)
+	}
+	if f.Depth(0) != 1 {
+		t.Error("stack0 perturbed")
+	}
+	f.RecallAt(0, 1)
+	if v, _, _ := f.Read(2); v != 10 {
+		t.Errorf("stack0 recall: %d", v)
+	}
+}
+
+func TestTransferOldest(t *testing.T) {
+	f := NewStacks(2, 2)
+	f.Reserve(1, 1)
+	f.Deliver([]int{0, 0}, 1, 111, 1)
+	f.Push(1) // B ckpt with r1=111
+	f.Reserve(1, 2)
+	f.Deliver([]int{0, 0}, 1, 222, 2)
+	f.Push(1) // newer B ckpt with r1=222
+	f.TransferOldest(1, 0)
+	if f.Depth(0) != 1 || f.Depth(1) != 1 {
+		t.Fatalf("depths %d/%d", f.Depth(0), f.Depth(1))
+	}
+	if b := f.BackupSnapshot(0, 1); b[1] != 111 {
+		t.Errorf("graduated space r1 = %d, want 111", b[1])
+	}
+	if b := f.BackupSnapshot(1, 1); b[1] != 222 {
+		t.Errorf("remaining B space r1 = %d, want 222", b[1])
+	}
+}
+
+func TestCancel(t *testing.T) {
+	f := New(2)
+	f.Reserve(6, 1)
+	f.Deliver([]int{0}, 6, 55, 1)
+	f.Reserve(6, 2)
+	f.Push(0)
+	val := f.Cancel([]int{1}, 6, 2)
+	if val != 55 {
+		t.Errorf("cancel returned %d", val)
+	}
+	if _, p, _ := f.Read(6); p {
+		t.Error("current still pending after cancel")
+	}
+	if f.OldestHasPending(0) {
+		t.Error("backup still pending after cancel")
+	}
+	// Value preserved everywhere.
+	if b := f.BackupSnapshot(0, 1); b[6] != 55 {
+		t.Errorf("backup value %d", b[6])
+	}
+}
+
+func TestPopNewestAndDropOldest(t *testing.T) {
+	f := New(3)
+	for i := 1; i <= 3; i++ {
+		f.Reserve(1, uint64(i))
+		f.Deliver([]int{0}, 1, uint32(i*100), uint64(i))
+		f.Push(0)
+	}
+	f.PopNewest(0, 1) // drop ckpt with r1=300
+	f.DropOldest(0)   // retire ckpt with r1=100
+	if f.Depth(0) != 1 {
+		t.Fatalf("depth %d", f.Depth(0))
+	}
+	if b := f.BackupSnapshot(0, 1); b[1] != 200 {
+		t.Errorf("remaining ckpt r1 = %d", b[1])
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := Cost(2)
+	if cm.CellsPerBit != 3 {
+		t.Errorf("cells per bit: %d", cm.CellsPerBit)
+	}
+	if cm.TotalBits != isa.NumRegs*32*3 {
+		t.Errorf("total bits: %d", cm.TotalBits)
+	}
+	// Figure 5 (c=2): delivery lines for current and backup1 only —
+	// Theorem 4 removes backup2's lines.
+	if cm.ResultLinePairs != 2 {
+		t.Errorf("line pairs: %d", cm.ResultLinePairs)
+	}
+	if dm := Cost(2, 4); dm.BackupSpaces != 6 || dm.CellsPerBit != 7 {
+		t.Errorf("direct cost: %+v", dm)
+	}
+}

@@ -1,0 +1,40 @@
+package sem
+
+import "repro/internal/isa"
+
+// ExcAction is the architected effect of the (simulated) operating
+// system's exception handler. Every engine applies the same policy, so
+// post-exception execution is deterministic and comparable across the
+// golden model and all machines.
+type ExcAction uint8
+
+// Handler actions.
+const (
+	// ActResume re-executes the violating instruction. Used for page
+	// faults after the handler maps the missing page (demand paging).
+	ActResume ExcAction = iota
+	// ActSkip resumes at the instruction after the violating one without
+	// executing it (the handler emulated or suppressed it).
+	ActSkip
+	// ActContinue resumes after a trap; the trapping instruction already
+	// completed, per trap semantics.
+	ActContinue
+	// ActHalt stops the machine.
+	ActHalt
+)
+
+// HandlerAction returns the architected handler action for an exception
+// code. Page faults additionally require the caller to map the faulting
+// page in the backing memory before resuming.
+func HandlerAction(code isa.ExcCode) ExcAction {
+	switch code {
+	case isa.ExcCodePageFault:
+		return ActResume
+	case isa.ExcCodeMisaligned, isa.ExcCodeDivideZero:
+		return ActSkip
+	case isa.ExcCodeOverflow, isa.ExcCodeSoftware:
+		return ActContinue
+	default:
+		return ActHalt
+	}
+}

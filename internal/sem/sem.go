@@ -1,0 +1,282 @@
+// Package sem defines the architectural semantics of each instruction as
+// pure functions over operand values.
+//
+// Every execution engine in this repository — the in-order golden model
+// (internal/refsim), the out-of-order functional units (internal/ooo),
+// and the baseline machines (internal/baseline) — evaluates instructions
+// through this package, so an instruction can never mean different
+// things on different engines. That property is what makes the
+// golden-model equivalence tests meaningful: any state divergence is a
+// repair-mechanism bug, not a semantics mismatch.
+package sem
+
+import (
+	"repro/internal/isa"
+)
+
+// Outcome is the architectural result of executing one non-memory
+// instruction (or the non-memory part of a memory instruction).
+type Outcome struct {
+	Result   uint32 // value for rd when WroteRd
+	WroteRd  bool
+	Taken    bool // conditional branch outcome
+	Target   int  // next PC for control instructions (taken path)
+	Exc      isa.ExcCode
+	TrapInfo int32 // software trap code
+	Halt     bool
+}
+
+// EvalALU evaluates any ALU, mul/div, branch, jump, or system
+// instruction. a and b are the values of rs1 and rs2 (ignored when the
+// opcode does not read them); pc is the instruction's index.
+//
+// Trap semantics (VAX-style, paper §2.2): a trapping instruction
+// completes — the wrapped result is written — and then traps, so the
+// precise repair point is to its right. Fault semantics: the instruction
+// must appear not to have executed, so rd is not written.
+func EvalALU(in isa.Inst, a, b uint32, pc int) Outcome {
+	var o Outcome
+	sa, sb := int32(a), int32(b)
+	switch in.Op {
+	case isa.OpADD:
+		o.set(a + b)
+	case isa.OpADDV:
+		o.set(a + b)
+		if addOverflows(sa, sb) {
+			o.Exc = isa.ExcCodeOverflow
+		}
+	case isa.OpSUB:
+		o.set(a - b)
+	case isa.OpSUBV:
+		o.set(a - b)
+		if subOverflows(sa, sb) {
+			o.Exc = isa.ExcCodeOverflow
+		}
+	case isa.OpMUL:
+		o.set(uint32(int64(sa) * int64(sb)))
+	case isa.OpMULV:
+		p := int64(sa) * int64(sb)
+		o.set(uint32(p))
+		if p != int64(int32(p)) {
+			o.Exc = isa.ExcCodeOverflow
+		}
+	case isa.OpDIV:
+		if sb == 0 {
+			o.Exc = isa.ExcCodeDivideZero
+			return o
+		}
+		o.set(uint32(divSigned(sa, sb)))
+	case isa.OpREM:
+		if sb == 0 {
+			o.Exc = isa.ExcCodeDivideZero
+			return o
+		}
+		o.set(uint32(remSigned(sa, sb)))
+	case isa.OpAND:
+		o.set(a & b)
+	case isa.OpOR:
+		o.set(a | b)
+	case isa.OpXOR:
+		o.set(a ^ b)
+	case isa.OpNOR:
+		o.set(^(a | b))
+	case isa.OpSLL:
+		o.set(a << (b & 31))
+	case isa.OpSRL:
+		o.set(a >> (b & 31))
+	case isa.OpSRA:
+		o.set(uint32(sa >> (b & 31)))
+	case isa.OpSLT:
+		o.set(boolTo32(sa < sb))
+	case isa.OpSLTU:
+		o.set(boolTo32(a < b))
+
+	case isa.OpADDI:
+		o.set(a + uint32(in.Imm))
+	case isa.OpADDIV:
+		o.set(a + uint32(in.Imm))
+		if addOverflows(sa, in.Imm) {
+			o.Exc = isa.ExcCodeOverflow
+		}
+	case isa.OpANDI:
+		o.set(a & uint32(uint16(in.Imm)))
+	case isa.OpORI:
+		o.set(a | uint32(uint16(in.Imm)))
+	case isa.OpXORI:
+		o.set(a ^ uint32(uint16(in.Imm)))
+	case isa.OpSLTI:
+		o.set(boolTo32(sa < in.Imm))
+	case isa.OpSLLI:
+		o.set(a << (uint32(in.Imm) & 31))
+	case isa.OpSRLI:
+		o.set(a >> (uint32(in.Imm) & 31))
+	case isa.OpSRAI:
+		o.set(uint32(sa >> (uint32(in.Imm) & 31)))
+	case isa.OpLUI:
+		o.set(uint32(in.Imm) << 16)
+
+	case isa.OpBEQ:
+		o.branch(a == b, in, pc)
+	case isa.OpBNE:
+		o.branch(a != b, in, pc)
+	case isa.OpBLT:
+		o.branch(sa < sb, in, pc)
+	case isa.OpBGE:
+		o.branch(sa >= sb, in, pc)
+	case isa.OpBLTU:
+		o.branch(a < b, in, pc)
+	case isa.OpBGEU:
+		o.branch(a >= b, in, pc)
+
+	case isa.OpJ:
+		o.Taken = true
+		o.Target = int(in.Imm)
+	case isa.OpJAL:
+		o.set(uint32(pc + 1))
+		o.Taken = true
+		o.Target = int(in.Imm)
+	case isa.OpJR:
+		o.Taken = true
+		o.Target = int(int32(a))
+	case isa.OpJALR:
+		o.set(uint32(pc + 1))
+		o.Taken = true
+		o.Target = int(int32(a))
+
+	case isa.OpTRAP:
+		o.Exc = isa.ExcCodeSoftware
+		o.TrapInfo = in.Imm
+	case isa.OpHALT:
+		o.Halt = true
+	case isa.OpNOP:
+		// nothing
+	default:
+		o.Exc = isa.ExcCodeBadInst
+	}
+	return o
+}
+
+func (o *Outcome) set(v uint32) {
+	o.Result = v
+	o.WroteRd = true
+}
+
+func (o *Outcome) branch(taken bool, in isa.Inst, pc int) {
+	o.Taken = taken
+	o.Target = pc + 1 + int(in.Imm)
+}
+
+// EffAddr computes a memory instruction's effective address from its
+// rs1 value.
+func EffAddr(in isa.Inst, a uint32) uint32 { return a + uint32(in.Imm) }
+
+// AccessSize returns the access size in bytes of a memory opcode.
+func AccessSize(op isa.Op) uint32 {
+	switch op {
+	case isa.OpLW, isa.OpSW:
+		return isa.WordSize
+	case isa.OpLB, isa.OpLBU, isa.OpSB:
+		return 1
+	}
+	return 0
+}
+
+// LoadValue converts the raw longword containing a load's target bytes
+// into the register value the load produces. For LW the longword is the
+// value; for byte loads the addressed byte is extracted and extended.
+func LoadValue(op isa.Op, addr uint32, word uint32) uint32 {
+	switch op {
+	case isa.OpLW:
+		return word
+	case isa.OpLB:
+		b := byte(word >> (8 * (addr % 4)))
+		return uint32(int32(int8(b)))
+	case isa.OpLBU:
+		b := byte(word >> (8 * (addr % 4)))
+		return uint32(b)
+	}
+	return word
+}
+
+// StoreBytes returns the longword-aligned write a store performs: the
+// aligned address, the data longword (store value positioned at the
+// addressed byte lanes), and the byte mask. This is exactly the entry
+// format of the paper's difference buffers (physical longword address,
+// byte mask, longword data).
+func StoreBytes(op isa.Op, addr uint32, v uint32) (alignedAddr uint32, data uint32, mask uint8) {
+	switch op {
+	case isa.OpSW:
+		return addr &^ 3, v, 0b1111
+	case isa.OpSB:
+		lane := addr % 4
+		return addr &^ 3, (v & 0xff) << (8 * lane), 1 << lane
+	}
+	return addr &^ 3, v, 0b1111
+}
+
+func addOverflows(a, b int32) bool {
+	s := a + b
+	return (s > a) != (b > 0)
+}
+
+func subOverflows(a, b int32) bool {
+	s := a - b
+	return (s < a) != (b > 0)
+}
+
+// divSigned implements truncating division with the usual hardware
+// convention for INT_MIN / -1: the quotient wraps to INT_MIN rather than
+// trapping (Go would panic).
+func divSigned(a, b int32) int32 {
+	if a == -1<<31 && b == -1 {
+		return -1 << 31
+	}
+	return a / b
+}
+
+func remSigned(a, b int32) int32 {
+	if a == -1<<31 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+func boolTo32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Expand cracks an instruction into its constituent operations. Scalar
+// instructions expand to themselves. Vector instructions expand to
+// VectorLen scalar micro-operations over consecutive registers and
+// addresses, element 0 first; both the reference interpreter and the
+// out-of-order machines execute the same expansion, with sequential
+// element semantics (element i architecturally precedes element i+1).
+func Expand(in isa.Inst) []isa.Inst {
+	if !in.Op.IsVector() {
+		return []isa.Inst{in}
+	}
+	out := make([]isa.Inst, isa.VectorLen)
+	for i := 0; i < isa.VectorLen; i++ {
+		e := in
+		switch in.Op {
+		case isa.OpVLW:
+			e.Op = isa.OpLW
+			e.Rd = in.Rd + isa.Reg(i)
+			e.Imm = in.Imm + int32(4*i)
+		case isa.OpVSW:
+			e.Op = isa.OpSW
+			e.Rs2 = in.Rs2 + isa.Reg(i)
+			e.Imm = in.Imm + int32(4*i)
+		case isa.OpVADD:
+			e.Op = isa.OpADD
+			e.Rd = in.Rd + isa.Reg(i)
+			e.Rs1 = in.Rs1 + isa.Reg(i)
+			e.Rs2 = in.Rs2 + isa.Reg(i)
+		}
+		out[i] = e
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package sem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func negu(v int32) uint32 { return uint32(-v) }
+
+func eval(op isa.Op, a, b uint32) Outcome {
+	return EvalALU(isa.Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3}, a, b, 100)
+}
+
+func evalImm(op isa.Op, a uint32, imm int32) Outcome {
+	return EvalALU(isa.Inst{Op: op, Rd: 1, Rs1: 2, Imm: imm}, a, 0, 100)
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint32
+		want uint32
+	}{
+		{isa.OpADD, 2, 3, 5},
+		{isa.OpADD, 0xFFFFFFFF, 1, 0},
+		{isa.OpSUB, 2, 3, 0xFFFFFFFF},
+		{isa.OpMUL, 7, 6, 42},
+		{isa.OpMUL, 0x10000, 0x10000, 0}, // low 32 bits
+		{isa.OpDIV, 100, 7, 14},
+		{isa.OpDIV, negu(100), 7, negu(14)},
+		{isa.OpREM, 100, 7, 2},
+		{isa.OpREM, negu(100), 7, negu(2)},
+		{isa.OpAND, 0b1100, 0b1010, 0b1000},
+		{isa.OpOR, 0b1100, 0b1010, 0b1110},
+		{isa.OpXOR, 0b1100, 0b1010, 0b0110},
+		{isa.OpNOR, 0, 0, 0xFFFFFFFF},
+		{isa.OpSLL, 1, 4, 16},
+		{isa.OpSLL, 1, 36, 16}, // shift mod 32
+		{isa.OpSRL, 0x80000000, 31, 1},
+		{isa.OpSRA, 0x80000000, 31, 0xFFFFFFFF},
+		{isa.OpSLT, ^uint32(0), 0, 1},
+		{isa.OpSLT, 0, ^uint32(0), 0},
+		{isa.OpSLTU, ^uint32(0), 0, 0},
+		{isa.OpSLTU, 0, ^uint32(0), 1},
+	}
+	for _, c := range cases {
+		o := eval(c.op, c.a, c.b)
+		if !o.WroteRd || o.Result != c.want || o.Exc != isa.ExcCodeNone {
+			t.Errorf("%v(%#x,%#x) = %#x exc=%v, want %#x", c.op, c.a, c.b, o.Result, o.Exc, c.want)
+		}
+	}
+}
+
+func TestOverflowTraps(t *testing.T) {
+	// Trap semantics: the wrapped result is written AND the trap raised.
+	o := eval(isa.OpADDV, 0x7FFFFFFF, 1)
+	if o.Exc != isa.ExcCodeOverflow || !o.WroteRd || o.Result != 0x80000000 {
+		t.Errorf("ADDV overflow: %+v", o)
+	}
+	if o := eval(isa.OpADDV, 1, 2); o.Exc != isa.ExcCodeNone {
+		t.Errorf("ADDV no overflow raised %v", o.Exc)
+	}
+	if o := eval(isa.OpSUBV, 0x80000000, 1); o.Exc != isa.ExcCodeOverflow {
+		t.Error("SUBV overflow missed")
+	}
+	if o := eval(isa.OpSUBV, 5, 3); o.Exc != isa.ExcCodeNone {
+		t.Error("SUBV spurious overflow")
+	}
+	if o := eval(isa.OpMULV, 0x10000, 0x10000); o.Exc != isa.ExcCodeOverflow {
+		t.Error("MULV overflow missed")
+	}
+	if o := eval(isa.OpMULV, 100, 100); o.Exc != isa.ExcCodeNone || o.Result != 10000 {
+		t.Error("MULV spurious overflow")
+	}
+	if o := evalImm(isa.OpADDIV, 0x7FFFFFFF, 1); o.Exc != isa.ExcCodeOverflow {
+		t.Error("ADDIV overflow missed")
+	}
+}
+
+func TestDivideFaults(t *testing.T) {
+	// Fault semantics: no result is written.
+	o := eval(isa.OpDIV, 100, 0)
+	if o.Exc != isa.ExcCodeDivideZero || o.WroteRd {
+		t.Errorf("DIV/0: %+v", o)
+	}
+	if o := eval(isa.OpREM, 100, 0); o.Exc != isa.ExcCodeDivideZero || o.WroteRd {
+		t.Errorf("REM/0: %+v", o)
+	}
+	// INT_MIN / -1 wraps like hardware instead of trapping or panicking.
+	o = eval(isa.OpDIV, 0x80000000, 0xFFFFFFFF)
+	if o.Exc != isa.ExcCodeNone || o.Result != 0x80000000 {
+		t.Errorf("INT_MIN/-1 = %#x exc=%v", o.Result, o.Exc)
+	}
+	o = eval(isa.OpREM, 0x80000000, 0xFFFFFFFF)
+	if o.Exc != isa.ExcCodeNone || o.Result != 0 {
+		t.Errorf("INT_MIN%%-1 = %#x exc=%v", o.Result, o.Exc)
+	}
+}
+
+func TestImmediates(t *testing.T) {
+	if o := evalImm(isa.OpADDI, 10, -3); o.Result != 7 {
+		t.Errorf("ADDI = %d", o.Result)
+	}
+	// Logical immediates zero-extend 16 bits.
+	if o := evalImm(isa.OpANDI, 0xFFFFFFFF, -1); o.Result != 0xFFFF {
+		t.Errorf("ANDI = %#x", o.Result)
+	}
+	if o := evalImm(isa.OpORI, 0, -1); o.Result != 0xFFFF {
+		t.Errorf("ORI = %#x", o.Result)
+	}
+	if o := evalImm(isa.OpXORI, 0xFFFF, -1); o.Result != 0 {
+		t.Errorf("XORI = %#x", o.Result)
+	}
+	if o := evalImm(isa.OpSLTI, negu(5), -1); o.Result != 1 {
+		t.Errorf("SLTI = %d", o.Result)
+	}
+	if o := evalImm(isa.OpLUI, 0, 0x1234); o.Result != 0x12340000 {
+		t.Errorf("LUI = %#x", o.Result)
+	}
+	if o := evalImm(isa.OpSLLI, 1, 5); o.Result != 32 {
+		t.Errorf("SLLI = %d", o.Result)
+	}
+	if o := evalImm(isa.OpSRAI, 0x80000000, 4); o.Result != 0xF8000000 {
+		t.Errorf("SRAI = %#x", o.Result)
+	}
+}
+
+func TestBranches(t *testing.T) {
+	cases := []struct {
+		op    isa.Op
+		a, b  uint32
+		taken bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBLT, ^uint32(0), 0, true},
+		{isa.OpBLT, 0, ^uint32(0), false},
+		{isa.OpBGE, 0, 0, true},
+		{isa.OpBLTU, 0, ^uint32(0), true},
+		{isa.OpBGEU, ^uint32(0), 0, true},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op, Rs1: 1, Rs2: 2, Imm: 5}
+		o := EvalALU(in, c.a, c.b, 10)
+		if o.Taken != c.taken {
+			t.Errorf("%v(%#x,%#x) taken=%v want %v", c.op, c.a, c.b, o.Taken, c.taken)
+		}
+		if o.Target != 16 {
+			t.Errorf("%v target = %d, want 16", c.op, o.Target)
+		}
+	}
+}
+
+func TestJumps(t *testing.T) {
+	o := EvalALU(isa.Inst{Op: isa.OpJ, Imm: 40}, 0, 0, 10)
+	if !o.Taken || o.Target != 40 || o.WroteRd {
+		t.Errorf("J: %+v", o)
+	}
+	o = EvalALU(isa.Inst{Op: isa.OpJAL, Rd: 31, Imm: 40}, 0, 0, 10)
+	if !o.Taken || o.Target != 40 || !o.WroteRd || o.Result != 11 {
+		t.Errorf("JAL: %+v", o)
+	}
+	o = EvalALU(isa.Inst{Op: isa.OpJR, Rs1: 31}, 25, 0, 10)
+	if !o.Taken || o.Target != 25 {
+		t.Errorf("JR: %+v", o)
+	}
+	o = EvalALU(isa.Inst{Op: isa.OpJALR, Rd: 1, Rs1: 31}, 25, 0, 10)
+	if !o.Taken || o.Target != 25 || o.Result != 11 {
+		t.Errorf("JALR: %+v", o)
+	}
+}
+
+func TestSystem(t *testing.T) {
+	o := EvalALU(isa.Inst{Op: isa.OpTRAP, Imm: 9}, 0, 0, 10)
+	if o.Exc != isa.ExcCodeSoftware || o.TrapInfo != 9 {
+		t.Errorf("TRAP: %+v", o)
+	}
+	if o := EvalALU(isa.Inst{Op: isa.OpHALT}, 0, 0, 10); !o.Halt {
+		t.Error("HALT")
+	}
+	if o := EvalALU(isa.Inst{Op: isa.OpNOP}, 0, 0, 10); o.WroteRd || o.Halt || o.Exc != isa.ExcCodeNone {
+		t.Error("NOP must do nothing")
+	}
+	if o := EvalALU(isa.Inst{Op: isa.OpInvalid}, 0, 0, 10); o.Exc != isa.ExcCodeBadInst {
+		t.Error("invalid opcode must fault")
+	}
+}
+
+func TestStoreLoadBytes(t *testing.T) {
+	// SW covers the whole longword.
+	addr, data, mask := StoreBytes(isa.OpSW, 0x1004, 0xAABBCCDD)
+	if addr != 0x1004 || data != 0xAABBCCDD || mask != 0b1111 {
+		t.Errorf("SW: %#x %#x %b", addr, data, mask)
+	}
+	// SB positions the byte in its lane.
+	addr, data, mask = StoreBytes(isa.OpSB, 0x1006, 0xFF12)
+	if addr != 0x1004 || data != 0x00120000 || mask != 0b0100 {
+		t.Errorf("SB: %#x %#x %b", addr, data, mask)
+	}
+	// LoadValue extracts and extends.
+	if v := LoadValue(isa.OpLW, 0x1004, 0x11223344); v != 0x11223344 {
+		t.Errorf("LW: %#x", v)
+	}
+	if v := LoadValue(isa.OpLB, 0x1006, 0x00800000); v != 0xFFFFFF80 {
+		t.Errorf("LB sign extend: %#x", v)
+	}
+	if v := LoadValue(isa.OpLBU, 0x1006, 0x00800000); v != 0x80 {
+		t.Errorf("LBU zero extend: %#x", v)
+	}
+}
+
+func TestAccessSize(t *testing.T) {
+	if AccessSize(isa.OpLW) != 4 || AccessSize(isa.OpSW) != 4 {
+		t.Error("longword size")
+	}
+	if AccessSize(isa.OpLB) != 1 || AccessSize(isa.OpLBU) != 1 || AccessSize(isa.OpSB) != 1 {
+		t.Error("byte size")
+	}
+}
+
+// TestQuickOverflowConsistency checks ADDV's trap decision against
+// 64-bit arithmetic for arbitrary inputs.
+func TestQuickOverflowConsistency(t *testing.T) {
+	f := func(a, b int32) bool {
+		o := eval(isa.OpADDV, uint32(a), uint32(b))
+		wide := int64(a) + int64(b)
+		wantTrap := wide != int64(int32(wide))
+		return (o.Exc == isa.ExcCodeOverflow) == wantTrap && o.Result == uint32(a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int32) bool {
+		o := eval(isa.OpSUBV, uint32(a), uint32(b))
+		wide := int64(a) - int64(b)
+		wantTrap := wide != int64(int32(wide))
+		return (o.Exc == isa.ExcCodeOverflow) == wantTrap
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStoreBytesMergeIdentity: storing then loading through the
+// longword representation reproduces the stored byte.
+func TestQuickStoreBytesMergeIdentity(t *testing.T) {
+	f := func(addrRaw uint32, v uint32, old uint32) bool {
+		addr := addrRaw % 0x10000
+		_, data, mask := StoreBytes(isa.OpSB, addr, v)
+		merged := old
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				shift := uint(8 * i)
+				merged = merged&^(0xff<<shift) | data&(0xff<<shift)
+			}
+		}
+		return LoadValue(isa.OpLBU, addr, merged) == v&0xff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandlerActions(t *testing.T) {
+	cases := map[isa.ExcCode]ExcAction{
+		isa.ExcCodePageFault:  ActResume,
+		isa.ExcCodeMisaligned: ActSkip,
+		isa.ExcCodeDivideZero: ActSkip,
+		isa.ExcCodeOverflow:   ActContinue,
+		isa.ExcCodeSoftware:   ActContinue,
+		isa.ExcCodeBadInst:    ActHalt,
+	}
+	for code, want := range cases {
+		if got := HandlerAction(code); got != want {
+			t.Errorf("HandlerAction(%v) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestExpandScalar(t *testing.T) {
+	in := isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}
+	es := Expand(in)
+	if len(es) != 1 || es[0] != in {
+		t.Errorf("scalar expand: %v", es)
+	}
+}
+
+func TestExpandVector(t *testing.T) {
+	// VLW r8, 100(r2) -> LW r8..r11 from 100,104,108,112(r2).
+	es := Expand(isa.Inst{Op: isa.OpVLW, Rd: 8, Rs1: 2, Imm: 100})
+	if len(es) != isa.VectorLen {
+		t.Fatalf("len %d", len(es))
+	}
+	for i, e := range es {
+		if e.Op != isa.OpLW || e.Rd != isa.Reg(8+i) || e.Rs1 != 2 || e.Imm != int32(100+4*i) {
+			t.Errorf("elem %d: %v", i, e)
+		}
+	}
+	// VSW r4, 0(r1) -> SW r4..r7.
+	es = Expand(isa.Inst{Op: isa.OpVSW, Rs2: 4, Rs1: 1})
+	for i, e := range es {
+		if e.Op != isa.OpSW || e.Rs2 != isa.Reg(4+i) || e.Imm != int32(4*i) {
+			t.Errorf("vsw elem %d: %v", i, e)
+		}
+	}
+	// VADD r16, r8, r12.
+	es = Expand(isa.Inst{Op: isa.OpVADD, Rd: 16, Rs1: 8, Rs2: 12})
+	for i, e := range es {
+		if e.Op != isa.OpADD || e.Rd != isa.Reg(16+i) || e.Rs1 != isa.Reg(8+i) || e.Rs2 != isa.Reg(12+i) {
+			t.Errorf("vadd elem %d: %v", i, e)
+		}
+	}
+}
+
+func TestVectorOpsMetadata(t *testing.T) {
+	if isa.OpVLW.Ops() != isa.VectorLen || isa.OpADD.Ops() != 1 {
+		t.Error("Ops counts")
+	}
+	if !isa.OpVADD.IsVector() || isa.OpADD.IsVector() {
+		t.Error("IsVector")
+	}
+}

@@ -1,0 +1,120 @@
+// Package stats defines the metric records shared by the machines,
+// baselines, and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StallReason classifies cycles in which the issue unit could not issue.
+type StallReason uint8
+
+// Stall reasons.
+const (
+	StallNone     StallReason = iota
+	StallScheme               // checkpoint scheme blocked (insufficient backup spaces)
+	StallRS                   // reservation stations full
+	StallLSQ                  // load/store queue full
+	StallJump                 // unresolved indirect jump
+	StallBranch               // non-speculative machine waiting on a branch
+	StallFetchOut             // fetch halted (HALT issued or fell off code)
+	StallPrecise              // precise (single-step) mode serialisation
+	StallStoreBuf             // store blocked on a full difference buffer
+	StallRepair               // difference-buffer undo work in progress (one entry per cycle)
+	numStallReasons
+)
+
+// String returns a short reason name.
+func (r StallReason) String() string {
+	switch r {
+	case StallNone:
+		return "none"
+	case StallScheme:
+		return "scheme"
+	case StallRS:
+		return "rs-full"
+	case StallLSQ:
+		return "lsq-full"
+	case StallJump:
+		return "jump"
+	case StallBranch:
+		return "branch"
+	case StallFetchOut:
+		return "fetch-out"
+	case StallPrecise:
+		return "precise"
+	case StallStoreBuf:
+		return "store-buffer"
+	case StallRepair:
+		return "repair"
+	}
+	return fmt.Sprintf("stall(%d)", uint8(r))
+}
+
+// NumStallReasons is the number of stall classifications.
+const NumStallReasons = int(numStallReasons)
+
+// Run aggregates the metrics of one machine run.
+type Run struct {
+	Cycles       int64
+	Issued       int64 // operations issued, including wrong-path noise
+	Retired      int64 // architecturally completed instructions (golden count)
+	WrongPath    int64 // issued operations later squashed
+	StallCycles  [NumStallReasons]int64
+	PreciseInsts int64 // instructions executed in single-step mode
+	ERepairs     int64
+	BRepairs     int64
+	Checkpoints  int64
+	Branches     int64 // correct-path conditional branches resolved
+	Mispredicts  int64 // correct-path mispredictions (B-repairs on the true path)
+	Exceptions   int64 // architecturally handled exceptions
+	// MaxWindow is the peak number of simultaneously active (issued,
+	// unfinished) operations — the quantity Theorem 3 bounds by the sum
+	// of the active checkpoints' fault repair range sizes.
+	MaxWindow int64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// StallTotal returns the total stalled issue cycles across reasons.
+func (r *Run) StallTotal() int64 {
+	var t int64
+	for i := 1; i < NumStallReasons; i++ {
+		t += r.StallCycles[i]
+	}
+	return t
+}
+
+// MispredictRate returns mispredictions per resolved correct-path
+// branch.
+func (r *Run) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// InstsPerBRepair returns retired instructions per B-repair — the
+// paper's "a B-repair occurs on the average every 28 instructions"
+// metric.
+func (r *Run) InstsPerBRepair() float64 {
+	if r.BRepairs == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.BRepairs)
+}
+
+// String renders a compact single-line summary.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d retired=%d ipc=%.3f issued=%d wrongpath=%d", r.Cycles, r.Retired, r.IPC(), r.Issued, r.WrongPath)
+	fmt.Fprintf(&b, " brepairs=%d erepairs=%d ckpts=%d stalls=%d", r.BRepairs, r.ERepairs, r.Checkpoints, r.StallTotal())
+	return b.String()
+}

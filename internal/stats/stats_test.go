@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	var r Run
+	if r.IPC() != 0 || r.MispredictRate() != 0 || r.InstsPerBRepair() != 0 {
+		t.Error("zero-value metrics must be 0")
+	}
+	r.Cycles = 100
+	r.Retired = 250
+	r.Branches = 50
+	r.Mispredicts = 5
+	r.BRepairs = 5
+	if r.IPC() != 2.5 {
+		t.Errorf("IPC %v", r.IPC())
+	}
+	if r.MispredictRate() != 0.1 {
+		t.Errorf("miss rate %v", r.MispredictRate())
+	}
+	if r.InstsPerBRepair() != 50 {
+		t.Errorf("insts/B-repair %v", r.InstsPerBRepair())
+	}
+}
+
+func TestStallTotal(t *testing.T) {
+	var r Run
+	r.StallCycles[StallScheme] = 3
+	r.StallCycles[StallRS] = 4
+	r.StallCycles[StallStoreBuf] = 5
+	if r.StallTotal() != 12 {
+		t.Errorf("stall total %d", r.StallTotal())
+	}
+}
+
+func TestReasonNames(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumStallReasons; i++ {
+		name := StallReason(i).String()
+		if name == "" || strings.HasPrefix(name, "stall(") {
+			t.Errorf("reason %d unnamed", i)
+		}
+		if seen[name] {
+			t.Errorf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Cycles: 10, Retired: 20, Issued: 30}
+	s := r.String()
+	for _, want := range []string{"cycles=10", "retired=20", "ipc=2.000", "issued=30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace renders checkpoint-window snapshots as text diagrams in
+// the style of the paper's Figures 3, 4 and 7: the issuing instruction
+// stream with active checkpoints marked on it, each checkpoint labelled
+// with its shift-register state (count, except, pend) and the backup
+// space assigned to it.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Snapshot is one renderable machine instant.
+type Snapshot struct {
+	Title string
+	// Stacks holds the active checkpoints per register-file stack,
+	// oldest first, as returned by core.Inspectable.
+	Stacks [][]core.View
+	// StackNames labels each stack ("E", "B", or "" for single-stack
+	// schemes).
+	StackNames []string
+}
+
+// Capture snapshots a scheme's checkpoint state.
+func Capture(title string, s core.Scheme) Snapshot {
+	snap := Snapshot{Title: title}
+	insp, ok := s.(core.Inspectable)
+	if !ok {
+		return snap
+	}
+	snap.Stacks = insp.Views()
+	switch len(snap.Stacks) {
+	case 1:
+		snap.StackNames = []string{""}
+	case 2:
+		snap.StackNames = []string{"E", "B"}
+	default:
+		for i := range snap.Stacks {
+			snap.StackNames = append(snap.StackNames, fmt.Sprintf("s%d", i))
+		}
+	}
+	return snap
+}
+
+// Render draws the snapshot. Example output (one stack, two active
+// checkpoints, echoing Figure 4's activeE,2(t1)=A, activeE,1(t1)=B):
+//
+//	t1: ──▌CP@8──────▌CP@16─────▶ issuing
+//	       active2       active1
+//	       cnt=3         cnt=5
+//	       backup2       backup1
+func Render(s Snapshot) string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	for si, cks := range s.Stacks {
+		name := ""
+		if si < len(s.StackNames) {
+			name = s.StackNames[si]
+		}
+		renderStack(&b, name, cks)
+	}
+	return b.String()
+}
+
+func renderStack(b *strings.Builder, name string, cks []core.View) {
+	if name != "" {
+		fmt.Fprintf(b, "  [%s-repair spaces]\n", name)
+	}
+	if len(cks) == 0 {
+		fmt.Fprintf(b, "  (no active checkpoints)\n")
+		return
+	}
+	cells := make([]string, len(cks))
+	for i, c := range cks {
+		cells[i] = fmt.Sprintf("▌CP@pc%d", c.PC)
+	}
+	fmt.Fprintf(b, "  ──%s──▶ issuing\n", strings.Join(cells, "────"))
+
+	// Label rows. Index i increases from right (newest) to left
+	// (oldest) in the paper's convention: active_{n-i}.
+	n := len(cks)
+	row := func(label func(c core.View, idx int) string) {
+		var parts []string
+		for i, c := range cks {
+			parts = append(parts, pad(label(c, n-i), len(cells[i])+4))
+		}
+		fmt.Fprintf(b, "    %s\n", strings.Join(parts, ""))
+	}
+	row(func(c core.View, idx int) string { return fmt.Sprintf("active%d", idx) })
+	row(func(c core.View, idx int) string {
+		flags := fmt.Sprintf("cnt=%d", c.Active)
+		if c.Except {
+			flags += " EXC"
+		}
+		if c.Pend {
+			flags += " pend"
+		}
+		return flags
+	})
+	row(func(c core.View, idx int) string { return fmt.Sprintf("backup%d", idx) })
+}
+
+func pad(s string, w int) string {
+	if len([]rune(s)) >= w {
+		return s + " "
+	}
+	return s + strings.Repeat(" ", w-len([]rune(s)))
+}
+
+// Series renders a sequence of snapshots separated by blank lines —
+// the t1/t2 progressions of Figures 4 and 7.
+func Series(snaps ...Snapshot) string {
+	parts := make([]string, len(snaps))
+	for i, s := range snaps {
+		parts[i] = Render(s)
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRenderSingleStack(t *testing.T) {
+	s := Snapshot{
+		Title:      "t1",
+		StackNames: []string{""},
+		Stacks: [][]core.View{{
+			{BornSeq: 4, PC: 4, Active: 3},
+			{BornSeq: 8, PC: 8, Active: 5, Except: true},
+		}},
+	}
+	out := Render(s)
+	for _, want := range []string{"t1", "CP@pc4", "CP@pc8", "active2", "active1", "cnt=3", "cnt=5 EXC", "backup1", "backup2", "issuing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Snapshot{Title: "empty", Stacks: [][]core.View{{}}, StackNames: []string{""}})
+	if !strings.Contains(out, "no active checkpoints") {
+		t.Errorf("empty render: %s", out)
+	}
+}
+
+func TestRenderPendFlag(t *testing.T) {
+	s := Snapshot{
+		StackNames: []string{"B"},
+		Stacks:     [][]core.View{{{BornSeq: 3, PC: 3, Pend: true}}},
+	}
+	out := Render(s)
+	if !strings.Contains(out, "pend") || !strings.Contains(out, "[B-repair spaces]") {
+		t.Errorf("pend render: %s", out)
+	}
+}
+
+func TestCaptureFromScheme(t *testing.T) {
+	sch := core.NewSchemeTight(3, 0)
+	// Capture before Restart: no checkpoints, but must not panic and
+	// must identify one stack.
+	snap := Capture("x", sch)
+	if len(snap.Stacks) != 1 || snap.StackNames[0] != "" {
+		t.Errorf("capture: %+v", snap)
+	}
+	two := core.NewSchemeDirect(2, 3, 8, 0)
+	snap = Capture("y", two)
+	if len(snap.Stacks) != 2 || snap.StackNames[0] != "E" || snap.StackNames[1] != "B" {
+		t.Errorf("two-stack capture: %+v", snap)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	a := Snapshot{Title: "a", Stacks: [][]core.View{{}}, StackNames: []string{""}}
+	b := Snapshot{Title: "b", Stacks: [][]core.View{{}}, StackNames: []string{""}}
+	out := Series(a, b)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("series: %s", out)
+	}
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Error("series order")
+	}
+}

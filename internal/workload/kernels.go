@@ -1,0 +1,633 @@
+// Package workload provides the programs the experiments and tests run:
+// hand-written assembly kernels covering the classic small-benchmark
+// space (loops, sorting, pointer chasing, recursion, byte processing),
+// exception-heavy kernels that exercise E-repair, and parameterised
+// synthetic generators exposing exactly the knobs the paper's §2.2
+// analysis uses — branch density b, prediction difficulty, memory-write
+// density, and exception rate.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/prog"
+)
+
+// Kernel is one built-in benchmark program.
+type Kernel struct {
+	Name        string
+	Description string
+	Source      string
+	// Excepts marks kernels that architecturally raise exceptions and
+	// therefore need an E-repair-capable scheme.
+	Excepts bool
+}
+
+// Load assembles the kernel.
+func (k Kernel) Load() *prog.Program { return asm.MustAssemble(k.Name, k.Source) }
+
+// Kernels returns all built-in kernels.
+func Kernels() []Kernel { return kernels }
+
+// KernelNames returns the kernel names in registry order.
+func KernelNames() []string {
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q (have %s)", name, strings.Join(KernelNames(), ", "))
+}
+
+var kernels = []Kernel{
+	{
+		Name:        "fib",
+		Description: "iterative Fibonacci, branch-per-5-instruction loop",
+		Source: `
+    addi r1, r0, 24        ; n
+    addi r2, r0, 0         ; a
+    addi r3, r0, 1         ; b
+loop:
+    beq  r1, r0, done
+    add  r4, r2, r3
+    add  r2, r0, r3
+    add  r3, r0, r4
+    addi r1, r1, -1
+    j    loop
+done:
+    add  r10, r0, r2
+    sw   r10, result(r0)
+    halt
+.data 0x1000
+result: .word 0
+`,
+	},
+	{
+		Name:        "bubble",
+		Description: "bubble sort of 16 longwords, data-dependent branches",
+		Source: `
+    lw   r1, n(r0)
+    addi r9, r0, arr
+outer:
+    addi r1, r1, -1
+    beq  r1, r0, done
+    addi r2, r0, 0
+    add  r8, r0, r9
+inner:
+    lw   r3, 0(r8)
+    lw   r4, 4(r8)
+    bge  r4, r3, noswap
+    sw   r4, 0(r8)
+    sw   r3, 4(r8)
+noswap:
+    addi r8, r8, 4
+    addi r2, r2, 1
+    blt  r2, r1, inner
+    j    outer
+done:
+    halt
+.data 0x1000
+arr: .word 9, 3, 7, 1, 8, 2, 6, 0, 5, 4, 15, 11, 13, 12, 14, 10
+n:   .word 16
+`,
+	},
+	{
+		Name:        "matmul",
+		Description: "4x4 integer matrix multiply, multiplier-heavy",
+		Source: `
+    addi r1, r0, 0         ; i
+iloop:
+    addi r2, r0, 0         ; j
+jloop:
+    addi r3, r0, 0         ; k
+    addi r4, r0, 0         ; acc
+kloop:
+    slli r5, r1, 2
+    add  r5, r5, r3
+    slli r5, r5, 2
+    lw   r6, mata(r5)
+    slli r7, r3, 2
+    add  r7, r7, r2
+    slli r7, r7, 2
+    lw   r8, matb(r7)
+    mul  r9, r6, r8
+    add  r4, r4, r9
+    addi r3, r3, 1
+    slti r10, r3, 4
+    bne  r10, r0, kloop
+    slli r5, r1, 2
+    add  r5, r5, r2
+    slli r5, r5, 2
+    sw   r4, matc(r5)
+    addi r2, r2, 1
+    slti r10, r2, 4
+    bne  r10, r0, jloop
+    addi r1, r1, 1
+    slti r10, r1, 4
+    bne  r10, r0, iloop
+    halt
+.data 0x1000
+mata: .word 1,2,3,4, 5,6,7,8, 9,10,11,12, 13,14,15,16
+matb: .word 17,18,19,20, 21,22,23,24, 25,26,27,28, 29,30,31,32
+matc: .space 64
+`,
+	},
+	{
+		Name:        "memcpy",
+		Description: "byte-wise copy of 64 bytes, store-per-6-instruction loop",
+		Source: `
+    addi r1, r0, src
+    addi r2, r0, dst
+    addi r3, r0, 64
+cpy:
+    lb   r4, 0(r1)
+    sb   r4, 0(r2)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, -1
+    bne  r3, r0, cpy
+    halt
+.data 0x1200
+src: .byte 1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16
+     .byte 17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32
+     .byte 33,34,35,36,37,38,39,40,41,42,43,44,45,46,47,48
+     .byte 49,50,51,52,53,54,55,56,57,58,59,60,61,62,63,64
+dst: .space 64
+`,
+	},
+	{
+		Name:        "listsum",
+		Description: "linked-list traversal, load-to-load dependence chain",
+		Source: `
+    lw   r1, head(r0)
+    addi r2, r0, 0
+lsum:
+    beq  r1, r0, lend
+    lw   r3, 0(r1)
+    add  r2, r2, r3
+    lw   r1, 4(r1)
+    j    lsum
+lend:
+    sw   r2, lres(r0)
+    halt
+.data 0x1400
+n7: .word 11, 0
+n6: .word 2, n7
+n5: .word 19, n6
+n4: .word 4, n5
+n3: .word 7, n4
+n2: .word 3, n3
+n1: .word 9, n2
+n0: .word 5, n1
+head: .word n0
+lres: .word 0
+`,
+	},
+	{
+		Name:        "sieve",
+		Description: "byte sieve of Eratosthenes to 200, store-heavy",
+		Source: `
+    addi r1, r0, 2
+sievei:
+    slti r9, r1, 200
+    beq  r9, r0, count
+    lb   r2, flags(r1)
+    bne  r2, r0, nexti
+    add  r3, r1, r1
+sievej:
+    slti r9, r3, 200
+    beq  r9, r0, nexti
+    addi r4, r0, 1
+    sb   r4, flags(r3)
+    add  r3, r3, r1
+    j    sievej
+nexti:
+    addi r1, r1, 1
+    j    sievei
+count:
+    addi r1, r0, 2
+    addi r10, r0, 0
+cnt:
+    slti r9, r1, 200
+    beq  r9, r0, sdone
+    lb   r2, flags(r1)
+    bne  r2, r0, notp
+    addi r10, r10, 1
+notp:
+    addi r1, r1, 1
+    j    cnt
+sdone:
+    sw   r10, nprimes(r0)
+    halt
+.data 0x2000
+flags: .space 200
+nprimes: .word 0
+`,
+	},
+	{
+		Name:        "dotprod",
+		Description: "16-element dot product, multiplier and load pressure",
+		Source: `
+    addi r1, r0, 0
+    addi r2, r0, 0
+dp:
+    slli r3, r1, 2
+    lw   r4, va(r3)
+    lw   r5, vb(r3)
+    mul  r6, r4, r5
+    add  r2, r2, r6
+    addi r1, r1, 1
+    slti r7, r1, 16
+    bne  r7, r0, dp
+    sw   r2, dres(r0)
+    halt
+.data 0x1000
+va: .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+vb: .word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+dres: .word 0
+`,
+	},
+	{
+		Name:        "strsearch",
+		Description: "byte scan counting matches, highly biased branches",
+		Source: `
+    addi r1, r0, 0
+    addi r2, r0, 0
+    addi r3, r0, 101       ; 'e'
+ss:
+    lbu  r4, text(r1)
+    beq  r4, r0, ssend
+    bne  r4, r3, ssnext
+    addi r2, r2, 1
+ssnext:
+    addi r1, r1, 1
+    j    ss
+ssend:
+    sw   r2, sres(r0)
+    halt
+.data 0x1600
+text: .byte 116,104,101,32,113,117,105,99,107,32,98,114,111,119,110
+      .byte 32,102,111,120,32,106,117,109,112,101,100,32,111,118,101
+      .byte 114,32,116,104,101,32,108,97,122,121,32,100,111,103,115
+      .byte 32,101,118,101,114,121,32,101,118,101,110,105,110,103,0
+sres: .word 0
+`,
+	},
+	{
+		Name:        "crc",
+		Description: "bitwise CRC over 32 words, long dependence chains",
+		Source: `
+    addi r1, r0, 0
+    addi r2, r0, -1
+crcl:
+    slli r3, r1, 2
+    lw   r4, cdat(r3)
+    xor  r2, r2, r4
+    srli r5, r2, 31
+    slli r2, r2, 1
+    beq  r5, r0, crcn
+    xori r2, r2, 0x1021
+crcn:
+    addi r1, r1, 1
+    slti r6, r1, 32
+    bne  r6, r0, crcl
+    sw   r2, cres(r0)
+    halt
+.data 0x1800
+cdat: .word 0x12345678, 0x9abcdef0, 0x0f1e2d3c, 0x4b5a6978
+      .word 0x87969fa4, 0xb3c2d1e0, 0x13579bdf, 0x2468ace0
+      .word 0xdeadbeef, 0xcafebabe, 0x01020304, 0x05060708
+      .word 0x090a0b0c, 0x0d0e0f10, 0x11121314, 0x15161718
+      .word 0x191a1b1c, 0x1d1e1f20, 0x21222324, 0x25262728
+      .word 0x292a2b2c, 0x2d2e2f30, 0x31323334, 0x35363738
+      .word 0x393a3b3c, 0x3d3e3f40, 0x41424344, 0x45464748
+      .word 0x494a4b4c, 0x4d4e4f50, 0x51525354, 0x55565758
+cres: .word 0
+`,
+	},
+	{
+		Name:        "recfib",
+		Description: "recursive Fibonacci with a memory call stack and indirect returns",
+		Source: `
+    addi sp, r0, stack
+    addi r1, r0, 12
+    jal  r31, rfib
+    sw   r2, rfres(r0)
+    halt
+rfib:
+    slti r3, r1, 2
+    beq  r3, r0, recurse
+    add  r2, r0, r1
+    jr   r31
+recurse:
+    sw   r1, 0(sp)
+    sw   r31, 4(sp)
+    addi sp, sp, 8
+    addi r1, r1, -1
+    jal  r31, rfib
+    addi sp, sp, -8
+    lw   r1, 0(sp)
+    lw   r31, 4(sp)
+    sw   r2, 0(sp)
+    sw   r31, 4(sp)
+    addi sp, sp, 8
+    addi r1, r1, -2
+    jal  r31, rfib
+    addi sp, sp, -8
+    lw   r3, 0(sp)
+    lw   r31, 4(sp)
+    add  r2, r2, r3
+    jr   r31
+.data 0x3000
+stack: .space 512
+rfres: .word 0
+`,
+	},
+	{
+		Name:        "pagedemo",
+		Description: "demand paging (page faults) plus overflow and software traps",
+		Excepts:     true,
+		Source: `
+    addi r1, r0, 0
+    addi r2, r0, 0x8000    ; unmapped region: every page faults on first touch
+    addi r6, r0, 0
+pgl:
+    slli r3, r1, 12
+    add  r4, r2, r3
+    sw   r1, 0(r4)
+    lw   r5, 0(r4)
+    add  r6, r6, r5
+    addi r1, r1, 1
+    slti r7, r1, 6
+    bne  r7, r0, pgl
+    lui  r8, 0x7fff
+    ori  r8, r8, 0xffff
+    addi r9, r0, 1
+    addv r10, r8, r9       ; overflow trap (completes with wrapped result)
+    trap 7                 ; software trap
+    sw   r6, pres(r0)
+    halt
+.data 0x1000
+pres: .word 0
+`,
+	},
+	{
+		Name:        "hanoi",
+		Description: "towers of Hanoi (n=7), deep recursion and stack traffic",
+		Source: `
+    addi sp, r0, hstack
+    addi r1, r0, 7         ; n
+    addi r2, r0, 1         ; from
+    addi r3, r0, 2         ; via
+    addi r4, r0, 3         ; to
+    addi r10, r0, 0        ; move counter
+    jal  r31, hanoi
+    sw   r10, hres(r0)
+    halt
+hanoi:
+    beq  r1, r0, hret
+    ; push n, from, via, to, ra
+    sw   r1, 0(sp)
+    sw   r2, 4(sp)
+    sw   r3, 8(sp)
+    sw   r4, 12(sp)
+    sw   r31, 16(sp)
+    addi sp, sp, 20
+    ; hanoi(n-1, from, to, via)
+    addi r1, r1, -1
+    add  r5, r0, r3
+    add  r3, r0, r4
+    add  r4, r0, r5
+    jal  r31, hanoi
+    addi sp, sp, -20
+    lw   r1, 0(sp)
+    lw   r2, 4(sp)
+    lw   r3, 8(sp)
+    lw   r4, 12(sp)
+    lw   r31, 16(sp)
+    ; move disc
+    addi r10, r10, 1
+    ; push again for second recursion
+    sw   r1, 0(sp)
+    sw   r2, 4(sp)
+    sw   r3, 8(sp)
+    sw   r4, 12(sp)
+    sw   r31, 16(sp)
+    addi sp, sp, 20
+    ; hanoi(n-1, via, from, to)
+    addi r1, r1, -1
+    add  r5, r0, r2
+    add  r2, r0, r3
+    add  r3, r0, r5
+    jal  r31, hanoi
+    addi sp, sp, -20
+    lw   r1, 0(sp)
+    lw   r2, 4(sp)
+    lw   r3, 8(sp)
+    lw   r4, 12(sp)
+    lw   r31, 16(sp)
+hret:
+    jr   r31
+.data 0x6000
+hstack: .space 1024
+hres: .word 0
+`,
+	},
+	{
+		Name:        "binsearch",
+		Description: "binary search over 32 sorted longwords, hard-to-predict branches",
+		Source: `
+    addi r9, r0, 0         ; found-count
+    addi r10, r0, 0        ; probe value
+probe:
+    addi r1, r0, 0         ; lo
+    addi r2, r0, 32        ; hi (exclusive)
+bs:
+    bge  r1, r2, missed
+    add  r3, r1, r2
+    srli r3, r3, 1         ; mid
+    slli r4, r3, 2
+    lw   r5, stab(r4)
+    beq  r5, r10, hit
+    blt  r5, r10, golow
+    add  r2, r0, r3        ; hi = mid
+    j    bs
+golow:
+    addi r1, r3, 1         ; lo = mid+1
+    j    bs
+hit:
+    addi r9, r9, 1
+missed:
+    addi r10, r10, 7
+    slti r8, r10, 320
+    bne  r8, r0, probe
+    sw   r9, bsres(r0)
+    halt
+.data 0x1000
+stab: .word 3, 9, 21, 27, 30, 42, 51, 60, 72, 75, 90, 99, 105, 111, 120, 126
+      .word 141, 150, 153, 168, 180, 186, 195, 210, 213, 228, 231, 240, 252, 261, 273, 285
+bsres: .word 0
+`,
+	},
+	{
+		Name:        "fir",
+		Description: "8-tap FIR filter over 48 samples, MAC-heavy inner loop",
+		Source: `
+    addi r1, r0, 0         ; output index
+fo:
+    addi r2, r0, 0         ; tap
+    addi r3, r0, 0         ; acc
+fi:
+    add  r4, r1, r2
+    slli r5, r4, 2
+    lw   r6, samples(r5)
+    slli r7, r2, 2
+    lw   r8, taps(r7)
+    mul  r9, r6, r8
+    add  r3, r3, r9
+    addi r2, r2, 1
+    slti r10, r2, 8
+    bne  r10, r0, fi
+    slli r5, r1, 2
+    sw   r3, fout(r5)
+    addi r1, r1, 1
+    slti r10, r1, 40
+    bne  r10, r0, fo
+    halt
+.data 0x2000
+taps: .word 1, -2, 3, -4, 4, -3, 2, -1
+samples: .word 5, 8, 13, 2, 7, 1, 9, 4, 6, 11, 3, 12, 10, 5, 8, 2
+         .word 14, 7, 1, 9, 6, 13, 4, 10, 2, 8, 5, 11, 3, 7, 12, 1
+         .word 9, 6, 4, 13, 8, 2, 10, 5, 7, 3, 11, 6, 1, 12, 4, 9
+fout: .space 160
+`,
+	},
+	{
+		Name:        "bitcount",
+		Description: "population count of 64 words via shift-and-mask loop",
+		Source: `
+    addi r1, r0, 0         ; index
+    addi r9, r0, 0         ; total
+bc:
+    slli r2, r1, 2
+    lw   r3, bdat(r2)
+    addi r4, r0, 32        ; bit counter
+bcl:
+    andi r5, r3, 1
+    add  r9, r9, r5
+    srli r3, r3, 1
+    addi r4, r4, -1
+    bne  r4, r0, bcl
+    addi r1, r1, 1
+    slti r6, r1, 16
+    bne  r6, r0, bc
+    sw   r9, bcres(r0)
+    halt
+.data 0x2800
+bdat: .word 0xffffffff, 0x0, 0xaaaaaaaa, 0x55555555, 0x12345678, 0x9abcdef0
+      .word 0x1, 0x80000000, 0xf0f0f0f0, 0x0f0f0f0f, 0xdeadbeef, 0xcafebabe
+      .word 0x7, 0x70, 0x700, 0x7000
+bcres: .word 0
+`,
+	},
+	{
+		Name:        "vecadd",
+		Description: "vector add over 32 elements (VLW/VADD/VSW, 4 ops per instruction)",
+		Source: `
+    addi r1, r0, 8
+    addi r2, r0, vx
+    addi r3, r0, vy
+    addi r4, r0, vz
+vloop:
+    vlw  r8, 0(r2)
+    vlw  r12, 0(r3)
+    vadd r16, r8, r12
+    vsw  r16, 0(r4)
+    addi r2, r2, 16
+    addi r3, r3, 16
+    addi r4, r4, 16
+    addi r1, r1, -1
+    bne  r1, r0, vloop
+    halt
+.data 0x1000
+vx: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+    .word 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32
+vy: .word 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600
+    .word 1700, 1800, 1900, 2000, 2100, 2200, 2300, 2400, 2500, 2600, 2700, 2800, 2900, 3000, 3100, 3200
+vz: .space 128
+`,
+	},
+	{
+		Name:        "vecfault",
+		Description: "vector store straddling an unmapped page: mid-instruction fault, precise resume",
+		Excepts:     true,
+		Source: `
+    addi r2, r0, vsrc
+    vlw  r8, 0(r2)
+    addi r3, r0, 0x7ff8    ; elements 0-1 in the mapped page, 2-3 fault
+    vsw  r8, 0(r3)
+    vlw  r12, 0(r3)        ; read everything back
+    vadd r16, r8, r12
+    addi r4, r0, vres
+    vsw  r16, 0(r4)
+    halt
+.data 0x7000
+vsrc: .word 11, 22, 33, 44
+.data 0x1000
+vres: .space 16
+`,
+	},
+	{
+		Name:        "vcopy",
+		Description: "vector block copy, 64 longwords via VLW/VSW pairs",
+		Source: `
+    addi r1, r0, 16        ; 16 groups of 4
+    addi r2, r0, vcsrc
+    addi r3, r0, vcdst
+vcl:
+    vlw  r8, 0(r2)
+    vsw  r8, 0(r3)
+    addi r2, r2, 16
+    addi r3, r3, 16
+    addi r1, r1, -1
+    bne  r1, r0, vcl
+    halt
+.data 0x2000
+vcsrc: .word 0, 1, 4, 9, 16, 25, 36, 49, 64, 81, 100, 121, 144, 169, 196, 225
+       .word 256, 289, 324, 361, 400, 441, 484, 529, 576, 625, 676, 729, 784, 841, 900, 961
+       .word 1024, 1089, 1156, 1225, 1296, 1369, 1444, 1521, 1600, 1681, 1764, 1849, 1936, 2025, 2116, 2209
+       .word 2304, 2401, 2500, 2601, 2704, 2809, 2916, 3025, 3136, 3249, 3364, 3481, 3600, 3721, 3844, 3969
+vcdst: .space 256
+`,
+	},
+	{
+		Name:        "divzero",
+		Description: "divide faults interleaved with normal divides",
+		Excepts:     true,
+		Source: `
+    addi r1, r0, 100
+    addi r2, r0, 0
+    div  r3, r1, r2        ; fault; handler skips, r3 stays 0
+    addi r4, r0, 7
+    div  r5, r1, r4
+    rem  r6, r1, r4
+    add  r7, r5, r6
+    rem  r8, r1, r2        ; fault; skipped
+    sw   r7, dzres(r0)
+    halt
+.data 0x1000
+dzres: .word 0
+`,
+	},
+}

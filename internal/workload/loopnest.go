@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// LoopNestOpts parameterises the nested-loop generator.
+type LoopNestOpts struct {
+	Depth     int // nesting depth (1..4)
+	TripCount int // iterations per level
+	BodyLen   int // random instructions in the innermost body
+	PMem      float64
+	PExc      float64
+}
+
+// DefaultLoopNest is a three-deep nest, the shape that stresses
+// checkpoint windows hardest: short inner trip counts make backward
+// branches resolve quickly while outer branches stay pending.
+var DefaultLoopNest = LoopNestOpts{Depth: 3, TripCount: 4, BodyLen: 10, PMem: 0.3, PExc: 0.05}
+
+// LoopNest generates a random program shaped as a perfect loop nest.
+// Unlike Random (one flat loop), the nest produces correlated branch
+// histories (inner branches taken TripCount-1 times then not-taken),
+// which two-level predictors learn and bimodal ones half-miss —
+// exercising repair under realistic control structure.
+func LoopNest(seed int64, o LoopNestOpts) *prog.Program {
+	if o.Depth < 1 {
+		o.Depth = 1
+	}
+	if o.Depth > 4 {
+		o.Depth = 4
+	}
+	if o.TripCount < 2 {
+		o.TripCount = 2
+	}
+	if o.BodyLen < 1 {
+		o.BodyLen = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var code []isa.Inst
+	app := func(in isa.Inst) { code = append(code, in) }
+	// Loop counters live in r20..r23; scratch registers r1..r12.
+	counter := func(level int) isa.Reg { return isa.Reg(20 + level) }
+
+	for r := isa.Reg(1); r <= 12; r++ {
+		app(isa.Inst{Op: isa.OpADDI, Rd: r, Rs1: 0, Imm: int32(rng.Intn(2001) - 1000)})
+	}
+
+	var heads []int
+	for lvl := 0; lvl < o.Depth; lvl++ {
+		app(isa.Inst{Op: isa.OpADDI, Rd: counter(lvl), Rs1: 0, Imm: int32(o.TripCount)})
+		heads = append(heads, len(code))
+	}
+	// Innermost body.
+	reg := func() isa.Reg { return isa.Reg(1 + rng.Intn(12)) }
+	for i := 0; i < o.BodyLen; i++ {
+		x := rng.Float64()
+		switch {
+		case x < o.PMem:
+			app(isa.Inst{Op: isa.OpANDI, Rd: 13, Rs1: reg(), Imm: 0xfc})
+			if rng.Intn(2) == 0 {
+				app(isa.Inst{Op: isa.OpLW, Rd: reg(), Rs1: 13, Imm: scratchBase})
+			} else {
+				app(isa.Inst{Op: isa.OpSW, Rs2: reg(), Rs1: 13, Imm: scratchBase})
+			}
+		case x < o.PMem+o.PExc:
+			ops := []isa.Op{isa.OpADDV, isa.OpDIV, isa.OpREM}
+			app(isa.Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		default:
+			ops := []isa.Op{isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpOR, isa.OpAND, isa.OpSLT, isa.OpMUL}
+			app(isa.Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		}
+	}
+	// Close the loops, innermost first.
+	for lvl := o.Depth - 1; lvl >= 0; lvl-- {
+		app(isa.Inst{Op: isa.OpADDI, Rd: counter(lvl), Rs1: counter(lvl), Imm: -1})
+		// heads[lvl] points just past this level's counter init — i.e.
+		// at the NEXT level's init — so taking the back-edge naturally
+		// reinitialises every inner counter.
+		app(isa.Inst{Op: isa.OpBNE, Rs1: counter(lvl), Rs2: 0, Imm: int32(heads[lvl] - len(code) - 1)})
+	}
+	// Epilogue: expose registers.
+	for r := isa.Reg(1); r <= 12; r++ {
+		app(isa.Inst{Op: isa.OpSW, Rs1: 0, Rs2: r, Imm: int32(resultBase + 4*uint32(r))})
+	}
+	app(isa.Inst{Op: isa.OpHALT})
+
+	p := &prog.Program{
+		Name: fmt.Sprintf("loopnest-%d", seed),
+		Code: code,
+		Data: []prog.Segment{
+			{Addr: scratchBase, Data: make([]byte, 256)},
+			{Addr: resultBase, Data: make([]byte, 256)},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: loop nest invalid: %v", err))
+	}
+	return p
+}

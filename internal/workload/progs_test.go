@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/refsim"
+)
+
+// TestExampleProgramsAssembleAndRun keeps the sample .s programs under
+// examples/progs working: they must assemble, run to completion on the
+// reference interpreter, and produce their documented results.
+func TestExampleProgramsAssembleAndRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "progs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no examples/progs: %v", err)
+	}
+	want := map[string]struct {
+		addr uint32
+		val  uint32
+	}{
+		"gcd.s":     {0x1000, 21},
+		"collatz.s": {0x1000, 111},
+	}
+	ran := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".s" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := asm.Assemble(e.Name(), string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		res, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !res.Halted {
+			t.Fatalf("%s: did not halt", e.Name())
+		}
+		if w, ok := want[e.Name()]; ok {
+			v, _ := res.Mem.Read32(w.addr)
+			if v != w.val {
+				t.Errorf("%s: result %d, want %d", e.Name(), v, w.val)
+			}
+		}
+		ran++
+	}
+	if ran < 3 {
+		t.Errorf("only %d sample programs found", ran)
+	}
+	// vsum.s: z = x + y elementwise.
+	src, _ := os.ReadFile(filepath.Join(dir, "vsum.s"))
+	p, _ := asm.Assemble("vsum", string(src))
+	res, _ := refsim.Run(p, refsim.Options{})
+	for i := uint32(0); i < 16; i++ {
+		v, _ := res.Mem.Read32(uint32(p.Symbols["zs"]) + 4*i)
+		if v != (i+1)+10*(i+1) {
+			t.Errorf("vsum z[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// RandomOpts weights the instruction mix of generated random programs.
+// Probabilities are relative weights, not required to sum to one.
+type RandomOpts struct {
+	BodyLen   int     // instructions per loop body
+	Iters     int     // loop iterations
+	WALU      float64 // three-register and immediate ALU operations
+	WMulDiv   float64 // MUL/DIV/REM (DIV/REM may fault dynamically)
+	WTrapping float64 // ADDV/SUBV/MULV (may overflow-trap dynamically)
+	WMem      float64 // scratch-region loads and stores
+	WBranch   float64 // forward conditional branches
+	WUnmapped float64 // accesses to unmapped pages (page faults)
+	WTrap     float64 // explicit TRAP instructions
+	WVector   float64 // vector (multi-operation) instructions
+}
+
+// DefaultRandomOpts exercises everything, including exceptions.
+var DefaultRandomOpts = RandomOpts{
+	BodyLen: 40, Iters: 16,
+	WALU: 10, WMulDiv: 2, WTrapping: 1.5, WMem: 5, WBranch: 4, WUnmapped: 0.3, WTrap: 0.2,
+	WVector: 1,
+}
+
+// ExceptionFreeRandomOpts generates programs that never raise
+// exceptions (for schemes without E-repair capability).
+var ExceptionFreeRandomOpts = RandomOpts{
+	BodyLen: 40, Iters: 16,
+	WALU: 10, WMulDiv: 0, WTrapping: 0, WMem: 5, WBranch: 4,
+}
+
+const (
+	scratchBase = 0x4000
+	resultBase  = 0x5000
+	// unmappedBase starts a region with no initial pages; touching it
+	// page-faults and the handler demand-maps it.
+	unmappedBase = 0x9000
+)
+
+// Random generates a structured random program that always terminates:
+// a fixed-iteration loop whose body is a random instruction mix, with
+// only forward branches inside the body. Data-dependent branch
+// outcomes, dynamic divide faults, overflow traps, and demand-paged
+// accesses make these programs a thorough shakedown for checkpoint
+// repair; the property tests run them on every scheme and compare
+// against the reference interpreter.
+func Random(seed int64, o RandomOpts) *prog.Program {
+	if o.BodyLen <= 0 {
+		o.BodyLen = 40
+	}
+	if o.Iters <= 0 {
+		o.Iters = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var code []isa.Inst
+	app := func(in isa.Inst) { code = append(code, in) }
+	reg := func() isa.Reg { return isa.Reg(1 + rng.Intn(12)) }
+
+	// Prologue: iteration counter in r15, random constants in r1..r12.
+	app(isa.Inst{Op: isa.OpADDI, Rd: 15, Rs1: 0, Imm: int32(o.Iters)})
+	for r := isa.Reg(1); r <= 12; r++ {
+		app(isa.Inst{Op: isa.OpADDI, Rd: r, Rs1: 0, Imm: int32(rng.Intn(4001) - 2000)})
+	}
+	loopStart := len(code)
+
+	type choice struct {
+		w    float64
+		emit func(remaining int)
+	}
+	aluOps := []isa.Op{isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpNOR, isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpSLT, isa.OpSLTU}
+	aluIOps := []isa.Op{isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLTI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpLUI}
+	brOps := []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	choices := []choice{
+		{o.WALU, func(int) {
+			if rng.Intn(2) == 0 {
+				app(isa.Inst{Op: aluOps[rng.Intn(len(aluOps))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+			} else {
+				op := aluIOps[rng.Intn(len(aluIOps))]
+				imm := int32(rng.Intn(2001) - 1000)
+				switch op {
+				case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+					imm = int32(rng.Intn(32))
+				case isa.OpLUI:
+					imm = int32(rng.Intn(1 << 16))
+				}
+				app(isa.Inst{Op: op, Rd: reg(), Rs1: reg(), Imm: imm})
+			}
+		}},
+		{o.WMulDiv, func(int) {
+			ops := []isa.Op{isa.OpMUL, isa.OpDIV, isa.OpREM}
+			app(isa.Inst{Op: ops[rng.Intn(len(ops))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		}},
+		{o.WTrapping, func(int) {
+			ops := []isa.Op{isa.OpADDV, isa.OpSUBV, isa.OpMULV, isa.OpADDIV}
+			op := ops[rng.Intn(len(ops))]
+			if op == isa.OpADDIV {
+				app(isa.Inst{Op: op, Rd: reg(), Rs1: reg(), Imm: int32(rng.Intn(1 << 15))})
+			} else {
+				app(isa.Inst{Op: op, Rd: reg(), Rs1: reg(), Rs2: reg()})
+			}
+		}},
+		{o.WMem, func(int) {
+			// Index register r13 = (random reg) & 0xFC keeps accesses
+			// aligned and inside the scratch region.
+			app(isa.Inst{Op: isa.OpANDI, Rd: 13, Rs1: reg(), Imm: 0xfc})
+			memOps := []isa.Op{isa.OpLW, isa.OpSW, isa.OpLB, isa.OpLBU, isa.OpSB}
+			op := memOps[rng.Intn(len(memOps))]
+			in := isa.Inst{Op: op, Rs1: 13, Imm: scratchBase}
+			if op.Class() == isa.ClassStore {
+				in.Rs2 = reg()
+			} else {
+				in.Rd = reg()
+			}
+			app(in)
+		}},
+		{o.WBranch, func(remaining int) {
+			maxSkip := remaining - 1
+			if maxSkip < 1 {
+				app(isa.Inst{Op: isa.OpADD, Rd: reg(), Rs1: reg(), Rs2: reg()})
+				return
+			}
+			if maxSkip > 8 {
+				maxSkip = 8
+			}
+			app(isa.Inst{
+				Op:  brOps[rng.Intn(len(brOps))],
+				Rs1: reg(), Rs2: reg(),
+				Imm: int32(1 + rng.Intn(maxSkip)),
+			})
+		}},
+		{o.WUnmapped, func(int) {
+			page := uint32(rng.Intn(4))
+			addr := int32(unmappedBase + page*0x1000)
+			if rng.Intn(2) == 0 {
+				app(isa.Inst{Op: isa.OpSW, Rs1: 0, Rs2: reg(), Imm: addr})
+			} else {
+				app(isa.Inst{Op: isa.OpLW, Rd: reg(), Rs1: 0, Imm: addr})
+			}
+		}},
+		{o.WTrap, func(int) {
+			app(isa.Inst{Op: isa.OpTRAP, Imm: int32(rng.Intn(16))})
+		}},
+		{o.WVector, func(int) {
+			// Vector groups in r16..r27 (three groups of VectorLen),
+			// addressed via the aligned scratch index in r13.
+			grp := func(g int) isa.Reg { return isa.Reg(16 + 4*g) }
+			switch rng.Intn(3) {
+			case 0:
+				app(isa.Inst{Op: isa.OpANDI, Rd: 13, Rs1: reg(), Imm: 0xe0})
+				app(isa.Inst{Op: isa.OpVLW, Rd: grp(rng.Intn(3)), Rs1: 13, Imm: scratchBase})
+			case 1:
+				app(isa.Inst{Op: isa.OpANDI, Rd: 13, Rs1: reg(), Imm: 0xe0})
+				app(isa.Inst{Op: isa.OpVSW, Rs2: grp(rng.Intn(3)), Rs1: 13, Imm: scratchBase})
+			case 2:
+				app(isa.Inst{Op: isa.OpVADD, Rd: grp(rng.Intn(3)), Rs1: grp(rng.Intn(3)), Rs2: grp(rng.Intn(3))})
+			}
+		}},
+	}
+	var totalW float64
+	for _, c := range choices {
+		totalW += c.w
+	}
+
+	bodyEnd := loopStart + o.BodyLen
+	for len(code) < bodyEnd {
+		x := rng.Float64() * totalW
+		for _, c := range choices {
+			if x < c.w {
+				c.emit(bodyEnd - len(code))
+				break
+			}
+			x -= c.w
+		}
+	}
+	// Loop footer. Branch displacement is relative to pc+1.
+	app(isa.Inst{Op: isa.OpADDI, Rd: 15, Rs1: 15, Imm: -1})
+	app(isa.Inst{Op: isa.OpBNE, Rs1: 15, Rs2: 0, Imm: int32(loopStart - len(code) - 1)})
+
+	// Epilogue: expose r1..r14 in the result area.
+	for r := isa.Reg(1); r <= 14; r++ {
+		app(isa.Inst{Op: isa.OpSW, Rs1: 0, Rs2: r, Imm: int32(resultBase + 4*uint32(r))})
+	}
+	app(isa.Inst{Op: isa.OpHALT})
+
+	p := &prog.Program{
+		Name: fmt.Sprintf("random-%d", seed),
+		Code: code,
+		Data: []prog.Segment{
+			{Addr: scratchBase, Data: make([]byte, 256)},
+			{Addr: resultBase, Data: make([]byte, 256)},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generated invalid program: %v", err))
+	}
+	return p
+}

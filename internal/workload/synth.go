@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/prog"
+)
+
+// SynthConfig parameterises the synthetic branchy workload used for the
+// paper's §2.2 analysis (experiment C1 and friends). The generated
+// program is a loop whose branch outcomes come from an in-program
+// linear congruential generator, so they are data-dependent and
+// effectively random — table predictors sit near 50% while the
+// fixed-accuracy synthetic predictor imposes exactly the hit ratio
+// under study.
+type SynthConfig struct {
+	Name            string
+	Iters           int    // loop iterations
+	BranchesPerIter int    // conditional branches per iteration
+	FillerPerBranch int    // extra ALU instructions per branch (controls b)
+	StoresPerIter   int    // memory writes per iteration
+	ExcMask         uint32 // overflow trap when (lcg & ExcMask) == 0; 0 disables
+	Seed            uint32 // initial LCG state
+}
+
+// DefaultSynth is the paper's §2.2 parameter point: roughly one
+// conditional branch every four instructions.
+var DefaultSynth = SynthConfig{
+	Name:            "synth-b4",
+	Iters:           2000,
+	BranchesPerIter: 8,
+	FillerPerBranch: 0,
+	StoresPerIter:   2,
+	Seed:            0xDEAD4,
+}
+
+// Synth generates the synthetic branchy program.
+func Synth(cfg SynthConfig) *prog.Program {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1000
+	}
+	if cfg.BranchesPerIter <= 0 {
+		cfg.BranchesPerIter = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x1234567
+	}
+	var b strings.Builder
+	emit := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	// Constants: r19 = LCG multiplier, r18 = overflow bait, r20 = LCG
+	// state, r21 = iteration counter, r5 = accumulator.
+	emit("    lui  r19, 0x41C6")
+	emit("    ori  r19, r19, 0x4E6D")
+	emit("    lui  r18, 0x7ff0")
+	emit("    lui  r20, 0x%x", cfg.Seed>>16)
+	emit("    ori  r20, r20, 0x%x", cfg.Seed&0xffff)
+	emit("    addi r21, r0, %d", cfg.Iters)
+	emit("outer:")
+	emit("    mul  r20, r20, r19")
+	emit("    addi r20, r20, 12345")
+	for j := 0; j < cfg.BranchesPerIter; j++ {
+		shift := (j*5 + 3) % 29
+		emit("    srli r22, r20, %d", shift)
+		emit("    andi r22, r22, 1")
+		emit("    beq  r22, r0, skip%d", j)
+		emit("    addi r5, r5, %d", j+1)
+		emit("skip%d:", j)
+		for f := 0; f < cfg.FillerPerBranch; f++ {
+			emit("    add  r%d, r%d, r22", 6+(f%4), 6+(f%4))
+		}
+	}
+	for s := 0; s < cfg.StoresPerIter; s++ {
+		emit("    srli r23, r20, %d", (s*7+2)%24)
+		emit("    andi r23, r23, 0xfc")
+		emit("    sw   r5, scratch(r23)")
+	}
+	if cfg.ExcMask != 0 {
+		emit("    andi r24, r20, 0x%x", cfg.ExcMask)
+		emit("    bne  r24, r0, noexc")
+		emit("    addv r25, r18, r18") // 0x7ff00000 + 0x7ff00000 overflows
+		emit("noexc:")
+	}
+	emit("    addi r21, r21, -1")
+	emit("    bne  r21, r0, outer")
+	emit("    sw   r5, sres(r0)")
+	emit("    halt")
+	emit(".data 0x4000")
+	emit("scratch: .space 256")
+	emit("sres: .word 0")
+
+	name := cfg.Name
+	if name == "" {
+		name = "synth"
+	}
+	return asm.MustAssemble(name, b.String())
+}
