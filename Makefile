@@ -1,0 +1,28 @@
+# Developer entry points. CI runs `make ci`.
+
+GO ?= go
+
+.PHONY: build vet test race bench experiments ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-check the concurrency-sensitive surface: the parallel experiment
+# engine and the whole-machine golden tests it drives.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/machine/
+
+# Regenerate the BENCH_<n>.json perf record (see README "Performance").
+bench:
+	$(GO) run ./cmd/bench
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+ci: vet test race

@@ -1,0 +1,258 @@
+// Command bench measures the simulator's hot paths with the standard
+// testing.Benchmark driver and writes the results as JSON, so perf
+// regressions show up in version control next to the changes that
+// caused them (BENCH_<n>.json at the repo root, one file per measured
+// PR).
+//
+// Usage:
+//
+//	go run ./cmd/bench              # writes BENCH_1.json
+//	go run ./cmd/bench -o out.json -benchtime 300ms
+//
+// Each entry reports wall time, allocations, and — for whole-machine
+// benchmarks — simulated instructions per second, alongside the
+// baseline numbers captured on the pre-optimisation tree (same
+// machine), so the file is a self-contained before/after record. The
+// runall section times full artefact regeneration sequentially and
+// with the parallel experiment engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+// baseline holds the pre-optimisation numbers (negative = not
+// captured). Measured at benchtime=300ms on the tree before the flat
+// page table, op free lists, and checkpoint recycling landed.
+type baseline struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+}
+
+var baselines = map[string]baseline{
+	"machine/fib":           {72003, 757},
+	"machine/bubble":        {584980, 4994},
+	"machine/sieve":         {2641589, 21676},
+	"machine/recfib":        {3798157, 31220},
+	"memsys/backward-3a":    {2570710, -1},
+	"memsys/backward-3b":    {3102511, -1},
+	"memsys/forward":        {3691383, -1},
+	"diff/backward-store":   {32.96, 0},
+	"diff/backward-repair8": {628.1, -1},
+	"refsim/sieve":          {170506, 5},
+}
+
+// entry is one benchmark's measurement.
+type entry struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SimInstsPerSec  float64 `json:"sim_insts_per_sec,omitempty"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// report is the file layout of BENCH_<n>.json.
+type report struct {
+	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []entry `json:"benchmarks"`
+	RunAll     struct {
+		SequentialNs int64   `json:"sequential_ns"`
+		ParallelNs   int64   `json:"parallel_ns"`
+		Workers      int     `json:"workers"`
+		Speedup      float64 `json:"speedup"`
+	} `json:"runall"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
+	flag.Parse()
+	flag.Set("test.benchtime", benchtime.String())
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+	}
+
+	machineCfg := func() machine.Config {
+		return machine.Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		}
+	}
+
+	for _, name := range []string{"fib", "bubble", "sieve", "recfib"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		p := k.Load()
+		var retired int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(p, machineCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired = res.Stats.Retired
+			}
+		})
+		rep.add("machine/"+name, r, retired)
+	}
+
+	{
+		k, _ := workload.ByName("sieve")
+		p := k.Load()
+		for _, ms := range []struct {
+			label string
+			kind  machine.MemSystemKind
+		}{
+			{"backward-3a", machine.MemBackward3a},
+			{"backward-3b", machine.MemBackward3b},
+			{"forward", machine.MemForward},
+		} {
+			var retired int64
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := machineCfg()
+					cfg.MemSystem = ms.kind
+					res, err := machine.Run(p, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					retired = res.Stats.Retired
+				}
+			})
+			rep.add("memsys/"+ms.label, r, retired)
+		}
+	}
+
+	newBD := func() *diff.Backward {
+		m := mem.New()
+		m.Map(0, mem.PageSize)
+		c := cache.MustNew(cache.DefaultConfig, m)
+		return diff.NewBackward(c, diff.Sophisticated, 0)
+	}
+	rep.add("diff/backward-store", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bd := newBD()
+		for i := 0; i < b.N; i++ {
+			bd.Store(uint64(i+1), uint32(i%64)*4, uint32(i), 0b1111)
+			if i%64 == 63 {
+				bd.Release(uint64(i + 1))
+			}
+		}
+	}), 0)
+	rep.add("diff/backward-repair8", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bd := newBD()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*8 + 1)
+			for j := uint64(0); j < 8; j++ {
+				bd.Store(base+j, uint32(j*4), uint32(i), 0b1111)
+			}
+			bd.Repair(base)
+		}
+	}), 0)
+
+	{
+		k, _ := workload.ByName("sieve")
+		p := k.Load()
+		var retired int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := refsim.Run(p, refsim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired = int64(res.Retired)
+			}
+		})
+		rep.add("refsim/sieve", r, retired)
+	}
+
+	// Full artefact regeneration, sequential then parallel. One warm-up
+	// pass is charged to neither so assembler and page-table warm state
+	// don't bias the first timing.
+	experiments.RunAll(io.Discard)
+	experiments.SetParallelism(1)
+	seqStart := time.Now()
+	experiments.RunAll(io.Discard)
+	rep.RunAll.SequentialNs = time.Since(seqStart).Nanoseconds()
+	experiments.SetParallelism(0)
+	parStart := time.Now()
+	experiments.RunAll(io.Discard)
+	rep.RunAll.ParallelNs = time.Since(parStart).Nanoseconds()
+	rep.RunAll.Workers = experiments.Parallelism()
+	rep.RunAll.Speedup = float64(rep.RunAll.SequentialNs) / float64(rep.RunAll.ParallelNs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, runall speedup %.2fx on %d worker(s))\n",
+		*out, len(rep.Benchmarks), rep.RunAll.Speedup, rep.RunAll.Workers)
+}
+
+func (rep *report) add(name string, r testing.BenchmarkResult, simInsts int64) {
+	e := entry{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if simInsts > 0 && e.NsPerOp > 0 {
+		e.SimInstsPerSec = float64(simInsts) * 1e9 / e.NsPerOp
+	}
+	if base, ok := baselines[name]; ok {
+		e.BaselineNsPerOp = base.NsPerOp
+		if base.AllocsPerOp >= 0 {
+			e.BaselineAllocs = base.AllocsPerOp
+		}
+		if e.NsPerOp > 0 {
+			e.SpeedupVsBase = base.NsPerOp / e.NsPerOp
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks, e)
+	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op\n",
+		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

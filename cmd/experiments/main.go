@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	experiments           # run everything
+//	experiments           # run everything (parallel, GOMAXPROCS workers)
 //	experiments -list     # list experiment IDs
 //	experiments -id C7    # run one experiment
+//	experiments -j 1      # force sequential execution
+//
+// Output is deterministic: tables are emitted in ID order and are
+// byte-identical at every -j value. Ctrl-C cancels cleanly after the
+// in-flight simulations drain.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -20,7 +27,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	id := flag.String("id", "", "run a single experiment by ID (e.g. C7)")
+	jobs := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+
+	experiments.SetParallelism(*jobs)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -39,5 +49,10 @@ func main() {
 		}
 		return
 	}
-	experiments.RunAll(os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := experiments.RunAllContext(ctx, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 }

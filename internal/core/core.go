@@ -58,7 +58,9 @@ type Engine interface {
 	// functional units, load/store queue, issue buffers) every in-flight
 	// operation with issue sequence greater than seq, and returns the
 	// operations removed so the scheme can retract their count
-	// contributions. Squashed operations never deliver.
+	// contributions. Squashed operations never deliver. The returned
+	// slice is scratch storage owned by the engine, valid only until
+	// the next SquashAfter call — schemes must not retain it.
 	SquashAfter(seq uint64) []OpInfo
 	// RedirectFetch restarts instruction fetch at pc (the correct
 	// branch path after a B-repair).
@@ -205,16 +207,39 @@ func (c *Checkpoint) pruneExcepts(boundary uint64) {
 }
 
 // window is an ordered set of active checkpoints (oldest first) bound
-// to one register-file backup stack.
+// to one register-file backup stack. Checkpoint records that leave the
+// window are recycled through a free list so that steady-state
+// establish/retire churn allocates nothing.
 type window struct {
 	stack int
 	cap   int
 	cks   []*Checkpoint
+	free  []*Checkpoint
 }
 
 func newWindow(stack, cap int) window {
 	return window{stack: stack, cap: cap, cks: make([]*Checkpoint, 0, cap)}
 }
+
+// take returns a zeroed Checkpoint record ready to be filled and
+// pushed, reusing a recycled one when available (its ExceptSeqs backing
+// array is kept). Recycled records retain their old field values until
+// taken, so repair code may still read a just-popped checkpoint's
+// fields as long as no checkpoint is established in between.
+func (w *window) take() *Checkpoint {
+	if n := len(w.free); n > 0 {
+		c := w.free[n-1]
+		w.free = w.free[:n-1]
+		*c = Checkpoint{ExceptSeqs: c.ExceptSeqs[:0]}
+		return c
+	}
+	return new(Checkpoint)
+}
+
+// recycle makes a record that left the window available for reuse. A
+// record moved into another window (loose graduation) must not be
+// recycled.
+func (w *window) recycle(c *Checkpoint) { w.free = append(w.free, c) }
 
 func (w *window) len() int   { return len(w.cks) }
 func (w *window) full() bool { return len(w.cks) >= w.cap }
@@ -287,15 +312,19 @@ func (w *window) retireOldest() *Checkpoint {
 }
 
 // popFrom removes checkpoints at index i and newer, returning how many
-// were removed.
+// were removed. The removed records are recycled.
 func (w *window) popFrom(i int) int {
 	n := len(w.cks) - i
+	w.free = append(w.free, w.cks[i:]...)
 	w.cks = w.cks[:i]
 	return n
 }
 
-// clear removes every checkpoint.
-func (w *window) clear() { w.cks = w.cks[:0] }
+// clear removes every checkpoint, recycling the records.
+func (w *window) clear() {
+	w.free = append(w.free, w.cks...)
+	w.cks = w.cks[:0]
+}
 
 // depthFromNewest converts a slice index into a 1-based depth from the
 // newest end (the regfile RecallAt convention).

@@ -161,12 +161,14 @@ func (s *SchemeDirect) establishE(bornSeq uint64, pc int) bool {
 		if old.Active > 0 || old.Except() {
 			return false
 		}
-		s.ewin.retireOldest()
+		s.ewin.recycle(s.ewin.retireOldest())
 		s.regs.DropOldest(s.ewin.stack)
 		s.stats.Retired++
 		s.release()
 	}
-	s.ewin.push(&Checkpoint{BornSeq: bornSeq, PC: pc})
+	ck := s.ewin.take()
+	ck.BornSeq, ck.PC = bornSeq, pc
+	s.ewin.push(ck)
 	s.regs.Push(s.ewin.stack)
 	s.stats.Checkpoints++
 	return true
@@ -178,12 +180,14 @@ func (s *SchemeDirect) establishB(branchSeq uint64, pc int) bool {
 		if old.Pend {
 			return false
 		}
-		s.bwin.retireOldest()
+		s.bwin.recycle(s.bwin.retireOldest())
 		s.regs.DropOldest(s.bwin.stack)
 		s.stats.Retired++
 		s.release()
 	}
-	s.bwin.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	ck := s.bwin.take()
+	ck.BornSeq, ck.PC, ck.BranchSeq, ck.Pend = branchSeq, pc, branchSeq, true
+	s.bwin.push(ck)
 	s.regs.Push(s.bwin.stack)
 	s.stats.Checkpoints++
 	return true

@@ -81,7 +81,9 @@ func (s *SchemeLoose) Restart(pc int, nextSeq uint64) {
 	s.regs.Clear()
 	s.bBlocked = false
 	s.lastEBorn = nextSeq - 1
-	s.ewin.push(&Checkpoint{BornSeq: nextSeq - 1, PC: pc})
+	ck := s.ewin.take()
+	ck.BornSeq, ck.PC = nextSeq-1, pc
+	s.ewin.push(ck)
 	s.regs.Push(s.ewin.stack)
 	s.stats.Checkpoints++
 }
@@ -148,10 +150,11 @@ func (s *SchemeLoose) establishB(branchSeq uint64, pc int) bool {
 				if !s.eOldestDrained() {
 					return false
 				}
-				s.ewin.retireOldest()
+				s.ewin.recycle(s.ewin.retireOldest())
 				s.regs.DropOldest(s.ewin.stack)
 				s.stats.Retired++
 			}
+			// Not recycled: the record graduates into the E window.
 			s.bwin.retireOldest()
 			s.regs.TransferOldest(s.bwin.stack, s.ewin.stack)
 			old.Pend = false
@@ -161,7 +164,8 @@ func (s *SchemeLoose) establishB(branchSeq uint64, pc int) bool {
 		} else {
 			// Case 1: not enough instructions collected; fold the
 			// checkpoint's segment into the newest E checkpoint's range.
-			s.bwin.retireOldest()
+			// old's fields are read below before any take can reuse it.
+			s.bwin.recycle(s.bwin.retireOldest())
 			s.regs.DropOldest(s.bwin.stack)
 			s.stats.Retired++
 			tgt := s.ewin.newest()
@@ -172,7 +176,9 @@ func (s *SchemeLoose) establishB(branchSeq uint64, pc int) bool {
 		}
 		s.mem.Release(s.ewin.oldest().BornSeq + 1)
 	}
-	s.bwin.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	nck := s.bwin.take()
+	nck.BornSeq, nck.PC, nck.BranchSeq, nck.Pend = branchSeq, pc, branchSeq, true
+	s.bwin.push(nck)
 	s.regs.Push(s.bwin.stack)
 	s.stats.Checkpoints++
 	return true

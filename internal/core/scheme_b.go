@@ -121,7 +121,7 @@ func (s *SchemeB) establish(branchSeq uint64, pc int) bool {
 		if old.Pend {
 			return false
 		}
-		s.win.retireOldest()
+		s.win.recycle(s.win.retireOldest())
 		s.regs.DropOldest(s.win.stack)
 		s.stats.Retired++
 		if next := s.win.oldest(); next != nil {
@@ -130,7 +130,9 @@ func (s *SchemeB) establish(branchSeq uint64, pc int) bool {
 			s.mem.Release(branchSeq + 1)
 		}
 	}
-	s.win.push(&Checkpoint{BornSeq: branchSeq, PC: pc, BranchSeq: branchSeq, Pend: true})
+	ck := s.win.take()
+	ck.BornSeq, ck.PC, ck.BranchSeq, ck.Pend = branchSeq, pc, branchSeq, true
+	s.win.push(ck)
 	s.regs.Push(s.win.stack)
 	s.stats.Checkpoints++
 	return true

@@ -144,7 +144,7 @@ func (s *SchemeE) establish(bornSeq uint64, pc int) bool {
 		if old.Active > 0 || old.Except() {
 			return false
 		}
-		s.win.retireOldest()
+		s.win.recycle(s.win.retireOldest())
 		s.regs.DropOldest(s.win.stack)
 		s.stats.Retired++
 		if next := s.win.oldest(); next != nil {
@@ -155,7 +155,9 @@ func (s *SchemeE) establish(bornSeq uint64, pc int) bool {
 			s.mem.Release(bornSeq + 1)
 		}
 	}
-	s.win.push(&Checkpoint{BornSeq: bornSeq, PC: pc})
+	ck := s.win.take()
+	ck.BornSeq, ck.PC = bornSeq, pc
+	s.win.push(ck)
 	s.regs.Push(s.win.stack)
 	s.stats.Checkpoints++
 	return true

@@ -128,12 +128,14 @@ func (s *SchemeTight) establish(bornSeq uint64, pc int, branchSeq uint64, pend b
 		if old.Active > 0 || old.Except() || old.Pend {
 			return false
 		}
-		s.win.retireOldest()
+		s.win.recycle(s.win.retireOldest())
 		s.regs.DropOldest(s.win.stack)
 		s.stats.Retired++
 		s.mem.Release(s.win.oldest().BornSeq + 1)
 	}
-	s.win.push(&Checkpoint{BornSeq: bornSeq, PC: pc, BranchSeq: branchSeq, Pend: pend})
+	ck := s.win.take()
+	ck.BornSeq, ck.PC, ck.BranchSeq, ck.Pend = bornSeq, pc, branchSeq, pend
+	s.win.push(ck)
 	s.regs.Push(s.win.stack)
 	s.stats.Checkpoints++
 	return true

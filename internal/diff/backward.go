@@ -53,7 +53,8 @@ type Backward struct {
 // NewBackward builds a backward-difference system over a cache.
 // capacity 0 means unbounded.
 func NewBackward(c *cache.Cache, algo Algo, capacity int) *Backward {
-	return &Backward{cache: c, algo: algo, capacity: capacity}
+	return &Backward{cache: c, algo: algo, capacity: capacity,
+		entries: make([]Entry, 0, entryArenaCap(capacity))}
 }
 
 // Cache returns the underlying cache.

@@ -120,6 +120,18 @@ func Table1(h, s, d bool) (nextDirty, nextHazard bool) {
 	return false, false
 }
 
+// entryArenaCap sizes the preallocated entry arena of a difference
+// buffer: the full hardware capacity for a bounded buffer (it can never
+// grow past it), a generous default for an unbounded one. Entry slices
+// are compacted in place, so after warm-up the buffers allocate nothing
+// on the store/repair hot paths.
+func entryArenaCap(capacity int) int {
+	if capacity > 0 {
+		return capacity
+	}
+	return 256
+}
+
 // Entry is one difference-buffer element: the paper's (physical
 // longword address, byte mask, longword data, checkpoint
 // identification) plus, for Algorithm 3(b), the saved dirty bit.

@@ -26,7 +26,8 @@ type Forward struct {
 // NewForward builds a forward-difference system over a cache.
 // capacity 0 means unbounded.
 func NewForward(c *cache.Cache, capacity int) *Forward {
-	return &Forward{cache: c, capacity: capacity}
+	return &Forward{cache: c, capacity: capacity,
+		entries: make([]Entry, 0, entryArenaCap(capacity))}
 }
 
 // Cache returns the underlying cache.

@@ -47,17 +47,17 @@ func a1() *Table {
 		bpred.NewSynthetic(0.95, 3),
 		bpred.NewOracle(),
 	}
-	for _, pr := range preds {
-		res, err := machine.Run(p, machine.Config{
+	jobs := make([]runJob, len(preds))
+	for i, pr := range preds {
+		jobs[i] = runJob{name: "synth", prog: p, cfg: machine.Config{
 			Scheme:    core.NewSchemeTight(4, 0),
 			Predictor: pr,
 			Speculate: true,
 			MemSystem: machine.MemBackward3b,
-		})
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(pr.Name(), fmt.Sprintf("%.1f%%", res.PredictorAccuracy*100),
+		}}
+	}
+	for i, res := range runParallel(jobs) {
+		t.AddRow(preds[i].Name(), fmt.Sprintf("%.1f%%", res.PredictorAccuracy*100),
 			res.Stats.BRepairs, res.Stats.WrongPath, res.Stats.Cycles,
 			fmt.Sprintf("%.3f", res.Stats.IPC()))
 	}
@@ -114,20 +114,19 @@ func a3() *Table {
 			"everywhere (golden-checked by the suite); only cycles move.",
 		Header: []string{"budget", "E-repairs", "precise insts", "cycles"},
 	}
-	k, _ := workload.ByName("pagedemo")
-	p := k.Load()
-	for _, budget := range []int{2, 8, 32, 64, 256} {
-		res, err := machine.Run(p, machine.Config{
+	budgets := []int{2, 8, 32, 64, 256}
+	jobs := make([]runJob, len(budgets))
+	for i, budget := range budgets {
+		jobs[i] = kernelJob("pagedemo", machine.Config{
 			Scheme:        core.NewSchemeTight(4, 0),
 			Predictor:     bpred.NewBimodal(1024),
 			Speculate:     true,
 			MemSystem:     machine.MemBackward3b,
 			PreciseBudget: budget,
 		})
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(budget, res.Stats.ERepairs, res.Stats.PreciseInsts, res.Stats.Cycles)
+	}
+	for i, res := range runParallel(jobs) {
+		t.AddRow(budgets[i], res.Stats.ERepairs, res.Stats.PreciseInsts, res.Stats.Cycles)
 	}
 	return t
 }
@@ -149,16 +148,17 @@ func a4() *Table {
 	}
 	scfg := workload.SynthConfig{Name: "excheavy", Iters: 600, BranchesPerIter: 2, StoresPerIter: 1, ExcMask: 0x7, Seed: 5}
 	p := workload.Synth(scfg)
-	for _, d := range []int{4, 8, 16, 32, 64} {
-		res, err := machine.Run(p, machine.Config{
+	ds := []int{4, 8, 16, 32, 64}
+	jobs := make([]runJob, len(ds))
+	for i, d := range ds {
+		jobs[i] = runJob{name: scfg.Name, prog: p, cfg: machine.Config{
 			Scheme:    core.NewSchemeE(2, d, 0),
 			Speculate: false,
 			MemSystem: machine.MemBackward3b,
-		})
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(d, res.Stats.ERepairs, res.Scheme.SquashedOps, res.Stats.PreciseInsts, res.Stats.Cycles)
+		}}
+	}
+	for i, res := range runParallel(jobs) {
+		t.AddRow(ds[i], res.Stats.ERepairs, res.Scheme.SquashedOps, res.Stats.PreciseInsts, res.Stats.Cycles)
 	}
 	return t
 }
@@ -178,17 +178,22 @@ func a5() *Table {
 			"B-repairs and backward differences with rare E-repairs.",
 		Header: []string{"kernel", "memsys", "cycles", "max buf occupancy", "undone", "discarded"},
 	}
-	for _, name := range []string{"sieve", "memcpy", "bubble", "hanoi"} {
-		for _, ms := range []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b, machine.MemForward} {
-			res := run(name, machine.Config{
+	names := []string{"sieve", "memcpy", "bubble", "hanoi"}
+	memsys := []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b, machine.MemForward}
+	var jobs []runJob
+	for _, name := range names {
+		for _, ms := range memsys {
+			jobs = append(jobs, kernelJob(name, machine.Config{
 				Scheme:    core.NewSchemeTight(4, 0),
 				Predictor: bpred.NewBimodal(1024),
 				Speculate: true,
 				MemSystem: ms,
-			})
-			t.AddRow(name, ms.String(), res.Stats.Cycles, res.Diff.MaxOccupancy,
-				res.Diff.Undone, res.Diff.Discarded)
+			}))
 		}
+	}
+	for i, res := range runParallel(jobs) {
+		t.AddRow(jobs[i].name, memsys[i%len(memsys)].String(), res.Stats.Cycles,
+			res.Diff.MaxOccupancy, res.Diff.Undone, res.Diff.Discarded)
 	}
 	return t
 }

@@ -100,19 +100,24 @@ func c2() *Table {
 			"Non-speculative machine (pure schemeE), kernel workloads.",
 		Header: []string{"kernel", "c=1 stalls", "c=2 stalls", "c=3 stalls", "c=4 stalls", "c=1 cycles", "c=2 cycles", "c=4 cycles"},
 	}
-	for _, name := range []string{"fib", "bubble", "matmul", "sieve"} {
-		var stalls []int64
-		var cyc []int64
-		for _, c := range []int{1, 2, 3, 4} {
-			res := run(name, machine.Config{
+	names := []string{"fib", "bubble", "matmul", "sieve"}
+	cs := []int{1, 2, 3, 4}
+	var jobs []runJob
+	for _, name := range names {
+		for _, c := range cs {
+			jobs = append(jobs, kernelJob(name, machine.Config{
 				Scheme:    core.NewSchemeE(c, 8, 0),
 				Speculate: false,
 				MemSystem: machine.MemBackward3b,
-			})
-			stalls = append(stalls, res.Stats.StallCycles[1]) // StallScheme
-			cyc = append(cyc, res.Stats.Cycles)
+			}))
 		}
-		t.AddRow(name, stalls[0], stalls[1], stalls[2], stalls[3], cyc[0], cyc[1], cyc[3])
+	}
+	results := runParallel(jobs)
+	for i, name := range names {
+		row := results[i*len(cs) : (i+1)*len(cs)]
+		stall := func(j int) int64 { return row[j].Stats.StallCycles[1] } // StallScheme
+		t.AddRow(name, stall(0), stall(1), stall(2), stall(3),
+			row[0].Stats.Cycles, row[1].Stats.Cycles, row[3].Stats.Cycles)
 	}
 	return t
 }
@@ -194,15 +199,23 @@ func c5() *Table {
 			"along both axes and flatten once segments cover the pipeline depth.",
 		Header: []string{"c \\ distance", "4", "8", "16", "32", "64"},
 	}
-	for _, c := range []int{1, 2, 3, 4, 6} {
-		row := []any{fmt.Sprint(c)}
-		for _, d := range []int{4, 8, 16, 32, 64} {
-			res := run("sieve", machine.Config{
+	cs := []int{1, 2, 3, 4, 6}
+	ds := []int{4, 8, 16, 32, 64}
+	var jobs []runJob
+	for _, c := range cs {
+		for _, d := range ds {
+			jobs = append(jobs, kernelJob("sieve", machine.Config{
 				Scheme:    core.NewSchemeE(c, d, 0),
 				Speculate: false,
 				MemSystem: machine.MemBackward3b,
-			})
-			row = append(row, res.Stats.StallCycles[1])
+			}))
+		}
+	}
+	results := runParallel(jobs)
+	for i, c := range cs {
+		row := []any{fmt.Sprint(c)}
+		for j := range ds {
+			row = append(row, results[i*len(ds)+j].Stats.StallCycles[1])
 		}
 		t.AddRow(row...)
 	}
@@ -227,15 +240,25 @@ func c6() *Table {
 	}
 	scfg := workload.SynthConfig{Name: "storeheavy", Iters: 400, BranchesPerIter: 2, StoresPerIter: 6, Seed: 99}
 	p := workload.Synth(scfg)
-	for _, capacity := range []int{W, 2 * W, bound - W/2, bound, bound + W, 4 * bound} {
-		cfg := machine.Config{
+	capacities := []int{W, 2 * W, bound - W/2, bound, bound + W, 4 * bound}
+	type outcome struct {
+		res *machine.Result
+		err error
+	}
+	outs := make([]outcome, len(capacities))
+	// Deadlocking capacities are expected results here, so this sweep
+	// cannot go through runParallel's panic-on-error path.
+	parMap(len(capacities), func(i int) {
+		outs[i].res, outs[i].err = machine.Run(p, machine.Config{
 			Scheme:         core.NewSchemeE(c, 1000, W), // W forces the checkpoints
 			Speculate:      false,
 			MemSystem:      machine.MemBackward3a,
-			BufferCap:      capacity,
+			BufferCap:      capacities[i],
 			WatchdogCycles: 20_000,
-		}
-		res, err := machine.Run(p, cfg)
+		})
+	})
+	for i, capacity := range capacities {
+		res, err := outs[i].res, outs[i].err
 		outcome := "completed"
 		var stalls, occ int64
 		if err != nil {
@@ -269,23 +292,24 @@ func c7() *Table {
 	}
 	smallCache := cache.Config{Sets: 8, Ways: 1, LineBytes: 16, Policy: cache.WriteBack}
 	progs := []string{"bubble", "sieve", "memcpy", "recfib"}
+	memsys := []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b}
+	var jobs []runJob
 	for _, name := range progs {
-		var wb [2]int
-		var avoided int
-		for i, ms := range []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b} {
-			res := run(name, machine.Config{
+		for _, ms := range memsys {
+			jobs = append(jobs, kernelJob(name, machine.Config{
 				Scheme:    core.NewSchemeTight(4, 0),
 				Predictor: bpred.NewTaken(), // deliberately poor: many B-repairs
 				Speculate: true,
 				MemSystem: ms,
 				Cache:     smallCache,
-			})
-			wb[i] = res.Cache.WriteBacks
-			if i == 1 {
-				avoided = res.Cache.RepairWriteBacksAvoided
-			}
+			}))
 		}
-		t.AddRow(name, wb[0], wb[1], wb[0]-wb[1], avoided)
+	}
+	results := runParallel(jobs)
+	for i, name := range progs {
+		a, b := results[2*i], results[2*i+1]
+		t.AddRow(name, a.Cache.WriteBacks, b.Cache.WriteBacks,
+			a.Cache.WriteBacks-b.Cache.WriteBacks, b.Cache.RepairWriteBacksAvoided)
 	}
 	return t
 }
@@ -333,19 +357,24 @@ func c9() *Table {
 		func() core.Scheme { return core.NewSchemeTight(6, 0) },
 		func() core.Scheme { return core.NewSchemeTight(4, 0) },
 	}
-	for _, name := range []string{"bubble", "pagedemo", "recfib"} {
+	names := []string{"bubble", "pagedemo", "recfib"}
+	var jobs []runJob
+	for _, name := range names {
 		for _, mk := range mks {
-			s := mk()
-			res := run(name, machine.Config{
-				Scheme:    s,
+			jobs = append(jobs, kernelJob(name, machine.Config{
+				Scheme:    mk(),
 				Predictor: bpred.NewBimodal(256),
 				Speculate: true,
 				MemSystem: machine.MemBackward3b,
-			})
-			t.AddRow(name, s.Name(), s.Spaces(), res.Stats.Cycles,
-				fmt.Sprintf("%.3f", res.Stats.IPC()), res.Stats.StallTotal(),
-				res.Stats.ERepairs, res.Stats.BRepairs)
+			}))
 		}
+	}
+	results := runParallel(jobs)
+	for i, job := range jobs {
+		s, res := job.cfg.Scheme, results[i]
+		t.AddRow(job.name, s.Name(), s.Spaces(), res.Stats.Cycles,
+			fmt.Sprintf("%.3f", res.Stats.IPC()), res.Stats.StallTotal(),
+			res.Stats.ERepairs, res.Stats.BRepairs)
 	}
 	return t
 }
@@ -363,25 +392,32 @@ func c10() *Table {
 			"identical — while doing far fewer memory writes.",
 		Header: []string{"kernel", "policy", "cycles", "store stalls", "mem writes (wb+through)", "repairs"},
 	}
-	for _, name := range []string{"sieve", "memcpy", "bubble"} {
-		for _, pol := range []cache.Policy{cache.WriteBack, cache.WriteThrough} {
+	names := []string{"sieve", "memcpy", "bubble"}
+	pols := []cache.Policy{cache.WriteBack, cache.WriteThrough}
+	var jobs []runJob
+	for _, name := range names {
+		for _, pol := range pols {
 			cc := cache.DefaultConfig
 			cc.Policy = pol
-			res := run(name, machine.Config{
+			jobs = append(jobs, kernelJob(name, machine.Config{
 				Scheme:    core.NewSchemeTight(4, 0),
 				Predictor: bpred.NewBimodal(256),
 				Speculate: true,
 				MemSystem: machine.MemBackward3b,
 				Cache:     cc,
-			})
-			memWrites := res.Cache.WriteBacks
-			if pol == cache.WriteThrough {
-				memWrites = int(res.Diff.Pushes) // every store hits memory
-			}
-			t.AddRow(name, pol.String(), res.Stats.Cycles,
-				res.Stats.StallCycles[8], memWrites,
-				res.Stats.BRepairs+res.Stats.ERepairs)
+			}))
 		}
+	}
+	results := runParallel(jobs)
+	for i, job := range jobs {
+		res, pol := results[i], pols[i%len(pols)]
+		memWrites := res.Cache.WriteBacks
+		if pol == cache.WriteThrough {
+			memWrites = int(res.Diff.Pushes) // every store hits memory
+		}
+		t.AddRow(job.name, pol.String(), res.Stats.Cycles,
+			res.Stats.StallCycles[8], memWrites,
+			res.Stats.BRepairs+res.Stats.ERepairs)
 	}
 	return t
 }
@@ -400,7 +436,10 @@ func c11() *Table {
 			"oracle row shows the headroom a perfect predictor leaves.",
 		Header: []string{"kernel", "in-order", "HB(8)", "ROB(8)", "tight(4)+bimodal", "tight(4)+oracle"},
 	}
-	for _, name := range []string{"fib", "bubble", "matmul", "sieve", "crc", "recfib"} {
+	names := []string{"fib", "bubble", "matmul", "sieve", "crc", "recfib"}
+	rows := make([][]any, len(names))
+	parMap(len(names), func(i int) {
+		name := names[i]
 		k, _ := workload.ByName(name)
 		p := k.Load()
 		inord, err := baseline.InOrder(p, machine.DefaultTiming, cache.DefaultConfig)
@@ -427,7 +466,10 @@ func c11() *Table {
 			Speculate: true,
 			MemSystem: machine.MemBackward3b,
 		})
-		t.AddRow(name, inord.Cycles, hb.Stats.Cycles, rob.Stats.Cycles, tb.Stats.Cycles, to.Stats.Cycles)
+		rows[i] = []any{name, inord.Cycles, hb.Stats.Cycles, rob.Stats.Cycles, tb.Stats.Cycles, to.Stats.Cycles}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -449,28 +491,39 @@ func c12() *Table {
 		func() core.Scheme { return core.NewSchemeLoose(2, 4, 12) },
 		func() core.Scheme { return core.NewSchemeDirect(2, 4, 12, 0) },
 	}
-	for _, mk := range mks {
-		for _, ms := range []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b, machine.MemForward} {
-			total, matched := 0, 0
-			var schemeName string
-			for _, k := range workload.Kernels() {
-				p := k.Load()
-				ref := refsim.MustRun(p, refsim.Options{})
-				s := mk()
-				schemeName = s.Name()
-				res, err := machine.Run(p, machine.Config{
-					Scheme:    s,
-					Predictor: bpred.NewBimodal(256),
-					Speculate: true,
-					MemSystem: ms,
-				})
-				total++
-				if err == nil && res.MatchRef(ref) == nil {
-					matched++
-				}
+	memsys := []machine.MemSystemKind{machine.MemBackward3a, machine.MemBackward3b, machine.MemForward}
+	kernels := workload.Kernels()
+	// The reference runs are shared by every configuration; compute each
+	// kernel's once, in parallel, then fan out the machine runs.
+	refs := make([]*refsim.Result, len(kernels))
+	parMap(len(kernels), func(i int) {
+		refs[i] = refsim.MustRun(kernels[i].Load(), refsim.Options{})
+	})
+	type cell struct {
+		schemeName     string
+		total, matched int
+	}
+	cells := make([]cell, len(mks)*len(memsys))
+	parMap(len(cells), func(i int) {
+		mk, ms := mks[i/len(memsys)], memsys[i%len(memsys)]
+		c := &cells[i]
+		for j, k := range kernels {
+			s := mk()
+			c.schemeName = s.Name()
+			res, err := machine.Run(k.Load(), machine.Config{
+				Scheme:    s,
+				Predictor: bpred.NewBimodal(256),
+				Speculate: true,
+				MemSystem: ms,
+			})
+			c.total++
+			if err == nil && res.MatchRef(refs[j]) == nil {
+				c.matched++
 			}
-			t.AddRow(schemeName, ms.String(), total, matched)
 		}
+	})
+	for i, c := range cells {
+		t.AddRow(c.schemeName, memsys[i%len(memsys)].String(), c.total, c.matched)
 	}
 	return t
 }

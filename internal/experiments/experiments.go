@@ -12,10 +12,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is one experiment's output.
@@ -109,44 +111,99 @@ type Experiment struct {
 	Run  func() []*Table // some experiments emit several tables
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	byID     = map[string]int{} // upper-cased ID -> registry index
+	sortOnce sync.Once
+	sorted   []Experiment
+)
 
 func register(id, name string, run func() []*Table) {
+	byID[strings.ToUpper(id)] = len(registry)
 	registry = append(registry, Experiment{ID: id, Name: name, Run: run})
 }
 
-// All returns the registered experiments in ID order.
+// All returns the registered experiments in ID order. Registration
+// happens only in package init functions, so the sorted view is
+// computed once and shared (callers must not mutate it).
 func All() []Experiment {
-	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
-	return out
+	sortOnce.Do(func() {
+		sorted = append([]Experiment(nil), registry...)
+		sort.Slice(sorted, func(i, j int) bool { return idKey(sorted[i].ID) < idKey(sorted[j].ID) })
+	})
+	return sorted
 }
 
-// idKey orders F1..F8, T1, C1..C12 naturally.
-func idKey(id string) string {
-	if len(id) < 2 {
-		return id
+// kindRank orders the experiment families: figures, table, claims,
+// ablations. Unknown families sort last.
+var kindRank = [256]uint8{'F': 1, 'T': 2, 'C': 3, 'A': 4}
+
+// idKey orders F1..F8, T1, C1..C12, A1.. naturally: family first, then
+// the numeric suffix.
+func idKey(id string) int {
+	if id == "" {
+		return 1 << 30
 	}
-	kind := id[0]
-	rank := map[byte]string{'F': "0", 'T': "1", 'C': "2", 'A': "3"}[kind]
-	return fmt.Sprintf("%s%02s", rank, id[1:])
+	rank := int(kindRank[id[0]])
+	if rank == 0 {
+		rank = 9
+	}
+	num := 0
+	for i := 1; i < len(id); i++ {
+		if c := id[i]; c >= '0' && c <= '9' {
+			num = num*10 + int(c-'0')
+		}
+	}
+	return rank<<16 | num
 }
 
-// ByID returns the experiment with the given ID.
+// ByID returns the experiment with the given ID, case-insensitively.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if strings.EqualFold(e.ID, id) {
-			return e, true
-		}
+	i, ok := byID[strings.ToUpper(id)]
+	if !ok {
+		return Experiment{}, false
 	}
-	return Experiment{}, false
+	return registry[i], true
 }
 
-// RunAll executes every experiment, writing the tables to w.
+// RunAll executes every experiment, writing the tables to w in ID
+// order. Experiments run concurrently on the package pool (see
+// SetParallelism); the output is byte-identical to a sequential run.
 func RunAll(w io.Writer) {
-	for _, e := range All() {
-		for _, t := range e.Run() {
-			fmt.Fprintln(w, t.String())
-		}
+	RunAllContext(context.Background(), w)
+}
+
+// RunAllContext is RunAll with cancellation: experiments fan out over
+// the package worker pool, and their tables are streamed to w strictly
+// in All() order as they become available. Cancelling ctx stops
+// dispatching new experiments and returns after in-flight ones drain;
+// the error is then ctx.Err(). The writer is only ever touched by one
+// goroutine, so any io.Writer works.
+func RunAllContext(ctx context.Context, w io.Writer) error {
+	all := All()
+	results := make([][]*Table, len(all))
+	done := make([]chan struct{}, len(all))
+	for i := range done {
+		done[i] = make(chan struct{})
 	}
+	emitted := make(chan struct{})
+	go func() {
+		defer close(emitted)
+		for i := range all {
+			select {
+			case <-done[i]:
+				for _, t := range results[i] {
+					fmt.Fprintln(w, t.String())
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	err := defaultPool.Load().Map(ctx, len(all), func(i int) {
+		results[i] = all[i].Run()
+		close(done[i])
+	})
+	<-emitted
+	return err
 }

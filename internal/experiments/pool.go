@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Pool runs independent jobs on a bounded number of goroutines. The
+// calling goroutine of Map always executes jobs itself; additional
+// workers are admitted by a token channel shared by every Map call on
+// the pool. Nested Map calls therefore never deadlock: an inner call
+// that finds no free tokens simply runs all of its jobs inline on the
+// worker that issued it, and total concurrency stays bounded by the
+// pool size no matter how fan-outs nest (RunAll over experiments on the
+// outside, per-configuration sweeps on the inside).
+type Pool struct {
+	extra chan struct{} // one token per worker beyond the callers
+}
+
+// NewPool returns a pool allowing up to workers concurrently running
+// jobs, counting the goroutine that calls Map. workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{extra: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.extra) + 1 }
+
+// Map runs fn(i) for every i in [0, n), distributing indices over the
+// caller and however many extra goroutines the pool can admit. Indices
+// are dispensed atomically, so each runs exactly once; fn must write
+// its result into a caller-owned slot (out[i]) rather than append to
+// shared state, which also makes results deterministic regardless of
+// scheduling. Map returns once every dispensed job has finished.
+//
+// If ctx is cancelled, remaining indices are not dispensed and Map
+// returns ctx.Err() after in-flight jobs drain. A panic in any job
+// stops dispensing and is re-raised on the calling goroutine, matching
+// the sequential behaviour of a panicking loop body.
+func (p *Pool) Map(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+	)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicV == nil {
+					panicV = r
+				}
+				panicMu.Unlock()
+				stop.Store(true)
+			}
+		}()
+		for !stop.Load() {
+			if ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case p.extra <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.extra }()
+				work()
+			}()
+		default:
+			// No free tokens; the caller handles the remaining jobs.
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return ctx.Err()
+}
+
+// defaultPool serves the package-level helpers (RunAll and the sweep
+// experiments). Swapped wholesale by SetParallelism so in-flight Map
+// calls keep their token channel.
+var defaultPool atomic.Pointer[Pool]
+
+func init() { defaultPool.Store(NewPool(0)) }
+
+// SetParallelism bounds the number of concurrent simulations run by
+// RunAll and the sweep experiments. n <= 0 restores the default,
+// GOMAXPROCS; n == 1 makes everything sequential. Call it between
+// runs, not during one (a running RunAll keeps its previous bound).
+func SetParallelism(n int) { defaultPool.Store(NewPool(n)) }
+
+// Parallelism reports the current bound.
+func Parallelism() int { return defaultPool.Load().Workers() }
+
+// parMap fans fn out over the package pool with no cancellation.
+func parMap(n int, fn func(i int)) {
+	defaultPool.Load().Map(context.Background(), n, fn)
+}
+
+// runJob is one machine configuration of a sweep. Config fields with
+// per-run state (Scheme, Predictor) must be freshly constructed for
+// each job; the program may be shared, it is read-only during a run.
+type runJob struct {
+	name string
+	prog *prog.Program
+	cfg  machine.Config
+}
+
+// kernelJob builds the runJob for a named kernel, panicking on unknown
+// names like run.
+func kernelJob(name string, cfg machine.Config) runJob {
+	k, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return runJob{name: name, prog: k.Load(), cfg: cfg}
+}
+
+// runParallel executes the jobs concurrently on the package pool and
+// returns their results in job order, so sweep tables come out
+// byte-identical to a sequential run. It panics on simulator errors
+// exactly like run — sweeps run known-good configurations.
+func runParallel(jobs []runJob) []*machine.Result {
+	out := make([]*machine.Result, len(jobs))
+	parMap(len(jobs), func(i int) {
+		res, err := machine.Run(jobs[i].prog, jobs[i].cfg)
+		if err != nil {
+			panic(fmt.Sprintf("%s on %s: %v", jobs[i].name, jobs[i].cfg.Scheme.Name(), err))
+		}
+		out[i] = res
+	})
+	return out
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func TestPoolMapRunsEveryIndexOnce(t *testing.T) {
+	p := NewPool(4)
+	var counts [100]atomic.Int32
+	if err := p.Map(context.Background(), len(counts), func(i int) {
+		counts[i].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestPoolMapNestedDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2) // 1 extra token: inner Maps mostly run inline
+	var total atomic.Int32
+	err := p.Map(context.Background(), 8, func(i int) {
+		p.Map(context.Background(), 8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 64 {
+		t.Fatalf("ran %d inner jobs, want 64", total.Load())
+	}
+}
+
+func TestPoolMapSequentialWhenSizeOne(t *testing.T) {
+	p := NewPool(1)
+	order := make([]int, 0, 10)
+	p.Map(context.Background(), 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not sequential", order)
+		}
+	}
+}
+
+func TestPoolMapCancel(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := p.Map(ctx, 1000, func(i int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 8 {
+		t.Fatalf("%d jobs ran after pre-cancelled context", n)
+	}
+}
+
+func TestPoolMapPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.Map(context.Background(), 16, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Map returned instead of panicking")
+}
+
+// TestParallelRunAllDeterministic is the tentpole acceptance check: the
+// full artefact regeneration must be byte-identical no matter how many
+// workers run it.
+func TestParallelRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll in -short mode")
+	}
+	defer SetParallelism(0)
+
+	SetParallelism(1)
+	var seq bytes.Buffer
+	RunAll(&seq)
+
+	SetParallelism(8)
+	var par bytes.Buffer
+	RunAll(&par)
+
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel RunAll output differs from sequential (%d vs %d bytes)",
+			seq.Len(), par.Len())
+	}
+}
+
+func TestParallelRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := RunAllContext(ctx, &buf); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelConcurrentMachineRuns drives many simultaneous machine
+// simulations of the same shared program under -race: every run owns
+// its scheme, predictor, memory and caches, so the only shared state is
+// the read-only program and lookup tables.
+func TestParallelConcurrentMachineRuns(t *testing.T) {
+	k, err := workload.ByName("sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.Load()
+	ref := refsim.MustRun(p, refsim.Options{})
+	results := make([]*machine.Result, 16)
+	pool := NewPool(8)
+	pool.Map(context.Background(), len(results), func(i int) {
+		res, err := machine.Run(p, machine.Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		})
+		if err != nil {
+			t.Errorf("run %d: %v", i, err)
+			return
+		}
+		results[i] = res
+	})
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("run %d missing", i)
+		}
+		if err := res.MatchRef(ref); err != nil {
+			t.Fatalf("run %d diverged from reference: %v", i, err)
+		}
+		if res.Stats.Cycles != results[0].Stats.Cycles {
+			t.Fatalf("run %d took %d cycles, run 0 took %d — runs are not independent",
+				i, res.Stats.Cycles, results[0].Stats.Cycles)
+		}
+	}
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	mk := func() machine.Config {
+		return machine.Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		}
+	}
+	want := run("bubble", mk())
+	jobs := []runJob{kernelJob("bubble", mk()), kernelJob("bubble", mk())}
+	for i, res := range runParallel(jobs) {
+		if res.Stats.Cycles != want.Stats.Cycles {
+			t.Fatalf("job %d: %d cycles, want %d", i, res.Stats.Cycles, want.Stats.Cycles)
+		}
+	}
+}

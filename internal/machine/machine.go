@@ -237,9 +237,15 @@ type Machine struct {
 	repairBusyUntil int64
 	lastUndone      int
 
-	mode          mode
-	preciseLeft   int
-	depthBuf      []int
+	mode        mode
+	preciseLeft int
+	depthBuf    []int
+	// Hot-path buffer reuse: opFree recycles in-flight operation
+	// records (delivered or squashed ops return to the free list
+	// instead of the garbage collector), and squashBuf backs the
+	// OpInfo slice returned by SquashAfter.
+	opFree        []*ooo.Op
+	squashBuf     []core.OpInfo
 	excLog        []isa.Exception
 	done          bool
 	fatal         error
@@ -447,17 +453,43 @@ func (m *Machine) trace(format string, args ...any) {
 
 // --- core.Engine implementation ---
 
-// SquashAfter implements core.Engine.
+// SquashAfter implements core.Engine. The returned slice is scratch
+// storage reused by the next call, per the core.Engine contract.
 func (m *Machine) SquashAfter(seq uint64) []core.OpInfo {
 	squashed := m.window.SquashAfter(seq)
 	m.lsq.SquashAfter(seq)
-	infos := make([]core.OpInfo, 0, len(squashed))
+	infos := m.squashBuf[:0]
 	for _, o := range squashed {
 		infos = append(infos, core.OpInfo{Seq: o.Seq, PC: o.PC, IsBranch: o.Inst.IsBranch(), IsStore: o.IsStore()})
+	}
+	m.squashBuf = infos
+	// Squashed operations are gone from the window and LSQ (memory ops
+	// sat in both, so the window list covers every squashed op exactly
+	// once); recycle the records.
+	for _, o := range squashed {
+		m.freeOp(o)
 	}
 	m.st.WrongPath += int64(len(squashed))
 	m.nextSeq = seq + 1
 	return infos
+}
+
+// allocOp takes an operation record from the free list, or allocates
+// one. The record is zeroed.
+func (m *Machine) allocOp() *ooo.Op {
+	if n := len(m.opFree); n > 0 {
+		op := m.opFree[n-1]
+		m.opFree = m.opFree[:n-1]
+		*op = ooo.Op{}
+		return op
+	}
+	return new(ooo.Op)
+}
+
+// freeOp recycles an operation record that no pipeline structure
+// references any more.
+func (m *Machine) freeOp(op *ooo.Op) {
+	m.opFree = append(m.opFree, op)
 }
 
 // RedirectFetch implements core.Engine.
@@ -498,6 +530,7 @@ func (m *Machine) writeback() {
 			return
 		}
 		m.deliver(next)
+		m.freeOp(next) // removed from window and LSQ; recycle
 		delivered++
 		if m.done || m.fatal != nil {
 			return
@@ -919,7 +952,8 @@ func (m *Machine) issueOne(in isa.Inst) {
 	m.nextSeq++
 	m.lastProgress = m.cycle
 
-	op := &ooo.Op{Seq: seq, PC: pc, Inst: in, PredNext: -1}
+	op := m.allocOp()
+	op.Seq, op.PC, op.Inst, op.PredNext = seq, pc, in, -1
 	m.readOperands(op)
 
 	// Shadow step for oracle hints and true-path tracking.
@@ -1017,11 +1051,10 @@ func (m *Machine) issueVectorElem(in isa.Inst, elem isa.Inst) {
 		}
 	}
 
-	op := &ooo.Op{
-		Seq: seq, PC: pc, Inst: elem, PredNext: -1,
-		OnTruePath: m.crack.onTrue,
-		Elem:       m.crack.pos, ElemCount: len(m.crack.elems),
-	}
+	op := m.allocOp()
+	op.Seq, op.PC, op.Inst, op.PredNext = seq, pc, elem, -1
+	op.OnTruePath = m.crack.onTrue
+	op.Elem, op.ElemCount = m.crack.pos, len(m.crack.elems)
 	m.readOperands(op)
 	if rd, ok := elem.Dest(); ok {
 		m.regs.Reserve(rd, seq)
@@ -1095,8 +1128,9 @@ func (m *Machine) issuePrecise() {
 	m.nextSeq++
 	m.lastProgress = m.cycle
 
-	op := &ooo.Op{Seq: seq, PC: pc, Inst: elem, PredNext: -1, OnTruePath: true,
-		Elem: elemIdx, ElemCount: elemCount}
+	op := m.allocOp()
+	op.Seq, op.PC, op.Inst, op.PredNext, op.OnTruePath = seq, pc, elem, -1, true
+	op.Elem, op.ElemCount = elemIdx, elemCount
 	m.readOperands(op)
 	if rd, ok := elem.Dest(); ok {
 		m.regs.Reserve(rd, seq)

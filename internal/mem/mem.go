@@ -11,11 +11,18 @@
 // difference buffers (internal/diff) layer the checkpointing machinery on
 // top of this backing store; the in-order reference interpreter
 // (internal/refsim) uses it directly.
+//
+// Page lookup is a flat two-level table (10-bit root index, 10-bit leaf
+// index over the 20-bit page number) with a one-entry last-page cache,
+// rather than a Go map: every load, store, and access check of every
+// simulated instruction funnels through page(), so the lookup is the
+// hottest path in the whole simulator. A Memory is not safe for
+// concurrent use — each machine instance owns its memory exclusively,
+// which is what lets independent simulations run in parallel.
 package mem
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/isa"
 )
@@ -24,26 +31,90 @@ import (
 // matters for fault behaviour; it has no timing significance.
 const PageSize = 4096
 
+const (
+	pageShift = 12 // log2(PageSize)
+	leafBits  = 10
+	leafSize  = 1 << leafBits                    // pages per leaf table
+	rootSize  = 1 << (32 - pageShift - leafBits) // leaf tables per root
+)
+
+// leaf is one second-level page table covering leafSize pages.
+type leaf [leafSize][]byte
+
 // Memory is a paged byte-addressed memory. The zero value is an empty
 // memory with no mapped pages.
 type Memory struct {
-	pages map[uint32][]byte
+	root   [rootSize]*leaf
+	npages int
+	// Last-page cache: lastPg caches the page holding page number
+	// lastPN (nil = no cached page). Pages are never unmapped, so the
+	// cache can only go stale by pointing at a still-valid page.
+	lastPN uint32
+	lastPg []byte
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32][]byte)}
+	return &Memory{}
 }
 
 // Clone returns a deep copy of the memory.
 func (m *Memory) Clone() *Memory {
 	c := New()
-	for pn, pg := range m.pages {
+	m.forEachPage(func(pn uint32, pg []byte) bool {
 		np := make([]byte, PageSize)
 		copy(np, pg)
-		c.pages[pn] = np
-	}
+		c.setPage(pn, np)
+		return true
+	})
 	return c
+}
+
+// page returns the page containing addr, or nil if unmapped.
+func (m *Memory) page(addr uint32) []byte {
+	pn := addr >> pageShift
+	if pg := m.lastPg; pg != nil && pn == m.lastPN {
+		return pg
+	}
+	l := m.root[pn>>leafBits]
+	if l == nil {
+		return nil
+	}
+	pg := l[pn&(leafSize-1)]
+	if pg != nil {
+		m.lastPN, m.lastPg = pn, pg
+	}
+	return pg
+}
+
+// setPage installs a page for page number pn, creating its leaf table
+// on demand. pn must not already be mapped.
+func (m *Memory) setPage(pn uint32, pg []byte) {
+	l := m.root[pn>>leafBits]
+	if l == nil {
+		l = new(leaf)
+		m.root[pn>>leafBits] = l
+	}
+	l[pn&(leafSize-1)] = pg
+	m.npages++
+}
+
+// forEachPage visits every mapped page in ascending page-number order,
+// stopping early if f returns false.
+func (m *Memory) forEachPage(f func(pn uint32, pg []byte) bool) {
+	for ri, l := range m.root {
+		if l == nil {
+			continue
+		}
+		for li, pg := range l {
+			if pg == nil {
+				continue
+			}
+			if !f(uint32(ri)<<leafBits|uint32(li), pg) {
+				return
+			}
+		}
+	}
 }
 
 // Map ensures every page overlapping [addr, addr+size) is mapped,
@@ -52,14 +123,11 @@ func (m *Memory) Map(addr, size uint32) {
 	if size == 0 {
 		return
 	}
-	if m.pages == nil {
-		m.pages = make(map[uint32][]byte)
-	}
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
 	for pn := first; ; pn++ {
-		if _, ok := m.pages[pn]; !ok {
-			m.pages[pn] = make([]byte, PageSize)
+		if m.pageByNumber(pn) == nil {
+			m.setPage(pn, make([]byte, PageSize))
 		}
 		if pn == last {
 			break
@@ -67,10 +135,18 @@ func (m *Memory) Map(addr, size uint32) {
 	}
 }
 
+// pageByNumber returns the page for page number pn, or nil.
+func (m *Memory) pageByNumber(pn uint32) []byte {
+	l := m.root[pn>>leafBits]
+	if l == nil {
+		return nil
+	}
+	return l[pn&(leafSize-1)]
+}
+
 // Mapped reports whether the single byte at addr is mapped.
 func (m *Memory) Mapped(addr uint32) bool {
-	_, ok := m.pages[addr/PageSize]
-	return ok
+	return m.page(addr) != nil
 }
 
 // MappedRange reports whether every byte of [addr, addr+size) is mapped.
@@ -81,7 +157,7 @@ func (m *Memory) MappedRange(addr, size uint32) bool {
 	first := addr / PageSize
 	last := (addr + size - 1) / PageSize
 	for pn := first; ; pn++ {
-		if _, ok := m.pages[pn]; !ok {
+		if m.pageByNumber(pn) == nil {
 			return false
 		}
 		if pn == last {
@@ -91,17 +167,20 @@ func (m *Memory) MappedRange(addr, size uint32) bool {
 	return true
 }
 
-// page returns the page containing addr, or nil if unmapped.
-func (m *Memory) page(addr uint32) []byte {
-	return m.pages[addr/PageSize]
-}
-
 // check validates an access and returns the exception code it raises,
 // or isa.ExcCodeNone. Longword accesses must be 4-aligned; an aligned
 // longword never straddles a page.
 func (m *Memory) check(addr, size uint32) isa.ExcCode {
 	if size == isa.WordSize && addr%isa.WordSize != 0 {
 		return isa.ExcCodeMisaligned
+	}
+	// Fast path: the access lies within one mapped page (true for every
+	// aligned longword and byte access).
+	if addr%PageSize+size <= PageSize {
+		if m.page(addr) == nil {
+			return isa.ExcCodePageFault
+		}
+		return isa.ExcCodeNone
 	}
 	if !m.MappedRange(addr, size) {
 		return isa.ExcCodePageFault
@@ -119,18 +198,37 @@ func (m *Memory) CheckWrite(addr, size uint32) isa.ExcCode { return m.check(addr
 
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint32) (byte, isa.ExcCode) {
-	if code := m.check(addr, 1); code != isa.ExcCodeNone {
-		return 0, code
+	pg := m.page(addr)
+	if pg == nil {
+		return 0, isa.ExcCodePageFault
 	}
-	return m.page(addr)[addr%PageSize], isa.ExcCodeNone
+	return pg[addr%PageSize], isa.ExcCodeNone
 }
 
 // Write8 writes one byte.
 func (m *Memory) Write8(addr uint32, v byte) isa.ExcCode {
-	if code := m.check(addr, 1); code != isa.ExcCodeNone {
-		return code
+	pg := m.page(addr)
+	if pg == nil {
+		return isa.ExcCodePageFault
 	}
-	m.page(addr)[addr%PageSize] = v
+	pg[addr%PageSize] = v
+	return isa.ExcCodeNone
+}
+
+// WriteBytes copies data into memory starting at addr. Every page
+// covered must already be mapped; the write stops at the first fault.
+// Bulk program-image loading uses this instead of per-byte Write8.
+func (m *Memory) WriteBytes(addr uint32, data []byte) isa.ExcCode {
+	for len(data) > 0 {
+		pg := m.page(addr)
+		if pg == nil {
+			return isa.ExcCodePageFault
+		}
+		off := addr % PageSize
+		n := copy(pg[off:], data)
+		data = data[n:]
+		addr += uint32(n)
+	}
 	return isa.ExcCodeNone
 }
 
@@ -191,56 +289,66 @@ func MergeMasked(old, v uint32, mask uint8) uint32 {
 
 // MappedPages returns the sorted list of mapped page numbers.
 func (m *Memory) MappedPages() []uint32 {
-	pns := make([]uint32, 0, len(m.pages))
-	for pn := range m.pages {
+	pns := make([]uint32, 0, m.npages)
+	m.forEachPage(func(pn uint32, _ []byte) bool {
 		pns = append(pns, pn)
-	}
-	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+		return true
+	})
 	return pns
 }
 
 // Equal reports whether two memories have identical mapped pages with
 // identical contents.
 func (m *Memory) Equal(o *Memory) bool {
-	if len(m.pages) != len(o.pages) {
+	if m.npages != o.npages {
 		return false
 	}
-	for pn, pg := range m.pages {
-		opg, ok := o.pages[pn]
-		if !ok {
+	equal := true
+	m.forEachPage(func(pn uint32, pg []byte) bool {
+		opg := o.pageByNumber(pn)
+		if opg == nil {
+			equal = false
 			return false
 		}
 		for i := range pg {
 			if pg[i] != opg[i] {
+				equal = false
 				return false
 			}
 		}
-	}
-	return true
+		return true
+	})
+	return equal
 }
 
 // Diff returns a human-readable description of the first difference
 // between two memories, or "" if they are equal. Intended for test
 // failure messages.
 func (m *Memory) Diff(o *Memory) string {
-	seen := make(map[uint32]bool)
-	for pn := range m.pages {
-		seen[pn] = true
-		opg, ok := o.pages[pn]
-		if !ok {
-			return fmt.Sprintf("page %#x mapped only on left", pn)
+	out := ""
+	m.forEachPage(func(pn uint32, pg []byte) bool {
+		opg := o.pageByNumber(pn)
+		if opg == nil {
+			out = fmt.Sprintf("page %#x mapped only on left", pn)
+			return false
 		}
-		pg := m.pages[pn]
 		for i := range pg {
 			if pg[i] != opg[i] {
-				return fmt.Sprintf("byte %#x: %#x vs %#x", pn*PageSize+uint32(i), pg[i], opg[i])
+				out = fmt.Sprintf("byte %#x: %#x vs %#x", pn*PageSize+uint32(i), pg[i], opg[i])
+				return false
 			}
 		}
+		return true
+	})
+	if out != "" {
+		return out
 	}
-	for pn := range o.pages {
-		if !seen[pn] {
-			return fmt.Sprintf("page %#x mapped only on right", pn)
+	o.forEachPage(func(pn uint32, _ []byte) bool {
+		if m.pageByNumber(pn) == nil {
+			out = fmt.Sprintf("page %#x mapped only on right", pn)
+			return false
 		}
-	}
-	return ""
+		return true
+	})
+	return out
 }

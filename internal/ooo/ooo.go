@@ -13,8 +13,6 @@
 package ooo
 
 import (
-	"sort"
-
 	"repro/internal/isa"
 )
 
@@ -101,10 +99,15 @@ func (o *Op) Capture(tag uint64, val uint32) {
 	}
 }
 
-// Station is a reservation-station pool with a capacity.
+// Station is a reservation-station pool with a capacity. Resident
+// operations are kept ordered by Seq: issue sequence numbers increase
+// monotonically (a squash only removes the newest suffix, it never
+// rewinds the counter below a surviving operation), so Add maintains
+// the order with at most a short insertion walk and Ops never sorts.
 type Station struct {
-	Cap int
-	ops []*Op
+	Cap      int
+	ops      []*Op
+	squashed []*Op // scratch reused across SquashAfter calls
 }
 
 // NewStation returns a station with the given number of entries.
@@ -122,12 +125,15 @@ func (s *Station) Add(op *Op) {
 		panic("ooo: station overflow")
 	}
 	s.ops = append(s.ops, op)
+	// Defensive: restore Seq order if a caller ever issues out of order.
+	for i := len(s.ops) - 1; i > 0 && s.ops[i-1].Seq > s.ops[i].Seq; i-- {
+		s.ops[i-1], s.ops[i] = s.ops[i], s.ops[i-1]
+	}
 }
 
 // Ops returns the resident operations in issue order (oldest first).
 // The returned slice is the station's own storage; do not mutate.
 func (s *Station) Ops() []*Op {
-	sort.Slice(s.ops, func(i, j int) bool { return s.ops[i].Seq < s.ops[j].Seq })
 	return s.ops
 }
 
@@ -142,8 +148,10 @@ func (s *Station) Remove(op *Op) {
 }
 
 // SquashAfter removes every operation with Seq > seq and returns them.
+// The returned slice is scratch storage owned by the station, valid
+// only until the next SquashAfter call.
 func (s *Station) SquashAfter(seq uint64) []*Op {
-	var squashed []*Op
+	squashed := s.squashed[:0]
 	kept := s.ops[:0]
 	for _, o := range s.ops {
 		if o.Seq > seq {
@@ -153,7 +161,13 @@ func (s *Station) SquashAfter(seq uint64) []*Op {
 			kept = append(kept, o)
 		}
 	}
+	// Clear the dropped tail so squashed records do not linger in the
+	// station's backing array (they may be recycled by the caller).
+	for i := len(kept); i < len(s.ops); i++ {
+		s.ops[i] = nil
+	}
 	s.ops = kept
+	s.squashed = squashed
 	return squashed
 }
 
@@ -225,8 +239,9 @@ func (p *FUPool) Reset() {
 // space out of program order (the behaviour checkpoint repair exists to
 // undo).
 type LSQ struct {
-	Cap int
-	ops []*Op
+	Cap      int
+	ops      []*Op
+	squashed []*Op // scratch reused across SquashAfter calls
 }
 
 // NewLSQ returns a queue with the given capacity.
@@ -260,8 +275,10 @@ func (q *LSQ) Remove(op *Op) {
 }
 
 // SquashAfter removes every operation with Seq > seq and returns them.
+// The returned slice is scratch storage owned by the queue, valid only
+// until the next SquashAfter call.
 func (q *LSQ) SquashAfter(seq uint64) []*Op {
-	var squashed []*Op
+	squashed := q.squashed[:0]
 	kept := q.ops[:0]
 	for _, o := range q.ops {
 		if o.Seq > seq {
@@ -271,7 +288,11 @@ func (q *LSQ) SquashAfter(seq uint64) []*Op {
 			kept = append(kept, o)
 		}
 	}
+	for i := len(kept); i < len(q.ops); i++ {
+		q.ops[i] = nil
+	}
 	q.ops = kept
+	q.squashed = squashed
 	return squashed
 }
 

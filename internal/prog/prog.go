@@ -81,9 +81,7 @@ func (p *Program) NewMemory() *mem.Memory {
 	m := mem.New()
 	for _, s := range p.Data {
 		m.Map(s.Addr, uint32(len(s.Data)))
-		for i, b := range s.Data {
-			m.Write8(s.Addr+uint32(i), b)
-		}
+		m.WriteBytes(s.Addr, s.Data)
 	}
 	return m
 }
