@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench experiments ci
+.PHONY: build vet test race fastpath bench experiments profile ci
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,25 @@ test: build
 	$(GO) test ./...
 
 # Race-check the concurrency-sensitive surface: the parallel experiment
-# engine and the whole-machine golden tests it drives.
+# engine, the whole-machine golden tests it drives, and the memoized
+# workload loaders shared across workers.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/
+
+# Fast-path equivalence: cycle skipping and trace replay must change
+# nothing observable (full-result diffs and byte-identical artefacts).
+fastpath:
+	$(GO) test -run 'FastPath|CycleSkip|Replay' ./internal/machine/ ./internal/experiments/ ./internal/refsim/
 
 # Regenerate the BENCH_<n>.json perf record (see README "Performance").
 bench:
 	$(GO) run ./cmd/bench
 
+# Profile the benchmark suite; inspect with `go tool pprof cpu.out`.
+profile:
+	$(GO) run ./cmd/bench -benchtime 200ms -o /dev/null -cpuprofile cpu.out -memprofile mem.out
+
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet test race
+ci: vet test fastpath race

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench              # writes BENCH_1.json
+//	go run ./cmd/bench              # writes BENCH_2.json
 //	go run ./cmd/bench -o out.json -benchtime 300ms
+//	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each entry reports wall time, allocations, and — for whole-machine
 // benchmarks — simulated instructions per second, alongside the
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -59,6 +61,35 @@ var baselines = map[string]baseline{
 	"refsim/sieve":          {170506, 5},
 }
 
+// The experiment/<ID> entries record two baselines. The primary one is
+// measured in the same process, interleaved round-for-round with the
+// fast-path measurement (experiments.SetFastPaths(false), which
+// re-interprets the reference model on every run and disables cycle
+// skipping); interleaving makes that ratio immune to host-throughput
+// drift between bench runs, which on shared hosts easily exceeds the
+// effect being measured. It is also a lower bound on the PR's effect:
+// the unconditional micro-optimisations (conditional scheme-stats
+// snapshots, the cached Undone counter, the slice-backed predictor
+// tracker) speed the fast-paths-off run too. experimentBaselines below
+// therefore additionally pins the full pre-change tree: the same
+// artefact loop run from a worktree of the previous commit, interleaved
+// round-for-round with this tree on the same machine (benchtime=200ms,
+// 3 rounds each, min taken, 1 CPU).
+var experimentBaselines = map[string]float64{
+	"C1":  130437832,
+	"C2":  6463771,
+	"C5":  21747043,
+	"C6":  21165321,
+	"C7":  7295326,
+	"C9":  8240133,
+	"C10": 3550879,
+	"C11": 16069485,
+	"C12": 85538467,
+	"A1":  46111031,
+	"A4":  10643820,
+	"A5":  8934348,
+}
+
 // entry is one benchmark's measurement.
 type entry struct {
 	Name            string  `json:"name"`
@@ -69,11 +100,17 @@ type entry struct {
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
 	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
+	// Experiment entries only: the pre-change-tree time (see
+	// experimentBaselines) and the speedup over it.
+	PreTreeNsPerOp   float64 `json:"pre_fastpath_tree_ns_per_op,omitempty"`
+	SpeedupVsPreTree float64 `json:"speedup_vs_pre_fastpath_tree,omitempty"`
 }
 
 // report is the file layout of BENCH_<n>.json.
 type report struct {
 	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
 	NumCPU     int     `json:"num_cpu"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Benchtime  string  `json:"benchtime"`
@@ -87,13 +124,29 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	out := flag.String("o", "BENCH_2.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
 	flag.Parse()
 	flag.Set("test.benchtime", benchtime.String())
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep := report{
 		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  benchtime.String(),
@@ -201,6 +254,48 @@ func main() {
 		rep.add("refsim/sieve", r, retired)
 	}
 
+	// Sweep-heavy artefact regeneration — the claims and ablations that
+	// run hundreds of machine configurations per table. These are where
+	// the shared reference-trace cache and event-driven cycle skipping
+	// pay. Each artefact is timed with the fast paths on and off in
+	// alternating rounds (five of each, minimum kept), so the recorded
+	// speedup is a same-process, same-moment comparison: a warm-up pass
+	// keeps one-time assembly and trace recording out of the first
+	// iteration, and interleaving cancels host-throughput drift that on
+	// shared hosts easily exceeds the effect being measured.
+	for _, id := range []string{"C1", "C2", "C5", "C6", "C7", "C9", "C10", "C11", "C12", "A1", "A4", "A5"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fatal(fmt.Errorf("no experiment %s in the registry", id))
+		}
+		e.Run()
+		run := func() testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, t := range e.Run() {
+						_ = t.String()
+					}
+				}
+			})
+		}
+		var fast, slow testing.BenchmarkResult
+		for round := 0; round < 5; round++ {
+			experiments.SetFastPaths(true)
+			f := run()
+			experiments.SetFastPaths(false)
+			s := run()
+			experiments.SetFastPaths(true)
+			if round == 0 || f.NsPerOp() < fast.NsPerOp() {
+				fast = f
+			}
+			if round == 0 || s.NsPerOp() < slow.NsPerOp() {
+				slow = s
+			}
+		}
+		rep.addExperiment(id, fast, slow)
+	}
+
 	// Full artefact regeneration, sequential then parallel. One warm-up
 	// pass is charged to neither so assembler and page-table warm state
 	// don't bias the first timing.
@@ -223,6 +318,17 @@ func main() {
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	fmt.Printf("wrote %s (%d benchmarks, runall speedup %.2fx on %d worker(s))\n",
 		*out, len(rep.Benchmarks), rep.RunAll.Speedup, rep.RunAll.Workers)
@@ -250,6 +356,29 @@ func (rep *report) add(name string, r testing.BenchmarkResult, simInsts int64) {
 	rep.Benchmarks = append(rep.Benchmarks, e)
 	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op\n",
 		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+}
+
+func (rep *report) addExperiment(id string, fast, slow testing.BenchmarkResult) {
+	e := entry{
+		Name:        "experiment/" + id,
+		NsPerOp:     float64(fast.T.Nanoseconds()) / float64(fast.N),
+		AllocsPerOp: fast.AllocsPerOp(),
+		BytesPerOp:  fast.AllocedBytesPerOp(),
+	}
+	e.BaselineNsPerOp = float64(slow.T.Nanoseconds()) / float64(slow.N)
+	e.BaselineAllocs = slow.AllocsPerOp()
+	if e.NsPerOp > 0 {
+		e.SpeedupVsBase = e.BaselineNsPerOp / e.NsPerOp
+	}
+	if pre, ok := experimentBaselines[id]; ok {
+		e.PreTreeNsPerOp = pre
+		if e.NsPerOp > 0 {
+			e.SpeedupVsPreTree = pre / e.NsPerOp
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks, e)
+	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op  %5.2fx vs fast paths off, %5.2fx vs pre-change tree\n",
+		e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.SpeedupVsBase, e.SpeedupVsPreTree)
 }
 
 func fatal(err error) {

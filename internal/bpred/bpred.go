@@ -237,16 +237,21 @@ func (s *synthetic) Reset() { s.rng = rand.New(rand.NewSource(s.seed)) }
 // through Update calls paired with the preceding Predict for the same
 // PC. Machines use it to report achieved hit ratios in experiments.
 type Tracked struct {
-	P         Predictor
-	Predicts  int
-	last      map[int]bool
+	P        Predictor
+	Predicts int
+	// last is indexed by PC, grown on demand: 0 = no prediction
+	// recorded, 1 = predicted not-taken, 2 = predicted taken. Branch
+	// PCs are bounded by the program length, so a flat slice replaces
+	// the map this used to be — Predict/Update sit on the per-branch
+	// hot path of every simulated machine.
+	last      []uint8
 	Correct   int
 	Incorrect int
 }
 
 // NewTracked wraps p with accuracy accounting.
 func NewTracked(p Predictor) *Tracked {
-	return &Tracked{P: p, last: make(map[int]bool)}
+	return &Tracked{P: p}
 }
 
 // Name implements Predictor.
@@ -256,17 +261,28 @@ func (t *Tracked) Name() string { return t.P.Name() }
 func (t *Tracked) Predict(pc int, in isa.Inst, h OracleHint) bool {
 	d := t.P.Predict(pc, in, h)
 	t.Predicts++
-	t.last[pc] = d
+	if pc >= 0 {
+		if pc >= len(t.last) {
+			t.last = append(t.last, make([]uint8, pc+1-len(t.last))...)
+		}
+		if d {
+			t.last[pc] = 2
+		} else {
+			t.last[pc] = 1
+		}
+	}
 	return d
 }
 
 // Update implements Predictor.
 func (t *Tracked) Update(pc int, taken bool) {
-	if d, ok := t.last[pc]; ok {
-		if d == taken {
-			t.Correct++
-		} else {
-			t.Incorrect++
+	if pc >= 0 && pc < len(t.last) {
+		if v := t.last[pc]; v != 0 {
+			if (v == 2) == taken {
+				t.Correct++
+			} else {
+				t.Incorrect++
+			}
 		}
 	}
 	t.P.Update(pc, taken)
@@ -276,7 +292,7 @@ func (t *Tracked) Update(pc int, taken bool) {
 func (t *Tracked) Reset() {
 	t.P.Reset()
 	t.Predicts, t.Correct, t.Incorrect = 0, 0, 0
-	t.last = make(map[int]bool)
+	clear(t.last)
 }
 
 // Accuracy returns the observed hit ratio over resolved correct-path

@@ -36,6 +36,7 @@ func (e *fakeEngine) EnterPreciseMode(pc int) { e.precise = append(e.precise, pc
 
 // fakeMem records memory-system calls.
 type fakeMem struct {
+	undone int
 	releases []uint64
 	repairs  []uint64
 }
@@ -49,6 +50,7 @@ func (m *fakeMem) Release(b uint64)                       { m.releases = append(
 func (m *fakeMem) Repair(b uint64)                        { m.repairs = append(m.repairs, b) }
 func (m *fakeMem) Finish()                                {}
 func (m *fakeMem) Stats() diff.Stats                      { return diff.Stats{} }
+func (m *fakeMem) UndoneCounter() *int                    { return &m.undone }
 
 // harness wires a scheme to fakes and drives issue sequences.
 type harness struct {

@@ -69,6 +69,9 @@ func (b *Backward) Occupancy() int { return len(b.entries) }
 // Stats implements MemSystem.
 func (b *Backward) Stats() Stats { return b.stats }
 
+// UndoneCounter implements MemSystem.
+func (b *Backward) UndoneCounter() *int { return &b.stats.Undone }
+
 // Load implements MemSystem: reads go straight to the cache, which holds
 // the current logical space.
 func (b *Backward) Load(addr uint32) (uint32, bool, isa.ExcCode) {

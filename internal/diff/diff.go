@@ -62,6 +62,11 @@ type MemSystem interface {
 	Finish()
 	// Stats returns buffer event counters.
 	Stats() Stats
+	// UndoneCounter returns a pointer to the Stats().Undone counter.
+	// The machine polls it twice per simulated cycle to meter repair
+	// shift-register work, so it reads the counter directly rather than
+	// copying the whole Stats struct through the interface.
+	UndoneCounter() *int
 }
 
 // Stats counts difference-buffer events.

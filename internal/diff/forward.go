@@ -39,6 +39,9 @@ func (f *Forward) Occupancy() int { return len(f.entries) }
 // Stats implements MemSystem.
 func (f *Forward) Stats() Stats { return f.stats }
 
+// UndoneCounter implements MemSystem.
+func (f *Forward) UndoneCounter() *int { return &f.stats.Undone }
+
 // Load implements MemSystem: the cached longword overlaid, oldest
 // first, with every buffered store covering it. forwarded counts as a
 // hit for timing purposes.
@@ -189,5 +192,8 @@ func (p *Plain) Finish() { p.cache.FlushAll() }
 
 // Stats implements MemSystem.
 func (p *Plain) Stats() Stats { return p.stats }
+
+// UndoneCounter implements MemSystem.
+func (p *Plain) UndoneCounter() *int { return &p.stats.Undone }
 
 var _ MemSystem = (*Plain)(nil)

@@ -85,7 +85,7 @@ func a2() *Table {
 		tm.MemPorts = (w + 1) / 2
 		tm.Window = 16 * w
 		tm.LSQ = 8 * w
-		res, err := machine.Run(p, machine.Config{
+		res, err := simRun(p, machine.Config{
 			Scheme:    core.NewSchemeTight(6, 0),
 			Predictor: bpred.NewBimodal(1024),
 			Speculate: true,
@@ -244,7 +244,7 @@ vz: .space 128
 		name string
 		p    *prog.Program
 	}{{"scalar", scalar}, {"vector", vector}} {
-		res, err := machine.Run(row.p, machine.Config{
+		res, err := simRun(row.p, machine.Config{
 			Scheme:    core.NewSchemeTight(4, 0),
 			Predictor: bpred.NewOracle(),
 			Speculate: true,

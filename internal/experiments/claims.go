@@ -34,7 +34,7 @@ func run(pName string, cfg machine.Config) *machine.Result {
 	if err != nil {
 		panic(err)
 	}
-	res, err := machine.Run(k.Load(), cfg)
+	res, err := simRun(k.Load(), cfg)
 	if err != nil {
 		panic(fmt.Sprintf("%s on %s: %v", pName, cfg.Scheme.Name(), err))
 	}
@@ -62,7 +62,7 @@ func c1() *Table {
 		scfg.FillerPerBranch = filler
 		scfg.ExcMask = 0xfff // roughly one overflow trap per 4096 iterations-with-hit
 		p := workload.Synth(scfg)
-		ref := refsim.MustRun(p, refsim.Options{})
+		ref := refsim.MustCachedRun(p)
 		b := float64(ref.Retired) / float64(ref.Branches)
 		for _, h := range []float64{0.70, 0.85, 0.95} {
 			cfg := machine.Config{
@@ -71,7 +71,7 @@ func c1() *Table {
 				Speculate: true,
 				MemSystem: machine.MemBackward3b,
 			}
-			res, err := machine.Run(p, cfg)
+			res, err := simRun(p, cfg)
 			if err != nil {
 				panic(err)
 			}
@@ -249,7 +249,7 @@ func c6() *Table {
 	// Deadlocking capacities are expected results here, so this sweep
 	// cannot go through runParallel's panic-on-error path.
 	parMap(len(capacities), func(i int) {
-		outs[i].res, outs[i].err = machine.Run(p, machine.Config{
+		outs[i].res, outs[i].err = simRun(p, machine.Config{
 			Scheme:         core.NewSchemeE(c, 1000, W), // W forces the checkpoints
 			Speculate:      false,
 			MemSystem:      machine.MemBackward3a,
@@ -446,11 +446,11 @@ func c11() *Table {
 		if err != nil {
 			panic(err)
 		}
-		hb, err := machine.Run(p, baseline.HistoryBufferConfig(8))
+		hb, err := simRun(p, baseline.HistoryBufferConfig(8))
 		if err != nil {
 			panic(err)
 		}
-		rob, err := machine.Run(p, baseline.ReorderBufferConfig(8))
+		rob, err := simRun(p, baseline.ReorderBufferConfig(8))
 		if err != nil {
 			panic(err)
 		}
@@ -497,7 +497,7 @@ func c12() *Table {
 	// kernel's once, in parallel, then fan out the machine runs.
 	refs := make([]*refsim.Result, len(kernels))
 	parMap(len(kernels), func(i int) {
-		refs[i] = refsim.MustRun(kernels[i].Load(), refsim.Options{})
+		refs[i] = refsim.MustCachedRun(kernels[i].Load())
 	})
 	type cell struct {
 		schemeName     string
@@ -510,7 +510,7 @@ func c12() *Table {
 		for j, k := range kernels {
 			s := mk()
 			c.schemeName = s.Name()
-			res, err := machine.Run(k.Load(), machine.Config{
+			res, err := simRun(k.Load(), machine.Config{
 				Scheme:    s,
 				Predictor: bpred.NewBimodal(256),
 				Speculate: true,

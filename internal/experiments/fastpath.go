@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+)
+
+// fastPaths gates the simulator fast paths for experiment runs: the
+// shared reference-trace cache (record the golden model once per
+// program, replay it for every configuration of a sweep) and
+// event-driven cycle skipping inside the machine. Both paths are
+// result-preserving by construction; the toggle exists so the
+// equivalence tests can regenerate every table with the fast paths
+// forced off and byte-compare.
+var fastPathsOff atomic.Bool
+
+// SetFastPaths enables or disables the trace-replay and cycle-skipping
+// fast paths for subsequent experiment runs. They are on by default;
+// tables are byte-identical either way.
+func SetFastPaths(on bool) { fastPathsOff.Store(!on) }
+
+// FastPaths reports whether the fast paths are enabled.
+func FastPaths() bool { return !fastPathsOff.Load() }
+
+// simRun is the single choke point through which experiments run the
+// machine simulator. With fast paths on it replays the per-program
+// cached reference trace instead of interpreting alongside every run;
+// with them off it also disables cycle skipping, reproducing the
+// one-cycle-at-a-time legacy path exactly.
+func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
+	if FastPaths() {
+		// A program that cannot be traced (e.g. does not halt within the
+		// interpreter step bound) falls back to the live shadow.
+		if tr, err := refsim.CachedTrace(p); err == nil {
+			cfg.RefTrace = tr
+		}
+	} else {
+		cfg.DisableCycleSkip = true
+	}
+	return machine.Run(p, cfg)
+}

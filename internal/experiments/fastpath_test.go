@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+)
+
+// TestRunAllByteIdenticalFastPaths regenerates every artefact (F1-F8,
+// T1, C1-C12, A1-A6) with the trace-replay and cycle-skipping fast
+// paths enabled and disabled, and requires the outputs to be
+// byte-for-byte identical — the acceptance bar for both optimisations.
+func TestRunAllByteIdenticalFastPaths(t *testing.T) {
+	defer SetFastPaths(true)
+	var on, off bytes.Buffer
+	SetFastPaths(true)
+	RunAll(&on)
+	SetFastPaths(false)
+	RunAll(&off)
+	if bytes.Equal(on.Bytes(), off.Bytes()) {
+		return
+	}
+	a, b := on.String(), off.String()
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := max(i-200, 0)
+	t.Fatalf("fast paths changed experiment output at byte %d:\nfast: %q\nslow: %q",
+		i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+}
+
+// TestSimRunUsesTraceReplay pins the fast path actually engaging: after
+// a simRun of a kernel, the program carries a cached reference trace.
+func TestSimRunUsesTraceReplay(t *testing.T) {
+	if !FastPaths() {
+		t.Fatal("fast paths must default to on")
+	}
+	j := kernelJob("fib", machine.Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewBimodal(256),
+		Speculate: true,
+		MemSystem: machine.MemBackward3b,
+	})
+	if _, err := simRun(j.prog, j.cfg); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := refsim.CachedTrace(j.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() == 0 {
+		t.Fatal("cached trace is empty")
+	}
+}

@@ -151,7 +151,7 @@ func kernelJob(name string, cfg machine.Config) runJob {
 func runParallel(jobs []runJob) []*machine.Result {
 	out := make([]*machine.Result, len(jobs))
 	parMap(len(jobs), func(i int) {
-		res, err := machine.Run(jobs[i].prog, jobs[i].cfg)
+		res, err := simRun(jobs[i].prog, jobs[i].cfg)
 		if err != nil {
 			panic(fmt.Sprintf("%s on %s: %v", jobs[i].name, jobs[i].cfg.Scheme.Name(), err))
 		}

@@ -1,0 +1,259 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/refsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// resultsIdentical compares two machine Results field by field —
+// cycles, stats, stall breakdown, final architectural state, scheme and
+// memory-system counters — returning a description of the first
+// difference.
+func resultsIdentical(a, b *Result) error {
+	if a.Halted != b.Halted {
+		return fmt.Errorf("Halted: %v vs %v", a.Halted, b.Halted)
+	}
+	if a.ShadowHalted != b.ShadowHalted {
+		return fmt.Errorf("ShadowHalted: %v vs %v", a.ShadowHalted, b.ShadowHalted)
+	}
+	if a.Regs != b.Regs {
+		return fmt.Errorf("registers differ: %v vs %v", a.Regs, b.Regs)
+	}
+	if a.Stats != b.Stats {
+		return fmt.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Scheme != b.Scheme {
+		return fmt.Errorf("scheme stats differ: %+v vs %+v", a.Scheme, b.Scheme)
+	}
+	if a.Cache != b.Cache {
+		return fmt.Errorf("cache stats differ: %+v vs %+v", a.Cache, b.Cache)
+	}
+	if a.Diff != b.Diff {
+		return fmt.Errorf("diff stats differ: %+v vs %+v", a.Diff, b.Diff)
+	}
+	if a.PredictorAccuracy != b.PredictorAccuracy {
+		return fmt.Errorf("predictor accuracy differs: %v vs %v", a.PredictorAccuracy, b.PredictorAccuracy)
+	}
+	if len(a.Exceptions) != len(b.Exceptions) {
+		return fmt.Errorf("exception counts differ: %d vs %d", len(a.Exceptions), len(b.Exceptions))
+	}
+	for i := range a.Exceptions {
+		if a.Exceptions[i] != b.Exceptions[i] {
+			return fmt.Errorf("exception %d differs: %v vs %v", i, a.Exceptions[i], b.Exceptions[i])
+		}
+	}
+	return nil
+}
+
+// TestTraceReplayFidelity runs every kernel under every scheme and
+// memory system twice — once with a live shadow interpreter and once
+// driven by a recorded reference trace — and requires identical Results
+// (cycles, stats, final state) plus a passing MatchRef on both.
+func TestTraceReplayFidelity(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		tr, err := refsim.Record(p, 0)
+		if err != nil {
+			t.Fatalf("%s: record: %v", k.Name, err)
+		}
+		ref, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			t.Fatalf("%s: refsim: %v", k.Name, err)
+		}
+		for sName, mk := range schemesUnderTest() {
+			for _, ms := range []MemSystemKind{MemBackward3a, MemBackward3b, MemForward} {
+				t.Run(fmt.Sprintf("%s/%s/%s", k.Name, sName, ms), func(t *testing.T) {
+					mkCfg := func() Config {
+						return Config{
+							Scheme:    mk(),
+							Predictor: bpred.NewBimodal(256),
+							Speculate: true,
+							MemSystem: ms,
+						}
+					}
+					live, err := Run(p, mkCfg())
+					if err != nil {
+						t.Fatalf("live: %v", err)
+					}
+					cfg := mkCfg()
+					cfg.RefTrace = tr
+					replay, err := Run(p, cfg)
+					if err != nil {
+						t.Fatalf("replay: %v", err)
+					}
+					if err := resultsIdentical(live, replay); err != nil {
+						t.Fatalf("trace-driven run diverged: %v", err)
+					}
+					if err := replay.MatchRef(ref); err != nil {
+						t.Fatalf("trace-driven run fails golden model: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTraceProgramMismatchRejected: a trace only replays against the
+// program value it was recorded from.
+func TestTraceProgramMismatchRejected(t *testing.T) {
+	k1, _ := workload.ByName("fib")
+	k2 := workload.Kernel{Name: "fib-copy", Source: k1.Source}
+	tr := refsim.MustRecord(k2.Load(), 0)
+	_, err := New(k1.Load(), Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewBimodal(256),
+		Speculate: true,
+		RefTrace:  tr,
+	})
+	if err == nil {
+		t.Fatal("RefTrace from a different program instance must be rejected")
+	}
+}
+
+// TestCycleSkipEquivalence runs every kernel with event-driven cycle
+// skipping forced off and on, asserting bit-identical Results — equal
+// Cycle() counts, stall breakdowns, and architectural state. Covers the
+// stall-heavy configurations (slow memory, tiny windows, repair-busy
+// shift registers) where skipping actually engages.
+func TestCycleSkipEquivalence(t *testing.T) {
+	cfgs := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"tight4/backward-3b", func() Config {
+			return Config{
+				Scheme:    core.NewSchemeTight(4, 0),
+				Predictor: bpred.NewBimodal(256),
+				Speculate: true,
+				MemSystem: MemBackward3b,
+			}
+		}},
+		{"loose-tiny/backward-3a", func() Config {
+			return Config{
+				Scheme:    core.NewSchemeLoose(1, 2, 6),
+				Predictor: bpred.NewBimodal(128),
+				Speculate: true,
+				MemSystem: MemBackward3a,
+			}
+		}},
+		{"direct/forward/narrow", func() Config {
+			tm := DefaultTiming
+			tm.IssueWidth = 1
+			tm.Window = 8
+			tm.LSQ = 4
+			tm.CacheMiss = 24
+			tm.MemPorts = 1
+			return Config{
+				Scheme:    core.NewSchemeDirect(2, 4, 12, 0),
+				Predictor: bpred.NewBimodal(128),
+				Speculate: true,
+				MemSystem: MemForward,
+				Timing:    tm,
+			}
+		}},
+	}
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		for _, c := range cfgs {
+			t.Run(k.Name+"/"+c.name, func(t *testing.T) {
+				slowCfg := c.mk()
+				slowCfg.DisableCycleSkip = true
+				slow, err := Run(p, slowCfg)
+				if err != nil {
+					t.Fatalf("skip-off: %v", err)
+				}
+				fast, err := Run(p, c.mk())
+				if err != nil {
+					t.Fatalf("skip-on: %v", err)
+				}
+				if fast.Stats.Cycles != slow.Stats.Cycles {
+					t.Fatalf("Cycle() diverged: skip-on=%d skip-off=%d", fast.Stats.Cycles, slow.Stats.Cycles)
+				}
+				if err := resultsIdentical(slow, fast); err != nil {
+					t.Fatalf("cycle skipping changed results: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCycleSkipEquivalenceRandom extends the equivalence check to
+// random programs with latency jitter, exceptions, and undersized
+// buffers — the paths where idle-stretch detection is most delicate
+// (repair shift registers, stuck-pipeline escapes, precise mode).
+func TestCycleSkipEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := workload.Random(seed, workload.DefaultRandomOpts)
+		mkCfg := func() Config {
+			cfg := Config{
+				Scheme:    core.NewSchemeLoose(1, 2, 6),
+				Predictor: bpred.NewBimodal(128),
+				Speculate: true,
+				MemSystem: MemBackward3b,
+			}
+			cfg.Timing = DefaultTiming
+			cfg.Timing.ExtraLatency = func(s uint64) int { return int((s*2654435761 + 3) % 5) }
+			return cfg
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			slowCfg := mkCfg()
+			slowCfg.DisableCycleSkip = true
+			slow, err := Run(p, slowCfg)
+			if err != nil {
+				t.Fatalf("skip-off: %v", err)
+			}
+			fast, err := Run(p, mkCfg())
+			if err != nil {
+				t.Fatalf("skip-on: %v", err)
+			}
+			if err := resultsIdentical(slow, fast); err != nil {
+				t.Fatalf("cycle skipping changed results: %v", err)
+			}
+		})
+	}
+}
+
+// TestCycleSkipDeadlockTiming pins the watchdog path: an undersized
+// difference buffer deadlocks on exactly the same cycle number with
+// skipping on and off, and skipping makes the abort cheap to reach.
+func TestCycleSkipDeadlockTiming(t *testing.T) {
+	k, _ := workload.ByName("sieve")
+	p := k.Load()
+	mkCfg := func(skip bool) Config {
+		return Config{
+			Scheme:           core.NewSchemeE(2, 1000, 4),
+			Speculate:        false,
+			MemSystem:        MemBackward3a,
+			BufferCap:        3,
+			WatchdogCycles:   5_000,
+			DisableCycleSkip: !skip,
+		}
+	}
+	fast, errFast := Run(p, mkCfg(true))
+	slow, errSlow := Run(p, mkCfg(false))
+	if (errFast == nil) != (errSlow == nil) {
+		t.Fatalf("outcome diverged: skip-on err=%v skip-off err=%v", errFast, errSlow)
+	}
+	if errFast == nil {
+		t.Skip("configuration did not deadlock; covered by equivalence tests")
+	}
+	if fast.Stats.Cycles != slow.Stats.Cycles {
+		t.Fatalf("deadlock cycle diverged: skip-on=%d skip-off=%d", fast.Stats.Cycles, slow.Stats.Cycles)
+	}
+	if fast.Stats.StallCycles != slow.Stats.StallCycles {
+		t.Fatalf("stall breakdown diverged:\nskip-on:  %v\nskip-off: %v", fast.Stats.StallCycles, slow.Stats.StallCycles)
+	}
+	var total int64
+	for r := 0; r < int(stats.NumStallReasons); r++ {
+		total += fast.Stats.StallCycles[r]
+	}
+	if total == 0 {
+		t.Fatal("expected bulk-accounted stall cycles in the deadlocked run")
+	}
+}

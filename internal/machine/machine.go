@@ -131,6 +131,19 @@ type Config struct {
 	// (repairs, precise-mode transitions, exceptions). For debugging
 	// and the trace-rendering experiments.
 	Trace func(format string, args ...any)
+	// RefTrace, if non-nil, drives the shadow reference model by
+	// replaying this pre-recorded trace instead of running a live
+	// interpreter. The trace must have been recorded from the same
+	// *prog.Program value passed to New/Run (pointer identity); sweeps
+	// that run one program under many configurations pay the reference
+	// interpretation cost once. Results are bit-identical either way.
+	RefTrace *refsim.Trace
+	// DisableCycleSkip forces the machine to grind through idle cycles
+	// one at a time instead of advancing directly to the next cycle an
+	// operation can complete, issue, or deliver on. Cycle counts, stats,
+	// and results are identical either way; the knob exists for
+	// debugging and for the equivalence tests that prove that claim.
+	DisableCycleSkip bool
 }
 
 // Result is the outcome of a machine run.
@@ -197,9 +210,10 @@ type Machine struct {
 	backing *mem.Memory
 	dcache  *cache.Cache
 	memsys  diff.MemSystem
+	undone  *int // memsys's Stats().Undone counter, polled every cycle
 	pred    *bpred.Tracked
 
-	shadow  *refsim.Shadow
+	shadow  refsim.Oracle
 	aligned bool
 
 	window *ooo.Station
@@ -240,6 +254,15 @@ type Machine struct {
 	mode        mode
 	preciseLeft int
 	depthBuf    []int
+	// Event-driven cycle skipping: activity records whether the current
+	// step changed any future-visible machine or scheme state;
+	// idleReason is the stall reason the issue stage charged this cycle.
+	// A step with no activity proves every following cycle up to the
+	// next event (FU completion, repair-stall expiry, stuck/watchdog
+	// boundary) is an identical no-op except for that one stall-counter
+	// increment, so step() advances m.cycle there directly.
+	activity   bool
+	idleReason stats.StallReason
 	// Hot-path buffer reuse: opFree recycles in-flight operation
 	// records (delivered or squashed ops return to the free list
 	// instead of the garbage collector), and squashBuf backs the
@@ -303,6 +326,7 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown memory system %v", cfg.MemSystem)
 	}
+	m.undone = m.memsys.UndoneCounter()
 	caps := m.scheme.RegStackCaps()
 	m.regs = regfile.NewStacks(caps...)
 	m.depthBuf = make([]int, len(caps))
@@ -317,7 +341,14 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	m.branch = ooo.NewFUPool("branch", 1, t.BranchLat)
 	m.mport = ooo.NewFUPool("mem", t.MemPorts, t.CacheHit)
 
-	m.shadow = refsim.NewShadow(p)
+	if cfg.RefTrace != nil {
+		if cfg.RefTrace.Program() != p {
+			return nil, fmt.Errorf("machine: RefTrace was recorded from program %q, not this %q instance", cfg.RefTrace.Program().Name, p.Name)
+		}
+		m.shadow = cfg.RefTrace.Replay()
+	} else {
+		m.shadow = refsim.NewShadow(p)
+	}
 	m.aligned = true
 	m.fetchPC = p.Entry
 	m.nextSeq = 1
@@ -389,8 +420,11 @@ func (m *Machine) Finish() (*Result, error) {
 }
 
 // step advances one cycle: writeback, execute, issue, scheme tick,
-// drain check.
+// drain check — then, if the cycle provably changed nothing, jumps
+// directly to the next cycle an event can occur on.
 func (m *Machine) step() {
+	m.activity = false
+	m.idleReason = stats.StallNone
 	m.writeback()
 	if m.done || m.fatal != nil {
 		return
@@ -405,6 +439,16 @@ func (m *Machine) step() {
 		m.issue()
 	}
 	if m.mode == modeNormal && m.fatal == nil && !m.done {
+		// Every scheme state change reachable from Tick/Drain bumps a
+		// Stats counter (checkpoint establish/retire, repairs, squashes),
+		// so an unchanged snapshot proves the tick was a no-op — and a
+		// no-op tick against unchanged machine state stays a no-op. The
+		// snapshots are only needed while the cycle still looks idle.
+		checkScheme := !m.activity
+		var before core.Stats
+		if checkScheme {
+			before = m.scheme.Stats()
+		}
 		if _, err := m.scheme.Tick(); err != nil {
 			m.fatal = err
 			return
@@ -412,8 +456,60 @@ func (m *Machine) step() {
 		m.chargeRepairWork()
 		m.drainCheck()
 		m.chargeRepairWork()
+		if checkScheme && m.scheme.Stats() != before {
+			m.activity = true
+		}
+	}
+	if !m.activity && !m.done && m.fatal == nil && !m.cfg.DisableCycleSkip {
+		m.skipIdle()
 	}
 	m.cycle++
+}
+
+// skipIdle advances the machine over a provably idle stretch: the step
+// that just ran touched no future-visible state, so every cycle before
+// the next event would repeat it exactly, charging the same single
+// stall reason. Jumping lands exactly on the earliest of: an executing
+// operation's completion (which also covers functional-unit and memory
+// port frees — in an idle cycle every busy time is some in-flight
+// operation's DoneAt), the repair shift-register going idle, the
+// stuck-pipeline escape threshold, the watchdog boundary, and the
+// MaxCycles limit — so stuck repairs, deadlock aborts, and cycle caps
+// fire on exactly the same cycle number as the one-cycle-at-a-time
+// loop.
+func (m *Machine) skipIdle() {
+	next := m.cfg.MaxCycles
+	if wd := m.lastProgress + m.cfg.WatchdogCycles + 1; wd < next {
+		next = wd
+	}
+	if m.mode == modeNormal {
+		if m.cycle < m.repairBusyUntil && m.repairBusyUntil < next {
+			next = m.repairBusyUntil
+		}
+		if m.window.Len() > 0 {
+			if st := m.lastProgress + stuckThreshold + 1; st < next {
+				next = st
+			}
+		}
+	}
+	for _, o := range m.window.Ops() {
+		if o.State == ooo.StateExecuting && o.DoneAt < next {
+			next = o.DoneAt
+		}
+	}
+	// Squashed operations' functional-unit reservations outlive them, so
+	// a unit can free up on a cycle no in-flight operation completes on.
+	for _, pool := range [...]*ooo.FUPool{m.alu, m.muldiv, m.branch, m.mport} {
+		if e := pool.NextBusyExpiry(m.cycle); e > 0 && e < next {
+			next = e
+		}
+	}
+	if skipped := next - m.cycle - 1; skipped > 0 {
+		if m.idleReason != stats.StallNone {
+			m.st.StallCycles[m.idleReason] += skipped
+		}
+		m.cycle += skipped
+	}
 }
 
 // result snapshots the architectural outcome. The memory system is
@@ -495,6 +591,7 @@ func (m *Machine) freeOp(op *ooo.Op) {
 // RedirectFetch implements core.Engine.
 func (m *Machine) RedirectFetch(pc int) {
 	m.trace("redirect fetch -> pc=%d", pc)
+	m.activity = true
 	m.crack.elems = nil
 	m.crack.pos = 0
 	m.fetchPC = pc
@@ -507,6 +604,7 @@ func (m *Machine) RedirectFetch(pc int) {
 // EnterPreciseMode implements core.Engine.
 func (m *Machine) EnterPreciseMode(pc int) {
 	m.trace("E-repair: precise mode from pc=%d (shadow pc=%d retired=%d aligned=%v)", pc, m.shadow.PC(), m.shadow.Retired(), m.aligned)
+	m.activity = true
 	m.mode = modePrecise
 	m.preciseLeft = m.cfg.PreciseBudget
 	m.preciseTraceC = 0
@@ -542,6 +640,7 @@ func (m *Machine) writeback() {
 // bookkeeping, branch resolution, and (in precise mode) direct
 // exception handling.
 func (m *Machine) deliver(op *ooo.Op) {
+	m.activity = true
 	op.State = ooo.StateDone
 	m.window.Remove(op)
 	if op.IsLoad() || op.IsStore() {
@@ -709,7 +808,7 @@ func (m *Machine) stepShadowPrecise(op *ooo.Op) {
 	if op.Exc == isa.ExcCodeNone && !op.LastElem() {
 		return
 	}
-	if len(m.shadow.Exceptions()) == len(m.excLog) {
+	if m.shadow.ExcCount() == len(m.excLog) {
 		m.shadow.Step()
 	}
 }
@@ -754,6 +853,7 @@ func (m *Machine) execute() {
 		m.compute(op)
 		op.State = ooo.StateExecuting
 		op.DoneAt = done
+		m.activity = true
 	}
 }
 
@@ -797,6 +897,7 @@ func (m *Machine) executeMem(op *ooo.Op) {
 		}
 		op.Addr = sem.EffAddr(op.Inst, op.AVal)
 		op.AddrReady = true
+		m.activity = true
 	}
 	if op.IsStore() && !op.BReady {
 		return
@@ -808,6 +909,9 @@ func (m *Machine) executeMem(op *ooo.Op) {
 	if !ok {
 		return
 	}
+	// Every path from here mutates the op, the memory system, or a
+	// per-cycle stall counter.
+	m.activity = true
 	size := sem.AccessSize(op.Inst.Op)
 	if code := m.memsys.CheckAccess(op.Addr, size); code != isa.ExcCodeNone {
 		// The access faults: it never touches memory, and the fault is
@@ -869,13 +973,14 @@ func (m *Machine) executeMem(op *ooo.Op) {
 // serial shift register would take). Called after every scheme
 // operation that can trigger a repair.
 func (m *Machine) chargeRepairWork() {
-	undone := m.memsys.Stats().Undone
+	undone := *m.undone
 	if d := undone - m.lastUndone; d > 0 {
 		until := m.cycle + int64(d)
 		if until > m.repairBusyUntil {
 			m.repairBusyUntil = until
 		}
 		m.lastProgress = m.cycle // repair work is progress
+		m.activity = true
 	}
 	m.lastUndone = undone
 }
@@ -906,6 +1011,7 @@ func (m *Machine) issue() {
 		}
 		if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
 			m.fetchOOR = true
+			m.activity = true // one-time flip; steady StallFetchOut after
 			reason = stats.StallFetchOut
 			break
 		}
@@ -915,6 +1021,7 @@ func (m *Machine) issue() {
 			if m.crack.elems == nil {
 				m.crack.elems = sem.Expand(in)
 				m.crack.pos = 0
+				m.activity = true // crack initialised even if issue stalls
 			}
 			elem = m.crack.elems[m.crack.pos]
 		}
@@ -940,6 +1047,9 @@ func (m *Machine) issue() {
 	}
 	if issued == 0 && reason != stats.StallNone {
 		m.st.StallCycles[reason]++
+		m.idleReason = reason
+	} else if issued > 0 {
+		m.activity = true
 	}
 }
 
@@ -1103,8 +1213,10 @@ func (m *Machine) readOperands(op *ooo.Op) {
 func (m *Machine) issuePrecise() {
 	if m.window.Len() > 0 {
 		m.st.StallCycles[stats.StallPrecise]++
+		m.idleReason = stats.StallPrecise
 		return
 	}
+	m.activity = true
 	if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
 		// Running off the code on the true path: bad-instruction fault,
 		// handler halts.

@@ -225,6 +225,22 @@ func (p *FUPool) AcquireUnit(now int64) (unit int, ok bool) {
 // SetBusy marks a unit busy until the given cycle.
 func (p *FUPool) SetBusy(unit int, until int64) { p.busy[unit] = until }
 
+// NextBusyExpiry returns the earliest cycle after now at which a
+// currently reserved unit becomes free, or 0 when every unit is already
+// free at now. Squashed operations keep their unit reserved until the
+// reservation expires, so this can be later than any in-flight
+// operation's completion; the machine's idle-cycle skipper must treat
+// such expiries as events.
+func (p *FUPool) NextBusyExpiry(now int64) int64 {
+	var next int64
+	for _, b := range p.busy {
+		if b > now && (next == 0 || b < next) {
+			next = b
+		}
+	}
+	return next
+}
+
 // Reset frees every unit.
 func (p *FUPool) Reset() {
 	for i := range p.busy {

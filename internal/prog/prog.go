@@ -11,6 +11,7 @@ package prog
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -29,6 +30,29 @@ type Program struct {
 	Entry   int // instruction index where execution starts
 	Data    []Segment
 	Symbols map[string]int32 // label -> instruction index or data address
+
+	// memo is an opaque per-program cache slot (see refsim.CachedTrace).
+	// Attaching memoized derivatives to the program keeps their lifetime
+	// tied to the program's own, so dynamically generated programs never
+	// leak entries in a process-global table.
+	memo atomic.Pointer[any]
+}
+
+// Memo returns the value stored by MemoOrStore, or nil.
+func (p *Program) Memo() any {
+	if v := p.memo.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
+// MemoOrStore publishes v as the program's memo if none is set yet and
+// returns the winning value. Concurrency-safe; the first store wins.
+func (p *Program) MemoOrStore(v any) any {
+	if p.memo.CompareAndSwap(nil, &v) {
+		return v
+	}
+	return *p.memo.Load()
 }
 
 // Validate checks structural well-formedness: every opcode valid, every

@@ -63,6 +63,9 @@ func (s *Shadow) Retired() int { return s.res.Retired }
 // Exceptions returns the exception log so far.
 func (s *Shadow) Exceptions() []isa.Exception { return s.res.Exceptions }
 
+// ExcCount returns the number of exceptions observed so far.
+func (s *Shadow) ExcCount() int { return len(s.res.Exceptions) }
+
 // Step executes one attempt and returns what happened. Calling Step
 // after the program halted returns Halted without effect.
 func (s *Shadow) Step() StepResult {

@@ -1,0 +1,209 @@
+package refsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/prog"
+)
+
+// Oracle is the observable surface of the reference model that the
+// out-of-order machines consult while simulating: the architectural PC,
+// completion state, retirement/exception progress, and a Step that
+// advances one architectural attempt. Both the live Shadow interpreter
+// and a trace Replay implement it, and they are observationally
+// indistinguishable — a machine run produces bit-identical results
+// against either.
+type Oracle interface {
+	PC() int
+	Halted() bool
+	Retired() int
+	ExcCount() int
+	Step() StepResult
+}
+
+// traceStep is one recorded Shadow.Step: what Step returned plus the
+// shadow's observable state immediately after it.
+type traceStep struct {
+	res         StepResult
+	postPC      int
+	postRetired int
+	postExcs    int
+}
+
+// Trace is a recorded architectural event stream of one complete Shadow
+// run of a program: every StepResult in order, together with the
+// post-step PC/retired/exception progress needed to replay the shadow's
+// observable state without re-executing the interpreter. Record once,
+// replay for every machine configuration in a sweep — the
+// store-vs-recompute trade applied to the golden model.
+//
+// A Trace is immutable after Record and safe for concurrent Replays.
+//
+// Steps are stored in fixed-size chunks rather than one flat slice:
+// long programs record hundreds of thousands of steps, and growing a
+// flat slice would repeatedly memmove tens of megabytes. Chunks make
+// recording append-only with no re-copying.
+type Trace struct {
+	prog   *prog.Program
+	chunks [][]traceStep
+	n      int
+}
+
+// traceChunkShift sizes chunks at 4096 steps (a few hundred KiB each).
+const traceChunkShift = 12
+
+func (t *Trace) at(i int) *traceStep {
+	return &t.chunks[i>>traceChunkShift][i&(1<<traceChunkShift-1)]
+}
+
+// Program returns the program this trace was recorded from. Consumers
+// validate by pointer identity: a trace only replays correctly against
+// the exact program value it was recorded from.
+func (t *Trace) Program() *prog.Program { return t.prog }
+
+// Steps returns the number of recorded architectural attempts.
+func (t *Trace) Steps() int { return t.n }
+
+// Record runs a fresh Shadow of p to completion and records every step.
+// maxSteps bounds the attempt count (0 means DefaultMaxSteps); a program
+// still running at the bound yields an error rather than an incomplete
+// trace, because a partial trace would silently diverge from a live
+// shadow once exhausted.
+func Record(p *prog.Program, maxSteps int) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	s := NewShadow(p)
+	t := &Trace{prog: p}
+	for !s.Halted() {
+		if t.n >= maxSteps {
+			return nil, fmt.Errorf("refsim: trace of %q exceeds %d steps without halting", p.Name, maxSteps)
+		}
+		r := s.Step()
+		if t.n&(1<<traceChunkShift-1) == 0 {
+			t.chunks = append(t.chunks, make([]traceStep, 0, 1<<traceChunkShift))
+		}
+		c := &t.chunks[len(t.chunks)-1]
+		*c = append(*c, traceStep{
+			res:         r,
+			postPC:      s.PC(),
+			postRetired: s.Retired(),
+			postExcs:    s.ExcCount(),
+		})
+		t.n++
+	}
+	return t, nil
+}
+
+// MustRecord is Record but panics on error.
+func MustRecord(p *prog.Program, maxSteps int) *Trace {
+	t, err := Record(p, maxSteps)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// programMemo is the per-program cache slot attached to prog.Program:
+// the recorded trace and the default-options reference run, each
+// computed at most once per process and collected together with the
+// program.
+type programMemo struct {
+	traceOnce sync.Once
+	trace     *Trace
+	traceErr  error
+	runOnce   sync.Once
+	run       *Result
+	runErr    error
+}
+
+func memoOf(p *prog.Program) *programMemo {
+	if m, ok := p.Memo().(*programMemo); ok {
+		return m
+	}
+	return p.MemoOrStore(&programMemo{}).(*programMemo)
+}
+
+// CachedTrace records a trace of p once per process and returns it on
+// every subsequent call, memoized on the program itself (so generated
+// programs are collected together with their traces). Returns an error
+// if the program does not halt within DefaultMaxSteps.
+func CachedTrace(p *prog.Program) (*Trace, error) {
+	m := memoOf(p)
+	m.traceOnce.Do(func() {
+		m.trace, m.traceErr = Record(p, 0)
+	})
+	return m.trace, m.traceErr
+}
+
+// CachedRun interprets p once per process with default Options and
+// returns the shared Result on every subsequent call. Callers must
+// treat the Result as read-only.
+func CachedRun(p *prog.Program) (*Result, error) {
+	m := memoOf(p)
+	m.runOnce.Do(func() {
+		m.run, m.runErr = Run(p, Options{})
+	})
+	return m.run, m.runErr
+}
+
+// MustCachedRun is CachedRun but panics on error.
+func MustCachedRun(p *prog.Program) *Result {
+	r, err := CachedRun(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Replay walks a recorded Trace, presenting the same observable surface
+// as the live Shadow it was recorded from.
+type Replay struct {
+	t       *Trace
+	i       int // next step index
+	pc      int
+	retired int
+	excs    int
+	halted  bool
+}
+
+// Replay returns a fresh replayer positioned at the program entry.
+func (t *Trace) Replay() *Replay {
+	return &Replay{t: t, pc: t.prog.Entry}
+}
+
+// PC returns the instruction index of the next architectural attempt.
+func (r *Replay) PC() int { return r.pc }
+
+// Halted reports whether the architectural program has finished.
+func (r *Replay) Halted() bool { return r.halted }
+
+// Retired returns the number of architecturally completed instructions.
+func (r *Replay) Retired() int { return r.retired }
+
+// ExcCount returns the number of exceptions observed so far.
+func (r *Replay) ExcCount() int { return r.excs }
+
+// Step replays one recorded attempt. Like Shadow.Step, calling Step
+// after the program halted returns Halted without effect.
+func (r *Replay) Step() StepResult {
+	if r.halted || r.i >= r.t.n {
+		return StepResult{PC: r.pc, Halted: true}
+	}
+	s := r.t.at(r.i)
+	r.i++
+	r.pc = s.postPC
+	r.retired = s.postRetired
+	r.excs = s.postExcs
+	r.halted = s.res.Halted
+	return s.res
+}
+
+var (
+	_ Oracle = (*Shadow)(nil)
+	_ Oracle = (*Replay)(nil)
+)

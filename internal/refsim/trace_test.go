@@ -1,0 +1,94 @@
+package refsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// TestReplayObservationallyEqual drives a live Shadow and a Replay of
+// the same program in lockstep for every kernel and checks the whole
+// Oracle surface after every step.
+func TestReplayObservationallyEqual(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		tr, err := Record(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		live := Oracle(NewShadow(p))
+		rep := Oracle(tr.Replay())
+		step := 0
+		for {
+			if live.PC() != rep.PC() || live.Halted() != rep.Halted() ||
+				live.Retired() != rep.Retired() || live.ExcCount() != rep.ExcCount() {
+				t.Fatalf("%s step %d: state diverged: live pc=%d halted=%v retired=%d excs=%d, replay pc=%d halted=%v retired=%d excs=%d",
+					k.Name, step, live.PC(), live.Halted(), live.Retired(), live.ExcCount(),
+					rep.PC(), rep.Halted(), rep.Retired(), rep.ExcCount())
+			}
+			if live.Halted() {
+				break
+			}
+			a, b := live.Step(), rep.Step()
+			if a != b {
+				t.Fatalf("%s step %d: StepResult diverged:\nlive:   %+v\nreplay: %+v", k.Name, step, a, b)
+			}
+			step++
+		}
+		// Stepping past the end behaves like the live shadow too.
+		if a, b := live.Step(), rep.Step(); a != b {
+			t.Fatalf("%s: post-halt Step diverged: %+v vs %+v", k.Name, a, b)
+		}
+	}
+}
+
+// TestRecordRejectsNonHalting: a program that exceeds the step bound
+// must not yield a partial trace.
+func TestRecordRejectsNonHalting(t *testing.T) {
+	k, _ := workload.ByName("fib")
+	if _, err := Record(k.Load(), 3); err == nil {
+		t.Fatal("expected error recording with a too-small step bound")
+	}
+}
+
+// TestCachedTraceSharedAndConcurrent: CachedTrace memoizes one trace
+// per program instance, safely under concurrency.
+func TestCachedTraceSharedAndConcurrent(t *testing.T) {
+	k, _ := workload.ByName("bubble")
+	p := k.Load()
+	const goroutines = 8
+	got := make([]*Trace, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr, err := CachedTrace(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[g] = tr
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatal("CachedTrace returned distinct traces for one program")
+		}
+	}
+	// A distinct program instance gets its own slot.
+	p2 := &prog.Program{Name: p.Name, Code: p.Code, Entry: p.Entry, Data: p.Data}
+	tr2, err := CachedTrace(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 == got[0] {
+		t.Fatal("distinct program instances must not share a memo slot")
+	}
+	if tr2.Program() != p2 {
+		t.Fatal("trace must report the program it was recorded from")
+	}
+}

@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/prog"
@@ -25,8 +26,23 @@ type Kernel struct {
 	Excepts bool
 }
 
-// Load assembles the kernel.
-func (k Kernel) Load() *prog.Program { return asm.MustAssemble(k.Name, k.Source) }
+// loadCache memoizes Load: one assembly per kernel per process. Every
+// caller of the same kernel then shares one *prog.Program, which also
+// lets per-program caches further down the stack (the reference-trace
+// cache in refsim) hit across experiment configurations. Programs are
+// read-only during simulation, so sharing is safe.
+var loadCache sync.Map // kernel name -> *prog.Program
+
+// Load assembles the kernel, memoized per process.
+func (k Kernel) Load() *prog.Program {
+	if p, ok := loadCache.Load(k.Name); ok {
+		return p.(*prog.Program)
+	}
+	// Assemble outside any lock; concurrent first calls may both
+	// assemble, LoadOrStore picks a single winner for the process.
+	p, _ := loadCache.LoadOrStore(k.Name, asm.MustAssemble(k.Name, k.Source))
+	return p.(*prog.Program)
+}
 
 // Kernels returns all built-in kernels.
 func Kernels() []Kernel { return kernels }

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLoadMemoized: Load assembles a kernel once per process; every
+// later call returns the same *prog.Program, so per-program caches
+// further down the stack (the reference-trace cache) hit across runs.
+func TestLoadMemoized(t *testing.T) {
+	for _, k := range Kernels() {
+		if k.Load() != k.Load() {
+			t.Fatalf("%s: Load returned distinct program instances", k.Name)
+		}
+	}
+}
+
+// TestLoadConcurrent hammers Load from many goroutines for every
+// kernel; run under -race (the Makefile race target covers this
+// package) it proves the memoization is concurrency-safe, and it pins
+// the single-winner property: all callers observe one instance.
+func TestLoadConcurrent(t *testing.T) {
+	for _, k := range Kernels() {
+		const goroutines = 16
+		got := make([]any, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					got[g] = k.Load()
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < goroutines; g++ {
+			if got[g] != got[0] {
+				t.Fatalf("%s: goroutines observed different program instances", k.Name)
+			}
+		}
+	}
+}

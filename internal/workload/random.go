@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/prog"
@@ -59,6 +60,27 @@ func Random(seed int64, o RandomOpts) *prog.Program {
 	if o.Iters <= 0 {
 		o.Iters = 16
 	}
+	key := randomKey{seed, o}
+	if p, ok := randomCache.Load(key); ok {
+		return p.(*prog.Program)
+	}
+	p, _ := randomCache.LoadOrStore(key, generateRandom(seed, o))
+	return p.(*prog.Program)
+}
+
+// randomCache memoizes generated random programs per (seed, normalized
+// opts) — generation is deterministic, and a stable *prog.Program
+// instance keeps the per-program reference-trace cache warm across the
+// property tests and sweeps that revisit the same seeds.
+var randomCache sync.Map // randomKey -> *prog.Program
+
+type randomKey struct {
+	seed int64
+	o    RandomOpts
+}
+
+// generateRandom builds the program for normalized options.
+func generateRandom(seed int64, o RandomOpts) *prog.Program {
 	rng := rand.New(rand.NewSource(seed))
 	var code []isa.Inst
 	app := func(in isa.Inst) { code = append(code, in) }

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/prog"
@@ -36,6 +37,12 @@ var DefaultSynth = SynthConfig{
 	Seed:            0xDEAD4,
 }
 
+// synthCache memoizes generated synthetic programs per normalized
+// config — generation is deterministic, and sharing one *prog.Program
+// instance per config lets per-program caches further down the stack
+// (the reference-trace cache) persist across experiment regenerations.
+var synthCache sync.Map // SynthConfig -> *prog.Program
+
 // Synth generates the synthetic branchy program.
 func Synth(cfg SynthConfig) *prog.Program {
 	if cfg.Iters <= 0 {
@@ -47,6 +54,15 @@ func Synth(cfg SynthConfig) *prog.Program {
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x1234567
 	}
+	if p, ok := synthCache.Load(cfg); ok {
+		return p.(*prog.Program)
+	}
+	p, _ := synthCache.LoadOrStore(cfg, synthesize(cfg))
+	return p.(*prog.Program)
+}
+
+// synthesize builds the program for a normalized config.
+func synthesize(cfg SynthConfig) *prog.Program {
 	var b strings.Builder
 	emit := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 
