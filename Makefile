@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench experiments profile ci
+.PHONY: build vet test race fastpath bench experiments faultcamp profile ci
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,11 @@ test: build
 	$(GO) test ./...
 
 # Race-check the concurrency-sensitive surface: the parallel experiment
-# engine, the whole-machine golden tests it drives, and the memoized
-# workload loaders shared across workers.
+# engine, the whole-machine golden tests it drives, the memoized
+# workload loaders shared across workers, and the fault-injection
+# campaign fan-out (16 concurrent injected machines).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/
 
 # Fast-path equivalence: cycle skipping and trace replay must change
 # nothing observable (full-result diffs and byte-identical artefacts).
@@ -34,5 +35,11 @@ profile:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Run the default fault-injection campaign (see README
+# "Fault-injection campaigns"). Exits non-zero if any covered-class
+# injection escapes repair.
+faultcamp:
+	$(GO) run ./cmd/faultcamp
 
 ci: vet test fastpath race

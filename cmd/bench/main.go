@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench              # writes BENCH_2.json
+//	go run ./cmd/bench              # writes BENCH_3.json
 //	go run ./cmd/bench -o out.json -benchtime 300ms
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -15,7 +15,9 @@
 // baseline numbers captured on the pre-optimisation tree (same
 // machine), so the file is a self-contained before/after record. The
 // runall section times full artefact regeneration sequentially and
-// with the parallel experiment engine.
+// with the parallel experiment engine; the fault/ entries measure the
+// fault-injection campaign engine (planning and injected-run
+// throughput).
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/refsim"
@@ -97,6 +100,8 @@ type entry struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	SimInstsPerSec  float64 `json:"sim_insts_per_sec,omitempty"`
+	// Fault-campaign entries only: injected machine runs per second.
+	InjectionsPerSec float64 `json:"injections_per_sec,omitempty"`
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
 	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
@@ -124,7 +129,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_2.json", "output JSON path")
+	out := flag.String("o", "BENCH_3.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
@@ -254,6 +259,44 @@ func main() {
 		rep.add("refsim/sieve", r, retired)
 	}
 
+	// Fault-injection campaign throughput: plan once (the planning cost
+	// is measured separately), then replay the executed-injection list —
+	// the campaign's hot loop of full injected machine runs plus golden
+	// classification. Reported as injected runs per second.
+	{
+		k, _ := workload.ByName("fib")
+		p := k.Load()
+		mkE := func() machine.Config {
+			return machine.Config{
+				Scheme:    core.NewSchemeE(4, 8, 0),
+				Speculate: false,
+				MemSystem: machine.MemBackward3b,
+			}
+		}
+		cc := fault.Config{Seed: 1987, Stride: 2, MaxWords: 4, Workers: 1}
+		rep.add("fault/plan-fib", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fault.PlanOnly(p, mkE, cc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), 0)
+		plan, err := fault.PlanOnly(p, mkE, cc)
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fault.Replay(p, mkE, cc, plan.Exec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.addFault("fault/inject-fib", r, len(plan.Exec))
+	}
+
 	// Sweep-heavy artefact regeneration — the claims and ablations that
 	// run hundreds of machine configurations per table. These are where
 	// the shared reference-trace cache and event-driven cycle skipping
@@ -356,6 +399,23 @@ func (rep *report) add(name string, r testing.BenchmarkResult, simInsts int64) {
 	rep.Benchmarks = append(rep.Benchmarks, e)
 	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op\n",
 		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+}
+
+// addFault records a fault-campaign entry: ns/op covers one whole
+// replay of n injections, so throughput is n injected runs per op.
+func (rep *report) addFault(name string, r testing.BenchmarkResult, n int) {
+	e := entry{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if e.NsPerOp > 0 {
+		e.InjectionsPerSec = float64(n) * 1e9 / e.NsPerOp
+	}
+	rep.Benchmarks = append(rep.Benchmarks, e)
+	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op  %8.0f injections/s\n",
+		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.InjectionsPerSec)
 }
 
 func (rep *report) addExperiment(id string, fast, slow testing.BenchmarkResult) {

@@ -1,0 +1,135 @@
+// Command faultcamp runs seeded fault-injection campaigns against the
+// schemeE checkpoint-repair machine (see the internal/fault package doc
+// and the "Fault-injection campaigns" sections of README.md and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	faultcamp                          # default campaign over kernel workloads
+//	faultcamp -w fib,divzero           # choose workloads
+//	faultcamp -models fu-detected,spurious-exc
+//	faultcamp -seed 7 -stride 2 -j 1   # deterministic at every -j value
+//	faultcamp -v                       # per-injection detail for non-clean outcomes
+//
+// Output is deterministic for a given (workloads, models, seed, stride)
+// tuple at any worker count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// defaultWorkloads keeps the out-of-the-box run quick but representative:
+// a scalar loop, a store-heavy byte loop, a load-use chain, and the
+// exception-heavy kernels that mix injected faults with architectural
+// repairs.
+var defaultWorkloads = []string{"fib", "memcpy", "dotprod", "listsum", "divzero", "vecfault"}
+
+// maxDefaultRuns bounds the per-workload executed-injection count when
+// the user didn't pick a stride; the planner's event axis scales with
+// program length, so long kernels get a proportionally larger stride.
+const maxDefaultRuns = 600
+
+func main() {
+	seed := flag.Int64("seed", 1987, "campaign seed (drives every corruption bit)")
+	wl := flag.String("w", strings.Join(defaultWorkloads, ","), "comma-separated kernel workloads")
+	modelsFlag := flag.String("models", "", "comma-separated fault models (default all: reg-flip,mem-flip,fu-corrupt,fu-detected,spurious-exc)")
+	stride := flag.Int("stride", 0, "inject at every Nth eligible event (0 = auto-size per workload)")
+	jobs := flag.Int("j", 0, "max concurrent injected runs (0 = GOMAXPROCS, 1 = sequential)")
+	distance := flag.Int("d", 8, "schemeE checkpoint distance (instructions per interval)")
+	verbose := flag.Bool("v", false, "list every non-masked injection outcome")
+	flag.Parse()
+
+	models, err := parseModels(*modelsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	for i, name := range strings.Split(*wl, ",") {
+		name = strings.TrimSpace(name)
+		k, err := workload.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p := k.Load()
+		mk := func() machine.Config {
+			return machine.Config{
+				Scheme:    core.NewSchemeE(4, *distance, 0),
+				Speculate: false,
+				MemSystem: machine.MemBackward3b,
+			}
+		}
+		cc := fault.Config{Seed: *seed, Models: models, Stride: *stride, Workers: *jobs}
+		if cc.Stride <= 0 {
+			cc.Stride = autoStride(p.Name, mk, cc)
+		}
+		rep, err := fault.Run(p, mk, cc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultcamp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Table(fmt.Sprintf("FC%d", i+1)).String())
+		if *verbose {
+			for _, r := range rep.Results {
+				if r.Outcome == fault.Masked {
+					continue
+				}
+				fmt.Printf("   %-28s -> %-8s fired=%v repairs=+%d latency=%d  %s\n",
+					r.Inj, r.Outcome, r.Fired, r.RepairDelta, r.Latency, r.Detail)
+			}
+			fmt.Println()
+		}
+		if bad := rep.CoveredBad(); len(bad) != 0 {
+			fmt.Fprintf(os.Stderr, "faultcamp: %s: %d covered-class injections escaped repair\n", name, len(bad))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// autoStride picks the smallest stride keeping the executed-injection
+// count under maxDefaultRuns, by planning (cheap — one baseline run,
+// which the campaign reuses via the trace cache) at stride 1 first.
+func autoStride(name string, mk func() machine.Config, cc fault.Config) int {
+	probe := cc
+	probe.Stride = 1
+	k, err := workload.ByName(name)
+	if err != nil {
+		return 1
+	}
+	plan, err := fault.PlanOnly(k.Load(), mk, probe)
+	if err != nil {
+		return 1
+	}
+	return plan.Executed()/maxDefaultRuns + 1
+}
+
+func parseModels(s string) ([]fault.Model, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byName := map[string]fault.Model{}
+	for _, m := range fault.Models() {
+		byName[m.String()] = m
+	}
+	var models []fault.Model
+	for _, tok := range strings.Split(s, ",") {
+		m, ok := byName[strings.TrimSpace(tok)]
+		if !ok {
+			return nil, fmt.Errorf("faultcamp: unknown model %q (have reg-flip, mem-flip, fu-corrupt, fu-detected, spurious-exc)", tok)
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}

@@ -1,0 +1,67 @@
+// Faults: a guided tour of the fault-injection campaign engine. Injects
+// a single detected fault by hand and walks through what schemeE does
+// with it, then runs a small campaign over every fault model and prints
+// the outcome taxonomy — the difference between the classes checkpoint
+// repair covers (detected faults: always repaired or masked) and the
+// ones it cannot see (silent flips: masked, corrupting, or hanging).
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func mk() machine.Config {
+	return machine.Config{
+		Scheme:    core.NewSchemeE(4, 8, 0),
+		Speculate: false,
+		MemSystem: machine.MemBackward3b,
+	}
+}
+
+func main() {
+	k, err := workload.ByName("dotprod")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := k.Load()
+
+	// One detected fault by hand: flag dynamic instruction 40 with a
+	// machine-check (a parity-style FU detector firing). SchemeE sees an
+	// excepting operation, rewinds to the enclosing checkpoint, and
+	// re-executes in single-step mode; the re-executed operation is
+	// clean, so the run converges to the golden final state.
+	inj := fault.Injection{Model: fault.SpuriousExc, Event: 40}
+	res, err := fault.Replay(p, mk, fault.Config{}, []fault.Injection{inj})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res[0]
+	fmt.Printf("single injection %s on %s:\n", inj, p.Name)
+	fmt.Printf("  outcome=%s  extra repairs=%d  repair latency=%d cycles\n\n",
+		r.Outcome, r.RepairDelta, r.Latency)
+
+	// A full campaign: enumerate every model over the whole run, prune
+	// dead flips against the reference trace, collapse detected faults
+	// by checkpoint interval, execute the rest in parallel, classify
+	// each against the golden state.
+	rep, err := fault.Run(p, mk, fault.Config{Seed: 1987})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Table("EX"))
+
+	if bad := rep.CoveredBad(); len(bad) == 0 {
+		fmt.Println("covered classes (fu-detected, spurious-exc): zero SDC, zero hangs —")
+		fmt.Println("every detected fault was repaired to a byte-identical final state.")
+	} else {
+		fmt.Printf("UNEXPECTED: %d covered-class escapes\n", len(bad))
+	}
+}

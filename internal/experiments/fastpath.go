@@ -25,12 +25,25 @@ func SetFastPaths(on bool) { fastPathsOff.Store(!on) }
 // FastPaths reports whether the fast paths are enabled.
 func FastPaths() bool { return !fastPathsOff.Load() }
 
+// probeFactory, when set, installs a machine.Probe on every experiment
+// run (a fresh probe per run — machine probes are single-run state).
+// Used by the equivalence tests to prove the probe seam leaves every
+// artefact byte-identical; production experiment runs leave it nil.
+var probeFactory atomic.Value // func() machine.Probe
+
+// SetProbeFactory installs (or, with nil, removes) a per-run probe
+// constructor for subsequent experiment runs.
+func SetProbeFactory(f func() machine.Probe) { probeFactory.Store(f) }
+
 // simRun is the single choke point through which experiments run the
 // machine simulator. With fast paths on it replays the per-program
 // cached reference trace instead of interpreting alongside every run;
 // with them off it also disables cycle skipping, reproducing the
 // one-cycle-at-a-time legacy path exactly.
 func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
+	if f, _ := probeFactory.Load().(func() machine.Probe); f != nil {
+		cfg.Probe = f()
+	}
 	if FastPaths() {
 		// A program that cannot be traced (e.g. does not halt within the
 		// interpreter step bound) falls back to the live shadow.

@@ -6,9 +6,42 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/refsim"
 )
+
+// observeProbe watches both machine hook points without mutating state.
+type observeProbe struct{ events int }
+
+func (p *observeProbe) PreIssue(*machine.Machine, uint64, int, isa.Inst) { p.events++ }
+func (p *observeProbe) PostWriteback(m *machine.Machine, w machine.Writeback) {
+	p.events++
+	_ = w.Seq()
+}
+
+// TestRunAllByteIdenticalNoopProbe regenerates every artefact with an
+// observation-only machine.Probe installed on every run and requires
+// the output byte-identical to a probe-free pass — the probe seam added
+// for fault injection must be invisible unless a probe mutates state.
+func TestRunAllByteIdenticalNoopProbe(t *testing.T) {
+	defer SetProbeFactory(nil)
+	var bare, probed bytes.Buffer
+	SetProbeFactory(nil)
+	RunAll(&bare)
+	SetProbeFactory(func() machine.Probe { return &observeProbe{} })
+	RunAll(&probed)
+	if !bytes.Equal(bare.Bytes(), probed.Bytes()) {
+		a, b := bare.String(), probed.String()
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := max(i-200, 0)
+		t.Fatalf("noop probe changed experiment output at byte %d:\nbare:   %q\nprobed: %q",
+			i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+	}
+}
 
 // TestRunAllByteIdenticalFastPaths regenerates every artefact (F1-F8,
 // T1, C1-C12, A1-A6) with the trace-replay and cycle-skipping fast

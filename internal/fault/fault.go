@@ -1,0 +1,200 @@
+// Package fault implements seeded transient-fault injection campaigns
+// over the checkpoint-repair machines.
+//
+// The paper's schemeE exists to recover precise state after rare,
+// unpredictable events; the workloads alone only exercise the handful
+// of architectural exception sites they happen to contain. This package
+// systematically exercises repair under arbitrary single-event
+// corruption, in the style of replay-based fault-injection frameworks
+// (RepTFD) and checkpoint-structured campaign pruning (Dietrich et
+// al.): a campaign enumerates the (fault model × location × dynamic
+// instruction) space of a program, prunes it against the memoized
+// reference trace, runs the surviving injections in parallel through
+// the machine.Probe seam, and classifies every outcome against the
+// trace-reconstructed golden final state.
+//
+// Fault models split into two groups:
+//
+//   - detected faults (SpuriousExc, FUDetected) — detection hardware
+//     flags the event, so the repair scheme sees an excepting operation
+//     and E-repair rewinds to a checkpoint and re-executes precisely.
+//     These are the fault classes checkpoint repair covers: a correct
+//     implementation yields zero silent corruption and zero hangs, and
+//     every repair is byte-verified against the oracle.
+//   - silent faults (RegFlip, MemFlip, FUCorrupt) — nothing flags the
+//     corruption. Checkpoint repair makes no claim here; the campaign
+//     measures how often such faults are masked anyway (dead values,
+//     overwrites, repairs in flight) versus ending in silent data
+//     corruption.
+//
+// Everything is deterministic: faults derive from a seed via a
+// splitmix64 hash of their coordinates, the machine is cycle-accurate
+// and deterministic, and reports render byte-identically at any worker
+// count.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Model is a single-event fault model.
+type Model uint8
+
+// Fault models.
+const (
+	// RegFlip flips one seeded bit of one register's current-space cell
+	// immediately before a dynamic instruction issues.
+	RegFlip Model = iota
+	// MemFlip flips one seeded bit of one data-memory longword (in the
+	// cache if resident, else backing memory), bypassing the difference
+	// buffer — no undo record exists, like a real particle strike.
+	MemFlip
+	// FUCorrupt XORs one seeded bit into a functional-unit result just
+	// before delivery: the corrupt value reaches the register file,
+	// checkpoint backups, and waiting consumers, with no detection.
+	FUCorrupt
+	// FUDetected is FUCorrupt plus detection: the corrupted operation is
+	// flagged with a machine-check exception (a parity/residue-check FU
+	// model), so checkpoint repair rewinds and re-executes it.
+	FUDetected
+	// SpuriousExc flags an operation with a machine-check exception
+	// without corrupting anything — the pure detection-latency path:
+	// repair must rewind, re-execute, and converge to the same state.
+	SpuriousExc
+	numModels
+)
+
+// Models returns all fault models in report order.
+func Models() []Model {
+	return []Model{RegFlip, MemFlip, FUCorrupt, FUDetected, SpuriousExc}
+}
+
+// CoveredModels returns the detected-fault models — the classes
+// checkpoint repair claims to cover (zero SDC, zero hangs).
+func CoveredModels() []Model { return []Model{FUDetected, SpuriousExc} }
+
+// String returns a short model name.
+func (m Model) String() string {
+	switch m {
+	case RegFlip:
+		return "reg-flip"
+	case MemFlip:
+		return "mem-flip"
+	case FUCorrupt:
+		return "fu-corrupt"
+	case FUDetected:
+		return "fu-detected"
+	case SpuriousExc:
+		return "spurious-exc"
+	}
+	return fmt.Sprintf("model(%d)", uint8(m))
+}
+
+// Covered reports whether the model is detected by hardware — i.e.
+// whether checkpoint repair claims to recover it transparently.
+func (m Model) Covered() bool { return m == FUDetected || m == SpuriousExc }
+
+// Injection is one seeded fault: a model, a dynamic-instruction
+// coordinate, and a location/bit payload.
+type Injection struct {
+	Model Model
+	// Event is the 0-based dynamic issue-event index the fault fires at
+	// (pre-issue for flips; armed there and fired at that operation's
+	// writeback for FU models). The machine is deterministic, so any
+	// event index below the fault-free run's issue count is guaranteed
+	// to be reached.
+	Event int
+	Reg   isa.Reg // RegFlip target
+	Addr  uint32  // MemFlip target (aligned longword)
+	XOR   uint32  // flip/corruption mask (one seeded bit)
+}
+
+// String renders the injection compactly and deterministically.
+func (in Injection) String() string {
+	switch in.Model {
+	case RegFlip:
+		return fmt.Sprintf("%s@%d r%d^%#x", in.Model, in.Event, in.Reg, in.XOR)
+	case MemFlip:
+		return fmt.Sprintf("%s@%d [%#x]^%#x", in.Model, in.Event, in.Addr, in.XOR)
+	case SpuriousExc:
+		return fmt.Sprintf("%s@%d", in.Model, in.Event)
+	default:
+		return fmt.Sprintf("%s@%d ^%#x", in.Model, in.Event, in.XOR)
+	}
+}
+
+// mix64 is splitmix64 — the deterministic per-coordinate seed hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// seedBit derives the single corruption bit for a fault coordinate.
+func seedBit(seed int64, m Model, event, target int) uint32 {
+	h := mix64(uint64(seed)) ^ mix64(uint64(m)<<48|uint64(uint32(event))<<16|uint64(uint32(target)))
+	return 1 << (mix64(h) % 32)
+}
+
+// injector fires exactly one Injection at its coordinate and latches.
+// Flip models fire at the pre-issue point of their event. FU models arm
+// there, capturing the sequence number and PC the event issues under,
+// and fire at the first normal-mode writeback matching both — delivery
+// order is decoupled from issue order and sequence numbers are reused
+// after squashes, so the seq+PC match (then latching) pins the fault to
+// the armed dynamic operation; single-step re-executions are skipped
+// because a machine-check forced onto a precise-mode operation would be
+// handled architecturally instead of exercising repair.
+type injector struct {
+	inj    Injection
+	events int
+	armSeq uint64
+	armPC  int
+	armed  bool
+	fired  bool
+}
+
+func (i *injector) PreIssue(m *machine.Machine, seq uint64, pc int, in isa.Inst) {
+	e := i.events
+	i.events++
+	if e != i.inj.Event || i.fired || i.armed {
+		return
+	}
+	switch i.inj.Model {
+	case RegFlip:
+		m.CorruptReg(i.inj.Reg, i.inj.XOR)
+		i.fired = true
+	case MemFlip:
+		// An unmapped target (possible only if the fault-free prefix
+		// diverged from the plan, which determinism forbids) is a no-op
+		// strike; either way the injection is spent.
+		m.CorruptMem(i.inj.Addr, i.inj.XOR)
+		i.fired = true
+	default:
+		i.armSeq, i.armPC = seq, pc
+		i.armed = true
+	}
+}
+
+func (i *injector) PostWriteback(m *machine.Machine, w machine.Writeback) {
+	if !i.armed || i.fired || w.Seq() != i.armSeq {
+		return
+	}
+	if m.Precise() || w.PC() != i.armPC {
+		return // squash reused the sequence number; keep waiting
+	}
+	i.fired = true
+	switch i.inj.Model {
+	case FUCorrupt:
+		w.CorruptResult(i.inj.XOR)
+	case FUDetected:
+		w.CorruptResult(i.inj.XOR)
+		w.ForceException(isa.ExcCodeMachineCheck)
+	case SpuriousExc:
+		w.ForceException(isa.ExcCodeMachineCheck)
+	}
+}

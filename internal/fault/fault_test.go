@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// schemeE is the campaign configuration the covered-class claim is made
+// for: schemeE with checkpoints every 8 instructions, non-speculative
+// (the paper's E-repair machine; fault coverage is a property of the
+// repair scheme, not of branch prediction).
+func schemeE() machine.Config {
+	return machine.Config{
+		Scheme:    core.NewSchemeE(4, 8, 0),
+		Speculate: false,
+		MemSystem: machine.MemBackward3b,
+	}
+}
+
+func loadKernel(t *testing.T, name string) *prog.Program {
+	t.Helper()
+	k, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.Load()
+}
+
+// TestCoveredClassesRepairedCleanly is the campaign's headline claim:
+// for the detected fault models (the classes checkpoint repair covers),
+// exhaustive seeded injection over kernel workloads yields zero silent
+// corruption, zero hangs, and zero crashes — every fired fault is
+// either repaired to a byte-identical final state or architecturally
+// masked — and interval equivalence classes let the plan cover at least
+// 5x as many raw fault points as it executes.
+func TestCoveredClassesRepairedCleanly(t *testing.T) {
+	for _, name := range []string{"fib", "memcpy", "dotprod", "divzero"} {
+		t.Run(name, func(t *testing.T) {
+			p := loadKernel(t, name)
+			rep, err := Run(p, schemeE, Config{Seed: 1987, Models: CoveredModels(), Stride: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad := rep.CoveredBad(); len(bad) != 0 {
+				for _, b := range bad {
+					t.Errorf("%s: %s -> %s (%s)", name, b.Inj, b.Outcome, b.Detail)
+				}
+				t.Fatalf("%d covered-class injections escaped repair", len(bad))
+			}
+			repaired := rep.Count(FUDetected, Repaired) + rep.Count(SpuriousExc, Repaired)
+			if repaired == 0 {
+				t.Fatalf("no covered-class injection exercised a repair\n%s", rep)
+			}
+			for _, r := range rep.Results {
+				if r.Outcome == Repaired && !r.Fired {
+					t.Fatalf("%s classified Repaired without firing", r.Inj)
+				}
+				if r.Outcome == Repaired && r.RepairDelta <= 0 {
+					t.Fatalf("%s classified Repaired with repair delta %d", r.Inj, r.RepairDelta)
+				}
+			}
+			if rep.BaselineRepairs == 0 && rep.Plan.CoverageRatio() < 5 {
+				t.Fatalf("coverage ratio %.2f < 5 (raw=%d exec=%d)",
+					rep.Plan.CoverageRatio(), rep.Plan.Raw, len(rep.Plan.Exec))
+			}
+		})
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the same seed yields
+// byte-identical reports and identical per-injection results at any
+// worker count.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	p := loadKernel(t, "fib")
+	cc := Config{Seed: 7, Stride: 2, MaxWords: 4}
+	cc.Workers = 1
+	seq, err := Run(p, schemeE, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Workers = 8
+	par, err := Run(p, schemeE, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("report differs across worker counts:\n-j1:\n%s\n-j8:\n%s", seq, par)
+	}
+	if !reflect.DeepEqual(seq.Results, par.Results) {
+		t.Fatal("per-injection results differ across worker counts")
+	}
+}
+
+// TestPrunedPointsAreMasked validates the dead-value pruning rule by
+// sampling statically-pruned points and re-running them at full
+// fidelity: every one must classify as Masked.
+func TestPrunedPointsAreMasked(t *testing.T) {
+	var pruned []Injection
+	var progs []*prog.Program
+	dst := uint32(loadKernel(t, "memcpy").Symbols["dst"])
+	for _, tc := range []struct {
+		kernel string
+		cc     Config
+	}{
+		{"fib", Config{Seed: 11, Models: []Model{RegFlip, FUCorrupt}, Stride: 1}},
+		// Target the copy destination: flips landing there before the
+		// byte store that overwrites them are dead.
+		{"memcpy", Config{Seed: 11, Models: []Model{MemFlip}, Stride: 2,
+			Words: []uint32{dst, dst + 4, dst + 8, dst + 12}}},
+	} {
+		p := loadKernel(t, tc.kernel)
+		run, rec, err := newCampaignRun(p, schemeE, &tc.cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := buildPlan(rec, run.repairs, &tc.cc)
+		if len(plan.Pruned) == 0 {
+			t.Fatalf("%s: pruning found no dead points to validate", tc.kernel)
+		}
+		step := len(plan.Pruned)/20 + 1
+		for i := 0; i < len(plan.Pruned); i += step {
+			pruned = append(pruned, plan.Pruned[i])
+			progs = append(progs, p)
+		}
+	}
+	for i, inj := range pruned {
+		res, err := Replay(progs[i], schemeE, Config{}, []Injection{inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Outcome != Masked {
+			t.Errorf("%s on %s: pruned as dead but ran to %s (%s)",
+				inj, progs[i].Name, res[0].Outcome, res[0].Detail)
+		}
+	}
+}
+
+// TestClassMembersMatchRepresentative validates interval-equivalence
+// collapsing: sampled non-representative members of each class, run at
+// full fidelity, classify the same as the executed representative.
+func TestClassMembersMatchRepresentative(t *testing.T) {
+	p := loadKernel(t, "dotprod")
+	rep, err := Run(p, schemeE, Config{Seed: 3, Models: CoveredModels(), Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sample []Injection
+	var want []Outcome
+	for i, members := range rep.Plan.Members {
+		if len(members) < 2 {
+			continue
+		}
+		for _, j := range []int{len(members) / 2, len(members) - 1} {
+			if members[j] == rep.Plan.Exec[i] {
+				continue
+			}
+			sample = append(sample, members[j])
+			want = append(want, rep.Results[i].Outcome)
+		}
+	}
+	if len(sample) == 0 {
+		t.Fatal("no multi-member equivalence classes to validate")
+	}
+	if len(sample) > 24 {
+		sample, want = sample[:24], want[:24]
+	}
+	got, err := Replay(p, schemeE, Config{}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Outcome != want[i] {
+			t.Errorf("class member %s -> %s, representative -> %s",
+				sample[i], got[i].Outcome, want[i])
+		}
+	}
+}
+
+// TestCampaignConcurrentWorkers drives a full-model campaign at 16
+// workers — under -race this exercises the fan-out for data races
+// across concurrent injected machines.
+func TestCampaignConcurrentWorkers(t *testing.T) {
+	p := loadKernel(t, "fib")
+	rep, err := Run(p, schemeE, Config{Seed: 42, Stride: 2, MaxWords: 4, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Plan.Exec) < 32 {
+		t.Fatalf("campaign too small to exercise concurrency: %d runs", len(rep.Plan.Exec))
+	}
+	for _, m := range CoveredModels() {
+		if n := rep.Count(m, SDC) + rep.Count(m, Hang) + rep.Count(m, Crash); n != 0 {
+			t.Fatalf("%s: %d covered-class escapes", m, n)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Event is one issue event of the fault-free baseline run, as captured
+// by the campaign recorder through the machine's probe seam. Event
+// index == position in the recorded stream == the Injection.Event
+// coordinate space.
+type Event struct {
+	Seq     uint64
+	PC      int
+	Inst    isa.Inst // the issued micro-operation (cracked vector element)
+	True    bool     // on the architecturally correct path at issue
+	Precise bool     // issued in single-step mode
+	Ckpts   int      // cumulative checkpoints established at issue
+	Repairs int      // cumulative E+B repairs at issue
+	Excepts bool     // the operation delivered an architectural exception
+}
+
+// access is one completed memory access of the baseline run.
+type access struct {
+	issueEvent int    // issue-event index of the accessing operation
+	wbAfter    int    // issue events recorded when the access delivered
+	addr       uint32 // aligned longword
+	mask       uint8  // store byte mask (0 for loads)
+	store      bool
+}
+
+// recorder captures the baseline issue stream and access history.
+type recorder struct {
+	events []Event
+	accs   []access
+	seqIdx map[uint64]int // last issue event per sequence number
+}
+
+func newRecorder() *recorder {
+	return &recorder{seqIdx: make(map[uint64]int)}
+}
+
+func (r *recorder) PreIssue(m *machine.Machine, seq uint64, pc int, in isa.Inst) {
+	st := m.Scheme().Stats()
+	r.seqIdx[seq] = len(r.events)
+	r.events = append(r.events, Event{
+		Seq:     seq,
+		PC:      pc,
+		Inst:    in,
+		True:    m.Precise() || m.OnTruePathAt(pc),
+		Precise: m.Precise(),
+		Ckpts:   st.Checkpoints,
+		Repairs: st.ERepairs + st.BRepairs,
+	})
+}
+
+func (r *recorder) PostWriteback(m *machine.Machine, w machine.Writeback) {
+	idx, ok := r.seqIdx[w.Seq()]
+	if !ok {
+		return
+	}
+	if w.Exc() != isa.ExcCodeNone {
+		r.events[idx].Excepts = true
+		return
+	}
+	if !w.Accessed() || !(w.IsLoad() || w.IsStore()) {
+		return
+	}
+	a := access{
+		issueEvent: idx,
+		wbAfter:    len(r.events),
+		addr:       w.Addr() &^ 3,
+		store:      w.IsStore(),
+	}
+	if w.IsStore() {
+		_, a.mask = w.StoreMask()
+	}
+	r.accs = append(r.accs, a)
+}
+
+// Plan is the enumerated, pruned, and equivalence-collapsed campaign.
+type Plan struct {
+	// Raw counts every enumerated (model × location × event) point.
+	Raw int
+	// Exec holds the injections that actually run; Covers[i] is how
+	// many raw points Exec[i] accounts for (its equivalence-class size,
+	// 1 for uncollapsed points). Members[i] lists the class's raw
+	// points (nil when Covers[i] == 1) — kept so the validation tests
+	// can run non-representative members at full fidelity.
+	Exec    []Injection
+	Covers  []int
+	Members [][]Injection
+	// Pruned holds the dead-value points statically classified as
+	// masked (target overwritten before any use, no repair can
+	// resurrect it). They are not run; the sampled full-fidelity
+	// validation test re-runs a subset and asserts Masked.
+	Pruned []Injection
+}
+
+// Executed returns the number of injection runs the plan requires.
+func (p *Plan) Executed() int { return len(p.Exec) }
+
+// CoverageRatio is raw points per executed injection — the campaign's
+// pruning/collapsing leverage.
+func (p *Plan) CoverageRatio() float64 {
+	if len(p.Exec) == 0 {
+		return 0
+	}
+	return float64(p.Raw) / float64(len(p.Exec))
+}
+
+// buildPlan enumerates the fault space against the recorded baseline.
+//
+// Pruning (flip models) is the dead-value rule: a flip is statically
+// masked iff scanning forward from its event, the first reference to
+// the target is an architecturally-effective overwrite — and no repair
+// occurs at or after the event in the baseline (a repair could recall a
+// checkpoint backup or replay an undo log holding the corrupt value,
+// resurrecting it past the overwrite). Any read first, a wrong-path or
+// excepting overwrite, or no reference at all (the flip survives into
+// the final state) keeps the point live.
+//
+// Collapsing (detected models) is Dietrich-style checkpoint-interval
+// equivalence: two detected faults flagged in the same checkpoint
+// interval squash to the same checkpoint and re-execute the same
+// instructions, so one representative per interval is executed and
+// credited with the whole class. Classes only form over events with a
+// repair-free baseline tail: an architectural repair between arming and
+// writeback could squash the target operation and shift where the
+// injection lands, breaking interval equivalence.
+func buildPlan(rec *recorder, totalRepairs int, cc *Config) *Plan {
+	events := rec.events
+	plan := &Plan{}
+	stride := cc.Stride
+	if stride < 1 {
+		stride = 1
+	}
+
+	noRepairsAfter := func(e int) bool { return events[e].Repairs == totalRepairs }
+
+	regs := cc.Regs
+	if regs == nil {
+		regs = referencedRegs(events)
+	}
+	words := cc.Words
+	if words == nil {
+		words = topWords(rec.accs, cc.maxWords())
+	}
+
+	addExec := func(inj Injection, covers int, members []Injection) {
+		plan.Exec = append(plan.Exec, inj)
+		plan.Covers = append(plan.Covers, covers)
+		plan.Members = append(plan.Members, members)
+	}
+
+	for _, model := range cc.models() {
+		// Eligible event list for this model.
+		var elig []int
+		for e := range events {
+			switch model {
+			case RegFlip, MemFlip:
+				elig = append(elig, e)
+			case FUCorrupt, FUDetected:
+				if _, hasDest := events[e].Inst.Dest(); hasDest && !events[e].Precise && !events[e].Excepts {
+					elig = append(elig, e)
+				}
+			case SpuriousExc:
+				if !events[e].Precise && !events[e].Excepts {
+					elig = append(elig, e)
+				}
+			}
+		}
+		var strided []int
+		for i := 0; i < len(elig); i += stride {
+			strided = append(strided, elig[i])
+		}
+
+		switch model {
+		case RegFlip:
+			for ti, r := range regs {
+				for _, e := range strided {
+					plan.Raw++
+					inj := Injection{Model: model, Event: e, Reg: r, XOR: seedBit(cc.Seed, model, e, ti)}
+					if deadReg(events, e, e, r) && noRepairsAfter(e) {
+						plan.Pruned = append(plan.Pruned, inj)
+					} else {
+						addExec(inj, 1, nil)
+					}
+				}
+			}
+		case MemFlip:
+			for ti, w := range words {
+				for _, e := range strided {
+					plan.Raw++
+					bit := seedBit(cc.Seed, model, e, ti)
+					inj := Injection{Model: model, Event: e, Addr: w, XOR: bit}
+					if deadMem(rec.accs, events, e, w, bit) && noRepairsAfter(e) {
+						plan.Pruned = append(plan.Pruned, inj)
+					} else {
+						addExec(inj, 1, nil)
+					}
+				}
+			}
+		case FUCorrupt:
+			for _, e := range strided {
+				plan.Raw++
+				inj := Injection{Model: model, Event: e, XOR: seedBit(cc.Seed, model, e, 0)}
+				rd, _ := events[e].Inst.Dest()
+				if deadReg(events, e, e+1, rd) && noRepairsAfter(e) {
+					plan.Pruned = append(plan.Pruned, inj)
+				} else {
+					addExec(inj, 1, nil)
+				}
+			}
+		case FUDetected, SpuriousExc:
+			// Collapse by checkpoint interval; events without a
+			// repair-free tail run individually.
+			classes := make(map[int][]Injection)
+			var order []int
+			for _, e := range strided {
+				plan.Raw++
+				inj := Injection{Model: model, Event: e, XOR: seedBit(cc.Seed, model, e, 0)}
+				if !noRepairsAfter(e) {
+					addExec(inj, 1, nil)
+					continue
+				}
+				key := events[e].Ckpts
+				if _, seen := classes[key]; !seen {
+					order = append(order, key)
+				}
+				classes[key] = append(classes[key], inj)
+			}
+			for _, key := range order {
+				members := classes[key]
+				if len(members) == 1 {
+					addExec(members[0], 1, nil)
+				} else {
+					addExec(members[0], len(members), members)
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// referencedRegs returns the registers the baseline stream reads or
+// writes, ascending. Flipping anything else is trivially dead.
+func referencedRegs(events []Event) []isa.Reg {
+	var seen [isa.NumRegs]bool
+	for i := range events {
+		in := events[i].Inst
+		rs, n := in.Sources()
+		for k := 0; k < n; k++ {
+			seen[rs[k]] = true
+		}
+		if rd, ok := in.Dest(); ok {
+			seen[rd] = true
+		}
+	}
+	var regs []isa.Reg
+	for r := 1; r < isa.NumRegs; r++ {
+		if seen[r] {
+			regs = append(regs, isa.Reg(r))
+		}
+	}
+	return regs
+}
+
+// topWords returns the n most-accessed aligned longwords of the
+// baseline run (ties broken by address), ascending by address.
+func topWords(accs []access, n int) []uint32 {
+	counts := make(map[uint32]int)
+	for _, a := range accs {
+		counts[a.addr]++
+	}
+	words := make([]uint32, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if len(words) > n {
+		words = words[:n]
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	return words
+}
+
+// deadReg reports whether a corruption of register r materialising at
+// event e is dead: scanning the baseline stream from scanFrom, the
+// first reference to r is an architecturally-effective overwrite
+// (true-path, non-excepting, destination r) before any read. The caller
+// must additionally check the repair-free-tail condition.
+func deadReg(events []Event, e, scanFrom int, r isa.Reg) bool {
+	if r == 0 {
+		return true // R0 reads as zero; any flip is architecturally invisible
+	}
+	for j := scanFrom; j < len(events); j++ {
+		in := events[j].Inst
+		rs, n := in.Sources()
+		for k := 0; k < n; k++ {
+			if rs[k] == r {
+				return false
+			}
+		}
+		if rd, ok := in.Dest(); ok && rd == r {
+			return events[j].True && !events[j].Excepts
+		}
+	}
+	return false // survives into the final register state
+}
+
+// deadMem reports whether flipping bit `bit` of word addr at event e is
+// dead: no in-flight access to the word straddles the flip (issued
+// before e, delivered after — its access time relative to the flip is
+// unknown), and the first access from event e onward (same-word
+// accesses execute in issue order under the LSQ's per-longword
+// ordering) is a true-path, non-excepting store whose byte mask covers
+// the flipped bit. The caller must additionally check the
+// repair-free-tail condition.
+func deadMem(accs []access, events []Event, e int, addr uint32, bit uint32) bool {
+	byteBit := uint8(1) << (bitIndex(bit) / 8)
+	first := -1
+	for i, a := range accs {
+		if a.addr != addr {
+			continue
+		}
+		if a.issueEvent < e {
+			if a.wbAfter > e {
+				return false // in-flight across the flip
+			}
+			continue
+		}
+		if first < 0 || accs[i].issueEvent < accs[first].issueEvent {
+			first = i
+		}
+	}
+	if first < 0 {
+		return false // never accessed again: flip survives into final memory
+	}
+	a := accs[first]
+	ev := events[a.issueEvent]
+	return a.store && a.mask&byteBit != 0 && ev.True && !ev.Excepts
+}
+
+// bitIndex returns the index of the single set bit of mask.
+func bitIndex(mask uint32) uint32 {
+	for i := uint32(0); i < 32; i++ {
+		if mask&(1<<i) != 0 {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// Count returns how many executed injections of model m ended in
+// outcome o.
+func (r *Report) Count(m Model, o Outcome) int {
+	n := 0
+	for i := range r.Results {
+		if r.Results[i].Inj.Model == m && r.Results[i].Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// CountOutcome returns how many executed injections ended in outcome o,
+// across all models.
+func (r *Report) CountOutcome(o Outcome) int {
+	n := 0
+	for i := range r.Results {
+		if r.Results[i].Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// CoveredBad returns the executed covered-model injections that ended
+// in an outcome checkpoint repair claims to exclude (SDC, Hang, or
+// Crash) — the tier-1 assertion is that this is empty.
+func (r *Report) CoveredBad() []RunResult {
+	var bad []RunResult
+	for _, res := range r.Results {
+		if !res.Inj.Model.Covered() {
+			continue
+		}
+		switch res.Outcome {
+		case SDC, Hang, Crash:
+			bad = append(bad, res)
+		}
+	}
+	return bad
+}
+
+// RepairLatency returns the latency distribution (extra cycles over the
+// fault-free baseline) of model m's Repaired runs.
+func (r *Report) RepairLatency(m Model) *stats.Dist {
+	var d stats.Dist
+	for i := range r.Results {
+		if r.Results[i].Inj.Model == m && r.Results[i].Outcome == Repaired {
+			d.Add(r.Results[i].Latency)
+		}
+	}
+	return &d
+}
+
+// modelRaw tallies the raw, pruned, and executed point counts of model
+// m in the plan.
+func (r *Report) modelRaw(m Model) (raw, pruned, exec int) {
+	for i := range r.Plan.Exec {
+		if r.Plan.Exec[i].Model == m {
+			exec++
+			raw += r.Plan.Covers[i]
+		}
+	}
+	for i := range r.Plan.Pruned {
+		if r.Plan.Pruned[i].Model == m {
+			pruned++
+			raw++
+		}
+	}
+	return raw, pruned, exec
+}
+
+// Table renders the campaign as a deterministic experiments.Table. The
+// output depends only on (program, machine config, campaign config) —
+// never on worker count or scheduling.
+func (r *Report) Table(id string) *experiments.Table {
+	t := &experiments.Table{
+		ID:    id,
+		Title: fmt.Sprintf("fault campaign: %s on %s", r.Workload, r.Scheme),
+		Note: fmt.Sprintf("seed=%d events=%d baseline=%d cycles, %d repairs; "+
+			"raw=%d points, pruned=%d dead, executed=%d runs (%.1fx coverage). "+
+			"Detected models (fu-detected, spurious-exc) are the classes checkpoint "+
+			"repair covers: SDC/hang/crash must be zero and every repair is "+
+			"byte-verified against the reference trace.",
+			r.Seed, r.Events, r.BaselineCycles, r.BaselineRepairs,
+			r.Plan.Raw, len(r.Plan.Pruned), len(r.Plan.Exec), r.Plan.CoverageRatio()),
+		Header: []string{"model", "raw", "pruned", "exec", "masked", "repaired", "detected", "SDC", "hang", "crash", "repair latency (cycles)"},
+	}
+	for _, m := range r.Models {
+		raw, pruned, exec := r.modelRaw(m)
+		t.AddRow(m, raw, pruned, exec,
+			r.Count(m, Masked), r.Count(m, Repaired), r.Count(m, Detected),
+			r.Count(m, SDC), r.Count(m, Hang), r.Count(m, Crash),
+			r.RepairLatency(m).String())
+	}
+	return t
+}
+
+// String renders the campaign table with a default ID.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table("FC").String())
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	// Seed drives every corruption bit (via splitmix64 over the fault
+	// coordinates); two campaigns with the same seed, program, and
+	// machine configuration are identical, at any worker count.
+	Seed int64
+	// Models selects the fault models to enumerate; nil means all.
+	Models []Model
+	// Stride enumerates every Stride-th eligible event per model
+	// (default 1: every event). The knob that bounds campaign size on
+	// long workloads.
+	Stride int
+	// Regs overrides the RegFlip target set; nil targets every register
+	// the baseline run references.
+	Regs []isa.Reg
+	// Words overrides the MemFlip target set (aligned longword
+	// addresses); nil derives targets from the baseline's access
+	// profile.
+	Words []uint32
+	// MaxWords bounds the derived MemFlip target set to the N
+	// most-accessed longwords (default 8). Ignored when Words is set.
+	MaxWords int
+	// Workers bounds concurrent injected runs (<=0: GOMAXPROCS).
+	Workers int
+	// MaxCycles caps each injected run; <=0 derives 8× the baseline's
+	// cycle count (+10k slack) so runaway corruption classifies as Hang
+	// quickly instead of grinding to the machine's global default.
+	MaxCycles int64
+	// WatchdogCycles overrides the machine's no-progress watchdog for
+	// injected runs (<=0: machine default).
+	WatchdogCycles int64
+}
+
+func (cc *Config) models() []Model {
+	if cc.Models == nil {
+		return Models()
+	}
+	return cc.Models
+}
+
+func (cc *Config) maxWords() int {
+	if cc.MaxWords <= 0 {
+		return 8
+	}
+	return cc.MaxWords
+}
+
+// Outcome classifies one injected run against the golden final state.
+type Outcome uint8
+
+const (
+	// Masked: final state matches the oracle and no extra repair fired —
+	// the fault was architecturally dead or overwritten.
+	Masked Outcome = iota
+	// Repaired: final state matches the oracle and the scheme performed
+	// at least one repair beyond the baseline's — checkpoint repair
+	// recovered the fault, byte-verified.
+	Repaired
+	// Detected: the run completed but its architectural exception
+	// history (or halt status) differs from the oracle — the fault
+	// surfaced as a visible exception instead of corrupting silently.
+	Detected
+	// SDC: silent data corruption — the run completed with the oracle's
+	// exception history but wrong final registers or memory.
+	SDC
+	// Hang: the run hit its cycle cap or the no-progress watchdog.
+	Hang
+	// Crash: the simulator itself failed (panic or fatal machine error).
+	Crash
+	numOutcomes
+)
+
+// Outcomes returns all outcomes in report order.
+func Outcomes() []Outcome {
+	return []Outcome{Masked, Repaired, Detected, SDC, Hang, Crash}
+}
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Repaired:
+		return "repaired"
+	case Detected:
+		return "detected"
+	case SDC:
+		return "SDC"
+	case Hang:
+		return "hang"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// RunResult is one executed injection's classification.
+type RunResult struct {
+	Inj    Injection
+	Covers int // raw fault points this run accounts for
+	// Fired reports whether the injection actually mutated state; an
+	// armed fault whose operation never reached a matching writeback
+	// (squashed by an unrelated repair, sequence never re-used at its
+	// PC) stays unfired and trivially classifies as Masked.
+	Fired   bool
+	Outcome Outcome
+	// RepairDelta is the run's E+B repair count minus the baseline's.
+	RepairDelta int
+	// Latency is the run's cycle count minus the baseline's — the
+	// end-to-end cost of detection plus repair re-execution (meaningful
+	// for Repaired outcomes).
+	Latency int64
+	// Detail carries the mismatch/abort description for non-clean
+	// outcomes (deterministic text).
+	Detail string
+}
+
+// Report is one campaign's full, deterministic result.
+type Report struct {
+	Workload string
+	Scheme   string
+	Seed     int64
+	Models   []Model
+	// Events is the baseline run's issue-event count — the dynamic
+	// instruction axis of the enumerated space.
+	Events          int
+	BaselineCycles  int64
+	BaselineRepairs int
+	Plan            *Plan
+	// Results is parallel to Plan.Exec.
+	Results []RunResult
+}
+
+// Run executes a fault-injection campaign for program p. mk must return
+// a fresh machine.Config per call (schemes and predictors are stateful;
+// sharing one across concurrent runs would race). The campaign:
+//
+//  1. reconstructs the golden final state from the memoized reference
+//     trace,
+//  2. runs the fault-free baseline with a recorder probe to capture the
+//     issue-event stream,
+//  3. enumerates, prunes, and collapses the fault space (buildPlan),
+//  4. fans the surviving injections over an experiments.Pool, and
+//  5. classifies every run against the golden state.
+func Run(p *prog.Program, mk func() machine.Config, cc Config) (*Report, error) {
+	run, rec, err := newCampaignRun(p, mk, &cc)
+	if err != nil {
+		return nil, err
+	}
+	plan := buildPlan(rec, run.repairs, &cc)
+
+	rep := &Report{
+		Workload:        p.Name,
+		Scheme:          run.scheme,
+		Seed:            cc.Seed,
+		Models:          cc.models(),
+		Events:          len(rec.events),
+		BaselineCycles:  run.baseline.Stats.Cycles,
+		BaselineRepairs: run.repairs,
+		Plan:            plan,
+		Results:         make([]RunResult, len(plan.Exec)),
+	}
+
+	pool := experiments.NewPool(cc.Workers)
+	pool.Map(context.Background(), len(plan.Exec), func(i int) {
+		rep.Results[i] = run.one(plan.Exec[i], plan.Covers[i])
+	})
+	return rep, nil
+}
+
+// PlanOnly records the baseline and builds the campaign plan without
+// executing any injection — used to size strides before committing to a
+// full campaign. The baseline run is shared with a subsequent Run via
+// the per-program reference-trace cache.
+func PlanOnly(p *prog.Program, mk func() machine.Config, cc Config) (*Plan, error) {
+	run, rec, err := newCampaignRun(p, mk, &cc)
+	if err != nil {
+		return nil, err
+	}
+	return buildPlan(rec, run.repairs, &cc), nil
+}
+
+// Replay executes an explicit injection list against p without planning
+// — the full-fidelity path the validation tests use to re-run pruned
+// points and non-representative equivalence-class members, and the
+// benchmark's hot loop.
+func Replay(p *prog.Program, mk func() machine.Config, cc Config, injs []Injection) ([]RunResult, error) {
+	run, _, err := newCampaignRun(p, mk, &cc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunResult, len(injs))
+	pool := experiments.NewPool(cc.Workers)
+	pool.Map(context.Background(), len(injs), func(i int) {
+		out[i] = run.one(injs[i], 1)
+	})
+	return out, nil
+}
+
+// newCampaignRun records the baseline, checks it against the reference
+// trace's final state, and assembles the shared fan-out context.
+func newCampaignRun(p *prog.Program, mk func() machine.Config, cc *Config) (*campaignRun, *recorder, error) {
+	tr, err := refsim.CachedTrace(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: reference trace for %s: %w", p.Name, err)
+	}
+	oracle := tr.FinalResult()
+
+	rec := newRecorder()
+	baseCfg := mk()
+	schemeName := baseCfg.Scheme.Name()
+	baseCfg.RefTrace = tr
+	baseCfg.Probe = rec
+	base, err := machine.Run(p, baseCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: baseline run of %s: %w", p.Name, err)
+	}
+	if err := base.MatchRef(oracle); err != nil {
+		return nil, nil, fmt.Errorf("fault: baseline of %s diverges from reference: %w", p.Name, err)
+	}
+	baseRepairs := base.Scheme.ERepairs + base.Scheme.BRepairs
+
+	maxCycles := cc.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = base.Stats.Cycles*8 + 10_000
+	}
+	return &campaignRun{
+		prog:      p,
+		mk:        mk,
+		scheme:    schemeName,
+		trace:     tr,
+		oracle:    oracle,
+		baseline:  base,
+		repairs:   baseRepairs,
+		maxCycles: maxCycles,
+		watchdog:  cc.WatchdogCycles,
+	}, rec, nil
+}
+
+// campaignRun is the shared read-only context of one campaign's fan-out.
+type campaignRun struct {
+	prog      *prog.Program
+	mk        func() machine.Config
+	scheme    string
+	trace     *refsim.Trace
+	oracle    *refsim.Result
+	baseline  *machine.Result
+	repairs   int
+	maxCycles int64
+	watchdog  int64
+}
+
+// one executes and classifies a single injection. Panics are captured
+// here (the pool re-raises worker panics on the caller) so a simulator
+// bug under corruption classifies as Crash instead of killing the
+// campaign.
+func (c *campaignRun) one(inj Injection, covers int) (out RunResult) {
+	out.Inj, out.Covers = inj, covers
+	defer func() {
+		if r := recover(); r != nil {
+			out.Outcome = Crash
+			out.Detail = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	cfg := c.mk()
+	cfg.RefTrace = c.trace
+	ij := &injector{inj: inj}
+	cfg.Probe = ij
+	cfg.MaxCycles = c.maxCycles
+	if c.watchdog > 0 {
+		cfg.WatchdogCycles = c.watchdog
+	}
+	res, err := machine.Run(c.prog, cfg)
+	out.Fired = ij.fired
+	if err != nil {
+		out.Detail = err.Error()
+		if errors.Is(err, machine.ErrCycleLimit) || errors.Is(err, machine.ErrDeadlock) {
+			out.Outcome = Hang
+		} else {
+			out.Outcome = Crash
+		}
+		return out
+	}
+	out.RepairDelta = res.Scheme.ERepairs + res.Scheme.BRepairs - c.repairs
+	out.Latency = res.Stats.Cycles - c.baseline.Stats.Cycles
+	if err := res.MatchRef(c.oracle); err != nil {
+		out.Detail = err.Error()
+		if !historyMatches(res, c.oracle) {
+			out.Outcome = Detected
+		} else {
+			out.Outcome = SDC
+		}
+		return out
+	}
+	if out.RepairDelta > 0 {
+		out.Outcome = Repaired
+	} else {
+		out.Outcome = Masked
+	}
+	return out
+}
+
+// historyMatches reports whether the run's architecturally visible
+// history — exception log and halt status — matches the oracle's. A
+// state mismatch with matching history is silent corruption; a history
+// mismatch means the fault announced itself.
+func historyMatches(res *machine.Result, oracle *refsim.Result) bool {
+	if res.Halted != oracle.Halted || len(res.Exceptions) != len(oracle.Exceptions) {
+		return false
+	}
+	for i := range res.Exceptions {
+		if res.Exceptions[i] != oracle.Exceptions[i] {
+			return false
+		}
+	}
+	return true
+}

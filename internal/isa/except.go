@@ -45,6 +45,13 @@ const (
 	ExcCodePageFault          // fault: access to unmapped memory
 	ExcCodeMisaligned         // fault: unaligned longword access
 	ExcCodeBadInst            // fault: invalid opcode
+	// ExcCodeMachineCheck is raised by detection hardware (e.g. a parity
+	// check on a functional-unit result), not by any instruction's
+	// architectural semantics. The fault-injection campaigns use it for
+	// the "detected transient fault" models: checkpoint repair recovers
+	// transparently when the flagged state is still repairable, and a
+	// machine check that reaches the handler architecturally halts.
+	ExcCodeMachineCheck // fault: detected transient hardware fault
 )
 
 // String returns a readable code name.
@@ -64,6 +71,8 @@ func (c ExcCode) String() string {
 		return "misaligned"
 	case ExcCodeBadInst:
 		return "bad-instruction"
+	case ExcCodeMachineCheck:
+		return "machine-check"
 	}
 	return fmt.Sprintf("exccode(%d)", uint8(c))
 }
@@ -73,7 +82,7 @@ func (c ExcCode) Kind() ExcKind {
 	switch c {
 	case ExcCodeOverflow, ExcCodeSoftware:
 		return ExcTrap
-	case ExcCodeDivideZero, ExcCodePageFault, ExcCodeMisaligned, ExcCodeBadInst:
+	case ExcCodeDivideZero, ExcCodePageFault, ExcCodeMisaligned, ExcCodeBadInst, ExcCodeMachineCheck:
 		return ExcFault
 	}
 	return ExcNone

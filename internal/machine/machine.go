@@ -138,6 +138,10 @@ type Config struct {
 	// that run one program under many configurations pay the reference
 	// interpretation cost once. Results are bit-identical either way.
 	RefTrace *refsim.Trace
+	// Probe, if non-nil, is invoked at the pre-issue and post-writeback
+	// pipeline points (see the Probe interface). Nil costs one pointer
+	// test per event and changes nothing observable.
+	Probe Probe
 	// DisableCycleSkip forces the machine to grind through idle cycles
 	// one at a time instead of advancing directly to the next cycle an
 	// operation can complete, issue, or deliver on. Cycle counts, stats,
@@ -192,6 +196,17 @@ func (r *Result) MatchRef(ref *refsim.Result) error {
 	}
 	return nil
 }
+
+// Watchdog abort sentinels, matchable with errors.Is. External drivers
+// (the fault-injection runner) distinguish a run that stopped making
+// progress from one that failed outright.
+var (
+	// ErrCycleLimit: the run exceeded Config.MaxCycles.
+	ErrCycleLimit = errors.New("cycle limit")
+	// ErrDeadlock: no instruction issued or delivered for
+	// Config.WatchdogCycles cycles.
+	ErrDeadlock = errors.New("deadlock")
+)
 
 type mode uint8
 
@@ -384,12 +399,12 @@ func (m *Machine) Step() bool {
 		return false
 	}
 	if m.cycle >= m.cfg.MaxCycles {
-		m.fatal = fmt.Errorf("machine: exceeded %d cycles", m.cfg.MaxCycles)
+		m.fatal = fmt.Errorf("machine: %w: exceeded %d cycles", ErrCycleLimit, m.cfg.MaxCycles)
 		return false
 	}
 	if m.cycle-m.lastProgress > m.cfg.WatchdogCycles {
-		m.fatal = fmt.Errorf("machine: deadlock: no progress for %d cycles (cycle %d, mode %d, window %d, %s)",
-			m.cfg.WatchdogCycles, m.cycle, m.mode, m.window.Len(), m.scheme.Name())
+		m.fatal = fmt.Errorf("machine: %w: no progress for %d cycles (cycle %d, mode %d, window %d, %s)",
+			ErrDeadlock, m.cfg.WatchdogCycles, m.cycle, m.mode, m.window.Len(), m.scheme.Name())
 		return false
 	}
 	m.step()
@@ -626,6 +641,9 @@ func (m *Machine) writeback() {
 		}
 		if next == nil {
 			return
+		}
+		if p := m.cfg.Probe; p != nil {
+			p.PostWriteback(m, Writeback{op: next})
 		}
 		m.deliver(next)
 		m.freeOp(next) // removed from window and LSQ; recycle
@@ -1059,6 +1077,9 @@ func (m *Machine) issue() {
 func (m *Machine) issueOne(in isa.Inst) {
 	pc := m.fetchPC
 	seq := m.nextSeq
+	if p := m.cfg.Probe; p != nil {
+		p.PreIssue(m, seq, pc, in)
+	}
 	m.nextSeq++
 	m.lastProgress = m.cycle
 
@@ -1145,6 +1166,9 @@ func (m *Machine) issueOne(in isa.Inst) {
 func (m *Machine) issueVectorElem(in isa.Inst, elem isa.Inst) {
 	pc := m.fetchPC
 	seq := m.nextSeq
+	if p := m.cfg.Probe; p != nil {
+		p.PreIssue(m, seq, pc, elem)
+	}
 	m.nextSeq++
 	m.lastProgress = m.cycle
 
@@ -1237,6 +1261,9 @@ func (m *Machine) issuePrecise() {
 		elemIdx, elemCount = m.crack.pos, len(m.crack.elems)
 	}
 	seq := m.nextSeq
+	if p := m.cfg.Probe; p != nil {
+		p.PreIssue(m, seq, pc, elem)
+	}
 	m.nextSeq++
 	m.lastProgress = m.cycle
 

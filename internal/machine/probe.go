@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"repro/internal/isa"
+	"repro/internal/ooo"
+	"repro/internal/sem"
+)
+
+// Probe is the machine's observation and fault-injection seam. A probe
+// installed via Config.Probe is invoked at two pipeline points:
+//
+//   - PreIssue, immediately before an operation issues (before its
+//     operands are read from the register file and before the shadow
+//     oracle steps), with the sequence number and fetch PC it will
+//     issue under and the micro-operation being issued (for vector
+//     instructions, the cracked element);
+//   - PostWriteback, immediately before a finished operation's result
+//     is delivered (register write/broadcast, scheme bookkeeping,
+//     branch resolution).
+//
+// Both fire in every mode, including single-step (precise) execution.
+// A nil Probe costs one pointer test per event and changes nothing:
+// the hot path, the PR-2 fast paths, and every artefact byte stay
+// identical (TestProbeNoopIdentical, TestRunAllByteIdenticalNoopProbe).
+//
+// Probes may mutate machine state only through the documented
+// fault-injection surface: CorruptReg, CorruptMem, and the Writeback
+// mutators. The machine is deterministic, so an injected run's prefix
+// up to the probe's first mutation is identical to the fault-free run —
+// the property the campaign planner in internal/fault builds on.
+type Probe interface {
+	PreIssue(m *Machine, seq uint64, pc int, in isa.Inst)
+	PostWriteback(m *Machine, w Writeback)
+}
+
+// Writeback is the probe's view of one operation about to deliver. The
+// accessors expose what outcome classification and campaign planning
+// need; the mutators are the detected/silent FU-corruption injection
+// points.
+type Writeback struct {
+	op *ooo.Op
+}
+
+// Seq returns the operation's sequence number.
+func (w Writeback) Seq() uint64 { return w.op.Seq }
+
+// PC returns the instruction index the operation issued from.
+func (w Writeback) PC() int { return w.op.PC }
+
+// Inst returns the micro-operation (the cracked element for vectors).
+func (w Writeback) Inst() isa.Inst { return w.op.Inst }
+
+// Result returns the computed result value (meaningful only for
+// operations with a destination).
+func (w Writeback) Result() uint32 { return w.op.Result }
+
+// Exc returns the exception code the operation will deliver with.
+func (w Writeback) Exc() isa.ExcCode { return w.op.Exc }
+
+// OnTruePath reports whether the operation issued on the architecturally
+// correct path.
+func (w Writeback) OnTruePath() bool { return w.op.OnTruePath }
+
+// Accessed reports whether a memory operation reached its access stage
+// (true also for accesses that faulted there).
+func (w Writeback) Accessed() bool { return w.op.Accessed }
+
+// IsLoad reports whether the operation is a load.
+func (w Writeback) IsLoad() bool { return w.op.IsLoad() }
+
+// IsStore reports whether the operation is a store.
+func (w Writeback) IsStore() bool { return w.op.IsStore() }
+
+// Addr returns a memory operation's effective address.
+func (w Writeback) Addr() uint32 { return w.op.Addr }
+
+// StoreMask returns the aligned longword address and byte mask a store
+// wrote (zero mask for non-stores).
+func (w Writeback) StoreMask() (aligned uint32, mask uint8) {
+	if !w.op.IsStore() {
+		return 0, 0
+	}
+	aligned, _, mask = sem.StoreBytes(w.op.Inst.Op, w.op.Addr, w.op.BVal)
+	return aligned, mask
+}
+
+// CorruptResult XORs mask into the operation's result just before
+// delivery, modelling a silent functional-unit fault: the corrupt value
+// is written to the current register space (and the backups delivery
+// normally updates) and broadcast to waiting consumers.
+func (w Writeback) CorruptResult(mask uint32) { w.op.Result ^= mask }
+
+// ForceException flags the operation with code as if detection hardware
+// (a parity or residue check) had caught a fault on it, leaving the
+// result delivery itself untouched. No-op if the operation already
+// carries an architectural exception. The repair scheme sees it exactly
+// like any excepting operation: the owning checkpoint cannot retire,
+// and E-repair eventually rewinds and re-executes precisely.
+func (w Writeback) ForceException(code isa.ExcCode) {
+	if w.op.Exc == isa.ExcCodeNone {
+		w.op.Exc = code
+	}
+}
+
+// CorruptReg XORs mask into register r's current-space value cell — a
+// register-file single-event upset. See regfile.File.Corrupt for the
+// exact semantics under pending reservations.
+func (m *Machine) CorruptReg(r isa.Reg, mask uint32) {
+	m.regs.Corrupt(r, mask)
+}
+
+// CorruptMem XORs mask into the longword at the aligned address addr,
+// wherever its current-space copy lives: the cache line if present
+// (preserving dirty/hazard bits), else backing memory. Returns false if
+// the address is unmapped, in which case nothing is flipped. The flip
+// bypasses the difference buffer — like a real particle strike, no undo
+// record exists, so only state still covered by a later repair or
+// overwrite is recoverable.
+func (m *Machine) CorruptMem(addr uint32, mask uint32) bool {
+	addr &^= 3
+	if v, present := m.dcache.PeekLongword(addr); present {
+		dirty, hazard := m.dcache.LineBits(addr)
+		m.dcache.RecoverInCache(addr, v^mask, 0b1111, dirty, hazard)
+		return true
+	}
+	v, exc := m.backing.ReadMasked(addr)
+	if exc != isa.ExcCodeNone {
+		return false
+	}
+	m.backing.WriteMasked(addr, v^mask, 0b1111)
+	return true
+}
+
+// Precise reports whether the machine is in single-step (precise) mode.
+func (m *Machine) Precise() bool { return m.mode == modePrecise }
+
+// OnTruePathAt reports whether an instruction issuing now at pc lies on
+// the architecturally correct path: the shadow oracle is aligned,
+// running, and about to execute pc. Precise-mode issue is always on the
+// true path, but is reported by Precise, not here (the shadow may
+// lawfully be ahead of the machine during precise re-execution).
+func (m *Machine) OnTruePathAt(pc int) bool {
+	return m.aligned && !m.shadow.Halted() && m.shadow.PC() == pc
+}

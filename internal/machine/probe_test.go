@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// noopProbe observes both hook points and mutates nothing.
+type noopProbe struct {
+	preIssues   int
+	writebacks  int
+	sawVecElems bool
+}
+
+func (p *noopProbe) PreIssue(m *Machine, seq uint64, pc int, in isa.Inst) {
+	p.preIssues++
+	if in.Op.IsVector() {
+		// Cracked elements must never reach the probe as the raw vector
+		// instruction.
+		panic("probe saw an uncracked vector instruction")
+	}
+	_ = m.Precise()
+	_ = m.OnTruePathAt(pc)
+}
+
+func (p *noopProbe) PostWriteback(m *Machine, w Writeback) {
+	p.writebacks++
+	if w.op.ElemCount > 1 {
+		p.sawVecElems = true
+	}
+	_, _ = w.StoreMask()
+}
+
+// TestProbeNoopIdentical runs every kernel under every scheme with a
+// nil Probe and with an observation-only Probe, and requires identical
+// Results — the seam must be invisible unless a probe mutates state.
+func TestProbeNoopIdentical(t *testing.T) {
+	for _, k := range workload.Kernels() {
+		p := k.Load()
+		for sName, mk := range schemesUnderTest() {
+			t.Run(k.Name+"/"+sName, func(t *testing.T) {
+				mkCfg := func() Config {
+					return Config{
+						Scheme:    mk(),
+						Predictor: bpred.NewBimodal(256),
+						Speculate: true,
+						MemSystem: MemBackward3b,
+					}
+				}
+				bare, err := Run(p, mkCfg())
+				if err != nil {
+					t.Fatalf("nil probe: %v", err)
+				}
+				probe := &noopProbe{}
+				cfg := mkCfg()
+				cfg.Probe = probe
+				probed, err := Run(p, cfg)
+				if err != nil {
+					t.Fatalf("noop probe: %v", err)
+				}
+				if err := resultsIdentical(bare, probed); err != nil {
+					t.Fatalf("observation-only probe changed results: %v", err)
+				}
+				if int64(probe.preIssues) != probed.Stats.Issued {
+					t.Fatalf("PreIssue fired %d times, %d issues recorded", probe.preIssues, probed.Stats.Issued)
+				}
+				if probe.writebacks == 0 {
+					t.Fatal("PostWriteback never fired")
+				}
+			})
+		}
+	}
+}
+
+// TestProbeSeesPreciseMode: the seam fires during single-step
+// re-execution too (the injector relies on counting every issue event).
+func TestProbeSeesPreciseMode(t *testing.T) {
+	k, err := workload.ByName("vecfault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &noopProbe{}
+	res, err := Run(k.Load(), Config{
+		Scheme:    core.NewSchemeE(4, 8, 0),
+		Speculate: false,
+		Probe:     probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PreciseInsts == 0 {
+		t.Fatal("expected precise-mode execution on vecfault")
+	}
+	if int64(probe.preIssues) != res.Stats.Issued {
+		t.Fatalf("PreIssue fired %d times, %d issues recorded", probe.preIssues, res.Stats.Issued)
+	}
+	if !probe.sawVecElems {
+		t.Fatal("expected cracked vector elements at writeback")
+	}
+}
+
+// TestProbeNilZeroAlloc: a nil probe adds no allocations to a machine
+// run — the seam is two pointer tests on the hot path.
+func TestProbeNilZeroAlloc(t *testing.T) {
+	k, err := workload.ByName("sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.Load()
+	probe := &noopProbe{}
+	run := func(withProbe bool) float64 {
+		return testing.AllocsPerRun(3, func() {
+			cfg := Config{
+				Scheme:    core.NewSchemeE(4, 64, 0),
+				Speculate: false,
+			}
+			if withProbe {
+				cfg.Probe = probe
+			}
+			if _, err := Run(p, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	bare, probed := run(false), run(true)
+	if bare != probed {
+		t.Fatalf("probe seam changed allocation count: nil=%v noop=%v", bare, probed)
+	}
+}

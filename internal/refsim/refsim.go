@@ -38,6 +38,17 @@ type Options struct {
 	// with its effective address. Used by trace-driven timing models
 	// (the in-order baseline feeds these addresses to its cache).
 	OnMem func(pc int, addr uint32, store bool)
+	// OnRegWrite, if non-nil, observes every architectural register
+	// write (r is never R0). Used by the trace recorder to capture
+	// per-step state deltas for Replay.StateAt.
+	OnRegWrite func(r isa.Reg, v uint32)
+	// OnMemWrite, if non-nil, observes every architectural memory write
+	// as the aligned longword address, data, and byte mask actually
+	// stored.
+	OnMemWrite func(addr, data uint32, mask uint8)
+	// OnMap, if non-nil, observes demand paging: the handler mapped a
+	// fresh zero page at base.
+	OnMap func(base uint32)
 }
 
 // Result is the architectural outcome of a program run.
@@ -104,6 +115,9 @@ func Run(p *prog.Program, opts Options) (*Result, error) {
 			case sem.ActResume:
 				// Demand paging: map the faulting page, re-execute.
 				res.Mem.Map(exc.Addr&^(mem.PageSize-1), mem.PageSize)
+				if opts.OnMap != nil {
+					opts.OnMap(exc.Addr &^ (mem.PageSize - 1))
+				}
 				continue
 			case sem.ActSkip:
 				pc++
@@ -168,7 +182,7 @@ func step(res *Result, in isa.Inst, pc int, opts Options) (next int, exc isa.Exc
 			return next, isa.Exception{Code: o.Exc, PC: pc}, false
 		}
 		if o.WroteRd {
-			writeReg(res, in.Rd, o.Result)
+			writeReg(res, in.Rd, o.Result, opts)
 		}
 		if in.IsBranch() {
 			res.Branches++
@@ -219,7 +233,7 @@ func execElem(res *Result, e isa.Inst, pc int, opts Options) isa.Exception {
 			return isa.Exception{Code: code, PC: pc, Addr: addr}
 		}
 		word, _ := res.Mem.ReadMasked(addr)
-		writeReg(res, e.Rd, sem.LoadValue(e.Op, addr, word))
+		writeReg(res, e.Rd, sem.LoadValue(e.Op, addr, word), opts)
 		if opts.OnMem != nil {
 			opts.OnMem(pc, addr, false)
 		}
@@ -232,6 +246,9 @@ func execElem(res *Result, e isa.Inst, pc int, opts Options) isa.Exception {
 		aligned, data, mask := sem.StoreBytes(e.Op, addr, b)
 		res.Mem.WriteMasked(aligned, data, mask)
 		res.MemWrites++
+		if opts.OnMemWrite != nil {
+			opts.OnMemWrite(aligned, data, mask)
+		}
 		if opts.OnMem != nil {
 			opts.OnMem(pc, addr, true)
 		}
@@ -241,15 +258,18 @@ func execElem(res *Result, e isa.Inst, pc int, opts Options) isa.Exception {
 			return isa.Exception{Code: o.Exc, PC: pc, Info: o.TrapInfo}
 		}
 		if o.WroteRd {
-			writeReg(res, e.Rd, o.Result)
+			writeReg(res, e.Rd, o.Result, opts)
 		}
 	}
 	return isa.Exception{}
 }
 
-func writeReg(res *Result, r isa.Reg, v uint32) {
+func writeReg(res *Result, r isa.Reg, v uint32, opts Options) {
 	if r != 0 {
 		res.Regs[r] = v
+		if opts.OnRegWrite != nil {
+			opts.OnRegWrite(r, v)
+		}
 	}
 }
 

@@ -25,6 +25,10 @@ type Shadow struct {
 	res  Result
 	pc   int
 	done bool
+	// hooks carries the state-delta observation callbacks (OnRegWrite,
+	// OnMemWrite, OnMap) installed by the trace recorder. OnBranch is
+	// overwritten per step; the other Options fields are unused here.
+	hooks Options
 }
 
 // NewShadow returns a shadow positioned at the program entry.
@@ -85,16 +89,21 @@ func (s *Shadow) Step() StepResult {
 	// Peek at branch outcome before executing so the result carries it
 	// even when the instruction later faults (branches cannot fault, so
 	// this is just structured for clarity).
-	next, exc, halted := step(&s.res, in, pc, Options{OnBranch: func(_ int, taken bool, target int) {
+	opts := s.hooks
+	opts.OnBranch = func(_ int, taken bool, target int) {
 		r.Taken = taken
 		r.Target = target
-	}})
+	}
+	next, exc, halted := step(&s.res, in, pc, opts)
 	if exc.Code != isa.ExcCodeNone {
 		r.Exc = exc
 		s.res.Exceptions = append(s.res.Exceptions, exc)
 		switch sem.HandlerAction(exc.Code) {
 		case sem.ActResume:
 			s.res.Mem.Map(exc.Addr&^(mem.PageSize-1), mem.PageSize)
+			if s.hooks.OnMap != nil {
+				s.hooks.OnMap(exc.Addr &^ (mem.PageSize - 1))
+			}
 			// pc unchanged: re-execute.
 		case sem.ActSkip:
 			s.pc = pc + 1

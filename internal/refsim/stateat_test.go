@@ -1,0 +1,113 @@
+package refsim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// stateAtKernels exercises plain computation, demand paging (pagedemo),
+// vector faults (vecfault), and skip-kind faults (divzero), so the
+// delta streams cover register writes, memory writes, and page maps.
+var stateAtKernels = []string{"fib", "bubble", "pagedemo", "vecfault", "divzero"}
+
+// TestStateAtMatchesShadow steps a live Shadow alongside StateAt queries
+// and demands identical architectural state at every boundary.
+func TestStateAtMatchesShadow(t *testing.T) {
+	for _, name := range stateAtKernels {
+		t.Run(name, func(t *testing.T) {
+			k, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := k.Load()
+			tr, err := Record(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewShadow(p)
+			r := tr.Replay()
+			for i := 0; ; i++ {
+				st := r.StateAt(i)
+				if *s.Regs() != st.Regs {
+					t.Fatalf("step %d: regs diverge: shadow=%v stateat=%v", i, *s.Regs(), st.Regs)
+				}
+				if !s.Mem().Equal(st.Mem) {
+					t.Fatalf("step %d: memory diverges", i)
+				}
+				if s.Halted() {
+					if i != tr.Steps() {
+						t.Fatalf("shadow halted after %d steps, trace recorded %d", i, tr.Steps())
+					}
+					break
+				}
+				s.Step()
+			}
+		})
+	}
+}
+
+// TestStateAtBackwardSeek checks that a backward query rebuilds from the
+// program image and yields the same state as a forward pass.
+func TestStateAtBackwardSeek(t *testing.T) {
+	k, err := workload.ByName("pagedemo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(k.Load(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tr.Steps() / 2
+	r := tr.Replay()
+	forward := r.StateAt(mid)
+	r.StateAt(tr.Steps())
+	back := r.StateAt(mid) // backward: forces a rebuild
+	if forward.Regs != back.Regs {
+		t.Fatalf("backward seek regs diverge: %v vs %v", forward.Regs, back.Regs)
+	}
+	if !forward.Mem.Equal(back.Mem) {
+		t.Fatal("backward seek memory diverges")
+	}
+	// Snapshots are deep copies: mutating one must not affect another.
+	back.Mem.WriteMasked(forward.Mem.MappedPages()[0], 0xdeadbeef, 0b1111)
+	again := r.StateAt(mid)
+	if !forward.Mem.Equal(again.Mem) {
+		t.Fatal("StateAt snapshot aliases the replay cursor")
+	}
+}
+
+// TestTraceFinalResult checks the trace-reconstructed final state
+// against a full reference run.
+func TestTraceFinalResult(t *testing.T) {
+	for _, name := range stateAtKernels {
+		t.Run(name, func(t *testing.T) {
+			k, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := k.Load()
+			tr, err := Record(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tr.FinalResult()
+			if !got.RegsEqual(want) {
+				t.Fatalf("regs: got %v want %v", got.Regs, want.Regs)
+			}
+			if !got.Mem.Equal(want.Mem) {
+				t.Fatal("memory diverges")
+			}
+			if !got.ExceptionsEqual(want) {
+				t.Fatalf("exceptions: got %v want %v", got.Exceptions, want.Exceptions)
+			}
+			if got.Halted != want.Halted || got.Retired != want.Retired {
+				t.Fatalf("halted/retired: got %v/%d want %v/%d", got.Halted, got.Retired, want.Halted, want.Retired)
+			}
+		})
+	}
+}

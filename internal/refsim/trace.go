@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/prog"
 )
 
@@ -23,12 +25,51 @@ type Oracle interface {
 }
 
 // traceStep is one recorded Shadow.Step: what Step returned plus the
-// shadow's observable state immediately after it.
+// shadow's observable state immediately after it, and the cumulative
+// counts of state deltas (register writes, memory writes, page maps)
+// after it — step i's own deltas occupy [step[i-1].end, step[i].end) of
+// the corresponding delta streams.
 type traceStep struct {
 	res         StepResult
 	postPC      int
 	postRetired int
 	postExcs    int
+	regEnd      uint32
+	memEnd      uint32
+	mapEnd      uint32
+}
+
+// regDelta is one architectural register write.
+type regDelta struct {
+	r isa.Reg
+	v uint32
+}
+
+// memDelta is one architectural memory write (aligned longword + mask).
+type memDelta struct {
+	addr uint32
+	data uint32
+	mask uint8
+}
+
+// chunkList is append-only chunked storage, sized like the step chunks:
+// recording never re-copies, and random access stays O(1).
+type chunkList[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+func (c *chunkList[T]) add(v T) {
+	if c.n&(1<<traceChunkShift-1) == 0 {
+		c.chunks = append(c.chunks, make([]T, 0, 1<<traceChunkShift))
+	}
+	last := &c.chunks[len(c.chunks)-1]
+	*last = append(*last, v)
+	c.n++
+}
+
+func (c *chunkList[T]) at(i int) *T {
+	return &c.chunks[i>>traceChunkShift][i&(1<<traceChunkShift-1)]
 }
 
 // Trace is a recorded architectural event stream of one complete Shadow
@@ -48,6 +89,15 @@ type Trace struct {
 	prog   *prog.Program
 	chunks [][]traceStep
 	n      int
+	// State-delta streams, indexed by the cumulative end offsets stored
+	// in each traceStep. They let Replay.StateAt reconstruct the full
+	// architectural state at any step boundary without re-running the
+	// interpreter.
+	regs chunkList[regDelta]
+	mems chunkList[memDelta]
+	maps chunkList[uint32]
+	// excs is the architectural exception log of the recorded run.
+	excs []isa.Exception
 }
 
 // traceChunkShift sizes chunks at 4096 steps (a few hundred KiB each).
@@ -79,6 +129,11 @@ func Record(p *prog.Program, maxSteps int) (*Trace, error) {
 	}
 	s := NewShadow(p)
 	t := &Trace{prog: p}
+	s.hooks = Options{
+		OnRegWrite: func(r isa.Reg, v uint32) { t.regs.add(regDelta{r, v}) },
+		OnMemWrite: func(addr, data uint32, mask uint8) { t.mems.add(memDelta{addr, data, mask}) },
+		OnMap:      func(base uint32) { t.maps.add(base) },
+	}
 	for !s.Halted() {
 		if t.n >= maxSteps {
 			return nil, fmt.Errorf("refsim: trace of %q exceeds %d steps without halting", p.Name, maxSteps)
@@ -87,12 +142,18 @@ func Record(p *prog.Program, maxSteps int) (*Trace, error) {
 		if t.n&(1<<traceChunkShift-1) == 0 {
 			t.chunks = append(t.chunks, make([]traceStep, 0, 1<<traceChunkShift))
 		}
+		if r.Exc.Code != isa.ExcCodeNone {
+			t.excs = append(t.excs, r.Exc)
+		}
 		c := &t.chunks[len(t.chunks)-1]
 		*c = append(*c, traceStep{
 			res:         r,
 			postPC:      s.PC(),
 			postRetired: s.Retired(),
 			postExcs:    s.ExcCount(),
+			regEnd:      uint32(t.regs.n),
+			memEnd:      uint32(t.mems.n),
+			mapEnd:      uint32(t.maps.n),
 		})
 		t.n++
 	}
@@ -160,6 +221,34 @@ func MustCachedRun(p *prog.Program) *Result {
 	return r
 }
 
+// Exceptions returns the architectural exception log of the recorded
+// run. Callers must treat the slice as read-only.
+func (t *Trace) Exceptions() []isa.Exception { return t.excs }
+
+// Retired returns the number of instructions the recorded run
+// architecturally completed.
+func (t *Trace) Retired() int {
+	if t.n == 0 {
+		return 0
+	}
+	return t.at(t.n - 1).postRetired
+}
+
+// FinalResult assembles the architectural end state of the recorded run
+// as a Result, reconstructed purely from the trace (the interpreter is
+// not re-run). The memory is a fresh copy owned by the caller; the
+// exception slice is shared with the trace and read-only.
+func (t *Trace) FinalResult() *Result {
+	st := t.Replay().StateAt(t.n)
+	return &Result{
+		Regs:       st.Regs,
+		Mem:        st.Mem,
+		Exceptions: t.excs,
+		Halted:     true, // Record only returns complete traces
+		Retired:    t.Retired(),
+	}
+}
+
 // Replay walks a recorded Trace, presenting the same observable surface
 // as the live Shadow it was recorded from.
 type Replay struct {
@@ -169,6 +258,17 @@ type Replay struct {
 	retired int
 	excs    int
 	halted  bool
+
+	// StateAt cursor: the reconstructed architectural state after
+	// sStep steps, plus the next unapplied index into each delta
+	// stream. Monotonic forward queries advance incrementally; a
+	// backward seek rebuilds from the program image.
+	sMem  *mem.Memory
+	sRegs [isa.NumRegs]uint32
+	sStep int
+	sReg  int
+	sMemI int
+	sMap  int
 }
 
 // Replay returns a fresh replayer positioned at the program entry.
@@ -201,6 +301,53 @@ func (r *Replay) Step() StepResult {
 	r.excs = s.postExcs
 	r.halted = s.res.Halted
 	return s.res
+}
+
+// ArchState is a standalone architectural register/memory snapshot, as
+// reconstructed by Replay.StateAt. The memory is owned by the caller.
+type ArchState struct {
+	Regs [isa.NumRegs]uint32
+	Mem  *mem.Memory
+}
+
+// StateAt returns the architectural state at the boundary after dynamic
+// step n of the recorded run: n == 0 is the initial program image,
+// n == Steps() the final state. It reconstructs state by applying the
+// recorded per-step deltas, never re-running the interpreter; the
+// replay keeps a cursor, so a monotonically increasing sequence of
+// queries costs one pass over the trace in total (a backward seek
+// restarts from the image). The returned snapshot is a deep copy,
+// independent of later queries. Panics if n is out of range.
+//
+// StateAt is independent of the Step replay cursor; using both on one
+// Replay is fine (but a Replay is not safe for concurrent use).
+func (r *Replay) StateAt(n int) *ArchState {
+	if n < 0 || n > r.t.n {
+		panic(fmt.Sprintf("refsim: StateAt(%d) out of range [0,%d]", n, r.t.n))
+	}
+	if r.sMem == nil || n < r.sStep {
+		r.sMem = r.t.prog.NewMemory()
+		r.sRegs = [isa.NumRegs]uint32{}
+		r.sStep, r.sReg, r.sMemI, r.sMap = 0, 0, 0, 0
+	}
+	for ; r.sStep < n; r.sStep++ {
+		s := r.t.at(r.sStep)
+		// Within a step, writes precede maps (a freshly mapped page is
+		// only touched by later steps; the excepting attempt that maps
+		// it never writes it).
+		for ; r.sReg < int(s.regEnd); r.sReg++ {
+			d := r.t.regs.at(r.sReg)
+			r.sRegs[d.r] = d.v
+		}
+		for ; r.sMemI < int(s.memEnd); r.sMemI++ {
+			d := r.t.mems.at(r.sMemI)
+			r.sMem.WriteMasked(d.addr, d.data, d.mask)
+		}
+		for ; r.sMap < int(s.mapEnd); r.sMap++ {
+			r.sMem.Map(*r.t.maps.at(r.sMap), mem.PageSize)
+		}
+	}
+	return &ArchState{Regs: r.sRegs, Mem: r.sMem.Clone()}
 }
 
 var (

@@ -98,6 +98,19 @@ func (f *File) Read(r isa.Reg) (val uint32, pending bool, tag uint64) {
 	return f.current.val[r], f.current.pending[r], f.current.tag[r]
 }
 
+// Corrupt XORs mask into the current-space value cell of r, modelling a
+// single-event upset in the working register file. Backups, pending
+// flags, and tags are untouched: the flip hits the stored bits only, so
+// a cell awaiting a pending producer still gets overwritten by the
+// delivery, exactly like real bit-flip hardware faults under register
+// renaming. Corrupting R0 is a no-op (it reads as zero regardless).
+func (f *File) Corrupt(r isa.Reg, mask uint32) {
+	if r == 0 {
+		return
+	}
+	f.current.val[r] ^= mask
+}
+
 // Reserve marks r reserved in the current space by the operation with
 // the given tag (instruction issue). Reserving R0 is a no-op.
 func (f *File) Reserve(r isa.Reg, tag uint64) {

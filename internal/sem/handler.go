@@ -35,6 +35,8 @@ func HandlerAction(code isa.ExcCode) ExcAction {
 	case isa.ExcCodeOverflow, isa.ExcCodeSoftware:
 		return ActContinue
 	default:
+		// Includes machine checks: a detected transient fault the
+		// checkpoint hardware could not repair transparently is fatal.
 		return ActHalt
 	}
 }

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dist accumulates a small distribution of int64 samples (repair
+// latencies, queue depths) and reports order statistics. Samples are
+// kept verbatim — the consumers (fault-injection campaign reports)
+// collect at most a few thousand points per table row, so exact
+// percentiles beat a sketch. The zero value is ready to use.
+type Dist struct {
+	samples []int64
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Dist) Add(v int64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+func (d *Dist) sort() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+}
+
+// Min returns the smallest sample (0 if empty).
+func (d *Dist) Min() int64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.samples[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (d *Dist) Max() int64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.samples[len(d.samples)-1]
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(d.samples))
+}
+
+// Percentile returns the p-th percentile (nearest-rank, p in [0,100]).
+// Returns 0 if empty.
+func (d *Dist) Percentile(p float64) int64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	d.sort()
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return d.samples[rank]
+}
+
+// String renders "n=… min/p50/mean/p90/max" compactly, or "n=0".
+func (d *Dist) String() string {
+	if len(d.samples) == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d mean=%.1f p90=%d max=%d",
+		d.N(), d.Min(), d.Percentile(50), d.Mean(), d.Percentile(90), d.Max())
+}

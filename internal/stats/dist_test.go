@@ -1,0 +1,36 @@
+package stats
+
+import "testing"
+
+func TestDist(t *testing.T) {
+	var d Dist
+	if d.String() != "n=0" || d.Min() != 0 || d.Max() != 0 || d.Mean() != 0 || d.Percentile(50) != 0 {
+		t.Fatalf("zero-value Dist misbehaves: %s", d.String())
+	}
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.Min() != 1 || d.Max() != 9 {
+		t.Fatalf("min/max = %d/%d", d.Min(), d.Max())
+	}
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if p := d.Percentile(50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := d.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := d.Percentile(100); p != 9 {
+		t.Fatalf("p100 = %d", p)
+	}
+	// Adding after a sorted query keeps order statistics correct.
+	d.Add(0)
+	if d.Min() != 0 || d.Max() != 9 || d.N() != 6 {
+		t.Fatalf("after re-add: %s", d.String())
+	}
+}
