@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench experiments faultcamp profile ci
+.PHONY: build vet test race fastpath bench experiments faultcamp profile serve loadtest smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ test: build
 
 # Race-check the concurrency-sensitive surface: the parallel experiment
 # engine, the whole-machine golden tests it drives, the memoized
-# workload loaders shared across workers, and the fault-injection
-# campaign fan-out (16 concurrent injected machines).
+# workload loaders shared across workers, the fault-injection campaign
+# fan-out (16 concurrent injected machines), and the serving layer's
+# single-flight cache and queue (64 concurrent identical submissions).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/
 
 # Fast-path equivalence: cycle skipping and trace replay must change
 # nothing observable (full-result diffs and byte-identical artefacts).
@@ -42,4 +43,19 @@ experiments:
 faultcamp:
 	$(GO) run ./cmd/faultcamp
 
-ci: vet test fastpath race
+# Run the simulation daemon (see README "Serving the simulator").
+serve:
+	$(GO) run ./cmd/ckptd
+
+# Drive a running ckptd with the default load mix and refresh
+# BENCH_4.json (start one first: `make serve`).
+loadtest:
+	$(GO) run ./cmd/ckptload
+
+# End-to-end serving smoke test: boots ckptd on a free port, asserts
+# 0 failed jobs, >=1 cache hit, and single-flight coalescing via
+# ckptload -smoke, then SIGTERMs the daemon and requires a clean drain.
+smoke:
+	sh scripts/smoke.sh
+
+ci: vet test fastpath race smoke

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -31,7 +32,7 @@ func BenchmarkExperiment(b *testing.B) {
 	for _, e := range experiments.All() {
 		b.Run(e.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				for _, t := range e.Run() {
+				for _, t := range e.Run(context.Background()) {
 					_ = t.String()
 				}
 			}
@@ -258,7 +259,7 @@ func BenchmarkRandomProgramGolden(b *testing.B) {
 // Example of driving the experiment registry programmatically.
 func Example() {
 	e, _ := experiments.ByID("F5")
-	for _, t := range e.Run() {
+	for _, t := range e.Run(context.Background()) {
 		fmt.Println(t.ID)
 	}
 	_ = io.Discard

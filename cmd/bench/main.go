@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bpred"
+	"repro/internal/buildinfo"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/diff"
@@ -95,16 +97,16 @@ var experimentBaselines = map[string]float64{
 
 // entry is one benchmark's measurement.
 type entry struct {
-	Name            string  `json:"name"`
-	NsPerOp         float64 `json:"ns_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	SimInstsPerSec  float64 `json:"sim_insts_per_sec,omitempty"`
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec,omitempty"`
 	// Fault-campaign entries only: injected machine runs per second.
 	InjectionsPerSec float64 `json:"injections_per_sec,omitempty"`
-	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
-	BaselineAllocs  int64   `json:"baseline_allocs_per_op,omitempty"`
-	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocs   int64   `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupVsBase    float64 `json:"speedup_vs_baseline,omitempty"`
 	// Experiment entries only: the pre-change-tree time (see
 	// experimentBaselines) and the speedup over it.
 	PreTreeNsPerOp   float64 `json:"pre_fastpath_tree_ns_per_op,omitempty"`
@@ -133,7 +135,9 @@ func main() {
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
+	version := buildinfo.Flag()
 	flag.Parse()
+	version()
 	flag.Set("test.benchtime", benchtime.String())
 
 	if *cpuprofile != "" {
@@ -289,7 +293,7 @@ func main() {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := fault.Replay(p, mkE, cc, plan.Exec); err != nil {
+				if _, err := fault.Replay(context.Background(), p, mkE, cc, plan.Exec); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -311,12 +315,12 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("no experiment %s in the registry", id))
 		}
-		e.Run()
+		e.Run(context.Background())
 		run := func() testing.BenchmarkResult {
 			return testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					for _, t := range e.Run() {
+					for _, t := range e.Run(context.Background()) {
 						_ = t.String()
 					}
 				}

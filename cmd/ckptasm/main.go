@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/buildinfo"
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/internal/refsim"
@@ -25,7 +26,9 @@ func main() {
 	runIt := flag.Bool("run", false, "execute on the reference interpreter")
 	encode := flag.Bool("encode", false, "dump the binary encoding")
 	kernel := flag.String("kernel", "", "operate on a built-in kernel instead of a file")
+	version := buildinfo.Flag()
 	flag.Parse()
+	version()
 
 	var p *prog.Program
 	var err error

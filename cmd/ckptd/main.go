@@ -1,0 +1,99 @@
+// Command ckptd serves the checkpoint-repair simulator as a daemon:
+// simulation, sweep, and fault-campaign jobs over HTTP/JSON, executed
+// on the internal worker pool behind a bounded queue and a
+// content-addressed single-flight result cache (see internal/service
+// and the "Serving" section of README.md).
+//
+// Usage:
+//
+//	ckptd                              # listen on 127.0.0.1:8909
+//	ckptd -addr :9000 -workers 4       # wider execution pool
+//	ckptd -queue 128 -cache 512        # more buffering before 429s
+//	ckptd -addr 127.0.0.1:0 -addrfile /tmp/ckptd.addr   # test harnesses
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// admitted jobs run to completion (up to -drain-timeout, after which
+// their contexts are cancelled), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8909", "listen address (host:port, port 0 picks a free port)")
+	workers := flag.Int("workers", 2, "concurrent job executions (each fans out on the simulation pool)")
+	queueCap := flag.Int("queue", 64, "bounded queue capacity; beyond it submissions get 429")
+	cacheCap := flag.Int("cache", 256, "completed results kept in the in-memory cache")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown before cancelling them")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
+	jobs := flag.Int("j", 0, "simulation pool width per execution (0 = GOMAXPROCS)")
+	version := buildinfo.Flag()
+	flag.Parse()
+	version()
+
+	if *jobs > 0 {
+		experiments.SetParallelism(*jobs)
+	}
+
+	srv := service.New(service.Config{
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		CacheCap: *cacheCap,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ckptd: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("ckptd: write addrfile: %v", err)
+		}
+	}
+	log.Printf("ckptd %s listening on http://%s (workers=%d queue=%d cache=%d)",
+		buildinfo.Version(), ln.Addr(), *workers, *queueCap, *cacheCap)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("ckptd: %s: draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("ckptd: serve: %v", err)
+	}
+
+	// Stop taking connections first, then drain the job queue. Clients
+	// blocked on ?wait=1 are closed by Shutdown only after their jobs
+	// finish, so drain the queue before bounding the HTTP shutdown.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ckptd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("ckptd: drain timed out, running jobs cancelled: %v", drainErr)
+		fmt.Println("ckptd: stopped (hard)")
+		os.Exit(1)
+	}
+	log.Printf("ckptd: drained clean")
+}

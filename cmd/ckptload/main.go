@@ -1,0 +1,279 @@
+// Command ckptload drives a running ckptd with simulation traffic and
+// reports throughput and latency percentiles. It doubles as the CI
+// smoke test for the serving layer (-smoke): it proves single-flight
+// coalescing end to end (N identical concurrent requests, exactly one
+// execution, byte-identical results), asserts zero failed jobs and at
+// least one cache hit, and exits nonzero otherwise.
+//
+// Usage:
+//
+//	ckptd &                                  # start the daemon
+//	ckptload                                 # default load, writes BENCH_4.json
+//	ckptload -n 200 -c 16 -singleflight 64
+//	ckptload -addr http://127.0.0.1:8909 -smoke -o ""
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8909", "ckptd base URL")
+	n := flag.Int("n", 128, "throughput-phase request count")
+	c := flag.Int("c", 8, "concurrent clients")
+	sf := flag.Int("singleflight", 64, "identical concurrent requests in the single-flight phase (0 = skip)")
+	seed := flag.Int64("seed", 1, "base seed for the distinct-spec mix")
+	out := flag.String("o", "BENCH_4.json", "write results here (empty = stdout only)")
+	smoke := flag.Bool("smoke", false, "small deterministic run with hard assertions (CI)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	version := buildinfo.Flag()
+	flag.Parse()
+	version()
+
+	if *smoke {
+		*n, *c, *sf = 24, 8, 16
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(strings.TrimRight(*addr, "/"))
+	if !cl.Healthy(ctx) {
+		log.Fatalf("ckptload: no healthy ckptd at %s", *addr)
+	}
+
+	report := map[string]any{
+		"bench":   "ckptload",
+		"version": buildinfo.Version(),
+		"config":  map[string]any{"n": *n, "c": *c, "singleflight": *sf, "seed": *seed, "smoke": *smoke},
+	}
+	failures := 0
+
+	// Phase 1: single-flight. All clients submit the same spec at once;
+	// the daemon must run it exactly once and hand everyone the same
+	// bytes. Campaign specs are the heaviest single execution, which
+	// makes the coalescing window easy to hit; smoke mode uses a quick
+	// sim so CI stays fast.
+	if *sf > 0 {
+		spec := service.Spec{Kind: "campaign", Workload: "dotprod",
+			Campaign: &service.CampaignSpec{Seed: 4242, Stride: 4}}
+		if *smoke {
+			spec = service.Spec{Kind: "sim", Workload: "dotprod"}
+		}
+		before := mustMetrics(ctx, cl)
+		start := time.Now()
+		bodies := make([]string, *sf)
+		errs := make([]error, *sf)
+		var wg sync.WaitGroup
+		for i := 0; i < *sf; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sr, err := cl.Run(ctx, spec)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if sr.Job.State != service.StateDone || sr.Result == nil {
+					errs[i] = fmt.Errorf("job %s: state=%s", sr.Job.ID, sr.Job.State)
+					return
+				}
+				b, _ := json.Marshal(sr.Result)
+				bodies[i] = string(b)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := mustMetrics(ctx, cl)
+
+		identical := true
+		for i := 0; i < *sf; i++ {
+			if errs[i] != nil {
+				failures++
+				log.Printf("ckptload: single-flight request %d: %v", i, errs[i])
+			} else if bodies[i] != bodies[0] {
+				identical = false
+			}
+		}
+		execs := counter(after, "executions", "started") - counter(before, "executions", "started")
+		report["single_flight"] = map[string]any{
+			"requests":       *sf,
+			"executions":     execs,
+			"byte_identical": identical,
+			"elapsed_ms":     elapsed.Milliseconds(),
+		}
+		if execs != 1 {
+			failures++
+			log.Printf("ckptload: single-flight ran %d executions, want 1", execs)
+		}
+		if !identical {
+			failures++
+			log.Printf("ckptload: single-flight results not byte-identical")
+		}
+	}
+
+	// Phase 2: throughput over a mix of distinct specs, then a full
+	// second pass over the same mix — the repeats must come back as
+	// cache hits. 429s are handled the way a well-behaved client
+	// would: honor Retry-After and resubmit.
+	mix := buildMix(*n, *seed)
+	lat := &stats.Dist{}
+	var latMu sync.Mutex
+	var failedJobs int64
+	start := time.Now()
+	for pass := 0; pass < 2; pass++ {
+		sem := make(chan struct{}, *c)
+		var wg sync.WaitGroup
+		for _, spec := range mix {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(spec service.Spec) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				sr, err := runWithRetry(ctx, cl, spec)
+				d := time.Since(t0)
+				latMu.Lock()
+				lat.Add(d.Microseconds())
+				if err != nil || sr.Job.State != service.StateDone {
+					failedJobs++
+					if err != nil {
+						log.Printf("ckptload: job failed: %v", err)
+					} else {
+						log.Printf("ckptload: job %s: state=%s error=%q", sr.Job.ID, sr.Job.State, sr.Job.Error)
+					}
+				}
+				latMu.Unlock()
+			}(spec)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	final := mustMetrics(ctx, cl)
+	hits := counter(final, "cache", "hits")
+	rps := float64(2*len(mix)) / elapsed.Seconds()
+	report["throughput"] = map[string]any{
+		"requests":   2 * len(mix),
+		"failed":     failedJobs,
+		"elapsed_ms": elapsed.Milliseconds(),
+		"rps":        rps,
+		"latency_us": map[string]any{
+			"p50":  lat.Percentile(50),
+			"p90":  lat.Percentile(90),
+			"p99":  lat.Percentile(99),
+			"max":  lat.Max(),
+			"mean": lat.Mean(),
+		},
+	}
+	report["daemon"] = map[string]any{
+		"cache_hits":        hits,
+		"cache_misses":      counter(final, "cache", "misses"),
+		"coalesced":         counter(final, "cache", "coalesced"),
+		"rejected":          counter(final, "jobs", "rejected"),
+		"sim_insts":         int64(num(final, "sim_insts")),
+		"sim_insts_per_sec": num(final, "sim_insts_per_sec"),
+	}
+
+	if failedJobs != 0 {
+		failures++
+		log.Printf("ckptload: %d jobs failed, want 0", failedJobs)
+	}
+	if hits < 1 {
+		failures++
+		log.Printf("ckptload: %d cache hits, want >= 1", hits)
+	}
+	report["failures"] = failures
+
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("ckptload: %v", err)
+		}
+	}
+	if failures != 0 {
+		os.Exit(1)
+	}
+}
+
+// buildMix produces n distinct-but-cheap specs: kernel workloads
+// crossed with schemes, with the seed folded into campaign variants so
+// separate ckptload runs against a shared daemon don't all hit cache.
+func buildMix(n int, seed int64) []service.Spec {
+	kernels := []string{"fib", "memcpy", "dotprod", "listsum", "bubble", "crc"}
+	schemes := []service.MachineSpec{
+		{},
+		{Scheme: "b"},
+		{Scheme: "tight", C: 8},
+		{Scheme: "loose"},
+		{Scheme: "direct"},
+	}
+	var mix []service.Spec
+	for i := 0; len(mix) < n; i++ {
+		k := kernels[i%len(kernels)]
+		m := schemes[(i/len(kernels))%len(schemes)]
+		spec := service.Spec{Kind: "sim", Workload: k, Machine: m}
+		if i%len(schemes) == 0 && i%2 == 1 {
+			spec = service.Spec{Kind: "campaign", Workload: k,
+				Campaign: &service.CampaignSpec{Seed: seed + int64(i), Stride: 8,
+					Models: []string{"fu-detected"}}}
+		}
+		// Fold the seed into sim specs via the buffer capacity so the
+		// mix differs across -seed values without changing the work.
+		if spec.Kind == "sim" {
+			spec.Machine.BufferCap = int(seed%4)*64 + (i/(len(kernels)*len(schemes)))*256
+		}
+		mix = append(mix, spec)
+	}
+	return mix
+}
+
+// runWithRetry resubmits on backpressure, honoring Retry-After.
+func runWithRetry(ctx context.Context, cl *client.Client, spec service.Spec) (*client.SubmitResponse, error) {
+	for {
+		sr, err := cl.Run(ctx, spec)
+		var busy *client.ErrTooBusy
+		if errors.As(err, &busy) {
+			select {
+			case <-time.After(busy.RetryAfter):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return sr, err
+	}
+}
+
+func mustMetrics(ctx context.Context, cl *client.Client) map[string]any {
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("ckptload: metrics: %v", err)
+	}
+	return m
+}
+
+func counter(m map[string]any, group, name string) int64 {
+	g, _ := m[group].(map[string]any)
+	v, _ := g[name].(float64)
+	return int64(v)
+}
+
+func num(m map[string]any, name string) float64 {
+	v, _ := m[name].(float64)
+	return v
+}

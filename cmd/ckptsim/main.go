@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/bpred"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/prog"
@@ -48,7 +49,9 @@ func main() {
 		vizEvery = flag.Int("viz", 0, "render the checkpoint window every N cycles (0 = off)")
 		jsonOut  = flag.Bool("json", false, "emit machine statistics as JSON instead of text")
 	)
+	version := buildinfo.Flag()
 	flag.Parse()
+	version()
 
 	if *list {
 		for _, k := range workload.Kernels() {

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -28,7 +29,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	id := flag.String("id", "", "run a single experiment by ID (e.g. C7)")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	version := buildinfo.Flag()
 	flag.Parse()
+	version()
 
 	experiments.SetParallelism(*jobs)
 
@@ -38,19 +41,19 @@ func main() {
 		}
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *id != "" {
-		e, ok := experiments.ByID(*id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *id)
+		ts, err := experiments.RunExperiment(ctx, *id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v (use -list)\n", err)
 			os.Exit(1)
 		}
-		for _, t := range e.Run() {
+		for _, t := range ts {
 			fmt.Println(t.String())
 		}
 		return
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	if err := experiments.RunAllContext(ctx, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)

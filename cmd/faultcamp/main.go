@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -46,13 +49,20 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent injected runs (0 = GOMAXPROCS, 1 = sequential)")
 	distance := flag.Int("d", 8, "schemeE checkpoint distance (instructions per interval)")
 	verbose := flag.Bool("v", false, "list every non-masked injection outcome")
+	version := buildinfo.Flag()
 	flag.Parse()
+	version()
 
 	models, err := parseModels(*modelsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Ctrl-C cancels the campaign fan-out after in-flight injected runs
+	// drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	exit := 0
 	for i, name := range strings.Split(*wl, ",") {
@@ -74,7 +84,7 @@ func main() {
 		if cc.Stride <= 0 {
 			cc.Stride = autoStride(p.Name, mk, cc)
 		}
-		rep, err := fault.Run(p, mk, cc)
+		rep, err := fault.Run(ctx, p, mk, cc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faultcamp: %s: %v\n", name, err)
 			os.Exit(1)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// re-executes in single-step mode; the re-executed operation is
 	// clean, so the run converges to the golden final state.
 	inj := fault.Injection{Model: fault.SpuriousExc, Event: 40}
-	res, err := fault.Replay(p, mk, fault.Config{}, []fault.Injection{inj})
+	res, err := fault.Replay(context.Background(), p, mk, fault.Config{}, []fault.Injection{inj})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	// dead flips against the reference trace, collapse detected faults
 	// by checkpoint interval, execute the rest in parallel, classify
 	// each against the golden state.
-	rep, err := fault.Run(p, mk, fault.Config{Seed: 1987})
+	rep, err := fault.Run(context.Background(), p, mk, fault.Config{Seed: 1987})
 	if err != nil {
 		log.Fatal(err)
 	}

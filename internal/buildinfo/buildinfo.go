@@ -1,0 +1,70 @@
+// Package buildinfo gives every command in this module the same
+// -version flag and version string, derived from the Go module build
+// metadata (no ldflags stamping required).
+//
+// Usage, before flag.Parse:
+//
+//	done := buildinfo.Flag()
+//	flag.Parse()
+//	done()
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the module version plus VCS revision when the
+// binary was built from a checkout, e.g. "(devel) rev 1a2b3c4d dirty".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += " rev " + rev
+		if dirty {
+			v += " dirty"
+		}
+	}
+	return v
+}
+
+// String renders the full one-line version banner for a command.
+func String() string {
+	return fmt.Sprintf("%s %s (%s, %s/%s)",
+		filepath.Base(os.Args[0]), Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Flag registers -version on the default FlagSet and returns a
+// function to call after flag.Parse: it prints the banner and exits
+// when the flag was set, and is a no-op otherwise.
+func Flag() func() {
+	v := flag.Bool("version", false, "print version and exit")
+	return func() {
+		if *v {
+			fmt.Println(String())
+			os.Exit(0)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -18,16 +19,16 @@ import (
 // evaluate the time and hardware overhead incurred").
 
 func init() {
-	register("A1", "ablation: predictor quality vs repair machinery value", one(a1))
+	register("A1", "ablation: predictor quality vs repair machinery value", sweep(a1))
 	register("A2", "ablation: machine width vs checkpoint overhead", one(a2))
-	register("A3", "ablation: precise-mode budget after E-repair", one(a3))
-	register("A4", "ablation: checkpoint distance under frequent exceptions", one(a4))
-	register("A5", "ablation: memory checkpointing technique", one(a5))
+	register("A3", "ablation: precise-mode budget after E-repair", sweep(a3))
+	register("A4", "ablation: checkpoint distance under frequent exceptions", sweep(a4))
+	register("A5", "ablation: memory checkpointing technique", sweep(a5))
 }
 
 // a1: the B-repair machinery's value is proportional to how often the
 // predictor is wrong; the E machinery's cost is independent of it.
-func a1() *Table {
+func a1(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "A1",
 		Title: "predictor quality on the branchy synthetic workload (tight(4))",
@@ -56,7 +57,7 @@ func a1() *Table {
 			MemSystem: machine.MemBackward3b,
 		}}
 	}
-	for i, res := range runParallel(jobs) {
+	for i, res := range runParallel(ctx, jobs) {
 		t.AddRow(preds[i].Name(), fmt.Sprintf("%.1f%%", res.PredictorAccuracy*100),
 			res.Stats.BRepairs, res.Stats.WrongPath, res.Stats.Cycles,
 			fmt.Sprintf("%.3f", res.Stats.IPC()))
@@ -104,7 +105,7 @@ func a2() *Table {
 // a3: the paper's single-step phase runs "until ... all the
 // instructions in the E-repair range ... have finished"; the budget
 // controls how long the machine crawls after each repair.
-func a3() *Table {
+func a3(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "A3",
 		Title: "precise-mode budget after E-repairs (pagedemo kernel, tight(4))",
@@ -125,7 +126,7 @@ func a3() *Table {
 			PreciseBudget: budget,
 		})
 	}
-	for i, res := range runParallel(jobs) {
+	for i, res := range runParallel(ctx, jobs) {
 		t.AddRow(budgets[i], res.Stats.ERepairs, res.Stats.PreciseInsts, res.Stats.Cycles)
 	}
 	return t
@@ -135,7 +136,7 @@ func a3() *Table {
 // a rare event ... up to a reasonable point". When exceptions are NOT
 // rare, longer distances discard more useful work per repair and the
 // advice inverts.
-func a4() *Table {
+func a4(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "A4",
 		Title: "checkpoint distance when exceptions are frequent (schemeE(2))",
@@ -157,7 +158,7 @@ func a4() *Table {
 			MemSystem: machine.MemBackward3b,
 		}}
 	}
-	for i, res := range runParallel(jobs) {
+	for i, res := range runParallel(ctx, jobs) {
 		t.AddRow(ds[i], res.Stats.ERepairs, res.Scheme.SquashedOps, res.Stats.PreciseInsts, res.Stats.Cycles)
 	}
 	return t
@@ -165,7 +166,7 @@ func a4() *Table {
 
 // a5: backward (immediate write, undo on repair) vs forward (deferred
 // write, discard on repair) across workload characters.
-func a5() *Table {
+func a5(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "A5",
 		Title: "memory technique across workloads (tight(4), bimodal)",
@@ -191,7 +192,7 @@ func a5() *Table {
 			}))
 		}
 	}
-	for i, res := range runParallel(jobs) {
+	for i, res := range runParallel(ctx, jobs) {
 		t.AddRow(jobs[i].name, memsys[i%len(memsys)].String(), res.Stats.Cycles,
 			res.Diff.MaxOccupancy, res.Diff.Undone, res.Diff.Discarded)
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to at
+// most base, failing the test if it never does. Pool workers return
+// their tokens before exiting, so after a drained cancellation the
+// count must settle.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // let finished goroutines park
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancellation: %d > %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunExperimentCancelledNoLeak cancels a sweep experiment before it
+// starts and mid-flight, asserting both that the cancellation surfaces
+// as ctx.Err() and that no pool workers are left behind.
+func TestRunExperimentCancelledNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Already-cancelled context: the sweep must not dispatch anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunExperiment(ctx, "C5"); err != context.Canceled {
+		t.Fatalf("pre-cancelled RunExperiment err = %v, want context.Canceled", err)
+	}
+	settleGoroutines(t, base)
+
+	// Mid-sweep cancellation: cancel while the C5 (c × distance) sweep
+	// is in flight. Depending on timing the sweep may finish first, so
+	// accept either outcome — but never a leak, and never a partial
+	// table presented as success.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	ts, err := RunExperiment(ctx2, "C5")
+	switch {
+	case err == nil:
+		if len(ts) == 0 {
+			t.Fatal("RunExperiment returned no error and no tables")
+		}
+	case err == context.Canceled:
+		if ts != nil {
+			t.Fatalf("cancelled RunExperiment returned partial tables: %v", ts)
+		}
+	default:
+		t.Fatalf("RunExperiment err = %v", err)
+	}
+	cancel2()
+	settleGoroutines(t, base)
+}
+
+// TestRunExperimentUnknownID keeps the error path deterministic.
+func TestRunExperimentUnknownID(t *testing.T) {
+	if _, err := RunExperiment(context.Background(), "ZZ9"); err == nil {
+		t.Fatal("unknown experiment id did not error")
+	}
+}

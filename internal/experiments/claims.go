@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -13,18 +14,18 @@ import (
 )
 
 func init() {
-	register("C1", "repair frequency analysis (§2.2)", func() []*Table { return []*Table{c1()} })
-	register("C2", "minimum backup spaces (Theorem 2)", func() []*Table { return []*Table{c2()} })
-	register("C3", "active instruction bound (Theorem 3)", func() []*Table { return []*Table{c3()} })
-	register("C4", "oldest-checkpoint completion (Theorem 4)", func() []*Table { return []*Table{c4()} })
-	register("C5", "stall trade-off: spaces vs distance (§3.1)", func() []*Table { return []*Table{c5()} })
-	register("C6", "difference buffer sizing (Theorem 7)", func() []*Table { return []*Table{c6()} })
-	register("C7", "Algorithm 3(a) vs 3(b) write-backs (§3.2.2)", func() []*Table { return []*Table{c7()} })
-	register("C8", "B-repair space requirements (Theorems 8, 9)", func() []*Table { return []*Table{c8()} })
-	register("C9", "direct vs loose vs tight merged schemes (§5)", func() []*Table { return []*Table{c9()} })
-	register("C10", "write-back vs write-through caches (§1)", func() []*Table { return []*Table{c10()} })
-	register("C11", "baselines: in-order, history buffer, reorder buffer", func() []*Table { return []*Table{c11()} })
-	register("C12", "golden-model equivalence summary (Theorem 1)", func() []*Table { return []*Table{c12()} })
+	register("C1", "repair frequency analysis (§2.2)", one(c1))
+	register("C2", "minimum backup spaces (Theorem 2)", sweep(c2))
+	register("C3", "active instruction bound (Theorem 3)", one(c3))
+	register("C4", "oldest-checkpoint completion (Theorem 4)", one(c4))
+	register("C5", "stall trade-off: spaces vs distance (§3.1)", sweep(c5))
+	register("C6", "difference buffer sizing (Theorem 7)", sweep(c6))
+	register("C7", "Algorithm 3(a) vs 3(b) write-backs (§3.2.2)", sweep(c7))
+	register("C8", "B-repair space requirements (Theorems 8, 9)", one(c8))
+	register("C9", "direct vs loose vs tight merged schemes (§5)", sweep(c9))
+	register("C10", "write-back vs write-through caches (§1)", sweep(c10))
+	register("C11", "baselines: in-order, history buffer, reorder buffer", sweep(c11))
+	register("C12", "golden-model equivalence summary (Theorem 1)", sweep(c12))
 }
 
 // run executes a kernel-style program on a machine config, panicking on
@@ -90,7 +91,7 @@ func c1() *Table {
 
 // c2 demonstrates Theorem 2: one backup space forces the pipeline to
 // drain at every check; two avoid it; more help less and less.
-func c2() *Table {
+func c2(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C2",
 		Title: "schemeE issue stalls vs number of backup spaces (distance 8)",
@@ -112,7 +113,7 @@ func c2() *Table {
 			}))
 		}
 	}
-	results := runParallel(jobs)
+	results := runParallel(ctx, jobs)
 	for i, name := range names {
 		row := results[i*len(cs) : (i+1)*len(cs)]
 		stall := func(j int) int64 { return row[j].Stats.StallCycles[1] } // StallScheme
@@ -189,7 +190,7 @@ func c4() *Table {
 
 // c5 sweeps the §3.1 design space: more spaces or longer distances both
 // reduce stalls, at different costs.
-func c5() *Table {
+func c5(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C5",
 		Title: "schemeE stall cycles across (c, distance) — sieve kernel",
@@ -211,7 +212,7 @@ func c5() *Table {
 			}))
 		}
 	}
-	results := runParallel(jobs)
+	results := runParallel(ctx, jobs)
 	for i, c := range cs {
 		row := []any{fmt.Sprint(c)}
 		for j := range ds {
@@ -224,7 +225,7 @@ func c5() *Table {
 
 // c6 sweeps the backward-difference buffer capacity around the
 // Theorem 7 bound (2c-1)W.
-func c6() *Table {
+func c6(ctx context.Context) *Table {
 	c, W := 3, 4
 	bound := (2*c - 1) * W
 	t := &Table{
@@ -248,7 +249,7 @@ func c6() *Table {
 	outs := make([]outcome, len(capacities))
 	// Deadlocking capacities are expected results here, so this sweep
 	// cannot go through runParallel's panic-on-error path.
-	parMap(len(capacities), func(i int) {
+	parMap(ctx, len(capacities), func(i int) {
 		outs[i].res, outs[i].err = simRun(p, machine.Config{
 			Scheme:         core.NewSchemeE(c, 1000, W), // W forces the checkpoints
 			Speculate:      false,
@@ -278,7 +279,7 @@ func c6() *Table {
 
 // c7 runs the simulation the paper says is required: how many
 // write-backs does Algorithm 3(b) save over 3(a)?
-func c7() *Table {
+func c7(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C7",
 		Title: "cache write-backs under Algorithm 3(a) vs 3(b)",
@@ -305,7 +306,7 @@ func c7() *Table {
 			}))
 		}
 	}
-	results := runParallel(jobs)
+	results := runParallel(ctx, jobs)
 	for i, name := range progs {
 		a, b := results[2*i], results[2*i+1]
 		t.AddRow(name, a.Cache.WriteBacks, b.Cache.WriteBacks,
@@ -339,7 +340,7 @@ func c8() *Table {
 }
 
 // c9 compares the three §5 schemes at comparable space budgets.
-func c9() *Table {
+func c9(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C9",
 		Title: "combined schemes at comparable logical-space budgets",
@@ -369,7 +370,7 @@ func c9() *Table {
 			}))
 		}
 	}
-	results := runParallel(jobs)
+	results := runParallel(ctx, jobs)
 	for i, job := range jobs {
 		s, res := job.cfg.Scheme, results[i]
 		t.AddRow(job.name, s.Name(), s.Spaces(), res.Stats.Cycles,
@@ -381,7 +382,7 @@ func c9() *Table {
 
 // c10 compares write-back and write-through cache policies under the
 // backward difference.
-func c10() *Table {
+func c10(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C10",
 		Title: "write-back vs write-through under the backward difference",
@@ -408,7 +409,7 @@ func c10() *Table {
 			}))
 		}
 	}
-	results := runParallel(jobs)
+	results := runParallel(ctx, jobs)
 	for i, job := range jobs {
 		res, pol := results[i], pols[i%len(pols)]
 		memWrites := res.Cache.WriteBacks
@@ -424,7 +425,7 @@ func c10() *Table {
 
 // c11 compares against the Smith–Pleszkun baselines and the in-order
 // machine.
-func c11() *Table {
+func c11(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C11",
 		Title: "cycles and IPC vs baseline machines",
@@ -438,7 +439,7 @@ func c11() *Table {
 	}
 	names := []string{"fib", "bubble", "matmul", "sieve", "crc", "recfib"}
 	rows := make([][]any, len(names))
-	parMap(len(names), func(i int) {
+	parMap(ctx, len(names), func(i int) {
 		name := names[i]
 		k, _ := workload.ByName(name)
 		p := k.Load()
@@ -476,7 +477,7 @@ func c11() *Table {
 
 // c12 summarises the golden-model equivalence evidence (Theorem 1 and
 // the B-repair correctness argument).
-func c12() *Table {
+func c12(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "C12",
 		Title: "golden-model equivalence: machine vs reference interpreter",
@@ -496,7 +497,7 @@ func c12() *Table {
 	// The reference runs are shared by every configuration; compute each
 	// kernel's once, in parallel, then fan out the machine runs.
 	refs := make([]*refsim.Result, len(kernels))
-	parMap(len(kernels), func(i int) {
+	parMap(ctx, len(kernels), func(i int) {
 		refs[i] = refsim.MustCachedRun(kernels[i].Load())
 	})
 	type cell struct {
@@ -504,7 +505,7 @@ func c12() *Table {
 		total, matched int
 	}
 	cells := make([]cell, len(mks)*len(memsys))
-	parMap(len(cells), func(i int) {
+	parMap(ctx, len(cells), func(i int) {
 		mk, ms := mks[i/len(memsys)], memsys[i%len(memsys)]
 		c := &cells[i]
 		for j, k := range kernels {

@@ -104,11 +104,16 @@ func wrap(s string, w int) string {
 	return b.String()
 }
 
-// Experiment is a registered experiment generator.
+// Experiment is a registered experiment generator. Run honours ctx:
+// sweep experiments stop dispatching new simulations once it is
+// cancelled and unwind with a cancelUnwind panic after in-flight jobs
+// drain. Call Run through RunExperiment (or RunAllContext) to get the
+// unwind converted back into ctx.Err(); calling Run directly with a
+// never-cancelled context (context.Background()) is always safe.
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func() []*Table // some experiments emit several tables
+	Run  func(ctx context.Context) []*Table // some experiments emit several tables
 }
 
 var (
@@ -118,7 +123,7 @@ var (
 	sorted   []Experiment
 )
 
-func register(id, name string, run func() []*Table) {
+func register(id, name string, run func(ctx context.Context) []*Table) {
 	byID[strings.ToUpper(id)] = len(registry)
 	registry = append(registry, Experiment{ID: id, Name: name, Run: run})
 }
@@ -176,10 +181,11 @@ func RunAll(w io.Writer) {
 // RunAllContext is RunAll with cancellation: experiments fan out over
 // the package worker pool, and their tables are streamed to w strictly
 // in All() order as they become available. Cancelling ctx stops
-// dispatching new experiments and returns after in-flight ones drain;
-// the error is then ctx.Err(). The writer is only ever touched by one
-// goroutine, so any io.Writer works.
-func RunAllContext(ctx context.Context, w io.Writer) error {
+// dispatching new experiments — and new simulations inside an
+// in-flight sweep — and returns after everything drains; the error is
+// then ctx.Err(). The writer is only ever touched by one goroutine, so
+// any io.Writer works.
+func RunAllContext(ctx context.Context, w io.Writer) (err error) {
 	all := All()
 	results := make([][]*Table, len(all))
 	done := make([]chan struct{}, len(all))
@@ -200,10 +206,47 @@ func RunAllContext(ctx context.Context, w io.Writer) error {
 			}
 		}
 	}()
-	err := defaultPool.Load().Map(ctx, len(all), func(i int) {
-		results[i] = all[i].Run()
+	// A sweep cancelled mid-flight unwinds with cancelUnwind (re-raised
+	// here by Pool.Map after its workers drain); fold it back into the
+	// context error. cancelUnwind only fires once ctx is done, so the
+	// emitter goroutine is guaranteed to exit.
+	defer func() {
+		if r := recover(); r != nil {
+			cu, ok := r.(cancelUnwind)
+			if !ok {
+				panic(r)
+			}
+			<-emitted
+			err = cu.err
+		}
+	}()
+	err = defaultPool.Load().Map(ctx, len(all), func(i int) {
+		results[i] = all[i].Run(ctx)
 		close(done[i])
 	})
 	<-emitted
 	return err
+}
+
+// RunExperiment executes one experiment by ID under ctx on the package
+// pool, converting a mid-sweep cancellation back into ctx.Err(). This
+// is the entry point the serving layer uses for sweep jobs.
+func RunExperiment(ctx context.Context, id string) (ts []*Table, err error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cu, ok := r.(cancelUnwind)
+			if !ok {
+				panic(r)
+			}
+			ts, err = nil, cu.err
+		}
+	}()
+	return e.Run(ctx), nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -50,7 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestEveryExperimentRenders(t *testing.T) {
 	for _, e := range All() {
-		tables := e.Run()
+		tables := e.Run(context.Background())
 		if len(tables) == 0 {
 			t.Errorf("%s produced no tables", e.ID)
 		}
@@ -90,7 +91,7 @@ func TestC1Paper28(t *testing.T) {
 // TestC2Theorem2Shape: c=1 stalls strictly dominate c=2 on every
 // kernel, and c=2 is within noise of c=4.
 func TestC2Theorem2Shape(t *testing.T) {
-	tab := c2()
+	tab := c2(context.Background())
 	for r := range tab.Rows {
 		s1, s2, s4 := num(t, tab, r, 1), num(t, tab, r, 2), num(t, tab, r, 4)
 		if s1 <= s2 {
@@ -115,7 +116,7 @@ func TestC3BoundHolds(t *testing.T) {
 // TestC5Monotone: along each row, stalls do not increase with distance;
 // along each column, they do not increase with spaces.
 func TestC5Monotone(t *testing.T) {
-	tab := c5()
+	tab := c5(context.Background())
 	for r := range tab.Rows {
 		for c := 2; c <= 5; c++ {
 			if num(t, tab, r, c) > num(t, tab, r, c-1) {
@@ -135,7 +136,7 @@ func TestC5Monotone(t *testing.T) {
 // TestC6Theorem7: at and above the (2c-1)W bound there are no store
 // stalls and no deadlock; well below it the machine suffers.
 func TestC6Theorem7(t *testing.T) {
-	tab := c6()
+	tab := c6(context.Background())
 	last := len(tab.Rows) - 1
 	for _, r := range []int{3, 4, last} { // capacity == bound and above
 		if num(t, tab, r, 1) != 0 || cell(t, tab, r, 3) != "completed" {
@@ -151,7 +152,7 @@ func TestC6Theorem7(t *testing.T) {
 // TestC7Never3bWorse: 3(b) write-backs <= 3(a) on every workload, with
 // at least one workload showing savings.
 func TestC7Never3bWorse(t *testing.T) {
-	tab := c7()
+	tab := c7(context.Background())
 	saved := 0.0
 	for r := range tab.Rows {
 		a, b := num(t, tab, r, 1), num(t, tab, r, 2)
@@ -179,7 +180,7 @@ func TestC8MoreSpacesNeverHurt(t *testing.T) {
 // write-through have identical store-stall cycles and cycle counts,
 // and write-back writes memory less.
 func TestC10NoExtraWriteBackStalls(t *testing.T) {
-	tab := c10()
+	tab := c10(context.Background())
 	for r := 0; r+1 < len(tab.Rows); r += 2 {
 		wb, wt := tab.Rows[r], tab.Rows[r+1]
 		if wb[3] != wt[3] {
@@ -198,7 +199,7 @@ func TestC10NoExtraWriteBackStalls(t *testing.T) {
 // least as fast as in-order and the ROB baseline on every kernel, and
 // oracle prediction is at least as fast as bimodal.
 func TestC11CheckpointWins(t *testing.T) {
-	tab := c11()
+	tab := c11(context.Background())
 	for r := range tab.Rows {
 		inord, rob := num(t, tab, r, 1), num(t, tab, r, 3)
 		bim, ora := num(t, tab, r, 4), num(t, tab, r, 5)
@@ -216,7 +217,7 @@ func TestC11CheckpointWins(t *testing.T) {
 
 // TestC12AllMatch: the equivalence summary must be clean.
 func TestC12AllMatch(t *testing.T) {
-	tab := c12()
+	tab := c12(context.Background())
 	for r := range tab.Rows {
 		if cell(t, tab, r, 2) != cell(t, tab, r, 3) {
 			t.Errorf("golden mismatch row: %v", tab.Rows[r])
@@ -264,7 +265,7 @@ func TestTableRendering(t *testing.T) {
 // TestA1MonotoneWithAccuracy: cycles fall as prediction accuracy rises;
 // the repair machinery never makes better prediction worse.
 func TestA1MonotoneWithAccuracy(t *testing.T) {
-	tab := a1()
+	tab := a1(context.Background())
 	for r := 1; r < len(tab.Rows); r++ {
 		prev := num(t, tab, r-1, 4)
 		cur := num(t, tab, r, 4)
@@ -297,7 +298,7 @@ func TestA6VectorDensity(t *testing.T) {
 // TestA4ReasonablePoint: with frequent exceptions, cycles grow with
 // checkpoint distance at the far end of the sweep.
 func TestA4ReasonablePoint(t *testing.T) {
-	tab := a4()
+	tab := a4(context.Background())
 	first := num(t, tab, 0, 4)
 	last := num(t, tab, len(tab.Rows)-1, 4)
 	if last <= first {
@@ -312,19 +313,19 @@ func TestA4ReasonablePoint(t *testing.T) {
 // TestFigureContent asserts the staged snapshots actually show the
 // paper's configurations: two active checkpoints at t1 in F4 and F7.
 func TestFigureContent(t *testing.T) {
-	f4 := ByIDMust(t, "F4").Run()[0].String()
+	f4 := ByIDMust(t, "F4").Run(context.Background())[0].String()
 	for _, want := range []string{"t1:", "t2:", "active2", "active1", "backup2", "backup1"} {
 		if !strings.Contains(f4, want) {
 			t.Errorf("F4 missing %q", want)
 		}
 	}
-	f7 := ByIDMust(t, "F7").Run()[0].String()
+	f7 := ByIDMust(t, "F7").Run(context.Background())[0].String()
 	for _, want := range []string{"pend", "t1:", "t2:"} {
 		if !strings.Contains(f7, want) {
 			t.Errorf("F7 missing %q", want)
 		}
 	}
-	f1 := ByIDMust(t, "F1").Run()[0].String()
+	f1 := ByIDMust(t, "F1").Run(context.Background())[0].String()
 	if !strings.Contains(f1, "101") || !strings.Contains(f1, "100") {
 		t.Error("F1 missing repair points")
 	}
@@ -343,7 +344,7 @@ func ByIDMust(t *testing.T, id string) Experiment {
 // forward difference must not lose to the backward difference on the
 // misprediction-prone kernels in the table.
 func TestA5ForwardWinsOnBranchHeavy(t *testing.T) {
-	tab := a5()
+	tab := a5(context.Background())
 	// Rows come in triples (3a, 3b, forward) per kernel.
 	for r := 0; r+2 < len(tab.Rows); r += 3 {
 		bd := num(t, tab, r+1, 2) // 3(b) cycles

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/machine"
@@ -54,4 +55,17 @@ func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
 		cfg.DisableCycleSkip = true
 	}
 	return machine.Run(p, cfg)
+}
+
+// Simulate runs program p under cfg through the experiment fast paths
+// (shared reference-trace cache, cycle skipping) — the entry point the
+// serving layer uses for one-off simulation jobs. ctx gates the start
+// of the run; a single machine run itself is bounded by cfg.MaxCycles
+// and the watchdog, so it always terminates without mid-run
+// cancellation.
+func Simulate(ctx context.Context, p *prog.Program, cfg machine.Config) (*machine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return simRun(p, cfg)
 }

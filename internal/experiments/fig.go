@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/diff"
@@ -22,10 +24,18 @@ func init() {
 	register("T1", "dirty/hazard next-state functions (Table 1)", one(t1()))
 }
 
-// lazy wraps table construction so registration stays cheap and the
-// work happens at Run time.
-func one(f func() *Table) func() []*Table {
-	return func() []*Table { return []*Table{f()} }
+// one wraps table construction so registration stays cheap and the
+// work happens at Run time, for experiments that never fan out (their
+// handful of sequential runs finish too quickly to be worth
+// cancelling).
+func one(f func() *Table) func(context.Context) []*Table {
+	return func(context.Context) []*Table { return []*Table{f()} }
+}
+
+// sweep is one for experiments that fan simulations out over the pool
+// and therefore take the cancellation context.
+func sweep(f func(ctx context.Context) *Table) func(context.Context) []*Table {
+	return func(ctx context.Context) []*Table { return []*Table{f(ctx)} }
 }
 
 func f1() func() *Table {

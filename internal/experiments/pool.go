@@ -120,9 +120,21 @@ func SetParallelism(n int) { defaultPool.Store(NewPool(n)) }
 // Parallelism reports the current bound.
 func Parallelism() int { return defaultPool.Load().Workers() }
 
-// parMap fans fn out over the package pool with no cancellation.
-func parMap(n int, fn func(i int)) {
-	defaultPool.Load().Map(context.Background(), n, fn)
+// cancelUnwind carries a context error out of a cancelled sweep. The
+// experiment bodies build their tables assuming every job ran; rather
+// than teach each of them to handle partial results, a cancelled
+// parMap unwinds the whole experiment with this panic value, which the
+// context-owning entry points (RunAllContext, RunExperiment) recover
+// and convert back into the error. Pool.Map drains in-flight jobs
+// before returning, so the unwind never strands a worker.
+type cancelUnwind struct{ err error }
+
+// parMap fans fn out over the package pool. If ctx is cancelled the
+// sweep unwinds (see cancelUnwind) after in-flight jobs drain.
+func parMap(ctx context.Context, n int, fn func(i int)) {
+	if err := defaultPool.Load().Map(ctx, n, fn); err != nil {
+		panic(cancelUnwind{err})
+	}
 }
 
 // runJob is one machine configuration of a sweep. Config fields with
@@ -147,10 +159,11 @@ func kernelJob(name string, cfg machine.Config) runJob {
 // runParallel executes the jobs concurrently on the package pool and
 // returns their results in job order, so sweep tables come out
 // byte-identical to a sequential run. It panics on simulator errors
-// exactly like run — sweeps run known-good configurations.
-func runParallel(jobs []runJob) []*machine.Result {
+// exactly like run — sweeps run known-good configurations. Cancelling
+// ctx unwinds the sweep (see cancelUnwind).
+func runParallel(ctx context.Context, jobs []runJob) []*machine.Result {
 	out := make([]*machine.Result, len(jobs))
-	parMap(len(jobs), func(i int) {
+	parMap(ctx, len(jobs), func(i int) {
 		res, err := simRun(jobs[i].prog, jobs[i].cfg)
 		if err != nil {
 			panic(fmt.Sprintf("%s on %s: %v", jobs[i].name, jobs[i].cfg.Scheme.Name(), err))

@@ -166,7 +166,7 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	}
 	want := run("bubble", mk())
 	jobs := []runJob{kernelJob("bubble", mk()), kernelJob("bubble", mk())}
-	for i, res := range runParallel(jobs) {
+	for i, res := range runParallel(context.Background(), jobs) {
 		if res.Stats.Cycles != want.Stats.Cycles {
 			t.Fatalf("job %d: %d cycles, want %d", i, res.Stats.Cycles, want.Stats.Cycles)
 		}

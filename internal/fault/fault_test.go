@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestCoveredClassesRepairedCleanly(t *testing.T) {
 	for _, name := range []string{"fib", "memcpy", "dotprod", "divzero"} {
 		t.Run(name, func(t *testing.T) {
 			p := loadKernel(t, name)
-			rep, err := Run(p, schemeE, Config{Seed: 1987, Models: CoveredModels(), Stride: 1})
+			rep, err := Run(context.Background(), p, schemeE, Config{Seed: 1987, Models: CoveredModels(), Stride: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,12 +80,12 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	p := loadKernel(t, "fib")
 	cc := Config{Seed: 7, Stride: 2, MaxWords: 4}
 	cc.Workers = 1
-	seq, err := Run(p, schemeE, cc)
+	seq, err := Run(context.Background(), p, schemeE, cc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cc.Workers = 8
-	par, err := Run(p, schemeE, cc)
+	par, err := Run(context.Background(), p, schemeE, cc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestPrunedPointsAreMasked(t *testing.T) {
 		}
 	}
 	for i, inj := range pruned {
-		res, err := Replay(progs[i], schemeE, Config{}, []Injection{inj})
+		res, err := Replay(context.Background(), progs[i], schemeE, Config{}, []Injection{inj})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestPrunedPointsAreMasked(t *testing.T) {
 // full fidelity, classify the same as the executed representative.
 func TestClassMembersMatchRepresentative(t *testing.T) {
 	p := loadKernel(t, "dotprod")
-	rep, err := Run(p, schemeE, Config{Seed: 3, Models: CoveredModels(), Stride: 1})
+	rep, err := Run(context.Background(), p, schemeE, Config{Seed: 3, Models: CoveredModels(), Stride: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestClassMembersMatchRepresentative(t *testing.T) {
 	if len(sample) > 24 {
 		sample, want = sample[:24], want[:24]
 	}
-	got, err := Replay(p, schemeE, Config{}, sample)
+	got, err := Replay(context.Background(), p, schemeE, Config{}, sample)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestClassMembersMatchRepresentative(t *testing.T) {
 // across concurrent injected machines.
 func TestCampaignConcurrentWorkers(t *testing.T) {
 	p := loadKernel(t, "fib")
-	rep, err := Run(p, schemeE, Config{Seed: 42, Stride: 2, MaxWords: 4, Workers: 16})
+	rep, err := Run(context.Background(), p, schemeE, Config{Seed: 42, Stride: 2, MaxWords: 4, Workers: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

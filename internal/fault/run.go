@@ -155,7 +155,11 @@ type Report struct {
 //  3. enumerates, prunes, and collapses the fault space (buildPlan),
 //  4. fans the surviving injections over an experiments.Pool, and
 //  5. classifies every run against the golden state.
-func Run(p *prog.Program, mk func() machine.Config, cc Config) (*Report, error) {
+//
+// Cancelling ctx stops dispatching new injections; Run returns
+// ctx.Err() after in-flight ones drain (a campaign-as-a-job in the
+// serving layer dies with its client).
+func Run(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Config) (*Report, error) {
 	run, rec, err := newCampaignRun(p, mk, &cc)
 	if err != nil {
 		return nil, err
@@ -175,9 +179,11 @@ func Run(p *prog.Program, mk func() machine.Config, cc Config) (*Report, error) 
 	}
 
 	pool := experiments.NewPool(cc.Workers)
-	pool.Map(context.Background(), len(plan.Exec), func(i int) {
+	if err := pool.Map(ctx, len(plan.Exec), func(i int) {
 		rep.Results[i] = run.one(plan.Exec[i], plan.Covers[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -197,16 +203,18 @@ func PlanOnly(p *prog.Program, mk func() machine.Config, cc Config) (*Plan, erro
 // — the full-fidelity path the validation tests use to re-run pruned
 // points and non-representative equivalence-class members, and the
 // benchmark's hot loop.
-func Replay(p *prog.Program, mk func() machine.Config, cc Config, injs []Injection) ([]RunResult, error) {
+func Replay(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Config, injs []Injection) ([]RunResult, error) {
 	run, _, err := newCampaignRun(p, mk, &cc)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]RunResult, len(injs))
 	pool := experiments.NewPool(cc.Workers)
-	pool.Map(context.Background(), len(injs), func(i int) {
+	if err := pool.Map(ctx, len(injs), func(i int) {
 		out[i] = run.one(injs[i], 1)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -22,6 +22,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -552,8 +553,18 @@ func (m *Machine) result() *Result {
 	if m.pred != nil {
 		r.PredictorAccuracy = m.pred.Accuracy()
 	}
+	simInsts.Add(r.Stats.Retired)
 	return r
 }
+
+// simInsts accumulates retired instructions across every machine run in
+// the process — the serving layer's sim-insts/sec gauge reads it.
+var simInsts atomic.Int64
+
+// SimulatedInsts returns the total number of instructions retired by
+// all machine runs since process start (monotonic; read twice and
+// subtract for a rate).
+func SimulatedInsts() int64 { return simInsts.Load() }
 
 // trace emits a debug event line when tracing is enabled.
 func (m *Machine) trace(format string, args ...any) {

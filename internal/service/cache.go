@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// entry is one single-flight execution: the set of jobs interested in
+// one cache key, the context their combined interest keeps alive, and
+// the result they will share. Exactly one queue slot and one worker
+// serve an entry no matter how many jobs attach.
+type entry struct {
+	key  string
+	spec Spec // canonical, job-scoped fields zeroed
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	waiters  []*Job
+	running  bool
+	complete bool
+	res      *Result
+	err      error
+	done     chan struct{}
+}
+
+// attach registers a job's interest. If the execution already
+// completed (a race against the worker), the job is finished on the
+// spot.
+func (e *entry) attach(j *Job) {
+	e.mu.Lock()
+	if e.complete {
+		res, err := e.res, e.err
+		e.mu.Unlock()
+		j.finish(res, err)
+		return
+	}
+	e.waiters = append(e.waiters, j)
+	running := e.running
+	e.mu.Unlock()
+	j.mu.Lock()
+	j.entry = e
+	j.mu.Unlock()
+	if running {
+		j.markRunning()
+	}
+}
+
+// start flags the entry as executing and returns the jobs attached so
+// far, so the worker can move them to the running state.
+func (e *entry) start() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.running = true
+	return append([]*Job(nil), e.waiters...)
+}
+
+// detach withdraws a job's interest. When the last interested job
+// detaches before completion, the execution context is cancelled: a
+// simulation nobody is waiting on unwinds out of the pool instead of
+// burning workers.
+func (e *entry) detach(j *Job) {
+	e.mu.Lock()
+	for i, w := range e.waiters {
+		if w == j {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
+		}
+	}
+	abandon := len(e.waiters) == 0 && !e.complete
+	e.mu.Unlock()
+	if abandon {
+		e.cancel()
+	}
+}
+
+// finishWaiters marks the entry complete and finishes every attached
+// job. Called by the cache under its own lock discipline.
+func (e *entry) finishWaiters(res *Result, err error) {
+	e.mu.Lock()
+	if e.complete {
+		e.mu.Unlock()
+		return
+	}
+	e.complete = true
+	e.res, e.err = res, err
+	waiters := e.waiters
+	e.waiters = nil
+	close(e.done)
+	e.mu.Unlock()
+	for _, j := range waiters {
+		j.finish(res, err)
+	}
+	e.cancel() // release the context's timer/goroutine resources
+}
+
+// resultCache is the content-addressed result store plus the
+// single-flight table of in-flight executions. Completed results are
+// kept up to cap entries and evicted FIFO; failed executions are never
+// cached (the next submission retries).
+type resultCache struct {
+	mu       sync.Mutex
+	done     map[string]*Result
+	order    []string
+	cap      int
+	inflight map[string]*entry
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &resultCache{
+		done:     make(map[string]*Result),
+		cap:      capacity,
+		inflight: make(map[string]*entry),
+	}
+}
+
+// lookup returns the completed result for key, if cached.
+func (c *resultCache) lookup(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.done[key]
+	return r, ok
+}
+
+// acquire resolves a submission against the cache in one atomic step:
+// a completed result wins outright; otherwise the caller either joins
+// the in-flight execution (leader=false) or creates it (leader=true)
+// and must enqueue it. Doing all three under one lock closes the race
+// where an execution completes between a lookup and a join, which
+// would re-execute a just-cached job. base is the server's root
+// context: shutdown cancels every execution derived from it.
+func (c *resultCache) acquire(base context.Context, key string, spec Spec) (res *Result, e *entry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.done[key]; ok {
+		return r, nil, false
+	}
+	if e, ok := c.inflight[key]; ok {
+		return nil, e, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	e = &entry{
+		key:    key,
+		spec:   spec,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	c.inflight[key] = e
+	return nil, e, true
+}
+
+// abort removes a leader's entry that never made it into the queue
+// (backpressure rejection).
+func (c *resultCache) abort(e *entry) {
+	c.mu.Lock()
+	delete(c.inflight, e.key)
+	c.mu.Unlock()
+	e.cancel()
+}
+
+// complete records an execution's outcome: successes enter the
+// content-addressed store, failures are dropped. Either way the entry
+// leaves the in-flight table and every attached job is finished.
+func (c *resultCache) complete(e *entry, res *Result, err error) {
+	c.mu.Lock()
+	delete(c.inflight, e.key)
+	if err == nil {
+		if _, dup := c.done[e.key]; !dup {
+			c.done[e.key] = res
+			c.order = append(c.order, e.key)
+			for len(c.order) > c.cap {
+				delete(c.done, c.order[0])
+				c.order = c.order[1:]
+			}
+		}
+	}
+	c.mu.Unlock()
+	e.finishWaiters(res, err)
+}
+
+// stats returns (completed entries, in-flight executions).
+func (c *resultCache) stats() (entries, inflight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done), len(c.inflight)
+}

@@ -1,0 +1,195 @@
+// Package client is a small Go client for the ckptd daemon. It speaks
+// the HTTP/JSON API in internal/service and is what cmd/ckptload and
+// the examples use; nothing in it is clever — one struct per wire
+// shape, context on every call.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Client talks to one ckptd instance.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8909".
+	BaseURL string
+	// HTTPClient defaults to a client with no overall timeout (job
+	// waits are bounded by the caller's context instead).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{}}
+}
+
+// SubmitResponse mirrors the daemon's POST /jobs reply.
+type SubmitResponse struct {
+	Job    service.JobView `json:"job"`
+	Result *service.Result `json:"result,omitempty"`
+}
+
+// ErrTooBusy is returned for 429 responses, carrying the daemon's
+// Retry-After hint.
+type ErrTooBusy struct {
+	RetryAfter time.Duration
+}
+
+func (e *ErrTooBusy) Error() string {
+	return fmt.Sprintf("ckptd: queue full, retry after %s", e.RetryAfter)
+}
+
+// apiError is any non-2xx reply that isn't backpressure.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("ckptd: %d: %s", e.Status, e.Msg)
+}
+
+// Submit enqueues a job asynchronously and returns its handle.
+func (c *Client) Submit(ctx context.Context, spec service.Spec) (*SubmitResponse, error) {
+	return c.submit(ctx, spec, false)
+}
+
+// Run submits a job and waits for its result on the same connection
+// (the daemon's ?wait=1 path). Cancelling ctx aborts the wait and —
+// if this was the job's only client — the execution itself.
+func (c *Client) Run(ctx context.Context, spec service.Spec) (*SubmitResponse, error) {
+	return c.submit(ctx, spec, true)
+}
+
+func (c *Client) submit(ctx context.Context, spec service.Spec, wait bool) (*SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	url := c.BaseURL + "/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var sr SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return nil, fmt.Errorf("ckptd: decode response: %w", err)
+		}
+		return &sr, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		sec, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if sec < 1 {
+			sec = 1
+		}
+		return nil, &ErrTooBusy{RetryAfter: time.Duration(sec) * time.Second}
+	default:
+		return nil, readError(resp)
+	}
+}
+
+// Job fetches a job's current state.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobView, error) {
+	var jv service.JobView
+	if err := c.get(ctx, "/jobs/"+id, &jv); err != nil {
+		return nil, err
+	}
+	return &jv, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Result fetches a cached result by cache key or job ID.
+func (c *Client) Result(ctx context.Context, ref string) (*service.Result, error) {
+	var res service.Result
+	if err := c.get(ctx, "/results/"+ref, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Metrics fetches the daemon's metrics document.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	var m map[string]any
+	if err := c.get(ctx, "/metrics", &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func readError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return &apiError{Status: resp.StatusCode, Msg: e.Error}
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states. A job is the client-visible handle on a submission; the
+// execution it is attached to may be shared with other jobs (single
+// flight) or skipped entirely (cache hit).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job tracks one submission through the queue. All mutable fields are
+// guarded by mu; terminal transitions happen exactly once.
+type Job struct {
+	ID   string `json:"id"`
+	Key  string `json:"key"`
+	Spec Spec   `json:"spec"`
+
+	// Coalesced marks a job that attached to an execution another job
+	// started (single-flight follower). CacheHit marks a job answered
+	// from the completed-result cache without any execution at all.
+	Coalesced bool `json:"coalesced,omitempty"`
+	CacheHit  bool `json:"cache_hit,omitempty"`
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	res      *Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	entry    *entry
+	timer    *time.Timer // job deadline, nil if none
+	done     chan struct{}
+}
+
+// JobView is the JSON shape of a job's current state.
+type JobView struct {
+	ID        string `json:"id"`
+	Key       string `json:"key"`
+	State     string `json:"state"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	ResultURL string `json:"result_url,omitempty"`
+	Spec      Spec   `json:"spec"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		Key:       j.Key,
+		State:     j.state,
+		Coalesced: j.Coalesced,
+		CacheHit:  j.CacheHit,
+		Error:     j.err,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		Spec:      j.Spec,
+	}
+	switch {
+	case !j.finished.IsZero():
+		v.ElapsedMS = j.finished.Sub(j.created).Milliseconds()
+	default:
+		v.ElapsedMS = time.Since(j.created).Milliseconds()
+	}
+	if j.state == StateDone {
+		v.ResultURL = "/results/" + j.Key
+	}
+	return v
+}
+
+// markRunning records that the job's execution left the queue. Jobs
+// already terminal (cancelled while queued) stay terminal.
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+}
+
+// finish moves the job to its terminal state. The first caller wins;
+// later calls (execution completing after a client cancelled, or vice
+// versa) are no-ops.
+func (j *Job) finish(res *Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(res, err)
+}
+
+func (j *Job) finishLocked(res *Result, err error) {
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.finished = time.Now()
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.res = res
+	}
+	close(j.done)
+}
+
+// terminal reports whether the job has finished, and with what.
+func (j *Job) terminal() (res *Result, errMsg string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return j.res, j.err, true
+	}
+	return nil, "", false
+}
+
+// cancel detaches the job from its execution and fails it with reason.
+// If it was the last job interested in the execution, the execution's
+// context is cancelled, which unwinds the simulation pool.
+func (j *Job) cancel(reason string) {
+	j.mu.Lock()
+	e := j.entry
+	j.finishLocked(nil, fmt.Errorf("%s", reason))
+	j.mu.Unlock()
+	if e != nil {
+		e.detach(j)
+	}
+}
+
+// jobSet is the server's job registry. Terminal jobs are pruned oldest
+// first once the registry exceeds keep, so a long-lived daemon doesn't
+// grow without bound.
+type jobSet struct {
+	mu    sync.Mutex
+	seq   int64
+	jobs  map[string]*Job
+	order []string // insertion order, for pruning and stable listings
+	keep  int
+}
+
+func newJobSet(keep int) *jobSet {
+	if keep <= 0 {
+		keep = 4096
+	}
+	return &jobSet{jobs: make(map[string]*Job), keep: keep}
+}
+
+// add registers a new job and assigns its ID.
+func (s *jobSet) add(key string, spec Spec) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", s.seq),
+		Key:     key,
+		Spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.pruneLocked()
+	return j
+}
+
+func (s *jobSet) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns jobs in submission order.
+func (s *jobSet) list() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// active counts non-terminal jobs.
+func (s *jobSet) active() int {
+	n := 0
+	for _, j := range s.list() {
+		if _, _, ok := j.terminal(); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *jobSet) pruneLocked() {
+	for len(s.order) > s.keep {
+		id := s.order[0]
+		j := s.jobs[id]
+		if j != nil {
+			if _, _, ok := j.terminal(); !ok {
+				return // oldest job still live; don't prune past it
+			}
+			delete(s.jobs, id)
+		}
+		s.order = s.order[1:]
+	}
+}

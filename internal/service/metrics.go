@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// metrics is the daemon's expvar-style instrumentation: monotonic
+// counters for the cache and queue decisions the acceptance tests
+// assert on, plus exact per-endpoint latency distributions
+// (stats.Dist keeps raw samples, so percentiles are order statistics,
+// not sketch estimates).
+type metrics struct {
+	start     time.Time
+	insts0    int64 // machine.SimulatedInsts() at daemon start
+	submitted atomic.Int64
+	hits      atomic.Int64 // answered from the completed-result cache
+	coalesced atomic.Int64 // attached to an in-flight execution
+	misses    atomic.Int64 // led a new execution
+	rejected  atomic.Int64 // shed with 429
+	execs     atomic.Int64 // executions actually started by a worker
+	execDone  atomic.Int64
+	execFail  atomic.Int64
+	cancelled atomic.Int64 // jobs cancelled by client or deadline
+
+	mu      sync.Mutex
+	latency map[string]*stats.Dist // endpoint pattern -> microseconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:   time.Now(),
+		insts0:  machine.SimulatedInsts(),
+		latency: make(map[string]*stats.Dist),
+	}
+}
+
+func (m *metrics) observe(pattern string, d time.Duration) {
+	m.mu.Lock()
+	dist, ok := m.latency[pattern]
+	if !ok {
+		dist = &stats.Dist{}
+		m.latency[pattern] = dist
+	}
+	dist.Add(d.Microseconds())
+	m.mu.Unlock()
+}
+
+// latencyView summarises one endpoint's latency distribution.
+type latencyView struct {
+	N      int     `json:"n"`
+	P50us  int64   `json:"p50_us"`
+	P90us  int64   `json:"p90_us"`
+	P99us  int64   `json:"p99_us"`
+	Maxus  int64   `json:"max_us"`
+	Meanus float64 `json:"mean_us"`
+}
+
+// view renders the full metrics document. Queue and cache gauges are
+// sampled at call time; counters are monotonic since daemon start.
+func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet) map[string]any {
+	uptime := time.Since(m.start).Seconds()
+	insts := machine.SimulatedInsts() - m.insts0
+	entries, inflight := c.stats()
+
+	m.mu.Lock()
+	lat := make(map[string]latencyView, len(m.latency))
+	keys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := m.latency[k]
+		lat[k] = latencyView{
+			N:      d.N(),
+			P50us:  d.Percentile(50),
+			P90us:  d.Percentile(90),
+			P99us:  d.Percentile(99),
+			Maxus:  d.Max(),
+			Meanus: d.Mean(),
+		}
+	}
+	m.mu.Unlock()
+
+	instsPerSec := 0.0
+	if uptime > 0 {
+		instsPerSec = float64(insts) / uptime
+	}
+	return map[string]any{
+		"uptime_seconds": uptime,
+		"queue": map[string]any{
+			"depth":    q.Depth(),
+			"running":  q.Running(),
+			"capacity": cap(q.ch),
+		},
+		"jobs": map[string]any{
+			"submitted": m.submitted.Load(),
+			"active":    jobs.active(),
+			"rejected":  m.rejected.Load(),
+			"cancelled": m.cancelled.Load(),
+		},
+		"cache": map[string]any{
+			"hits":      m.hits.Load(),
+			"coalesced": m.coalesced.Load(),
+			"misses":    m.misses.Load(),
+			"entries":   entries,
+			"inflight":  inflight,
+		},
+		"executions": map[string]any{
+			"started": m.execs.Load(),
+			"done":    m.execDone.Load(),
+			"failed":  m.execFail.Load(),
+		},
+		"sim_insts":         insts,
+		"sim_insts_per_sec": instsPerSec,
+		"latency_us":        lat,
+	}
+}

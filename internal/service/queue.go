@@ -1,0 +1,81 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// queue is the bounded execution queue: a channel of single-flight
+// entries drained by a fixed worker pool. Admission is non-blocking —
+// when the buffer is full the caller sheds load (HTTP 429) instead of
+// parking, which keeps the daemon's memory bounded and its latency
+// honest under overload.
+type queue struct {
+	ch      chan *entry
+	run     func(*entry)
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	depth   atomic.Int64 // entries admitted but not yet started
+	running atomic.Int64 // entries being executed right now
+}
+
+func newQueue(capacity, workers int, run func(*entry)) *queue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	q := &queue{ch: make(chan *entry, capacity), run: run}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for e := range q.ch {
+		q.depth.Add(-1)
+		q.running.Add(1)
+		q.run(e)
+		q.running.Add(-1)
+	}
+}
+
+// tryEnqueue admits e if there is room. It returns false when the
+// queue is full or the daemon is draining.
+func (q *queue) tryEnqueue(e *entry) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- e:
+		q.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops admission and waits for the workers to drain everything
+// already admitted. Safe to call more than once.
+func (q *queue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// Depth returns the number of admitted-but-unstarted entries.
+func (q *queue) Depth() int64 { return q.depth.Load() }
+
+// Running returns the number of entries currently executing.
+func (q *queue) Running() int64 { return q.running.Load() }

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+// Result is the cached, content-addressed outcome of one execution.
+// Everything in it is a pure function of the canonical spec, so every
+// job that shares a cache key shares these bytes.
+type Result struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind"`
+	Spec Spec   `json:"spec"`
+	// Output is the human-readable rendering: the simulator summary,
+	// the experiment's tables, or the campaign table.
+	Output   string           `json:"output"`
+	Sim      *SimSummary      `json:"sim,omitempty"`
+	Campaign *CampaignSummary `json:"campaign,omitempty"`
+	// ElapsedMS is how long the execution took. It is informational
+	// and excluded from any byte-identity guarantees only in the sense
+	// that it is fixed at execution time: cache hits and coalesced jobs
+	// all see the one value the single execution produced.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// SimSummary is the machine-readable core of a sim job's result.
+type SimSummary struct {
+	Cycles            int64   `json:"cycles"`
+	Retired           int64   `json:"retired"`
+	IPC               float64 `json:"ipc"`
+	ERepairs          int64   `json:"e_repairs"`
+	BRepairs          int64   `json:"b_repairs"`
+	Checkpoints       int64   `json:"checkpoints"`
+	Exceptions        int64   `json:"exceptions"`
+	Mispredicts       int64   `json:"mispredicts"`
+	PredictorAccuracy float64 `json:"predictor_accuracy"`
+	Halted            bool    `json:"halted"`
+}
+
+// CampaignSummary is the machine-readable core of a campaign result.
+type CampaignSummary struct {
+	Raw      int `json:"raw"`
+	Pruned   int `json:"pruned"`
+	Executed int `json:"executed"`
+	Masked   int `json:"masked"`
+	Repaired int `json:"repaired"`
+	Detected int `json:"detected"`
+	SDC      int `json:"sdc"`
+	Hang     int `json:"hang"`
+	Crash    int `json:"crash"`
+}
+
+// execute runs one canonical spec to completion (or cancellation).
+// This is the only function the worker pool calls; the test suite
+// swaps it out via Server.executeHook to fake slow or failing jobs.
+func execute(ctx context.Context, key string, spec Spec) (*Result, error) {
+	start := time.Now()
+	res := &Result{Key: key, Kind: spec.Kind, Spec: spec}
+	switch spec.Kind {
+	case KindSim:
+		p, err := spec.program()
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := spec.Machine.machineConfig()
+		if err != nil {
+			return nil, err
+		}
+		r, err := experiments.Simulate(ctx, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st := r.Stats
+		res.Sim = &SimSummary{
+			Cycles:            st.Cycles,
+			Retired:           st.Retired,
+			IPC:               st.IPC(),
+			ERepairs:          st.ERepairs,
+			BRepairs:          st.BRepairs,
+			Checkpoints:       st.Checkpoints,
+			Exceptions:        st.Exceptions,
+			Mispredicts:       st.Mispredicts,
+			PredictorAccuracy: r.PredictorAccuracy,
+			Halted:            r.Halted,
+		}
+		res.Output = fmt.Sprintf(
+			"%s on scheme %s: %d cycles, %d retired (IPC %.3f), %d E-repairs, %d B-repairs, %d checkpoints, %d exceptions",
+			spec.Workload, spec.Machine.Scheme, st.Cycles, st.Retired, st.IPC(),
+			st.ERepairs, st.BRepairs, st.Checkpoints, st.Exceptions)
+	case KindSweep:
+		ts, err := experiments.RunExperiment(ctx, spec.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for i, t := range ts {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			b.WriteString(t.String())
+		}
+		res.Output = b.String()
+	case KindCampaign:
+		p, err := spec.program()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := spec.Machine.machineConfig(); err != nil {
+			return nil, err
+		}
+		// Schemes and predictors are stateful, so the campaign gets a
+		// fresh config per injected run.
+		mk := func() machine.Config {
+			cfg, _ := spec.Machine.machineConfig()
+			return cfg
+		}
+		cc, err := spec.campaignConfig()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := fault.Run(ctx, p, mk, cc)
+		if err != nil {
+			return nil, err
+		}
+		res.Campaign = &CampaignSummary{
+			Raw:      rep.Plan.Raw,
+			Pruned:   len(rep.Plan.Pruned),
+			Executed: len(rep.Plan.Exec),
+			Masked:   rep.CountOutcome(fault.Masked),
+			Repaired: rep.CountOutcome(fault.Repaired),
+			Detected: rep.CountOutcome(fault.Detected),
+			SDC:      rep.CountOutcome(fault.SDC),
+			Hang:     rep.CountOutcome(fault.Hang),
+			Crash:    rep.CountOutcome(fault.Crash),
+		}
+		res.Output = rep.Table("FC").String()
+	default:
+		return nil, fmt.Errorf("service: unknown job kind %q", spec.Kind)
+	}
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	return res, nil
+}
+
+// campaignConfig converts the canonical campaign spec into the fault
+// package's Config (canonical specs only — model names are validated).
+func (s Spec) campaignConfig() (fault.Config, error) {
+	cs := s.Campaign
+	if cs == nil {
+		return fault.Config{}, fmt.Errorf("service: campaign job without campaign spec")
+	}
+	byName := map[string]fault.Model{}
+	for _, m := range fault.Models() {
+		byName[m.String()] = m
+	}
+	var models []fault.Model
+	for _, name := range cs.Models {
+		m, ok := byName[name]
+		if !ok {
+			return fault.Config{}, fmt.Errorf("service: unknown fault model %q", name)
+		}
+		models = append(models, m)
+	}
+	return fault.Config{
+		Seed:     cs.Seed,
+		Models:   models,
+		Stride:   cs.Stride,
+		MaxWords: cs.MaxWords,
+	}, nil
+}

@@ -1,0 +1,313 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the daemon. Zero fields take defaults.
+type Config struct {
+	// Workers is the number of concurrent executions (each execution
+	// additionally fans out on the experiments pool). Default 2.
+	Workers int
+	// QueueCap bounds admitted-but-unstarted executions; beyond it the
+	// daemon sheds with 429. Default 64.
+	QueueCap int
+	// CacheCap bounds completed results kept in memory. Default 256.
+	CacheCap int
+	// JobHistory bounds the job registry. Default 4096.
+	JobHistory int
+}
+
+// Server is the ckptd core: job registry, bounded queue, and
+// content-addressed single-flight result cache behind an HTTP/JSON
+// API. Create with New, serve Handler(), stop with Drain.
+type Server struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	cache      *resultCache
+	queue      *queue
+	jobs       *jobSet
+	metrics    *metrics
+	mux        *http.ServeMux
+	draining   atomic.Bool
+
+	// executeHook is the execution function; tests substitute slow or
+	// failing executions to exercise backpressure and drain paths.
+	executeHook func(ctx context.Context, key string, spec Spec) (*Result, error)
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, executeHook: execute}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.cache = newResultCache(cfg.CacheCap)
+	s.jobs = newJobSet(cfg.JobHistory)
+	s.metrics = newMetrics()
+	s.queue = newQueue(cfg.QueueCap, cfg.Workers, s.runEntry)
+
+	s.mux = http.NewServeMux()
+	s.handle("POST /jobs", s.handleSubmit)
+	s.handle("GET /jobs", s.handleList)
+	s.handle("GET /jobs/{id}", s.handleGet)
+	s.handle("DELETE /jobs/{id}", s.handleCancel)
+	s.handle("GET /results/{key}", s.handleResult)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admission (new submissions get 429) and waits for every
+// admitted execution to finish. If ctx expires first, running
+// executions are cancelled through their contexts — which unwinds the
+// simulation pool — and Drain still waits for the workers to exit, so
+// after it returns no execution goroutines remain either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.queue.close()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	return err
+}
+
+// runEntry is the worker body: one single-flight execution.
+func (s *Server) runEntry(e *entry) {
+	if err := e.ctx.Err(); err != nil {
+		// Every interested job cancelled while queued, or the daemon is
+		// hard-stopping: skip the work.
+		s.cache.complete(e, nil, err)
+		return
+	}
+	for _, j := range e.start() {
+		j.markRunning()
+	}
+	s.metrics.execs.Add(1)
+	res, err := s.executeHook(e.ctx, e.key, e.spec)
+	if err != nil {
+		s.metrics.execFail.Add(1)
+	} else {
+		s.metrics.execDone.Add(1)
+	}
+	s.cache.complete(e, res, err)
+}
+
+// submitResponse is the POST /jobs reply. Result is present for cache
+// hits and for ?wait=1 submissions that ran to completion.
+type submitResponse struct {
+	Job    JobView `json:"job"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	key, canon, err := spec.Key()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wait := isTrue(r.URL.Query().Get("wait"))
+
+	hashSpec := canon
+	hashSpec.TimeoutMS = 0
+	res, e, leader := s.cache.acquire(s.baseCtx, key, hashSpec)
+	if res != nil {
+		// Completed-result cache: answer without touching the queue.
+		s.metrics.submitted.Add(1)
+		s.metrics.hits.Add(1)
+		j := s.jobs.add(key, canon)
+		j.CacheHit = true
+		j.finish(res, nil)
+		resp := submitResponse{Job: j.View()}
+		if wait {
+			resp.Result = res
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if leader {
+		// This submission must buy a queue slot; when the queue is full
+		// (or the daemon is draining) we shed it rather than buffer.
+		if !s.queue.tryEnqueue(e) {
+			s.cache.abort(e)
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			httpError(w, http.StatusTooManyRequests, "queue full")
+			return
+		}
+		s.metrics.misses.Add(1)
+	} else {
+		s.metrics.coalesced.Add(1)
+	}
+
+	s.metrics.submitted.Add(1)
+	j := s.jobs.add(key, canon)
+	j.Coalesced = !leader
+	if canon.TimeoutMS > 0 {
+		// Arm the deadline before attaching so a finish can always stop
+		// the timer.
+		d := time.Duration(canon.TimeoutMS) * time.Millisecond
+		j.mu.Lock()
+		j.timer = time.AfterFunc(d, func() {
+			s.metrics.cancelled.Add(1)
+			j.cancel("deadline exceeded")
+		})
+		j.mu.Unlock()
+	}
+	e.attach(j)
+
+	if !wait {
+		w.Header().Set("Location", "/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, submitResponse{Job: j.View()})
+		return
+	}
+
+	// Synchronous path: the client's connection is the job's lease.
+	// Disconnect (or client-side timeout) cancels the job, and if it was
+	// the last one interested, the execution itself.
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		s.metrics.cancelled.Add(1)
+		j.cancel("client disconnected")
+		return
+	}
+	got, _, _ := j.terminal()
+	writeJSON(w, http.StatusOK, submitResponse{Job: j.View(), Result: got})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if _, _, terminal := j.terminal(); !terminal {
+		s.metrics.cancelled.Add(1)
+		j.cancel("cancelled by client")
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	// Accept a job ID as an alias for its cache key.
+	if j, ok := s.jobs.get(key); ok {
+		key = j.Key
+	}
+	res, ok := s.cache.lookup(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached result (job still running, failed, or evicted)")
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		// Draining daemons fail health checks so load balancers stop
+		// routing to them while in-flight jobs finish.
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.queue.Depth(),
+		"running":     s.queue.Running(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.view(s.queue, s.cache, s.jobs))
+}
+
+// retryAfter estimates (in whole seconds, at least 1) when a shed
+// client should try again: the current backlog divided over the
+// workers, assuming roughly one-second executions.
+func (s *Server) retryAfter() int {
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	sec := int(s.queue.Depth()) / workers
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// handle registers a route with latency instrumentation. The pattern
+// string doubles as the metrics label, so /metrics reports per-endpoint
+// distributions keyed exactly like the mux.
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		s.metrics.observe(pattern, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func isTrue(s string) bool {
+	switch s {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
+}

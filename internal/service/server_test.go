@@ -1,0 +1,496 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to at
+// most base — the drain/cancel paths must not strand workers or
+// waiters.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+type wireResp struct {
+	Job    JobView         `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
+func postJob(t *testing.T, url string, spec Spec, wait bool) (int, wireResp) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := url + "/jobs"
+	if wait {
+		u += "?wait=1"
+	}
+	resp, err := http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wr wireResp
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &wr); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, wr
+}
+
+func getMetrics(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func counter(m map[string]any, group, name string) int64 {
+	g, _ := m[group].(map[string]any)
+	v, _ := g[name].(float64)
+	return int64(v)
+}
+
+// TestSingleFlight64 is the acceptance scenario: 64 concurrent
+// identical submissions run the simulation exactly once, every client
+// gets byte-identical result bytes, and the daemon drains clean with
+// no leaked goroutines (run under -race in make ci).
+func TestSingleFlight64(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Workers: 2, QueueCap: 8})
+	ts := httptest.NewServer(s.Handler())
+
+	spec := Spec{Kind: "sim", Workload: "fib"}
+	const n = 64
+	var wg sync.WaitGroup
+	results := make([]json.RawMessage, n)
+	codes := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			code, wr := postJob(t, ts.URL, spec, true)
+			codes[i], results[i] = code, wr.Result
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if len(results[i]) == 0 {
+			t.Fatalf("request %d: no result", i)
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("request %d result differs:\n%s\nvs\n%s", i, results[i], results[0])
+		}
+	}
+
+	m := getMetrics(t, ts.URL)
+	if got := counter(m, "executions", "started"); got != 1 {
+		t.Fatalf("64 identical submissions started %d executions, want exactly 1", got)
+	}
+	if misses := counter(m, "cache", "misses"); misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+	if shared := counter(m, "cache", "coalesced") + counter(m, "cache", "hits"); shared != n-1 {
+		t.Fatalf("coalesced+hits = %d, want %d", shared, n-1)
+	}
+
+	// A later identical submission is a pure cache hit.
+	code, wr := postJob(t, ts.URL, spec, true)
+	if code != http.StatusOK || !wr.Job.CacheHit {
+		t.Fatalf("re-submission: code=%d cache_hit=%v", code, wr.Job.CacheHit)
+	}
+	if !bytes.Equal(wr.Result, results[0]) {
+		t.Fatal("cached result bytes differ from the original execution")
+	}
+
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// newHookServer builds a server whose executions are controlled by the
+// test: they block until released (or their context dies).
+func newHookServer(cfg Config) (*Server, chan struct{}, chan struct{}) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	s := New(cfg)
+	s.executeHook = func(ctx context.Context, key string, spec Spec) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &Result{Key: key, Kind: spec.Kind, Spec: spec, Output: "done"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s, started, release
+}
+
+func simSpec(seed int) Spec {
+	// Distinct specs (different campaign seeds) that never coalesce.
+	return Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Seed: int64(seed)}}
+}
+
+// TestBackpressure429: with one worker busy and the queue full, the
+// next distinct submission is shed with 429 and a Retry-After hint —
+// while an identical submission still coalesces (followers don't
+// consume queue slots).
+func TestBackpressure429(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, started, release := newHookServer(Config{Workers: 1, QueueCap: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	// Job 1 occupies the worker; job 2 the single queue slot.
+	code1, _ := postJob(t, ts.URL, simSpec(1), false)
+	<-started
+	code2, _ := postJob(t, ts.URL, simSpec(2), false)
+	if code1 != http.StatusAccepted || code2 != http.StatusAccepted {
+		t.Fatalf("setup: codes %d %d", code1, code2)
+	}
+
+	// A third distinct job has nowhere to go.
+	body, _ := json.Marshal(simSpec(3))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// But an identical re-submission of job 2 coalesces fine.
+	code4, wr4 := postJob(t, ts.URL, simSpec(2), false)
+	if code4 != http.StatusAccepted || !wr4.Job.Coalesced {
+		t.Fatalf("coalescing under full queue: code=%d coalesced=%v", code4, wr4.Job.Coalesced)
+	}
+
+	m := getMetrics(t, ts.URL)
+	if got := counter(m, "jobs", "rejected"); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	close(release)
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestCancelPropagation: DELETE on the last interested job cancels the
+// execution's context, unwinding the (hooked) simulation.
+func TestCancelPropagation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, started, release := newHookServer(Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	code, wr := postJob(t, ts.URL, simSpec(10), false)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	<-started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+wr.Job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	json.NewDecoder(resp.Body).Decode(&jv)
+	resp.Body.Close()
+	if jv.State != StateFailed || !strings.Contains(jv.Error, "cancelled") {
+		t.Fatalf("cancelled job state=%s err=%q", jv.State, jv.Error)
+	}
+
+	// The hooked execution sees ctx.Done and fails; nothing is cached.
+	waitFor(t, func() bool {
+		m := getMetrics(t, ts.URL)
+		return counter(m, "executions", "failed") == 1
+	}, "execution did not observe cancellation")
+	if _, ok := s.cache.lookup(wr.Job.Key); ok {
+		t.Fatal("cancelled execution was cached")
+	}
+
+	close(release)
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestClientDisconnectCancels: a ?wait=1 client going away withdraws
+// its interest; as the only client, that kills the execution.
+func TestClientDisconnectCancels(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, started, release := newHookServer(Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(simSpec(20))
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs?wait=1", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("disconnected request did not error client-side")
+	}
+
+	waitFor(t, func() bool {
+		m := getMetrics(t, ts.URL)
+		return counter(m, "executions", "failed") == 1
+	}, "execution survived its only client disconnecting")
+
+	close(release)
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestJobDeadline: timeout_ms fails the job (and, as the only
+// interested party, the execution) without any client action.
+func TestJobDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, started, release := newHookServer(Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	spec := simSpec(30)
+	spec.TimeoutMS = 30
+	code, wr := postJob(t, ts.URL, spec, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	<-started
+
+	waitFor(t, func() bool {
+		resp, err := http.Get(ts.URL + "/jobs/" + wr.Job.ID)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var jv JobView
+		json.NewDecoder(resp.Body).Decode(&jv)
+		return jv.State == StateFailed && strings.Contains(jv.Error, "deadline")
+	}, "job did not fail on its deadline")
+
+	close(release)
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestDrainHardCancel: a drain whose context expires cancels running
+// executions and still leaves zero workers behind.
+func TestDrainHardCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, started, _ := newHookServer(Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	if code, _ := postJob(t, ts.URL, simSpec(40), false); code != http.StatusAccepted {
+		t.Fatal("submit failed")
+	}
+	<-started
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer dcancel()
+	if err := s.Drain(dctx); err == nil {
+		t.Fatal("drain of a wedged execution returned nil before its deadline")
+	}
+	// After Drain returns, admission is closed and workers have exited.
+	if ok := s.queue.tryEnqueue(&entry{}); ok {
+		t.Fatal("queue accepted work after drain")
+	}
+	ts.Close()
+	settleGoroutines(t, base)
+}
+
+// TestDrainRejectsNewWork: while draining, new submissions are shed.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, _, release := newHookServer(Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	body, _ := json.Marshal(simSpec(50))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("draining daemon accepted a job: %d", resp.StatusCode)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon still passes health checks: %d", hz.StatusCode)
+	}
+}
+
+// TestResultsEndpoint covers the /results round trip plus 404s and
+// bad-spec 400s.
+func TestResultsEndpoint(t *testing.T) {
+	s := New(Config{Workers: 2, QueueCap: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	code, wr := postJob(t, ts.URL, Spec{Kind: "sim", Workload: "fib"}, true)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	for _, ref := range []string{wr.Job.Key, wr.Job.ID} {
+		resp, err := http.Get(ts.URL + "/results/" + ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || res.Key != wr.Job.Key {
+			t.Fatalf("GET /results/%s: %d key=%s", ref, resp.StatusCode, res.Key)
+		}
+		if res.Sim == nil || res.Sim.Retired == 0 {
+			t.Fatalf("result missing sim summary: %+v", res)
+		}
+	}
+
+	resp, _ := http.Get(ts.URL + "/results/no-such-key")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing result: %d", resp.StatusCode)
+	}
+
+	bad, _ := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"kind":"bake"}`))
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d", bad.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExecuteKinds exercises the real dispatcher for each job kind at
+// its cheapest configuration.
+func TestExecuteKinds(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: "sim", Workload: "fib"},
+		{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Models: []string{"fu-detected"}, Stride: 8}},
+	} {
+		key, canon, err := spec.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := execute(context.Background(), key, canon)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		if res.Output == "" {
+			t.Fatalf("%s: empty output", spec.Kind)
+		}
+		switch spec.Kind {
+		case KindSim:
+			if res.Sim == nil || !res.Sim.Halted {
+				t.Fatalf("sim summary: %+v", res.Sim)
+			}
+		case KindCampaign:
+			if res.Campaign == nil || res.Campaign.Executed == 0 {
+				t.Fatalf("campaign summary: %+v", res.Campaign)
+			}
+			if res.Campaign.SDC+res.Campaign.Hang+res.Campaign.Crash != 0 {
+				t.Fatalf("covered-model campaign escaped repair: %+v", res.Campaign)
+			}
+		}
+	}
+	// Cancelled context surfaces as an error for every kind.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range []Spec{
+		{Kind: "sim", Workload: "fib"},
+		{Kind: "sweep", Experiment: "C5"},
+	} {
+		key, canon, err := spec.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := execute(ctx, key, canon); err == nil {
+			t.Fatalf("%s: cancelled execute returned nil error", spec.Kind)
+		}
+	}
+}

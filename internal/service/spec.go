@@ -1,0 +1,361 @@
+// Package service is the simulation-as-a-service layer: a long-lived
+// daemon (cmd/ckptd) that accepts simulation, sweep, and fault-campaign
+// jobs over HTTP/JSON and executes them on the internal/experiments
+// worker pool.
+//
+// The paper's evaluation shape — the same schemeE(c)/schemeB(c)
+// configurations simulated again and again while parameters sweep — is
+// exactly the shape of a batched serving workload, so the layer is
+// built around three serving primitives:
+//
+//   - a bounded asynchronous job queue with per-job states, deadlines,
+//     and cancellation that propagates from the client (disconnect or
+//     DELETE) down into the simulation pool;
+//   - a content-addressed result cache keyed on a canonical hash of the
+//     job spec, with single-flight coalescing: N identical in-flight
+//     requests run the simulation once and share the bytes;
+//   - backpressure: a full queue answers 429 with Retry-After instead
+//     of buffering without bound, and shutdown drains what is running.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Job kinds.
+const (
+	KindSim      = "sim"      // one workload on one machine configuration
+	KindSweep    = "sweep"    // one registered experiment (tables F1..C12, A1..)
+	KindCampaign = "campaign" // a fault-injection campaign
+)
+
+// Spec describes one job. The zero value is invalid; Canonicalize
+// fills defaults and validates. Specs that canonicalize identically are
+// the same job: the daemon hashes the canonical form into the result
+// cache key, so submitting {"kind":"sim","workload":"fib"} and the
+// fully spelled-out default configuration hits the same cache entry.
+type Spec struct {
+	Kind string `json:"kind"`
+	// Workload names a built-in kernel (sim and campaign jobs).
+	Workload string `json:"workload,omitempty"`
+	// Machine configures the simulated machine (sim and campaign jobs;
+	// sweeps carry their own configurations).
+	Machine MachineSpec `json:"machine"`
+	// Experiment is the experiment ID a sweep job runs (e.g. "C7").
+	Experiment string `json:"experiment,omitempty"`
+	// Campaign parameterises campaign jobs.
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 = none). It
+	// scopes the submitting job, not the result, so it is excluded from
+	// the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MachineSpec mirrors cmd/ckptsim's machine flags. Zero fields take
+// the same defaults; fields the selected scheme does not consume are
+// zeroed during canonicalization so they cannot split the cache.
+type MachineSpec struct {
+	Scheme    string `json:"scheme,omitempty"`     // e, b, tight, loose, direct (default tight)
+	C         int    `json:"c,omitempty"`          // backup spaces (e, b, tight; default 4)
+	CE        int    `json:"ce,omitempty"`         // E spaces (loose, direct; default 2)
+	CB        int    `json:"cb,omitempty"`         // B spaces (loose, direct; default 4)
+	Dist      int    `json:"dist,omitempty"`       // instructions per E checkpoint (default 16)
+	W         int    `json:"w,omitempty"`          // max memory writes per range (0 = unlimited)
+	Mem       string `json:"mem,omitempty"`        // 3a, 3b, forward (default 3b)
+	BufferCap int    `json:"buffer_cap,omitempty"` // difference buffer entries (0 = unbounded)
+	Predictor string `json:"predictor,omitempty"`  // default bimodal; cleared when not speculating
+	Speculate *bool  `json:"speculate,omitempty"`  // default: true unless scheme e
+}
+
+// CampaignSpec parameterises a fault-injection campaign job.
+type CampaignSpec struct {
+	Seed int64 `json:"seed,omitempty"`
+	// Models selects fault models by name; empty means all, and the
+	// canonical form always spells the full sorted list out so "all by
+	// default" and "all by name" share a cache entry.
+	Models   []string `json:"models,omitempty"`
+	Stride   int      `json:"stride,omitempty"`    // default 1
+	MaxWords int      `json:"max_words,omitempty"` // default 8
+}
+
+// Canonicalize validates the spec and returns its canonical form:
+// defaults filled in, names normalized, and every field the job cannot
+// observe zeroed. Canonical specs marshal to canonical JSON (fixed
+// field order), which is what Key hashes.
+func (s Spec) Canonicalize() (Spec, error) {
+	c := s
+	c.Kind = strings.ToLower(strings.TrimSpace(c.Kind))
+	switch c.Kind {
+	case KindSim:
+		c.Experiment, c.Campaign = "", nil
+		if err := c.canonWorkload(); err != nil {
+			return c, err
+		}
+		if err := c.Machine.canonicalize(); err != nil {
+			return c, err
+		}
+	case KindSweep:
+		c.Workload, c.Campaign = "", nil
+		c.Machine = MachineSpec{}
+		e, ok := experiments.ByID(strings.TrimSpace(c.Experiment))
+		if !ok {
+			return c, fmt.Errorf("service: unknown experiment %q", c.Experiment)
+		}
+		c.Experiment = e.ID // registry casing is canonical
+	case KindCampaign:
+		c.Experiment = ""
+		if err := c.canonWorkload(); err != nil {
+			return c, err
+		}
+		if err := c.Machine.canonicalize(); err != nil {
+			return c, err
+		}
+		cc := CampaignSpec{}
+		if c.Campaign != nil {
+			cc = *c.Campaign
+		}
+		if err := cc.canonicalize(); err != nil {
+			return c, err
+		}
+		c.Campaign = &cc
+	case "":
+		return c, fmt.Errorf("service: job kind missing (want %s, %s, or %s)", KindSim, KindSweep, KindCampaign)
+	default:
+		return c, fmt.Errorf("service: unknown job kind %q", c.Kind)
+	}
+	if c.TimeoutMS < 0 {
+		return c, fmt.Errorf("service: negative timeout_ms %d", c.TimeoutMS)
+	}
+	return c, nil
+}
+
+func (s *Spec) canonWorkload() error {
+	s.Workload = strings.ToLower(strings.TrimSpace(s.Workload))
+	if s.Workload == "" {
+		return fmt.Errorf("service: %s job needs a workload (one of %s)",
+			s.Kind, strings.Join(workload.KernelNames(), ", "))
+	}
+	if _, err := workload.ByName(s.Workload); err != nil {
+		return fmt.Errorf("service: %v", err)
+	}
+	return nil
+}
+
+func (m *MachineSpec) canonicalize() error {
+	m.Scheme = strings.ToLower(strings.TrimSpace(m.Scheme))
+	if m.Scheme == "" {
+		m.Scheme = "tight"
+	}
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	switch m.Scheme {
+	case "e":
+		def(&m.C, 4)
+		def(&m.Dist, 16)
+		m.CE, m.CB = 0, 0
+	case "b":
+		def(&m.C, 4)
+		m.CE, m.CB, m.Dist, m.W = 0, 0, 0, 0
+	case "tight":
+		def(&m.C, 4)
+		m.CE, m.CB, m.Dist = 0, 0, 0
+	case "loose":
+		def(&m.CE, 2)
+		def(&m.CB, 4)
+		def(&m.Dist, 16)
+		m.C, m.W = 0, 0
+	case "direct":
+		def(&m.CE, 2)
+		def(&m.CB, 4)
+		def(&m.Dist, 16)
+		m.C = 0
+	default:
+		return fmt.Errorf("service: unknown scheme %q (want e, b, tight, loose, direct)", m.Scheme)
+	}
+	if m.C < 0 || m.CE < 0 || m.CB < 0 || m.Dist < 0 || m.W < 0 || m.BufferCap < 0 {
+		return fmt.Errorf("service: negative machine parameter in %+v", *m)
+	}
+	if m.Scheme == "tight" && m.C < 2 {
+		return fmt.Errorf("service: scheme tight needs c >= 2 (Theorem 9), got %d", m.C)
+	}
+
+	m.Mem = strings.ToLower(strings.TrimSpace(m.Mem))
+	if m.Mem == "" {
+		m.Mem = "3b"
+	}
+	switch m.Mem {
+	case "3a", "3b", "forward":
+	default:
+		return fmt.Errorf("service: unknown memory system %q (want 3a, 3b, forward)", m.Mem)
+	}
+
+	// SchemeE issues past unresolved branches only when it may not; the
+	// pure E machine is non-speculative (the same rule ckptsim
+	// enforces). Everything else speculates by default.
+	spec := m.Scheme != "e"
+	if m.Speculate != nil {
+		spec = *m.Speculate
+	}
+	if spec && m.Scheme == "e" {
+		return fmt.Errorf("service: scheme e is only safe non-speculative (speculate must be false)")
+	}
+	m.Speculate = &spec
+	if !spec {
+		m.Predictor = "" // never consulted; don't split the cache on it
+	} else {
+		m.Predictor = strings.ToLower(strings.TrimSpace(m.Predictor))
+		if m.Predictor == "" {
+			m.Predictor = "bimodal"
+		}
+		if _, err := newPredictor(m.Predictor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *CampaignSpec) canonicalize() error {
+	if c.Seed == 0 {
+		c.Seed = 1987 // the seed faultcamp ships with
+	}
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	if c.Stride < 0 {
+		return fmt.Errorf("service: negative campaign stride %d", c.Stride)
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = 8
+	}
+	if c.MaxWords < 0 {
+		return fmt.Errorf("service: negative campaign max_words %d", c.MaxWords)
+	}
+	known := map[string]bool{}
+	for _, m := range fault.Models() {
+		known[m.String()] = true
+	}
+	if len(c.Models) == 0 {
+		for _, m := range fault.Models() {
+			c.Models = append(c.Models, m.String())
+		}
+	}
+	for i, name := range c.Models {
+		c.Models[i] = strings.ToLower(strings.TrimSpace(name))
+		if !known[c.Models[i]] {
+			return fmt.Errorf("service: unknown fault model %q", name)
+		}
+	}
+	sort.Strings(c.Models)
+	c.Models = compactStrings(c.Models)
+	return nil
+}
+
+func compactStrings(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Key canonicalizes the spec and returns its content-addressed cache
+// key — hex SHA-256 over the canonical JSON with the job-scoped fields
+// (timeout) zeroed — alongside the canonical spec.
+func (s Spec) Key() (string, Spec, error) {
+	c, err := s.Canonicalize()
+	if err != nil {
+		return "", c, err
+	}
+	h := c
+	h.TimeoutMS = 0
+	b, err := json.Marshal(h)
+	if err != nil {
+		return "", c, fmt.Errorf("service: marshal spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), c, nil
+}
+
+// program loads the spec's workload (canonical specs only).
+func (s Spec) program() (*prog.Program, error) {
+	k, err := workload.ByName(s.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return k.Load(), nil
+}
+
+// machineConfig builds a fresh machine.Config from a canonical
+// MachineSpec. Schemes and predictors are stateful, so every run needs
+// its own.
+func (m MachineSpec) machineConfig() (machine.Config, error) {
+	cfg := machine.Config{BufferCap: m.BufferCap}
+	switch m.Scheme {
+	case "e":
+		cfg.Scheme = core.NewSchemeE(m.C, m.Dist, m.W)
+	case "b":
+		cfg.Scheme = core.NewSchemeB(m.C)
+	case "tight":
+		cfg.Scheme = core.NewSchemeTight(m.C, m.W)
+	case "loose":
+		cfg.Scheme = core.NewSchemeLoose(m.CE, m.CB, m.Dist)
+	case "direct":
+		cfg.Scheme = core.NewSchemeDirect(m.CE, m.CB, m.Dist, m.W)
+	default:
+		return cfg, fmt.Errorf("service: unknown scheme %q", m.Scheme)
+	}
+	switch m.Mem {
+	case "3a":
+		cfg.MemSystem = machine.MemBackward3a
+	case "3b":
+		cfg.MemSystem = machine.MemBackward3b
+	case "forward":
+		cfg.MemSystem = machine.MemForward
+	}
+	cfg.Speculate = m.Speculate != nil && *m.Speculate
+	if cfg.Speculate {
+		p, err := newPredictor(m.Predictor)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Predictor = p
+	}
+	return cfg, nil
+}
+
+func newPredictor(name string) (bpred.Predictor, error) {
+	switch name {
+	case "nottaken":
+		return bpred.NewNotTaken(), nil
+	case "taken":
+		return bpred.NewTaken(), nil
+	case "btfn":
+		return bpred.NewBTFN(), nil
+	case "bimodal":
+		return bpred.NewBimodal(1024), nil
+	case "gshare":
+		return bpred.NewGShare(4096, 8), nil
+	case "oracle":
+		return bpred.NewOracle(), nil
+	default:
+		return nil, fmt.Errorf("service: unknown predictor %q (want nottaken, taken, btfn, bimodal, gshare, oracle)", name)
+	}
+}

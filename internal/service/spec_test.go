@@ -1,0 +1,182 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	k, _, err := s.Key()
+	if err != nil {
+		t.Fatalf("Key(%+v): %v", s, err)
+	}
+	return k
+}
+
+// TestKeyNormalization: specs that spell the same job differently —
+// defaults omitted vs. spelled out, mixed case, unsorted model lists,
+// job-scoped fields like timeouts — must land on the same cache entry.
+func TestKeyNormalization(t *testing.T) {
+	boolp := func(b bool) *bool { return &b }
+	pairs := []struct {
+		name string
+		a, b Spec
+	}{
+		{
+			"sim defaults spelled out",
+			Spec{Kind: "sim", Workload: "fib"},
+			Spec{Kind: " SIM ", Workload: " Fib ", Machine: MachineSpec{
+				Scheme: "TIGHT", C: 4, Mem: "3B", Predictor: "Bimodal", Speculate: boolp(true),
+			}},
+		},
+		{
+			"timeout is job-scoped, not result-scoped",
+			Spec{Kind: "sim", Workload: "memcpy"},
+			Spec{Kind: "sim", Workload: "memcpy", TimeoutMS: 30000},
+		},
+		{
+			"predictor irrelevant when not speculating",
+			Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Speculate: boolp(false)}},
+			Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Speculate: boolp(false), Predictor: "gshare"}},
+		},
+		{
+			"scheme-irrelevant machine fields are zeroed",
+			Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "b", C: 4}},
+			Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "b", C: 4, CE: 9, CB: 7, Dist: 3, W: 2}},
+		},
+		{
+			"sweep ID case-insensitive",
+			Spec{Kind: "sweep", Experiment: "c5"},
+			Spec{Kind: "sweep", Experiment: "C5"},
+		},
+		{
+			"sweep ignores workload and machine",
+			Spec{Kind: "sweep", Experiment: "F1"},
+			Spec{Kind: "sweep", Experiment: "F1", Workload: "fib", Machine: MachineSpec{Scheme: "loose"}},
+		},
+		{
+			"campaign default models == full sorted list",
+			Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{}},
+			Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{
+				Models: []string{"spurious-exc", "reg-flip", "mem-flip", "fu-corrupt", "fu-detected"},
+			}},
+		},
+		{
+			"campaign nil spec == default spec",
+			Spec{Kind: "campaign", Workload: "fib"},
+			Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Seed: 1987, Stride: 1, MaxWords: 8}},
+		},
+		{
+			"campaign duplicate model names collapse",
+			Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Models: []string{"reg-flip"}}},
+			Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Models: []string{"reg-flip", "reg-flip"}}},
+		},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			ka, kb := mustKey(t, p.a), mustKey(t, p.b)
+			if ka != kb {
+				ca, _ := p.a.Canonicalize()
+				cb, _ := p.b.Canonicalize()
+				t.Fatalf("keys differ:\n a=%s %+v\n b=%s %+v", ka, ca, kb, cb)
+			}
+		})
+	}
+}
+
+// TestKeyUniqueness: specs that describe different jobs must never
+// collide — a collision would silently serve one job's result for
+// another.
+func TestKeyUniqueness(t *testing.T) {
+	boolp := func(b bool) *bool { return &b }
+	specs := []Spec{
+		{Kind: "sim", Workload: "fib"},
+		{Kind: "sim", Workload: "memcpy"},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "b"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "tight", C: 8}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "tight", W: 4}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "loose"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "loose", CE: 3}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "loose", Dist: 8}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "direct"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "e", Speculate: boolp(false)}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Predictor: "gshare"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Mem: "3a"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Mem: "forward"}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{BufferCap: 32}},
+		{Kind: "sim", Workload: "fib", Machine: MachineSpec{Speculate: boolp(false)}},
+		{Kind: "sweep", Experiment: "C5"},
+		{Kind: "sweep", Experiment: "C7"},
+		{Kind: "campaign", Workload: "fib"},
+		{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Seed: 7}},
+		{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Stride: 2}},
+		{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{MaxWords: 4}},
+		{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Models: []string{"reg-flip"}}},
+		{Kind: "campaign", Workload: "memcpy"},
+	}
+	seen := map[string]Spec{}
+	for _, s := range specs {
+		k := mustKey(t, s)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision %s:\n  %+v\n  %+v", k, prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+// TestSpecValidation: malformed specs are rejected at canonicalization
+// time with a message naming the problem, never at execution time.
+func TestSpecValidation(t *testing.T) {
+	boolp := func(b bool) *bool { return &b }
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"missing kind", Spec{}, "kind missing"},
+		{"unknown kind", Spec{Kind: "bake"}, "unknown job kind"},
+		{"sim without workload", Spec{Kind: "sim"}, "needs a workload"},
+		{"unknown workload", Spec{Kind: "sim", Workload: "quake"}, "unknown kernel"},
+		{"unknown experiment", Spec{Kind: "sweep", Experiment: "ZZ9"}, "unknown experiment"},
+		{"unknown scheme", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "z"}}, "unknown scheme"},
+		{"tight c too small", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "tight", C: 1}}, "c >= 2"},
+		{"scheme e speculative", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Scheme: "e", Speculate: boolp(true)}}, "non-speculative"},
+		{"unknown predictor", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Predictor: "psychic"}}, "unknown predictor"},
+		{"unknown mem", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{Mem: "2a"}}, "unknown memory system"},
+		{"negative timeout", Spec{Kind: "sim", Workload: "fib", TimeoutMS: -1}, "negative timeout"},
+		{"negative machine param", Spec{Kind: "sim", Workload: "fib", Machine: MachineSpec{C: -1}}, "negative machine parameter"},
+		{"unknown fault model", Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Models: []string{"gamma-ray"}}}, "unknown fault model"},
+		{"negative stride", Spec{Kind: "campaign", Workload: "fib", Campaign: &CampaignSpec{Stride: -2}}, "negative campaign stride"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := tc.spec.Key()
+			if err == nil {
+				t.Fatalf("spec %+v canonicalized without error", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeIdempotent: canonicalizing a canonical spec is a
+// fixed point — re-submission of a canonical spec can't drift the key.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for _, s := range []Spec{
+		{Kind: "sim", Workload: "fib"},
+		{Kind: "sweep", Experiment: "c5"},
+		{Kind: "campaign", Workload: "memcpy", Campaign: &CampaignSpec{Seed: 3, Models: []string{"mem-flip"}}},
+	} {
+		c1, err := s.Canonicalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1 := mustKey(t, c1)
+		if k0 := mustKey(t, s); k0 != k1 {
+			t.Fatalf("key changed after canonicalization: %s vs %s", k0, k1)
+		}
+	}
+}

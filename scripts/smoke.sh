@@ -1,0 +1,71 @@
+#!/bin/sh
+# Serving-layer smoke test: start ckptd on a free port, run the
+# ckptload smoke assertions against it (0 failed jobs, >=1 cache hit,
+# single-flight coalescing: N identical requests -> 1 execution), then
+# SIGTERM the daemon and require a clean drain and exit code 0.
+#
+# Used by `make smoke` (and therefore `make ci`).
+set -eu
+
+workdir=$(mktemp -d)
+addrfile="$workdir/ckptd.addr"
+logfile="$workdir/ckptd.log"
+status=1
+
+cleanup() {
+    if [ -n "${ckptd_pid:-}" ] && kill -0 "$ckptd_pid" 2>/dev/null; then
+        kill -TERM "$ckptd_pid" 2>/dev/null || true
+        wait "$ckptd_pid" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- ckptd log ---" >&2
+        cat "$logfile" >&2 || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/ckptd" ./cmd/ckptd
+go build -o "$workdir/ckptload" ./cmd/ckptload
+
+"$workdir/ckptd" -addr 127.0.0.1:0 -addrfile "$addrfile" -workers 2 \
+    >"$logfile" 2>&1 &
+ckptd_pid=$!
+
+# Wait (up to ~5s) for the daemon to publish its bound address.
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "smoke: ckptd never wrote $addrfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "smoke: ckptd on $addr"
+
+# ckptload -smoke exits non-zero on any failed job, missing cache hit,
+# or broken single-flight coalescing.
+"$workdir/ckptload" -addr "http://$addr" -smoke -o "$workdir/BENCH_smoke.json" \
+    >"$workdir/ckptload.out" 2>&1 || {
+    echo "smoke: ckptload failed" >&2
+    cat "$workdir/ckptload.out" >&2
+    exit 1
+}
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$ckptd_pid"
+if ! wait "$ckptd_pid"; then
+    echo "smoke: ckptd did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+ckptd_pid=""
+
+grep -q "drained clean" "$logfile" || {
+    echo "smoke: ckptd log missing clean-drain marker" >&2
+    exit 1
+}
+
+status=0
+echo "smoke: ok (0 failed jobs, single-flight verified, clean drain)"
