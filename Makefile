@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench experiments faultcamp profile serve loadtest smoke ci
+.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,24 @@ test: build
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/
 
-# Fast-path equivalence: cycle skipping and trace replay must change
-# nothing observable (full-result diffs and byte-identical artefacts).
+# Fast-path equivalence: cycle skipping, trace replay, and the
+# batch-lockstep engine must change nothing observable (full-result
+# diffs and byte-identical artefacts, including the three-way
+# naive/fast/batched RunAll comparison).
 fastpath:
-	$(GO) test -run 'FastPath|CycleSkip|Replay' ./internal/machine/ ./internal/experiments/ ./internal/refsim/
+	$(GO) test -run 'FastPath|CycleSkip|Replay|Batch|Pooled|Reset' ./internal/machine/ ./internal/experiments/ ./internal/refsim/
 
 # Regenerate the BENCH_<n>.json perf record (see README "Performance").
+# Build a stamped binary rather than `go run` so the report records the
+# VCS revision and a dirty checkout is refused.
 bench:
-	$(GO) run ./cmd/bench
+	$(GO) build -o bench.bin ./cmd/bench && ./bench.bin; rm -f bench.bin
+
+# One quick pass over the whole benchmark harness (tiny benchtime,
+# output discarded): catches bit-rot in cmd/bench — including the
+# in-process daemon section — without committing numbers.
+bench-smoke:
+	$(GO) run ./cmd/bench -benchtime 2ms -o /dev/null -allow-dirty
 
 # Profile the benchmark suite; inspect with `go tool pprof cpu.out`.
 profile:
@@ -58,4 +68,4 @@ loadtest:
 smoke:
 	sh scripts/smoke.sh
 
-ci: vet test fastpath race smoke
+ci: vet test fastpath race bench-smoke smoke

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench              # writes BENCH_3.json
+//	go build -o bench ./cmd/bench && ./bench   # writes BENCH_5.json
 //	go run ./cmd/bench -o out.json -benchtime 300ms
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -14,10 +14,20 @@
 // benchmarks — simulated instructions per second, alongside the
 // baseline numbers captured on the pre-optimisation tree (same
 // machine), so the file is a self-contained before/after record. The
-// runall section times full artefact regeneration sequentially and
-// with the parallel experiment engine; the fault/ entries measure the
-// fault-injection campaign engine (planning and injected-run
-// throughput).
+// experiment/<ID> entries additionally time each sweep artefact three
+// ways in alternating rounds — batch-lockstep, fast-path unbatched,
+// and naive — and record the batch width and lane occupancy observed
+// during the batched rounds. The runall section times full artefact
+// regeneration sequentially and with the parallel experiment engine;
+// the fault/ entries measure the fault-injection campaign engine
+// (planning and injected-run throughput); the daemon section boots the
+// ckptd serving core in-process and reports its simulated-instruction
+// throughput over the ckptload default mix.
+//
+// The report is stamped with the build's VCS state. A bench built from
+// a dirty checkout refuses to run (its numbers would be untraceable);
+// -allow-dirty overrides for local iteration and stamps "dirty": true
+// prominently in the output.
 package main
 
 import (
@@ -26,9 +36,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -42,6 +55,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/refsim"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/workload"
 )
 
@@ -111,10 +126,21 @@ type entry struct {
 	// experimentBaselines) and the speedup over it.
 	PreTreeNsPerOp   float64 `json:"pre_fastpath_tree_ns_per_op,omitempty"`
 	SpeedupVsPreTree float64 `json:"speedup_vs_pre_fastpath_tree,omitempty"`
+	// Experiment entries only (BENCH_5): the fast-path run with the
+	// batch engine disabled, the speedup batching alone adds over it,
+	// and the batch shape observed during the batched rounds — average
+	// lanes per RunBatch call and average live lanes over batch
+	// lifetimes (equal to the width when no lane retires early).
+	UnbatchedNsPerOp   float64 `json:"unbatched_ns_per_op,omitempty"`
+	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched,omitempty"`
+	BatchAvgWidth      float64 `json:"batch_avg_width,omitempty"`
+	BatchAvgLiveLanes  float64 `json:"batch_avg_live_lanes,omitempty"`
 }
 
 // report is the file layout of BENCH_<n>.json.
 type report struct {
+	Version    string  `json:"version"`
+	Dirty      bool    `json:"dirty,omitempty"`
 	GoVersion  string  `json:"go_version"`
 	GOOS       string  `json:"goos"`
 	GOARCH     string  `json:"goarch"`
@@ -128,17 +154,47 @@ type report struct {
 		Workers      int     `json:"workers"`
 		Speedup      float64 `json:"speedup"`
 	} `json:"runall"`
+	// Daemon reports the in-process ckptd serving core driven with the
+	// ckptload default mix (BENCH_4 measured the same mix over real
+	// HTTP against a separate daemon process).
+	Daemon *daemonBench `json:"daemon,omitempty"`
+}
+
+// daemonBench is the serving-layer throughput section.
+type daemonBench struct {
+	Workers        int     `json:"workers"`
+	Requests       int     `json:"requests"`
+	ElapsedMs      int64   `json:"elapsed_ms"`
+	RPS            float64 `json:"rps"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	SimInsts       int64   `json:"sim_insts"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+	// Batch shape observed inside the daemon's executions.
+	BatchSingleRuns int64 `json:"batch_single_runs"`
+	BatchBatches    int64 `json:"batch_batches"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output JSON path")
+	out := flag.String("o", "BENCH_5.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
+	allowDirty := flag.Bool("allow-dirty", false, "benchmark a dirty checkout anyway (output is stamped dirty)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	version()
 	flag.Set("test.benchtime", benchtime.String())
+
+	buildVersion := buildinfo.Version()
+	dirty := strings.Contains(buildVersion, "dirty")
+	if dirty {
+		fmt.Fprintf(os.Stderr, "bench: DIRTY BUILD — %s does not correspond to any commit\n", buildVersion)
+		if !*allowDirty {
+			fatal(fmt.Errorf("refusing to benchmark a dirty checkout (numbers would be untraceable); commit first or pass -allow-dirty"))
+		}
+		fmt.Fprintln(os.Stderr, "bench: -allow-dirty set; the report will be stamped \"dirty\": true")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -153,6 +209,8 @@ func main() {
 	}
 
 	rep := report{
+		Version:    buildVersion,
+		Dirty:      dirty,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -303,13 +361,18 @@ func main() {
 
 	// Sweep-heavy artefact regeneration — the claims and ablations that
 	// run hundreds of machine configurations per table. These are where
-	// the shared reference-trace cache and event-driven cycle skipping
-	// pay. Each artefact is timed with the fast paths on and off in
-	// alternating rounds (five of each, minimum kept), so the recorded
-	// speedup is a same-process, same-moment comparison: a warm-up pass
-	// keeps one-time assembly and trace recording out of the first
-	// iteration, and interleaving cancels host-throughput drift that on
-	// shared hosts easily exceeds the effect being measured.
+	// the shared reference-trace cache, event-driven cycle skipping, and
+	// the batch-lockstep engine pay. Each artefact is timed three ways
+	// in alternating rounds (five of each, minimum kept): batched (fast
+	// paths + batch-lockstep lanes + pooled chassis), unbatched (fast
+	// paths, one fresh machine per run — the pre-batching execution
+	// path), and naive (fast paths off: live-shadow oracle, no cycle
+	// skipping — the BENCH_2 baseline convention). Interleaving makes
+	// the ratios same-process, same-moment comparisons immune to
+	// host-throughput drift, and a warm-up pass keeps one-time assembly
+	// and trace recording out of the first iteration. The batch width
+	// and lane-occupancy counters are snapshotted around the loop; only
+	// the batched rounds touch them.
 	for _, id := range []string{"C1", "C2", "C5", "C6", "C7", "C9", "C10", "C11", "C12", "A1", "A4", "A5"} {
 		e, ok := experiments.ByID(id)
 		if !ok {
@@ -326,21 +389,30 @@ func main() {
 				}
 			})
 		}
-		var fast, slow testing.BenchmarkResult
+		var batched, unbatched, naive testing.BenchmarkResult
+		bs0 := machine.ReadBatchStats()
 		for round := 0; round < 5; round++ {
 			experiments.SetFastPaths(true)
-			f := run()
+			experiments.SetBatching(true)
+			bt := run()
+			experiments.SetBatching(false)
+			u := run()
 			experiments.SetFastPaths(false)
 			s := run()
 			experiments.SetFastPaths(true)
-			if round == 0 || f.NsPerOp() < fast.NsPerOp() {
-				fast = f
+			experiments.SetBatching(true)
+			if round == 0 || bt.NsPerOp() < batched.NsPerOp() {
+				batched = bt
 			}
-			if round == 0 || s.NsPerOp() < slow.NsPerOp() {
-				slow = s
+			if round == 0 || u.NsPerOp() < unbatched.NsPerOp() {
+				unbatched = u
+			}
+			if round == 0 || s.NsPerOp() < naive.NsPerOp() {
+				naive = s
 			}
 		}
-		rep.addExperiment(id, fast, slow)
+		bs1 := machine.ReadBatchStats()
+		rep.addExperiment(id, batched, unbatched, naive, bs0, bs1)
 	}
 
 	// Full artefact regeneration, sequential then parallel. One warm-up
@@ -357,6 +429,8 @@ func main() {
 	rep.RunAll.ParallelNs = time.Since(parStart).Nanoseconds()
 	rep.RunAll.Workers = experiments.Parallelism()
 	rep.RunAll.Speedup = float64(rep.RunAll.SequentialNs) / float64(rep.RunAll.ParallelNs)
+
+	rep.Daemon = benchDaemon()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -422,17 +496,19 @@ func (rep *report) addFault(name string, r testing.BenchmarkResult, n int) {
 		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.InjectionsPerSec)
 }
 
-func (rep *report) addExperiment(id string, fast, slow testing.BenchmarkResult) {
+func (rep *report) addExperiment(id string, batched, unbatched, naive testing.BenchmarkResult, bs0, bs1 machine.BatchStats) {
 	e := entry{
 		Name:        "experiment/" + id,
-		NsPerOp:     float64(fast.T.Nanoseconds()) / float64(fast.N),
-		AllocsPerOp: fast.AllocsPerOp(),
-		BytesPerOp:  fast.AllocedBytesPerOp(),
+		NsPerOp:     float64(batched.T.Nanoseconds()) / float64(batched.N),
+		AllocsPerOp: batched.AllocsPerOp(),
+		BytesPerOp:  batched.AllocedBytesPerOp(),
 	}
-	e.BaselineNsPerOp = float64(slow.T.Nanoseconds()) / float64(slow.N)
-	e.BaselineAllocs = slow.AllocsPerOp()
+	e.BaselineNsPerOp = float64(naive.T.Nanoseconds()) / float64(naive.N)
+	e.BaselineAllocs = naive.AllocsPerOp()
+	e.UnbatchedNsPerOp = float64(unbatched.T.Nanoseconds()) / float64(unbatched.N)
 	if e.NsPerOp > 0 {
 		e.SpeedupVsBase = e.BaselineNsPerOp / e.NsPerOp
+		e.SpeedupVsUnbatched = e.UnbatchedNsPerOp / e.NsPerOp
 	}
 	if pre, ok := experimentBaselines[id]; ok {
 		e.PreTreeNsPerOp = pre
@@ -440,9 +516,118 @@ func (rep *report) addExperiment(id string, fast, slow testing.BenchmarkResult) 
 			e.SpeedupVsPreTree = pre / e.NsPerOp
 		}
 	}
+	d := machine.BatchStats{
+		Batches:    bs1.Batches - bs0.Batches,
+		Lanes:      bs1.Lanes - bs0.Lanes,
+		LaneCycles: bs1.LaneCycles - bs0.LaneCycles,
+		WallCycles: bs1.WallCycles - bs0.WallCycles,
+	}
+	e.BatchAvgWidth = d.AvgWidth()
+	e.BatchAvgLiveLanes = d.Occupancy()
 	rep.Benchmarks = append(rep.Benchmarks, e)
-	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op  %5.2fx vs fast paths off, %5.2fx vs pre-change tree\n",
-		e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.SpeedupVsBase, e.SpeedupVsPreTree)
+	fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %10d B/op  %5.2fx vs naive, %5.2fx vs unbatched, width %.1f, live %.1f\n",
+		e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.SpeedupVsBase, e.SpeedupVsUnbatched, e.BatchAvgWidth, e.BatchAvgLiveLanes)
+}
+
+// benchDaemon boots the ckptd serving core in-process (same worker
+// count as the daemon's default) and drives it with the ckptload
+// default mix — two passes over 128 distinct sim specs, eight
+// concurrent clients, so the second pass exercises the result cache —
+// then reports the daemon's own sim-insts/sec metric. BENCH_4 measured
+// the same mix over real HTTP against a separate process; the
+// in-process transport shaves constant per-request cost from both
+// sides of any comparison, while sim-insts/sec is dominated by
+// execution throughput either way.
+func benchDaemon() *daemonBench {
+	const (
+		nSpecs  = 128
+		clients = 8
+		passes  = 2
+	)
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	kernels := []string{"fib", "memcpy", "dotprod", "listsum", "bubble", "crc"}
+	schemes := []service.MachineSpec{
+		{},
+		{Scheme: "b"},
+		{Scheme: "tight", C: 8},
+		{Scheme: "loose"},
+		{Scheme: "direct"},
+	}
+	mix := make([]service.Spec, 0, nSpecs)
+	for i := 0; len(mix) < nSpecs; i++ {
+		mix = append(mix, service.Spec{
+			Kind:     "sim",
+			Workload: kernels[i%len(kernels)],
+			Machine:  schemes[(i/len(kernels))%len(schemes)],
+		})
+	}
+
+	bs0 := machine.ReadBatchStats()
+	start := time.Now()
+	for pass := 0; pass < passes; pass++ {
+		sem := make(chan struct{}, clients)
+		var wg sync.WaitGroup
+		for _, spec := range mix {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(spec service.Spec) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sr, err := cl.Run(ctx, spec)
+				if err != nil {
+					fatal(fmt.Errorf("daemon bench: %w", err))
+				}
+				if sr.Job.State != service.StateDone {
+					fatal(fmt.Errorf("daemon bench: job %s: state=%s error=%q", sr.Job.ID, sr.Job.State, sr.Job.Error))
+				}
+			}(spec)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	met, err := cl.Metrics(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	bs1 := machine.ReadBatchStats()
+	if err := srv.Drain(ctx); err != nil {
+		fatal(err)
+	}
+
+	d := &daemonBench{
+		Workers:         2, // service.Config default, same as ckptd's -workers default
+		Requests:        passes * nSpecs,
+		ElapsedMs:       elapsed.Milliseconds(),
+		RPS:             float64(passes*nSpecs) / elapsed.Seconds(),
+		CacheHits:       int64(nested(met, "cache", "hits")),
+		CacheMisses:     int64(nested(met, "cache", "misses")),
+		SimInsts:        int64(metNum(met, "sim_insts")),
+		SimInstsPerSec:  metNum(met, "sim_insts_per_sec"),
+		BatchSingleRuns: bs1.SingleRuns - bs0.SingleRuns,
+		BatchBatches:    bs1.Batches - bs0.Batches,
+	}
+	fmt.Printf("%-24s %d req in %d ms (%.0f rps), %d hits/%d misses, %.0f sim insts/s\n",
+		"daemon/ckptload-mix", d.Requests, d.ElapsedMs, d.RPS, d.CacheHits, d.CacheMisses, d.SimInstsPerSec)
+	return d
+}
+
+// metNum reads a top-level numeric metric from a /metrics document.
+func metNum(m map[string]any, key string) float64 {
+	v, _ := m[key].(float64)
+	return v
+}
+
+// nested reads a numeric metric one map level down.
+func nested(m map[string]any, section, key string) float64 {
+	s, _ := m[section].(map[string]any)
+	v, _ := s[key].(float64)
+	return v
 }
 
 func fatal(err error) {

@@ -118,6 +118,43 @@ func MustNew(cfg Config, backing *mem.Memory) *Cache {
 	return c
 }
 
+// Reset restores the cache to the state New(cfg, backing) would build,
+// reusing the set arrays and per-line data buffers when the geometry
+// matches (the common case when a machine chassis is re-run). All lines
+// become invalid and the statistics zero.
+func (c *Cache) Reset(cfg Config, backing *mem.Memory) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	same := c.cfg.Sets == cfg.Sets && c.cfg.Ways == cfg.Ways && c.cfg.LineBytes == cfg.LineBytes
+	c.cfg = cfg
+	c.backing = backing
+	c.tick = 0
+	c.stats = Stats{}
+	if !same {
+		c.sets = make([][]line, cfg.Sets)
+		for i := range c.sets {
+			ws := make([]line, cfg.Ways)
+			for w := range ws {
+				ws[w].data = make([]byte, cfg.LineBytes)
+			}
+			c.sets[i] = ws
+		}
+		return nil
+	}
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			l.valid = false
+			l.dirty = false
+			l.hazard = false
+			l.tag = 0
+			l.lru = 0
+		}
+	}
+	return nil
+}
+
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 

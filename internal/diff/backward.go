@@ -57,6 +57,21 @@ func NewBackward(c *cache.Cache, algo Algo, capacity int) *Backward {
 		entries: make([]Entry, 0, entryArenaCap(capacity))}
 }
 
+// Reset restores the buffer to the state NewBackward(c, algo, capacity)
+// would build, keeping the entry arena for reuse.
+func (b *Backward) Reset(c *cache.Cache, algo Algo, capacity int) {
+	b.cache = c
+	b.algo = algo
+	b.capacity = capacity
+	if want := entryArenaCap(capacity); cap(b.entries) < want {
+		b.entries = make([]Entry, 0, want)
+	} else {
+		b.entries = b.entries[:0]
+	}
+	b.oldest = 0
+	b.stats = Stats{}
+}
+
 // Cache returns the underlying cache.
 func (b *Backward) Cache() *cache.Cache { return b.cache }
 

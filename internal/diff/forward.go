@@ -30,6 +30,20 @@ func NewForward(c *cache.Cache, capacity int) *Forward {
 		entries: make([]Entry, 0, entryArenaCap(capacity))}
 }
 
+// Reset restores the buffer to the state NewForward(c, capacity) would
+// build, keeping the entry arena for reuse.
+func (f *Forward) Reset(c *cache.Cache, capacity int) {
+	f.cache = c
+	f.capacity = capacity
+	if want := entryArenaCap(capacity); cap(f.entries) < want {
+		f.entries = make([]Entry, 0, want)
+	} else {
+		f.entries = f.entries[:0]
+	}
+	f.oldest = 0
+	f.stats = Stats{}
+}
+
 // Cache returns the underlying cache.
 func (f *Forward) Cache() *cache.Cache { return f.cache }
 
@@ -159,6 +173,12 @@ type Plain struct {
 
 // NewPlain wraps a cache with no difference machinery.
 func NewPlain(c *cache.Cache) *Plain { return &Plain{cache: c} }
+
+// Reset restores the system to the state NewPlain(c) would build.
+func (p *Plain) Reset(c *cache.Cache) {
+	p.cache = c
+	p.stats = Stats{}
+}
 
 // Cache returns the underlying cache.
 func (p *Plain) Cache() *cache.Cache { return p.cache }

@@ -20,7 +20,7 @@ import (
 
 func init() {
 	register("A1", "ablation: predictor quality vs repair machinery value", sweep(a1))
-	register("A2", "ablation: machine width vs checkpoint overhead", one(a2))
+	register("A2", "ablation: machine width vs checkpoint overhead", sweep(a2))
 	register("A3", "ablation: precise-mode budget after E-repair", sweep(a3))
 	register("A4", "ablation: checkpoint distance under frequent exceptions", sweep(a4))
 	register("A5", "ablation: memory checkpointing technique", sweep(a5))
@@ -67,7 +67,7 @@ func a1(ctx context.Context) *Table {
 
 // a2: scaling the machine (issue width, window, units) should expose
 // more ILP without the checkpoint machinery becoming the bottleneck.
-func a2() *Table {
+func a2(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "A2",
 		Title: "machine width scaling (matmul kernel, tight(6))",
@@ -78,7 +78,10 @@ func a2() *Table {
 	}
 	k, _ := workload.ByName("matmul")
 	p := k.Load()
-	for _, w := range []int{1, 2, 4, 8} {
+	widths := []int{1, 2, 4, 8}
+	jobs := make([]runJob, len(widths))
+	tms := make([]machine.Timing, len(widths))
+	for i, w := range widths {
 		tm := machine.DefaultTiming
 		tm.IssueWidth = w
 		tm.CDBWidth = w
@@ -86,17 +89,17 @@ func a2() *Table {
 		tm.MemPorts = (w + 1) / 2
 		tm.Window = 16 * w
 		tm.LSQ = 8 * w
-		res, err := simRun(p, machine.Config{
+		tms[i] = tm
+		jobs[i] = runJob{name: "matmul", prog: p, cfg: machine.Config{
 			Scheme:    core.NewSchemeTight(6, 0),
 			Predictor: bpred.NewBimodal(1024),
 			Speculate: true,
 			MemSystem: machine.MemBackward3b,
 			Timing:    tm,
-		})
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(w, tm.Window, res.Stats.Cycles, fmt.Sprintf("%.3f", res.Stats.IPC()),
+		}}
+	}
+	for i, res := range runParallel(ctx, jobs) {
+		t.AddRow(widths[i], tms[i].Window, res.Stats.Cycles, fmt.Sprintf("%.3f", res.Stats.IPC()),
 			res.Stats.StallCycles[1], res.Stats.StallCycles[2])
 	}
 	return t

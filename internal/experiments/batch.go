@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/prog"
+)
+
+// batchingOff gates the batch-lockstep sweep engine. With batching on
+// (the default), every sweep that runs several configurations of the
+// same program groups them into machine.RunBatch lanes sharing the
+// memoized reference trace, and singleton runs draw pooled chassis;
+// with it off, each job is an independent machine.Run, reproducing the
+// pre-batching execution path exactly. Tables are byte-identical either
+// way — the three-way equivalence tests prove it.
+var batchingOff atomic.Bool
+
+// SetBatching enables or disables batch-lockstep sweep execution for
+// subsequent experiment runs.
+func SetBatching(on bool) { batchingOff.Store(!on) }
+
+// Batching reports whether batch-lockstep sweep execution is enabled.
+func Batching() bool { return !batchingOff.Load() }
+
+// batchWidth is the number of lanes grouped into one lockstep batch.
+// Lanes within a batch run on one goroutine; batches (and unrelated
+// jobs) spread across the worker pool, so the width trades per-batch
+// chassis/trace locality against sweep-level parallelism. Eight lanes
+// covers most per-program sweep axes in one or two batches while
+// leaving a typical sweep enough batches to fill the pool.
+const batchWidth = 8
+
+// jobOutcome is one sweep job's result or error. Sweeps that expect
+// failures (deadlocking configurations) consume outcomes directly;
+// runParallel panics on the first error instead.
+type jobOutcome struct {
+	res *machine.Result
+	err error
+}
+
+// runJobs executes the jobs on the package pool and returns outcomes in
+// job order. It is the batch-aware job-grouping choke point every sweep
+// funnels through: jobs sharing a program are grouped, in first-seen
+// order, into lockstep batches of up to batchWidth lanes, and each
+// batch is one pool task. With batching (or the fast paths) off, every
+// job runs individually through simRun.
+func runJobs(ctx context.Context, jobs []runJob) []jobOutcome {
+	outs := make([]jobOutcome, len(jobs))
+	if !Batching() || !FastPaths() {
+		parMap(ctx, len(jobs), func(i int) {
+			outs[i].res, outs[i].err = simRun(jobs[i].prog, jobs[i].cfg)
+		})
+		return outs
+	}
+	batches := groupJobs(jobs)
+	parMap(ctx, len(batches), func(bi int) {
+		group := batches[bi]
+		if len(group) == 1 {
+			i := group[0]
+			outs[i].res, outs[i].err = simRun(jobs[i].prog, jobs[i].cfg)
+			return
+		}
+		p := jobs[group[0]].prog
+		cfgs := make([]machine.Config, len(group))
+		for j, i := range group {
+			cfgs[j] = wire(p, jobs[i].cfg)
+		}
+		results, errs := machine.RunBatch(p, cfgs)
+		for j, i := range group {
+			outs[i] = jobOutcome{res: results[j], err: errs[j]}
+		}
+	})
+	return outs
+}
+
+// groupJobs partitions job indices into batches: consecutive (in
+// first-seen program order) jobs sharing a *prog.Program go to the same
+// batch until it reaches batchWidth, then a fresh batch opens. Grouping
+// is by pointer identity, matching the trace cache's memoization key.
+func groupJobs(jobs []runJob) [][]int {
+	var batches [][]int
+	open := make(map[*prog.Program]int, 4) // program -> open batch index
+	for i := range jobs {
+		p := jobs[i].prog
+		bi, ok := open[p]
+		if !ok || len(batches[bi]) >= batchWidth {
+			batches = append(batches, nil)
+			bi = len(batches) - 1
+			open[p] = bi
+		}
+		batches[bi] = append(batches[bi], i)
+	}
+	return batches
+}

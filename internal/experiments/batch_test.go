@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestGroupJobs pins the batching policy: jobs sharing a program group
+// together in first-seen order, batches split at batchWidth, and
+// distinct programs never share a batch.
+func TestGroupJobs(t *testing.T) {
+	mk := func(kernel string) runJob {
+		return kernelJob(kernel, machine.Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: machine.MemBackward3b,
+		})
+	}
+	// Interleave two programs; 10 fib jobs must split 8+2.
+	var jobs []runJob
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, mk("fib"))
+		if i < 3 {
+			jobs = append(jobs, mk("bubble"))
+		}
+	}
+	batches := groupJobs(jobs)
+	seen := make(map[int]bool)
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > batchWidth {
+			t.Fatalf("batch size %d out of range", len(b))
+		}
+		p := jobs[b[0]].prog
+		for _, i := range b {
+			if jobs[i].prog != p {
+				t.Fatalf("batch mixes programs: job %d", i)
+			}
+			if seen[i] {
+				t.Fatalf("job %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("grouped %d of %d jobs", len(seen), len(jobs))
+	}
+	if len(batches) != 3 {
+		t.Fatalf("expected 3 batches (8 fib + 2 fib + 3 bubble), got %d: %v", len(batches), batches)
+	}
+}
+
+// outcomesMatch compares two job outcomes for architectural identity.
+func outcomesMatch(a, b jobOutcome) error {
+	if (a.err == nil) != (b.err == nil) {
+		return fmt.Errorf("errors differ: %v vs %v", a.err, b.err)
+	}
+	if a.err != nil {
+		return nil
+	}
+	if a.res.Regs != b.res.Regs || a.res.Halted != b.res.Halted ||
+		a.res.Stats != b.res.Stats || a.res.Scheme != b.res.Scheme ||
+		a.res.Cache != b.res.Cache || a.res.Diff != b.res.Diff {
+		return fmt.Errorf("results differ:\n%+v\nvs\n%+v", a.res, b.res)
+	}
+	if d := a.res.Mem.Diff(b.res.Mem); d != "" {
+		return fmt.Errorf("memory differs: %s", d)
+	}
+	return nil
+}
+
+// sweepJobs builds a representative mixed job list: several kernels,
+// several configurations each, interleaved so grouping has to reorder.
+func sweepJobs() []runJob {
+	var jobs []runJob
+	for _, c := range []int{2, 3, 4} {
+		for _, kn := range []string{"fib", "bubble", "sieve"} {
+			jobs = append(jobs, kernelJob(kn, machine.Config{
+				Scheme:    core.NewSchemeTight(c, 0),
+				Predictor: bpred.NewBimodal(256),
+				Speculate: true,
+				MemSystem: machine.MemBackward3b,
+			}))
+		}
+	}
+	return jobs
+}
+
+// TestRunJobsBatchedMatchesUnbatched proves the batch-aware grouping
+// choke point is invisible: the same job list run batched and unbatched
+// yields identical outcomes, slot for slot.
+func TestRunJobsBatchedMatchesUnbatched(t *testing.T) {
+	defer SetBatching(true)
+	ctx := context.Background()
+	SetBatching(true)
+	batched := runJobs(ctx, sweepJobs())
+	SetBatching(false)
+	single := runJobs(ctx, sweepJobs())
+	for i := range batched {
+		if err := outcomesMatch(batched[i], single[i]); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentSweepsThroughPool runs several batched sweeps
+// concurrently through the shared worker pool (exercised under -race
+// by `make race`): batches from different sweeps interleave on pool
+// workers, chassis cycle through the machine pool, and every outcome
+// must still match a sequential unbatched reference.
+func TestConcurrentSweepsThroughPool(t *testing.T) {
+	defer SetBatching(true)
+	ctx := context.Background()
+	SetBatching(false)
+	want := runJobs(ctx, sweepJobs())
+	SetBatching(true)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(tag int) {
+			defer wg.Done()
+			got := runJobs(ctx, sweepJobs())
+			for i := range got {
+				if err := outcomesMatch(want[i], got[i]); err != nil {
+					errc <- fmt.Errorf("sweep %d job %d: %w", tag, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

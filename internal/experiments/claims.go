@@ -242,22 +242,20 @@ func c6(ctx context.Context) *Table {
 	scfg := workload.SynthConfig{Name: "storeheavy", Iters: 400, BranchesPerIter: 2, StoresPerIter: 6, Seed: 99}
 	p := workload.Synth(scfg)
 	capacities := []int{W, 2 * W, bound - W/2, bound, bound + W, 4 * bound}
-	type outcome struct {
-		res *machine.Result
-		err error
-	}
-	outs := make([]outcome, len(capacities))
 	// Deadlocking capacities are expected results here, so this sweep
-	// cannot go through runParallel's panic-on-error path.
-	parMap(ctx, len(capacities), func(i int) {
-		outs[i].res, outs[i].err = simRun(p, machine.Config{
+	// goes through runJobs' error-tolerant outcomes rather than
+	// runParallel's panic-on-error path.
+	jobs := make([]runJob, len(capacities))
+	for i, capacity := range capacities {
+		jobs[i] = runJob{name: scfg.Name, prog: p, cfg: machine.Config{
 			Scheme:         core.NewSchemeE(c, 1000, W), // W forces the checkpoints
 			Speculate:      false,
 			MemSystem:      machine.MemBackward3a,
-			BufferCap:      capacities[i],
+			BufferCap:      capacity,
 			WatchdogCycles: 20_000,
-		})
-	})
+		}}
+	}
+	outs := runJobs(ctx, jobs)
 	for i, capacity := range capacities {
 		res, err := outs[i].res, outs[i].err
 		outcome := "completed"
@@ -438,39 +436,42 @@ func c11(ctx context.Context) *Table {
 		Header: []string{"kernel", "in-order", "HB(8)", "ROB(8)", "tight(4)+bimodal", "tight(4)+oracle"},
 	}
 	names := []string{"fib", "bubble", "matmul", "sieve", "crc", "recfib"}
-	rows := make([][]any, len(names))
+	// The four machine configurations of each kernel form one batch-able
+	// job group; the in-order baseline is not a checkpointed machine run
+	// and fans out separately.
+	const perKernel = 4
+	var jobs []runJob
+	for _, name := range names {
+		jobs = append(jobs,
+			kernelJob(name, baseline.HistoryBufferConfig(8)),
+			kernelJob(name, baseline.ReorderBufferConfig(8)),
+			kernelJob(name, machine.Config{
+				Scheme:    core.NewSchemeTight(4, 0),
+				Predictor: bpred.NewBimodal(256),
+				Speculate: true,
+				MemSystem: machine.MemBackward3b,
+			}),
+			kernelJob(name, machine.Config{
+				Scheme:    core.NewSchemeTight(4, 0),
+				Predictor: bpred.NewOracle(),
+				Speculate: true,
+				MemSystem: machine.MemBackward3b,
+			}))
+	}
+	results := runParallel(ctx, jobs)
+	inord := make([]int64, len(names))
 	parMap(ctx, len(names), func(i int) {
-		name := names[i]
-		k, _ := workload.ByName(name)
-		p := k.Load()
-		inord, err := baseline.InOrder(p, machine.DefaultTiming, cache.DefaultConfig)
+		k, _ := workload.ByName(names[i])
+		res, err := baseline.InOrder(k.Load(), machine.DefaultTiming, cache.DefaultConfig)
 		if err != nil {
 			panic(err)
 		}
-		hb, err := simRun(p, baseline.HistoryBufferConfig(8))
-		if err != nil {
-			panic(err)
-		}
-		rob, err := simRun(p, baseline.ReorderBufferConfig(8))
-		if err != nil {
-			panic(err)
-		}
-		tb := run(name, machine.Config{
-			Scheme:    core.NewSchemeTight(4, 0),
-			Predictor: bpred.NewBimodal(256),
-			Speculate: true,
-			MemSystem: machine.MemBackward3b,
-		})
-		to := run(name, machine.Config{
-			Scheme:    core.NewSchemeTight(4, 0),
-			Predictor: bpred.NewOracle(),
-			Speculate: true,
-			MemSystem: machine.MemBackward3b,
-		})
-		rows[i] = []any{name, inord.Cycles, hb.Stats.Cycles, rob.Stats.Cycles, tb.Stats.Cycles, to.Stats.Cycles}
+		inord[i] = res.Cycles
 	})
-	for _, row := range rows {
-		t.AddRow(row...)
+	for i, name := range names {
+		row := results[i*perKernel : (i+1)*perKernel]
+		t.AddRow(name, inord[i], row[0].Stats.Cycles, row[1].Stats.Cycles,
+			row[2].Stats.Cycles, row[3].Stats.Cycles)
 	}
 	return t
 }
@@ -505,24 +506,33 @@ func c12(ctx context.Context) *Table {
 		total, matched int
 	}
 	cells := make([]cell, len(mks)*len(memsys))
-	parMap(ctx, len(cells), func(i int) {
-		mk, ms := mks[i/len(memsys)], memsys[i%len(memsys)]
-		c := &cells[i]
-		for j, k := range kernels {
+	// One job per (scheme, memsys, kernel) triple, kernel-major so every
+	// kernel's configurations form one batch-able group; runJobs
+	// tolerates per-job errors, which count as mismatches here.
+	var jobs []runJob
+	for j := range kernels {
+		for ci := range cells {
+			mk, ms := mks[ci/len(memsys)], memsys[ci%len(memsys)]
 			s := mk()
-			c.schemeName = s.Name()
-			res, err := simRun(k.Load(), machine.Config{
+			cells[ci].schemeName = s.Name()
+			jobs = append(jobs, runJob{name: kernels[j].Name, prog: kernels[j].Load(), cfg: machine.Config{
 				Scheme:    s,
 				Predictor: bpred.NewBimodal(256),
 				Speculate: true,
 				MemSystem: ms,
-			})
-			c.total++
-			if err == nil && res.MatchRef(refs[j]) == nil {
-				c.matched++
+			}})
+		}
+	}
+	outs := runJobs(ctx, jobs)
+	for j := range kernels {
+		for ci := range cells {
+			o := outs[j*len(cells)+ci]
+			cells[ci].total++
+			if o.err == nil && o.res.MatchRef(refs[j]) == nil {
+				cells[ci].matched++
 			}
 		}
-	})
+	}
 	for i, c := range cells {
 		t.AddRow(c.schemeName, memsys[i%len(memsys)].String(), c.total, c.matched)
 	}

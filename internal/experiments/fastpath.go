@@ -36,12 +36,12 @@ var probeFactory atomic.Value // func() machine.Probe
 // constructor for subsequent experiment runs.
 func SetProbeFactory(f func() machine.Probe) { probeFactory.Store(f) }
 
-// simRun is the single choke point through which experiments run the
-// machine simulator. With fast paths on it replays the per-program
-// cached reference trace instead of interpreting alongside every run;
-// with them off it also disables cycle skipping, reproducing the
-// one-cycle-at-a-time legacy path exactly.
-func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
+// wire applies the per-run experiment seams to cfg: the probe factory
+// and, with fast paths on, the shared cached reference trace (with them
+// off, cycle skipping is disabled too — the one-cycle-at-a-time oracle
+// path). Both simRun and the batch runner route configurations through
+// here so every lane of a sweep carries identical wiring.
+func wire(p *prog.Program, cfg machine.Config) machine.Config {
 	if f, _ := probeFactory.Load().(func() machine.Probe); f != nil {
 		cfg.Probe = f()
 	}
@@ -53,6 +53,18 @@ func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
 		}
 	} else {
 		cfg.DisableCycleSkip = true
+	}
+	return cfg
+}
+
+// simRun is the single choke point through which experiments run one
+// machine simulation. With batching enabled (and the fast paths on) the
+// run draws a pooled chassis; results are identical to a fresh
+// machine.Run either way.
+func simRun(p *prog.Program, cfg machine.Config) (*machine.Result, error) {
+	cfg = wire(p, cfg)
+	if FastPaths() && Batching() {
+		return machine.RunPooled(p, cfg)
 	}
 	return machine.Run(p, cfg)
 }

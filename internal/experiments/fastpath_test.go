@@ -43,28 +43,46 @@ func TestRunAllByteIdenticalNoopProbe(t *testing.T) {
 	}
 }
 
-// TestRunAllByteIdenticalFastPaths regenerates every artefact (F1-F8,
-// T1, C1-C12, A1-A6) with the trace-replay and cycle-skipping fast
-// paths enabled and disabled, and requires the outputs to be
-// byte-for-byte identical — the acceptance bar for both optimisations.
-func TestRunAllByteIdenticalFastPaths(t *testing.T) {
+// TestRunAllByteIdenticalFastPathsThreeWay regenerates every artefact
+// (F1-F8, T1, C1-C12, A1-A6) three ways — naive (fast paths off,
+// one-cycle-at-a-time live-shadow oracle), fast-path unbatched (trace
+// replay + cycle skipping, one machine per run), and batch-lockstep
+// (fast paths + RunBatch lanes + pooled chassis) — and requires all
+// three outputs byte-for-byte identical: the acceptance bar for the
+// whole optimisation stack.
+func TestRunAllByteIdenticalFastPathsThreeWay(t *testing.T) {
 	defer SetFastPaths(true)
-	var on, off bytes.Buffer
-	SetFastPaths(true)
-	RunAll(&on)
-	SetFastPaths(false)
-	RunAll(&off)
-	if bytes.Equal(on.Bytes(), off.Bytes()) {
-		return
+	defer SetBatching(true)
+	legs := []struct {
+		name     string
+		fast     bool
+		batching bool
+	}{
+		{"batched", true, true},
+		{"fast-unbatched", true, false},
+		{"naive", false, false},
 	}
-	a, b := on.String(), off.String()
-	i := 0
-	for i < len(a) && i < len(b) && a[i] == b[i] {
-		i++
+	outs := make([]bytes.Buffer, len(legs))
+	for li, leg := range legs {
+		SetFastPaths(leg.fast)
+		SetBatching(leg.batching)
+		RunAll(&outs[li])
 	}
-	lo := max(i-200, 0)
-	t.Fatalf("fast paths changed experiment output at byte %d:\nfast: %q\nslow: %q",
-		i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+	for li := 1; li < len(legs); li++ {
+		a, b := outs[0].String(), outs[li].String()
+		if a == b {
+			continue
+		}
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := max(i-200, 0)
+		t.Fatalf("%s and %s legs diverge at byte %d:\n%s: %q\n%s: %q",
+			legs[0].name, legs[li].name, i,
+			legs[0].name, a[lo:min(i+200, len(a))],
+			legs[li].name, b[lo:min(i+200, len(b))])
+	}
 }
 
 // TestSimRunUsesTraceReplay pins the fast path actually engaging: after

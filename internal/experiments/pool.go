@@ -156,19 +156,19 @@ func kernelJob(name string, cfg machine.Config) runJob {
 	return runJob{name: name, prog: k.Load(), cfg: cfg}
 }
 
-// runParallel executes the jobs concurrently on the package pool and
-// returns their results in job order, so sweep tables come out
-// byte-identical to a sequential run. It panics on simulator errors
-// exactly like run — sweeps run known-good configurations. Cancelling
-// ctx unwinds the sweep (see cancelUnwind).
+// runParallel executes the jobs concurrently on the package pool —
+// batch-grouping jobs that share a program (see runJobs) — and returns
+// their results in job order, so sweep tables come out byte-identical
+// to a sequential run. It panics on simulator errors exactly like run —
+// sweeps run known-good configurations. Cancelling ctx unwinds the
+// sweep (see cancelUnwind).
 func runParallel(ctx context.Context, jobs []runJob) []*machine.Result {
 	out := make([]*machine.Result, len(jobs))
-	parMap(ctx, len(jobs), func(i int) {
-		res, err := simRun(jobs[i].prog, jobs[i].cfg)
-		if err != nil {
-			panic(fmt.Sprintf("%s on %s: %v", jobs[i].name, jobs[i].cfg.Scheme.Name(), err))
+	for i, o := range runJobs(ctx, jobs) {
+		if o.err != nil {
+			panic(fmt.Sprintf("%s on %s: %v", jobs[i].name, jobs[i].cfg.Scheme.Name(), o.err))
 		}
-		out[i] = res
-	})
+		out[i] = o.res
+	}
 	return out
 }

@@ -1,0 +1,215 @@
+// Batch-lockstep execution: one program, B configurations, advanced in
+// lockstep over one shared memoized trace/decode stream.
+//
+// Every sweep in the experiments re-runs the same program under many
+// configurations, so the dominant redundant work is per-run setup (a
+// fresh machine is ~76 allocations) and cold-cache walks of the shared
+// reference trace. RunBatch removes both: lanes draw their chassis from
+// a process-wide pool and are rebuilt in place (Machine.Reset), and the
+// scheduler always advances the lane with the smallest cycle count, so
+// all live lanes stay within one event of each other and walk the same
+// region of the shared trace together. Lane state that varies per
+// configuration (scheme counters, checkpoint windows, FU pools,
+// predictor state) lives inside each lane's Machine; the batch keeps its
+// own bookkeeping — cycles, retirement, results — struct-of-arrays so
+// the scheduling loop touches contiguous lane slots.
+//
+// Composition with the event-driven skipper (Machine.skipIdle): a lane's
+// Step already jumps to that lane's next event, and because the
+// scheduler picks the minimum-cycle lane, the batch as a whole advances
+// to the earliest next event across live lanes. Lanes finish at
+// different cycles; a finished lane retires from the batch (its chassis
+// returns to the pool) and the survivors continue. Results are identical
+// to B independent machine.Run calls — the lanes share no mutable state.
+package machine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prog"
+)
+
+// chassis pools retired machines for in-place rebuilding. Machines from
+// the pool are always Reset before use and never shared between lanes.
+var chassis sync.Pool
+
+// acquire returns a machine rebuilt for one run of p, drawing a pooled
+// chassis when one is available.
+func acquire(p *prog.Program, cfg Config) (*Machine, error) {
+	if v := chassis.Get(); v != nil {
+		m := v.(*Machine)
+		if err := m.Reset(p, cfg); err == nil {
+			return m, nil
+		}
+		// A Reset error leaves the chassis unusable; fall through to New,
+		// which reports the same validation error if cfg is at fault.
+	}
+	return New(p, cfg)
+}
+
+// release returns a finished machine's chassis to the pool.
+func release(m *Machine) { chassis.Put(m) }
+
+// RunPooled is Run drawing its machine from the chassis pool: identical
+// results, amortised setup. Singleton runs routed here still benefit
+// from chassis reuse even when no batching is possible.
+func RunPooled(p *prog.Program, cfg Config) (*Result, error) {
+	m, err := acquire(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.RunLoop()
+	release(m)
+	singleRuns.Add(1)
+	return res, err
+}
+
+// RunBatch runs p once per configuration, advancing all lanes in
+// lockstep, and returns per-lane results and errors (slot i corresponds
+// to cfgs[i]). A lane whose configuration fails validation gets its
+// error while the remaining lanes still run; a lane that aborts
+// mid-flight (cycle limit, deadlock) retires with both its partial
+// result and its error, exactly as machine.Run would return them.
+func RunBatch(p *prog.Program, cfgs []Config) ([]*Result, []error) {
+	n := len(cfgs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs
+	}
+	batches.Add(1)
+	batchLanes.Add(int64(n))
+	for {
+		cur := maxWidth.Load()
+		if int64(n) <= cur || maxWidth.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+
+	// SoA batch bookkeeping: lanes[i], idx[i], and cycles[i] describe
+	// live lane i; retirement swap-removes a slot so the scheduling scan
+	// stays dense.
+	lanes := make([]*Machine, 0, n)
+	idx := make([]int, 0, n)
+	cycles := make([]int64, 0, n)
+	for i, cfg := range cfgs {
+		m, err := acquire(p, cfg)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		lanes = append(lanes, m)
+		idx = append(idx, i)
+		cycles = append(cycles, 0)
+	}
+
+	var sumLaneCycles, batchCycles int64
+	for len(lanes) > 0 {
+		// Pick the laggard lane and the runner-up horizon: advancing the
+		// minimum-cycle lane until it passes the second-smallest cycle
+		// keeps the batch in lockstep while letting the lane's own
+		// event-driven skip jump idle stretches in one step. Lanes run
+		// neck-and-neck most of the time (same program), so a strict
+		// handover every time the laggard noses ahead would pay the
+		// O(B) scheduling scan per simulated cycle; the quantum lets the
+		// chosen lane run a bounded stretch past the horizon instead,
+		// amortising the scan while keeping all live lanes within one
+		// quantum of the same trace region.
+		const quantum = 16384
+		li := 0
+		minC := cycles[0]
+		horizon := int64(math.MaxInt64) - quantum
+		for j := 1; j < len(lanes); j++ {
+			if c := cycles[j]; c < minC {
+				horizon = minC
+				minC, li = c, j
+			} else if c < horizon {
+				horizon = c
+			}
+		}
+		horizon += quantum
+		m := lanes[li]
+		alive := true
+		for alive && m.Cycle() <= horizon {
+			alive = m.Step()
+		}
+		cycles[li] = m.Cycle()
+		if alive {
+			continue
+		}
+		i := idx[li]
+		results[i], errs[i] = m.Finish()
+		release(m)
+		sumLaneCycles += cycles[li]
+		if cycles[li] > batchCycles {
+			batchCycles = cycles[li]
+		}
+		last := len(lanes) - 1
+		lanes[li], idx[li], cycles[li] = lanes[last], idx[last], cycles[last]
+		lanes, idx, cycles = lanes[:last], idx[:last], cycles[:last]
+	}
+	laneCycles.Add(sumLaneCycles)
+	wallCycles.Add(batchCycles)
+	return results, errs
+}
+
+// Process-wide batch instrumentation, mirrored onto the service /metrics
+// endpoint and sampled by cmd/bench.
+var (
+	batches    atomic.Int64
+	batchLanes atomic.Int64
+	singleRuns atomic.Int64
+	maxWidth   atomic.Int64
+	laneCycles atomic.Int64 // sum of per-lane final cycle counts
+	wallCycles atomic.Int64 // sum of per-batch maximum lane cycle counts
+)
+
+// BatchStats is a snapshot of the process-wide batch counters.
+type BatchStats struct {
+	// Batches and Lanes count RunBatch calls and the lanes they carried;
+	// Lanes/Batches is the average batch width.
+	Batches int64
+	Lanes   int64
+	// SingleRuns counts RunPooled calls (runs that could not be grouped
+	// into a batch but still reused a pooled chassis).
+	SingleRuns int64
+	// MaxWidth is the widest batch seen.
+	MaxWidth int64
+	// LaneCycles / WallCycles is the average number of live lanes over a
+	// batch's lifetime (lane occupancy): LaneCycles sums every lane's
+	// final cycle count, WallCycles sums each batch's longest lane.
+	LaneCycles int64
+	WallCycles int64
+}
+
+// Occupancy returns average live lanes over batch lifetimes, or 0 when
+// no batch has completed.
+func (s BatchStats) Occupancy() float64 {
+	if s.WallCycles == 0 {
+		return 0
+	}
+	return float64(s.LaneCycles) / float64(s.WallCycles)
+}
+
+// AvgWidth returns the average batch width, or 0 when no batch ran.
+func (s BatchStats) AvgWidth() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Lanes) / float64(s.Batches)
+}
+
+// ReadBatchStats returns the current process-wide batch counters
+// (monotonic; subtract two snapshots for an interval).
+func ReadBatchStats() BatchStats {
+	return BatchStats{
+		Batches:    batches.Load(),
+		Lanes:      batchLanes.Load(),
+		SingleRuns: singleRuns.Load(),
+		MaxWidth:   maxWidth.Load(),
+		LaneCycles: laneCycles.Load(),
+		WallCycles: wallCycles.Load(),
+	}
+}

@@ -1,0 +1,288 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func loadKernel(t testing.TB, name string) *prog.Program {
+	t.Helper()
+	k, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.Load()
+}
+
+// batchCfgs builds a spread of configurations for one batch: every
+// scheme under test over alternating memory systems, so lanes differ in
+// scheme counters, register-stack shapes, and difference machinery.
+func batchCfgs(tr *refsim.Trace) []Config {
+	memsys := []MemSystemKind{MemBackward3a, MemBackward3b, MemForward}
+	var cfgs []Config
+	for i, name := range []string{"tight4", "tight2", "direct", "loose", "loose-tiny"} {
+		mk := schemesUnderTest()[name]
+		cfgs = append(cfgs, Config{
+			Scheme:    mk(),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: memsys[i%len(memsys)],
+			RefTrace:  tr,
+		})
+	}
+	return cfgs
+}
+
+// TestRunBatchMatchesRun: a batch of heterogeneous lanes over one
+// program must produce, lane for lane, the identical Results of
+// independent machine.Run calls. The batch runs twice so the second
+// pass exercises chassis reuse (Reset) across differing lane shapes.
+func TestRunBatchMatchesRun(t *testing.T) {
+	for _, kn := range []string{"fib", "bubble", "pagedemo"} {
+		p := loadKernel(t, kn)
+		tr := refsim.MustRecord(p, 0)
+		var want []*Result
+		for _, cfg := range batchCfgs(tr) {
+			res, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s: solo run: %v", kn, err)
+			}
+			want = append(want, res)
+		}
+		for pass := 0; pass < 2; pass++ {
+			results, errs := RunBatch(p, batchCfgs(tr))
+			for i, res := range results {
+				if errs[i] != nil {
+					t.Fatalf("%s pass %d lane %d: %v", kn, pass, i, errs[i])
+				}
+				if err := resultsIdentical(want[i], res); err != nil {
+					t.Fatalf("%s pass %d lane %d diverged from solo run: %v", kn, pass, i, err)
+				}
+				if d := res.Mem.Diff(want[i].Mem); d != "" {
+					t.Fatalf("%s pass %d lane %d: memory diverged: %s", kn, pass, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchLaneRetirement: lanes finishing at very different cycle
+// counts retire independently — survivors keep running and every slot
+// still gets its own correct result. An erroring lane (undersized
+// difference buffer deadlock) retires with its error without
+// disturbing the completing lanes.
+func TestRunBatchLaneRetirement(t *testing.T) {
+	p := loadKernel(t, "sieve")
+	mkFast := func() Config {
+		return Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: MemBackward3b,
+		}
+	}
+	mkSlow := func() Config { // non-speculative: stalls at every branch
+		return Config{
+			Scheme:    core.NewSchemeE(2, 8, 0),
+			Speculate: false,
+			MemSystem: MemBackward3b,
+		}
+	}
+	mkDead := func() Config { // deadlocks on a full difference buffer
+		return Config{
+			Scheme:         core.NewSchemeE(2, 1000, 4),
+			Speculate:      false,
+			MemSystem:      MemBackward3a,
+			BufferCap:      3,
+			WatchdogCycles: 5_000,
+		}
+	}
+	soloFast, err := Run(p, mkFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSlow, err := Run(p, mkSlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, mkDead()); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("undersized-buffer configuration should deadlock solo, got %v", err)
+	}
+	if soloFast.Stats.Cycles >= soloSlow.Stats.Cycles {
+		t.Fatalf("retirement not exercised: fast lane (%d cycles) should finish before slow lane (%d)",
+			soloFast.Stats.Cycles, soloSlow.Stats.Cycles)
+	}
+
+	results, errs := RunBatch(p, []Config{mkFast(), mkDead(), mkSlow()})
+	if errs[0] != nil {
+		t.Fatalf("fast lane: %v", errs[0])
+	}
+	if err := resultsIdentical(soloFast, results[0]); err != nil {
+		t.Fatalf("fast lane diverged: %v", err)
+	}
+	if !errors.Is(errs[1], ErrDeadlock) {
+		t.Fatalf("deadlock lane: got %v, want %v", errs[1], ErrDeadlock)
+	}
+	if errs[2] != nil {
+		t.Fatalf("slow lane: %v", errs[2])
+	}
+	if err := resultsIdentical(soloSlow, results[2]); err != nil {
+		t.Fatalf("slow lane diverged: %v", err)
+	}
+	s := ReadBatchStats()
+	if s.Batches == 0 || s.Lanes < 3 || s.MaxWidth < 3 {
+		t.Fatalf("batch counters not maintained: %+v", s)
+	}
+	if s.WallCycles > 0 && s.Occupancy() <= 0 {
+		t.Fatalf("occupancy not maintained: %+v", s)
+	}
+}
+
+// TestRunPooledPreservesHandedOutMemory: a Result's memory image must
+// survive the chassis that produced it being reused for another run —
+// the pool may recycle everything except state handed to callers.
+func TestRunPooledPreservesHandedOutMemory(t *testing.T) {
+	cfg := func() Config {
+		return Config{
+			Scheme:    core.NewSchemeTight(4, 0),
+			Predictor: bpred.NewBimodal(256),
+			Speculate: true,
+			MemSystem: MemBackward3b,
+		}
+	}
+	p1 := loadKernel(t, "memcpy")
+	p2 := loadKernel(t, "bubble")
+	want, err := Run(p1, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPooled(p1, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the pool with a different program; p1's result must not move.
+	for i := 0; i < 4; i++ {
+		if _, err := RunPooled(p2, cfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := got.Mem.Diff(want.Mem); d != "" {
+		t.Fatalf("handed-out memory corrupted by chassis reuse: %s", d)
+	}
+	if err := resultsIdentical(want, got); err != nil {
+		t.Fatalf("pooled run diverged: %v", err)
+	}
+}
+
+// gauntletCfg builds shape-changing configuration i with fresh per-run
+// state (scheme, predictor) on every call, so a reference machine and a
+// reused chassis can start from identical configurations.
+func gauntletCfg(i int) Config {
+	switch i {
+	case 0:
+		return Config{Scheme: core.NewSchemeTight(4, 0), Predictor: bpred.NewBimodal(256), Speculate: true, MemSystem: MemBackward3b}
+	case 1:
+		return Config{Scheme: core.NewSchemeLoose(2, 4, 12), Predictor: bpred.NewBimodal(128), Speculate: true, MemSystem: MemForward}
+	case 2:
+		return Config{Scheme: core.NewSchemeDirect(2, 4, 12, 0), Predictor: bpred.NewTaken(), Speculate: true, MemSystem: MemBackward3a}
+	default:
+		tm := DefaultTiming
+		tm.Window = 16
+		tm.LSQ = 8
+		return Config{Scheme: core.NewSchemeE(2, 8, 0), Speculate: false, MemSystem: MemBackward3b, Timing: tm}
+	}
+}
+
+// TestResetMatchesNew drives one chassis through a gauntlet of
+// shape-changing configurations — different schemes (register-stack
+// shapes), memory systems, predictors, and window sizes — and requires
+// every Reset run to match a fresh machine exactly.
+func TestResetMatchesNew(t *testing.T) {
+	p := loadKernel(t, "crc")
+	var m *Machine
+	for i := 0; i < 4; i++ {
+		ref, err := Run(p, gauntletCfg(i))
+		if err != nil {
+			t.Fatalf("cfg %d fresh: %v", i, err)
+		}
+		if m == nil {
+			m, err = New(p, gauntletCfg(i))
+		} else {
+			err = m.Reset(p, gauntletCfg(i))
+		}
+		if err != nil {
+			t.Fatalf("cfg %d chassis: %v", i, err)
+		}
+		got, err := m.RunLoop()
+		if err != nil {
+			t.Fatalf("cfg %d chassis run: %v", i, err)
+		}
+		if err := resultsIdentical(ref, got); err != nil {
+			t.Fatalf("cfg %d: reset chassis diverged from fresh machine: %v", i, err)
+		}
+		if d := got.Mem.Diff(ref.Mem); d != "" {
+			t.Fatalf("cfg %d: memory diverged: %s", i, d)
+		}
+	}
+}
+
+// TestConcurrentBatches runs several batches over shared programs and
+// memoized traces concurrently (exercised under -race by `make race`):
+// lanes share the trace read-only, chassis move through the pool, and
+// every lane must still match its solo run.
+func TestConcurrentBatches(t *testing.T) {
+	kernels := []string{"fib", "bubble", "sieve", "memcpy"}
+	type ref struct {
+		p    *prog.Program
+		tr   *refsim.Trace
+		want []*Result
+	}
+	refs := make([]ref, len(kernels))
+	for i, kn := range kernels {
+		p := loadKernel(t, kn)
+		tr := refsim.MustRecord(p, 0)
+		var want []*Result
+		for _, cfg := range batchCfgs(tr) {
+			res, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", kn, err)
+			}
+			want = append(want, res)
+		}
+		refs[i] = ref{p: p, tr: tr, want: want}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 4*len(refs))
+	for round := 0; round < 4; round++ {
+		for i := range refs {
+			wg.Add(1)
+			go func(r ref, tag int) {
+				defer wg.Done()
+				results, errs := RunBatch(r.p, batchCfgs(r.tr))
+				for li := range results {
+					if errs[li] != nil {
+						errc <- fmt.Errorf("worker %d lane %d: %w", tag, li, errs[li])
+						return
+					}
+					if err := resultsIdentical(r.want[li], results[li]); err != nil {
+						errc <- fmt.Errorf("worker %d lane %d: %w", tag, li, err)
+						return
+					}
+				}
+			}(refs[i], round*len(refs)+i)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -291,15 +291,21 @@ type Machine struct {
 	lastProgress  int64
 	st            stats.Run
 	preciseTraceC int // precise-mode completions since entry (diagnostics)
+
+	// memOut records that result() handed m.backing to a caller-visible
+	// Result; Reset must then build fresh backing memory instead of
+	// recycling pages the caller may still read.
+	memOut bool
 }
 
-// New validates the configuration and builds a machine for one run of p.
-func New(p *prog.Program, cfg Config) (*Machine, error) {
+// normalize validates p and cfg and applies the configuration defaults
+// shared by New and Reset.
+func normalize(p *prog.Program, cfg Config) (Config, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return cfg, err
 	}
 	if cfg.Scheme == nil {
-		return nil, errors.New("machine: no scheme configured")
+		return cfg, errors.New("machine: no scheme configured")
 	}
 	if cfg.Timing.IssueWidth == 0 {
 		cfg.Timing = DefaultTiming
@@ -317,14 +323,30 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 		cfg.WatchdogCycles = 100_000
 	}
 	if cfg.Speculate && cfg.Predictor == nil {
-		return nil, errors.New("machine: speculation requires a predictor")
+		return cfg, errors.New("machine: speculation requires a predictor")
 	}
 	if !cfg.Speculate {
 		if _, ok := cfg.Scheme.(*core.SchemeE); !ok {
-			return nil, errors.New("machine: non-speculative mode supports only SchemeE (branch checkpoints need a known successor PC)")
+			return cfg, errors.New("machine: non-speculative mode supports only SchemeE (branch checkpoints need a known successor PC)")
 		}
 	}
+	switch cfg.MemSystem {
+	case MemBackward3a, MemBackward3b, MemForward:
+	default:
+		return cfg, fmt.Errorf("machine: unknown memory system %v", cfg.MemSystem)
+	}
+	if cfg.RefTrace != nil && cfg.RefTrace.Program() != p {
+		return cfg, fmt.Errorf("machine: RefTrace was recorded from program %q, not this %q instance", cfg.RefTrace.Program().Name, p.Name)
+	}
+	return cfg, nil
+}
 
+// New validates the configuration and builds a machine for one run of p.
+func New(p *prog.Program, cfg Config) (*Machine, error) {
+	cfg, err := normalize(p, cfg)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{cfg: cfg, prog: p, scheme: cfg.Scheme}
 	m.backing = p.NewMemory()
 	c, err := cache.New(cfg.Cache, m.backing)
@@ -339,8 +361,6 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 		m.memsys = diff.NewBackward(c, diff.Sophisticated, cfg.BufferCap)
 	case MemForward:
 		m.memsys = diff.NewForward(c, cfg.BufferCap)
-	default:
-		return nil, fmt.Errorf("machine: unknown memory system %v", cfg.MemSystem)
 	}
 	m.undone = m.memsys.UndoneCounter()
 	caps := m.scheme.RegStackCaps()
@@ -358,9 +378,6 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	m.mport = ooo.NewFUPool("mem", t.MemPorts, t.CacheHit)
 
 	if cfg.RefTrace != nil {
-		if cfg.RefTrace.Program() != p {
-			return nil, fmt.Errorf("machine: RefTrace was recorded from program %q, not this %q instance", cfg.RefTrace.Program().Name, p.Name)
-		}
 		m.shadow = cfg.RefTrace.Replay()
 	} else {
 		m.shadow = refsim.NewShadow(p)
@@ -373,6 +390,119 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	m.scheme.Restart(m.fetchPC, m.nextSeq)
 	m.lastProgress = 0
 	return m, nil
+}
+
+// Reset rebuilds the machine in place for one run of p under cfg,
+// producing a machine indistinguishable from New(p, cfg) while reusing
+// the chassis — page tables, cache lines, register stacks, difference
+// arenas, window/LSQ storage, and operation free lists — allocated by
+// previous runs. Backing memory handed out through a Result is never
+// recycled. On error the machine is left in an unusable state and must
+// be discarded.
+func (m *Machine) Reset(p *prog.Program, cfg Config) error {
+	cfg, err := normalize(p, cfg)
+	if err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.prog = p
+	m.scheme = cfg.Scheme
+
+	if m.backing == nil || m.memOut {
+		m.backing = p.NewMemory()
+		m.memOut = false
+	} else {
+		p.InitMemory(m.backing)
+	}
+	if err := m.dcache.Reset(cfg.Cache, m.backing); err != nil {
+		return err
+	}
+	switch cfg.MemSystem {
+	case MemBackward3a, MemBackward3b:
+		algo := diff.Simple
+		if cfg.MemSystem == MemBackward3b {
+			algo = diff.Sophisticated
+		}
+		if b, ok := m.memsys.(*diff.Backward); ok {
+			b.Reset(m.dcache, algo, cfg.BufferCap)
+		} else {
+			m.memsys = diff.NewBackward(m.dcache, algo, cfg.BufferCap)
+		}
+	case MemForward:
+		if f, ok := m.memsys.(*diff.Forward); ok {
+			f.Reset(m.dcache, cfg.BufferCap)
+		} else {
+			m.memsys = diff.NewForward(m.dcache, cfg.BufferCap)
+		}
+	}
+	m.undone = m.memsys.UndoneCounter()
+	caps := m.scheme.RegStackCaps()
+	m.regs.Reset(caps...)
+	if cap(m.depthBuf) >= len(caps) {
+		m.depthBuf = m.depthBuf[:len(caps)]
+		clear(m.depthBuf)
+	} else {
+		m.depthBuf = make([]int, len(caps))
+	}
+	m.pred = nil
+	if cfg.Predictor != nil {
+		m.pred = bpred.NewTracked(cfg.Predictor)
+	}
+	t := cfg.Timing
+	m.window.Reset(t.Window)
+	m.lsq.Reset(t.LSQ)
+	m.alu = resetPool(m.alu, "alu", t.ALUUnits, t.ALULat)
+	m.muldiv = resetPool(m.muldiv, "muldiv", t.MulDivUnit, t.MulLat)
+	m.branch = resetPool(m.branch, "branch", 1, t.BranchLat)
+	m.mport = resetPool(m.mport, "mem", t.MemPorts, t.CacheHit)
+
+	if cfg.RefTrace != nil {
+		m.shadow = cfg.RefTrace.Replay()
+	} else {
+		m.shadow = refsim.NewShadow(p)
+	}
+	m.aligned = true
+	m.cycle = 0
+	m.nextSeq = 1
+	m.fetchPC = p.Entry
+	m.fetchHalted = false
+	m.fetchOOR = false
+	m.jumpStall = false
+	m.branchStall = false
+	m.crack.elems = nil
+	m.crack.pos = 0
+	m.crack.onTrue = false
+	m.repairBusyUntil = 0
+	m.lastUndone = 0
+	m.mode = modeNormal
+	m.preciseLeft = 0
+	m.activity = false
+	m.idleReason = stats.StallNone
+	// opFree and squashBuf are chassis scratch and carry over; excLog was
+	// handed out through the previous Result, so it must not be truncated
+	// in place.
+	m.excLog = nil
+	m.done = false
+	m.fatal = nil
+	m.st = stats.Run{}
+	m.preciseTraceC = 0
+
+	m.scheme.Attach(m.regs, m.memsys, m)
+	m.scheme.Restart(m.fetchPC, m.nextSeq)
+	m.lastProgress = 0
+	return nil
+}
+
+// resetPool reuses a functional-unit pool when the unit count matches,
+// else builds a fresh one.
+func resetPool(p *ooo.FUPool, name string, units, latency int) *ooo.FUPool {
+	if p == nil || p.Units != units {
+		return ooo.NewFUPool(name, units, latency)
+	}
+	p.Name = name
+	p.Latency = latency
+	p.Reset()
+	return p
 }
 
 // Run executes the machine to completion.
@@ -532,6 +662,7 @@ func (m *Machine) skipIdle() {
 // drained so backing memory holds the final image.
 func (m *Machine) result() *Result {
 	m.memsys.Finish()
+	m.memOut = true
 	r := &Result{
 		Regs:         m.regs.Snapshot(),
 		Mem:          m.backing,

@@ -47,10 +47,16 @@ type Memory struct {
 	root   [rootSize]*leaf
 	npages int
 	// Last-page cache: lastPg caches the page holding page number
-	// lastPN (nil = no cached page). Pages are never unmapped, so the
+	// lastPN (nil = no cached page). Pages are never unmapped during a
+	// run (only wholesale by Reset, which clears the cache), so the
 	// cache can only go stale by pointing at a still-valid page.
 	lastPN uint32
 	lastPg []byte
+	// mapped lists the mapped page numbers in mapping order, so Reset
+	// can unmap without walking the whole table; free recycles page
+	// buffers across Reset/Map cycles (Map re-zeroes them).
+	mapped []uint32
+	free   [][]byte
 }
 
 // New returns an empty memory.
@@ -97,6 +103,23 @@ func (m *Memory) setPage(pn uint32, pg []byte) {
 	}
 	l[pn&(leafSize-1)] = pg
 	m.npages++
+	m.mapped = append(m.mapped, pn)
+}
+
+// Reset unmaps every page, returning the memory to its zero state while
+// retaining the leaf tables and page buffers for reuse: the next Map
+// calls allocate nothing when the previous footprint covered them. A
+// reset memory is indistinguishable from New() to every accessor.
+func (m *Memory) Reset() {
+	for _, pn := range m.mapped {
+		l := m.root[pn>>leafBits]
+		m.free = append(m.free, l[pn&(leafSize-1)])
+		l[pn&(leafSize-1)] = nil
+	}
+	m.mapped = m.mapped[:0]
+	m.npages = 0
+	m.lastPg = nil
+	m.lastPN = 0
 }
 
 // forEachPage visits every mapped page in ascending page-number order,
@@ -127,12 +150,24 @@ func (m *Memory) Map(addr, size uint32) {
 	last := (addr + size - 1) / PageSize
 	for pn := first; ; pn++ {
 		if m.pageByNumber(pn) == nil {
-			m.setPage(pn, make([]byte, PageSize))
+			m.setPage(pn, m.newPage())
 		}
 		if pn == last {
 			break
 		}
 	}
+}
+
+// newPage returns a zeroed page buffer, recycling one freed by Reset
+// when available.
+func (m *Memory) newPage() []byte {
+	if n := len(m.free); n > 0 {
+		pg := m.free[n-1]
+		m.free = m.free[:n-1]
+		clear(pg)
+		return pg
+	}
+	return make([]byte, PageSize)
 }
 
 // pageByNumber returns the page for page number pn, or nil.

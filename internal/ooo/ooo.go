@@ -113,6 +113,17 @@ type Station struct {
 // NewStation returns a station with the given number of entries.
 func NewStation(cap int) *Station { return &Station{Cap: cap} }
 
+// Reset empties the station and sets its capacity, keeping the backing
+// arrays for reuse. Resident pointers are cleared so recycled Op records
+// cannot be reached through the old storage.
+func (s *Station) Reset(cap int) {
+	s.Cap = cap
+	clear(s.ops)
+	clear(s.squashed)
+	s.ops = s.ops[:0]
+	s.squashed = s.squashed[:0]
+}
+
 // Full reports whether the station has no free entry.
 func (s *Station) Full() bool { return len(s.ops) >= s.Cap }
 
@@ -262,6 +273,16 @@ type LSQ struct {
 
 // NewLSQ returns a queue with the given capacity.
 func NewLSQ(cap int) *LSQ { return &LSQ{Cap: cap} }
+
+// Reset empties the queue and sets its capacity, keeping the backing
+// arrays for reuse.
+func (q *LSQ) Reset(cap int) {
+	q.Cap = cap
+	clear(q.ops)
+	clear(q.squashed)
+	q.ops = q.ops[:0]
+	q.squashed = q.squashed[:0]
+}
 
 // Full reports whether the queue has no free entry.
 func (q *LSQ) Full() bool { return len(q.ops) >= q.Cap }

@@ -103,11 +103,19 @@ func (p *Program) Validate() error {
 // unmapped and will page-fault if accessed.
 func (p *Program) NewMemory() *mem.Memory {
 	m := mem.New()
+	p.InitMemory(m)
+	return m
+}
+
+// InitMemory resets m to the program's initial data image, exactly as
+// NewMemory builds it, reusing m's page buffers where possible. It lets
+// a machine chassis be re-run without reallocating its memory.
+func (p *Program) InitMemory(m *mem.Memory) {
+	m.Reset()
 	for _, s := range p.Data {
 		m.Map(s.Addr, uint32(len(s.Data)))
 		m.WriteBytes(s.Addr, s.Data)
 	}
-	return m
 }
 
 // BranchTarget returns the taken target of the control instruction at

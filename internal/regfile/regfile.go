@@ -76,6 +76,40 @@ func NewStacks(caps ...int) *File {
 	return f
 }
 
+// Reset restores the file to the state NewStacks(caps...) would build,
+// reusing the existing stack storage when the capacities match (the
+// common case when a machine chassis is re-run with a same-shape
+// configuration).
+func (f *File) Reset(caps ...int) {
+	for _, c := range caps {
+		if c < 0 {
+			panic(fmt.Sprintf("regfile: negative backup count %d", c))
+		}
+	}
+	sameShape := len(caps) == len(f.caps)
+	if sameShape {
+		for i, c := range caps {
+			if c != f.caps[i] {
+				sameShape = false
+				break
+			}
+		}
+	}
+	f.current = space{}
+	f.stats = Stats{}
+	if sameShape {
+		for s := range f.stacks {
+			f.stacks[s] = f.stacks[s][:0]
+		}
+		return
+	}
+	f.caps = append(f.caps[:0], caps...)
+	f.stacks = f.stacks[:0]
+	for _, c := range caps {
+		f.stacks = append(f.stacks, make([]space, 0, c))
+	}
+}
+
 // Stacks returns the number of backup stacks.
 func (f *File) Stacks() int { return len(f.stacks) }
 

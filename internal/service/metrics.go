@@ -17,7 +17,8 @@ import (
 // not sketch estimates).
 type metrics struct {
 	start     time.Time
-	insts0    int64 // machine.SimulatedInsts() at daemon start
+	insts0    int64              // machine.SimulatedInsts() at daemon start
+	batch0    machine.BatchStats // batch counters at daemon start
 	submitted atomic.Int64
 	hits      atomic.Int64 // answered from the completed-result cache
 	coalesced atomic.Int64 // attached to an in-flight execution
@@ -36,6 +37,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		start:   time.Now(),
 		insts0:  machine.SimulatedInsts(),
+		batch0:  machine.ReadBatchStats(),
 		latency: make(map[string]*stats.Dist),
 	}
 }
@@ -92,6 +94,19 @@ func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet) map[string]any {
 	if uptime > 0 {
 		instsPerSec = float64(insts) / uptime
 	}
+	// Batch-engine counters since daemon start: how the simulation jobs
+	// behind this daemon's executions were scheduled (lockstep batch
+	// lanes vs pooled single runs), the average batch width, and the
+	// average number of live lanes over batch lifetimes.
+	bNow, b0 := machine.ReadBatchStats(), m.batch0
+	bd := machine.BatchStats{
+		Batches:    bNow.Batches - b0.Batches,
+		Lanes:      bNow.Lanes - b0.Lanes,
+		SingleRuns: bNow.SingleRuns - b0.SingleRuns,
+		MaxWidth:   bNow.MaxWidth,
+		LaneCycles: bNow.LaneCycles - b0.LaneCycles,
+		WallCycles: bNow.WallCycles - b0.WallCycles,
+	}
 	return map[string]any{
 		"uptime_seconds": uptime,
 		"queue": map[string]any{
@@ -116,6 +131,14 @@ func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet) map[string]any {
 			"started": m.execs.Load(),
 			"done":    m.execDone.Load(),
 			"failed":  m.execFail.Load(),
+		},
+		"batch": map[string]any{
+			"batches":        bd.Batches,
+			"lanes":          bd.Lanes,
+			"single_runs":    bd.SingleRuns,
+			"max_width":      bd.MaxWidth,
+			"avg_width":      bd.AvgWidth(),
+			"avg_live_lanes": bd.Occupancy(),
 		},
 		"sim_insts":         insts,
 		"sim_insts_per_sec": instsPerSec,

@@ -494,3 +494,44 @@ func TestExecuteKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsBatchSection: /metrics exposes the batch-engine counters —
+// a sim job runs on a pooled chassis (single_runs), a sweep job fans
+// out into lockstep batches (batches, lanes, width, live lanes).
+func TestMetricsBatchSection(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := postJob(t, ts.URL, Spec{Kind: "sim", Workload: "fib"}, true); code != http.StatusOK {
+		t.Fatalf("sim job: status %d", code)
+	}
+	if code, _ := postJob(t, ts.URL, Spec{Kind: "sweep", Experiment: "C5"}, true); code != http.StatusOK {
+		t.Fatalf("sweep job: status %d", code)
+	}
+
+	m := getMetrics(t, ts.URL)
+	b, ok := m["batch"].(map[string]any)
+	if !ok {
+		t.Fatalf("no batch section in metrics: %v", m)
+	}
+	if got := counter(m, "batch", "single_runs"); got < 1 {
+		t.Fatalf("single_runs = %d, want >= 1 (the sim job draws a pooled chassis)", got)
+	}
+	if got := counter(m, "batch", "batches"); got < 1 {
+		t.Fatalf("batches = %d, want >= 1 (the C5 sweep groups lanes)", got)
+	}
+	if lanes, batches := counter(m, "batch", "lanes"), counter(m, "batch", "batches"); lanes < batches {
+		t.Fatalf("lanes = %d < batches = %d", lanes, batches)
+	}
+	if w, _ := b["avg_width"].(float64); w < 1 {
+		t.Fatalf("avg_width = %v, want >= 1", w)
+	}
+	if live, _ := b["avg_live_lanes"].(float64); live <= 0 {
+		t.Fatalf("avg_live_lanes = %v, want > 0", live)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
