@@ -530,11 +530,12 @@ func (rep *report) addExperiment(id string, batched, unbatched, naive testing.Be
 }
 
 // benchDaemon boots the ckptd serving core in-process (same worker
-// count as the daemon's default) and drives it with the ckptload
-// default mix — two passes over 128 distinct sim specs, eight
+// count as the daemon's default) and drives it with a ckptload-style
+// mix — two passes over 128 distinct specs (112 single sims plus 16
+// sweep jobs, which route through the batch-lockstep engine), eight
 // concurrent clients, so the second pass exercises the result cache —
 // then reports the daemon's own sim-insts/sec metric. BENCH_4 measured
-// the same mix over real HTTP against a separate process; the
+// an all-sim mix over real HTTP against a separate process; the
 // in-process transport shaves constant per-request cost from both
 // sides of any comparison, while sim-insts/sec is dominated by
 // execution throughput either way.
@@ -559,8 +560,16 @@ func benchDaemon() *daemonBench {
 		{Scheme: "loose"},
 		{Scheme: "direct"},
 	}
+	sweeps := []string{"C2", "C5", "C7", "C9", "C10", "C11", "A4", "A5"}
 	mix := make([]service.Spec, 0, nSpecs)
 	for i := 0; len(mix) < nSpecs; i++ {
+		if i%8 == 7 {
+			mix = append(mix, service.Spec{
+				Kind:       "sweep",
+				Experiment: sweeps[(i/8)%len(sweeps)],
+			})
+			continue
+		}
 		mix = append(mix, service.Spec{
 			Kind:     "sim",
 			Workload: kernels[i%len(kernels)],
