@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke ci
+.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke clean-store ci
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,12 @@ test: build
 # Race-check the concurrency-sensitive surface: the parallel experiment
 # engine, the whole-machine golden tests it drives, the memoized
 # workload loaders shared across workers, the fault-injection campaign
-# fan-out (16 concurrent injected machines), and the serving layer's
-# single-flight cache and queue (64 concurrent identical submissions).
+# fan-out (16 concurrent injected machines, including kill-and-resume),
+# the serving layer's single-flight cache and queue (64 concurrent
+# identical submissions), and the two-tier result store (concurrent
+# same-key writers/readers, store round-trip, corruption recovery).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/store/
 
 # Fast-path equivalence: cycle skipping, trace replay, and the
 # batch-lockstep engine must change nothing observable (full-result
@@ -53,9 +55,15 @@ experiments:
 faultcamp:
 	$(GO) run ./cmd/faultcamp
 
-# Run the simulation daemon (see README "Serving the simulator").
+# Run the simulation daemon (see README "Serving the simulator") with
+# the persistent result store, so restarts answer from disk.
 serve:
-	$(GO) run ./cmd/ckptd
+	$(GO) run ./cmd/ckptd -store-dir .ckptd-store
+
+# Remove the local daemon store (persisted results and campaign
+# progress records).
+clean-store:
+	rm -rf .ckptd-store
 
 # Drive a running ckptd with the default load mix and refresh
 # BENCH_4.json (start one first: `make serve`).

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go build -o bench ./cmd/bench && ./bench   # writes BENCH_5.json
+//	go build -o bench ./cmd/bench && ./bench   # writes BENCH_6.json
 //	go run ./cmd/bench -o out.json -benchtime 300ms
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -158,6 +158,12 @@ type report struct {
 	// ckptload default mix (BENCH_4 measured the same mix over real
 	// HTTP against a separate daemon process).
 	Daemon *daemonBench `json:"daemon,omitempty"`
+	// Store reports cold-vs-warm daemon restart throughput over a
+	// shared persistent store directory (BENCH_6).
+	Store *storeBench `json:"store,omitempty"`
+	// Campaign reports kill-and-resume campaign wall-clock vs
+	// from-scratch, plus the checkpoint-placement solution (BENCH_6).
+	Campaign *campaignBench `json:"campaign,omitempty"`
 }
 
 // daemonBench is the serving-layer throughput section.
@@ -176,7 +182,7 @@ type daemonBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output JSON path")
+	out := flag.String("o", "BENCH_6.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
@@ -431,6 +437,8 @@ func main() {
 	rep.RunAll.Speedup = float64(rep.RunAll.SequentialNs) / float64(rep.RunAll.ParallelNs)
 
 	rep.Daemon = benchDaemon()
+	rep.Store = benchStore()
+	rep.Campaign = benchCampaign()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -545,59 +553,19 @@ func benchDaemon() *daemonBench {
 		clients = 8
 		passes  = 2
 	)
-	srv := service.New(service.Config{})
+	srv := service.MustNew(service.Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.New(ts.URL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	kernels := []string{"fib", "memcpy", "dotprod", "listsum", "bubble", "crc"}
-	schemes := []service.MachineSpec{
-		{},
-		{Scheme: "b"},
-		{Scheme: "tight", C: 8},
-		{Scheme: "loose"},
-		{Scheme: "direct"},
-	}
-	sweeps := []string{"C2", "C5", "C7", "C9", "C10", "C11", "A4", "A5"}
-	mix := make([]service.Spec, 0, nSpecs)
-	for i := 0; len(mix) < nSpecs; i++ {
-		if i%8 == 7 {
-			mix = append(mix, service.Spec{
-				Kind:       "sweep",
-				Experiment: sweeps[(i/8)%len(sweeps)],
-			})
-			continue
-		}
-		mix = append(mix, service.Spec{
-			Kind:     "sim",
-			Workload: kernels[i%len(kernels)],
-			Machine:  schemes[(i/len(kernels))%len(schemes)],
-		})
-	}
+	mix := buildMix(nSpecs)
 
 	bs0 := machine.ReadBatchStats()
 	start := time.Now()
 	for pass := 0; pass < passes; pass++ {
-		sem := make(chan struct{}, clients)
-		var wg sync.WaitGroup
-		for _, spec := range mix {
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(spec service.Spec) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				sr, err := cl.Run(ctx, spec)
-				if err != nil {
-					fatal(fmt.Errorf("daemon bench: %w", err))
-				}
-				if sr.Job.State != service.StateDone {
-					fatal(fmt.Errorf("daemon bench: job %s: state=%s error=%q", sr.Job.ID, sr.Job.State, sr.Job.Error))
-				}
-			}(spec)
-		}
-		wg.Wait()
+		driveMix(ctx, cl, mix, clients)
 	}
 	elapsed := time.Since(start)
 	met, err := cl.Metrics(ctx)
@@ -624,6 +592,268 @@ func benchDaemon() *daemonBench {
 	fmt.Printf("%-24s %d req in %d ms (%.0f rps), %d hits/%d misses, %.0f sim insts/s\n",
 		"daemon/ckptload-mix", d.Requests, d.ElapsedMs, d.RPS, d.CacheHits, d.CacheMisses, d.SimInstsPerSec)
 	return d
+}
+
+// buildMix assembles the ckptload-style spec mix: seven single sims
+// per sweep job, cycling kernels and schemes so every spec is distinct.
+func buildMix(nSpecs int) []service.Spec {
+	kernels := []string{"fib", "memcpy", "dotprod", "listsum", "bubble", "crc"}
+	schemes := []service.MachineSpec{
+		{},
+		{Scheme: "b"},
+		{Scheme: "tight", C: 8},
+		{Scheme: "loose"},
+		{Scheme: "direct"},
+	}
+	sweeps := []string{"C2", "C5", "C7", "C9", "C10", "C11", "A4", "A5"}
+	mix := make([]service.Spec, 0, nSpecs)
+	for i := 0; len(mix) < nSpecs; i++ {
+		if i%8 == 7 {
+			mix = append(mix, service.Spec{
+				Kind:       "sweep",
+				Experiment: sweeps[(i/8)%len(sweeps)],
+			})
+			continue
+		}
+		mix = append(mix, service.Spec{
+			Kind:     "sim",
+			Workload: kernels[i%len(kernels)],
+			Machine:  schemes[(i/len(kernels))%len(schemes)],
+		})
+	}
+	return mix
+}
+
+// driveMix submits every spec through the client with bounded
+// concurrency, failing the bench on any job error.
+func driveMix(ctx context.Context, cl *client.Client, mix []service.Spec, clients int) {
+	sem := make(chan struct{}, clients)
+	var wg sync.WaitGroup
+	for _, spec := range mix {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(spec service.Spec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sr, err := cl.Run(ctx, spec)
+			if err != nil {
+				fatal(fmt.Errorf("bench mix: %w", err))
+			}
+			if sr.Job.State != service.StateDone {
+				fatal(fmt.Errorf("bench mix: job %s: state=%s error=%q", sr.Job.ID, sr.Job.State, sr.Job.Error))
+			}
+		}(spec)
+	}
+	wg.Wait()
+}
+
+// storeBench is the cold-vs-warm restart section: the same spec mix
+// executed by a fresh daemon with an empty store directory, then by a
+// second fresh daemon over the now-populated directory. The warm
+// daemon never simulates — every answer comes off disk — so the ratio
+// is the end-to-end value of persistence across a restart.
+type storeBench struct {
+	Specs       int     `json:"specs"`
+	ColdMs      int64   `json:"cold_ms"`
+	WarmMs      int64   `json:"warm_ms"`
+	Speedup     float64 `json:"speedup"`
+	DiskHits    int64   `json:"disk_hits"`
+	DiskEntries int64   `json:"disk_entries"`
+	DiskBytes   int64   `json:"disk_bytes"`
+}
+
+func benchStore() *storeBench {
+	const (
+		nSpecs  = 128
+		clients = 8
+	)
+	dir, err := os.MkdirTemp("", "bench-store-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	mix := buildMix(nSpecs)
+
+	// StoreMinCost 0: persist everything, so the warm pass is pure
+	// store reads with no recompute-threshold gaps. Earlier bench
+	// sections already warmed the process-wide trace memos, which only
+	// makes the cold pass faster — the reported speedup is a floor.
+	boot := func() *service.Server {
+		return service.MustNew(service.Config{StoreDir: dir})
+	}
+	run := func(srv *service.Server) (time.Duration, map[string]any) {
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		cl := client.New(ts.URL)
+		start := time.Now()
+		driveMix(ctx, cl, mix, clients)
+		elapsed := time.Since(start)
+		met, err := cl.Metrics(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			fatal(err)
+		}
+		return elapsed, met
+	}
+
+	cold, _ := run(boot())
+	warm, met := run(boot()) // a fresh daemon over the populated store
+
+	s := &storeBench{
+		Specs:       nSpecs,
+		ColdMs:      cold.Milliseconds(),
+		WarmMs:      warm.Milliseconds(),
+		Speedup:     float64(cold.Nanoseconds()) / float64(warm.Nanoseconds()),
+		DiskHits:    int64(nested(met, "store", "disk_hits")),
+		DiskEntries: int64(nested(met, "store", "disk_entries")),
+		DiskBytes:   int64(nested(met, "store", "disk_bytes")),
+	}
+	fmt.Printf("%-24s cold %d ms -> warm %d ms (%.1fx), %d disk hits, %d entries, %d B\n",
+		"store/restart", s.ColdMs, s.WarmMs, s.Speedup, s.DiskHits, s.DiskEntries, s.DiskBytes)
+	return s
+}
+
+// campaignBench is the kill-and-resume section: one campaign run from
+// scratch, the same campaign killed mid-flight (context cancel once
+// half its injections are checkpointed), then resumed from the saved
+// progress record. The resumed run's outcome table must be
+// byte-identical to the from-scratch run's.
+type campaignBench struct {
+	Workload    string  `json:"workload"`
+	Injections  int     `json:"injections"`
+	ScratchMs   int64   `json:"scratch_ms"`
+	KilledDone  int     `json:"killed_done"`
+	ResumeMs    int64   `json:"resume_ms"`
+	ResumeRatio float64 `json:"resume_ratio"`
+	Resumed     int     `json:"resumed"`
+	// Placement is the checkpoint-placement solution of the campaign's
+	// plan: optimal-DP vs naive uniform spacing vs no snapshots, in
+	// total replay cycles over the injection set.
+	PlacementBudget      int     `json:"placement_budget"`
+	PlacementSnapshots   int     `json:"placement_snapshots"`
+	ReplayCycles         int64   `json:"replay_cycles"`
+	UniformReplayCycles  int64   `json:"uniform_replay_cycles"`
+	FullReplayCycles     int64   `json:"full_replay_cycles"`
+	ImprovementVsUniform float64 `json:"improvement_vs_uniform"`
+}
+
+// killingCkpt is an in-memory fault.Checkpointer that cancels the
+// campaign's context once killAt injections have been persisted —
+// the process-internal stand-in for kill -9 halfway through.
+type killingCkpt struct {
+	mu     sync.Mutex
+	data   []byte
+	ok     bool
+	cancel context.CancelFunc
+	killAt int
+}
+
+func (c *killingCkpt) Load() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ok {
+		return nil, false
+	}
+	return append([]byte(nil), c.data...), true
+}
+
+func (c *killingCkpt) Save(b []byte) error {
+	c.mu.Lock()
+	c.data = append(c.data[:0], b...)
+	c.ok = true
+	kill := false
+	if c.cancel != nil {
+		var pf struct {
+			Done []json.RawMessage `json:"done"`
+		}
+		json.Unmarshal(b, &pf)
+		kill = len(pf.Done) >= c.killAt
+	}
+	c.mu.Unlock()
+	if kill {
+		c.cancel()
+	}
+	return nil
+}
+
+func benchCampaign() *campaignBench {
+	k, err := workload.ByName("dotprod")
+	if err != nil {
+		fatal(err)
+	}
+	p := k.Load()
+	mk := func() machine.Config {
+		return machine.Config{
+			Scheme:    core.NewSchemeE(4, 8, 0),
+			Speculate: false,
+			MemSystem: machine.MemBackward3b,
+		}
+	}
+	cc := fault.Config{Seed: 1987, MaxWords: 8}
+
+	// From-scratch wall-clock (no checkpointer).
+	start := time.Now()
+	scratch, err := fault.Run(context.Background(), p, mk, cc)
+	if err != nil {
+		fatal(err)
+	}
+	scratchMs := time.Since(start)
+	n := len(scratch.Plan.Exec)
+
+	// Kill at 50%: save every ~5% so the cancel lands near the target.
+	ck := &killingCkpt{killAt: n / 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	ck.cancel = cancel
+	kcc := cc
+	kcc.Ckpt = ck
+	kcc.CkptEvery = n / 20
+	if _, err := fault.Run(ctx, p, mk, kcc); err == nil {
+		fatal(fmt.Errorf("campaign bench: killed run unexpectedly completed"))
+	}
+	ck.cancel = nil
+	var pf struct {
+		Done []json.RawMessage `json:"done"`
+	}
+	json.Unmarshal(ck.data, &pf)
+
+	// Resume from the saved record.
+	start = time.Now()
+	resumed, err := fault.Run(context.Background(), p, mk, kcc)
+	if err != nil {
+		fatal(err)
+	}
+	resumeMs := time.Since(start)
+	if got, want := resumed.Table("FC").String(), scratch.Table("FC").String(); got != want {
+		fatal(fmt.Errorf("campaign bench: resumed outcome table differs from from-scratch run:\n%s\nvs\n%s", got, want))
+	}
+
+	c := &campaignBench{
+		Workload:    p.Name,
+		Injections:  n,
+		ScratchMs:   scratchMs.Milliseconds(),
+		KilledDone:  len(pf.Done),
+		ResumeMs:    resumeMs.Milliseconds(),
+		ResumeRatio: float64(resumeMs.Nanoseconds()) / float64(scratchMs.Nanoseconds()),
+		Resumed:     resumed.Resumed,
+	}
+	if pl := scratch.Plan.Placement; pl != nil {
+		c.PlacementBudget = pl.Budget
+		c.PlacementSnapshots = len(pl.Events)
+		c.ReplayCycles = pl.ReplayCycles
+		c.UniformReplayCycles = pl.UniformReplayCycles
+		c.FullReplayCycles = pl.FullReplayCycles
+		if pl.UniformReplayCycles > 0 {
+			c.ImprovementVsUniform = 1 - float64(pl.ReplayCycles)/float64(pl.UniformReplayCycles)
+		}
+	}
+	fmt.Printf("%-24s %d injections: scratch %d ms, killed at %d done, resume %d ms (%.2fx of scratch); placement %d/%d snapshots, replay %d cyc vs uniform %d vs full %d\n",
+		"campaign/kill-resume", c.Injections, c.ScratchMs, c.KilledDone, c.ResumeMs, c.ResumeRatio,
+		c.PlacementSnapshots, c.PlacementBudget, c.ReplayCycles, c.UniformReplayCycles, c.FullReplayCycles)
+	return c
 }
 
 // metNum reads a top-level numeric metric from a /metrics document.

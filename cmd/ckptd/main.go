@@ -9,6 +9,7 @@
 //	ckptd                              # listen on 127.0.0.1:8909
 //	ckptd -addr :9000 -workers 4       # wider execution pool
 //	ckptd -queue 128 -cache 512        # more buffering before 429s
+//	ckptd -store-dir /var/lib/ckptd    # persistent store: warm restarts answer from disk
 //	ckptd -addr 127.0.0.1:0 -addrfile /tmp/ckptd.addr   # test harnesses
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
@@ -38,7 +39,11 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8909", "listen address (host:port, port 0 picks a free port)")
 	workers := flag.Int("workers", 2, "concurrent job executions (each fans out on the simulation pool)")
 	queueCap := flag.Int("queue", 64, "bounded queue capacity; beyond it submissions get 429")
-	cacheCap := flag.Int("cache", 256, "completed results kept in the in-memory cache")
+	cacheCap := flag.Int("cache", 256, "completed results kept in the in-memory cache (entries)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "in-memory result cache byte bound")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = no persistence; restarts recompute)")
+	storeBytes := flag.Int64("store-max-bytes", 1<<30, "disk store byte bound (LRU eviction past it)")
+	storeMinCost := flag.Duration("store-min-cost", 2*time.Millisecond, "results computed faster than this skip the disk store")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown before cancelling them")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
 	jobs := flag.Int("j", 0, "simulation pool width per execution (0 = GOMAXPROCS)")
@@ -50,11 +55,18 @@ func main() {
 		experiments.SetParallelism(*jobs)
 	}
 
-	srv := service.New(service.Config{
-		Workers:  *workers,
-		QueueCap: *queueCap,
-		CacheCap: *cacheCap,
+	srv, err := service.New(service.Config{
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		CacheCap:     *cacheCap,
+		CacheBytes:   *cacheBytes,
+		StoreDir:     *storeDir,
+		StoreBytes:   *storeBytes,
+		StoreMinCost: *storeMinCost,
 	})
+	if err != nil {
+		log.Fatalf("ckptd: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -65,8 +77,12 @@ func main() {
 			log.Fatalf("ckptd: write addrfile: %v", err)
 		}
 	}
-	log.Printf("ckptd %s listening on http://%s (workers=%d queue=%d cache=%d)",
-		buildinfo.Version(), ln.Addr(), *workers, *queueCap, *cacheCap)
+	persist := *storeDir
+	if persist == "" {
+		persist = "off"
+	}
+	log.Printf("ckptd %s listening on http://%s (workers=%d queue=%d cache=%d store=%s)",
+		buildinfo.Version(), ln.Addr(), *workers, *queueCap, *cacheCap, persist)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -10,13 +10,18 @@
 //	faultcamp -models fu-detected,spurious-exc
 //	faultcamp -seed 7 -stride 2 -j 1   # deterministic at every -j value
 //	faultcamp -v                       # per-injection detail for non-clean outcomes
+//	faultcamp -store-dir /tmp/fc       # checkpoint progress; Ctrl-C is recoverable
+//	faultcamp -store-dir /tmp/fc -resume   # continue a killed campaign
 //
 // Output is deterministic for a given (workloads, models, seed, stride)
-// tuple at any worker count.
+// tuple at any worker count — including across a kill and -resume, whose
+// outcome table is byte-identical to an uninterrupted run's.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -49,6 +55,9 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent injected runs (0 = GOMAXPROCS, 1 = sequential)")
 	distance := flag.Int("d", 8, "schemeE checkpoint distance (instructions per interval)")
 	verbose := flag.Bool("v", false, "list every non-masked injection outcome")
+	storeDir := flag.String("store-dir", "", "checkpoint campaign progress under this directory (a killed campaign becomes resumable)")
+	resume := flag.Bool("resume", false, "resume campaigns from progress records in -store-dir instead of starting over")
+	ckptEvery := flag.Int("ckpt-every", 64, "save progress every N completed injections (with -store-dir)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	version()
@@ -57,6 +66,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "faultcamp: -resume requires -store-dir (there is nowhere to resume from)")
+		os.Exit(1)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultcamp: open store: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	// Ctrl-C cancels the campaign fan-out after in-flight injected runs
@@ -84,10 +105,38 @@ func main() {
 		if cc.Stride <= 0 {
 			cc.Stride = autoStride(p.Name, mk, cc)
 		}
+		var key string
+		if st != nil {
+			// The progress key is content-addressed over every parameter
+			// that shapes the plan (including the resolved auto stride), so
+			// a resume with different flags can never splice in a foreign
+			// record — and fault.Run's plan fingerprint re-checks anyway.
+			key = campaignKey(name, *distance, cc)
+			if !*resume {
+				st.Delete(key) // fresh run: discard any stale record
+			}
+			cc.Ckpt = &storeCkpt{st: st, key: key}
+			cc.CkptEvery = *ckptEvery
+		}
 		rep, err := fault.Run(ctx, p, mk, cc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faultcamp: %s: %v\n", name, err)
+			if st != nil && ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "faultcamp: progress saved; continue with -store-dir %s -resume\n", *storeDir)
+			}
 			os.Exit(1)
+		}
+		if len(rep.Plan.Exec) == 0 {
+			fmt.Fprintf(os.Stderr,
+				"faultcamp: %s: plan yields no injections (stride %d over %d events, models %s) — lower -stride or widen -models\n",
+				name, cc.Stride, rep.Events, modelNames(rep.Models))
+			os.Exit(1)
+		}
+		if st != nil {
+			st.Delete(key) // campaign completed: the record is spent
+		}
+		if rep.Resumed > 0 {
+			fmt.Printf("resumed %d of %d injections from %s\n", rep.Resumed, len(rep.Plan.Exec), *storeDir)
 		}
 		fmt.Println(rep.Table(fmt.Sprintf("FC%d", i+1)).String())
 		if *verbose {
@@ -106,6 +155,42 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// storeCkpt adapts the durable tier of a result store to the fault
+// package's Checkpointer, mirroring the serving layer's adapter.
+type storeCkpt struct {
+	st  *store.Store
+	key string
+}
+
+func (c *storeCkpt) Load() ([]byte, bool) { return c.st.Get(c.key) }
+func (c *storeCkpt) Save(b []byte) error {
+	c.st.Put(c.key, b, store.Durable)
+	return nil
+}
+
+// campaignKey is the content address of one workload's progress record:
+// a hash of every campaign parameter that shapes the executed plan.
+func campaignKey(name string, distance int, cc fault.Config) string {
+	models := cc.Models
+	if models == nil {
+		models = fault.Models()
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d", name, cc.Seed, cc.Stride, distance, cc.MaxWords)
+	for _, m := range models {
+		fmt.Fprintf(h, "|%s", m)
+	}
+	return "camp-" + hex.EncodeToString(h.Sum(nil))
+}
+
+func modelNames(models []fault.Model) string {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ",")
 }
 
 // autoStride picks the smallest stride keeping the executed-injection

@@ -24,7 +24,7 @@ import (
 func main() {
 	// A real deployment runs `ckptd`; here the server lives in-process
 	// so the example is self-contained.
-	srv := service.New(service.Config{Workers: 2, QueueCap: 16})
+	srv := service.MustNew(service.Config{Workers: 2, QueueCap: 16})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/refsim"
+)
+
+// Placement is the campaign's checkpoint-placement solution, following
+// the interval formulation of Dietrich et al. (ICCAD'23): given the
+// executed injection set and a snapshot budget K, choose reference
+// snapshot points so the expected total replay — the cycles spent
+// re-reaching each injection site from the nearest snapshot at or
+// below it — is minimal.
+//
+// Candidate positions are the checkpoint-interval class starts of the
+// baseline run (the events where the cumulative checkpoint count
+// changes, plus event 0): the same equivalence structure that already
+// collapses detected-fault classes bounds where a snapshot can add
+// information, and it keeps the DP quadratic in the class count rather
+// than the event count. The DP is exact over that candidate set, so
+// ReplayCycles <= UniformReplayCycles always holds (the uniform
+// baseline is one particular candidate subset).
+type Placement struct {
+	// Budget is the snapshot budget the solution was computed for.
+	Budget int `json:"budget"`
+	// Events are the chosen candidate positions (issue-event indices of
+	// the baseline run), ascending; Events[0] is always the first event.
+	Events []int `json:"events"`
+	// Steps are the reference-trace step boundaries of the chosen
+	// events (via StepAtRetired) — the refsim.SnapshotSet input.
+	Steps []int `json:"steps"`
+	// Cycles are the machine cycles of the chosen events.
+	Cycles []int64 `json:"cycles"`
+	// ReplayCycles is the expected total replay under this placement:
+	// the sum over executed injections of the cycle distance from the
+	// nearest chosen point at or below the injection's event.
+	ReplayCycles int64 `json:"replay_cycles"`
+	// UniformReplayCycles is the same metric for K naive uniformly
+	// spaced targets on the cycle axis, snapped to candidates.
+	UniformReplayCycles int64 `json:"uniform_replay_cycles"`
+	// FullReplayCycles is the no-snapshot cost: every injection replays
+	// from the first event.
+	FullReplayCycles int64 `json:"full_replay_cycles"`
+	// Candidates is the number of candidate positions considered.
+	Candidates int `json:"candidates"`
+}
+
+// buildPlacement solves the placement DP for the plan's executed
+// injections. Returns nil when there is nothing to place.
+func buildPlacement(tr *refsim.Trace, events []Event, plan *Plan, budget int) *Placement {
+	if len(plan.Exec) == 0 || len(events) == 0 {
+		return nil
+	}
+	if budget <= 0 {
+		budget = 16
+	}
+
+	// Candidate positions: event 0 plus every checkpoint-interval start.
+	var cand []int
+	for e := range events {
+		if e == 0 || events[e].Ckpts != events[e-1].Ckpts {
+			cand = append(cand, e)
+		}
+	}
+	m := len(cand)
+	candCycle := make([]int64, m)
+	for i, e := range cand {
+		candCycle[i] = events[e].Cycle
+	}
+
+	// Bucket the executed injections into candidate slots: slot j holds
+	// the injections whose event lies in [cand[j], cand[j+1]).
+	cnt := make([]int64, m)
+	sum := make([]int64, m)
+	for _, inj := range plan.Exec {
+		j := sort.Search(m, func(i int) bool { return cand[i] > inj.Event }) - 1
+		cnt[j]++
+		sum[j] += events[inj.Event].Cycle
+	}
+	// Prefix sums over slots: C[j]/SX[j] cover slots [0, j).
+	C := make([]int64, m+1)
+	SX := make([]int64, m+1)
+	for j := 0; j < m; j++ {
+		C[j+1] = C[j] + cnt[j]
+		SX[j+1] = SX[j] + sum[j]
+	}
+	// cost(i, j): injections in slots [i, j) replay from cand[i].
+	cost := func(i, j int) int64 {
+		return SX[j] - SX[i] - candCycle[i]*(C[j]-C[i])
+	}
+
+	// f[k][j] = min cost of covering slots [0, j) with k chosen
+	// candidates, the first of which must be candidate 0 (otherwise the
+	// earliest injections have no source). Quadratic in m per k.
+	K := budget
+	if K > m {
+		K = m
+	}
+	const inf = int64(1) << 62
+	prev := make([]int64, m+1)
+	cur := make([]int64, m+1)
+	par := make([][]int, K+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = inf
+	}
+	for j := 1; j <= m; j++ {
+		prev[j] = cost(0, j)
+	}
+	par[1] = make([]int, m+1) // all zero: k=1 always starts at candidate 0
+	bestCost, bestK := prev[m], 1
+	for k := 2; k <= K; k++ {
+		par[k] = make([]int, m+1)
+		for j := 0; j <= m; j++ {
+			cur[j] = inf
+		}
+		for j := k; j <= m; j++ {
+			for i := k - 1; i < j; i++ {
+				if prev[i] == inf {
+					continue
+				}
+				if c := prev[i] + cost(i, j); c < cur[j] {
+					cur[j] = c
+					par[k][j] = i
+				}
+			}
+		}
+		if cur[m] < bestCost {
+			bestCost, bestK = cur[m], k
+		}
+		prev, cur = cur, prev
+	}
+
+	// Recover the chosen candidate indices for the best k: par[k][j] is
+	// the k-th choice when k choices cover slots [0, j).
+	chosen := make([]int, bestK)
+	j := m
+	for k := bestK; k >= 1; k-- {
+		chosen[k-1] = par[k][j]
+		j = par[k][j]
+	}
+
+	p := &Placement{
+		Budget:              budget,
+		Candidates:          m,
+		ReplayCycles:        bestCost,
+		FullReplayCycles:    cost(0, m),
+		UniformReplayCycles: uniformCost(cand, candCycle, events, plan, K),
+	}
+	for _, ci := range chosen {
+		e := cand[ci]
+		p.Events = append(p.Events, e)
+		p.Cycles = append(p.Cycles, candCycle[ci])
+		p.Steps = append(p.Steps, tr.StepAtRetired(events[e].Retired))
+	}
+	return p
+}
+
+// uniformCost evaluates the naive baseline: K targets evenly spaced on
+// the cycle axis, each snapped to the greatest candidate at or below
+// it, then the same replay-cost metric as the DP.
+func uniformCost(cand []int, candCycle []int64, events []Event, plan *Plan, K int) int64 {
+	maxCycle := candCycle[0]
+	for _, inj := range plan.Exec {
+		if c := events[inj.Event].Cycle; c > maxCycle {
+			maxCycle = c
+		}
+	}
+	span := maxCycle - candCycle[0]
+	chosen := map[int]bool{0: true}
+	for t := 1; t < K; t++ {
+		target := candCycle[0] + span*int64(t)/int64(K)
+		i := sort.Search(len(candCycle), func(i int) bool { return candCycle[i] > target }) - 1
+		chosen[i] = true
+	}
+	idxs := make([]int, 0, len(chosen))
+	for i := range chosen {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	// Same accounting as the DP: the replay source is the nearest chosen
+	// candidate at or before the injection in *event order* (a same-cycle
+	// snapshot later in program order is not a legal source).
+	var total int64
+	for _, inj := range plan.Exec {
+		s := sort.Search(len(cand), func(i int) bool { return cand[i] > inj.Event }) - 1
+		k := sort.Search(len(idxs), func(i int) bool { return idxs[i] > s }) - 1
+		total += events[inj.Event].Cycle - candCycle[idxs[k]]
+	}
+	return total
+}

@@ -20,6 +20,8 @@ type Event struct {
 	Ckpts   int      // cumulative checkpoints established at issue
 	Repairs int      // cumulative E+B repairs at issue
 	Excepts bool     // the operation delivered an architectural exception
+	Cycle   int64    // machine cycle at issue — the replay-cost axis
+	Retired int      // shadow-oracle retirement count at issue
 }
 
 // access is one completed memory access of the baseline run.
@@ -53,6 +55,8 @@ func (r *recorder) PreIssue(m *machine.Machine, seq uint64, pc int, in isa.Inst)
 		Precise: m.Precise(),
 		Ckpts:   st.Checkpoints,
 		Repairs: st.ERepairs + st.BRepairs,
+		Cycle:   m.Cycle(),
+		Retired: m.OracleRetired(),
 	})
 }
 
@@ -97,6 +101,10 @@ type Plan struct {
 	// resurrect it). They are not run; the sampled full-fidelity
 	// validation test re-runs a subset and asserts Masked.
 	Pruned []Injection
+	// Placement is the campaign's checkpoint-placement solution: the
+	// trace snapshot points minimizing expected total replay over the
+	// executed injection set. Nil when the plan has no injections.
+	Placement *Placement
 }
 
 // Executed returns the number of injection runs the plan requires.

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/refsim"
+)
+
+// Checkpointer persists campaign progress records across process
+// restarts. The fault package treats the payload as opaque bytes; the
+// serving layer backs it with the durable tier of the result store,
+// the CLI with a plain file. Save must be atomic with respect to Load
+// (a Load never observes a torn record); both are called from the
+// campaign's worker goroutines and must be safe for serialized use
+// under the saver's lock.
+type Checkpointer interface {
+	// Load returns the last saved record, if any.
+	Load() ([]byte, bool)
+	// Save replaces the saved record.
+	Save(data []byte) error
+}
+
+// progressVersion guards the progress record's schema.
+const progressVersion = 1
+
+// progressFile is the campaign progress record: which plan it belongs
+// to (fingerprint + golden-state anchors at the placement's snapshot
+// steps) and the injections completed so far with their classifications.
+type progressFile struct {
+	Version  int        `json:"version"`
+	PlanHash string     `json:"plan_hash"`
+	Anchors  []anchor   `json:"anchors"`
+	Done     []savedRun `json:"done"`
+}
+
+// anchor ties a progress record to the golden state it was computed
+// against: the hex SHA-256 of the reference architectural state at a
+// placement-chosen trace step. A resume whose recomputed anchors
+// differ (changed workload image, changed trace) discards the record
+// instead of splicing stale outcomes into a fresh campaign.
+type anchor struct {
+	Step int    `json:"step"`
+	Hash string `json:"hash"`
+}
+
+// savedRun is one completed injection: its index into Plan.Exec and
+// its full classification.
+type savedRun struct {
+	I int       `json:"i"`
+	R RunResult `json:"r"`
+}
+
+// planFingerprint hashes everything that determines the executed
+// injection list and its classification context: seed, models, the
+// event axis, the baseline's cycle/repair profile, and every executed
+// injection's coordinates. Two campaigns with equal fingerprints run
+// identical injection sequences, so their per-index outcomes are
+// interchangeable.
+func planFingerprint(rep *Report, plan *Plan) string {
+	h := sha256.New()
+	w := func(vs ...int64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	h.Write([]byte(rep.Workload))
+	h.Write([]byte{0})
+	h.Write([]byte(rep.Scheme))
+	h.Write([]byte{0})
+	w(rep.Seed, int64(rep.Events), rep.BaselineCycles, int64(rep.BaselineRepairs))
+	for _, m := range rep.Models {
+		w(int64(m))
+	}
+	w(int64(len(plan.Exec)))
+	for _, inj := range plan.Exec {
+		w(int64(inj.Model), int64(inj.Event), int64(inj.Reg), int64(inj.Addr), int64(inj.XOR))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// campaignAnchors computes the progress record's integrity anchors:
+// golden-state hashes at the placement's snapshot steps (or at the
+// trace end when the plan has no placement).
+func campaignAnchors(tr *refsim.Trace, plan *Plan) []anchor {
+	steps := []int{tr.Steps()}
+	if plan.Placement != nil {
+		steps = plan.Placement.Steps
+	}
+	hashes := tr.AnchorHashes(steps)
+	out := make([]anchor, len(steps))
+	for i := range steps {
+		out[i] = anchor{Step: steps[i], Hash: hashes[i]}
+	}
+	return out
+}
+
+// progressSaver accumulates completed injections and periodically
+// persists them through the Checkpointer. Saves happen every `every`
+// completions and on flush (the cancellation path), so a killed
+// campaign loses at most one save interval of work.
+type progressSaver struct {
+	ck     Checkpointer
+	every  int
+	header progressFile // Version/PlanHash/Anchors; Done grows
+
+	mu      sync.Mutex
+	pending int // completions since the last save
+}
+
+func newProgressSaver(ck Checkpointer, every int, planHash string, anchors []anchor) *progressSaver {
+	if every <= 0 {
+		every = 64
+	}
+	return &progressSaver{
+		ck:    ck,
+		every: every,
+		header: progressFile{
+			Version:  progressVersion,
+			PlanHash: planHash,
+			Anchors:  anchors,
+		},
+	}
+}
+
+// load restores a previously saved record into results/done, returning
+// how many injections it skipped. A record from a different plan, a
+// different golden state, or a future schema version is ignored.
+func (ps *progressSaver) load(results []RunResult, done []bool) int {
+	data, ok := ps.ck.Load()
+	if !ok {
+		return 0
+	}
+	var pf progressFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return 0
+	}
+	if pf.Version != progressVersion || pf.PlanHash != ps.header.PlanHash {
+		return 0
+	}
+	if len(pf.Anchors) != len(ps.header.Anchors) {
+		return 0
+	}
+	for i, a := range pf.Anchors {
+		if a != ps.header.Anchors[i] {
+			return 0
+		}
+	}
+	n := 0
+	for _, sr := range pf.Done {
+		if sr.I < 0 || sr.I >= len(results) || done[sr.I] {
+			continue
+		}
+		results[sr.I] = sr.R
+		done[sr.I] = true
+		n++
+	}
+	ps.mu.Lock()
+	ps.header.Done = append(ps.header.Done, pf.Done...)
+	ps.mu.Unlock()
+	return n
+}
+
+// completed records one finished injection, saving when the interval
+// fills.
+func (ps *progressSaver) completed(i int, r RunResult) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.header.Done = append(ps.header.Done, savedRun{I: i, R: r})
+	ps.pending++
+	if ps.pending >= ps.every {
+		ps.saveLocked()
+	}
+}
+
+// flush persists any unsaved completions. Called on every campaign
+// exit path — including cancellation, which is what makes kill-and-
+// resume lose at most the in-flight injections.
+func (ps *progressSaver) flush() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.pending > 0 {
+		ps.saveLocked()
+	}
+}
+
+// saveLocked marshals and persists the record. Holding the lock across
+// Save serializes Checkpointer calls, so a slow save can never be
+// overwritten by an older concurrent one.
+func (ps *progressSaver) saveLocked() {
+	ps.pending = 0
+	data, err := json.Marshal(&ps.header)
+	if err != nil {
+		return
+	}
+	ps.ck.Save(data)
+}

@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// memCkpt is an in-memory Checkpointer; onSave (optional) observes
+// every persisted record, which is how the kill test injects its
+// mid-campaign cancellation.
+type memCkpt struct {
+	mu     sync.Mutex
+	data   []byte
+	ok     bool
+	saves  int
+	onSave func(data []byte, saves int)
+}
+
+func (c *memCkpt) Load() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ok {
+		return nil, false
+	}
+	return append([]byte(nil), c.data...), true
+}
+
+func (c *memCkpt) Save(data []byte) error {
+	c.mu.Lock()
+	c.data = append([]byte(nil), data...)
+	c.ok = true
+	c.saves++
+	saves := c.saves
+	cb := c.onSave
+	c.mu.Unlock()
+	if cb != nil {
+		cb(data, saves)
+	}
+	return nil
+}
+
+// doneCount unmarshals a progress record and reports how many
+// completed injections it carries.
+func doneCount(t *testing.T, data []byte) int {
+	t.Helper()
+	var pf progressFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatalf("bad progress record: %v", err)
+	}
+	return len(pf.Done)
+}
+
+// TestResumeByteIdentity is the crash-resume acceptance test: a
+// campaign killed mid-flight (context cancelled from inside the
+// checkpointer, as a process kill would at an arbitrary point) and
+// then resumed produces a report whose outcome table is byte-identical
+// to an uninterrupted run's — resumption changes wall-clock, never
+// results.
+func TestResumeByteIdentity(t *testing.T) {
+	p := loadKernel(t, "dotprod")
+	cc := Config{Seed: 1987, MaxWords: 8}
+
+	scratch, err := Run(context.Background(), p, schemeE, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(scratch.Plan.Exec)
+	if n < 8 {
+		t.Fatalf("campaign too small to interrupt meaningfully: %d injections", n)
+	}
+
+	// Kill: cancel once at least half the injections are persisted.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ck := &memCkpt{}
+	ck.onSave = func(data []byte, _ int) {
+		if doneCount(t, data) >= n/2 {
+			cancel()
+		}
+	}
+	kcc := cc
+	kcc.Ckpt = ck
+	kcc.CkptEvery = n / 8
+	if _, err := Run(ctx, p, schemeE, kcc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed campaign returned %v, want context.Canceled", err)
+	}
+	saved := doneCount(t, ck.data)
+	if saved < n/2 || saved >= n {
+		t.Fatalf("kill persisted %d of %d injections, want a strict mid-point", saved, n)
+	}
+
+	// Resume with the same checkpointer.
+	ck.onSave = nil
+	resumed, err := Run(context.Background(), p, schemeE, kcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed < n/2 {
+		t.Fatalf("resumed only %d of %d injections, want >= %d", resumed.Resumed, n, n/2)
+	}
+	if !reflect.DeepEqual(resumed.Results, scratch.Results) {
+		t.Fatal("resumed per-injection results differ from the uninterrupted run")
+	}
+	if got, want := resumed.Table("FC").String(), scratch.Table("FC").String(); got != want {
+		t.Fatalf("resumed outcome table differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResumeRejectsForeignRecords: progress records from a different
+// plan (different seed) or outright garbage are ignored — the campaign
+// recomputes everything rather than splicing in stale outcomes.
+func TestResumeRejectsForeignRecords(t *testing.T) {
+	p := loadKernel(t, "fib")
+	ck := &memCkpt{}
+	cc := Config{Seed: 1987, MaxWords: 4, Ckpt: ck, CkptEvery: 4}
+	first, err := Run(context.Background(), p, schemeE, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Resumed != 0 {
+		t.Fatalf("fresh campaign reported %d resumed injections", first.Resumed)
+	}
+	if !ck.ok {
+		t.Fatal("campaign never checkpointed")
+	}
+
+	// Different seed => different plan fingerprint => record ignored.
+	other := cc
+	other.Seed = 7
+	rep, err := Run(context.Background(), p, schemeE, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 0 {
+		t.Fatalf("foreign-plan record resumed %d injections, want 0", rep.Resumed)
+	}
+
+	// Garbage record => ignored, campaign still completes clean.
+	ck.data, ck.ok = []byte("{not json"), true
+	rep2, err := Run(context.Background(), p, schemeE, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != 0 {
+		t.Fatalf("garbage record resumed %d injections, want 0", rep2.Resumed)
+	}
+	if got, want := rep2.Table("FC").String(), first.Table("FC").String(); got != want {
+		t.Fatalf("campaign after garbage record differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestPlacementOptimal: the placement DP's replay cost is never worse
+// than naive uniform spacing (it optimizes over a candidate set that
+// contains the uniform choice) and never worse than no snapshots at
+// all; the chosen points are well-formed.
+func TestPlacementOptimal(t *testing.T) {
+	for _, name := range []string{"fib", "dotprod", "bubble"} {
+		t.Run(name, func(t *testing.T) {
+			p := loadKernel(t, name)
+			plan, err := PlanOnly(p, schemeE, Config{Seed: 1987, SnapshotBudget: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := plan.Placement
+			if pl == nil {
+				t.Fatal("no placement on a non-empty plan")
+			}
+			if pl.ReplayCycles > pl.UniformReplayCycles {
+				t.Fatalf("DP replay %d > uniform replay %d", pl.ReplayCycles, pl.UniformReplayCycles)
+			}
+			if pl.ReplayCycles > pl.FullReplayCycles {
+				t.Fatalf("DP replay %d > full replay %d", pl.ReplayCycles, pl.FullReplayCycles)
+			}
+			if len(pl.Events) == 0 || len(pl.Events) > pl.Budget {
+				t.Fatalf("chose %d snapshot points under budget %d", len(pl.Events), pl.Budget)
+			}
+			if len(pl.Events) != len(pl.Steps) || len(pl.Events) != len(pl.Cycles) {
+				t.Fatalf("ragged placement: %d events, %d steps, %d cycles",
+					len(pl.Events), len(pl.Steps), len(pl.Cycles))
+			}
+			for i := 1; i < len(pl.Events); i++ {
+				if pl.Events[i] <= pl.Events[i-1] {
+					t.Fatalf("events not ascending: %v", pl.Events)
+				}
+				if pl.Steps[i] < pl.Steps[i-1] {
+					t.Fatalf("steps not monotone: %v", pl.Steps)
+				}
+			}
+			if pl.Events[0] != 0 {
+				t.Fatalf("first snapshot point is event %d, want 0 (earliest injections need a source)", pl.Events[0])
+			}
+		})
+	}
+}
+
+// TestPlacementTightBudget: a budget of 1 degenerates to replay-from-
+// start, which must equal the no-snapshot cost.
+func TestPlacementTightBudget(t *testing.T) {
+	p := loadKernel(t, "fib")
+	plan, err := PlanOnly(p, schemeE, Config{Seed: 1987, SnapshotBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Placement
+	if pl == nil {
+		t.Fatal("no placement")
+	}
+	if len(pl.Events) != 1 || pl.Events[0] != 0 {
+		t.Fatalf("budget 1 chose %v, want [0]", pl.Events)
+	}
+	if pl.ReplayCycles != pl.FullReplayCycles {
+		t.Fatalf("budget-1 replay %d != full replay %d", pl.ReplayCycles, pl.FullReplayCycles)
+	}
+}

@@ -43,6 +43,18 @@ type Config struct {
 	// WatchdogCycles overrides the machine's no-progress watchdog for
 	// injected runs (<=0: machine default).
 	WatchdogCycles int64
+	// Ckpt, when non-nil, persists campaign progress: completed
+	// injections are checkpointed through it every CkptEvery
+	// completions (and on cancellation), and Run begins by loading any
+	// prior record whose plan fingerprint and golden-state anchors
+	// match, skipping the injections it already classified.
+	Ckpt Checkpointer
+	// CkptEvery is the progress save interval in completed injections
+	// (default 64).
+	CkptEvery int
+	// SnapshotBudget is the placement pass's snapshot budget K
+	// (default 16).
+	SnapshotBudget int
 }
 
 func (cc *Config) models() []Model {
@@ -142,6 +154,11 @@ type Report struct {
 	Plan            *Plan
 	// Results is parallel to Plan.Exec.
 	Results []RunResult
+	// Resumed counts the injections restored from a progress record
+	// instead of executed. Informational: it does not appear in the
+	// outcome table, which stays byte-identical to an uninterrupted
+	// run's.
+	Resumed int `json:",omitempty"`
 }
 
 // Run executes a fault-injection campaign for program p. mk must return
@@ -165,6 +182,7 @@ func Run(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Conf
 		return nil, err
 	}
 	plan := buildPlan(rec, run.repairs, &cc)
+	plan.Placement = buildPlacement(run.trace, rec.events, plan, cc.SnapshotBudget)
 
 	rep := &Report{
 		Workload:        p.Name,
@@ -178,11 +196,35 @@ func Run(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Conf
 		Results:         make([]RunResult, len(plan.Exec)),
 	}
 
+	// Progress checkpointing: restore any prior record for this exact
+	// plan and golden state, then save as injections complete.
+	done := make([]bool, len(plan.Exec))
+	var saver *progressSaver
+	if cc.Ckpt != nil {
+		saver = newProgressSaver(cc.Ckpt, cc.CkptEvery,
+			planFingerprint(rep, plan), campaignAnchors(run.trace, plan))
+		rep.Resumed = saver.load(rep.Results, done)
+	}
+
 	pool := experiments.NewPool(cc.Workers)
-	if err := pool.Map(ctx, len(plan.Exec), func(i int) {
-		rep.Results[i] = run.one(plan.Exec[i], plan.Covers[i])
-	}); err != nil {
-		return nil, err
+	mapErr := pool.Map(ctx, len(plan.Exec), func(i int) {
+		if done[i] {
+			return
+		}
+		r := run.one(plan.Exec[i], plan.Covers[i])
+		rep.Results[i] = r
+		if saver != nil {
+			saver.completed(i, r)
+		}
+	})
+	if saver != nil {
+		// Flush on every exit path: a cancelled campaign persists the
+		// work its in-flight workers finished, which is what -resume
+		// picks up.
+		saver.flush()
+	}
+	if mapErr != nil {
+		return nil, mapErr
 	}
 	return rep, nil
 }
@@ -196,7 +238,9 @@ func PlanOnly(p *prog.Program, mk func() machine.Config, cc Config) (*Plan, erro
 	if err != nil {
 		return nil, err
 	}
-	return buildPlan(rec, run.repairs, &cc), nil
+	plan := buildPlan(rec, run.repairs, &cc)
+	plan.Placement = buildPlacement(run.trace, rec.events, plan, cc.SnapshotBudget)
+	return plan, nil
 }
 
 // Replay executes an explicit injection list against p without planning

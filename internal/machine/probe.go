@@ -134,6 +134,12 @@ func (m *Machine) CorruptMem(addr uint32, mask uint32) bool {
 // Precise reports whether the machine is in single-step (precise) mode.
 func (m *Machine) Precise() bool { return m.mode == modePrecise }
 
+// OracleRetired returns the shadow oracle's retirement count at the
+// probe point — the architectural progress coordinate a PreIssue event
+// maps to on the reference trace (refsim.Trace.StepAtRetired turns it
+// back into a trace step boundary).
+func (m *Machine) OracleRetired() int { return m.shadow.Retired() }
+
 // OnTruePathAt reports whether an instruction issuing now at pc lies on
 // the architecturally correct path: the shadow oracle is aligned,
 // running, and about to execute pc. Precise-mode issue is always on the

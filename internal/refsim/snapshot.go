@@ -1,0 +1,184 @@
+package refsim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// archSnap is one prebuilt snapshot of a SnapshotSet: the full
+// architectural state at a step boundary plus the delta-stream cursors
+// at that boundary, so rolling forward from it needs no scan.
+type archSnap struct {
+	step int
+	regs [isa.NumRegs]uint32
+	mem  *mem.Memory
+	reg  int
+	memI int
+	mapI int
+}
+
+// SnapshotSet is a set of prebuilt architectural snapshots of a trace
+// at chosen step boundaries. Where Replay.StateAt pays for a backward
+// seek by rebuilding from the program image, a SnapshotSet answers any
+// StateAt by cloning the nearest snapshot at or below the query and
+// rolling the recorded deltas forward from there — the campaign
+// checkpoint-placement pass picks the snapshot steps to minimize the
+// expected total roll-forward over an injection set.
+//
+// A SnapshotSet is immutable after construction and safe for
+// concurrent StateAt calls: queries only read the snapshots and return
+// independent deep copies.
+type SnapshotSet struct {
+	t     *Trace
+	snaps []archSnap
+}
+
+// SnapshotSet prebuilds snapshots at the given step boundaries (values
+// are clamped to [0, Steps()], deduplicated, and boundary 0 is always
+// included so every query has a snapshot at or below it). Construction
+// costs one monotone pass over the trace.
+func (t *Trace) SnapshotSet(steps []int) *SnapshotSet {
+	set := map[int]bool{0: true}
+	for _, s := range steps {
+		if s < 0 {
+			s = 0
+		}
+		if s > t.n {
+			s = t.n
+		}
+		set[s] = true
+	}
+	order := make([]int, 0, len(set))
+	for s := range set {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+
+	ss := &SnapshotSet{t: t, snaps: make([]archSnap, 0, len(order))}
+	r := t.Replay()
+	for _, s := range order {
+		st := r.StateAt(s)
+		ss.snaps = append(ss.snaps, archSnap{
+			step: s,
+			regs: st.Regs,
+			mem:  st.Mem,
+			reg:  r.sReg,
+			memI: r.sMemI,
+			mapI: r.sMap,
+		})
+	}
+	return ss
+}
+
+// Steps returns the snapshot step boundaries, ascending (including the
+// implicit boundary 0).
+func (ss *SnapshotSet) Steps() []int {
+	out := make([]int, len(ss.snaps))
+	for i := range ss.snaps {
+		out[i] = ss.snaps[i].step
+	}
+	return out
+}
+
+// Base returns the greatest snapshot boundary at or below n — the
+// roll-forward distance of StateAt(n) is n-Base(n) steps.
+func (ss *SnapshotSet) Base(n int) int {
+	return ss.snaps[ss.baseIdx(n)].step
+}
+
+func (ss *SnapshotSet) baseIdx(n int) int {
+	return sort.Search(len(ss.snaps), func(i int) bool { return ss.snaps[i].step > n }) - 1
+}
+
+// StateAt returns a deep copy of the architectural state at step
+// boundary n, reconstructed from the nearest snapshot at or below n.
+// Panics if n is out of range.
+func (ss *SnapshotSet) StateAt(n int) *ArchState {
+	if n < 0 || n > ss.t.n {
+		panic(fmt.Sprintf("refsim: SnapshotSet.StateAt(%d) out of range [0,%d]", n, ss.t.n))
+	}
+	sn := &ss.snaps[ss.baseIdx(n)]
+	regs := sn.regs
+	m := sn.mem.Clone()
+	reg, memI, mapI := sn.reg, sn.memI, sn.mapI
+	for step := sn.step; step < n; step++ {
+		s := ss.t.at(step)
+		for ; reg < int(s.regEnd); reg++ {
+			d := ss.t.regs.at(reg)
+			regs[d.r] = d.v
+		}
+		for ; memI < int(s.memEnd); memI++ {
+			d := ss.t.mems.at(memI)
+			m.WriteMasked(d.addr, d.data, d.mask)
+		}
+		for ; mapI < int(s.mapEnd); mapI++ {
+			m.Map(*ss.t.maps.at(mapI), mem.PageSize)
+		}
+	}
+	return &ArchState{Regs: regs, Mem: m}
+}
+
+// StepAtRetired returns the smallest step boundary n at which the
+// recorded run had architecturally retired at least r instructions
+// (clamped to Steps() when r exceeds the run's total). It inverts the
+// monotone per-step retirement counts by binary search, mapping a
+// machine-side oracle-progress coordinate onto the trace's step axis.
+func (t *Trace) StepAtRetired(r int) int {
+	if r <= 0 {
+		return 0
+	}
+	idx := sort.Search(t.n, func(i int) bool { return t.at(i).postRetired >= r })
+	if idx == t.n {
+		return t.n
+	}
+	return idx + 1
+}
+
+// Hash returns the hex SHA-256 digest of the architectural state:
+// every register in index order, then every mapped page (number and
+// contents) in ascending page order. Two states hash equal iff Regs
+// and Mem are Equal — the integrity anchor format campaign resume uses
+// to prove a saved progress record was computed against this exact
+// golden state.
+func (st *ArchState) Hash() string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, v := range st.Regs {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, pn := range st.Mem.MappedPages() {
+		binary.LittleEndian.PutUint32(buf[:], pn)
+		h.Write(buf[:])
+		base := pn * mem.PageSize
+		for off := uint32(0); off < mem.PageSize; off += 4 {
+			v, _ := st.Mem.Read32(base + off)
+			binary.LittleEndian.PutUint32(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// AnchorHashes returns ArchState.Hash at each given step boundary. The
+// boundaries may arrive in any order; the hashes come back positionally
+// matched, computed in one ascending pass over the trace.
+func (t *Trace) AnchorHashes(steps []int) []string {
+	idx := make([]int, len(steps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return steps[idx[a]] < steps[idx[b]] })
+	out := make([]string, len(steps))
+	r := t.Replay()
+	for _, i := range idx {
+		out[i] = r.StateAt(steps[i]).Hash()
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package refsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func recordKernel(t *testing.T, name string) *Trace {
+	t.Helper()
+	k, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(k.Load(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSnapshotSetMatchesReplay: a SnapshotSet answer at every boundary
+// must equal the sequential Replay answer — snapshots change the cost
+// of StateAt, never its value. Snapshot steps include duplicates and
+// out-of-range values to exercise the clamping and dedup.
+func TestSnapshotSetMatchesReplay(t *testing.T) {
+	for _, name := range stateAtKernels {
+		t.Run(name, func(t *testing.T) {
+			tr := recordKernel(t, name)
+			n := tr.Steps()
+			ss := tr.SnapshotSet([]int{n / 4, n / 2, n / 2, 3 * n / 4, -5, n + 99})
+
+			steps := ss.Steps()
+			if steps[0] != 0 {
+				t.Fatalf("snapshot steps %v missing implicit boundary 0", steps)
+			}
+			for i := 1; i < len(steps); i++ {
+				if steps[i] <= steps[i-1] {
+					t.Fatalf("snapshot steps not strictly ascending: %v", steps)
+				}
+			}
+
+			r := tr.Replay()
+			stride := n/200 + 1
+			for q := 0; q <= n; q += stride {
+				if b := ss.Base(q); b > q {
+					t.Fatalf("Base(%d) = %d > query", q, b)
+				}
+				want := r.StateAt(q)
+				got := ss.StateAt(q)
+				if want.Regs != got.Regs {
+					t.Fatalf("step %d: regs diverge from replay", q)
+				}
+				if !want.Mem.Equal(got.Mem) {
+					t.Fatalf("step %d: memory diverges from replay", q)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSetConcurrent: StateAt is read-only on the set; queries
+// from many goroutines (run under -race in make ci) return correct,
+// independent states.
+func TestSnapshotSetConcurrent(t *testing.T) {
+	tr := recordKernel(t, "pagedemo")
+	n := tr.Steps()
+	ss := tr.SnapshotSet([]int{n / 3, 2 * n / 3})
+	want := tr.Replay().StateAt(n)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				q := (g*31 + i*17) % (n + 1)
+				st := ss.StateAt(q)
+				// Mutating the returned copy must not leak into the set.
+				st.Regs[1] ^= 0xdeadbeef
+				st.Mem.WriteMasked(0, 0xff, 0xff)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := ss.StateAt(n)
+	if want.Regs != got.Regs || !want.Mem.Equal(got.Mem) {
+		t.Fatal("concurrent mutated queries corrupted the snapshot set")
+	}
+}
+
+// TestStepAtRetired: the retirement inverse must agree with a direct
+// walk of the replay's per-step retirement counts.
+func TestStepAtRetired(t *testing.T) {
+	for _, name := range []string{"fib", "divzero"} {
+		t.Run(name, func(t *testing.T) {
+			tr := recordKernel(t, name)
+			r := tr.Replay()
+			// retiredAfter[i] = instructions retired after i steps.
+			retiredAfter := make([]int, tr.Steps()+1)
+			for i := 1; i <= tr.Steps(); i++ {
+				r.Step()
+				retiredAfter[i] = r.Retired()
+			}
+			total := retiredAfter[tr.Steps()]
+
+			if got := tr.StepAtRetired(0); got != 0 {
+				t.Fatalf("StepAtRetired(0) = %d, want 0", got)
+			}
+			if got := tr.StepAtRetired(total + 10); got != tr.Steps() {
+				t.Fatalf("StepAtRetired(past end) = %d, want %d", got, tr.Steps())
+			}
+			for want := 1; want <= total; want++ {
+				n := tr.StepAtRetired(want)
+				if retiredAfter[n] < want {
+					t.Fatalf("StepAtRetired(%d) = %d but only %d retired there", want, n, retiredAfter[n])
+				}
+				if n > 0 && retiredAfter[n-1] >= want {
+					t.Fatalf("StepAtRetired(%d) = %d is not minimal (%d already retired at %d)",
+						want, n, retiredAfter[n-1], n-1)
+				}
+			}
+		})
+	}
+}
+
+// TestArchStateHash: equal states hash equal, different states hash
+// different, and a single-register mutation changes the hash.
+func TestArchStateHash(t *testing.T) {
+	tr := recordKernel(t, "fib")
+	n := tr.Steps()
+
+	a := tr.Replay().StateAt(n / 2)
+	b := tr.Replay().StateAt(n / 2)
+	if a.Hash() != b.Hash() {
+		t.Fatal("independent reconstructions of the same step hash differently")
+	}
+	if h0, hn := tr.Replay().StateAt(0).Hash(), tr.Replay().StateAt(n).Hash(); h0 == hn {
+		t.Fatal("initial and final state hash equal")
+	}
+	before := a.Hash()
+	a.Regs[3] ^= 1
+	if a.Hash() == before {
+		t.Fatal("register mutation did not change the hash")
+	}
+}
+
+// TestAnchorHashes: positional results for unordered query steps match
+// direct StateAt hashes.
+func TestAnchorHashes(t *testing.T) {
+	tr := recordKernel(t, "pagedemo")
+	n := tr.Steps()
+	steps := []int{n, 0, n / 2, n / 4}
+	got := tr.AnchorHashes(steps)
+	for i, s := range steps {
+		if want := tr.Replay().StateAt(s).Hash(); got[i] != want {
+			t.Fatalf("AnchorHashes[%d] (step %d) = %s, want %s", i, s, got[i], want)
+		}
+	}
+}

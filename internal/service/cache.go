@@ -2,7 +2,11 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
+	"time"
+
+	"repro/internal/store"
 )
 
 // entry is one single-flight execution: the set of jobs interested in
@@ -95,52 +99,64 @@ func (e *entry) finishWaiters(res *Result, err error) {
 	e.cancel() // release the context's timer/goroutine resources
 }
 
-// resultCache is the content-addressed result store plus the
-// single-flight table of in-flight executions. Completed results are
-// kept up to cap entries and evicted FIFO; failed executions are never
-// cached (the next submission retries).
+// resultCache is the single-flight front of the two-tier result store:
+// completed results live in the store (memory LRU over the optional
+// disk tier), in-flight executions in the table here. Failed
+// executions are never stored (the next submission retries).
 type resultCache struct {
+	st       *store.Store
 	mu       sync.Mutex
-	done     map[string]*Result
-	order    []string
-	cap      int
 	inflight map[string]*entry
 }
 
-func newResultCache(capacity int) *resultCache {
-	if capacity <= 0 {
-		capacity = 256
-	}
+func newResultCache(st *store.Store) *resultCache {
 	return &resultCache{
-		done:     make(map[string]*Result),
-		cap:      capacity,
+		st:       st,
 		inflight: make(map[string]*entry),
 	}
 }
 
-// lookup returns the completed result for key, if cached.
-func (c *resultCache) lookup(key string) (*Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.done[key]
-	return r, ok
+// decode unmarshals stored result bytes, rejecting payloads that are
+// not this key's result (schema drift across versions, or a foreign
+// record such as a campaign progress blob queried via /results).
+func decodeResult(key string, data []byte) (*Result, bool) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil || r.Key != key {
+		return nil, false
+	}
+	return &r, true
 }
 
-// acquire resolves a submission against the cache in one atomic step:
-// a completed result wins outright; otherwise the caller either joins
+// lookup returns the completed result for key, if stored.
+func (c *resultCache) lookup(key string) (*Result, bool) {
+	data, ok := c.st.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return decodeResult(key, data)
+}
+
+// acquire resolves a submission against the store in one atomic step:
+// a stored result wins outright; otherwise the caller either joins
 // the in-flight execution (leader=false) or creates it (leader=true)
-// and must enqueue it. Doing all three under one lock closes the race
-// where an execution completes between a lookup and a join, which
-// would re-execute a just-cached job. base is the server's root
-// context: shutdown cancels every execution derived from it.
+// and must enqueue it. The in-flight check precedes the store probe
+// and complete() stores before it unpublishes, both under this lock,
+// which closes the race where an execution completes between a lookup
+// and a join (that would re-execute a just-stored job). base is the
+// server's root context: shutdown cancels every execution derived
+// from it.
 func (c *resultCache) acquire(base context.Context, key string, spec Spec) (res *Result, e *entry, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if r, ok := c.done[key]; ok {
-		return r, nil, false
-	}
 	if e, ok := c.inflight[key]; ok {
 		return nil, e, false
+	}
+	if data, ok := c.st.Get(key); ok {
+		if r, ok := decodeResult(key, data); ok {
+			return r, nil, false
+		}
+		// Undecodable under the current schema: evict and recompute.
+		c.st.Delete(key)
 	}
 	ctx, cancel := context.WithCancel(base)
 	e = &entry{
@@ -164,28 +180,25 @@ func (c *resultCache) abort(e *entry) {
 }
 
 // complete records an execution's outcome: successes enter the
-// content-addressed store, failures are dropped. Either way the entry
-// leaves the in-flight table and every attached job is finished.
+// content-addressed store (the recompute cost is the execution's own
+// elapsed time, so trivially cheap results stay memory-only under the
+// store's MinCost threshold), failures are dropped. Either way the
+// entry leaves the in-flight table and every attached job is finished.
 func (c *resultCache) complete(e *entry, res *Result, err error) {
 	c.mu.Lock()
-	delete(c.inflight, e.key)
 	if err == nil {
-		if _, dup := c.done[e.key]; !dup {
-			c.done[e.key] = res
-			c.order = append(c.order, e.key)
-			for len(c.order) > c.cap {
-				delete(c.done, c.order[0])
-				c.order = c.order[1:]
-			}
+		if data, merr := json.Marshal(res); merr == nil {
+			c.st.Put(e.key, data, time.Duration(res.ElapsedMS)*time.Millisecond)
 		}
 	}
+	delete(c.inflight, e.key)
 	c.mu.Unlock()
 	e.finishWaiters(res, err)
 }
 
-// stats returns (completed entries, in-flight executions).
-func (c *resultCache) stats() (entries, inflight int) {
+// stats returns the in-flight execution count.
+func (c *resultCache) stats() (inflight int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.done), len(c.inflight)
+	return len(c.inflight)
 }

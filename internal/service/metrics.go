@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // metrics is the daemon's expvar-style instrumentation: monotonic
@@ -28,6 +29,9 @@ type metrics struct {
 	execDone  atomic.Int64
 	execFail  atomic.Int64
 	cancelled atomic.Int64 // jobs cancelled by client or deadline
+	// campaignResumes counts campaign executions that restored at
+	// least one injection from a persisted progress record.
+	campaignResumes atomic.Int64
 
 	mu      sync.Mutex
 	latency map[string]*stats.Dist // endpoint pattern -> microseconds
@@ -63,12 +67,13 @@ type latencyView struct {
 	Meanus float64 `json:"mean_us"`
 }
 
-// view renders the full metrics document. Queue and cache gauges are
-// sampled at call time; counters are monotonic since daemon start.
-func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet) map[string]any {
+// view renders the full metrics document. Queue, cache, and store
+// gauges are sampled at call time; counters are monotonic since daemon
+// start (store counters since store open).
+func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet, st store.Stats) map[string]any {
 	uptime := time.Since(m.start).Seconds()
 	insts := machine.SimulatedInsts() - m.insts0
-	entries, inflight := c.stats()
+	inflight := c.stats()
 
 	m.mu.Lock()
 	lat := make(map[string]latencyView, len(m.latency))
@@ -124,8 +129,23 @@ func (m *metrics) view(q *queue, c *resultCache, jobs *jobSet) map[string]any {
 			"hits":      m.hits.Load(),
 			"coalesced": m.coalesced.Load(),
 			"misses":    m.misses.Load(),
-			"entries":   entries,
+			"entries":   st.MemEntries,
 			"inflight":  inflight,
+		},
+		"store": map[string]any{
+			"mem_hits":         st.MemHits,
+			"disk_hits":        st.DiskHits,
+			"misses":           st.Misses,
+			"mem_entries":      st.MemEntries,
+			"mem_bytes":        st.MemBytes,
+			"mem_evictions":    st.MemEvictions,
+			"disk_entries":     st.DiskEntries,
+			"disk_bytes":       st.DiskBytes,
+			"disk_evictions":   st.DiskEvictions,
+			"disk_writes":      st.DiskWrites,
+			"disk_skipped":     st.DiskSkipped,
+			"corrupt":          st.Corrupt,
+			"campaign_resumes": m.campaignResumes.Load(),
 		},
 		"executions": map[string]any{
 			"started": m.execs.Load(),

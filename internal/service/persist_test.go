@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getResult fetches /results/{ref} and returns the raw bytes — the
+// byte-identity assertions compare exact wire payloads, not decoded
+// structs.
+func getResult(t *testing.T, url, ref string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/results/" + ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestWarmRestartServesFromDisk is the tentpole's serving-side
+// acceptance test: a daemon with -store-dir computes a result, a fresh
+// daemon over the same directory answers the same key from disk —
+// byte-identical, with zero executions started.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, QueueCap: 8, StoreDir: dir}
+
+	s1 := MustNew(cfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	spec := Spec{Kind: "sim", Workload: "fib"}
+	code, wr := postJob(t, ts1.URL, spec, true)
+	if code != http.StatusOK {
+		t.Fatalf("cold submit: %d", code)
+	}
+	key := wr.Job.Key
+	_, cold := getResult(t, ts1.URL, key)
+	m1 := getMetrics(t, ts1.URL)
+	if got := counter(m1, "store", "disk_writes"); got < 1 {
+		t.Fatalf("disk_writes = %d after a computed result, want >= 1", got)
+	}
+	ts1.Close()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// A fresh process over the same store directory.
+	s2 := MustNew(cfg)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Drain(context.Background())
+
+	gcode, warm := getResult(t, ts2.URL, key)
+	if gcode != http.StatusOK {
+		t.Fatalf("warm GET /results/%s: %d", key, gcode)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("disk-served result differs from the computed one:\n%s\nvs\n%s", warm, cold)
+	}
+
+	// Re-submitting the same job is a cache hit, not a recomputation.
+	code2, wr2 := postJob(t, ts2.URL, spec, true)
+	if code2 != http.StatusOK || !wr2.Job.CacheHit {
+		t.Fatalf("warm submit: code=%d cache_hit=%v", code2, wr2.Job.CacheHit)
+	}
+	m2 := getMetrics(t, ts2.URL)
+	if got := counter(m2, "executions", "started"); got != 0 {
+		t.Fatalf("warm daemon started %d executions, want 0", got)
+	}
+	if got := counter(m2, "store", "disk_hits"); got < 1 {
+		t.Fatalf("disk_hits = %d on the warm daemon, want >= 1", got)
+	}
+}
+
+// TestMetricsStoreSection: /metrics carries the store counters the
+// operators watch — disk traffic, byte gauges, corruption, and
+// campaign resumes.
+func TestMetricsStoreSection(t *testing.T) {
+	s := MustNew(Config{Workers: 1, StoreDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	if code, _ := postJob(t, ts.URL, Spec{Kind: "sim", Workload: "fib"}, true); code != http.StatusOK {
+		t.Fatalf("sim job: status %d", code)
+	}
+
+	m := getMetrics(t, ts.URL)
+	st, ok := m["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("no store section in metrics: %v", m)
+	}
+	for _, field := range []string{
+		"mem_hits", "disk_hits", "misses", "mem_entries", "mem_bytes",
+		"mem_evictions", "disk_entries", "disk_bytes", "disk_evictions",
+		"disk_writes", "disk_skipped", "corrupt", "campaign_resumes",
+	} {
+		if _, ok := st[field]; !ok {
+			t.Fatalf("store section missing %q: %v", field, st)
+		}
+	}
+	if got := counter(m, "store", "misses"); got < 1 {
+		t.Fatalf("store misses = %d after a fresh execution, want >= 1", got)
+	}
+	if got := counter(m, "store", "disk_writes"); got < 1 {
+		t.Fatalf("disk_writes = %d, want >= 1", got)
+	}
+	if got := counter(m, "store", "disk_bytes"); got < 1 {
+		t.Fatalf("disk_bytes = %d, want >= 1", got)
+	}
+	if got := counter(m, "store", "corrupt"); got != 0 {
+		t.Fatalf("corrupt = %d on a healthy store", got)
+	}
+	// The in-memory tier now backs the cache section's entry gauge.
+	if got := counter(m, "cache", "entries"); got < 1 {
+		t.Fatalf("cache entries = %d after one result, want >= 1", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/store"
 )
 
 // Result is the cached, content-addressed outcome of one execution.
@@ -57,10 +58,53 @@ type CampaignSummary struct {
 	Crash    int `json:"crash"`
 }
 
-// execute runs one canonical spec to completion (or cancellation).
-// This is the only function the worker pool calls; the test suite
-// swaps it out via Server.executeHook to fake slow or failing jobs.
+// storeCheckpointer adapts the result store's durable tier to the
+// fault package's Checkpointer: campaign progress records persist
+// under "camp-"+key regardless of the store's recompute-cost
+// threshold, and are deleted when the campaign completes.
+type storeCheckpointer struct {
+	st  *store.Store
+	key string
+}
+
+func (c *storeCheckpointer) Load() ([]byte, bool) { return c.st.Get(c.key) }
+func (c *storeCheckpointer) Save(b []byte) error {
+	c.st.Put(c.key, b, store.Durable)
+	return nil
+}
+
+// campaignHooks carries the serving layer's campaign persistence into
+// execute: where to checkpoint progress, and what to do when a run
+// resumes or completes.
+type campaignHooks struct {
+	ckpt      fault.Checkpointer
+	onResume  func(resumed int)
+	onSuccess func()
+}
+
+// execute is the server-bound execution function: campaign jobs
+// checkpoint their progress into the store, so a daemon restart (or a
+// cancelled-then-resubmitted campaign) resumes instead of restarting.
+func (s *Server) execute(ctx context.Context, key string, spec Spec) (*Result, error) {
+	ck := &storeCheckpointer{st: s.store, key: "camp-" + key}
+	h := &campaignHooks{
+		ckpt:      ck,
+		onResume:  func(int) { s.metrics.campaignResumes.Add(1) },
+		onSuccess: func() { s.store.Delete(ck.key) },
+	}
+	return executeHooked(ctx, key, spec, h)
+}
+
+// execute runs one canonical spec to completion (or cancellation)
+// without campaign persistence — the standalone-callable form the
+// tests use. The worker pool calls the Server.execute wrapper; the
+// test suite swaps that out via Server.executeHook to fake slow or
+// failing jobs.
 func execute(ctx context.Context, key string, spec Spec) (*Result, error) {
+	return executeHooked(ctx, key, spec, nil)
+}
+
+func executeHooked(ctx context.Context, key string, spec Spec, h *campaignHooks) (*Result, error) {
 	start := time.Now()
 	res := &Result{Key: key, Kind: spec.Kind, Spec: spec}
 	switch spec.Kind {
@@ -125,9 +169,18 @@ func execute(ctx context.Context, key string, spec Spec) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if h != nil {
+			cc.Ckpt = h.ckpt
+		}
 		rep, err := fault.Run(ctx, p, mk, cc)
 		if err != nil {
 			return nil, err
+		}
+		if h != nil {
+			if rep.Resumed > 0 {
+				h.onResume(rep.Resumed)
+			}
+			h.onSuccess()
 		}
 		res.Campaign = &CampaignSummary{
 			Raw:      rep.Plan.Raw,

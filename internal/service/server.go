@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Config sizes the daemon. Zero fields take defaults.
@@ -18,10 +20,26 @@ type Config struct {
 	// QueueCap bounds admitted-but-unstarted executions; beyond it the
 	// daemon sheds with 429. Default 64.
 	QueueCap int
-	// CacheCap bounds completed results kept in memory. Default 256.
+	// CacheCap bounds completed results kept in memory, in entries.
+	// Default 256.
 	CacheCap int
+	// CacheBytes bounds completed results kept in memory, in payload
+	// bytes. Default 64 MiB.
+	CacheBytes int64
 	// JobHistory bounds the job registry. Default 4096.
 	JobHistory int
+	// StoreDir, when set, enables the persistent disk tier: results
+	// and campaign progress survive restarts and are answered from
+	// disk. Empty disables persistence (memory-only store).
+	StoreDir string
+	// StoreBytes bounds the disk tier (default 1 GiB).
+	StoreBytes int64
+	// StoreMaxAge evicts disk entries older than this (0 = unbounded).
+	StoreMaxAge time.Duration
+	// StoreMinCost is the recompute-cost threshold: results whose
+	// execution took less than this skip the disk tier (0 = persist
+	// everything).
+	StoreMinCost time.Duration
 }
 
 // Server is the ckptd core: job registry, bounded queue, and
@@ -31,6 +49,7 @@ type Server struct {
 	cfg        Config
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	store      *store.Store
 	cache      *resultCache
 	queue      *queue
 	jobs       *jobSet
@@ -43,11 +62,25 @@ type Server struct {
 	executeHook func(ctx context.Context, key string, spec Spec) (*Result, error)
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, executeHook: execute}
+// New builds a server and starts its worker pool. The error is the
+// store's: an unusable StoreDir fails construction rather than
+// silently serving without persistence.
+func New(cfg Config) (*Server, error) {
+	st, err := store.Open(store.Config{
+		Dir:        cfg.StoreDir,
+		MemEntries: cfg.CacheCap,
+		MemBytes:   cfg.CacheBytes,
+		DiskBytes:  cfg.StoreBytes,
+		MaxAge:     cfg.StoreMaxAge,
+		MinCost:    cfg.StoreMinCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, store: st}
+	s.executeHook = s.execute
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.cache = newResultCache(cfg.CacheCap)
+	s.cache = newResultCache(st)
 	s.jobs = newJobSet(cfg.JobHistory)
 	s.metrics = newMetrics()
 	s.queue = newQueue(cfg.QueueCap, cfg.Workers, s.runEntry)
@@ -60,6 +93,16 @@ func New(cfg Config) *Server {
 	s.handle("GET /results/{key}", s.handleResult)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// MustNew is New but panics on error — for callers without a disk
+// tier, whose construction cannot fail.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -263,7 +306,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.view(s.queue, s.cache, s.jobs))
+	writeJSON(w, http.StatusOK, s.metrics.view(s.queue, s.cache, s.jobs, s.store.Stats()))
 }
 
 // retryAfter estimates (in whole seconds, at least 1) when a shed

@@ -90,7 +90,7 @@ func counter(m map[string]any, group, name string) int64 {
 // no leaked goroutines (run under -race in make ci).
 func TestSingleFlight64(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{Workers: 2, QueueCap: 8})
+	s := MustNew(Config{Workers: 2, QueueCap: 8})
 	ts := httptest.NewServer(s.Handler())
 
 	spec := Spec{Kind: "sim", Workload: "fib"}
@@ -152,7 +152,7 @@ func TestSingleFlight64(t *testing.T) {
 func newHookServer(cfg Config) (*Server, chan struct{}, chan struct{}) {
 	started := make(chan struct{}, 64)
 	release := make(chan struct{})
-	s := New(cfg)
+	s := MustNew(cfg)
 	s.executeHook = func(ctx context.Context, key string, spec Spec) (*Result, error) {
 		started <- struct{}{}
 		select {
@@ -395,7 +395,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 // TestResultsEndpoint covers the /results round trip plus 404s and
 // bad-spec 400s.
 func TestResultsEndpoint(t *testing.T) {
-	s := New(Config{Workers: 2, QueueCap: 8})
+	s := MustNew(Config{Workers: 2, QueueCap: 8})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain(context.Background())
@@ -499,7 +499,7 @@ func TestExecuteKinds(t *testing.T) {
 // a sim job runs on a pooled chassis (single_runs), a sweep job fans
 // out into lockstep batches (batches, lanes, width, live lanes).
 func TestMetricsBatchSection(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := MustNew(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Disk entry framing: a fixed header followed by the payload.
+//
+//	offset  size  field
+//	0       4     magic "CKS1"
+//	4       8     payload length (little-endian uint64)
+//	12      32    SHA-256 of the payload
+//	44      —     payload
+//
+// The checksum covers the payload only; the length field makes plain
+// truncation detectable without hashing, and any header damage fails
+// the magic or framing checks. Entries live directly under the root as
+// <key>.res; temp files are dot-prefixed so a directory scan skips
+// leftovers from a crash mid-write.
+const (
+	diskMagic  = "CKS1"
+	diskHeader = 4 + 8 + sha256.Size
+	diskSuffix = ".res"
+)
+
+// diskEntry is the in-memory index record of one on-disk entry.
+type diskEntry struct {
+	size    int64 // payload bytes (file size minus header)
+	lastUse time.Time
+}
+
+// diskTier owns the store's disk directory. All methods are called with
+// the owning Store's mutex held.
+type diskTier struct {
+	dir   string
+	index map[string]*diskEntry
+	bytes int64 // sum of payload sizes
+}
+
+func openDisk(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	d := &diskTier{dir: dir, index: make(map[string]*diskEntry)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || len(name) <= len(diskSuffix) ||
+			name[len(name)-len(diskSuffix):] != diskSuffix || name[0] == '.' {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		size := info.Size() - diskHeader
+		if size < 0 {
+			size = 0 // malformed; read() will classify and delete it
+		}
+		d.index[name[:len(name)-len(diskSuffix)]] = &diskEntry{
+			size:    size,
+			lastUse: info.ModTime(),
+		}
+		d.bytes += size
+	}
+	return d, nil
+}
+
+func (d *diskTier) path(key string) string {
+	return filepath.Join(d.dir, key+diskSuffix)
+}
+
+// read loads and verifies one entry. Any framing or checksum failure
+// deletes the entry and counts it corrupt; the caller sees a miss
+// either way.
+func (d *diskTier) read(key string, st *Stats) ([]byte, bool) {
+	e, ok := d.index[key]
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		// The file vanished under us (external cleanup); drop the index
+		// entry without counting corruption.
+		d.drop(key, e)
+		return nil, false
+	}
+	payload, ok := verify(data)
+	if !ok {
+		st.Corrupt++
+		d.remove(key)
+		return nil, false
+	}
+	e.lastUse = time.Now()
+	// Re-index the verified size: the file may have been rewritten by a
+	// concurrent Put since the index was built.
+	d.bytes += int64(len(payload)) - e.size
+	e.size = int64(len(payload))
+	return payload, true
+}
+
+// verify checks an entry's framing and checksum, returning the payload.
+func verify(data []byte) ([]byte, bool) {
+	if len(data) < diskHeader || string(data[:4]) != diskMagic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[4:12])
+	payload := data[diskHeader:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	for i := range sum {
+		if sum[i] != data[12+i] {
+			return nil, false
+		}
+	}
+	return payload, true
+}
+
+// write persists one entry atomically: frame into a temp file in the
+// same directory, fsync-free rename over the final name. Concurrent
+// writers of one key each rename a complete file, so readers see one
+// whole entry or the other, never a torn mix.
+func (d *diskTier) write(key string, val []byte, st *Stats) {
+	buf := make([]byte, diskHeader+len(val))
+	copy(buf, diskMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(len(val)))
+	sum := sha256.Sum256(val)
+	copy(buf[12:12+sha256.Size], sum[:])
+	copy(buf[diskHeader:], val)
+
+	tmp, err := os.CreateTemp(d.dir, "."+key+".tmp-*")
+	if err != nil {
+		return // disk unavailable: degrade to memory-only silently
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	st.DiskWrites++
+	if e, ok := d.index[key]; ok {
+		d.bytes += int64(len(val)) - e.size
+		e.size = int64(len(val))
+		e.lastUse = time.Now()
+	} else {
+		d.index[key] = &diskEntry{size: int64(len(val)), lastUse: time.Now()}
+		d.bytes += int64(len(val))
+	}
+}
+
+// remove deletes an entry's file and index record.
+func (d *diskTier) remove(key string) {
+	e, ok := d.index[key]
+	if !ok {
+		return
+	}
+	os.Remove(d.path(key))
+	d.drop(key, e)
+}
+
+func (d *diskTier) drop(key string, e *diskEntry) {
+	d.bytes -= e.size
+	delete(d.index, key)
+}
+
+// enforceBounds evicts least-recently-used entries until the byte bound
+// holds, and drops entries older than maxAge (0 = no age bound).
+func (d *diskTier) enforceBounds(maxBytes int64, maxAge time.Duration, st *Stats) {
+	if maxAge > 0 {
+		cutoff := time.Now().Add(-maxAge)
+		for key, e := range d.index {
+			if e.lastUse.Before(cutoff) {
+				d.remove(key)
+				st.DiskEvictions++
+			}
+		}
+	}
+	if d.bytes <= maxBytes {
+		return
+	}
+	type aged struct {
+		key string
+		e   *diskEntry
+	}
+	order := make([]aged, 0, len(d.index))
+	for key, e := range d.index {
+		order = append(order, aged{key, e})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if !order[i].e.lastUse.Equal(order[j].e.lastUse) {
+			return order[i].e.lastUse.Before(order[j].e.lastUse)
+		}
+		return order[i].key < order[j].key
+	})
+	for _, a := range order {
+		if d.bytes <= maxBytes || len(d.index) <= 1 {
+			return
+		}
+		d.remove(a.key)
+		st.DiskEvictions++
+	}
+}

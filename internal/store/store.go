@@ -1,0 +1,254 @@
+// Package store implements the daemon's persistent, two-tier,
+// content-addressed result store.
+//
+// The paper's premise is that checkpoints make redone work cheap; the
+// serving layer applies the same lesson to itself. Tier one is a small
+// in-memory LRU (bounded by entry count and bytes) that answers the hot
+// repeated-spec mix without touching the filesystem. Tier two is a
+// disk directory keyed by the same canonical-spec SHA-256 the HTTP API
+// exposes as /results/{key}: entries survive process restarts, so a
+// rebooted ckptd answers previously computed specs from disk instead of
+// re-burning CPU, and a killed fault campaign resumes from its last
+// progress record instead of restarting from injection zero.
+//
+// Disk entries carry a SHA-256 payload checksum verified on every
+// read-back; a truncated, bit-flipped, or half-written file is treated
+// as a miss, deleted, and counted — the caller recomputes, never serves
+// garbage. Writes go through a temp file and an atomic rename, so a
+// crash mid-write leaves either the old entry or none, and concurrent
+// writers of one key leave exactly one complete entry. The disk tier is
+// LRU-bounded by total bytes and optionally by entry age.
+//
+// Following the store/recompute trade of recomputation-enabled
+// checkpointing (Akturk & Karpuzcu), results whose recompute cost is
+// below Config.MinCost stay memory-only: a result that regenerates in a
+// millisecond is not worth a disk entry, an inode, or a slot of the
+// size budget.
+package store
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Config sizes a Store. Zero fields take the documented defaults;
+// Dir == "" disables the disk tier entirely (memory-only store).
+type Config struct {
+	// Dir is the disk tier's root directory, created if missing.
+	Dir string
+	// MemEntries bounds the in-memory tier's entry count (default 256).
+	MemEntries int
+	// MemBytes bounds the in-memory tier's total payload bytes
+	// (default 64 MiB).
+	MemBytes int64
+	// DiskBytes bounds the disk tier's total payload bytes
+	// (default 1 GiB).
+	DiskBytes int64
+	// MaxAge evicts disk entries older than this on open and on write
+	// (0 = no age bound). Age is measured from last write.
+	MaxAge time.Duration
+	// MinCost is the recompute-cost threshold: Put calls whose cost is
+	// below it skip the disk tier (0 = everything persists).
+	MinCost time.Duration
+}
+
+func (c *Config) memEntries() int {
+	if c.MemEntries <= 0 {
+		return 256
+	}
+	return c.MemEntries
+}
+
+func (c *Config) memBytes() int64 {
+	if c.MemBytes <= 0 {
+		return 64 << 20
+	}
+	return c.MemBytes
+}
+
+func (c *Config) diskBytes() int64 {
+	if c.DiskBytes <= 0 {
+		return 1 << 30
+	}
+	return c.DiskBytes
+}
+
+// Stats is a point-in-time snapshot of the store's counters and gauges.
+type Stats struct {
+	MemHits  int64 `json:"mem_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	Misses   int64 `json:"misses"`
+
+	MemEntries   int   `json:"mem_entries"`
+	MemBytes     int64 `json:"mem_bytes"`
+	MemEvictions int64 `json:"mem_evictions"`
+
+	DiskEntries   int   `json:"disk_entries"`
+	DiskBytes     int64 `json:"disk_bytes"`
+	DiskEvictions int64 `json:"disk_evictions"`
+	DiskWrites    int64 `json:"disk_writes"`
+	// DiskSkipped counts Puts that stayed memory-only because their
+	// recompute cost was below MinCost.
+	DiskSkipped int64 `json:"disk_skipped"`
+	// Corrupt counts disk entries that failed checksum or framing
+	// verification on read-back (each was deleted and reported a miss).
+	Corrupt int64 `json:"corrupt"`
+}
+
+// memEntry is one in-memory tier entry; elem points at its LRU slot.
+type memEntry struct {
+	key  string
+	val  []byte
+	elem *list.Element
+}
+
+// Store is the two-tier store. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	mem   map[string]*memEntry
+	lru   *list.List // front = most recent; values are *memEntry
+	bytes int64
+	disk  *diskTier // nil when Dir == ""
+	stats Stats
+}
+
+// Open builds a store and, when cfg.Dir is set, scans the existing disk
+// tier (verification is deferred to read time; the scan only indexes
+// sizes and ages) and applies the age/size bounds to what it finds.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		cfg: cfg,
+		mem: make(map[string]*memEntry),
+		lru: list.New(),
+	}
+	if cfg.Dir != "" {
+		d, err := openDisk(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+		s.disk.enforceBounds(cfg.diskBytes(), cfg.MaxAge, &s.stats)
+	}
+	return s, nil
+}
+
+// Get returns the payload stored under key, consulting the memory tier
+// first and the disk tier second. A disk hit is verified against its
+// checksum — corrupt entries are deleted and reported as misses — and
+// promoted into the memory tier.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.stats.MemHits++
+		return e.val, true
+	}
+	if s.disk != nil {
+		val, ok := s.disk.read(key, &s.stats)
+		if ok {
+			s.stats.DiskHits++
+			s.putMemLocked(key, val)
+			return val, true
+		}
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+// Put stores the payload under key in the memory tier and, when the
+// disk tier is enabled and cost clears the recompute threshold, on disk
+// (atomically, evicting LRU disk entries past the size bound). cost is
+// how long the payload took to compute; pass Durable for entries that
+// must persist regardless of the threshold (campaign progress records).
+func (s *Store) Put(key string, val []byte, cost time.Duration) {
+	checkKey(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putMemLocked(key, val)
+	if s.disk == nil {
+		return
+	}
+	if cost < s.cfg.MinCost {
+		s.stats.DiskSkipped++
+		return
+	}
+	s.disk.write(key, val, &s.stats)
+	s.disk.enforceBounds(s.cfg.diskBytes(), s.cfg.MaxAge, &s.stats)
+}
+
+// Durable is a Put cost that always clears the recompute threshold.
+const Durable = time.Duration(1<<63 - 1)
+
+// Delete removes key from both tiers (a no-op for absent keys).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.mem[key]; ok {
+		s.removeMemLocked(e)
+	}
+	if s.disk != nil {
+		s.disk.remove(key)
+	}
+}
+
+// Stats snapshots the store's counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemEntries = len(s.mem)
+	st.MemBytes = s.bytes
+	if s.disk != nil {
+		st.DiskEntries = len(s.disk.index)
+		st.DiskBytes = s.disk.bytes
+	}
+	return st
+}
+
+// putMemLocked inserts (or refreshes) a memory-tier entry and evicts
+// from the LRU tail until the entry and byte bounds hold again.
+func (s *Store) putMemLocked(key string, val []byte) {
+	if e, ok := s.mem[key]; ok {
+		s.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e = &memEntry{key: key, val: val}
+		e.elem = s.lru.PushFront(e)
+		s.mem[key] = e
+		s.bytes += int64(len(val))
+	}
+	maxE, maxB := s.cfg.memEntries(), s.cfg.memBytes()
+	for (len(s.mem) > maxE || s.bytes > maxB) && s.lru.Len() > 1 {
+		s.removeMemLocked(s.lru.Back().Value.(*memEntry))
+		s.stats.MemEvictions++
+	}
+}
+
+func (s *Store) removeMemLocked(e *memEntry) {
+	s.lru.Remove(e.elem)
+	delete(s.mem, e.key)
+	s.bytes -= int64(len(e.val))
+}
+
+// checkKey rejects keys that cannot double as file names. Callers are
+// internal and pass hex digests (optionally prefixed); anything else is
+// a programming error.
+func checkKey(key string) {
+	if key == "" || len(key) > 200 {
+		panic("store: invalid key " + key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			panic("store: invalid key " + key)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(i int) string { return fmt.Sprintf("k%04d", i) }
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("the result bytes")
+	s.Put("abc123", val, time.Second)
+	if got, ok := s.Get("abc123"); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("memory-tier Get = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.MemHits != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stats after put+get: %+v", st)
+	}
+
+	// A fresh store over the same directory (a daemon restart) must
+	// serve the entry from disk, byte-identical.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("abc123")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("disk-tier Get after reopen = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Corrupt != 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	// The disk hit is promoted: the second Get is a memory hit.
+	if _, ok := s2.Get("abc123"); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("promotion stats: %+v", st)
+	}
+}
+
+func TestMissCounts(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMinCostSkipsDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, MinCost: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("cheap", []byte("x"), time.Millisecond)      // below threshold
+	s.Put("costly", []byte("y"), 20*time.Millisecond)  // above
+	s.Put("progress", []byte("z"), Durable)            // forced durable
+	if st := s.Stats(); st.DiskSkipped != 1 || st.DiskWrites != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("cheap"); ok {
+		t.Fatal("cheap entry survived restart; should have been memory-only")
+	}
+	for _, k := range []string{"costly", "progress"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("%s entry did not survive restart", k)
+		}
+	}
+}
+
+func TestMemoryLRUBounds(t *testing.T) {
+	s, err := Open(Config{MemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Put(key(i), []byte{byte(i)}, 0)
+	}
+	st := s.Stats()
+	if st.MemEntries != 4 || st.MemEvictions != 4 {
+		t.Fatalf("entry bound: %+v", st)
+	}
+	// Oldest four evicted, newest four present.
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(key(i)); ok {
+			t.Fatalf("%s survived eviction", key(i))
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("%s evicted out of order", key(i))
+		}
+	}
+
+	// Byte bound, and recency: touching an entry saves it.
+	s, err = Open(Config{MemEntries: 100, MemBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Put(key(i), make([]byte, 40), 0) // 120 B > 100 B: k0 evicted
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("byte bound not enforced")
+	}
+	s.Get(key(1)) // refresh k1
+	s.Put(key(3), make([]byte, 40), 0)
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("recently used entry evicted before older one")
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestDiskLRUBound(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, DiskBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(key(i), make([]byte, 40), time.Second)
+		// Distinct mtimes so LRU order is unambiguous on coarse clocks.
+		os.Chtimes(filepath.Join(dir, key(i)+diskSuffix), time.Time{},
+			time.Now().Add(time.Duration(i-10)*time.Hour))
+		s.disk.index[key(i)].lastUse = time.Now().Add(time.Duration(i-10) * time.Hour)
+	}
+	s.Put(key(5), make([]byte, 40), time.Second)
+	st := s.Stats()
+	if st.DiskBytes > 100 {
+		t.Fatalf("disk byte bound not enforced: %+v", st)
+	}
+	if st.DiskEvictions == 0 {
+		t.Fatalf("no disk evictions recorded: %+v", st)
+	}
+	// The oldest entries are the ones gone from disk.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key(0)); ok {
+		t.Fatal("oldest disk entry survived byte-bound eviction")
+	}
+	if _, ok := s2.Get(key(5)); !ok {
+		t.Fatal("newest disk entry evicted")
+	}
+}
+
+func TestDiskAgeBound(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("old", []byte("o"), time.Second)
+	s.Put("new", []byte("n"), time.Second)
+	old := filepath.Join(dir, "old"+diskSuffix)
+	if err := os.Chtimes(old, time.Time{}, time.Now().Add(-48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{Dir: dir, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("old"); ok {
+		t.Fatal("stale entry survived the age bound")
+	}
+	if _, ok := s2.Get("new"); !ok {
+		t.Fatal("fresh entry evicted by the age bound")
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("stale entry's file not removed")
+	}
+}
+
+// corruptions maps a test name to a mutation of the on-disk entry.
+var corruptions = map[string]func(path string, t *testing.T){
+	"truncated": func(path string, t *testing.T) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"bit-flipped": func(path string, t *testing.T) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x40 // payload bit
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"header-smashed": func(path string, t *testing.T) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff // magic
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"emptied": func(path string, t *testing.T) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+}
+
+func TestCorruptEntriesDetectedAndEvicted(t *testing.T) {
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Put("victim", []byte("precious result bytes"), time.Second)
+			corrupt(filepath.Join(dir, "victim"+diskSuffix), t)
+
+			// A fresh store (no memory copy) must detect, miss, delete.
+			s2, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s2.Get("victim"); ok {
+				t.Fatal("corrupt entry served")
+			}
+			st := s2.Stats()
+			if st.Corrupt != 1 || st.Misses != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "victim"+diskSuffix)); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry's file not deleted")
+			}
+			// The caller recomputes and re-stores; the entry is whole again.
+			s2.Put("victim", []byte("recomputed"), time.Second)
+			s3, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s3.Get("victim"); !ok || string(got) != "recomputed" {
+				t.Fatalf("recomputed entry = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestConcurrentWriteRead hammers one key from concurrent writers and
+// readers (plus a writer pair racing on rename): under -race this must
+// be clean, and every read must observe one complete, verified value.
+func TestConcurrentWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([][]byte, 8)
+	for i := range vals {
+		vals[i] = bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Put("hot", vals[(w+i)%len(vals)], time.Second)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, ok := s.Get("hot")
+				if !ok {
+					continue
+				}
+				valid := false
+				for _, v := range vals {
+					if bytes.Equal(got, v) {
+						valid = true
+						break
+					}
+				}
+				if !valid {
+					t.Errorf("read a torn value: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("corruption under concurrency: %+v", st)
+	}
+}
+
+func TestDeleteRemovesBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("gone", []byte("g"), time.Second)
+	s.Delete("gone")
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("deleted entry served from memory")
+	}
+	s2, _ := Open(Config{Dir: dir})
+	if _, ok := s2.Get("gone"); ok {
+		t.Fatal("deleted entry served from disk")
+	}
+}
+
+func TestInvalidKeyPanics(t *testing.T) {
+	s, _ := Open(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on path-traversal key")
+		}
+	}()
+	s.Put("../escape", []byte("x"), 0)
+}
