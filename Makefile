@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke clean-store ci
+.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke cluster-smoke clean-store ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # identical submissions), and the two-tier result store (concurrent
 # same-key writers/readers, store round-trip, corruption recovery).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/store/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/store/ ./internal/cluster/
 
 # Fast-path equivalence: cycle skipping, trace replay, and the
 # batch-lockstep engine must change nothing observable (full-result
@@ -76,4 +76,12 @@ loadtest:
 smoke:
 	sh scripts/smoke.sh
 
-ci: vet test fastpath race bench-smoke smoke
+# Cluster smoke test: coordinator + 2 workers + a lone reference
+# daemon as real processes; a sweep, a campaign, and sims go through
+# the cluster path (ckptload -diff-addr) and must come back
+# byte-identical to the single node, with >=1 sub-job dispatched and
+# clean drains all round.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+ci: vet test fastpath race bench-smoke smoke cluster-smoke

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go build -o bench ./cmd/bench && ./bench   # writes BENCH_6.json
+//	go build -o bench ./cmd/bench && ./bench   # writes BENCH_7.json
 //	go run ./cmd/bench -o out.json -benchtime 300ms
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -22,7 +22,9 @@
 // the fault/ entries measure the fault-injection campaign engine
 // (planning and injected-run throughput); the daemon section boots the
 // ckptd serving core in-process and reports its simulated-instruction
-// throughput over the ckptload default mix.
+// throughput over the ckptload default mix; the cluster section runs
+// a sweep-and-campaign mix through an in-process coordinator at 1, 2,
+// and 4 workers and records the sub-job dispatch counters.
 //
 // The report is stamped with the build's VCS state. A bench built from
 // a dirty checkout refuses to run (its numbers would be untraceable);
@@ -48,6 +50,8 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/buildinfo"
 	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/cluster/clustertest"
 	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/experiments"
@@ -164,6 +168,29 @@ type report struct {
 	// Campaign reports kill-and-resume campaign wall-clock vs
 	// from-scratch, plus the checkpoint-placement solution (BENCH_6).
 	Campaign *campaignBench `json:"campaign,omitempty"`
+	// Cluster reports the distributed serving path: the same mix
+	// through an in-process coordinator at 1, 2, and 4 workers
+	// (BENCH_7).
+	Cluster *clusterBench `json:"cluster,omitempty"`
+}
+
+// clusterBench is the coordinator/worker scaling section.
+type clusterBench struct {
+	// Note records the honesty caveat on this host (a single-core
+	// container cannot show real scaling; the numbers bound the
+	// coordination overhead instead — the BENCH_1 runall convention).
+	Note   string         `json:"note,omitempty"`
+	Scales []clusterScale `json:"scales"`
+}
+
+// clusterScale is one worker-count measurement.
+type clusterScale struct {
+	Workers        int                 `json:"workers"`
+	Requests       int                 `json:"requests"`
+	ElapsedMs      int64               `json:"elapsed_ms"`
+	RPS            float64             `json:"rps"`
+	Dispatch       cluster.CounterView `json:"dispatch"`
+	LocalFallbacks int64               `json:"local_fallbacks"`
 }
 
 // daemonBench is the serving-layer throughput section.
@@ -182,7 +209,7 @@ type daemonBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output JSON path")
+	out := flag.String("o", "BENCH_7.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
@@ -439,6 +466,7 @@ func main() {
 	rep.Daemon = benchDaemon()
 	rep.Store = benchStore()
 	rep.Campaign = benchCampaign()
+	rep.Cluster = benchCluster()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -592,6 +620,55 @@ func benchDaemon() *daemonBench {
 	fmt.Printf("%-24s %d req in %d ms (%.0f rps), %d hits/%d misses, %.0f sim insts/s\n",
 		"daemon/ckptload-mix", d.Requests, d.ElapsedMs, d.RPS, d.CacheHits, d.CacheMisses, d.SimInstsPerSec)
 	return d
+}
+
+// benchCluster drives a sweep-and-campaign-heavy mix through an
+// in-process cluster (real HTTP between coordinator and workers) at
+// 1, 2, and 4 workers. Sweeps fan out as batch sub-jobs and campaigns
+// as plan shards, so the dispatch counters show the sub-job traffic;
+// each scale gets a fresh cluster so no result cache carries over.
+func benchCluster() *clusterBench {
+	const clients = 8
+	mix := buildMix(48)
+	for _, seed := range []int64{7001, 7002, 7003, 7004} {
+		mix = append(mix, service.Spec{Kind: "campaign", Workload: "fib",
+			Campaign: &service.CampaignSpec{Seed: seed, Stride: 8, Models: []string{"fu-detected"}}})
+	}
+
+	cb := &clusterBench{
+		Note: "single host: workers share the machine's cores, so rps is flat by design; " +
+			"the spread across scales bounds routing+serialization overhead, and the dispatch " +
+			"counters show the sub-job fan-out (cf. BENCH_1 runall note)",
+	}
+	for _, nWorkers := range []int{1, 2, 4} {
+		cl, err := clustertest.Start(clustertest.Config{Workers: nWorkers})
+		if err != nil {
+			fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		start := time.Now()
+		driveMix(ctx, client.New(cl.CoordURL), mix, clients)
+		elapsed := time.Since(start)
+		counters := cl.Coord.Dispatcher().Counters()
+		view := cl.Coord.MetricsView()
+		fallbacks, _ := view["local_fallbacks"].(int64)
+		cancel()
+		cl.Close()
+
+		cb.Scales = append(cb.Scales, clusterScale{
+			Workers:        nWorkers,
+			Requests:       len(mix),
+			ElapsedMs:      elapsed.Milliseconds(),
+			RPS:            float64(len(mix)) / elapsed.Seconds(),
+			Dispatch:       counters,
+			LocalFallbacks: fallbacks,
+		})
+		fmt.Printf("%-24s %d req in %d ms (%.0f rps), %d dispatched, %d retries, %d peer fetches, %d fallbacks\n",
+			fmt.Sprintf("cluster/%d-workers", nWorkers), len(mix), elapsed.Milliseconds(),
+			float64(len(mix))/elapsed.Seconds(), counters.Dispatched, counters.Retries,
+			counters.PeerFetches, fallbacks)
+	}
+	return cb
 }
 
 // buildMix assembles the ckptload-style spec mix: seven single sims

@@ -12,6 +12,17 @@
 //	ckptd -store-dir /var/lib/ckptd    # persistent store: warm restarts answer from disk
 //	ckptd -addr 127.0.0.1:0 -addrfile /tmp/ckptd.addr   # test harnesses
 //
+// Cluster mode (see the "Cluster" section of README.md):
+//
+//	ckptd -coordinator -addr :8909                         # cluster head
+//	ckptd -worker -join http://head:8909 -addr :8910       # worker node
+//	ckptd -worker -join http://head:8909 -advertise http://10.0.0.2:8910
+//
+// A coordinator routes submitted jobs to registered workers by
+// consistent hash over the result key, fanning sweeps and campaigns
+// out as sub-jobs; a worker is a plain daemon that additionally
+// heartbeats its address and queue depth to the coordinator.
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // admitted jobs run to completion (up to -drain-timeout, after which
 // their contexts are cancelled), then the process exits 0.
@@ -31,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/service"
 )
@@ -47,9 +59,22 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown before cancelling them")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
 	jobs := flag.Int("j", 0, "simulation pool width per execution (0 = GOMAXPROCS)")
+	coordMode := flag.Bool("coordinator", false, "run as cluster coordinator: route jobs to registered workers")
+	workerMode := flag.Bool("worker", false, "run as cluster worker: register with -join and execute sub-jobs")
+	join := flag.String("join", "", "coordinator base URL a worker registers with (e.g. http://127.0.0.1:8909)")
+	advertise := flag.String("advertise", "", "URL the coordinator should dial this worker at (default http://<bound addr>)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker heartbeat interval")
+	workerID := flag.String("worker-id", "", "worker identity in the coordinator's registry (default host:pid)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	version()
+
+	if *coordMode && *workerMode {
+		log.Fatalf("ckptd: -coordinator and -worker are mutually exclusive")
+	}
+	if *workerMode && *join == "" {
+		log.Fatalf("ckptd: -worker requires -join <coordinator URL>")
+	}
 
 	if *jobs > 0 {
 		experiments.SetParallelism(*jobs)
@@ -81,12 +106,46 @@ func main() {
 	if persist == "" {
 		persist = "off"
 	}
-	log.Printf("ckptd %s listening on http://%s (workers=%d queue=%d cache=%d store=%s)",
-		buildinfo.Version(), ln.Addr(), *workers, *queueCap, *cacheCap, persist)
+	role := "single-node"
+	switch {
+	case *coordMode:
+		role = "coordinator"
+	case *workerMode:
+		role = "worker"
+	}
+	log.Printf("ckptd %s listening on http://%s (%s workers=%d queue=%d cache=%d store=%s)",
+		buildinfo.Version(), ln.Addr(), role, *workers, *queueCap, *cacheCap, persist)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	var coord *cluster.Coordinator
+	if *coordMode {
+		coord = cluster.NewCoordinator(srv, cluster.CoordinatorConfig{
+			HeartbeatTTL: 3 * *heartbeat,
+		})
+		handler = coord.Handler()
+	}
+
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	var hb *cluster.Heartbeat
+	if *workerMode {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		hb = cluster.NewHeartbeat(srv, id, adv, *join, *heartbeat)
+		if err := hb.Start(); err != nil {
+			log.Fatalf("ckptd: %v", err)
+		}
+		log.Printf("ckptd: registered with %s as %s (%s)", *join, id, adv)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -95,6 +154,16 @@ func main() {
 		log.Printf("ckptd: %s: draining (timeout %s)", sig, *drainTimeout)
 	case err := <-errc:
 		log.Fatalf("ckptd: serve: %v", err)
+	}
+
+	// Cluster roles unwind first: a worker stops announcing itself so
+	// the coordinator reroutes around it, a coordinator stops routing
+	// and probing. Then the usual drain.
+	if hb != nil {
+		hb.Stop()
+	}
+	if coord != nil {
+		coord.Close()
 	}
 
 	// Stop taking connections first, then drain the job queue. Clients

@@ -11,6 +11,17 @@
 //	ckptload                                 # default load, writes BENCH_4.json
 //	ckptload -n 200 -c 16 -singleflight 64
 //	ckptload -addr http://127.0.0.1:8909 -smoke -o ""
+//
+// -addr takes a comma-separated target list; requests round-robin
+// across the targets and the report carries per-target rps/latency
+// alongside the aggregate (point it at a coordinator plus its workers,
+// or at several independent daemons).
+//
+// -diff-addr enables compare mode: a small deterministic mix (a sweep,
+// a campaign, sims) is submitted to both -addr and -diff-addr and the
+// result outputs are byte-compared. The cluster smoke test uses it to
+// prove a coordinator hands out exactly the bytes a single node
+// computes.
 package main
 
 import (
@@ -32,7 +43,8 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8909", "ckptd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8909", "ckptd base URL(s), comma-separated; requests round-robin across them")
+	diffAddr := flag.String("diff-addr", "", "compare mode: submit a deterministic mix to -addr and here, byte-compare outputs")
 	n := flag.Int("n", 128, "throughput-phase request count")
 	c := flag.Int("c", 8, "concurrent clients")
 	sf := flag.Int("singleflight", 64, "identical concurrent requests in the single-flight phase (0 = skip)")
@@ -50,15 +62,34 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	cl := client.New(strings.TrimRight(*addr, "/"))
-	if !cl.Healthy(ctx) {
-		log.Fatalf("ckptload: no healthy ckptd at %s", *addr)
+
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		log.Fatalf("ckptload: no targets in -addr %q", *addr)
+	}
+	clients := make([]*client.Client, len(targets))
+	for i, a := range targets {
+		clients[i] = client.New(a)
+		if !clients[i].Healthy(ctx) {
+			log.Fatalf("ckptload: no healthy ckptd at %s", a)
+		}
+	}
+	cl := clients[0]
+
+	if *diffAddr != "" {
+		os.Exit(diffMode(ctx, cl, targets[0], strings.TrimRight(*diffAddr, "/"), *seed))
 	}
 
 	report := map[string]any{
 		"bench":   "ckptload",
 		"version": buildinfo.Version(),
-		"config":  map[string]any{"n": *n, "c": *c, "singleflight": *sf, "seed": *seed, "smoke": *smoke},
+		"config": map[string]any{"n": *n, "c": *c, "singleflight": *sf, "seed": *seed, "smoke": *smoke,
+			"targets": targets},
 	}
 	failures := 0
 
@@ -131,23 +162,34 @@ func main() {
 	// would: honor Retry-After and resubmit.
 	mix := buildMix(*n, *seed)
 	lat := &stats.Dist{}
+	perTarget := make([]*stats.Dist, len(targets))
+	perCount := make([]int64, len(targets))
+	for i := range perTarget {
+		perTarget[i] = &stats.Dist{}
+	}
 	var latMu sync.Mutex
 	var failedJobs int64
 	start := time.Now()
 	for pass := 0; pass < 2; pass++ {
 		sem := make(chan struct{}, *c)
 		var wg sync.WaitGroup
-		for _, spec := range mix {
+		for mi, spec := range mix {
 			sem <- struct{}{}
 			wg.Add(1)
-			go func(spec service.Spec) {
+			// Round-robin submissions across the targets; both passes
+			// send a given spec to the same target so the second pass
+			// still lands on that target's warm cache.
+			ti := mi % len(clients)
+			go func(spec service.Spec, ti int) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				t0 := time.Now()
-				sr, err := runWithRetry(ctx, cl, spec)
+				sr, err := runWithRetry(ctx, clients[ti], spec)
 				d := time.Since(t0)
 				latMu.Lock()
 				lat.Add(d.Microseconds())
+				perTarget[ti].Add(d.Microseconds())
+				perCount[ti]++
 				if err != nil || sr.Job.State != service.StateDone {
 					failedJobs++
 					if err != nil {
@@ -157,11 +199,24 @@ func main() {
 					}
 				}
 				latMu.Unlock()
-			}(spec)
+			}(spec, ti)
 		}
 		wg.Wait()
 	}
 	elapsed := time.Since(start)
+
+	targetReports := make([]map[string]any, len(targets))
+	for i, a := range targets {
+		targetReports[i] = map[string]any{
+			"addr":     a,
+			"requests": perCount[i],
+			"rps":      float64(perCount[i]) / elapsed.Seconds(),
+			"latency_us": map[string]any{
+				"p50": perTarget[i].Percentile(50),
+				"p99": perTarget[i].Percentile(99),
+			},
+		}
+	}
 
 	final := mustMetrics(ctx, cl)
 	hits := counter(final, "cache", "hits")
@@ -178,6 +233,7 @@ func main() {
 			"max":  lat.Max(),
 			"mean": lat.Mean(),
 		},
+		"targets": targetReports,
 	}
 	report["daemon"] = map[string]any{
 		"cache_hits":        hits,
@@ -208,6 +264,61 @@ func main() {
 	if failures != 0 {
 		os.Exit(1)
 	}
+}
+
+// diffMode submits one deterministic mix to two daemons and
+// byte-compares the rendered outputs. The mix is chosen to cross the
+// cluster's sub-job machinery: a sweep (fans out as batch sub-jobs; C6
+// includes deliberately-failing lanes, so error round-tripping is on
+// the path), a campaign (fans out as plan shards and merges), and
+// plain sims (whole-job routing). Returns the process exit code.
+func diffMode(ctx context.Context, a *client.Client, aAddr, bAddr string, seed int64) int {
+	b := client.New(bAddr)
+	if !b.Healthy(ctx) {
+		log.Printf("ckptload: no healthy ckptd at %s", bAddr)
+		return 1
+	}
+	mix := []service.Spec{
+		{Kind: "sweep", Experiment: "C6"},
+		{Kind: "campaign", Workload: "fib",
+			Campaign: &service.CampaignSpec{Seed: seed, Stride: 8, Models: []string{"fu-detected"}}},
+		{Kind: "sim", Workload: "dotprod"},
+		{Kind: "sim", Workload: "crc", Machine: service.MachineSpec{Scheme: "loose"}},
+	}
+	bad := 0
+	for _, spec := range mix {
+		label, _ := json.Marshal(spec)
+		ra, err := runWithRetry(ctx, a, spec)
+		if err != nil || ra.Result == nil {
+			log.Printf("ckptload: diff %s: %s failed: %v (%+v)", aAddr, label, err, ra)
+			bad++
+			continue
+		}
+		rb, err := runWithRetry(ctx, b, spec)
+		if err != nil || rb.Result == nil {
+			log.Printf("ckptload: diff %s: %s failed: %v (%+v)", bAddr, label, err, rb)
+			bad++
+			continue
+		}
+		if ra.Result.Key != rb.Result.Key {
+			log.Printf("ckptload: diff %s: keys disagree: %s vs %s", label, ra.Result.Key, rb.Result.Key)
+			bad++
+			continue
+		}
+		if ra.Result.Output != rb.Result.Output {
+			log.Printf("ckptload: diff %s: outputs differ\n--- %s ---\n%s\n--- %s ---\n%s",
+				label, aAddr, ra.Result.Output, bAddr, rb.Result.Output)
+			bad++
+			continue
+		}
+		fmt.Printf("ckptload: diff ok %.12s (%d output bytes) %s\n", ra.Result.Key, len(ra.Result.Output), label)
+	}
+	if bad != 0 {
+		log.Printf("ckptload: diff: %d/%d specs mismatched between %s and %s", bad, len(mix), aAddr, bAddr)
+		return 1
+	}
+	fmt.Printf("ckptload: diff: %d/%d specs byte-identical between %s and %s\n", len(mix), len(mix), aAddr, bAddr)
+	return 0
 }
 
 // buildMix produces n distinct-but-cheap specs: kernel workloads

@@ -1,0 +1,63 @@
+package bpred
+
+import "fmt"
+
+// Desc is a serializable description of a freshly constructed
+// predictor: the constructor name plus its parameters, so a sweep
+// configuration can cross a process boundary (the cluster's remote
+// batch sub-jobs) and be rebuilt bit-for-bit. Only construction
+// parameters are captured; describe fresh instances only (a trained
+// table would lose its counters), which is what sweeps construct.
+type Desc struct {
+	Kind     string  `json:"kind"`
+	Size     int     `json:"size,omitempty"`      // bimodal/gshare table entries
+	HistBits int     `json:"hist_bits,omitempty"` // gshare history length
+	HitRatio float64 `json:"hit_ratio,omitempty"` // synthetic target accuracy
+	Seed     int64   `json:"seed,omitempty"`      // synthetic coin seed
+}
+
+// Describe captures a predictor's constructor parameters. ok is false
+// for predictor types without a registered description (notably the
+// Tracked wrapper and custom test predictors); a remote batch
+// containing one falls back to local execution.
+func Describe(p Predictor) (Desc, bool) {
+	switch v := p.(type) {
+	case *static:
+		if v.taken {
+			return Desc{Kind: "taken"}, true
+		}
+		return Desc{Kind: "nottaken"}, true
+	case btfn:
+		return Desc{Kind: "btfn"}, true
+	case *bimodal:
+		return Desc{Kind: "bimodal", Size: len(v.counters)}, true
+	case *gshare:
+		return Desc{Kind: "gshare", Size: len(v.counters), HistBits: v.histBits}, true
+	case *oracle:
+		return Desc{Kind: "oracle"}, true
+	case *synthetic:
+		return Desc{Kind: "synthetic", HitRatio: v.hitRatio, Seed: v.seed}, true
+	}
+	return Desc{}, false
+}
+
+// NewFromDesc rebuilds a fresh predictor from its description.
+func NewFromDesc(d Desc) (Predictor, error) {
+	switch d.Kind {
+	case "nottaken":
+		return NewNotTaken(), nil
+	case "taken":
+		return NewTaken(), nil
+	case "btfn":
+		return NewBTFN(), nil
+	case "bimodal":
+		return NewBimodal(d.Size), nil
+	case "gshare":
+		return NewGShare(d.Size, d.HistBits), nil
+	case "oracle":
+		return NewOracle(), nil
+	case "synthetic":
+		return NewSynthetic(d.HitRatio, d.Seed), nil
+	}
+	return nil, fmt.Errorf("bpred: unknown predictor kind %q", d.Kind)
+}

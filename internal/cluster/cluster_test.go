@@ -1,0 +1,170 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/clustertest"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// singleNode computes a spec's result on a plain, uncoordinated
+// server. It MUST run before any Coordinator exists in the process:
+// the coordinator installs the process-global remote-batch hook, and
+// a "single-node" reference computed while that hook is live would be
+// routed through the cluster it is meant to be compared against.
+func singleNode(t *testing.T, specs ...service.Spec) []*service.Result {
+	t.Helper()
+	srv := service.MustNew(service.Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	out := make([]*service.Result, len(specs))
+	for i, spec := range specs {
+		key, canon, err := spec.Key()
+		if err != nil {
+			t.Fatalf("spec %d key: %v", i, err)
+		}
+		res, err := srv.ExecuteLocal(context.Background(), key, canon)
+		if err != nil {
+			t.Fatalf("spec %d local execute: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func runOnCluster(t *testing.T, c *clustertest.Cluster, spec service.Spec) *service.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sr, err := client.New(c.CoordURL).Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if sr.Result == nil {
+		t.Fatalf("cluster run: job %s finished without result: %s", sr.Job.State, sr.Job.Error)
+	}
+	return sr.Result
+}
+
+// assertSameBytes compares the fields the byte-identity guarantee
+// covers: the rendered output table and the structured summaries.
+// (ElapsedMS legitimately differs; Key/Spec/Kind are inputs.)
+func assertSameBytes(t *testing.T, label string, local, clustered *service.Result) {
+	t.Helper()
+	if local.Output != clustered.Output {
+		t.Fatalf("%s: cluster output differs from single-node.\n--- single-node ---\n%s\n--- cluster ---\n%s",
+			label, local.Output, clustered.Output)
+	}
+	lc, _ := json.Marshal(local.Campaign)
+	cc, _ := json.Marshal(clustered.Campaign)
+	if string(lc) != string(cc) {
+		t.Fatalf("%s: campaign summary differs: %s vs %s", label, lc, cc)
+	}
+	ls, _ := json.Marshal(local.Sim)
+	cs, _ := json.Marshal(clustered.Sim)
+	if string(ls) != string(cs) {
+		t.Fatalf("%s: sim summary differs: %s vs %s", label, ls, cs)
+	}
+}
+
+// TestClusterByteIdentity drives a sweep and a campaign through a
+// 2-worker cluster and asserts the assembled outputs are byte-for-byte
+// what a single node produces.
+func TestClusterByteIdentity(t *testing.T) {
+	sweep := service.Spec{Kind: "sweep", Experiment: "C5"}
+	campaign := service.Spec{Kind: "campaign", Workload: "fib",
+		Campaign: &service.CampaignSpec{Models: []string{"fu-detected"}, Stride: 8}}
+	ref := singleNode(t, sweep, campaign)
+
+	c, err := clustertest.Start(clustertest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	assertSameBytes(t, "sweep", ref[0], runOnCluster(t, c, sweep))
+	assertSameBytes(t, "campaign", ref[1], runOnCluster(t, c, campaign))
+
+	counters := c.Coord.Dispatcher().Counters()
+	if counters.Dispatched == 0 {
+		t.Fatalf("cluster path never dispatched a sub-job: %+v", counters)
+	}
+}
+
+// TestClusterKillWorkerMidCampaign is the failure-path acceptance
+// test: a worker dies while a fanned-out campaign is in flight, and
+// the merged outcome table must still be byte-identical to the
+// single-node run — retries land shards on the survivor (or fall back
+// to the coordinator) without changing a single byte.
+func TestClusterKillWorkerMidCampaign(t *testing.T) {
+	// All models at stride 2: ~650 injections, long enough that the
+	// kill below lands while shards are genuinely in flight.
+	campaign := service.Spec{Kind: "campaign", Workload: "fib",
+		Campaign: &service.CampaignSpec{Stride: 2}}
+	ref := singleNode(t, campaign)
+
+	c, err := clustertest.Start(clustertest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	var res *service.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res = runOnCluster(t, c, campaign)
+	}()
+
+	// Let the fan-out get going, then kill a worker with shards in
+	// flight. Whenever the kill lands — before, during, or after its
+	// shards ran — the merge must produce identical bytes.
+	time.Sleep(30 * time.Millisecond)
+	c.KillWorker(1)
+	wg.Wait()
+
+	assertSameBytes(t, "campaign after worker death", ref[0], res)
+
+	if got := c.Coord.Registry().Count(); got > 1 {
+		// The kill may have landed after every shard completed, in
+		// which case no dispatch error ever surfaced it — that is
+		// legitimate. But if dispatch did observe the death, the
+		// registry must have shrunk. Either way, a fresh dispatch to
+		// the dead address must not wedge routing:
+		hz, err := http.Get(c.Workers[1].URL + "/healthz")
+		if err == nil {
+			hz.Body.Close()
+			t.Fatalf("killed worker still answering /healthz")
+		}
+	}
+}
+
+// TestClusterScalesOut sanity-checks AddWorker: a worker joining after
+// startup lands on the ring and receives work.
+func TestClusterScalesOut(t *testing.T) {
+	sim := service.Spec{Kind: "sim", Workload: "fib"}
+	ref := singleNode(t, sim)
+
+	c, err := clustertest.Start(clustertest.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddWorker(service.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Coord.Registry().Count(); got != 2 {
+		t.Fatalf("registry count = %d, want 2", got)
+	}
+	assertSameBytes(t, "sim", ref[0], runOnCluster(t, c, sim))
+}

@@ -1,0 +1,146 @@
+// Package clustertest stands up an in-process cluster — one
+// coordinator and N workers, each a real ckptd server on a real
+// loopback listener — for tests, the cluster smoke check, and the
+// benchmark harness. Everything speaks actual HTTP, so the byte paths
+// exercised are the production ones; only process boundaries are
+// missing.
+package clustertest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	Coord    *cluster.Coordinator
+	CoordSrv *service.Server
+	CoordURL string
+
+	Workers []*Worker
+
+	coordHTTP *httptest.Server
+}
+
+// Worker is one in-process worker node.
+type Worker struct {
+	Srv  *service.Server
+	URL  string
+	http *httptest.Server
+}
+
+// Config sizes the harness.
+type Config struct {
+	Workers int // node count (default 2)
+	// WorkerCfg configures each worker's server (zero value = service
+	// defaults).
+	WorkerCfg service.Config
+	// CoordCfg configures the coordinator's server.
+	CoordCfg service.Config
+	// Coordinator options; ProbeInterval defaults to -1 (disabled) so
+	// tests control liveness deterministically through dispatch errors
+	// and explicit KillWorker calls.
+	CoordOpts cluster.CoordinatorConfig
+}
+
+// Start builds and starts the cluster. Callers must Close it.
+func Start(cfg Config) (*Cluster, error) {
+	n := cfg.Workers
+	if n <= 0 {
+		n = 2
+	}
+	if cfg.CoordOpts.ProbeInterval == 0 {
+		cfg.CoordOpts.ProbeInterval = -1
+	}
+	coordSrv, err := service.New(cfg.CoordCfg)
+	if err != nil {
+		return nil, err
+	}
+	coord := cluster.NewCoordinator(coordSrv, cfg.CoordOpts)
+	c := &Cluster{Coord: coord, CoordSrv: coordSrv}
+	c.coordHTTP = httptest.NewServer(coord.Handler())
+	c.CoordURL = c.coordHTTP.URL
+
+	for i := 0; i < n; i++ {
+		w, err := c.AddWorker(cfg.WorkerCfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		_ = w
+	}
+	return c, nil
+}
+
+// AddWorker starts one more worker node and registers it.
+func (c *Cluster) AddWorker(cfg service.Config) (*Worker, error) {
+	srv, err := service.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	w := &Worker{Srv: srv, URL: ts.URL, http: ts}
+	c.Workers = append(c.Workers, w)
+	c.Coord.Registry().Upsert(cluster.WorkerInfo{
+		ID:   fmt.Sprintf("worker-%d", len(c.Workers)),
+		Addr: ts.URL,
+	})
+	return w, nil
+}
+
+// KillWorker abruptly stops worker i: its listener closes (in-flight
+// requests are cut mid-stream) and its registration is NOT withdrawn —
+// exactly what a crashed process looks like to the coordinator, which
+// must discover the death through a failed dispatch or probe.
+func (c *Cluster) KillWorker(i int) {
+	w := c.Workers[i]
+	w.http.CloseClientConnections()
+	w.http.Close()
+	// Hard-stop the server so its in-flight executions unwind.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	w.Srv.Drain(ctx)
+}
+
+// Close tears the whole cluster down (idempotent per component).
+func (c *Cluster) Close() {
+	c.Coord.Close()
+	c.coordHTTP.Close()
+	drain := func(s *service.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}
+	for _, w := range c.Workers {
+		w.http.Close()
+		drain(w.Srv)
+	}
+	drain(c.CoordSrv)
+}
+
+// WaitHealthy blocks until the coordinator answers /healthz (it
+// already does by the time Start returns; exported for belt and
+// braces in scripts).
+func (c *Cluster) WaitHealthy(ctx context.Context) error {
+	for {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, c.CoordURL+"/healthz", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// CoordinatorConfig sizes the coordinator. Zero fields take defaults.
+type CoordinatorConfig struct {
+	// Replicas is the ring's virtual points per worker (default 64).
+	Replicas int
+	// HeartbeatTTL prunes workers silent this long (default 15s).
+	HeartbeatTTL time.Duration
+	// ProbeInterval is how often the coordinator polls worker /healthz
+	// for liveness and queue depth (default 2s; <0 disables probing,
+	// for tests that drive liveness through dispatch errors alone).
+	ProbeInterval time.Duration
+	// MaxShards caps one campaign's fan-out (default 8).
+	MaxShards int
+}
+
+// Coordinator runs a ckptd server in cluster-head mode: jobs submitted
+// to it route to registered workers; its own store still answers cache
+// hits before anything is dispatched (the server's acquire path is
+// unchanged). It owns the process-global experiments remote-batch
+// hook, so one process runs at most one Coordinator at a time — Close
+// releases it.
+type Coordinator struct {
+	srv  *service.Server
+	reg  *Registry
+	ring *Ring
+	disp *Dispatcher
+	exec *service.DistributedExecutor
+	mux  *http.ServeMux
+
+	probeEvery time.Duration
+	stop       chan struct{}
+	stopped    sync.WaitGroup
+
+	mu        sync.Mutex
+	fallbacks int64
+	lastFall  string
+}
+
+// NewCoordinator wraps srv with cluster routing and starts the worker
+// prober. Call Close before discarding it.
+func NewCoordinator(srv *service.Server, cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		srv:  srv,
+		ring: NewRing(cfg.Replicas),
+		stop: make(chan struct{}),
+	}
+	c.reg = NewRegistry(cfg.HeartbeatTTL,
+		func(addr string) { c.ring.Add(addr) },
+		func(addr string) { c.ring.Remove(addr) },
+	)
+	c.disp = NewDispatcher(c.reg, c.ring)
+	c.exec = &service.DistributedExecutor{
+		Server:    srv,
+		Disp:      c.disp,
+		MaxShards: cfg.MaxShards,
+		OnFallback: func(reason string) {
+			c.mu.Lock()
+			c.fallbacks++
+			c.lastFall = reason
+			c.mu.Unlock()
+		},
+	}
+	srv.SetExecutor(c.exec.Execute)
+	srv.SetResultFallback(func(ctx context.Context, key string) *service.Result {
+		return c.disp.PeerFetch(ctx, key, nil)
+	})
+	srv.SetMetricsExtra("cluster", func() any { return c.MetricsView() })
+	experiments.SetRemoteBatchRunner(c.exec.BatchRunner())
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /cluster/register", c.handleRegister)
+	c.mux.HandleFunc("GET /cluster/ring", c.handleRing)
+	c.mux.Handle("/", srv.Handler())
+
+	c.probeEvery = cfg.ProbeInterval
+	if c.probeEvery == 0 {
+		c.probeEvery = 2 * time.Second
+	}
+	if c.probeEvery > 0 {
+		c.stopped.Add(1)
+		go c.probeLoop()
+	}
+	return c
+}
+
+// Handler returns the coordinator's HTTP API: the full ckptd API plus
+// the /cluster endpoints.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Registry exposes worker membership (the in-process harness and tests
+// register workers directly through it).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Dispatcher exposes routing state and counters.
+func (c *Coordinator) Dispatcher() *Dispatcher { return c.disp }
+
+// Close stops the prober and releases the process-global batch hook;
+// the wrapped server keeps serving as a plain single node.
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.stopped.Wait()
+	experiments.SetRemoteBatchRunner(nil)
+	c.srv.SetExecutor(c.srv.ExecuteLocal)
+}
+
+// probeLoop polls registered workers: liveness (a failed probe kills
+// the worker's registration on the spot) and load (queue depth feeds
+// /metrics). Heartbeats drive membership; probes catch silent deaths
+// between heartbeats.
+func (c *Coordinator) probeLoop() {
+	defer c.stopped.Done()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.reg.Prune()
+		for _, w := range c.reg.Live() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.probeEvery)
+			hz, err := c.disp.client(w.Addr).Healthz(ctx)
+			cancel()
+			if err != nil || hz.Status != "ok" {
+				c.disp.workerDeaths.Add(1)
+				c.reg.MarkDead(w.Addr)
+				continue
+			}
+			c.reg.UpdateLoad(w.Addr, hz.QueueDepth, hz.Running)
+		}
+	}
+}
+
+// RegisterRequest is a worker's heartbeat body.
+type RegisterRequest struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	Version    string `json:"version"`
+	QueueDepth int64  `json:"queue_depth"`
+	Running    int64  `json:"running"`
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Addr == "" {
+		http.Error(w, `{"error":"bad register body"}`, http.StatusBadRequest)
+		return
+	}
+	c.reg.Upsert(WorkerInfo{
+		ID:         req.ID,
+		Addr:       req.Addr,
+		Version:    req.Version,
+		QueueDepth: req.QueueDepth,
+		Running:    req.Running,
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"ok": true, "workers": c.reg.Count()})
+}
+
+func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"members": c.ring.Members(),
+		"workers": c.reg.Live(),
+	})
+}
+
+// MetricsView is the "cluster" section the coordinator adds to the
+// wrapped server's /metrics document.
+func (c *Coordinator) MetricsView() map[string]any {
+	c.mu.Lock()
+	fallbacks, last := c.fallbacks, c.lastFall
+	c.mu.Unlock()
+	workers := c.reg.Live()
+	perWorker := make([]map[string]any, len(workers))
+	for i, w := range workers {
+		perWorker[i] = map[string]any{
+			"addr":        w.Addr,
+			"id":          w.ID,
+			"queue_depth": w.QueueDepth,
+			"running":     w.Running,
+		}
+	}
+	return map[string]any{
+		"ring_members":    c.ring.Members(),
+		"workers":         perWorker,
+		"dispatch":        c.disp.Counters(),
+		"local_fallbacks": fallbacks,
+		"last_fallback":   last,
+	}
+}

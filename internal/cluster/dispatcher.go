@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// ErrNoWorkers means dispatch was asked to route with an empty ring.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// Dispatcher routes canonical specs to workers by consistent hash and
+// survives worker death: a failed attempt marks the worker dead
+// (shrinking the ring) and retries on the node that inherits the key,
+// up to a bounded number of attempts. Sub-job content is immutable and
+// content-addressed, so a retry — wherever it lands, however often —
+// yields the same bytes; retries affect only where and when, never
+// what.
+type Dispatcher struct {
+	reg  *Registry
+	ring *Ring
+	// maxAttempts bounds distinct workers tried per sub-job.
+	maxAttempts int
+	// busyWait caps how long one 429 Retry-After is honored before
+	// spilling to the next ring node.
+	busyWait time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+
+	// Counters, exposed via the coordinator's /metrics section.
+	dispatched   atomic.Int64 // sub-jobs sent (first attempts)
+	retries      atomic.Int64 // additional attempts after a failure
+	workerDeaths atomic.Int64 // dispatch-observed deaths
+	busySpills   atomic.Int64 // 429s that moved a sub-job to another node
+	peerFetches  atomic.Int64 // results recovered via GET /results/{key}
+}
+
+// NewDispatcher builds a dispatcher over a registry/ring pair.
+func NewDispatcher(reg *Registry, ring *Ring) *Dispatcher {
+	return &Dispatcher{
+		reg:         reg,
+		ring:        ring,
+		maxAttempts: 3,
+		busyWait:    2 * time.Second,
+		clients:     make(map[string]*client.Client),
+	}
+}
+
+func (d *Dispatcher) client(addr string) *client.Client {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[addr]
+	if !ok {
+		c = client.New(addr)
+		d.clients[addr] = c
+	}
+	return c
+}
+
+// FanWidth implements service.SubDispatcher.
+func (d *Dispatcher) FanWidth() int { return d.ring.Size() }
+
+// Dispatch implements service.SubDispatcher: route spec to its key's
+// owner, failing over clockwise around the ring as workers die or shed
+// load. An error reports that no worker could produce the result — the
+// caller falls back to local execution.
+func (d *Dispatcher) Dispatch(ctx context.Context, spec service.Spec) (*service.Result, error) {
+	key, canon, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+	d.dispatched.Add(1)
+	tried := make(map[string]bool)
+	var lastErr error = ErrNoWorkers
+	for attempt := 0; attempt < d.maxAttempts; attempt++ {
+		node := d.next(key, tried)
+		if node == "" {
+			break
+		}
+		if attempt > 0 {
+			d.retries.Add(1)
+			// A dead worker may have finished and published before
+			// dying, and cheap results replicate: ask the surviving
+			// nodes for the key before re-executing.
+			if res := d.PeerFetch(ctx, key, tried); res != nil {
+				return res, nil
+			}
+		}
+		tried[node] = true
+		res, err := d.runOn(ctx, node, key, canon)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		switch status := client.HTTPStatus(err); {
+		case status == http.StatusTooManyRequests:
+			// Loaded, not dead: honor (a bounded slice of) Retry-After
+			// once, then spill to the next node.
+			d.busySpills.Add(1)
+			var busy *client.ErrTooBusy
+			wait := d.busyWait
+			if errors.As(err, &busy) && busy.RetryAfter < wait {
+				wait = busy.RetryAfter
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case status == 0 || status >= 500:
+			// Transport failure or server error: the worker is gone (or
+			// going). Remove it so every subsequent key routes around
+			// it; its heartbeat re-adds it if it was only restarting.
+			d.workerDeaths.Add(1)
+			d.reg.MarkDead(node)
+		default:
+			// 4xx: the spec itself was refused; no other worker will
+			// disagree.
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: dispatch %.12s: %w", key, lastErr)
+}
+
+// next picks the first untried node in the key's failover sequence.
+func (d *Dispatcher) next(key string, tried map[string]bool) string {
+	for _, node := range d.ring.Sequence(key, len(tried)+1) {
+		if !tried[node] {
+			return node
+		}
+	}
+	return ""
+}
+
+// runOn executes the spec synchronously on one worker. A worker that
+// already holds the result answers from its cache without re-running.
+func (d *Dispatcher) runOn(ctx context.Context, node, key string, canon service.Spec) (*service.Result, error) {
+	sr, err := d.client(node).Run(ctx, canon)
+	if err != nil {
+		return nil, err
+	}
+	if sr.Result == nil {
+		// The job terminated without a result: failed or cancelled on
+		// the worker. Deterministic failures would fail locally too,
+		// but the job may also have died to the worker's shutdown —
+		// surface the state and let the caller's bounded retry decide.
+		return nil, fmt.Errorf("cluster: worker %s finished %.12s without result: %s %s",
+			node, key, sr.Job.State, sr.Job.Error)
+	}
+	return sr.Result, nil
+}
+
+// PeerFetch asks live workers (skipping `skip`) for a cached result by
+// key, owner-first. It is the read side of the content-addressed
+// design: any node holding the key's bytes can answer for any other.
+func (d *Dispatcher) PeerFetch(ctx context.Context, key string, skip map[string]bool) *service.Result {
+	for _, node := range d.ring.Sequence(key, d.ring.Size()) {
+		if skip[node] {
+			continue
+		}
+		fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		res, err := d.client(node).Result(fctx, key)
+		cancel()
+		if err == nil && res != nil && res.Key == key {
+			d.peerFetches.Add(1)
+			return res
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CounterView is the dispatcher's /metrics section.
+type CounterView struct {
+	Dispatched   int64 `json:"dispatched"`
+	Retries      int64 `json:"retries"`
+	WorkerDeaths int64 `json:"worker_deaths"`
+	BusySpills   int64 `json:"busy_spills"`
+	PeerFetches  int64 `json:"peer_fetches"`
+}
+
+// Counters snapshots the dispatch counters.
+func (d *Dispatcher) Counters() CounterView {
+	return CounterView{
+		Dispatched:   d.dispatched.Load(),
+		Retries:      d.retries.Load(),
+		WorkerDeaths: d.workerDeaths.Load(),
+		BusySpills:   d.busySpills.Load(),
+		PeerFetches:  d.peerFetches.Load(),
+	}
+}

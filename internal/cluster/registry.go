@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerInfo is one registered worker as the coordinator sees it:
+// identity from its registration heartbeats, capacity from the last
+// heartbeat or /healthz probe.
+type WorkerInfo struct {
+	ID         string    `json:"id"`
+	Addr       string    `json:"addr"` // base URL, e.g. http://127.0.0.1:9001
+	Version    string    `json:"version"`
+	QueueDepth int64     `json:"queue_depth"`
+	Running    int64     `json:"running"`
+	LastSeen   time.Time `json:"last_seen"`
+}
+
+// Registry tracks live workers. Workers announce themselves with
+// heartbeats (Upsert); the coordinator's prober and dispatcher report
+// failures (MarkDead), and entries silent past the TTL are pruned.
+// The registry drives the ring: membership changes flow through the
+// onAdd/onRemove callbacks so routing state can never disagree with
+// liveness state.
+type Registry struct {
+	ttl      time.Duration
+	onAdd    func(addr string)
+	onRemove func(addr string)
+
+	mu      sync.Mutex
+	workers map[string]*WorkerInfo // by addr
+}
+
+// NewRegistry builds a registry. ttl <= 0 selects 15s — three missed
+// 5-second heartbeats. onAdd/onRemove may be nil.
+func NewRegistry(ttl time.Duration, onAdd, onRemove func(addr string)) *Registry {
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	return &Registry{
+		ttl:      ttl,
+		onAdd:    onAdd,
+		onRemove: onRemove,
+		workers:  make(map[string]*WorkerInfo),
+	}
+}
+
+// Upsert records a heartbeat, returning whether the worker is new (or
+// returning from the dead).
+func (g *Registry) Upsert(info WorkerInfo) bool {
+	info.LastSeen = time.Now()
+	g.mu.Lock()
+	_, existed := g.workers[info.Addr]
+	g.workers[info.Addr] = &info
+	g.mu.Unlock()
+	if !existed && g.onAdd != nil {
+		g.onAdd(info.Addr)
+	}
+	return !existed
+}
+
+// UpdateLoad refreshes a worker's capacity numbers from a probe
+// without counting as a heartbeat (the worker's own heartbeats carry
+// liveness; a probe only observes).
+func (g *Registry) UpdateLoad(addr string, depth, running int64) {
+	g.mu.Lock()
+	if w, ok := g.workers[addr]; ok {
+		w.QueueDepth, w.Running = depth, running
+	}
+	g.mu.Unlock()
+}
+
+// MarkDead removes a worker immediately (dispatch saw its death
+// first-hand: connection refused, 5xx, or a failed probe). Returns
+// whether it was present.
+func (g *Registry) MarkDead(addr string) bool {
+	g.mu.Lock()
+	_, ok := g.workers[addr]
+	delete(g.workers, addr)
+	g.mu.Unlock()
+	if ok && g.onRemove != nil {
+		g.onRemove(addr)
+	}
+	return ok
+}
+
+// Prune removes workers whose last heartbeat is older than the TTL,
+// returning their addresses.
+func (g *Registry) Prune() []string {
+	cutoff := time.Now().Add(-g.ttl)
+	var dead []string
+	g.mu.Lock()
+	for addr, w := range g.workers {
+		if w.LastSeen.Before(cutoff) {
+			dead = append(dead, addr)
+			delete(g.workers, addr)
+		}
+	}
+	g.mu.Unlock()
+	sort.Strings(dead)
+	if g.onRemove != nil {
+		for _, addr := range dead {
+			g.onRemove(addr)
+		}
+	}
+	return dead
+}
+
+// Live snapshots the registered workers, sorted by address.
+func (g *Registry) Live() []WorkerInfo {
+	g.mu.Lock()
+	out := make([]WorkerInfo, 0, len(g.workers))
+	for _, w := range g.workers {
+		out = append(out, *w)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Count returns the number of live workers.
+func (g *Registry) Count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.workers)
+}

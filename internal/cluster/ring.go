@@ -1,0 +1,139 @@
+// Package cluster turns a set of ckptd processes into one serving
+// system: a coordinator routes submitted jobs to workers by consistent
+// hashing over the canonical-spec SHA-256 key, fans sweeps and fault
+// campaigns out as independent sub-jobs, and merges sub-results
+// deterministically — assembled tables are byte-identical to a
+// single-node run, including after worker deaths force retries,
+// because every sub-result recombines at a position fixed by the
+// deterministic plan, not by arrival order.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over worker addresses. Each member
+// contributes `replicas` virtual points; a key belongs to the first
+// point clockwise from its hash. Adding or removing one member moves
+// only the keys adjacent to that member's points (~1/N of the space),
+// which is what keeps worker caches warm across membership churn.
+type Ring struct {
+	replicas int
+
+	mu      sync.RWMutex
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring. replicas <= 0 selects 64 virtual
+// points per member — enough that 2–16 real nodes split the key space
+// within a few percent of evenly.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[node] {
+		return
+	}
+	r.members[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(node + "#" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct members in failover order for key:
+// the owner first, then each next distinct member clockwise. A
+// dispatcher walking this list retries a dead owner's sub-job on
+// exactly the node that inherits the key after the ring rebalances.
+func (r *Ring) Sequence(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// The ring must spread keys across members without a pathological
+// skew: with 64 virtual points per member, no member should own more
+// than ~2x its fair share of a large key population.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == "" {
+			t.Fatalf("no owner for %q", k)
+		}
+		counts[owner]++
+	}
+	fair := len(keys) / len(members)
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns nothing", m)
+		}
+		if counts[m] > 2*fair {
+			t.Fatalf("member %s owns %d keys, > 2x fair share %d", m, counts[m], fair)
+		}
+	}
+}
+
+// Removing one member must move only the keys it owned: everything
+// else keeps its owner (the whole point of consistent hashing — a
+// worker death reroutes that worker's sub-jobs, not the cluster's).
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(2000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("http://b:1")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == "http://b:1" {
+			t.Fatalf("removed member still owns %q", k)
+		}
+		if before[k] != "http://b:1" && after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	// Adding it back restores the original assignment exactly.
+	r.Add("http://b:1")
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("after re-add, key %q owned by %s, want %s", k, got, before[k])
+		}
+	}
+}
+
+// Sequence must be deterministic, start at the owner, and list
+// distinct members.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, k := range ringKeys(50) {
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q, 3) = %v, want 3 distinct members", k, seq)
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("Sequence(%q)[0] = %s, want owner %s", k, seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %s: %v", k, m, seq)
+			}
+			seen[m] = true
+		}
+		again := r.Sequence(k, 3)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("Sequence(%q) not deterministic: %v vs %v", k, seq, again)
+			}
+		}
+	}
+	// Asking for more members than exist returns them all, once each.
+	if seq := r.Sequence("anything", 10); len(seq) != 3 {
+		t.Fatalf("Sequence over-ask = %v, want all 3 members", seq)
+	}
+}
+
+// An empty ring owns nothing.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if seq := r.Sequence("k", 2); len(seq) != 0 {
+		t.Fatalf("empty ring sequence = %v, want empty", seq)
+	}
+}

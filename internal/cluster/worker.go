@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+// Heartbeat is a worker-side agent: it announces the worker to the
+// coordinator on an interval, carrying current queue depth so the
+// coordinator's capacity view stays fresh between probes. The worker
+// itself is just a plain ckptd server — membership is the only thing
+// that makes it a cluster node.
+type Heartbeat struct {
+	srv      *service.Server
+	id       string
+	addr     string // this worker's base URL, as the coordinator should dial it
+	join     string // coordinator base URL
+	interval time.Duration
+	hc       *http.Client
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewHeartbeat builds the agent. interval <= 0 selects 5s.
+func NewHeartbeat(srv *service.Server, id, advertiseAddr, coordinatorURL string, interval time.Duration) *Heartbeat {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Heartbeat{
+		srv:      srv,
+		id:       id,
+		addr:     advertiseAddr,
+		join:     coordinatorURL,
+		interval: interval,
+		hc:       &http.Client{Timeout: 10 * time.Second},
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start sends one immediate registration (returning its error, so a
+// worker pointed at a bad coordinator fails loudly at startup) and
+// then heartbeats in the background until Stop.
+func (h *Heartbeat) Start() error {
+	err := h.beat()
+	h.stopped.Add(1)
+	go h.loop()
+	return err
+}
+
+// Stop halts the heartbeat loop.
+func (h *Heartbeat) Stop() {
+	close(h.stop)
+	h.stopped.Wait()
+}
+
+func (h *Heartbeat) loop() {
+	defer h.stopped.Done()
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.beat() // transient failures are fine; the next beat retries
+		}
+	}
+}
+
+func (h *Heartbeat) beat() error {
+	depth, running := h.srv.QueueStats()
+	body, err := json.Marshal(RegisterRequest{
+		ID:         h.id,
+		Addr:       h.addr,
+		Version:    buildinfo.Version(),
+		QueueDepth: depth,
+		Running:    running,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.join+"/cluster/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: register with %s: %w", h.join, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: register with %s: %s", h.join, resp.Status)
+	}
+	return nil
+}

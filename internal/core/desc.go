@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// SchemeDesc is a serializable description of a freshly constructed
+// scheme: the constructor name plus its parameters. It exists so a
+// sweep configuration can cross a process boundary (the cluster's
+// remote batch sub-jobs) and be rebuilt bit-for-bit on the other side.
+// Only construction parameters are captured — describing a scheme that
+// has already simulated cycles loses its run state, so callers must
+// describe fresh instances only (which is what sweeps construct).
+type SchemeDesc struct {
+	Kind     string `json:"kind"` // e, b, tight, loose, direct
+	C        int    `json:"c,omitempty"`
+	CE       int    `json:"ce,omitempty"`
+	CB       int    `json:"cb,omitempty"`
+	Distance int    `json:"distance,omitempty"`
+	W        int    `json:"w,omitempty"`
+}
+
+// DescribeScheme captures a scheme's constructor parameters. ok is
+// false for scheme types without a registered description (a remote
+// batch containing one falls back to local execution).
+func DescribeScheme(s Scheme) (SchemeDesc, bool) {
+	switch v := s.(type) {
+	case *SchemeE:
+		return SchemeDesc{Kind: "e", C: v.C, Distance: v.Distance, W: v.W}, true
+	case *SchemeB:
+		return SchemeDesc{Kind: "b", C: v.C}, true
+	case *SchemeTight:
+		return SchemeDesc{Kind: "tight", C: v.C, W: v.W}, true
+	case *SchemeLoose:
+		return SchemeDesc{Kind: "loose", CE: v.CE, CB: v.CB, Distance: v.Distance}, true
+	case *SchemeDirect:
+		return SchemeDesc{Kind: "direct", CE: v.CE, CB: v.CB, Distance: v.Distance, W: v.W}, true
+	}
+	return SchemeDesc{}, false
+}
+
+// NewSchemeFromDesc rebuilds a fresh scheme from its description.
+func NewSchemeFromDesc(d SchemeDesc) (Scheme, error) {
+	switch d.Kind {
+	case "e":
+		return NewSchemeE(d.C, d.Distance, d.W), nil
+	case "b":
+		return NewSchemeB(d.C), nil
+	case "tight":
+		return NewSchemeTight(d.C, d.W), nil
+	case "loose":
+		return NewSchemeLoose(d.CE, d.CB, d.Distance), nil
+	case "direct":
+		return NewSchemeDirect(d.CE, d.CB, d.Distance, d.W), nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme kind %q", d.Kind)
+}

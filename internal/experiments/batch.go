@@ -40,6 +40,30 @@ type jobOutcome struct {
 	err error
 }
 
+// RemoteBatchRunner offloads one batch group of a sweep — all jobs
+// share prog p; cfgs are the raw per-lane configs before wire()
+// instruments them. A runner returns ok=false to decline (the group
+// then runs locally, the exact pre-hook path), and must otherwise
+// return len(cfgs) results/errors carrying everything a local run
+// would: sweeps read full architectural state, stats, and sentinel
+// errors out of these. The cluster coordinator installs one to fan
+// sweep batches out to workers.
+type RemoteBatchRunner func(ctx context.Context, p *prog.Program, cfgs []machine.Config) ([]*machine.Result, []error, bool)
+
+// remoteBatch holds the installed RemoteBatchRunner (or nil).
+var remoteBatch atomic.Value // of RemoteBatchRunner
+
+// SetRemoteBatchRunner installs (or, with nil, removes) the hook that
+// runJobs offers each batch group to before executing it locally. The
+// hook is process-global, like the fast-path switches: installing it
+// affects every concurrent sweep, so only one coordinator may own it.
+func SetRemoteBatchRunner(r RemoteBatchRunner) { remoteBatch.Store(r) }
+
+func remoteBatchRunner() RemoteBatchRunner {
+	r, _ := remoteBatch.Load().(RemoteBatchRunner)
+	return r
+}
+
 // runJobs executes the jobs on the package pool and returns outcomes in
 // job order. It is the batch-aware job-grouping choke point every sweep
 // funnels through: jobs sharing a program are grouped, in first-seen
@@ -47,6 +71,13 @@ type jobOutcome struct {
 // batch is one pool task. With batching (or the fast paths) off, every
 // job runs individually through simRun.
 func runJobs(ctx context.Context, jobs []runJob) []jobOutcome {
+	return runJobsRemote(ctx, jobs, true)
+}
+
+// runJobsRemote is runJobs with the remote hook gated: sub-job
+// execution on a worker (RunConfigs) must not re-offer its jobs to the
+// hook, or an in-process cluster would dispatch them in a loop.
+func runJobsRemote(ctx context.Context, jobs []runJob, allowRemote bool) []jobOutcome {
 	outs := make([]jobOutcome, len(jobs))
 	if !Batching() || !FastPaths() {
 		parMap(ctx, len(jobs), func(i int) {
@@ -54,15 +85,31 @@ func runJobs(ctx context.Context, jobs []runJob) []jobOutcome {
 		})
 		return outs
 	}
+	var remote RemoteBatchRunner
+	if allowRemote {
+		remote = remoteBatchRunner()
+	}
 	batches := groupJobs(jobs)
 	parMap(ctx, len(batches), func(bi int) {
 		group := batches[bi]
+		p := jobs[group[0]].prog
+		if remote != nil {
+			raw := make([]machine.Config, len(group))
+			for j, i := range group {
+				raw[j] = jobs[i].cfg
+			}
+			if results, errs, ok := remote(ctx, p, raw); ok {
+				for j, i := range group {
+					outs[i] = jobOutcome{res: results[j], err: errs[j]}
+				}
+				return
+			}
+		}
 		if len(group) == 1 {
 			i := group[0]
 			outs[i].res, outs[i].err = simRun(jobs[i].prog, jobs[i].cfg)
 			return
 		}
-		p := jobs[group[0]].prog
 		cfgs := make([]machine.Config, len(group))
 		for j, i := range group {
 			cfgs[j] = wire(p, jobs[i].cfg)
@@ -73,6 +120,35 @@ func runJobs(ctx context.Context, jobs []runJob) []jobOutcome {
 		}
 	})
 	return outs
+}
+
+// RunConfigs executes one program under several configurations through
+// the sweep engine's grouping choke point — the exact path a local
+// sweep batch takes (lockstep lanes, pooled chassis, memoized reference
+// trace, fast-path switches). Cluster workers execute remote batch
+// sub-jobs through it so their results cannot diverge from a
+// coordinator-local run. Returns ctx.Err() if cancelled mid-flight.
+func RunConfigs(ctx context.Context, p *prog.Program, cfgs []machine.Config) (results []*machine.Result, errs []error, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cu, ok := r.(cancelUnwind)
+			if !ok {
+				panic(r)
+			}
+			results, errs, err = nil, nil, cu.err
+		}
+	}()
+	jobs := make([]runJob, len(cfgs))
+	for i := range cfgs {
+		jobs[i] = runJob{name: p.Name, prog: p, cfg: cfgs[i]}
+	}
+	outs := runJobsRemote(ctx, jobs, false)
+	results = make([]*machine.Result, len(outs))
+	errs = make([]error, len(outs))
+	for i, o := range outs {
+		results[i], errs[i] = o.res, o.err
+	}
+	return results, errs, nil
 }
 
 // groupJobs partitions job indices into batches: consecutive (in

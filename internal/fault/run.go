@@ -184,17 +184,7 @@ func Run(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Conf
 	plan := buildPlan(rec, run.repairs, &cc)
 	plan.Placement = buildPlacement(run.trace, rec.events, plan, cc.SnapshotBudget)
 
-	rep := &Report{
-		Workload:        p.Name,
-		Scheme:          run.scheme,
-		Seed:            cc.Seed,
-		Models:          cc.models(),
-		Events:          len(rec.events),
-		BaselineCycles:  run.baseline.Stats.Cycles,
-		BaselineRepairs: run.repairs,
-		Plan:            plan,
-		Results:         make([]RunResult, len(plan.Exec)),
-	}
+	rep := newReportSkeleton(p, run, rec, plan, &cc)
 
 	// Progress checkpointing: restore any prior record for this exact
 	// plan and golden state, then save as injections complete.

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/prog"
+)
+
+// Campaign sharding: a campaign's executed injection list is a pure
+// function of (program, machine config, campaign config) — the plan's
+// equivalence-class representatives in deterministic order — so any
+// node that rebuilds the plan can execute an interleaved slice of it
+// and ship the classifications back. The cluster coordinator fans a
+// campaign out as one sub-job per shard and splices the results into a
+// Report that is byte-identical to an uninterrupted single-node run:
+// merge order cannot matter because every result lands at its plan
+// index. Fingerprints (the same planFingerprint that guards resume
+// records) reject splicing results from a diverged plan.
+
+// ShardResult is one shard's executed slice of a campaign plan:
+// the results for plan indices shard, shard+shards, shard+2*shards, …
+// in ascending index order.
+type ShardResult struct {
+	Fingerprint string      `json:"fingerprint"`
+	Shard       int         `json:"shard"`
+	Shards      int         `json:"shards"`
+	Results     []RunResult `json:"results"`
+}
+
+// shardIndices returns the plan indices owned by shard (interleaved
+// round-robin, so consecutive — often similar-cost — injections spread
+// across shards).
+func shardIndices(n, shard, shards int) []int {
+	var out []int
+	for i := shard; i < n; i += shards {
+		out = append(out, i)
+	}
+	return out
+}
+
+// newReportSkeleton assembles the Report header and empty result slots
+// for a planned campaign — shared by Run and the shard/merge paths so
+// the merged report cannot drift from a single-node run's.
+func newReportSkeleton(p *prog.Program, run *campaignRun, rec *recorder, plan *Plan, cc *Config) *Report {
+	return &Report{
+		Workload:        p.Name,
+		Scheme:          run.scheme,
+		Seed:            cc.Seed,
+		Models:          cc.models(),
+		Events:          len(rec.events),
+		BaselineCycles:  run.baseline.Stats.Cycles,
+		BaselineRepairs: run.repairs,
+		Plan:            plan,
+		Results:         make([]RunResult, len(plan.Exec)),
+	}
+}
+
+// RunShard plans the campaign and executes only the shard-th of shards
+// interleaved slices of the plan. The plan (and therefore the slice) is
+// deterministic, so shards computed on different nodes recombine into
+// exactly the results a single node would have produced.
+func RunShard(ctx context.Context, p *prog.Program, mk func() machine.Config, cc Config, shard, shards int) (*ShardResult, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("fault: shard %d of %d out of range", shard, shards)
+	}
+	run, rec, err := newCampaignRun(p, mk, &cc)
+	if err != nil {
+		return nil, err
+	}
+	plan := buildPlan(rec, run.repairs, &cc)
+	rep := newReportSkeleton(p, run, rec, plan, &cc)
+
+	idxs := shardIndices(len(plan.Exec), shard, shards)
+	out := make([]RunResult, len(idxs))
+	pool := experiments.NewPool(cc.Workers)
+	if err := pool.Map(ctx, len(idxs), func(j int) {
+		i := idxs[j]
+		out[j] = run.one(plan.Exec[i], plan.Covers[i])
+	}); err != nil {
+		return nil, err
+	}
+	return &ShardResult{
+		Fingerprint: planFingerprint(rep, plan),
+		Shard:       shard,
+		Shards:      shards,
+		Results:     out,
+	}, nil
+}
+
+// ShardMerger rebuilds a campaign's plan and splices shard results into
+// a complete Report. The coordinator runs the (cheap) baseline and
+// planning passes itself; only the injection executions are remote.
+type ShardMerger struct {
+	rep    *Report
+	fp     string
+	filled []bool
+}
+
+// NewShardMerger plans the campaign and returns the merge skeleton.
+func NewShardMerger(p *prog.Program, mk func() machine.Config, cc Config) (*ShardMerger, error) {
+	run, rec, err := newCampaignRun(p, mk, &cc)
+	if err != nil {
+		return nil, err
+	}
+	plan := buildPlan(rec, run.repairs, &cc)
+	rep := newReportSkeleton(p, run, rec, plan, &cc)
+	return &ShardMerger{
+		rep:    rep,
+		fp:     planFingerprint(rep, plan),
+		filled: make([]bool, len(plan.Exec)),
+	}, nil
+}
+
+// Fingerprint identifies the plan shards must have been executed
+// against.
+func (m *ShardMerger) Fingerprint() string { return m.fp }
+
+// Executed returns the number of injection runs the plan requires —
+// the fan-out sizing input.
+func (m *ShardMerger) Executed() int { return len(m.rep.Plan.Exec) }
+
+// Fill splices one shard's results in. Shards may arrive in any order;
+// duplicates (a retried sub-job whose first attempt also landed) are
+// idempotent because identical plans yield identical classifications.
+func (m *ShardMerger) Fill(s *ShardResult) error {
+	if s == nil {
+		return fmt.Errorf("fault: nil shard result")
+	}
+	if s.Fingerprint != m.fp {
+		return fmt.Errorf("fault: shard %d/%d fingerprint %.12s does not match plan %.12s",
+			s.Shard, s.Shards, s.Fingerprint, m.fp)
+	}
+	idxs := shardIndices(len(m.rep.Plan.Exec), s.Shard, s.Shards)
+	if len(idxs) != len(s.Results) {
+		return fmt.Errorf("fault: shard %d/%d carries %d results, want %d",
+			s.Shard, s.Shards, len(s.Results), len(idxs))
+	}
+	for j, i := range idxs {
+		m.rep.Results[i] = s.Results[j]
+		m.filled[i] = true
+	}
+	return nil
+}
+
+// Report returns the merged campaign report, failing if any plan index
+// is still unfilled (a lost sub-job must be retried, not papered over).
+func (m *ShardMerger) Report() (*Report, error) {
+	for i, ok := range m.filled {
+		if !ok {
+			return nil, fmt.Errorf("fault: merge incomplete: plan index %d (of %d) unfilled", i, len(m.filled))
+		}
+	}
+	return m.rep, nil
+}

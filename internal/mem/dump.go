@@ -1,0 +1,47 @@
+package mem
+
+import "fmt"
+
+// Page is one mapped page image, the unit of memory serialization used
+// when a machine result crosses a process boundary (the cluster's
+// remote batch sub-jobs). Data is always exactly PageSize bytes.
+type Page struct {
+	Addr uint32 `json:"addr"` // byte address of the page start
+	Data []byte `json:"data"`
+}
+
+// Dump returns every mapped page in ascending address order. Mapped but
+// untouched (all-zero) pages are included: mappedness is architecturally
+// visible (an unmapped access faults), so a faithful round-trip must
+// preserve it.
+func (m *Memory) Dump() []Page {
+	out := make([]Page, 0, m.npages)
+	m.forEachPage(func(pn uint32, pg []byte) bool {
+		data := make([]byte, PageSize)
+		copy(data, pg)
+		out = append(out, Page{Addr: pn * PageSize, Data: data})
+		return true
+	})
+	return out
+}
+
+// Restore builds a memory holding exactly the given pages. It is the
+// inverse of Dump: Restore(m.Dump()).Equal(m) for every m.
+func Restore(pages []Page) (*Memory, error) {
+	m := New()
+	for _, p := range pages {
+		if p.Addr%PageSize != 0 {
+			return nil, fmt.Errorf("mem: restore: page address %#x not page-aligned", p.Addr)
+		}
+		if len(p.Data) != PageSize {
+			return nil, fmt.Errorf("mem: restore: page %#x has %d bytes, want %d", p.Addr, len(p.Data), PageSize)
+		}
+		if m.Mapped(p.Addr) {
+			return nil, fmt.Errorf("mem: restore: page %#x duplicated", p.Addr)
+		}
+		data := make([]byte, PageSize)
+		copy(data, p.Data)
+		m.setPage(p.Addr>>pageShift, data)
+	}
+	return m, nil
+}

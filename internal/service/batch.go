@@ -1,0 +1,421 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+)
+
+// The batch job kind carries one batch-lockstep sweep group — one
+// program, up to batchWidth machine configurations — from a
+// coordinator to a worker. Fidelity is the whole game: a remote batch
+// must produce byte-for-byte the results a local run would, including
+// full architectural state (sweeps diff final memories against
+// references), every stats block (sweeps read stall breakdowns out of
+// *failed* runs), and sentinel errors (sweeps classify deadlocks with
+// errors.Is). Anything the codec cannot express — probes, trace
+// callbacks, exotic scheme or predictor types — makes EncodeBatch
+// decline, and the group runs locally instead.
+
+// ProgramBlob is a wire-format program: instruction words (the ISA's
+// own binary encoding), entry point, and initial data segments.
+type ProgramBlob struct {
+	Name  string        `json:"name"`
+	Words []uint32      `json:"words"`
+	Entry int           `json:"entry"`
+	Data  []SegmentBlob `json:"data,omitempty"`
+}
+
+// SegmentBlob is one initial-data segment.
+type SegmentBlob struct {
+	Addr uint32 `json:"addr"`
+	Data []byte `json:"data"`
+}
+
+// ConfigBlob is a wire-format machine.Config for one batch lane.
+type ConfigBlob struct {
+	Scheme           core.SchemeDesc       `json:"scheme"`
+	Predictor        *bpred.Desc           `json:"predictor,omitempty"`
+	Timing           TimingBlob            `json:"timing"`
+	Cache            cache.Config          `json:"cache"`
+	MemSystem        machine.MemSystemKind `json:"mem_system"`
+	BufferCap        int                   `json:"buffer_cap,omitempty"`
+	Speculate        bool                  `json:"speculate,omitempty"`
+	PreciseBudget    int                   `json:"precise_budget,omitempty"`
+	MaxCycles        int64                 `json:"max_cycles,omitempty"`
+	WatchdogCycles   int64                 `json:"watchdog_cycles,omitempty"`
+	DisableCycleSkip bool                  `json:"disable_cycle_skip,omitempty"`
+}
+
+// TimingBlob mirrors machine.Timing minus the ExtraLatency function
+// (configs carrying one are not encodable).
+type TimingBlob struct {
+	IssueWidth int `json:"issue_width"`
+	Window     int `json:"window"`
+	LSQ        int `json:"lsq"`
+	ALUUnits   int `json:"alu_units"`
+	ALULat     int `json:"alu_lat"`
+	MulDivUnit int `json:"muldiv_unit"`
+	MulLat     int `json:"mul_lat"`
+	DivLat     int `json:"div_lat"`
+	BranchLat  int `json:"branch_lat"`
+	MemPorts   int `json:"mem_ports"`
+	CacheHit   int `json:"cache_hit"`
+	CacheMiss  int `json:"cache_miss"`
+	CDBWidth   int `json:"cdb_width"`
+}
+
+// BatchSpec is the batch job payload: one program, one config per lane.
+type BatchSpec struct {
+	Program ProgramBlob  `json:"program"`
+	Configs []ConfigBlob `json:"configs"`
+}
+
+// ResultBlob is a wire-format machine.Result plus error, with enough
+// fidelity that the coordinator can hand the decoded pair to a sweep
+// in place of a local run's.
+type ResultBlob struct {
+	Regs              []uint32        `json:"regs,omitempty"`
+	Mem               []mem.Page      `json:"mem,omitempty"`
+	Exceptions        []isa.Exception `json:"exceptions,omitempty"`
+	Halted            bool            `json:"halted,omitempty"`
+	ShadowHalted      bool            `json:"shadow_halted,omitempty"`
+	Stats             stats.Run       `json:"stats"`
+	Scheme            core.Stats      `json:"scheme"`
+	Cache             cache.Stats     `json:"cache"`
+	Diff              diff.Stats      `json:"diff"`
+	Regfile           regfile.Stats   `json:"regfile"`
+	PredictorAccuracy float64         `json:"predictor_accuracy,omitempty"`
+	// ErrKind/ErrMsg round-trip the run error: kind selects the
+	// sentinel errors.Is must keep matching, msg preserves the text.
+	ErrKind string `json:"err_kind,omitempty"`
+	ErrMsg  string `json:"err_msg,omitempty"`
+}
+
+// BatchResult is the batch job's result payload, one entry per lane.
+type BatchResult struct {
+	Lanes []ResultBlob `json:"lanes"`
+}
+
+// remoteErr reconstructs a worker-side run error so coordinator-side
+// sweeps still classify it with errors.Is against the machine
+// sentinels.
+type remoteErr struct {
+	msg  string
+	kind error // sentinel to unwrap to, or nil
+}
+
+func (e *remoteErr) Error() string { return e.msg }
+func (e *remoteErr) Unwrap() error { return e.kind }
+
+func encodeErr(err error) (kind, msg string) {
+	if err == nil {
+		return "", ""
+	}
+	switch {
+	case errors.Is(err, machine.ErrCycleLimit):
+		kind = "cycle-limit"
+	case errors.Is(err, machine.ErrDeadlock):
+		kind = "deadlock"
+	default:
+		kind = "other"
+	}
+	return kind, err.Error()
+}
+
+func decodeErr(kind, msg string) error {
+	if kind == "" {
+		return nil
+	}
+	var sentinel error
+	switch kind {
+	case "cycle-limit":
+		sentinel = machine.ErrCycleLimit
+	case "deadlock":
+		sentinel = machine.ErrDeadlock
+	}
+	return &remoteErr{msg: msg, kind: sentinel}
+}
+
+// EncodeBatch converts one batch group into a wire spec. ok is false
+// when any lane is not faithfully expressible: a probe or trace hook
+// is installed, the scheme or predictor type has no descriptor, the
+// timing carries an ExtraLatency function, or the program does not
+// round-trip through the ISA encoder bit-for-bit.
+func EncodeBatch(p *prog.Program, cfgs []machine.Config) (*BatchSpec, bool) {
+	if len(cfgs) == 0 {
+		return nil, false
+	}
+	words := isa.EncodeProgram(p.Code)
+	back, err := isa.DecodeProgram(words)
+	if err != nil || len(back) != len(p.Code) {
+		return nil, false
+	}
+	for i := range back {
+		if back[i] != p.Code[i] {
+			return nil, false
+		}
+	}
+	pb := ProgramBlob{Name: p.Name, Words: words, Entry: p.Entry}
+	for _, s := range p.Data {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		pb.Data = append(pb.Data, SegmentBlob{Addr: s.Addr, Data: d})
+	}
+	bs := &BatchSpec{Program: pb, Configs: make([]ConfigBlob, len(cfgs))}
+	for i, cfg := range cfgs {
+		cb, ok := encodeConfig(cfg)
+		if !ok {
+			return nil, false
+		}
+		bs.Configs[i] = cb
+	}
+	return bs, true
+}
+
+func encodeConfig(cfg machine.Config) (ConfigBlob, bool) {
+	if cfg.Trace != nil || cfg.Probe != nil || cfg.RefTrace != nil {
+		return ConfigBlob{}, false
+	}
+	if cfg.Timing.ExtraLatency != nil {
+		return ConfigBlob{}, false
+	}
+	sd, ok := core.DescribeScheme(cfg.Scheme)
+	if !ok {
+		return ConfigBlob{}, false
+	}
+	cb := ConfigBlob{
+		Scheme:           sd,
+		Timing:           encodeTiming(cfg.Timing),
+		Cache:            cfg.Cache,
+		MemSystem:        cfg.MemSystem,
+		BufferCap:        cfg.BufferCap,
+		Speculate:        cfg.Speculate,
+		PreciseBudget:    cfg.PreciseBudget,
+		MaxCycles:        cfg.MaxCycles,
+		WatchdogCycles:   cfg.WatchdogCycles,
+		DisableCycleSkip: cfg.DisableCycleSkip,
+	}
+	if cfg.Predictor != nil {
+		pd, ok := bpred.Describe(cfg.Predictor)
+		if !ok {
+			return ConfigBlob{}, false
+		}
+		cb.Predictor = &pd
+	}
+	return cb, true
+}
+
+func encodeTiming(t machine.Timing) TimingBlob {
+	return TimingBlob{
+		IssueWidth: t.IssueWidth, Window: t.Window, LSQ: t.LSQ,
+		ALUUnits: t.ALUUnits, ALULat: t.ALULat,
+		MulDivUnit: t.MulDivUnit, MulLat: t.MulLat, DivLat: t.DivLat,
+		BranchLat: t.BranchLat, MemPorts: t.MemPorts,
+		CacheHit: t.CacheHit, CacheMiss: t.CacheMiss, CDBWidth: t.CDBWidth,
+	}
+}
+
+func (t TimingBlob) timing() machine.Timing {
+	return machine.Timing{
+		IssueWidth: t.IssueWidth, Window: t.Window, LSQ: t.LSQ,
+		ALUUnits: t.ALUUnits, ALULat: t.ALULat,
+		MulDivUnit: t.MulDivUnit, MulLat: t.MulLat, DivLat: t.DivLat,
+		BranchLat: t.BranchLat, MemPorts: t.MemPorts,
+		CacheHit: t.CacheHit, CacheMiss: t.CacheMiss, CDBWidth: t.CDBWidth,
+	}
+}
+
+// program decodes the wire program. The trace-cache memo slot starts
+// empty; workers intern decoded programs (see programCache) so repeat
+// batches of the same sweep share one memoized reference trace.
+func (b *BatchSpec) program() (*prog.Program, error) {
+	code, err := isa.DecodeProgram(b.Program.Words)
+	if err != nil {
+		return nil, fmt.Errorf("service: batch program: %w", err)
+	}
+	p := &prog.Program{Name: b.Program.Name, Code: code, Entry: b.Program.Entry}
+	for _, s := range b.Program.Data {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		p.Data = append(p.Data, prog.Segment{Addr: s.Addr, Data: d})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("service: batch program: %w", err)
+	}
+	return p, nil
+}
+
+func (c ConfigBlob) config() (machine.Config, error) {
+	scheme, err := core.NewSchemeFromDesc(c.Scheme)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	cfg := machine.Config{
+		Scheme:           scheme,
+		Timing:           c.Timing.timing(),
+		Cache:            c.Cache,
+		MemSystem:        c.MemSystem,
+		BufferCap:        c.BufferCap,
+		Speculate:        c.Speculate,
+		PreciseBudget:    c.PreciseBudget,
+		MaxCycles:        c.MaxCycles,
+		WatchdogCycles:   c.WatchdogCycles,
+		DisableCycleSkip: c.DisableCycleSkip,
+	}
+	if c.Predictor != nil {
+		p, err := bpred.NewFromDesc(*c.Predictor)
+		if err != nil {
+			return machine.Config{}, err
+		}
+		cfg.Predictor = p
+	}
+	return cfg, nil
+}
+
+// EncodeBatchResults converts per-lane run outcomes to the wire form.
+func EncodeBatchResults(results []*machine.Result, errs []error) *BatchResult {
+	out := &BatchResult{Lanes: make([]ResultBlob, len(results))}
+	for i := range results {
+		lane := &out.Lanes[i]
+		if r := results[i]; r != nil {
+			lane.Regs = append([]uint32(nil), r.Regs[:]...)
+			if r.Mem != nil {
+				lane.Mem = r.Mem.Dump()
+			}
+			lane.Exceptions = r.Exceptions
+			lane.Halted = r.Halted
+			lane.ShadowHalted = r.ShadowHalted
+			lane.Stats = r.Stats
+			lane.Scheme = r.Scheme
+			lane.Cache = r.Cache
+			lane.Diff = r.Diff
+			lane.Regfile = r.Regfile
+			lane.PredictorAccuracy = r.PredictorAccuracy
+		}
+		var err error
+		if errs != nil {
+			err = errs[i]
+		}
+		lane.ErrKind, lane.ErrMsg = encodeErr(err)
+	}
+	return out
+}
+
+// Decode converts wire results back to what a local machine run would
+// have returned.
+func (b *BatchResult) Decode() ([]*machine.Result, []error, error) {
+	results := make([]*machine.Result, len(b.Lanes))
+	errs := make([]error, len(b.Lanes))
+	for i := range b.Lanes {
+		lane := &b.Lanes[i]
+		errs[i] = decodeErr(lane.ErrKind, lane.ErrMsg)
+		if lane.Regs == nil && lane.Mem == nil && !lane.Halted && !lane.ShadowHalted &&
+			lane.Stats == (stats.Run{}) && errs[i] != nil {
+			// A lane that never produced a result (machine.New failed).
+			continue
+		}
+		r := &machine.Result{
+			Exceptions:        lane.Exceptions,
+			Halted:            lane.Halted,
+			ShadowHalted:      lane.ShadowHalted,
+			Stats:             lane.Stats,
+			Scheme:            lane.Scheme,
+			Cache:             lane.Cache,
+			Diff:              lane.Diff,
+			Regfile:           lane.Regfile,
+			PredictorAccuracy: lane.PredictorAccuracy,
+		}
+		if len(lane.Regs) != 0 {
+			if len(lane.Regs) != len(r.Regs) {
+				return nil, nil, fmt.Errorf("service: batch lane %d has %d regs, want %d", i, len(lane.Regs), len(r.Regs))
+			}
+			copy(r.Regs[:], lane.Regs)
+		}
+		if lane.Mem != nil {
+			m, err := mem.Restore(lane.Mem)
+			if err != nil {
+				return nil, nil, fmt.Errorf("service: batch lane %d: %w", i, err)
+			}
+			r.Mem = m
+		}
+		results[i] = r
+	}
+	return results, errs, nil
+}
+
+// programCache interns decoded batch programs by content hash so a
+// worker serving many batches of one sweep reuses a single *Program
+// value — pointer identity is the trace cache's memoization key, so
+// interning is what keeps the memoized reference trace warm across
+// sub-jobs.
+type programCache struct {
+	mu sync.Mutex
+	m  map[string]*prog.Program
+}
+
+func newProgramCache() *programCache {
+	return &programCache{m: make(map[string]*prog.Program)}
+}
+
+func (pc *programCache) hash(b *ProgramBlob) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(b.Entry)))
+	h.Write(buf[:])
+	h.Write([]byte(b.Name))
+	h.Write([]byte{0})
+	for _, w := range b.Words {
+		binary.LittleEndian.PutUint32(buf[:4], w)
+		h.Write(buf[:4])
+	}
+	for _, s := range b.Data {
+		binary.LittleEndian.PutUint32(buf[:4], s.Addr)
+		h.Write(buf[:4])
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s.Data)))
+		h.Write(buf[:8])
+		h.Write(s.Data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// intern returns the canonical *Program for the blob, decoding at most
+// once per content hash.
+func (pc *programCache) intern(b *BatchSpec) (*prog.Program, error) {
+	key := pc.hash(&b.Program)
+	pc.mu.Lock()
+	p, ok := pc.m[key]
+	pc.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := b.program()
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	if prior, ok := pc.m[key]; ok {
+		p = prior
+	} else {
+		if len(pc.m) >= 64 { // sweeps cycle few programs; bound the map anyway
+			clear(pc.m)
+		}
+		pc.m[key] = p
+	}
+	pc.mu.Unlock()
+	return p, nil
+}

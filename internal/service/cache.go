@@ -171,12 +171,16 @@ func (c *resultCache) acquire(base context.Context, key string, spec Spec) (res 
 }
 
 // abort removes a leader's entry that never made it into the queue
-// (backpressure rejection).
-func (c *resultCache) abort(e *entry) {
+// (backpressure rejection). The entry must also finish: a coalesced
+// follower can acquire it between the leader's acquire and this abort,
+// and would otherwise wait forever on an execution nobody enqueued.
+// Finishing marks the entry complete, so even an attach that races in
+// after the abort resolves immediately with the rejection error.
+func (c *resultCache) abort(e *entry, err error) {
 	c.mu.Lock()
 	delete(c.inflight, e.key)
 	c.mu.Unlock()
-	e.cancel()
+	e.finishWaiters(nil, err)
 }
 
 // complete records an execution's outcome: successes enter the

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -150,6 +151,43 @@ func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Healthz fetches the typed health document. The document decodes even
+// on a 503 (a draining daemon still reports its state); err is non-nil
+// only when the daemon is unreachable or the body is not a health
+// document.
+func (c *Client) Healthz(ctx context.Context) (*service.Healthz, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h service.Healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("ckptd: decode healthz: %w", err)
+	}
+	return &h, nil
+}
+
+// HTTPStatus extracts the HTTP status code carried by an API error
+// returned from this package (0 when err carries none, e.g. transport
+// failures). Cluster dispatch uses it to tell a refusal (4xx/503,
+// reroute or give up) from a worker that was never reached.
+func HTTPStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	var busy *ErrTooBusy
+	if errors.As(err, &busy) {
+		return http.StatusTooManyRequests
+	}
+	return 0
 }
 
 // Healthy reports whether the daemon answers /healthz with 200.

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/prog"
+)
+
+// SubDispatcher routes one canonical sub-job spec to a cluster worker
+// and returns its result. Implemented by internal/cluster's
+// consistent-hash dispatcher; defined here so the service layer owns
+// what gets split and how sub-results merge, while the cluster layer
+// owns only where sub-jobs go.
+type SubDispatcher interface {
+	Dispatch(ctx context.Context, spec Spec) (*Result, error)
+	// FanWidth is the number of live workers — the fan-out sizing
+	// signal. Zero means dispatch would fail, so run locally.
+	FanWidth() int
+}
+
+// DistributedExecutor is the coordinator's execution function: whole
+// sim jobs route to their key's owner, campaigns fan out as plan
+// shards, sweeps run locally with their batch groups offered to the
+// remote batch hook. Every remote path falls back to plain local
+// execution on any dispatch problem, so a degraded cluster serves
+// exactly what a single node would — byte-identically, since shards
+// and batches recombine by plan/lane index regardless of where (or how
+// many times) they ran.
+type DistributedExecutor struct {
+	Server *Server
+	Disp   SubDispatcher
+	// MaxShards caps one campaign's fan-out (default 8).
+	MaxShards int
+	// OnFallback, if set, observes each remote-to-local fallback with a
+	// short reason (the coordinator counts them in /metrics).
+	OnFallback func(reason string)
+}
+
+func (d *DistributedExecutor) fallback(reason string) {
+	if d.OnFallback != nil {
+		d.OnFallback(reason)
+	}
+}
+
+// Execute implements the Server executor seam (SetExecutor).
+func (d *DistributedExecutor) Execute(ctx context.Context, key string, spec Spec) (*Result, error) {
+	switch spec.Kind {
+	case KindCampaign:
+		if spec.Campaign != nil && spec.Campaign.Shards > 1 {
+			// Already a shard sub-job (a worker's workload, but a
+			// coordinator can serve it too): run locally.
+			return d.Server.ExecuteLocal(ctx, key, spec)
+		}
+		return d.executeCampaign(ctx, key, spec)
+	case KindSweep:
+		// Sweeps fan out through the remote batch hook the coordinator
+		// installed; the sweep body itself runs here.
+		return d.Server.ExecuteLocal(ctx, key, spec)
+	default:
+		// Whole-job routing: the key's ring owner computes and caches
+		// it, so repeat submissions of hot sims hit the same worker's
+		// cache no matter which coordinator path they enter by.
+		if d.Disp.FanWidth() == 0 {
+			return d.Server.ExecuteLocal(ctx, key, spec)
+		}
+		res, err := d.Disp.Dispatch(ctx, spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			d.fallback(spec.Kind + ": " + err.Error())
+			return d.Server.ExecuteLocal(ctx, key, spec)
+		}
+		return res, nil
+	}
+}
+
+// executeCampaign fans a campaign out as interleaved plan shards. The
+// coordinator itself runs the baseline and builds the plan (cheap: one
+// fault-free run), dispatches the injection shards, and merges. Any
+// shard that cannot be computed remotely is executed locally, so the
+// merge always completes with exactly the bytes a single node produces.
+func (d *DistributedExecutor) executeCampaign(ctx context.Context, key string, spec Spec) (*Result, error) {
+	width := d.Disp.FanWidth()
+	if width == 0 {
+		return d.Server.ExecuteLocal(ctx, key, spec)
+	}
+	start := time.Now()
+	p, err := spec.program()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := spec.Machine.machineConfig(); err != nil {
+		return nil, err
+	}
+	mk := func() machine.Config {
+		cfg, _ := spec.Machine.machineConfig()
+		return cfg
+	}
+	cc, err := spec.campaignConfig()
+	if err != nil {
+		return nil, err
+	}
+	merger, err := fault.NewShardMerger(p, mk, cc)
+	if err != nil {
+		return nil, err
+	}
+	maxShards := d.MaxShards
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	shards := min(maxShards, max(width, 1)*2, merger.Executed())
+	if shards <= 1 {
+		d.fallback("campaign: plan too small to shard")
+		return d.Server.ExecuteLocal(ctx, key, spec)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards merger.Fill and firstErr
+	var firstErr error
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			sub := spec
+			camp := *spec.Campaign
+			camp.Shard, camp.Shards = shard, shards
+			sub.Campaign = &camp
+			sub.TimeoutMS = 0 // sub-jobs live and die with this ctx
+
+			sr, err := d.dispatchShard(ctx, sub)
+			if err != nil {
+				// Local completion of a lost shard: same plan, same
+				// bytes — the retry of last resort.
+				d.fallback(fmt.Sprintf("campaign shard %d/%d: %v", shard, shards, err))
+				sr, err = fault.RunShard(ctx, p, mk, cc, shard, shards)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if err := merger.Fill(sr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(shard)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep, err := merger.Report()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Key: key, Kind: spec.Kind, Spec: spec}
+	res.fillCampaign(rep)
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	return res, nil
+}
+
+func (d *DistributedExecutor) dispatchShard(ctx context.Context, sub Spec) (*fault.ShardResult, error) {
+	res, err := d.Disp.Dispatch(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	if res.CampaignShard == nil {
+		return nil, fmt.Errorf("service: shard result missing campaign_shard payload")
+	}
+	return res.CampaignShard, nil
+}
+
+// BatchRunner returns the experiments.RemoteBatchRunner that offloads
+// sweep batch groups through the dispatcher. Install with
+// experiments.SetRemoteBatchRunner; it declines (ok=false) whenever the
+// group is not faithfully encodable or the dispatch fails, and the
+// group then runs on the exact local path it always did.
+func (d *DistributedExecutor) BatchRunner() experiments.RemoteBatchRunner {
+	return func(ctx context.Context, p *prog.Program, cfgs []machine.Config) ([]*machine.Result, []error, bool) {
+		if d.Disp.FanWidth() == 0 {
+			return nil, nil, false
+		}
+		bs, ok := EncodeBatch(p, cfgs)
+		if !ok {
+			d.fallback("batch: not encodable")
+			return nil, nil, false
+		}
+		res, err := d.Disp.Dispatch(ctx, Spec{Kind: KindBatch, Batch: bs})
+		if err != nil || res.Batch == nil {
+			if ctx.Err() != nil {
+				return nil, nil, false
+			}
+			d.fallback(fmt.Sprintf("batch %s: dispatch: %v", p.Name, err))
+			return nil, nil, false
+		}
+		results, errs, err := res.Batch.Decode()
+		if err != nil || len(results) != len(cfgs) {
+			d.fallback(fmt.Sprintf("batch %s: decode: %v", p.Name, err))
+			return nil, nil, false
+		}
+		return results, errs, true
+	}
+}

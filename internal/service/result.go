@@ -24,6 +24,11 @@ type Result struct {
 	Output   string           `json:"output"`
 	Sim      *SimSummary      `json:"sim,omitempty"`
 	Campaign *CampaignSummary `json:"campaign,omitempty"`
+	// Batch carries a batch sub-job's per-lane results (kind "batch").
+	Batch *BatchResult `json:"batch,omitempty"`
+	// CampaignShard carries a sharded campaign sub-job's slice of
+	// outcomes (kind "campaign" with Shards > 1).
+	CampaignShard *fault.ShardResult `json:"campaign_shard,omitempty"`
 	// ElapsedMS is how long the execution took. It is informational
 	// and excluded from any byte-identity guarantees only in the sense
 	// that it is fixed at execution time: cache hits and coalesced jobs
@@ -169,6 +174,19 @@ func executeHooked(ctx context.Context, key string, spec Spec, h *campaignHooks)
 		if err != nil {
 			return nil, err
 		}
+		if cs := spec.Campaign; cs != nil && cs.Shards > 1 {
+			// Cluster sub-job: execute one interleaved slice of the
+			// plan. Shards skip progress checkpointing — they are small,
+			// and the coordinator's retry is the recovery mechanism.
+			sr, err := fault.RunShard(ctx, p, mk, cc, cs.Shard, cs.Shards)
+			if err != nil {
+				return nil, err
+			}
+			res.CampaignShard = sr
+			res.Output = fmt.Sprintf("campaign shard %d/%d: %d injections (plan %.12s)",
+				cs.Shard, cs.Shards, len(sr.Results), sr.Fingerprint)
+			break
+		}
 		if h != nil {
 			cc.Ckpt = h.ckpt
 		}
@@ -182,23 +200,60 @@ func executeHooked(ctx context.Context, key string, spec Spec, h *campaignHooks)
 			}
 			h.onSuccess()
 		}
-		res.Campaign = &CampaignSummary{
-			Raw:      rep.Plan.Raw,
-			Pruned:   len(rep.Plan.Pruned),
-			Executed: len(rep.Plan.Exec),
-			Masked:   rep.CountOutcome(fault.Masked),
-			Repaired: rep.CountOutcome(fault.Repaired),
-			Detected: rep.CountOutcome(fault.Detected),
-			SDC:      rep.CountOutcome(fault.SDC),
-			Hang:     rep.CountOutcome(fault.Hang),
-			Crash:    rep.CountOutcome(fault.Crash),
+		res.fillCampaign(rep)
+	case KindBatch:
+		p, err := batchPrograms.intern(spec.Batch)
+		if err != nil {
+			return nil, err
 		}
-		res.Output = rep.Table("FC").String()
+		cfgs := make([]machine.Config, len(spec.Batch.Configs))
+		for i, cb := range spec.Batch.Configs {
+			cfg, err := cb.config()
+			if err != nil {
+				return nil, err
+			}
+			cfgs[i] = cfg
+		}
+		results, errs, err := experiments.RunConfigs(ctx, p, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		res.Batch = EncodeBatchResults(results, errs)
+		failed := 0
+		for _, lane := range res.Batch.Lanes {
+			if lane.ErrKind != "" {
+				failed++
+			}
+		}
+		res.Output = fmt.Sprintf("batch %s: %d lanes, %d failed", p.Name, len(cfgs), failed)
 	default:
 		return nil, fmt.Errorf("service: unknown job kind %q", spec.Kind)
 	}
 	res.ElapsedMS = time.Since(start).Milliseconds()
 	return res, nil
+}
+
+// batchPrograms interns decoded batch programs process-wide; content
+// hashing keys it, so sharing across servers in one process (the
+// in-process cluster harness) is safe and keeps reference traces warm.
+var batchPrograms = newProgramCache()
+
+// fillCampaign renders a completed campaign report into the result —
+// the one place the summary and table are produced, shared by local
+// runs and the coordinator's shard merge so their bytes cannot drift.
+func (r *Result) fillCampaign(rep *fault.Report) {
+	r.Campaign = &CampaignSummary{
+		Raw:      rep.Plan.Raw,
+		Pruned:   len(rep.Plan.Pruned),
+		Executed: len(rep.Plan.Exec),
+		Masked:   rep.CountOutcome(fault.Masked),
+		Repaired: rep.CountOutcome(fault.Repaired),
+		Detected: rep.CountOutcome(fault.Detected),
+		SDC:      rep.CountOutcome(fault.SDC),
+		Hang:     rep.CountOutcome(fault.Hang),
+		Crash:    rep.CountOutcome(fault.Crash),
+	}
+	r.Output = rep.Table("FC").String()
 }
 
 // campaignConfig converts the canonical campaign spec into the fault

@@ -3,12 +3,15 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/store"
 )
 
@@ -58,9 +61,25 @@ type Server struct {
 	draining   atomic.Bool
 
 	// executeHook is the execution function; tests substitute slow or
-	// failing executions to exercise backpressure and drain paths.
+	// failing executions to exercise backpressure and drain paths, and
+	// a cluster coordinator substitutes its routing executor
+	// (SetExecutor).
 	executeHook func(ctx context.Context, key string, spec Spec) (*Result, error)
+
+	// resultFallback, if set, answers GET /results/{key} misses — the
+	// coordinator's peer-fetch path (SetResultFallback).
+	resultFallback func(ctx context.Context, key string) *Result
+
+	extrasMu      sync.Mutex
+	metricsExtras map[string]func() any
 }
+
+// Sentinel submission-rejection errors; coalesced followers attached to
+// a shed leader fail with these.
+var (
+	errQueueFull = errors.New("queue full")
+	errDraining  = errors.New("draining")
+)
 
 // New builds a server and starts its worker pool. The error is the
 // store's: an unusable StoreDir fails construction rather than
@@ -195,9 +214,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if leader {
 		// This submission must buy a queue slot; when the queue is full
-		// (or the daemon is draining) we shed it rather than buffer.
+		// we shed it rather than buffer, and when the daemon is draining
+		// we refuse it outright. The draining check comes after the
+		// enqueue attempt so the answer is authoritative: tryEnqueue and
+		// queue.close serialize on the queue lock, so a submission that
+		// wins the race is admitted and will be drained, and one that
+		// loses fails tryEnqueue here — accepted-then-dropped cannot
+		// happen.
 		if !s.queue.tryEnqueue(e) {
-			s.cache.abort(e)
+			if s.draining.Load() {
+				s.cache.abort(e, errDraining)
+				s.metrics.rejected.Add(1)
+				httpError(w, http.StatusServiceUnavailable, "draining")
+				return
+			}
+			s.cache.abort(e, errQueueFull)
 			s.metrics.rejected.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			httpError(w, http.StatusTooManyRequests, "queue full")
@@ -282,6 +313,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		key = j.Key
 	}
 	res, ok := s.cache.lookup(key)
+	if !ok && s.resultFallback != nil {
+		// Remote fill: a coordinator asked this node for a result a peer
+		// computed. The fallback fetches it and the store keeps it, so
+		// repeat reads are local.
+		if res = s.resultFallback(r.Context(), key); res != nil {
+			if data, err := json.Marshal(res); err == nil {
+				s.store.Fill(key, data)
+			}
+			ok = true
+		}
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no cached result (job still running, failed, or evicted)")
 		return
@@ -289,25 +331,84 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// Healthz is the GET /healthz body: liveness plus the capacity signals
+// a cluster coordinator routes on.
+type Healthz struct {
+	Status     string      `json:"status"` // ok | draining
+	Version    string      `json:"version"`
+	QueueDepth int64       `json:"queue_depth"`
+	Running    int64       `json:"running"`
+	Store      store.Stats `json:"store"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	h := Healthz{
+		Status:     "ok",
+		Version:    buildinfo.Version(),
+		QueueDepth: s.queue.Depth(),
+		Running:    s.queue.Running(),
+		Store:      s.store.Stats(),
+	}
 	code := http.StatusOK
 	if s.draining.Load() {
 		// Draining daemons fail health checks so load balancers stop
 		// routing to them while in-flight jobs finish.
-		status = "draining"
+		h.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"queue_depth": s.queue.Depth(),
-		"running":     s.queue.Running(),
-	})
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.view(s.queue, s.cache, s.jobs, s.store.Stats()))
+	v := s.metrics.view(s.queue, s.cache, s.jobs, s.store.Stats())
+	s.extrasMu.Lock()
+	for name, fn := range s.metricsExtras {
+		v[name] = fn()
+	}
+	s.extrasMu.Unlock()
+	writeJSON(w, http.StatusOK, v)
 }
+
+// SetExecutor replaces the execution function jobs run through — the
+// cluster coordinator's seam: it routes specs to workers and falls
+// back to ExecuteLocal. Call before serving traffic.
+func (s *Server) SetExecutor(fn func(ctx context.Context, key string, spec Spec) (*Result, error)) {
+	s.executeHook = fn
+}
+
+// ExecuteLocal runs one canonical spec on this process exactly as an
+// unclustered daemon would, including campaign progress persistence.
+func (s *Server) ExecuteLocal(ctx context.Context, key string, spec Spec) (*Result, error) {
+	return s.execute(ctx, key, spec)
+}
+
+// SetResultFallback installs the GET /results/{key} miss handler: it
+// returns a result fetched elsewhere (or nil), and the store keeps what
+// it returns. The coordinator uses it to answer for results that live
+// on a worker.
+func (s *Server) SetResultFallback(fn func(ctx context.Context, key string) *Result) {
+	s.resultFallback = fn
+}
+
+// SetMetricsExtra adds a named section to GET /metrics, computed per
+// request — the coordinator publishes ring and fan-out state this way.
+func (s *Server) SetMetricsExtra(name string, fn func() any) {
+	s.extrasMu.Lock()
+	defer s.extrasMu.Unlock()
+	if s.metricsExtras == nil {
+		s.metricsExtras = make(map[string]func() any)
+	}
+	s.metricsExtras[name] = fn
+}
+
+// QueueStats reports admitted-but-unstarted and running execution
+// counts (the capacity signal workers publish via /healthz).
+func (s *Server) QueueStats() (depth, running int64) {
+	return s.queue.Depth(), s.queue.Running()
+}
+
+// Lookup returns the locally stored result for a key, if any.
+func (s *Server) Lookup(key string) (*Result, bool) { return s.cache.lookup(key) }
 
 // retryAfter estimates (in whole seconds, at least 1) when a shed
 // client should try again: the current backlog divided over the

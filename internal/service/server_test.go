@@ -360,7 +360,8 @@ func TestDrainHardCancel(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
-// TestDrainRejectsNewWork: while draining, new submissions are shed.
+// TestDrainRejectsNewWork: while draining, new submissions get a clean
+// 503 (not 429 — the daemon is going away, not busy).
 func TestDrainRejectsNewWork(t *testing.T) {
 	s, _, release := newHookServer(Config{Workers: 1, QueueCap: 4})
 	ts := httptest.NewServer(s.Handler())
@@ -377,8 +378,8 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("draining daemon accepted a job: %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon answered %d, want 503", resp.StatusCode)
 	}
 
 	hz, err := http.Get(ts.URL + "/healthz")
@@ -534,4 +535,96 @@ func TestMetricsBatchSection(t *testing.T) {
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
+}
+
+// TestAbortFinishesCoalescedFollower is the regression test for the
+// abort path: a follower that coalesces onto a leader's in-flight
+// entry between the leader's acquire and its backpressure abort must
+// resolve with the rejection error — before the fix, abort only
+// removed the entry from the in-flight table and a raced-in follower
+// waited forever on an execution nobody enqueued.
+func TestAbortFinishesCoalescedFollower(t *testing.T) {
+	s := MustNew(Config{Workers: 1, QueueCap: 1})
+	defer s.Drain(context.Background())
+
+	key, canon, err := Spec{Kind: "sim", Workload: "fib"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e, leader := s.cache.acquire(context.Background(), key, canon)
+	if !leader {
+		t.Fatal("expected to lead a fresh key")
+	}
+	// The follower acquires the same key and attaches its job — exactly
+	// what handleSubmit does for a coalesced submission.
+	_, e2, leader2 := s.cache.acquire(context.Background(), key, canon)
+	if leader2 || e2 != e {
+		t.Fatalf("expected to coalesce onto the leader's entry")
+	}
+	j := s.jobs.add(key, canon)
+	e2.attach(j)
+
+	// The leader's enqueue is rejected (queue full / draining): abort.
+	s.cache.abort(e, errQueueFull)
+
+	select {
+	case <-j.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced follower hung after leader abort")
+	}
+	if res, errMsg, ok := j.terminal(); !ok || res != nil || !strings.Contains(errMsg, errQueueFull.Error()) {
+		t.Fatalf("follower terminal state = (%v, %q, %v), want queue-full failure", res, errMsg, ok)
+	}
+	// A late attach after the abort must also resolve immediately.
+	j2 := s.jobs.add(key, canon)
+	e.attach(j2)
+	if _, _, ok := j2.terminal(); !ok {
+		t.Fatal("attach after abort did not finish the job")
+	}
+}
+
+// TestDrainSubmitRace hammers Drain against concurrent submissions:
+// every submission must either complete with a result or be rejected
+// cleanly (503 draining / 429 shed) — never accepted and then dropped.
+// Run under -race in make ci.
+func TestDrainSubmitRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := MustNew(Config{Workers: 2, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	results := make([]int, 32)
+	bodies := make([]wireResp, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct cheap sims would all coalesce; distinct campaign
+			// seeds keep each submission an independent admission.
+			code, wr := postJob(t, ts.URL, simSpec(1000+i), true)
+			results[i], bodies[i] = code, wr
+		}(i)
+	}
+	// Let a few submissions land, then drain concurrently.
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	ts.Close()
+
+	for i, code := range results {
+		switch code {
+		case http.StatusOK:
+			// Accepted before the drain cut in: must carry its result.
+			if len(bodies[i].Result) == 0 {
+				t.Fatalf("submission %d accepted (200) but has no result: job=%+v", i, bodies[i].Job)
+			}
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Rejected cleanly.
+		default:
+			t.Fatalf("submission %d: unexpected status %d (job=%+v)", i, code, bodies[i].Job)
+		}
+	}
+	settleGoroutines(t, base)
 }

@@ -40,6 +40,11 @@ const (
 	KindSim      = "sim"      // one workload on one machine configuration
 	KindSweep    = "sweep"    // one registered experiment (tables F1..C12, A1..)
 	KindCampaign = "campaign" // a fault-injection campaign
+	// KindBatch is a cluster-internal sub-job: one batch-lockstep group
+	// of a sweep (one program, N machine configurations) shipped to a
+	// worker. Clients can submit one directly, but the coordinator is
+	// the intended producer.
+	KindBatch = "batch"
 )
 
 // Spec describes one job. The zero value is invalid; Canonicalize
@@ -58,6 +63,8 @@ type Spec struct {
 	Experiment string `json:"experiment,omitempty"`
 	// Campaign parameterises campaign jobs.
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
+	// Batch carries a batch sub-job's payload (kind "batch" only).
+	Batch *BatchSpec `json:"batch,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds (0 = none). It
 	// scopes the submitting job, not the result, so it is excluded from
 	// the cache key.
@@ -89,6 +96,12 @@ type CampaignSpec struct {
 	Models   []string `json:"models,omitempty"`
 	Stride   int      `json:"stride,omitempty"`    // default 1
 	MaxWords int      `json:"max_words,omitempty"` // default 8
+	// Shard/Shards select one interleaved slice of the campaign plan
+	// (cluster sub-jobs). Shards <= 1 means the whole campaign; the
+	// canonical form zeroes both in that case, so whole-campaign specs
+	// hash exactly as they did before sharding existed.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // Canonicalize validates the spec and returns its canonical form:
@@ -100,7 +113,7 @@ func (s Spec) Canonicalize() (Spec, error) {
 	c.Kind = strings.ToLower(strings.TrimSpace(c.Kind))
 	switch c.Kind {
 	case KindSim:
-		c.Experiment, c.Campaign = "", nil
+		c.Experiment, c.Campaign, c.Batch = "", nil, nil
 		if err := c.canonWorkload(); err != nil {
 			return c, err
 		}
@@ -108,7 +121,7 @@ func (s Spec) Canonicalize() (Spec, error) {
 			return c, err
 		}
 	case KindSweep:
-		c.Workload, c.Campaign = "", nil
+		c.Workload, c.Campaign, c.Batch = "", nil, nil
 		c.Machine = MachineSpec{}
 		e, ok := experiments.ByID(strings.TrimSpace(c.Experiment))
 		if !ok {
@@ -116,7 +129,7 @@ func (s Spec) Canonicalize() (Spec, error) {
 		}
 		c.Experiment = e.ID // registry casing is canonical
 	case KindCampaign:
-		c.Experiment = ""
+		c.Experiment, c.Batch = "", nil
 		if err := c.canonWorkload(); err != nil {
 			return c, err
 		}
@@ -131,6 +144,25 @@ func (s Spec) Canonicalize() (Spec, error) {
 			return c, err
 		}
 		c.Campaign = &cc
+	case KindBatch:
+		c.Workload, c.Experiment, c.Campaign = "", "", nil
+		c.Machine = MachineSpec{}
+		if c.Batch == nil {
+			return c, fmt.Errorf("service: batch job needs a batch payload")
+		}
+		// Validate by decoding: the payload must reconstruct a runnable
+		// program and configs, or the worker would fail at execute time.
+		if _, err := c.Batch.program(); err != nil {
+			return c, err
+		}
+		if len(c.Batch.Configs) == 0 {
+			return c, fmt.Errorf("service: batch job has no configs")
+		}
+		for i, cb := range c.Batch.Configs {
+			if _, err := cb.config(); err != nil {
+				return c, fmt.Errorf("service: batch config %d: %w", i, err)
+			}
+		}
 	case "":
 		return c, fmt.Errorf("service: job kind missing (want %s, %s, or %s)", KindSim, KindSweep, KindCampaign)
 	default:
@@ -254,6 +286,12 @@ func (c *CampaignSpec) canonicalize() error {
 		for _, m := range fault.Models() {
 			c.Models = append(c.Models, m.String())
 		}
+	} else {
+		// Clone before normalizing in place: the caller's shallow copy
+		// shares the backing array, and canonicalization of the same
+		// spec must be safe from concurrent goroutines (shard fan-out
+		// canonicalizes N copies of one parent spec).
+		c.Models = append([]string(nil), c.Models...)
 	}
 	for i, name := range c.Models {
 		c.Models[i] = strings.ToLower(strings.TrimSpace(name))
@@ -263,6 +301,12 @@ func (c *CampaignSpec) canonicalize() error {
 	}
 	sort.Strings(c.Models)
 	c.Models = compactStrings(c.Models)
+	if c.Shards <= 1 {
+		// Whole campaign: zero both so pre-sharding cache keys hold.
+		c.Shard, c.Shards = 0, 0
+	} else if c.Shard < 0 || c.Shard >= c.Shards {
+		return fmt.Errorf("service: campaign shard %d of %d out of range", c.Shard, c.Shards)
+	}
 	return nil
 }
 

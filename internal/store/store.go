@@ -94,6 +94,9 @@ type Stats struct {
 	// Corrupt counts disk entries that failed checksum or framing
 	// verification on read-back (each was deleted and reported a miss).
 	Corrupt int64 `json:"corrupt"`
+	// RemoteFills counts entries written via Fill — results computed by
+	// a cluster peer and cached here on fetch.
+	RemoteFills int64 `json:"remote_fills"`
 }
 
 // memEntry is one in-memory tier entry; elem points at its LRU slot.
@@ -182,6 +185,17 @@ func (s *Store) Put(key string, val []byte, cost time.Duration) {
 
 // Durable is a Put cost that always clears the recompute threshold.
 const Durable = time.Duration(1<<63 - 1)
+
+// Fill caches a value computed elsewhere — a cluster peer's result
+// fetched over /results/{key}. It persists like any durable Put (the
+// recompute cost over the network is unknowable but real) and counts
+// separately, so remote-fill traffic is visible in /metrics.
+func (s *Store) Fill(key string, val []byte) {
+	s.Put(key, val, Durable)
+	s.mu.Lock()
+	s.stats.RemoteFills++
+	s.mu.Unlock()
+}
 
 // Delete removes key from both tiers (a no-op for absent keys).
 func (s *Store) Delete(key string) {
