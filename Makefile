@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke cluster-smoke clean-store ci
+.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke cluster-smoke session-smoke clean-store ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # identical submissions), and the two-tier result store (concurrent
 # same-key writers/readers, store round-trip, corruption recovery).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/session/ ./internal/store/ ./internal/cluster/
 
 # Fast-path equivalence: cycle skipping, trace replay, and the
 # batch-lockstep engine must change nothing observable (full-result
@@ -84,4 +84,11 @@ smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
-ci: vet test fastpath race bench-smoke smoke cluster-smoke
+# Time-travel debug session smoke test: a scripted ckptdbg session
+# (create -> run -> rewind -> divergence audit -> completion) against a
+# real ckptd, then SIGTERM with a live event stream, which must receive
+# a terminal "closed" event before the clean drain.
+session-smoke:
+	sh scripts/session_smoke.sh
+
+ci: vet test fastpath race bench-smoke smoke cluster-smoke session-smoke

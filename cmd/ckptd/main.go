@@ -57,6 +57,8 @@ func main() {
 	storeBytes := flag.Int64("store-max-bytes", 1<<30, "disk store byte bound (LRU eviction past it)")
 	storeMinCost := flag.Duration("store-min-cost", 2*time.Millisecond, "results computed faster than this skip the disk store")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown before cancelling them")
+	sessionCap := flag.Int("session-cap", 8, "max concurrently open debug sessions; beyond it POST /sessions gets 429")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "evict debug sessions idle longer than this")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
 	jobs := flag.Int("j", 0, "simulation pool width per execution (0 = GOMAXPROCS)")
 	coordMode := flag.Bool("coordinator", false, "run as cluster coordinator: route jobs to registered workers")
@@ -88,6 +90,8 @@ func main() {
 		StoreDir:     *storeDir,
 		StoreBytes:   *storeBytes,
 		StoreMinCost: *storeMinCost,
+		SessionCap:   *sessionCap,
+		SessionTTL:   *sessionTTL,
 	})
 	if err != nil {
 		log.Fatalf("ckptd: %v", err)

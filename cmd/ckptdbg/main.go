@@ -1,0 +1,370 @@
+// Command ckptdbg is an interactive time-travel debugger client for a
+// running ckptd: it drives the daemon's stateful debug sessions
+// (internal/session) from a line-oriented REPL that is equally usable
+// interactively and piped from a script (scripts/session_smoke.sh).
+//
+// Usage:
+//
+//	ckptd &                            # start the daemon
+//	ckptdbg                            # REPL against 127.0.0.1:8909
+//	ckptdbg -addr http://host:9000 -e < script.dbg
+//
+// Commands (one per line; everything answers compact JSON on stdout):
+//
+//	create <workload> [scheme=S c=N mem=M ...]   open a session on a built-in kernel
+//	loadasm <file.s> [scheme=S ...]              open a session on assembly source
+//	sessions                                     list open sessions
+//	attach <id>                                  switch the current session
+//	status                                       full session view
+//	regs                                         register file
+//	step [n]                                     advance up to n cycles (default 1)
+//	run [to_cycle [stride]]                      stream a run (0 = to completion)
+//	runpc <pc> [stride]                          run until fetch sits at pc
+//	ckpts                                        live rewind targets
+//	rewind <seq> [scheme=S ...]                  rewind (spec => new-config rewind)
+//	mem <addr> [words]                           inspect memory longwords
+//	div                                          divergence audit vs the golden trace
+//	close                                        close the current session
+//	help, quit
+//
+// With -e any failed command exits nonzero immediately (script mode);
+// otherwise errors print and the REPL continues.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/session"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8909", "ckptd base URL")
+	failFast := flag.Bool("e", false, "exit nonzero on the first failed command (script mode)")
+	version := buildinfo.Flag()
+	flag.Parse()
+	version()
+
+	d := &debugger{c: client.New(*addr), out: json.NewEncoder(os.Stdout)}
+	interactive := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Fprintf(os.Stderr, "ckptdbg%s> ", d.prompt())
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "quit" || fields[0] == "exit" {
+			break
+		}
+		if err := d.dispatch(fields[0], fields[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptdbg: %s: %v\n", fields[0], err)
+			if *failFast {
+				os.Exit(1)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ckptdbg: stdin: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type debugger struct {
+	c   *client.Client
+	id  string // current session
+	out *json.Encoder
+}
+
+func (d *debugger) prompt() string {
+	if d.id == "" {
+		return ""
+	}
+	return " " + d.id
+}
+
+// need returns the current session id or an instructive error.
+func (d *debugger) need() (string, error) {
+	if d.id == "" {
+		return "", fmt.Errorf("no current session (use create, loadasm, or attach)")
+	}
+	return d.id, nil
+}
+
+func (d *debugger) dispatch(cmd string, args []string) error {
+	ctx := context.Background()
+	switch cmd {
+	case "help":
+		fmt.Println("commands: create loadasm sessions attach status regs step run runpc ckpts rewind mem div close help quit")
+		return nil
+
+	case "create", "loadasm":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: %s <%s> [key=value ...]", cmd, map[string]string{"create": "workload", "loadasm": "file.s"}[cmd])
+		}
+		req := client.SessionCreate{}
+		if cmd == "create" {
+			req.Workload = args[0]
+		} else {
+			src, err := os.ReadFile(args[0])
+			if err != nil {
+				return err
+			}
+			req.Asm = string(src)
+			req.Name = strings.TrimSuffix(args[0], ".s")
+		}
+		spec, err := machineSpec(args[1:])
+		if err != nil {
+			return err
+		}
+		if spec != nil {
+			req.Machine = *spec
+		}
+		v, err := d.c.CreateSession(ctx, req)
+		if err != nil {
+			return err
+		}
+		d.id = v.ID
+		return d.out.Encode(v)
+
+	case "sessions":
+		ss, err := d.c.Sessions(ctx)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(ss)
+
+	case "attach":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: attach <id>")
+		}
+		v, err := d.c.Session(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		d.id = v.ID
+		return d.out.Encode(v)
+
+	case "status":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		v, err := d.c.Session(ctx, id)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(v)
+
+	case "regs":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		v, err := d.c.Session(ctx, id)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(map[string]any{"cycle": v.Cycle, "regs": v.Regs})
+
+	case "step":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		n := 1
+		if len(args) > 0 {
+			if n, err = strconv.Atoi(args[0]); err != nil {
+				return fmt.Errorf("usage: step [n]")
+			}
+		}
+		v, err := d.c.StepSession(ctx, id, n)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(v)
+
+	case "run", "runpc":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		opts := client.RunOpts{}
+		if cmd == "runpc" {
+			if len(args) < 1 {
+				return fmt.Errorf("usage: runpc <pc> [stride]")
+			}
+			pc, err := strconv.Atoi(args[0])
+			if err != nil {
+				return fmt.Errorf("bad pc %q", args[0])
+			}
+			opts.ToPC = &pc
+			args = args[1:]
+		} else if len(args) > 0 {
+			if opts.ToCycle, err = strconv.ParseInt(args[0], 10, 64); err != nil {
+				return fmt.Errorf("bad cycle %q", args[0])
+			}
+			args = args[1:]
+		}
+		if len(args) > 0 {
+			if opts.Stride, err = strconv.ParseInt(args[0], 10, 64); err != nil {
+				return fmt.Errorf("bad stride %q", args[0])
+			}
+		}
+		_, err = d.c.RunSession(ctx, id, opts, func(e session.Event) error {
+			return d.out.Encode(e)
+		})
+		return err
+
+	case "ckpts":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		cks, err := d.c.SessionCheckpoints(ctx, id)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(cks)
+
+	case "rewind":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		if len(args) < 1 {
+			return fmt.Errorf("usage: rewind <seq> [key=value ...]")
+		}
+		seq, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seq %q", args[0])
+		}
+		spec, err := machineSpec(args[1:])
+		if err != nil {
+			return err
+		}
+		info, err := d.c.RewindSession(ctx, id, seq, spec)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(map[string]any{"rewound": info})
+
+	case "mem":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		if len(args) < 1 {
+			return fmt.Errorf("usage: mem <addr> [words]")
+		}
+		addr, err := strconv.ParseUint(args[0], 0, 32)
+		if err != nil {
+			return fmt.Errorf("bad addr %q", args[0])
+		}
+		words := 8
+		if len(args) > 1 {
+			if words, err = strconv.Atoi(args[1]); err != nil {
+				return fmt.Errorf("bad word count %q", args[1])
+			}
+		}
+		mem, err := d.c.SessionMemory(ctx, id, uint32(addr), words)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(mem)
+
+	case "div":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		dv, err := d.c.SessionDivergence(ctx, id)
+		if err != nil {
+			return err
+		}
+		return d.out.Encode(dv)
+
+	case "close":
+		id, err := d.need()
+		if err != nil {
+			return err
+		}
+		if err := d.c.CloseSession(ctx, id); err != nil {
+			return err
+		}
+		fmt.Printf("{\"closed\":%q}\n", id)
+		d.id = ""
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// machineSpec parses key=value machine arguments; nil means "all
+// defaults" (distinguishing a plain rewind from a new-config rewind).
+func machineSpec(args []string) (*service.MachineSpec, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	spec := &service.MachineSpec{}
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad machine argument %q (want key=value)", a)
+		}
+		var err error
+		switch k {
+		case "scheme":
+			spec.Scheme = v
+		case "c":
+			spec.C, err = strconv.Atoi(v)
+		case "ce":
+			spec.CE, err = strconv.Atoi(v)
+		case "cb":
+			spec.CB, err = strconv.Atoi(v)
+		case "dist":
+			spec.Dist, err = strconv.Atoi(v)
+		case "w":
+			spec.W, err = strconv.Atoi(v)
+		case "mem":
+			spec.Mem = v
+		case "buffer_cap":
+			spec.BufferCap, err = strconv.Atoi(v)
+		case "predictor":
+			spec.Predictor = v
+		case "speculate":
+			b, perr := strconv.ParseBool(v)
+			if perr != nil {
+				return nil, fmt.Errorf("bad speculate value %q", v)
+			}
+			spec.Speculate = &b
+		default:
+			return nil, fmt.Errorf("unknown machine key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad value for %s: %v", k, err)
+		}
+	}
+	return spec, nil
+}

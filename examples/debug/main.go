@@ -1,0 +1,145 @@
+// Debug sessions: time-travel debugging over the wire in one file.
+// Boots a ckptd server in-process, opens a stateful debug session on
+// the bubble-sort kernel, and walks the whole loop a debugger would
+// drive: run to a midpoint, list the machine's live checkpoints, rewind
+// to one through the scheme's own repair paths, audit the restored
+// state against the golden reference trace, and re-run to completion —
+// landing on exactly the architectural state a fresh run produces.
+// Everything here works identically against a long-lived daemon via
+// cmd/ckptdbg.
+//
+//	go run ./examples/debug
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/session"
+)
+
+func main() {
+	// A real deployment runs `ckptd`; here the server lives in-process
+	// so the example is self-contained.
+	srv := service.MustNew(service.Config{Workers: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	cl := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// 1. Open a session: the daemon records the program's golden trace
+	// (the rewind oracle) and builds a machine with boundary recording
+	// enabled. The machine spec is the same one sim jobs use.
+	v, err := cl.CreateSession(ctx, client.SessionCreate{
+		Workload: "bubble",
+		Machine:  service.MachineSpec{Scheme: "tight", C: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s: %s on %s, golden trace %d steps\n\n", v.ID, v.Program, v.Scheme, v.TraceSteps)
+
+	// 2. Run to a midpoint, streaming progress events (a debugger UI
+	// would render these live; ckptdbg prints them).
+	fmt.Println("running to cycle 400:")
+	if _, err := cl.RunSession(ctx, v.ID, client.RunOpts{ToCycle: 400, Stride: 128},
+		func(e session.Event) error {
+			fmt.Printf("  [%s] cycle=%-4d retired=%-4d checkpoints=%d\n", e.Type, e.Cycle, e.Retired, e.Ckpts)
+			return nil
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The machine's live checkpoints are the legal time-travel
+	// targets: each backup space the repair scheme currently holds,
+	// joined with the golden boundary it corresponds to.
+	cks, err := cl.SessionCheckpoints(ctx, v.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlive checkpoints:")
+	var target *uint64
+	for _, ck := range cks {
+		kind := ""
+		if ck.IsE {
+			kind += "E"
+		}
+		if ck.IsB {
+			kind += "B"
+		}
+		fmt.Printf("  seq=%-4d pc=%-3d boundary=%-5d kind=%-2s rewindable=%v %s\n",
+			ck.Seq, ck.PC, ck.Steps, kind, ck.Rewindable, ck.Reason)
+		if ck.Rewindable && target == nil {
+			seq := ck.Seq
+			target = &seq
+		}
+	}
+	if target == nil {
+		log.Fatal("no rewindable checkpoint")
+	}
+
+	// 4. Rewind: the state restoration path IS the repair machinery —
+	// the same register recall and memory-system repair an exception
+	// would trigger, aimed at a checkpoint the debugger chose.
+	info, err := cl.RewindSession(ctx, v.ID, *target, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrewound to seq=%d: pc=%d, golden boundary %d (%d instructions retired)\n",
+		info.Seq, info.PC, info.Steps, info.Retired)
+
+	// 5. Audit: after a rewind the machine rests on an architectural
+	// boundary, so every register and mapped memory word can be compared
+	// against the reference interpreter's state at that step.
+	d, err := cl.SessionDivergence(ctx, v.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("divergence audit at boundary %d: diverged=%v mismatches=%d\n", d.Boundary, d.Diverged, len(d.Mismatches))
+
+	// 6. Re-run to completion: the rewound machine re-executes forward
+	// and must finish on the same architectural state as a fresh run —
+	// the correctness anchor internal/session's equivalence tests pin
+	// for every repair scheme.
+	if _, err := cl.RunSession(ctx, v.ID, client.RunOpts{}, nil); err != nil {
+		log.Fatal(err)
+	}
+	end, err := cl.Session(ctx, v.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err = cl.SessionDivergence(ctx, v.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted at cycle %d after %d rewind(s): done=%v diverged=%v\n",
+		end.Cycle, end.Rewinds, end.Done, d.Diverged)
+
+	// 7. Inspect the result where the kernel left it: bubble sorts 16
+	// longwords at 0x1000.
+	words, err := cl.SessionMemory(ctx, v.ID, 0x1000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("sorted array head: ")
+	for _, w := range words {
+		fmt.Printf("%d ", w.Value)
+	}
+	fmt.Println()
+
+	if err := cl.CloseSession(ctx, v.ID); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsession closed, daemon drained")
+}

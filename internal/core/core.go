@@ -370,3 +370,84 @@ func viewsOf(w *window, isE, isB bool) []View {
 	}
 	return out
 }
+
+// RewindTarget describes one live checkpoint that Rewinder.RewindTo can
+// restore: the boundary identification, the resume PC recorded on the
+// checkpoint, and the flags a debugger needs to label it.
+type RewindTarget struct {
+	BornSeq uint64
+	PC      int
+	Except  bool // segment operations have delivered exceptions
+	Pend    bool // owning branch still unverified
+	IsE     bool
+	IsB     bool
+}
+
+// Rewinder is the optional scheme capability behind time-travel debug
+// sessions: restoring the architectural register state of ANY live
+// checkpoint on demand, through the same recall paths the repair
+// algorithms use — not just the oldest (E-repair) or a mispredicted
+// branch's (B-repair).
+//
+// RewindTo's contract with the caller (the machine):
+//
+//   - the pipeline must be quiesced first: no in-flight operations, so
+//     every backup space is complete (no pending cells) and surviving
+//     checkpoints are all on the resolved true path;
+//   - RewindTo recalls the target's backup space into the current
+//     space and empties every register backup stack (newer spaces are
+//     invalidated exactly as a repair would; older spaces lose their
+//     repair capability, which the mandatory Restart rebuilds);
+//   - the caller then squashes/repairs memory to the boundary and
+//     calls Restart(pc, bornSeq+1), re-establishing initial
+//     checkpoint state exactly as after an E-repair exit.
+//
+// ok=false means no live checkpoint carries that BornSeq.
+type Rewinder interface {
+	// RewindTargets appends the live checkpoints, oldest first per
+	// window, to buf and returns it.
+	RewindTargets(buf []RewindTarget) []RewindTarget
+	// RewindTo restores the register file's current space from the live
+	// checkpoint with the given BornSeq and returns its resume PC.
+	RewindTo(bornSeq uint64) (pc int, ok bool)
+}
+
+// appendTargets renders one window's checkpoints as rewind targets.
+func appendTargets(buf []RewindTarget, w *window, isE, isB bool) []RewindTarget {
+	for _, c := range w.cks {
+		buf = append(buf, RewindTarget{
+			BornSeq: c.BornSeq,
+			PC:      c.PC,
+			Except:  c.Except(),
+			Pend:    c.Pend,
+			IsE:     isE,
+			IsB:     isB,
+		})
+	}
+	return buf
+}
+
+// rewindRecall performs the register-space half of a rewind against one
+// window: recall the target's backup into the current space (popping
+// the newer spaces of that stack, as B-repair does via the same
+// RecallAt path).
+func rewindRecall(regs *regfile.File, w *window, bornSeq uint64) (pc int, ok bool) {
+	for i, c := range w.cks {
+		if c.BornSeq == bornSeq {
+			regs.RecallAt(w.stack, w.depthFromNewest(i))
+			return c.PC, true
+		}
+	}
+	return 0, false
+}
+
+// dropAllBackups empties every register backup stack without touching
+// the current space — the rewind epilogue (see Rewinder). Requires a
+// quiesced pipeline, so no dropped cell can be pending.
+func dropAllBackups(regs *regfile.File) {
+	for s := 0; s < regs.Stacks(); s++ {
+		for regs.Depth(s) > 0 {
+			regs.DropOldest(s)
+		}
+	}
+}

@@ -46,6 +46,7 @@ func (m *fakeMem) Store(uint64, uint32, uint32, uint8) (bool, bool, isa.ExcCode)
 	return true, true, isa.ExcCodeNone
 }
 func (m *fakeMem) CheckAccess(uint32, uint32) isa.ExcCode { return isa.ExcCodeNone }
+func (m *fakeMem) Peek(uint32) (uint32, bool)             { return 0, true }
 func (m *fakeMem) Release(b uint64)                       { m.releases = append(m.releases, b) }
 func (m *fakeMem) Repair(b uint64)                        { m.repairs = append(m.repairs, b) }
 func (m *fakeMem) Finish()                                {}

@@ -363,3 +363,22 @@ func (s *SchemeDirect) Drain() (bool, error) {
 func (s *SchemeDirect) Views() [][]View {
 	return [][]View{viewsOf(&s.ewin, true, false), viewsOf(&s.bwin, false, true)}
 }
+
+// RewindTargets implements Rewinder.
+func (s *SchemeDirect) RewindTargets(buf []RewindTarget) []RewindTarget {
+	buf = appendTargets(buf, &s.ewin, true, false)
+	return appendTargets(buf, &s.bwin, false, true)
+}
+
+// RewindTo implements Rewinder: the target may live in either window.
+func (s *SchemeDirect) RewindTo(bornSeq uint64) (int, bool) {
+	pc, ok := rewindRecall(s.regs, &s.ewin, bornSeq)
+	if !ok {
+		pc, ok = rewindRecall(s.regs, &s.bwin, bornSeq)
+	}
+	if !ok {
+		return 0, false
+	}
+	dropAllBackups(s.regs)
+	return pc, true
+}

@@ -312,3 +312,22 @@ func (s *SchemeLoose) Drain() (bool, error) {
 func (s *SchemeLoose) Views() [][]View {
 	return [][]View{viewsOf(&s.ewin, true, false), viewsOf(&s.bwin, false, true)}
 }
+
+// RewindTargets implements Rewinder.
+func (s *SchemeLoose) RewindTargets(buf []RewindTarget) []RewindTarget {
+	buf = appendTargets(buf, &s.ewin, true, false)
+	return appendTargets(buf, &s.bwin, false, true)
+}
+
+// RewindTo implements Rewinder: the target may live in either window.
+func (s *SchemeLoose) RewindTo(bornSeq uint64) (int, bool) {
+	pc, ok := rewindRecall(s.regs, &s.ewin, bornSeq)
+	if !ok {
+		pc, ok = rewindRecall(s.regs, &s.bwin, bornSeq)
+	}
+	if !ok {
+		return 0, false
+	}
+	dropAllBackups(s.regs)
+	return pc, true
+}

@@ -246,3 +246,18 @@ func (s *SchemeB) Drain() (bool, error) {
 
 // Views implements Inspectable.
 func (s *SchemeB) Views() [][]View { return [][]View{viewsOf(&s.win, false, true)} }
+
+// RewindTargets implements Rewinder.
+func (s *SchemeB) RewindTargets(buf []RewindTarget) []RewindTarget {
+	return appendTargets(buf, &s.win, false, true)
+}
+
+// RewindTo implements Rewinder.
+func (s *SchemeB) RewindTo(bornSeq uint64) (int, bool) {
+	pc, ok := rewindRecall(s.regs, &s.win, bornSeq)
+	if !ok {
+		return 0, false
+	}
+	dropAllBackups(s.regs)
+	return pc, true
+}

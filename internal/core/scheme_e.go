@@ -230,3 +230,18 @@ func (s *SchemeE) Drain() (bool, error) {
 
 // Views implements Inspectable.
 func (s *SchemeE) Views() [][]View { return [][]View{viewsOf(&s.win, true, false)} }
+
+// RewindTargets implements Rewinder.
+func (s *SchemeE) RewindTargets(buf []RewindTarget) []RewindTarget {
+	return appendTargets(buf, &s.win, true, false)
+}
+
+// RewindTo implements Rewinder.
+func (s *SchemeE) RewindTo(bornSeq uint64) (int, bool) {
+	pc, ok := rewindRecall(s.regs, &s.win, bornSeq)
+	if !ok {
+		return 0, false
+	}
+	dropAllBackups(s.regs)
+	return pc, true
+}

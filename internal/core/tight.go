@@ -248,3 +248,18 @@ func (s *SchemeTight) Drain() (bool, error) {
 
 // Views implements Inspectable.
 func (s *SchemeTight) Views() [][]View { return [][]View{viewsOf(&s.win, true, true)} }
+
+// RewindTargets implements Rewinder.
+func (s *SchemeTight) RewindTargets(buf []RewindTarget) []RewindTarget {
+	return appendTargets(buf, &s.win, true, true)
+}
+
+// RewindTo implements Rewinder.
+func (s *SchemeTight) RewindTo(bornSeq uint64) (int, bool) {
+	pc, ok := rewindRecall(s.regs, &s.win, bornSeq)
+	if !ok {
+		return 0, false
+	}
+	dropAllBackups(s.regs)
+	return pc, true
+}

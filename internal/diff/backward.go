@@ -98,6 +98,26 @@ func (b *Backward) CheckAccess(addr, size uint32) isa.ExcCode {
 	return b.cache.CheckAccess(addr, size)
 }
 
+// Peek implements MemSystem: the cache holds the current logical space,
+// so a cached line wins and backing memory answers the rest.
+func (b *Backward) Peek(addr uint32) (uint32, bool) {
+	return peekCache(b.cache, addr)
+}
+
+// peekCache reads one longword through a cache without side effects:
+// the cached copy if the line is present, else the backing memory.
+func peekCache(c *cache.Cache, addr uint32) (uint32, bool) {
+	base := addr &^ 3
+	if v, present := c.PeekLongword(base); present {
+		return v, true
+	}
+	v, exc := c.Backing().Read32(base)
+	if exc != isa.ExcCodeNone {
+		return 0, false
+	}
+	return v, true
+}
+
 // Store implements MemSystem: the write is performed on the cache and
 // the overwritten longword (with the purged dirty bit, for Algorithm
 // 3(b)) is pushed onto the difference.

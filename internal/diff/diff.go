@@ -60,6 +60,12 @@ type MemSystem interface {
 	// entries, flushes the cache) so the backing memory holds the final
 	// architectural image.
 	Finish()
+	// Peek returns the aligned longword containing addr as the current
+	// logical space observes it, without perturbing cache state or
+	// counters (no fills, no LRU movement, no stats). ok=false means the
+	// address is unmapped. Debug inspection (the session subsystem) and
+	// state-equivalence tests read through it.
+	Peek(addr uint32) (v uint32, ok bool)
 	// Stats returns buffer event counters.
 	Stats() Stats
 	// UndoneCounter returns a pointer to the Stats().Undone counter.

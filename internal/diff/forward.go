@@ -79,6 +79,23 @@ func (f *Forward) CheckAccess(addr, size uint32) isa.ExcCode {
 	return f.cache.CheckAccess(addr, size)
 }
 
+// Peek implements MemSystem: like Load, buffered stores overlay the
+// cached (or backing) longword in buffer order, but nothing is
+// perturbed — no fills, no counters.
+func (f *Forward) Peek(addr uint32) (uint32, bool) {
+	base := addr &^ 3
+	v, ok := peekCache(f.cache, base)
+	if !ok {
+		return 0, false
+	}
+	for _, e := range f.entries {
+		if e.Addr == base {
+			v = overlay(v, e.Data, e.Mask)
+		}
+	}
+	return v, true
+}
+
 // Store implements MemSystem: buffer the write. Stores whose checkpoint
 // already verified (possible because verification and execution are
 // asynchronous) apply immediately.
@@ -197,6 +214,11 @@ func (p *Plain) Store(_ uint64, addr uint32, data uint32, mask uint8) (bool, boo
 // CheckAccess implements MemSystem.
 func (p *Plain) CheckAccess(addr, size uint32) isa.ExcCode {
 	return p.cache.CheckAccess(addr, size)
+}
+
+// Peek implements MemSystem.
+func (p *Plain) Peek(addr uint32) (uint32, bool) {
+	return peekCache(p.cache, addr)
 }
 
 // Release implements MemSystem (no-op).

@@ -149,6 +149,12 @@ type Config struct {
 	// and results are identical either way; the knob exists for
 	// debugging and for the equivalence tests that prove that claim.
 	DisableCycleSkip bool
+	// Rewindable records golden boundary coordinates for every true-path
+	// issue so Rewind can restore any live checkpoint's architectural
+	// state on demand (the time-travel debug surface, rewind.go). Off by
+	// default: recording costs one small append per true-path
+	// instruction and the records are useless outside debug sessions.
+	Rewindable bool
 }
 
 // Result is the outcome of a machine run.
@@ -296,6 +302,12 @@ type Machine struct {
 	// Result; Reset must then build fresh backing memory instead of
 	// recycling pages the caller may still read.
 	memOut bool
+
+	// recs are the golden boundary records behind Rewind (rewind.go),
+	// ascending by seq; suppressIssue gates the issue stage off while
+	// quiesce drains the pipeline.
+	recs          []rewindRec
+	suppressIssue bool
 }
 
 // normalize validates p and cfg and applies the configuration defaults
@@ -386,6 +398,10 @@ func New(p *prog.Program, cfg Config) (*Machine, error) {
 	m.fetchPC = p.Entry
 	m.nextSeq = 1
 
+	if cfg.Rewindable {
+		// The entry boundary: seq 0 is the initial checkpoint's BornSeq.
+		m.recs = append(m.recs, rewindRec{})
+	}
 	m.scheme.Attach(m.regs, m.memsys, m)
 	m.scheme.Restart(m.fetchPC, m.nextSeq)
 	m.lastProgress = 0
@@ -417,25 +433,7 @@ func (m *Machine) Reset(p *prog.Program, cfg Config) error {
 	if err := m.dcache.Reset(cfg.Cache, m.backing); err != nil {
 		return err
 	}
-	switch cfg.MemSystem {
-	case MemBackward3a, MemBackward3b:
-		algo := diff.Simple
-		if cfg.MemSystem == MemBackward3b {
-			algo = diff.Sophisticated
-		}
-		if b, ok := m.memsys.(*diff.Backward); ok {
-			b.Reset(m.dcache, algo, cfg.BufferCap)
-		} else {
-			m.memsys = diff.NewBackward(m.dcache, algo, cfg.BufferCap)
-		}
-	case MemForward:
-		if f, ok := m.memsys.(*diff.Forward); ok {
-			f.Reset(m.dcache, cfg.BufferCap)
-		} else {
-			m.memsys = diff.NewForward(m.dcache, cfg.BufferCap)
-		}
-	}
-	m.undone = m.memsys.UndoneCounter()
+	m.resetMemsys(cfg)
 	caps := m.scheme.RegStackCaps()
 	m.regs.Reset(caps...)
 	if cap(m.depthBuf) >= len(caps) {
@@ -486,11 +484,42 @@ func (m *Machine) Reset(p *prog.Program, cfg Config) error {
 	m.fatal = nil
 	m.st = stats.Run{}
 	m.preciseTraceC = 0
+	m.recs = m.recs[:0]
+	m.suppressIssue = false
+	if cfg.Rewindable {
+		m.recs = append(m.recs, rewindRec{})
+	}
 
 	m.scheme.Attach(m.regs, m.memsys, m)
 	m.scheme.Restart(m.fetchPC, m.nextSeq)
 	m.lastProgress = 0
 	return nil
+}
+
+// resetMemsys rebuilds the difference-buffer memory system over the
+// (already reset) cache, reusing the existing buffer arena when the
+// kind matches.
+func (m *Machine) resetMemsys(cfg Config) {
+	switch cfg.MemSystem {
+	case MemBackward3a, MemBackward3b:
+		algo := diff.Simple
+		if cfg.MemSystem == MemBackward3b {
+			algo = diff.Sophisticated
+		}
+		if b, ok := m.memsys.(*diff.Backward); ok {
+			b.Reset(m.dcache, algo, cfg.BufferCap)
+		} else {
+			m.memsys = diff.NewBackward(m.dcache, algo, cfg.BufferCap)
+		}
+	case MemForward:
+		if f, ok := m.memsys.(*diff.Forward); ok {
+			f.Reset(m.dcache, cfg.BufferCap)
+		} else {
+			m.memsys = diff.NewForward(m.dcache, cfg.BufferCap)
+		}
+	}
+	m.undone = m.memsys.UndoneCounter()
+	m.lastUndone = 0
 }
 
 // resetPool reuses a functional-unit pool when the unit count matches,
@@ -581,7 +610,7 @@ func (m *Machine) step() {
 	m.execute()
 	if m.mode == modePrecise {
 		m.issuePrecise()
-	} else {
+	} else if !m.suppressIssue {
 		m.issue()
 	}
 	if m.mode == modeNormal && m.fatal == nil && !m.done {
@@ -724,6 +753,12 @@ func (m *Machine) SquashAfter(seq uint64) []core.OpInfo {
 	}
 	m.st.WrongPath += int64(len(squashed))
 	m.nextSeq = seq + 1
+	// Boundary records above seq stay valid: wrong-path operations are
+	// never recorded, so everything above seq in recs maps true-path
+	// boundaries — and an E-repair re-executes exactly that path with
+	// the same sequence numbering. A B-repair redirect resumes the true
+	// path at seq+1, whose records were never created (issue was
+	// unaligned), so re-recording keeps recs sorted.
 	return infos
 }
 
@@ -894,7 +929,18 @@ func (m *Machine) deliverPrecise(op *ooo.Op) {
 	m.st.PreciseInsts++
 	m.preciseTraceC++
 	m.memsys.Release(op.Seq + 1)
-	m.stepShadowPrecise(op)
+	advanced := m.stepShadowPrecise(op)
+	// In precise mode exceptions are handled architecturally right here,
+	// so even an excepting completion is a valid golden boundary — but
+	// only when the shadow advanced in lockstep (during re-execution of
+	// instructions the shadow already consumed it stays put, and those
+	// boundaries were already recorded at their original issue), and not
+	// when a vector instruction faulted past its first micro-op: the
+	// earlier elements' register writes are machine state the golden
+	// boundary lacks.
+	if advanced && m.cfg.Rewindable && (op.Exc == isa.ExcCodeNone || op.Elem == 0) {
+		m.recordBoundary(op.Seq)
+	}
 
 	if op.Exc != isa.ExcCodeNone {
 		// An excepting micro-op abandons the rest of its instruction;
@@ -957,20 +1003,22 @@ func (m *Machine) deliverPrecise(op *ooo.Op) {
 //     only when the shadow has NOT yet logged this occurrence — its
 //     step observes and handles the same exception, keeping the logs
 //     level again.
-func (m *Machine) stepShadowPrecise(op *ooo.Op) {
+func (m *Machine) stepShadowPrecise(op *ooo.Op) (advanced bool) {
 	if m.shadow.Halted() || m.shadow.PC() != op.PC {
-		return
+		return false
 	}
 	// Multi-operation instructions advance the shadow once, at their
 	// final micro-op (the shadow consumes the whole instruction in one
 	// step) — or at an excepting micro-op, where the shadow observes
 	// and handles the same exception.
 	if op.Exc == isa.ExcCodeNone && !op.LastElem() {
-		return
+		return false
 	}
 	if m.shadow.ExcCount() == len(m.excLog) {
 		m.shadow.Step()
+		return true
 	}
+	return false
 }
 
 // exitPrecise resumes full-speed checkpointed execution.
@@ -1243,6 +1291,16 @@ func (m *Machine) issueOne(in isa.Inst) {
 		case r.Branch:
 			hint = bpred.OracleHint{Known: true, Taken: r.Taken}
 		}
+		// The shadow state after the step IS the golden architectural
+		// state at this op's right boundary. That holds for excepting
+		// attempts too: the shadow's step observed AND handled the
+		// exception, which is exactly the state the machine converges
+		// to once its own repair delivers this op precisely — so the
+		// checkpoint the post-repair restart establishes at this seq
+		// finds its record here.
+		if m.cfg.Rewindable {
+			m.recordBoundary(seq)
+		}
 	} else if m.aligned && !m.shadow.Halted() {
 		// Defensive: alignment invariant broken; drop alignment rather
 		// than corrupt oracle hints.
@@ -1343,6 +1401,12 @@ func (m *Machine) issueVectorElem(in isa.Inst, elem isa.Inst) {
 	last := m.crack.pos == len(m.crack.elems)-1
 	if last {
 		nextPC = pc + 1
+		// The instruction boundary lies after the final micro-op; the
+		// shadow consumed the whole instruction at element 0, and
+		// m.aligned still true means that step did not except.
+		if m.cfg.Rewindable && m.crack.onTrue && m.aligned {
+			m.recordBoundary(seq)
+		}
 	}
 	m.scheme.OnIssue(core.OpInfo{Seq: seq, PC: pc, IsStore: elem.IsMemWrite()}, nextPC)
 	m.st.Issued++

@@ -1,0 +1,463 @@
+// Time-travel rewind: restoring the architectural state of any live
+// checkpoint on demand, through the same E/B repair paths the schemes
+// use for exceptions and branch misses.
+//
+// The repair machinery already knows how to reconstruct the logical
+// space of every active checkpoint — that is the paper's whole point.
+// Rewind generalises the two hardwired triggers (exception at the
+// oldest checkpoint, branch miss at a pending checkpoint) into a
+// debugger verb: pick ANY live checkpoint, recall its register backup
+// space (regfile.RecallAt — the B-repair path), repair memory to its
+// boundary (diff.MemSystem.Repair — both repair paths), and restart
+// issue from its resume PC exactly as the post-repair check action
+// does. The machine can then re-run forward, deterministically
+// reproducing the architectural path.
+//
+// The one extra ingredient is knowing WHERE each checkpoint lies on the
+// golden instruction stream, so the resumed machine's shadow oracle can
+// be repositioned and the restored state can be audited against the
+// reference. Config.Rewindable turns on boundary recording: every
+// true-path issue whose shadow step did not except appends a rewindRec
+// mapping the op's sequence number (the BornSeq a checkpoint at its
+// right boundary would carry) to the oracle's step/retire/exception
+// coordinates. Checkpoints without a record — wrong-path ones, ones at
+// a mid-vector forced boundary, ones born while alignment was lost —
+// are simply reported as not rewindable.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+	"repro/internal/sem"
+)
+
+// Rewind error sentinels, matchable with errors.Is.
+var (
+	// ErrNotRewindable: the requested boundary exists but cannot be
+	// restored (no golden record, demand-paging crossed, scheme lacks
+	// the capability). Permanent for that boundary.
+	ErrNotRewindable = errors.New("not rewindable")
+	// ErrRewindBusy: the pipeline cannot quiesce right now (an E-repair
+	// is re-executing precisely, or a store is stalled on a full
+	// difference buffer). Transient — step the machine and retry.
+	ErrRewindBusy = errors.New("rewind busy")
+)
+
+// rewindRec maps one true-path issue boundary to golden-trace
+// coordinates: after the op with this seq executed, the architectural
+// state is the reference model's state after `steps` attempts.
+type rewindRec struct {
+	seq     uint64
+	steps   int
+	retired int
+	excs    int
+}
+
+// RewindInfo describes one rewind target (or the machine's current
+// golden boundary): the checkpoint identification, golden coordinates,
+// and whether Rewind can restore it.
+type RewindInfo struct {
+	Seq     uint64 `json:"seq"`     // checkpoint BornSeq
+	PC      int    `json:"pc"`      // resume PC
+	Steps   int    `json:"steps"`   // golden boundary index (refsim.Replay.StateAt), -1 if unrecorded
+	Retired int    `json:"retired"` // architecturally retired instructions at the boundary
+	Excs    int    `json:"excs"`    // architectural exceptions handled at the boundary
+	IsE     bool   `json:"is_e"`    // serves E-repair
+	IsB     bool   `json:"is_b"`    // serves B-repair
+	Except  bool   `json:"except"`  // segment has delivered exceptions
+	Pend    bool   `json:"pend"`    // owning branch still unverified
+	// Rewindable reports whether Rewind(Seq) can restore this boundary;
+	// Reason says why not when false.
+	Rewindable bool   `json:"rewindable"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// recordBoundary appends a golden boundary record for the op with the
+// given seq, reading the coordinates off the just-stepped shadow.
+func (m *Machine) recordBoundary(seq uint64) {
+	m.recs = append(m.recs, rewindRec{
+		seq:     seq,
+		steps:   m.shadow.Steps(),
+		retired: m.shadow.Retired(),
+		excs:    m.shadow.ExcCount(),
+	})
+	// Periodically drop records older than every live checkpoint — they
+	// can never be rewind targets again, and a long run would otherwise
+	// accumulate one record per retired instruction.
+	if len(m.recs)&0xfff == 0 {
+		m.pruneDeadRecs()
+	}
+}
+
+// pruneRecsAbove drops records newer than the squash boundary; their
+// seqs are about to be reissued (possibly down a different path).
+func (m *Machine) pruneRecsAbove(seq uint64) {
+	if len(m.recs) == 0 {
+		return
+	}
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].seq > seq })
+	m.recs = m.recs[:i]
+}
+
+// pruneDeadRecs drops records older than the oldest live checkpoint.
+func (m *Machine) pruneDeadRecs() {
+	rw, ok := m.scheme.(core.Rewinder)
+	if !ok {
+		return
+	}
+	targets := rw.RewindTargets(nil)
+	if len(targets) == 0 {
+		return
+	}
+	floor := targets[0].BornSeq
+	for _, t := range targets[1:] {
+		if t.BornSeq < floor {
+			floor = t.BornSeq
+		}
+	}
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].seq >= floor })
+	if i > 0 {
+		m.recs = append(m.recs[:0], m.recs[i:]...)
+	}
+}
+
+// findRec looks up the golden record for a boundary seq. Records stay
+// sorted by seq: appends are monotonic and squashes truncate the tail.
+func (m *Machine) findRec(seq uint64) (rewindRec, bool) {
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].seq >= seq })
+	if i < len(m.recs) && m.recs[i].seq == seq {
+		return m.recs[i], true
+	}
+	return rewindRec{}, false
+}
+
+// blockReason explains why a recorded boundary cannot be restored, or
+// returns "" if it can. The only permanent blocker for a recorded
+// boundary is a demand-paged mapping performed since it: pages mapped
+// into backing memory by a resume-kind exception handler cannot be
+// unmapped, so the pre-fault address space cannot be reconstructed.
+func (m *Machine) blockReason(rec rewindRec) string {
+	if rec.excs <= len(m.excLog) {
+		for _, e := range m.excLog[rec.excs:] {
+			if sem.HandlerAction(e.Code) == sem.ActResume {
+				return fmt.Sprintf("page mapped by a demand-paging exception (pc=%d) since this boundary cannot be unmapped", e.PC)
+			}
+		}
+	}
+	return ""
+}
+
+// RewindTargets lists the machine's live checkpoints as rewind targets,
+// joined with their golden boundary records. Purely informational — the
+// pipeline is not quiesced, so targets may still be pending branch
+// verification (they resolve before an actual Rewind restores state).
+func (m *Machine) RewindTargets() []RewindInfo {
+	rw, ok := m.scheme.(core.Rewinder)
+	if !ok {
+		return nil
+	}
+	ts := rw.RewindTargets(nil)
+	out := make([]RewindInfo, 0, len(ts))
+	for _, t := range ts {
+		// The direct/loose schemes can hold an E and a B checkpoint at
+		// the same boundary; merge them into one target.
+		merged := false
+		for i := range out {
+			if out[i].Seq == t.BornSeq {
+				out[i].IsE = out[i].IsE || t.IsE
+				out[i].IsB = out[i].IsB || t.IsB
+				out[i].Except = out[i].Except || t.Except
+				out[i].Pend = out[i].Pend || t.Pend
+				merged = true
+				break
+			}
+		}
+		if merged {
+			continue
+		}
+		info := RewindInfo{
+			Seq: t.BornSeq, PC: t.PC, Steps: -1,
+			IsE: t.IsE, IsB: t.IsB, Except: t.Except, Pend: t.Pend,
+		}
+		switch rec, ok := m.findRec(t.BornSeq); {
+		case !m.cfg.Rewindable:
+			info.Reason = "machine not configured with Rewindable"
+		case !ok:
+			info.Reason = "no golden boundary recorded (wrong-path or mid-instruction checkpoint)"
+		default:
+			info.Steps, info.Retired, info.Excs = rec.steps, rec.retired, rec.excs
+			if r := m.blockReason(rec); r != "" {
+				info.Reason = r
+			} else {
+				info.Rewindable = true
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// GoldenBoundary returns the golden-trace coordinates of the machine's
+// current architectural boundary. Valid only when the pipeline is empty
+// and the machine is in normal mode (or finished): then every issued op
+// has delivered, all repairs have settled, and the architectural state
+// equals the reference state after Steps attempts — the property the
+// debug session's divergence check builds on.
+func (m *Machine) GoldenBoundary() (RewindInfo, bool) {
+	if m.mode != modeNormal || m.window.Len() != 0 || m.fatal != nil {
+		return RewindInfo{}, false
+	}
+	rec, ok := m.findRec(m.nextSeq - 1)
+	if !ok {
+		return RewindInfo{}, false
+	}
+	return RewindInfo{
+		Seq: rec.seq, PC: m.fetchPC,
+		Steps: rec.steps, Retired: rec.retired, Excs: rec.excs,
+		Rewindable: m.blockReason(rec) == "",
+	}, true
+}
+
+// quiesce drains the pipeline with the issue stage suppressed: every
+// in-flight operation delivers, every branch resolves (performing its
+// B-repair if mispredicted), and surviving checkpoints end up complete
+// and on the resolved true path — the precondition of core.Rewinder.
+//
+// Quiesce can fail transiently: an exception may fire an E-repair into
+// single-step mode, or a store may be permanently stalled on a full
+// difference buffer (its checkpoint cannot retire with issue stopped).
+// Both return ErrRewindBusy; the caller steps the machine forward and
+// retries. A fatal machine error surfaces as itself.
+func (m *Machine) quiesce() error {
+	for m.window.Len() > 0 {
+		if m.fatal != nil {
+			return m.fatal
+		}
+		if m.mode == modePrecise {
+			return fmt.Errorf("machine: %w: E-repair re-executing precisely; step and retry", ErrRewindBusy)
+		}
+		if m.cycle-m.lastProgress > stuckThreshold+16 {
+			// Only a store stalled on a difference buffer full of live
+			// entries can wedge a delivery-only pipeline; bail before
+			// the watchdog poisons the machine with a fatal error.
+			return fmt.Errorf("machine: %w: pipeline stalled while draining (difference buffer full)", ErrRewindBusy)
+		}
+		m.suppressIssue = true
+		ok := m.Step()
+		m.suppressIssue = false
+		if !ok {
+			break
+		}
+	}
+	if m.fatal != nil {
+		return m.fatal
+	}
+	if m.mode == modePrecise {
+		return fmt.Errorf("machine: %w: E-repair re-executing precisely; step and retry", ErrRewindBusy)
+	}
+	return nil
+}
+
+// freshOracleAt builds a new reference oracle positioned after `steps`
+// architectural attempts: a trace replay cursor walk when the machine
+// runs against a recorded trace, otherwise a re-interpreted shadow.
+func (m *Machine) freshOracleAt(steps int) (refsim.Oracle, error) {
+	var o refsim.Oracle
+	if m.cfg.RefTrace != nil {
+		o = m.cfg.RefTrace.Replay()
+	} else {
+		o = refsim.NewShadow(m.prog)
+	}
+	for i := 0; i < steps; i++ {
+		if o.Halted() {
+			return nil, fmt.Errorf("machine: internal: oracle halted after %d of %d steps", i, steps)
+		}
+		o.Step()
+	}
+	return o, nil
+}
+
+// Rewind restores the architectural state of the live checkpoint with
+// BornSeq seq and restarts speculative execution from its boundary. On
+// success the machine's registers, memory, exception log, and oracle
+// all sit exactly at the recorded golden boundary, and running forward
+// retraces the architectural path deterministically (cycle counts and
+// cache/predictor stats may differ from a cold run — warm structures —
+// but architectural state per boundary is identical).
+//
+// The restore path is the repair machinery itself: quiesce, recall the
+// target's register backup space (core.Rewinder → regfile.RecallAt),
+// repair memory to the boundary (diff.MemSystem.Repair), redirect
+// fetch, and re-run the scheme's initial check action. The cycle cost
+// of the memory repair is charged exactly like a real repair's
+// shift-register work.
+//
+// Errors: ErrRewindBusy is transient (step and retry); ErrNotRewindable
+// is permanent for this boundary; anything else is fatal.
+func (m *Machine) Rewind(seq uint64) (*RewindInfo, error) {
+	if !m.cfg.Rewindable {
+		return nil, fmt.Errorf("machine: %w: Config.Rewindable is off", ErrNotRewindable)
+	}
+	rw, ok := m.scheme.(core.Rewinder)
+	if !ok {
+		return nil, fmt.Errorf("machine: %w: scheme %s has no rewind capability", ErrNotRewindable, m.scheme.Name())
+	}
+	if m.fatal != nil {
+		return nil, fmt.Errorf("machine: cannot rewind a failed run: %w", m.fatal)
+	}
+	if m.memOut {
+		return nil, fmt.Errorf("machine: %w: Finish already drained the speculative state", ErrNotRewindable)
+	}
+	if _, ok := m.findRec(seq); !ok {
+		return nil, fmt.Errorf("machine: %w: no golden boundary recorded for seq %d", ErrNotRewindable, seq)
+	}
+
+	if err := m.quiesce(); err != nil {
+		return nil, err
+	}
+
+	// Re-resolve both the record and the target: a B-repair during the
+	// quiesce may have squashed the boundary (pruning its record), and
+	// checkpoint retirement is impossible (no pushes with issue off) but
+	// repairs do pop.
+	rec, ok := m.findRec(seq)
+	if !ok {
+		return nil, fmt.Errorf("machine: %w: boundary seq %d was squashed by a repair while draining", ErrNotRewindable, seq)
+	}
+	var target core.RewindTarget
+	found := false
+	for _, t := range rw.RewindTargets(nil) {
+		if t.BornSeq == seq {
+			target, found = t, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("machine: %w: checkpoint %d is no longer live", ErrNotRewindable, seq)
+	}
+	if target.Pend {
+		return nil, fmt.Errorf("machine: internal: checkpoint %d still pending after quiesce", seq)
+	}
+	if r := m.blockReason(rec); r != "" {
+		return nil, fmt.Errorf("machine: %w: %s", ErrNotRewindable, r)
+	}
+
+	// Build and verify the repositioned oracle BEFORE mutating anything:
+	// a mismatch between the checkpoint's resume PC and the golden PC
+	// would mean corrupted state, and must not destroy the machine.
+	oracle, err := m.freshOracleAt(rec.steps)
+	if err != nil {
+		return nil, err
+	}
+	if oracle.Halted() || oracle.PC() != target.PC {
+		return nil, fmt.Errorf("machine: internal: checkpoint %d resume pc=%d but golden boundary %d has pc=%d",
+			seq, target.PC, rec.steps, oracle.PC())
+	}
+
+	// Point of no return. The pipeline is empty, so there is nothing to
+	// squash; the sequence counter rewinds to the boundary exactly as
+	// SquashAfter would set it.
+	m.trace("rewind to seq=%d pc=%d (golden step %d, retired %d)", seq, target.PC, rec.steps, rec.retired)
+	m.nextSeq = seq + 1
+	pc, ok := rw.RewindTo(seq)
+	if !ok || pc != target.PC {
+		panic(fmt.Sprintf("machine: scheme lost checkpoint %d between listing and recall", seq))
+	}
+	m.memsys.Repair(seq + 1)
+	m.chargeRepairWork()
+	m.RedirectFetch(pc)
+	m.scheme.Restart(pc, m.nextSeq)
+	m.shadow = oracle
+	m.aligned = true
+	m.excLog = m.excLog[:rec.excs]
+	m.done = false
+	m.lastProgress = m.cycle
+	m.pruneRecsAbove(seq)
+
+	info := RewindInfo{
+		Seq: seq, PC: pc, Steps: rec.steps, Retired: rec.retired, Excs: rec.excs,
+		IsE: target.IsE, IsB: target.IsB, Rewindable: true,
+	}
+	return &info, nil
+}
+
+// NewAt builds a machine whose run begins at golden boundary `boundary`
+// of cfg.RefTrace instead of the program entry: backing memory and
+// registers are seeded from the reference state, the shadow oracle is
+// positioned mid-trace, and the exception log carries the golden
+// prefix. This is the debug session's config-change rewind — "what
+// would this region have done under a deeper window?" — where the
+// restored state must cross a configuration change and therefore cannot
+// be recalled in place.
+func NewAt(p *prog.Program, cfg Config, boundary int) (*Machine, error) {
+	if cfg.RefTrace == nil {
+		return nil, errors.New("machine: NewAt requires Config.RefTrace")
+	}
+	if boundary < 0 || boundary > cfg.RefTrace.Steps() {
+		return nil, fmt.Errorf("machine: NewAt boundary %d out of range [0,%d]", boundary, cfg.RefTrace.Steps())
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if boundary == 0 {
+		return m, nil
+	}
+	pos := cfg.RefTrace.Replay()
+	st := pos.StateAt(boundary)
+	for i := 0; i < boundary; i++ {
+		pos.Step()
+	}
+	if pos.Halted() {
+		return nil, fmt.Errorf("machine: NewAt boundary %d is at the architectural halt", boundary)
+	}
+
+	m.backing = st.Mem // deep copy owned by the machine
+	if err := m.dcache.Reset(m.cfg.Cache, m.backing); err != nil {
+		return nil, err
+	}
+	m.resetMemsys(m.cfg)
+	m.regs.SeedCurrent(st.Regs)
+	m.shadow = pos
+	m.aligned = true
+	m.fetchPC = pos.PC()
+	m.nextSeq = 1
+	m.excLog = append(m.excLog[:0], cfg.RefTrace.Exceptions()[:pos.ExcCount()]...)
+	m.recs = m.recs[:0]
+	if m.cfg.Rewindable {
+		m.recs = append(m.recs, rewindRec{seq: 0, steps: boundary, retired: pos.Retired(), excs: pos.ExcCount()})
+	}
+	// Re-run the initial check action at the new boundary; the pushed
+	// backup space captures the seeded registers.
+	m.scheme.Restart(m.fetchPC, m.nextSeq)
+	return m, nil
+}
+
+// --- debug inspection accessors (the session subsystem's read surface) ---
+
+// FetchPC returns the next instruction index the issue stage will fetch.
+func (m *Machine) FetchPC() int { return m.fetchPC }
+
+// RegsSnapshot returns the current-space register values.
+func (m *Machine) RegsSnapshot() [isa.NumRegs]uint32 { return m.regs.Snapshot() }
+
+// PeekMem reads the aligned longword containing addr as the current
+// logical space observes it, without perturbing cache or difference
+// state. ok=false means unmapped.
+func (m *Machine) PeekMem(addr uint32) (uint32, bool) { return m.memsys.Peek(addr) }
+
+// Exceptions returns the architectural exception log so far. Read-only;
+// rewinds truncate it.
+func (m *Machine) Exceptions() []isa.Exception { return m.excLog }
+
+// Fatal returns the fatal error that stopped the run, if any.
+func (m *Machine) Fatal() error { return m.fatal }
+
+// Program returns the program this machine is bound to.
+func (m *Machine) Program() *prog.Program { return m.prog }

@@ -1,0 +1,490 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+// rewindableSchemes builds the rewind test matrix: every scheme family
+// (pure E, pure B, and the three combined mechanisms), each paired with
+// the speculation setting it is correct under.
+func rewindableSchemes() []struct {
+	name string
+	mk   func() core.Scheme
+	spec bool
+} {
+	return []struct {
+		name string
+		mk   func() core.Scheme
+		spec bool
+	}{
+		{"e4", func() core.Scheme { return core.NewSchemeE(4, 8, 0) }, false},
+		{"b4", func() core.Scheme { return core.NewSchemeB(4) }, true},
+		{"tight4", func() core.Scheme { return core.NewSchemeTight(4, 0) }, true},
+		{"direct", func() core.Scheme { return core.NewSchemeDirect(2, 4, 12, 0) }, true},
+		{"loose", func() core.Scheme { return core.NewSchemeLoose(2, 4, 12) }, true},
+	}
+}
+
+// rewindMidRun steps the machine to roughly midCycle, then keeps
+// stepping until a Rewind of some live recorded boundary succeeds.
+// Transient failures (busy pipeline, target squashed while draining)
+// are expected and retried on later cycles.
+func rewindMidRun(t *testing.T, m *Machine, midCycle int64) *RewindInfo {
+	t.Helper()
+	for m.Cycle() < midCycle && m.Step() {
+	}
+	for {
+		for _, tgt := range m.RewindTargets() {
+			if !tgt.Rewindable {
+				continue
+			}
+			info, err := m.Rewind(tgt.Seq)
+			if err == nil {
+				return info
+			}
+			if errors.Is(err, ErrRewindBusy) || errors.Is(err, ErrNotRewindable) {
+				continue
+			}
+			t.Fatalf("rewind seq %d: %v", tgt.Seq, err)
+		}
+		if !m.Step() {
+			t.Fatalf("run ended (cycle %d, done=%v, fatal=%v) before any rewind succeeded",
+				m.Cycle(), m.Done(), m.Fatal())
+		}
+	}
+}
+
+// checkStateAt compares the machine's architectural state against the
+// golden boundary snapshot: full register file plus every longword of
+// the snapshot's mapped pages as observed through the machine's memory
+// system.
+func checkStateAt(t *testing.T, m *Machine, st *refsim.ArchState) {
+	t.Helper()
+	if got := m.RegsSnapshot(); got != st.Regs {
+		t.Fatalf("registers after rewind: got %v want %v", got, st.Regs)
+	}
+	for addr := uint32(0); addr < 1<<20; addr += mem.PageSize {
+		if !st.Mem.Mapped(addr) {
+			continue
+		}
+		for off := uint32(0); off < mem.PageSize; off += 4 {
+			want, exc := st.Mem.Read32(addr + off)
+			if exc != 0 {
+				continue
+			}
+			got, ok := m.PeekMem(addr + off)
+			if !ok || got != want {
+				t.Fatalf("mem[%#x] after rewind: got %#x (ok=%v) want %#x", addr+off, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestRewindEquivalence is the rewind correctness anchor: for every
+// scheme family, memory system, and cycle-skip setting, rewinding to a
+// live checkpoint mid-run must (a) land the architectural state exactly
+// on the golden boundary snapshot, and (b) re-running to completion
+// must reproduce the architecturally identical final state a fresh
+// uninterrupted run produces.
+func TestRewindEquivalence(t *testing.T) {
+	kk, err := workload.ByName("bubble")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0)
+	ref, err := refsim.Run(k, refsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range rewindableSchemes() {
+		for _, ms := range []MemSystemKind{MemBackward3a, MemBackward3b, MemForward} {
+			for _, skip := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%s/skip=%v", sc.name, ms, !skip), func(t *testing.T) {
+					mkCfg := func() Config {
+						cfg := Config{
+							Scheme:           sc.mk(),
+							MemSystem:        ms,
+							Speculate:        sc.spec,
+							RefTrace:         tr,
+							Rewindable:       true,
+							DisableCycleSkip: skip,
+						}
+						if sc.spec {
+							cfg.Predictor = bpred.NewBimodal(256)
+						}
+						return cfg
+					}
+					fresh, err := Run(k, mkCfg())
+					if err != nil {
+						t.Fatalf("fresh run: %v", err)
+					}
+					m, err := New(k, mkCfg())
+					if err != nil {
+						t.Fatal(err)
+					}
+					info := rewindMidRun(t, m, fresh.Stats.Cycles/2)
+					checkStateAt(t, m, tr.Replay().StateAt(info.Steps))
+					res, err := m.RunLoop()
+					if err != nil {
+						t.Fatalf("re-run after rewind: %v", err)
+					}
+					if err := res.MatchRef(ref); err != nil {
+						t.Fatalf("re-run after rewind diverged from golden model: %v", err)
+					}
+					if res.Regs != fresh.Regs {
+						t.Fatalf("final registers differ from fresh run: %v vs %v", res.Regs, fresh.Regs)
+					}
+					if d := res.Mem.Diff(fresh.Mem); d != "" {
+						t.Fatalf("final memory differs from fresh run: %s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRewindTwiceLiveShadow rewinds the same run twice — the second
+// rewind crossing the first — with no recorded trace attached, covering
+// the re-interpreted-shadow oracle path in freshOracleAt.
+func TestRewindTwiceLiveShadow(t *testing.T) {
+	kk, err := workload.ByName("sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0) // checking only; NOT passed to the machine
+	ref, err := refsim.Run(k, refsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Scheme:     core.NewSchemeTight(4, 0),
+		Predictor:  bpred.NewBimodal(256),
+		Speculate:  true,
+		MemSystem:  MemBackward3b,
+		Rewindable: true,
+	}
+	fresh, err := Run(k, Config{
+		Scheme:    core.NewSchemeTight(4, 0),
+		Predictor: bpred.NewBimodal(256),
+		Speculate: true,
+		MemSystem: MemBackward3b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rewindMidRun(t, m, fresh.Stats.Cycles/2)
+	checkStateAt(t, m, tr.Replay().StateAt(first.Steps))
+	second := rewindMidRun(t, m, m.Cycle()+fresh.Stats.Cycles/4)
+	checkStateAt(t, m, tr.Replay().StateAt(second.Steps))
+	res, err := m.RunLoop()
+	if err != nil {
+		t.Fatalf("re-run after double rewind: %v", err)
+	}
+	if err := res.MatchRef(ref); err != nil {
+		t.Fatalf("double rewind diverged from golden model: %v", err)
+	}
+}
+
+// TestRewindWithSkipExceptions rewinds a run whose exception handlers
+// are skip-kind (divide by zero). An E-repair clears the whole
+// checkpoint window, so no live boundary ever predates a HANDLED
+// exception — what rewind must guarantee instead is that the exception
+// log always equals the golden prefix of the boundary landed on, and
+// that the re-run rebuilds the full log exactly.
+func TestRewindWithSkipExceptions(t *testing.T) {
+	kk, err := workload.ByName("divzero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0)
+	ref, err := refsim.Run(k, refsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, Config{
+		Scheme:     core.NewSchemeE(8, 2, 0),
+		Speculate:  false,
+		MemSystem:  MemBackward3b,
+		RefTrace:   tr,
+		Rewindable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := rewindMidRun(t, m, 1)
+	got := m.Exceptions()
+	if len(got) != info.Excs {
+		t.Fatalf("exception log after rewind: %d entries, want %d", len(got), info.Excs)
+	}
+	for i, e := range got {
+		if e != tr.Exceptions()[i] {
+			t.Fatalf("exception %d after rewind: %v, golden %v", i, e, tr.Exceptions()[i])
+		}
+	}
+	res, err := m.RunLoop()
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if err := res.MatchRef(ref); err != nil {
+		t.Fatalf("re-run diverged: %v", err)
+	}
+	if len(res.Exceptions) != len(ref.Exceptions) {
+		t.Fatalf("re-run rebuilt %d exceptions, want %d", len(res.Exceptions), len(ref.Exceptions))
+	}
+}
+
+// TestRewindAfterCompletion: a finished (but not Finished) run still
+// holds live checkpoints; rewinding from the done state re-opens the
+// run and re-running reproduces the same completion — the time-travel
+// debugger's core loop.
+func TestRewindAfterCompletion(t *testing.T) {
+	kk, err := workload.ByName("divzero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0)
+	ref, err := refsim.Run(k, refsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, Config{
+		Scheme:     core.NewSchemeE(8, 2, 0),
+		Speculate:  false,
+		MemSystem:  MemBackward3b,
+		RefTrace:   tr,
+		Rewindable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Step() {
+	}
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	if !m.Done() {
+		t.Fatal("run did not complete")
+	}
+	var pick *RewindInfo
+	for _, tgt := range m.RewindTargets() {
+		tgt := tgt
+		if tgt.Rewindable && (pick == nil || tgt.Seq < pick.Seq) {
+			pick = &tgt
+		}
+	}
+	if pick == nil {
+		t.Fatalf("no rewindable boundary at completion; targets: %+v", m.RewindTargets())
+	}
+	info, err := m.Rewind(pick.Seq)
+	if err != nil {
+		t.Fatalf("rewind from done state: %v", err)
+	}
+	if m.Done() {
+		t.Fatal("machine still done after rewind")
+	}
+	checkStateAt(t, m, tr.Replay().StateAt(info.Steps))
+	res, err := m.RunLoop()
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if err := res.MatchRef(ref); err != nil {
+		t.Fatalf("re-run diverged: %v", err)
+	}
+}
+
+// TestRewindRefusedAcrossDemandPaging: pages mapped by a resume-kind
+// handler cannot be unmapped, so every boundary older than the page
+// fault must be reported and refused as non-rewindable once the fault
+// has been handled.
+func TestRewindRefusedAcrossDemandPaging(t *testing.T) {
+	kk, err := workload.ByName("pagedemo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0)
+	m, err := New(k, Config{
+		Scheme:     core.NewSchemeE(2, 8, 0),
+		Speculate:  false,
+		MemSystem:  MemBackward3b,
+		RefTrace:   tr,
+		Rewindable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Step() {
+	}
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	if len(m.Exceptions()) == 0 {
+		t.Fatal("pagedemo handled no exceptions")
+	}
+	// The entry boundary (seq 0) predates every exception; rewinding to
+	// it would cross the demand-paged mapping.
+	_, err = m.Rewind(0)
+	if !errors.Is(err, ErrNotRewindable) {
+		t.Fatalf("rewind across a demand-paged mapping: got %v, want ErrNotRewindable", err)
+	}
+}
+
+// TestRewindValidation covers the permanent refusal paths.
+func TestRewindValidation(t *testing.T) {
+	kk, err := workload.ByName("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	// Rewindable off: no records, immediate refusal.
+	m, err := New(k, Config{Scheme: core.NewSchemeE(2, 8, 0), MemSystem: MemBackward3b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rewind(0); !errors.Is(err, ErrNotRewindable) {
+		t.Fatalf("Rewindable off: got %v", err)
+	}
+	// Unknown boundary.
+	m, err = New(k, Config{Scheme: core.NewSchemeE(2, 8, 0), MemSystem: MemBackward3b, Rewindable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rewind(1 << 40); !errors.Is(err, ErrNotRewindable) {
+		t.Fatalf("unknown boundary: got %v", err)
+	}
+	// After Finish the speculative state is drained for good.
+	if _, err := m.RunLoop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rewind(0); !errors.Is(err, ErrNotRewindable) {
+		t.Fatalf("after Finish: got %v", err)
+	}
+}
+
+// TestGoldenBoundaryAtCompletion: once a run completes, the machine
+// sits on a recorded golden boundary matching the oracle's coordinates.
+func TestGoldenBoundaryAtCompletion(t *testing.T) {
+	kk, err := workload.ByName("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	m, err := New(k, Config{
+		Scheme:     core.NewSchemeTight(4, 0),
+		Predictor:  bpred.NewBimodal(256),
+		Speculate:  true,
+		MemSystem:  MemForward,
+		Rewindable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Step() {
+	}
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	gb, ok := m.GoldenBoundary()
+	if !ok {
+		t.Fatal("no golden boundary at completion")
+	}
+	if gb.Retired != m.OracleRetired() {
+		t.Fatalf("golden boundary retired=%d, oracle retired=%d", gb.Retired, m.OracleRetired())
+	}
+	if gb.Excs != len(m.Exceptions()) {
+		t.Fatalf("golden boundary excs=%d, log has %d", gb.Excs, len(m.Exceptions()))
+	}
+}
+
+// TestNewAtEquivalence: a machine started at golden boundary n of a
+// recorded trace must complete with the same architectural outcome as
+// the full run — even under a scheme and memory system different from
+// anything the trace knows about (the config-change rewind).
+func TestNewAtEquivalence(t *testing.T) {
+	for _, kn := range []string{"bubble", "divzero"} {
+		kk, err := workload.ByName(kn)
+		if err != nil {
+			t.Fatal(err)
+		}
+	k := kk.Load()
+		tr := refsim.MustRecord(k, 0)
+		ref, err := refsim.Run(k, refsim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range rewindableSchemes() {
+			if sc.spec && kn == "divzero" {
+				continue // speculative schemes pair with the branchy kernel
+			}
+			for _, boundary := range []int{1, tr.Steps() / 2, tr.Steps() - 1} {
+				t.Run(fmt.Sprintf("%s/%s/at%d", kn, sc.name, boundary), func(t *testing.T) {
+					cfg := Config{
+						Scheme:     sc.mk(),
+						MemSystem:  MemBackward3b,
+						Speculate:  sc.spec,
+						RefTrace:   tr,
+						Rewindable: true,
+					}
+					if sc.spec {
+						cfg.Predictor = bpred.NewBimodal(256)
+					}
+					m, err := NewAt(k, cfg, boundary)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkStateAt(t, m, tr.Replay().StateAt(boundary))
+					res, err := m.RunLoop()
+					if err != nil {
+						t.Fatalf("run from boundary %d: %v", boundary, err)
+					}
+					if err := res.MatchRef(ref); err != nil {
+						t.Fatalf("run from boundary %d diverged: %v", boundary, err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNewAtValidation covers the refusal paths of NewAt.
+func TestNewAtValidation(t *testing.T) {
+	kk, err := workload.ByName("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kk.Load()
+	tr := refsim.MustRecord(k, 0)
+	base := func() Config {
+		return Config{Scheme: core.NewSchemeE(2, 8, 0), MemSystem: MemBackward3b, RefTrace: tr}
+	}
+	cfg := base()
+	cfg.RefTrace = nil
+	if _, err := NewAt(k, cfg, 1); err == nil {
+		t.Fatal("NewAt without RefTrace must fail")
+	}
+	if _, err := NewAt(k, base(), -1); err == nil {
+		t.Fatal("NewAt with negative boundary must fail")
+	}
+	if _, err := NewAt(k, base(), tr.Steps()+1); err == nil {
+		t.Fatal("NewAt past the trace end must fail")
+	}
+	if _, err := NewAt(k, base(), tr.Steps()); err == nil {
+		t.Fatal("NewAt at the architectural halt must fail")
+	}
+}

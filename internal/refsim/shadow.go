@@ -21,10 +21,11 @@ import (
 // Each Step executes one attempt: it either completes an instruction,
 // or observes an exception and applies the handler action.
 type Shadow struct {
-	prog *prog.Program
-	res  Result
-	pc   int
-	done bool
+	prog  *prog.Program
+	res   Result
+	pc    int
+	steps int
+	done  bool
 	// hooks carries the state-delta observation callbacks (OnRegWrite,
 	// OnMemWrite, OnMap) installed by the trace recorder. OnBranch is
 	// overwritten per step; the other Options fields are unused here.
@@ -70,12 +71,19 @@ func (s *Shadow) Exceptions() []isa.Exception { return s.res.Exceptions }
 // ExcCount returns the number of exceptions observed so far.
 func (s *Shadow) ExcCount() int { return len(s.res.Exceptions) }
 
+// Steps returns the number of attempts executed so far. An attempt that
+// traps both retires and logs an exception, so the attempt index is an
+// independent coordinate — it is the boundary numbering Replay.StateAt
+// uses, which is why the machines record it at checkpoint boundaries.
+func (s *Shadow) Steps() int { return s.steps }
+
 // Step executes one attempt and returns what happened. Calling Step
 // after the program halted returns Halted without effect.
 func (s *Shadow) Step() StepResult {
 	if s.done {
 		return StepResult{PC: s.pc, Halted: true}
 	}
+	s.steps++
 	if s.pc < 0 || s.pc >= len(s.prog.Code) {
 		exc := isa.Exception{Code: isa.ExcCodeBadInst, PC: s.pc}
 		s.res.Exceptions = append(s.res.Exceptions, exc)

@@ -21,6 +21,10 @@ type Oracle interface {
 	Halted() bool
 	Retired() int
 	ExcCount() int
+	// Steps is the number of attempts executed — the StateAt boundary
+	// index. Not derivable from Retired+ExcCount (a trap attempt bumps
+	// both).
+	Steps() int
 	Step() StepResult
 }
 
@@ -287,6 +291,10 @@ func (r *Replay) Retired() int { return r.retired }
 
 // ExcCount returns the number of exceptions observed so far.
 func (r *Replay) ExcCount() int { return r.excs }
+
+// Steps returns the number of attempts replayed so far (the StateAt
+// boundary index of the replay cursor).
+func (r *Replay) Steps() int { return r.i }
 
 // Step replays one recorded attempt. Like Shadow.Step, calling Step
 // after the program halted returns Halted without effect.

@@ -322,6 +322,15 @@ func (f *File) Clear() {
 // Snapshot returns the register values of the current space.
 func (f *File) Snapshot() [isa.NumRegs]uint32 { return f.current.val }
 
+// SeedCurrent loads the current space wholesale from an architectural
+// snapshot, clearing every reservation. Used by machines that begin a
+// run at a mid-program architectural boundary (machine.NewAt) rather
+// than the zeroed entry state. R0 stays hardwired to zero.
+func (f *File) SeedCurrent(vals [isa.NumRegs]uint32) {
+	f.current = space{val: vals}
+	f.current.val[0] = 0
+}
+
 // BackupSnapshot returns the register values of the k-th newest backup
 // of stack s (k=1 is the newest). Used by invariant audits comparing
 // backup spaces against the shadow interpreter.

@@ -1,0 +1,211 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/machine"
+	"repro/internal/service"
+	"repro/internal/session"
+)
+
+// SessionCreate is the POST /sessions payload: exactly one of Workload
+// (a built-in kernel) or Asm (assembly source, assembled under Name).
+type SessionCreate struct {
+	Workload string              `json:"workload,omitempty"`
+	Asm      string              `json:"asm,omitempty"`
+	Name     string              `json:"name,omitempty"`
+	Machine  service.MachineSpec `json:"machine"`
+}
+
+// SessionSummary is one GET /sessions row.
+type SessionSummary struct {
+	ID      string        `json:"id"`
+	State   session.State `json:"state"`
+	Program string        `json:"program"`
+	IdleMS  int64         `json:"idle_ms"`
+}
+
+// RunOpts targets a streaming run verb. Zero targets run to
+// completion; Stride is the event granularity in cycles.
+type RunOpts struct {
+	ToCycle int64 `json:"to_cycle,omitempty"`
+	ToPC    *int  `json:"to_pc,omitempty"`
+	Stride  int64 `json:"stride,omitempty"`
+}
+
+// CreateSession opens a debug session and returns its initial view.
+func (c *Client) CreateSession(ctx context.Context, req SessionCreate) (*session.View, error) {
+	var v session.View
+	if err := c.post(ctx, "/sessions", req, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Sessions lists open sessions.
+func (c *Client) Sessions(ctx context.Context) ([]SessionSummary, error) {
+	var out struct {
+		Sessions []SessionSummary `json:"sessions"`
+	}
+	if err := c.get(ctx, "/sessions", &out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// Session fetches one session's full view.
+func (c *Client) Session(ctx context.Context, id string) (*session.View, error) {
+	var v session.View
+	if err := c.get(ctx, "/sessions/"+id, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// StepSession advances the session by up to n cycles.
+func (c *Client) StepSession(ctx context.Context, id string, n int) (*session.View, error) {
+	var v session.View
+	if err := c.post(ctx, "/sessions/"+id+"/step", map[string]int{"n": n}, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// RunSession streams a run verb, invoking fn (if non-nil) for every
+// event, and returns the terminal event. Cancelling ctx drops the
+// connection, which pauses the run server-side.
+func (c *Client) RunSession(ctx context.Context, id string, opts RunOpts, fn func(session.Event) error) (*session.Event, error) {
+	body, err := json.Marshal(opts)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/sessions/"+id+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	var last *session.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e session.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return last, fmt.Errorf("ckptd: bad stream event %q: %w", sc.Text(), err)
+		}
+		last = &e
+		if fn != nil {
+			if err := fn(e); err != nil {
+				return last, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if last == nil {
+		return nil, fmt.Errorf("ckptd: run stream ended without events")
+	}
+	return last, nil
+}
+
+// SessionCheckpoints lists the session's live rewind targets.
+func (c *Client) SessionCheckpoints(ctx context.Context, id string) ([]machine.RewindInfo, error) {
+	var out struct {
+		Checkpoints []machine.RewindInfo `json:"checkpoints"`
+	}
+	if err := c.get(ctx, "/sessions/"+id+"/checkpoints", &out); err != nil {
+		return nil, err
+	}
+	return out.Checkpoints, nil
+}
+
+// RewindSession rewinds to the live checkpoint with BornSeq seq. A
+// non-nil spec re-materializes the boundary under that machine
+// configuration instead of repairing in place.
+func (c *Client) RewindSession(ctx context.Context, id string, seq uint64, spec *service.MachineSpec) (*machine.RewindInfo, error) {
+	var out struct {
+		Rewound *machine.RewindInfo `json:"rewound"`
+	}
+	req := map[string]any{"seq": seq}
+	if spec != nil {
+		req["machine"] = spec
+	}
+	if err := c.post(ctx, "/sessions/"+id+"/rewind", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Rewound, nil
+}
+
+// SessionMemory reads words longwords starting at addr.
+func (c *Client) SessionMemory(ctx context.Context, id string, addr uint32, words int) ([]session.Word, error) {
+	var out struct {
+		Memory []session.Word `json:"memory"`
+	}
+	path := fmt.Sprintf("/sessions/%s/mem?addr=%#x&words=%d", id, addr, words)
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out.Memory, nil
+}
+
+// SessionDivergence audits the session's architectural state against
+// its golden trace.
+func (c *Client) SessionDivergence(ctx context.Context, id string) (*session.Divergence, error) {
+	var d session.Divergence
+	if err := c.get(ctx, "/sessions/"+id+"/divergence", &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// CloseSession deletes a session.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	return nil
+}
+
+// post sends a JSON body and decodes a 2xx JSON reply into v.
+func (c *Client) post(ctx context.Context, path string, body, v any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return readError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

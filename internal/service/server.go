@@ -43,6 +43,12 @@ type Config struct {
 	// execution took less than this skip the disk tier (0 = persist
 	// everything).
 	StoreMinCost time.Duration
+	// SessionCap bounds concurrently open debug sessions; beyond it
+	// POST /sessions answers 429. Default 8.
+	SessionCap int
+	// SessionTTL evicts debug sessions idle longer than this (a session
+	// with a verb in flight is never idle). Default 15 minutes.
+	SessionTTL time.Duration
 }
 
 // Server is the ckptd core: job registry, bounded queue, and
@@ -57,6 +63,7 @@ type Server struct {
 	queue      *queue
 	jobs       *jobSet
 	metrics    *metrics
+	sessions   *sessionManager
 	mux        *http.ServeMux
 	draining   atomic.Bool
 
@@ -103,6 +110,8 @@ func New(cfg Config) (*Server, error) {
 	s.jobs = newJobSet(cfg.JobHistory)
 	s.metrics = newMetrics()
 	s.queue = newQueue(cfg.QueueCap, cfg.Workers, s.runEntry)
+	s.sessions = newSessionManager(cfg.SessionCap, cfg.SessionTTL)
+	go s.sessions.janitor(s.baseCtx)
 
 	s.mux = http.NewServeMux()
 	s.handle("POST /jobs", s.handleSubmit)
@@ -112,6 +121,17 @@ func New(cfg Config) (*Server, error) {
 	s.handle("GET /results/{key}", s.handleResult)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /sessions", s.handleSessionCreate)
+	s.handle("GET /sessions", s.handleSessionList)
+	s.handle("GET /sessions/{id}", s.handleSessionGet)
+	s.handle("POST /sessions/{id}/step", s.handleSessionStep)
+	s.handle("POST /sessions/{id}/run", s.handleSessionRun)
+	s.handle("GET /sessions/{id}/checkpoints", s.handleSessionCheckpoints)
+	s.handle("POST /sessions/{id}/rewind", s.handleSessionRewind)
+	s.handle("GET /sessions/{id}/mem", s.handleSessionMem)
+	s.handle("GET /sessions/{id}/divergence", s.handleSessionDivergence)
+	s.handle("DELETE /sessions/{id}", s.handleSessionDelete)
+	s.SetMetricsExtra("sessions", s.sessions.metricsView)
 	return s, nil
 }
 
@@ -135,6 +155,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // after it returns no execution goroutines remain either way.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	// Close debug sessions before the queue: Close interrupts streaming
+	// run verbs, so connected debuggers receive a terminal "closed"
+	// event while the listener is still up, instead of a dropped
+	// connection when it stops.
+	s.sessions.closeAll("daemon draining")
 	done := make(chan struct{})
 	go func() {
 		s.queue.close()
@@ -338,6 +363,7 @@ type Healthz struct {
 	Version    string      `json:"version"`
 	QueueDepth int64       `json:"queue_depth"`
 	Running    int64       `json:"running"`
+	Sessions   int         `json:"sessions"` // open debug sessions
 	Store      store.Stats `json:"store"`
 }
 
@@ -347,6 +373,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:    buildinfo.Version(),
 		QueueDepth: s.queue.Depth(),
 		Running:    s.queue.Running(),
+		Sessions:   s.sessions.open(),
 		Store:      s.store.Stats(),
 	}
 	code := http.StatusOK

@@ -1,0 +1,505 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// Session-manager defaults (Config fields override).
+const (
+	defaultSessionCap = 8
+	defaultSessionTTL = 15 * time.Minute
+)
+
+// sessionManager owns the daemon's live debug sessions: a bounded id ->
+// session map plus the idle-TTL janitor that reaps sessions whose
+// client vanished. Unlike jobs, sessions are stateful and exclusive —
+// there is no coalescing and no cache, so the manager's job is purely
+// lifecycle: admit (under the cap), hand out, evict, and drain.
+type sessionManager struct {
+	cap int
+	ttl time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*session.Session
+	nextID   int64
+
+	created atomic.Int64
+	evicted atomic.Int64
+	closed  atomic.Int64
+	rewinds atomic.Int64
+}
+
+func newSessionManager(cap int, ttl time.Duration) *sessionManager {
+	if cap <= 0 {
+		cap = defaultSessionCap
+	}
+	if ttl <= 0 {
+		ttl = defaultSessionTTL
+	}
+	return &sessionManager{cap: cap, ttl: ttl, sessions: make(map[string]*session.Session)}
+}
+
+// errSessionCap rejects creation beyond the session cap (HTTP 429).
+var errSessionCap = errors.New("session cap reached; close one or wait for idle eviction")
+
+// add admits a new session or reports cap exhaustion.
+func (sm *sessionManager) add(sess func(id string) (*session.Session, error)) (*session.Session, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.sessions) >= sm.cap {
+		return nil, fmt.Errorf("%w (%d open)", errSessionCap, sm.cap)
+	}
+	sm.nextID++
+	id := fmt.Sprintf("s-%d", sm.nextID)
+	s, err := sess(id)
+	if err != nil {
+		return nil, err
+	}
+	sm.sessions[id] = s
+	sm.created.Add(1)
+	return s, nil
+}
+
+func (sm *sessionManager) get(id string) (*session.Session, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	s, ok := sm.sessions[id]
+	return s, ok
+}
+
+// remove closes and forgets a session (DELETE verb).
+func (sm *sessionManager) remove(id, reason string) bool {
+	sm.mu.Lock()
+	s, ok := sm.sessions[id]
+	delete(sm.sessions, id)
+	sm.mu.Unlock()
+	if ok {
+		s.Close(reason)
+		sm.closed.Add(1)
+	}
+	return ok
+}
+
+// sweep evicts sessions idle longer than the TTL. A session with a verb
+// in flight reports idle 0, so streaming runs are never reaped.
+func (sm *sessionManager) sweep(now time.Time) {
+	sm.mu.Lock()
+	var victims []*session.Session
+	for id, s := range sm.sessions {
+		if s.IdleFor(now) > sm.ttl {
+			victims = append(victims, s)
+			delete(sm.sessions, id)
+		}
+	}
+	sm.mu.Unlock()
+	for _, s := range victims {
+		s.Close("idle timeout")
+		sm.evicted.Add(1)
+	}
+}
+
+// janitor runs sweep until ctx ends.
+func (sm *sessionManager) janitor(ctx context.Context) {
+	period := sm.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			sm.sweep(now)
+		}
+	}
+}
+
+// closeAll closes every open session — the drain path. Close interrupts
+// streaming runs, so their clients get a terminal "closed" event before
+// the listener stops.
+func (sm *sessionManager) closeAll(reason string) {
+	sm.mu.Lock()
+	victims := make([]*session.Session, 0, len(sm.sessions))
+	for id, s := range sm.sessions {
+		victims = append(victims, s)
+		delete(sm.sessions, id)
+	}
+	sm.mu.Unlock()
+	for _, s := range victims {
+		s.Close(reason)
+		sm.closed.Add(1)
+	}
+}
+
+func (sm *sessionManager) open() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.sessions)
+}
+
+// metricsView is the /metrics "sessions" section.
+func (sm *sessionManager) metricsView() any {
+	return map[string]int64{
+		"open":    int64(sm.open()),
+		"created": sm.created.Load(),
+		"evicted": sm.evicted.Load(),
+		"closed":  sm.closed.Load(),
+		"rewinds": sm.rewinds.Load(),
+	}
+}
+
+// sessionSummary is one GET /sessions row: the cheap fields readable
+// without taking the session's verb lock, so listing never blocks on a
+// streaming run.
+type sessionSummary struct {
+	ID      string        `json:"id"`
+	State   session.State `json:"state"`
+	Program string        `json:"program"`
+	IdleMS  int64         `json:"idle_ms"`
+}
+
+func (sm *sessionManager) list(now time.Time) []sessionSummary {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]sessionSummary, 0, len(sm.sessions))
+	for id, s := range sm.sessions {
+		out = append(out, sessionSummary{
+			ID:      id,
+			State:   s.State(),
+			Program: s.Program().Name,
+			IdleMS:  s.IdleFor(now).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// --- HTTP layer ---
+
+// sessionError maps session/machine errors onto HTTP statuses: busy
+// verbs and rewind races are 409 (retryable conflicts), closed sessions
+// are 410 (the resource is gone for good), unrewindable targets are 422
+// (the request is well-formed but this machine state refuses it).
+func sessionError(w http.ResponseWriter, err error) {
+	var te *session.TransitionError
+	switch {
+	case errors.Is(err, session.ErrBusy), errors.Is(err, machine.ErrRewindBusy):
+		httpError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, session.ErrClosed):
+		httpError(w, http.StatusGone, err.Error())
+	case errors.Is(err, machine.ErrNotRewindable):
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.As(err, &te):
+		httpError(w, http.StatusConflict, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// sessionCreateRequest is the POST /sessions body. Exactly one program
+// source: a built-in workload by name, or assembly source text.
+type sessionCreateRequest struct {
+	Workload string `json:"workload,omitempty"`
+	// Asm is assembly source assembled under Name (default "adhoc").
+	Asm     string      `json:"asm,omitempty"`
+	Name    string      `json:"name,omitempty"`
+	Machine MachineSpec `json:"machine"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req sessionCreateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad session spec: %v", err))
+		return
+	}
+	if (req.Workload == "") == (req.Asm == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of workload or asm is required")
+		return
+	}
+	if err := req.Machine.canonicalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sess, err := s.sessions.add(func(id string) (*session.Session, error) {
+		cfg, err := req.Machine.machineConfig()
+		if err != nil {
+			return nil, err
+		}
+		if req.Workload != "" {
+			k, err := workload.ByName(req.Workload)
+			if err != nil {
+				return nil, err
+			}
+			return session.New(id, k.Load(), cfg)
+		}
+		name := req.Name
+		if name == "" {
+			name = "adhoc"
+		}
+		prg, err := asm.Assemble(name, req.Asm)
+		if err != nil {
+			return nil, err
+		}
+		return session.New(id, prg, cfg)
+	})
+	if err != nil {
+		if errors.Is(err, errSessionCap) {
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := sess.Inspect()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+sess.ID)
+	writeJSON(w, http.StatusCreated, v)
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.sessions.list(time.Now())})
+}
+
+// sessionByID resolves {id} or answers 404.
+func (s *Server) sessionByID(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+	}
+	return sess, ok
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	v, err := sess.Inspect()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		N int `json:"n,omitempty"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := sess.Step(req.N)
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// sessionRunRequest is the POST /sessions/{id}/run body. Zero targets
+// mean "run to completion".
+type sessionRunRequest struct {
+	ToCycle int64 `json:"to_cycle,omitempty"`
+	ToPC    *int  `json:"to_pc,omitempty"`
+	// Stride is the event-stream granularity in cycles (default 1024).
+	Stride int64 `json:"stride,omitempty"`
+}
+
+// handleSessionRun streams NDJSON cycle events while the run verb
+// advances the machine; the response ends with one terminal event
+// (paused | done | error | closed). The request context is the client's
+// lease: disconnect pauses the run.
+func (s *Server) handleSessionRun(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	var req sessionRunRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Headers go out lazily on the first event so verb-admission errors
+	// (busy, closed) can still answer with a proper status code.
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	started := false
+	sink := func(e session.Event) error {
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	var err error
+	if req.ToPC != nil {
+		_, err = sess.RunToPC(r.Context(), *req.ToPC, req.Stride, sink)
+	} else {
+		target := req.ToCycle
+		if target <= 0 {
+			target = 1 << 62 // run to completion
+		}
+		_, err = sess.RunToCycle(r.Context(), target, req.Stride, sink)
+	}
+	if err != nil && !started {
+		sessionError(w, err)
+	}
+}
+
+func (s *Server) handleSessionCheckpoints(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	targets, err := sess.Checkpoints()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpoints": targets})
+}
+
+// sessionRewindRequest is the POST /sessions/{id}/rewind body. With a
+// machine spec, the boundary is re-materialized under that new
+// configuration instead of repaired in place.
+type sessionRewindRequest struct {
+	Seq     uint64       `json:"seq"`
+	Machine *MachineSpec `json:"machine,omitempty"`
+}
+
+func (s *Server) handleSessionRewind(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	var req sessionRewindRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var info *machine.RewindInfo
+	var err error
+	if req.Machine != nil {
+		spec := *req.Machine
+		if err := spec.canonicalize(); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfg, cerr := spec.machineConfig()
+		if cerr != nil {
+			httpError(w, http.StatusBadRequest, cerr.Error())
+			return
+		}
+		info, err = sess.RewindNewConfig(req.Seq, cfg)
+	} else {
+		info, err = sess.Rewind(req.Seq)
+	}
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	s.sessions.rewinds.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"rewound": info})
+}
+
+func (s *Server) handleSessionMem(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	addr, err := strconv.ParseUint(q.Get("addr"), 0, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "addr: want a 32-bit address (decimal or 0x hex)")
+		return
+	}
+	words := 16
+	if ws := q.Get("words"); ws != "" {
+		if words, err = strconv.Atoi(ws); err != nil || words <= 0 {
+			httpError(w, http.StatusBadRequest, "words: want a positive count")
+			return
+		}
+	}
+	mem, err := sess.Memory(uint32(addr), words)
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"memory": mem})
+}
+
+func (s *Server) handleSessionDivergence(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionByID(w, r)
+	if !ok {
+		return
+	}
+	d, err := sess.CheckDivergence()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id, "closed by client") {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": string(session.StateClosed)})
+}
+
+// decodeBody decodes an optional JSON body: an empty body leaves v at
+// its zero value, unknown fields are rejected.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}

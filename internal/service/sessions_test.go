@@ -1,0 +1,553 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+)
+
+// spinAsm is a counted loop long enough (~1M steps, comfortably under
+// the reference interpreter's trace bound) that streaming runs are
+// reliably still in flight when a test interrupts them; no test runs it
+// to completion.
+const spinAsm = `
+    addi r1, r0, 25000
+    slli r1, r1, 3         ; 200000 iterations
+loop:
+    beq  r1, r0, done
+    addi r2, r2, 1
+    addi r1, r1, -1
+    j    loop
+done:
+    sw   r2, out(r0)
+    halt
+.data 0x1000
+out: .word 0
+`
+
+func postSession(t *testing.T, url string, body any) (int, session.View, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sessions", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var v session.View
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("bad create response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, v, string(data)
+}
+
+// postVerb posts a JSON body to a session verb and decodes the reply.
+func postVerb(t *testing.T, url, id, verb string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/sessions/%s/%s", url, id, verb), "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad %s response %q: %v", verb, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getSession(t *testing.T, url, id string) (int, session.View) {
+	t.Helper()
+	resp, err := http.Get(url + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v session.View
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("bad session view %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+// runSession streams a run verb to completion of the HTTP response and
+// returns the decoded events (last one is the terminal event).
+func runSession(t *testing.T, url, id string, body any) []session.Event {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sessions/"+id+"/run", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run: status %d: %s", resp.StatusCode, data)
+	}
+	var events []session.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e session.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		t.Fatal("run streamed no events")
+	}
+	return events
+}
+
+// TestSessionLifecycleHTTP walks the whole verb surface over the wire:
+// create, list, step, streamed run, checkpoints, rewind, divergence,
+// run to completion, metrics/healthz accounting, delete.
+func TestSessionLifecycleHTTP(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := MustNew(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	code, v, raw := postSession(t, ts.URL, map[string]any{"workload": "fib"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+	if v.State != session.StateCreated || v.Program != "fib" {
+		t.Fatalf("create view: %+v", v)
+	}
+	id := v.ID
+
+	var sv session.View
+	if code := postVerb(t, ts.URL, id, "step", map[string]any{"n": 3}, &sv); code != http.StatusOK {
+		t.Fatalf("step: status %d", code)
+	}
+	if sv.Cycle == 0 || sv.State != session.StatePaused {
+		t.Fatalf("step view: %+v", sv)
+	}
+
+	events := runSession(t, ts.URL, id, map[string]any{"to_cycle": sv.Cycle + 100, "stride": 16})
+	last := events[len(events)-1]
+	if last.Type != "paused" && last.Type != "done" {
+		t.Fatalf("terminal event: %+v", last)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("events regressed: %+v after %+v", events[i], events[i-1])
+		}
+	}
+
+	var cks struct {
+		Checkpoints []struct {
+			Seq        uint64 `json:"seq"`
+			Rewindable bool   `json:"rewindable"`
+			Steps      int    `json:"steps"`
+		} `json:"checkpoints"`
+	}
+	resp, err := http.Get(ts.URL + "/sessions/" + id + "/checkpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cks); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cks.Checkpoints) == 0 {
+		t.Fatal("no live checkpoints reported")
+	}
+
+	// Rewind the first target that accepts (they can be transiently
+	// busy); then the machine must sit clean on a golden boundary.
+	rewound := false
+	for _, ck := range cks.Checkpoints {
+		if !ck.Rewindable {
+			continue
+		}
+		var out map[string]json.RawMessage
+		if code := postVerb(t, ts.URL, id, "rewind", map[string]any{"seq": ck.Seq}, &out); code == http.StatusOK {
+			rewound = true
+			break
+		}
+	}
+	if !rewound {
+		t.Fatal("no checkpoint accepted a rewind")
+	}
+	var div session.Divergence
+	resp, err = http.Get(ts.URL + "/sessions/" + id + "/divergence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&div); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !div.Comparable || div.Diverged {
+		t.Fatalf("divergence after rewind: %+v", div)
+	}
+
+	events = runSession(t, ts.URL, id, map[string]any{})
+	if events[len(events)-1].Type != "done" {
+		t.Fatalf("terminal event after full run: %+v", events[len(events)-1])
+	}
+	if _, v = getSession(t, ts.URL, id); !v.Done || v.Rewinds != 1 {
+		t.Fatalf("final view: %+v", v)
+	}
+
+	// Memory verb: fib stores its result at 0x1000.
+	resp, err = http.Get(ts.URL + "/sessions/" + id + "/mem?addr=0x1000&words=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mv struct {
+		Memory []struct {
+			Value  uint32 `json:"value"`
+			Mapped bool   `json:"mapped"`
+		} `json:"memory"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mv.Memory) != 1 || !mv.Memory[0].Mapped || mv.Memory[0].Value == 0 {
+		t.Fatalf("mem view: %+v", mv)
+	}
+
+	m := getMetrics(t, ts.URL)
+	if got := counter(m, "sessions", "open"); got != 1 {
+		t.Fatalf("metrics sessions.open = %d", got)
+	}
+	if got := counter(m, "sessions", "created"); got != 1 {
+		t.Fatalf("metrics sessions.created = %d", got)
+	}
+	if got := counter(m, "sessions", "rewinds"); got != 1 {
+		t.Fatalf("metrics sessions.rewinds = %d", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if code, _ := getSession(t, ts.URL, id); code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", code)
+	}
+
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestSessionRewindEquivalenceHTTP is the acceptance scenario over the
+// wire: rewinding mid-run and re-running to completion reproduces the
+// fresh run's architectural registers exactly.
+func TestSessionRewindEquivalenceHTTP(t *testing.T) {
+	s := MustNew(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+	mkBody := map[string]any{"workload": "bubble", "machine": map[string]any{"scheme": "b", "c": 4}}
+
+	code, fresh, raw := postSession(t, ts.URL, mkBody)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+	runSession(t, ts.URL, fresh.ID, map[string]any{})
+	_, freshV := getSession(t, ts.URL, fresh.ID)
+	if !freshV.Done {
+		t.Fatalf("fresh run not done: %+v", freshV)
+	}
+
+	code, v, raw := postSession(t, ts.URL, mkBody)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+	runSession(t, ts.URL, v.ID, map[string]any{"to_cycle": freshV.Cycle / 2})
+
+	// Rewind whichever live target accepts, stepping forward when all
+	// are transiently refused.
+	rewound := false
+	for !rewound {
+		var cks struct {
+			Checkpoints []struct {
+				Seq        uint64 `json:"seq"`
+				Rewindable bool   `json:"rewindable"`
+			} `json:"checkpoints"`
+		}
+		resp, err := http.Get(ts.URL + "/sessions/" + v.ID + "/checkpoints")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cks); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, ck := range cks.Checkpoints {
+			if ck.Rewindable && postVerb(t, ts.URL, v.ID, "rewind", map[string]any{"seq": ck.Seq}, nil) == http.StatusOK {
+				rewound = true
+				break
+			}
+		}
+		if !rewound {
+			var sv session.View
+			if code := postVerb(t, ts.URL, v.ID, "step", map[string]any{"n": 1}, &sv); code != http.StatusOK {
+				t.Fatalf("step: status %d", code)
+			}
+			if sv.Done {
+				t.Fatal("reached completion without a successful rewind")
+			}
+		}
+	}
+
+	runSession(t, ts.URL, v.ID, map[string]any{})
+	_, endV := getSession(t, ts.URL, v.ID)
+	if !endV.Done {
+		t.Fatalf("rewound run not done: %+v", endV)
+	}
+	if endV.Regs != freshV.Regs {
+		t.Fatalf("registers diverged after rewind+rerun:\n%v\n%v", endV.Regs, freshV.Regs)
+	}
+	if endV.Exceptions != freshV.Exceptions {
+		t.Fatalf("exception count diverged: %d vs %d", endV.Exceptions, freshV.Exceptions)
+	}
+}
+
+// TestSessionVerbConflict: while a run verb holds the session, every
+// other verb answers 409 and stays harmless.
+func TestSessionVerbConflict(t *testing.T) {
+	s := MustNew(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+
+	code, v, raw := postSession(t, ts.URL, map[string]any{"workload": "sieve"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+	sess, ok := s.sessions.get(v.ID)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+
+	// Hold the verb lock deterministically: a direct run whose sink
+	// blocks until released.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		first := true
+		sess.RunToCycle(context.Background(), 1<<40, 1, func(session.Event) error {
+			if first {
+				first = false
+				close(started)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-started
+
+	if code, _ := getSession(t, ts.URL, v.ID); code != http.StatusConflict {
+		t.Fatalf("inspect during run: status %d", code)
+	}
+	if code := postVerb(t, ts.URL, v.ID, "rewind", map[string]any{"seq": 0}, nil); code != http.StatusConflict {
+		t.Fatalf("rewind during run: status %d", code)
+	}
+	if code := postVerb(t, ts.URL, v.ID, "step", nil, nil); code != http.StatusConflict {
+		t.Fatalf("step during run: status %d", code)
+	}
+	// Listing never blocks on the busy session.
+	resp, err := http.Get(ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	close(release)
+	<-runDone
+	if code, _ := getSession(t, ts.URL, v.ID); code != http.StatusOK {
+		t.Fatalf("inspect after run: status %d", code)
+	}
+}
+
+// TestSessionAbandonedRunEvicted is the goroutine-leak scenario: the
+// client vanishes mid-stream, the run pauses, the idle janitor evicts
+// the session, and nothing leaks.
+func TestSessionAbandonedRunEvicted(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := MustNew(Config{Workers: 1, SessionTTL: 100 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+
+	code, v, raw := postSession(t, ts.URL, map[string]any{"asm": spinAsm, "name": "spin"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+
+	// Stream a long run, read one event, then vanish.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{"stride": 64})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sessions/"+v.ID+"/run", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first event")
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The janitor must reap the abandoned session.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sessions.open() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned session never evicted (open=%d)", s.sessions.open())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := getMetrics(t, ts.URL)
+	if got := counter(m, "sessions", "evicted"); got != 1 {
+		t.Fatalf("metrics sessions.evicted = %d", got)
+	}
+
+	ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestSessionDrainClosesStream: Drain closes open sessions first, so a
+// connected streaming client receives a terminal "closed" event with
+// the drain reason before the listener goes away.
+func TestSessionDrainClosesStream(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := MustNew(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	code, v, raw := postSession(t, ts.URL, map[string]any{"asm": spinAsm, "name": "spin"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+
+	firstEvent := make(chan struct{})
+	terminal := make(chan session.Event, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{"stride": 64})
+		resp, err := http.Post(ts.URL+"/sessions/"+v.ID+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			close(terminal)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		first := true
+		var last session.Event
+		for sc.Scan() {
+			json.Unmarshal(sc.Bytes(), &last)
+			if first {
+				first = false
+				close(firstEvent)
+			}
+		}
+		terminal <- last
+	}()
+	<-firstEvent
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-terminal:
+		if e.Type != "closed" || e.Reason != "daemon draining" {
+			t.Fatalf("terminal event: %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never delivered the drain event")
+	}
+	if s.sessions.open() != 0 {
+		t.Fatalf("sessions survived drain: %d", s.sessions.open())
+	}
+
+	ts.Close()
+	settleGoroutines(t, base)
+}
+
+// TestSessionCapAndBadRequests pins the admission errors.
+func TestSessionCapAndBadRequests(t *testing.T) {
+	s := MustNew(Config{Workers: 1, SessionCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(context.Background())
+	}()
+
+	code, v, raw := postSession(t, ts.URL, map[string]any{"workload": "fib"})
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", code, raw)
+	}
+	if code, _, _ := postSession(t, ts.URL, map[string]any{"workload": "fib"}); code != http.StatusTooManyRequests {
+		t.Fatalf("create past cap: status %d", code)
+	}
+	for _, bad := range []map[string]any{
+		{}, {"workload": "fib", "asm": spinAsm},
+		{"workload": "no-such-kernel"}, {"asm": "not an instruction"},
+		{"workload": "fib", "machine": map[string]any{"scheme": "marvelous"}},
+	} {
+		if code, _, raw := postSession(t, ts.URL, bad); code != http.StatusBadRequest && code != http.StatusTooManyRequests {
+			t.Fatalf("bad create %v: status %d: %s", bad, code, raw)
+		}
+	}
+
+	if code := postVerb(t, ts.URL, v.ID, "rewind", map[string]any{"seq": 1 << 40}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("rewind unknown seq: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/sessions/" + v.ID + "/mem?addr=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mem addr: status %d", resp.StatusCode)
+	}
+	if code := postVerb(t, ts.URL, "s-999", "step", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("verb on unknown session: status %d", code)
+	}
+}

@@ -1,0 +1,77 @@
+// Package session implements stateful time-travel debug sessions over
+// the repair machinery: a session owns a live machine plus its memoized
+// golden trace, and exposes step/run/inspect/rewind verbs a remote
+// debugger drives one at a time. The headline verb is rewind — restore
+// the architectural state of any live checkpoint through the scheme's
+// own repair paths (machine.Rewind), or re-materialize a boundary under
+// a different machine configuration (machine.NewAt) to ask "what would
+// this region have done under another scheme?".
+//
+// Sessions run a strict server-side lifecycle FSM:
+//
+//	created ──▶ running ◀──▶ paused ──▶ closed
+//	   │                        ▲          ▲
+//	   └────────────────────────┴──────────┘ (close from any state)
+//
+// Verbs hold the session for their whole duration (one verb at a time;
+// concurrent verbs fail fast with ErrBusy), and every state change goes
+// through the transition table so illegal requests surface as typed
+// *TransitionError values rather than corrupting the machine.
+package session
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a session lifecycle state.
+type State string
+
+const (
+	// StateCreated: machine built, nothing executed yet.
+	StateCreated State = "created"
+	// StateRunning: a step/run verb is advancing the machine.
+	StateRunning State = "running"
+	// StatePaused: between verbs; the machine holds its state.
+	StatePaused State = "paused"
+	// StateClosed: terminal; the machine is released.
+	StateClosed State = "closed"
+)
+
+// transitions is the legal-move table of the lifecycle FSM.
+var transitions = map[State]map[State]bool{
+	StateCreated: {StateRunning: true, StateClosed: true},
+	StateRunning: {StatePaused: true, StateClosed: true},
+	StatePaused:  {StateRunning: true, StateClosed: true},
+	StateClosed:  {},
+}
+
+// TransitionError reports an illegal lifecycle transition.
+type TransitionError struct {
+	From, To State
+}
+
+func (e *TransitionError) Error() string {
+	return fmt.Sprintf("session: illegal transition %s -> %s", e.From, e.To)
+}
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrBusy: another verb currently holds the session (HTTP 409).
+	ErrBusy = errors.New("session busy: another verb is in flight")
+	// ErrClosed: the session has been closed (HTTP 410).
+	ErrClosed = errors.New("session closed")
+)
+
+// to performs a state transition, or returns a *TransitionError.
+// Callers hold s.mu.
+func (s *Session) to(next State) error {
+	if !transitions[s.state][next] {
+		if s.state == StateClosed {
+			return ErrClosed
+		}
+		return &TransitionError{From: s.state, To: next}
+	}
+	s.state = next
+	return nil
+}

@@ -1,0 +1,493 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+)
+
+// Session is one stateful debug session: a live machine bound to a
+// program and its memoized golden trace. Verbs are mutually exclusive —
+// each takes the session for its full duration and concurrent callers
+// fail fast with ErrBusy — so the machine only ever advances under one
+// driver.
+type Session struct {
+	ID string
+
+	prog *prog.Program
+	tr   *refsim.Trace
+
+	// mu serializes verbs and guards every field below. Verbs acquire
+	// it with TryLock: a held lock means a verb is in flight, and the
+	// correct debugger-facing answer is "busy", not a queue.
+	mu      sync.Mutex
+	m       *machine.Machine
+	state   State
+	rewinds int64
+
+	// ctl guards the interrupt plumbing, which Close must reach while
+	// mu is held by a running verb.
+	ctl         sync.Mutex
+	runCancel   context.CancelFunc
+	closing     bool
+	closeReason string
+
+	// lastUsed is the completion time of the most recent verb, read by
+	// the manager's idle-TTL janitor (guarded by ctl: the janitor must
+	// not block on a long-running verb holding mu).
+	lastUsed time.Time
+}
+
+// New builds a session: records (or reuses) the program's golden trace
+// and constructs the machine with rewind recording enabled. cfg.Scheme
+// must be a fresh instance (schemes are stateful). The program must
+// halt within the reference interpreter's step bound — a trace is what
+// powers rewind verification and divergence checks.
+func New(id string, p *prog.Program, cfg machine.Config) (*Session, error) {
+	tr, err := refsim.CachedTrace(p)
+	if err != nil {
+		return nil, fmt.Errorf("session: recording golden trace: %w", err)
+	}
+	cfg.RefTrace = tr
+	cfg.Rewindable = true
+	m, err := machine.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{ID: id, prog: p, tr: tr, m: m, state: StateCreated, lastUsed: time.Now()}, nil
+}
+
+// Trace returns the session's golden trace (read-only).
+func (s *Session) Trace() *refsim.Trace { return s.tr }
+
+// Program returns the program under debug.
+func (s *Session) Program() *prog.Program { return s.prog }
+
+// begin acquires the session for one verb, or fails fast.
+func (s *Session) begin() error {
+	if !s.mu.TryLock() {
+		return ErrBusy
+	}
+	if s.state == StateClosed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// end releases the session after a verb and stamps idle time.
+func (s *Session) end() {
+	s.ctl.Lock()
+	s.lastUsed = time.Now()
+	s.ctl.Unlock()
+	s.mu.Unlock()
+}
+
+// IdleFor reports how long the session has been idle. A session with a
+// verb in flight is not idle (the janitor must not reap a streaming
+// run just because it started long ago).
+func (s *Session) IdleFor(now time.Time) time.Duration {
+	if !s.mu.TryLock() {
+		return 0
+	}
+	defer s.mu.Unlock()
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	return now.Sub(s.lastUsed)
+}
+
+// State returns the current lifecycle state without taking the verb
+// lock (a streaming run reports "running").
+func (s *Session) State() State {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	return s.stateLocked()
+}
+
+// stateLocked reads state under ctl only; writers hold both mu and ctl.
+func (s *Session) stateLocked() State { return s.state }
+
+// setState transitions under both locks so State() is race-free.
+// Callers hold mu.
+func (s *Session) setState(next State) error {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	return s.to(next)
+}
+
+// --- views ---
+
+// View is the inspectable snapshot of a session.
+type View struct {
+	ID         string               `json:"id"`
+	State      State                `json:"state"`
+	Program    string               `json:"program"`
+	Scheme     string               `json:"scheme"`
+	Cycle      int64                `json:"cycle"`
+	FetchPC    int                  `json:"fetch_pc"`
+	Done       bool                 `json:"done"`
+	Fatal      string               `json:"fatal,omitempty"`
+	InFlight   int                  `json:"in_flight"`
+	Precise    bool                 `json:"precise"`
+	Retired    int                  `json:"retired"`
+	Exceptions int                  `json:"exceptions"`
+	TraceSteps int                  `json:"trace_steps"`
+	Rewinds    int64                `json:"rewinds"`
+	Regs       [isa.NumRegs]uint32 `json:"regs"`
+	Stats      core.Stats          `json:"scheme_stats"`
+}
+
+// view builds a View; callers hold mu.
+func (s *Session) view() View {
+	v := View{
+		ID:         s.ID,
+		State:      s.stateLocked(),
+		Program:    s.prog.Name,
+		Scheme:     s.m.Scheme().Name(),
+		Cycle:      s.m.Cycle(),
+		FetchPC:    s.m.FetchPC(),
+		Done:       s.m.Done(),
+		InFlight:   s.m.InFlight(),
+		Precise:    s.m.Precise(),
+		Retired:    s.m.OracleRetired(),
+		Exceptions: len(s.m.Exceptions()),
+		TraceSteps: s.tr.Steps(),
+		Rewinds:    s.rewinds,
+		Regs:       s.m.RegsSnapshot(),
+		Stats:      s.m.Scheme().Stats(),
+	}
+	if err := s.m.Fatal(); err != nil {
+		v.Fatal = err.Error()
+	}
+	return v
+}
+
+// Inspect returns the session snapshot.
+func (s *Session) Inspect() (View, error) {
+	if err := s.begin(); err != nil {
+		return View{}, err
+	}
+	defer s.end()
+	return s.view(), nil
+}
+
+// --- events ---
+
+// Event is one NDJSON stream record emitted while a run verb advances
+// the machine.
+type Event struct {
+	Type       string `json:"type"` // cycle | paused | done | error | closed
+	Cycle      int64  `json:"cycle"`
+	FetchPC    int    `json:"fetch_pc"`
+	InFlight   int    `json:"in_flight"`
+	Retired    int    `json:"retired"`
+	Exceptions int    `json:"exceptions"`
+	ERepairs   int    `json:"e_repairs"`
+	BRepairs   int    `json:"b_repairs"`
+	Ckpts      int    `json:"checkpoints"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Sink consumes stream events. A write error is treated as a client
+// disconnect and pauses the run.
+type Sink func(Event) error
+
+func (s *Session) event(typ, reason string) Event {
+	st := s.m.Scheme().Stats()
+	return Event{
+		Type:       typ,
+		Cycle:      s.m.Cycle(),
+		FetchPC:    s.m.FetchPC(),
+		InFlight:   s.m.InFlight(),
+		Retired:    s.m.OracleRetired(),
+		Exceptions: len(s.m.Exceptions()),
+		ERepairs:   st.ERepairs,
+		BRepairs:   st.BRepairs,
+		Ckpts:      st.Checkpoints,
+		Reason:     reason,
+	}
+}
+
+// --- run verbs ---
+
+// Step advances the machine by up to n cycles (cycle-skip may cover
+// more wall-clock cycles per Step) and returns the resulting view.
+func (s *Session) Step(n int) (View, error) {
+	if n <= 0 {
+		n = 1
+	}
+	return s.run(context.Background(), nil, 0, func() bool {
+		n--
+		return n < 0
+	})
+}
+
+// RunToCycle advances until the machine's cycle counter reaches c,
+// streaming an event to sink every stride cycles (stride <= 0 picks a
+// coarse default). ctx cancellation — a vanished client — pauses the
+// run and returns.
+func (s *Session) RunToCycle(ctx context.Context, c int64, stride int64, sink Sink) (View, error) {
+	return s.run(ctx, sink, stride, func() bool { return s.m.Cycle() >= c })
+}
+
+// RunToPC advances until the fetch stage sits at pc.
+func (s *Session) RunToPC(ctx context.Context, pc int, stride int64, sink Sink) (View, error) {
+	return s.run(ctx, sink, stride, func() bool { return s.m.FetchPC() == pc })
+}
+
+// run is the shared run-verb body: transition to running, advance until
+// the predicate holds (checked between cycles), the machine finishes,
+// the client disconnects, or the session is closed out from under us;
+// then transition back to paused and report how the run ended via the
+// terminal event.
+func (s *Session) run(ctx context.Context, sink Sink, stride int64, done func() bool) (View, error) {
+	if err := s.begin(); err != nil {
+		return View{}, err
+	}
+	defer s.end()
+	if err := s.setState(StateRunning); err != nil {
+		return View{}, err
+	}
+
+	// Arm the interrupt: Close cancels this context to stop a streaming
+	// run it cannot otherwise reach.
+	runCtx, cancel := context.WithCancel(ctx)
+	s.ctl.Lock()
+	s.runCancel = cancel
+	s.ctl.Unlock()
+	defer func() {
+		cancel()
+		s.ctl.Lock()
+		s.runCancel = nil
+		s.ctl.Unlock()
+	}()
+
+	if stride <= 0 {
+		stride = 1024
+	}
+	nextEmit := s.m.Cycle()
+	reason := "target reached"
+	for !done() {
+		if runCtx.Err() != nil {
+			reason = "interrupted"
+			break
+		}
+		if !s.m.Step() {
+			if err := s.m.Fatal(); err != nil {
+				reason = "fatal: " + err.Error()
+			} else {
+				reason = "program completed"
+			}
+			break
+		}
+		if sink != nil && s.m.Cycle() >= nextEmit {
+			nextEmit = s.m.Cycle() + stride
+			if err := sink(s.event("cycle", "")); err != nil {
+				reason = "client disconnected"
+				break
+			}
+		}
+	}
+
+	if err := s.setState(StatePaused); err != nil {
+		return View{}, err
+	}
+	s.ctl.Lock()
+	closing, closeReason := s.closing, s.closeReason
+	s.ctl.Unlock()
+	if sink != nil {
+		typ := "paused"
+		switch {
+		case closing:
+			// The session is being closed out from under this run (drain
+			// or DELETE); tell the streaming client before the connection
+			// drops.
+			typ, reason = "closed", closeReason
+		case s.m.Done():
+			typ = "done"
+		case s.m.Fatal() != nil:
+			typ = "error"
+		}
+		sink(s.event(typ, reason)) // best-effort: client may be gone
+	}
+	return s.view(), nil
+}
+
+// --- inspection verbs ---
+
+// Word is one inspected memory longword.
+type Word struct {
+	Addr   uint32 `json:"addr"`
+	Value  uint32 `json:"value"`
+	Mapped bool   `json:"mapped"`
+}
+
+// Memory reads words aligned longwords starting at addr, as the current
+// logical space observes them (non-perturbing).
+func (s *Session) Memory(addr uint32, words int) ([]Word, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	if words <= 0 {
+		words = 1
+	}
+	if words > 4096 {
+		words = 4096
+	}
+	addr &^= 3
+	out := make([]Word, 0, words)
+	for i := 0; i < words; i++ {
+		a := addr + uint32(i)*4
+		v, ok := s.m.PeekMem(a)
+		out = append(out, Word{Addr: a, Value: v, Mapped: ok})
+	}
+	return out, nil
+}
+
+// Checkpoints lists the machine's live rewind targets.
+func (s *Session) Checkpoints() ([]machine.RewindInfo, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	return s.m.RewindTargets(), nil
+}
+
+// Divergence is the result of auditing the machine's architectural
+// state against the golden trace.
+type Divergence struct {
+	// Comparable reports whether the machine currently rests on a
+	// recorded architectural boundary (right after create, a rewind, or
+	// completion). When false, Reason says why and the rest is empty.
+	Comparable bool   `json:"comparable"`
+	Reason     string `json:"reason,omitempty"`
+	Boundary   int    `json:"boundary,omitempty"` // golden step index compared against
+	Diverged   bool   `json:"diverged"`
+	// Mismatches lists human-readable differences (registers first,
+	// then sampled memory), capped.
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// CheckDivergence compares registers and mapped memory against
+// Replay.StateAt at the machine's current golden boundary.
+func (s *Session) CheckDivergence() (Divergence, error) {
+	if err := s.begin(); err != nil {
+		return Divergence{}, err
+	}
+	defer s.end()
+	gb, ok := s.m.GoldenBoundary()
+	if !ok {
+		return Divergence{
+			Reason: "machine is not at a recorded architectural boundary (pause with in-flight operations); rewind or run to completion first",
+		}, nil
+	}
+	st := s.tr.Replay().StateAt(gb.Steps)
+	d := Divergence{Comparable: true, Boundary: gb.Steps}
+	regs := s.m.RegsSnapshot()
+	for i := 0; i < isa.NumRegs && len(d.Mismatches) < 16; i++ {
+		if regs[i] != st.Regs[i] {
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("r%d: machine=%#x golden=%#x", i, regs[i], st.Regs[i]))
+		}
+	}
+	for addr := uint32(0); addr < 1<<22 && len(d.Mismatches) < 16; addr += 4 {
+		if !st.Mem.Mapped(addr) {
+			addr += 4092 // skip to next page boundary (loop adds 4)
+			continue
+		}
+		want, exc := st.Mem.Read32(addr)
+		if exc != 0 {
+			continue
+		}
+		if got, ok := s.m.PeekMem(addr); !ok || got != want {
+			d.Mismatches = append(d.Mismatches, fmt.Sprintf("mem[%#x]: machine=%#x golden=%#x", addr, got, want))
+		}
+	}
+	d.Diverged = len(d.Mismatches) > 0
+	return d, nil
+}
+
+// --- rewind verbs ---
+
+// Rewind restores the live checkpoint with BornSeq seq through the
+// scheme's repair paths and leaves the session paused on that boundary.
+func (s *Session) Rewind(seq uint64) (*machine.RewindInfo, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	info, err := s.m.Rewind(seq)
+	if err != nil {
+		return nil, err
+	}
+	s.rewinds++
+	return info, nil
+}
+
+// RewindNewConfig re-materializes the boundary of checkpoint seq under
+// a different machine configuration: the golden state at the boundary
+// seeds a fresh machine (machine.NewAt) which replaces the session's.
+// cfg.Scheme must be a fresh instance.
+func (s *Session) RewindNewConfig(seq uint64, cfg machine.Config) (*machine.RewindInfo, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	var target *machine.RewindInfo
+	for _, t := range s.m.RewindTargets() {
+		if t.Seq == seq {
+			t := t
+			target = &t
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("%w: no live checkpoint with seq %d", machine.ErrNotRewindable, seq)
+	}
+	if target.Steps < 0 {
+		return nil, fmt.Errorf("%w: checkpoint %d has no golden boundary record", machine.ErrNotRewindable, seq)
+	}
+	cfg.RefTrace = s.tr
+	cfg.Rewindable = true
+	m, err := machine.NewAt(s.prog, cfg, target.Steps)
+	if err != nil {
+		return nil, err
+	}
+	s.m = m
+	s.rewinds++
+	return target, nil
+}
+
+// --- close ---
+
+// Close interrupts any in-flight verb, transitions the session to
+// closed, and releases the machine. Idempotent. The reason is reported
+// to a streaming client through the run verb's terminal event.
+func (s *Session) Close(reason string) {
+	s.ctl.Lock()
+	if s.closing {
+		s.ctl.Unlock()
+		return
+	}
+	s.closing = true
+	s.closeReason = reason
+	if s.runCancel != nil {
+		s.runCancel() // unblocks a streaming run; it emits its terminal event
+	}
+	s.ctl.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	// Transition table: closed is reachable from every live state.
+	s.state = StateClosed
+	s.m = nil // release the machine's memory promptly
+}

@@ -1,0 +1,358 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/refsim"
+	"repro/internal/workload"
+)
+
+func mkCfg(scheme string) machine.Config {
+	cfg := machine.Config{MemSystem: machine.MemBackward3b}
+	switch scheme {
+	case "e":
+		cfg.Scheme = core.NewSchemeE(4, 8, 0)
+	case "b":
+		cfg.Scheme = core.NewSchemeB(4)
+		cfg.Speculate = true
+	case "tight":
+		cfg.Scheme = core.NewSchemeTight(4, 0)
+		cfg.Speculate = true
+	case "direct":
+		cfg.Scheme = core.NewSchemeDirect(2, 4, 12, 0)
+		cfg.Speculate = true
+	case "loose":
+		cfg.Scheme = core.NewSchemeLoose(2, 4, 12)
+		cfg.Speculate = true
+	}
+	if cfg.Speculate {
+		cfg.Predictor = bpred.NewBimodal(256)
+	}
+	return cfg
+}
+
+func mustSession(t *testing.T, kernel, scheme string) *Session {
+	t.Helper()
+	k, err := workload.ByName(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New("s-test", k.Load(), mkCfg(scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTransitionTable pins the FSM: exactly the documented transitions
+// are legal, and illegal moves surface as typed errors.
+func TestTransitionTable(t *testing.T) {
+	legal := map[string]bool{
+		"created>running": true, "created>closed": true,
+		"running>paused": true, "running>closed": true,
+		"paused>running": true, "paused>closed": true,
+	}
+	states := []State{StateCreated, StateRunning, StatePaused, StateClosed}
+	for _, from := range states {
+		for _, to := range states {
+			s := &Session{state: from}
+			err := s.to(to)
+			want := legal[fmt.Sprintf("%s>%s", from, to)]
+			if want && err != nil {
+				t.Errorf("%s -> %s: unexpected error %v", from, to, err)
+			}
+			if !want {
+				if err == nil {
+					t.Errorf("%s -> %s: illegal transition allowed", from, to)
+					continue
+				}
+				var te *TransitionError
+				if from == StateClosed {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("%s -> %s: want ErrClosed, got %v", from, to, err)
+					}
+				} else if !errors.As(err, &te) {
+					t.Errorf("%s -> %s: want *TransitionError, got %v", from, to, err)
+				}
+			}
+		}
+	}
+}
+
+// TestStepRunInspect drives the basic verb loop and checks the event
+// stream shape: ascending cycle events, then one terminal event.
+func TestStepRunInspect(t *testing.T) {
+	s := mustSession(t, "fib", "tight")
+	v, err := s.Step(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StatePaused || v.Cycle == 0 {
+		t.Fatalf("after step: state=%s cycle=%d", v.State, v.Cycle)
+	}
+
+	var events []Event
+	v, err = s.RunToCycle(context.Background(), v.Cycle+200, 16, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("too few events: %d", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "paused" && last.Type != "done" {
+		t.Fatalf("terminal event type %q", last.Type)
+	}
+	for i := 1; i < len(events)-1; i++ {
+		if events[i].Type != "cycle" || events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("event %d out of order: %+v after %+v", i, events[i], events[i-1])
+		}
+	}
+
+	iv, err := s.Inspect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Cycle != v.Cycle || iv.Program != "fib" {
+		t.Fatalf("inspect mismatch: %+v vs run view %+v", iv, v)
+	}
+	if _, err := s.Memory(0, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runToDone drives the session to completion.
+func runToDone(t *testing.T, s *Session) View {
+	t.Helper()
+	v, err := s.RunToCycle(context.Background(), 1<<40, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Done || v.Fatal != "" {
+		t.Fatalf("run did not complete cleanly: %+v", v)
+	}
+	return v
+}
+
+// TestSessionRewindEquivalence is the subsystem-level correctness
+// anchor: for every scheme family, rewinding mid-run and re-running to
+// completion must land on the golden architectural state (divergence
+// check clean both right after the rewind and at completion), matching
+// a fresh run's final registers.
+func TestSessionRewindEquivalence(t *testing.T) {
+	for _, scheme := range []string{"e", "b", "tight", "direct", "loose"} {
+		t.Run(scheme, func(t *testing.T) {
+			fresh := mustSession(t, "bubble", scheme)
+			final := runToDone(t, fresh)
+
+			s := mustSession(t, "bubble", scheme)
+			v, err := s.RunToCycle(context.Background(), final.Cycle/2, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Find a rewindable target, stepping forward until one works
+			// (targets can be transiently busy or squashed).
+			var info *machine.RewindInfo
+			for info == nil {
+				tgts, err := s.Checkpoints()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tgt := range tgts {
+					if !tgt.Rewindable {
+						continue
+					}
+					if got, err := s.Rewind(tgt.Seq); err == nil {
+						info = got
+						break
+					} else if !errors.Is(err, machine.ErrRewindBusy) && !errors.Is(err, machine.ErrNotRewindable) {
+						t.Fatalf("rewind: %v", err)
+					}
+				}
+				if info == nil {
+					if v, err = s.Step(1); err != nil {
+						t.Fatal(err)
+					}
+					if v.Done {
+						t.Fatal("reached completion without a successful rewind")
+					}
+				}
+			}
+
+			// Right after a rewind the machine rests on a golden boundary.
+			d, err := s.CheckDivergence()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Comparable || d.Diverged {
+				t.Fatalf("divergence after rewind: %+v", d)
+			}
+			if d.Boundary != info.Steps {
+				t.Fatalf("divergence boundary %d, rewind landed on %d", d.Boundary, info.Steps)
+			}
+
+			end := runToDone(t, s)
+			if end.Regs != final.Regs {
+				t.Fatalf("final registers differ from fresh run:\n%v\n%v", end.Regs, final.Regs)
+			}
+			if end.Exceptions != final.Exceptions {
+				t.Fatalf("final exception count %d vs fresh %d", end.Exceptions, final.Exceptions)
+			}
+			d, err = s.CheckDivergence()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Comparable || d.Diverged {
+				t.Fatalf("divergence at completion: %+v", d)
+			}
+		})
+	}
+}
+
+// TestRewindNewConfig rewinds into a different machine configuration:
+// the golden boundary state seeds a fresh machine under another scheme,
+// which must still complete on the golden path.
+func TestRewindNewConfig(t *testing.T) {
+	s := mustSession(t, "bubble", "tight")
+	before, err := s.RunToCycle(context.Background(), 300, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgts, err := s.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	found := false
+	for _, tgt := range tgts {
+		if tgt.Steps >= 0 {
+			seq, found = tgt.Seq, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no recorded boundary among targets: %+v", tgts)
+	}
+	info, err := s.RewindNewConfig(seq, mkCfg("loose"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := s.Inspect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Scheme == before.Scheme {
+		t.Fatalf("scheme did not change: %s", iv.Scheme)
+	}
+	d, err := s.CheckDivergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Comparable || d.Diverged || d.Boundary != info.Steps {
+		t.Fatalf("divergence after config-change rewind: %+v (want boundary %d)", d, info.Steps)
+	}
+	end := runToDone(t, s)
+	ref, err := refsim.CachedRun(s.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Regs != ref.Regs {
+		t.Fatalf("final registers diverged from reference:\n%v\n%v", end.Regs, ref.Regs)
+	}
+}
+
+// TestBusyClosedAndInterrupt covers the concurrency contract: a verb in
+// flight makes every other verb fail with ErrBusy; Close interrupts a
+// streaming run (terminal event "closed"); verbs after Close fail with
+// ErrClosed.
+func TestBusyClosedAndInterrupt(t *testing.T) {
+	s := mustSession(t, "sieve", "tight")
+
+	started := make(chan struct{})
+	terminal := make(chan Event, 1)
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.RunToCycle(context.Background(), 1<<40, 1, func(e Event) error {
+			once.Do(func() { close(started) })
+			if e.Type != "cycle" {
+				terminal <- e
+			}
+			// Slow the stream so the main goroutine reliably observes the
+			// running state.
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	<-started
+
+	if _, err := s.Inspect(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("inspect during run: want ErrBusy, got %v", err)
+	}
+	if _, err := s.Rewind(0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("rewind during run: want ErrBusy, got %v", err)
+	}
+	if st := s.State(); st != StateRunning {
+		t.Fatalf("state during run: %s", st)
+	}
+
+	s.Close("test shutdown")
+	wg.Wait()
+	select {
+	case e := <-terminal:
+		if e.Type != "closed" || e.Reason != "test shutdown" {
+			t.Fatalf("terminal event: %+v", e)
+		}
+	default:
+		t.Fatal("no terminal event delivered to the streaming client")
+	}
+
+	if _, err := s.Inspect(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("inspect after close: want ErrClosed, got %v", err)
+	}
+	if _, err := s.Step(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("step after close: want ErrClosed, got %v", err)
+	}
+	s.Close("again") // idempotent
+}
+
+// TestClientDisconnectPausesRun: a cancelled context (the HTTP request
+// context of a vanished client) pauses the run mid-flight.
+func TestClientDisconnectPausesRun(t *testing.T) {
+	s := mustSession(t, "sieve", "tight")
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	v, err := s.RunToCycle(ctx, 1<<40, 1, func(e Event) error {
+		n++
+		if n == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Done {
+		t.Fatal("run should have been interrupted, not completed")
+	}
+	if st := s.State(); st != StatePaused {
+		t.Fatalf("state after disconnect: %s", st)
+	}
+	// The session remains fully usable.
+	if _, err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+}

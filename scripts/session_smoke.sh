@@ -1,0 +1,181 @@
+#!/bin/sh
+# Debug-session smoke test: boot ckptd on a free port and drive scripted
+# time-travel sessions through ckptdbg:
+#
+#   1. create -> step -> run to a midpoint -> list checkpoints -> run to
+#      completion -> read the result from memory;
+#   2. replay the same deterministic prefix, rewind to a checkpoint that
+#      was live at the midpoint, audit against the golden trace, and run
+#      to completion again;
+#   3. leave a streaming run in flight, SIGTERM the daemon, and require
+#      a clean drain that hands the stream a terminal "closed" event.
+#
+# Used by `make session-smoke` (and therefore `make ci`).
+set -eu
+
+workdir=$(mktemp -d)
+addrfile="$workdir/ckptd.addr"
+logfile="$workdir/ckptd.log"
+status=1
+
+cleanup() {
+    if [ -n "${ckptd_pid:-}" ] && kill -0 "$ckptd_pid" 2>/dev/null; then
+        kill -TERM "$ckptd_pid" 2>/dev/null || true
+        wait "$ckptd_pid" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- ckptd log ---" >&2
+        cat "$logfile" >&2 || true
+        echo "--- ckptdbg stderr ---" >&2
+        cat "$workdir/dbg.err" >&2 || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/ckptd" ./cmd/ckptd
+go build -o "$workdir/ckptdbg" ./cmd/ckptdbg
+
+"$workdir/ckptd" -addr 127.0.0.1:0 -addrfile "$addrfile" -workers 1 \
+    >"$logfile" 2>&1 &
+ckptd_pid=$!
+
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "session-smoke: ckptd never wrote $addrfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "session-smoke: ckptd on $addr"
+
+# Phase 1: a full forward debug session on the deterministic bubble
+# kernel, pausing at cycle 400 to capture the live checkpoint set.
+"$workdir/ckptdbg" -addr "http://$addr" -e >"$workdir/dbg.out" 2>"$workdir/dbg.err" <<'EOF'
+create bubble scheme=tight c=4
+step 40
+run 400 64
+ckpts
+run
+div
+status
+mem 0x1000 4
+close
+EOF
+
+grep -q '"rewindable":true' "$workdir/dbg.out" || {
+    echo "session-smoke: no rewindable checkpoint at the midpoint" >&2
+    exit 1
+}
+grep -q '"type":"done"' "$workdir/dbg.out" || {
+    echo "session-smoke: forward session never reached completion" >&2
+    exit 1
+}
+grep -q '"comparable":true' "$workdir/dbg.out" || {
+    echo "session-smoke: completion-state audit was not comparable" >&2
+    exit 1
+}
+if grep -q '"diverged":true' "$workdir/dbg.out"; then
+    echo "session-smoke: forward session diverged from the golden trace" >&2
+    exit 1
+fi
+
+# Phase 2: replay the same deterministic prefix in a fresh session, so
+# the checkpoint that was live at cycle 400 is live again — then rewind
+# to it, audit the restored boundary, and re-run to completion.
+seq=$(sed -n 's/.*"seq":\([0-9]*\).*"rewindable":true.*/\1/p' "$workdir/dbg.out" | head -1)
+if [ -z "$seq" ]; then
+    echo "session-smoke: could not extract a rewindable checkpoint seq" >&2
+    exit 1
+fi
+echo "session-smoke: rewinding to checkpoint seq=$seq"
+"$workdir/ckptdbg" -addr "http://$addr" -e >"$workdir/dbg2.out" 2>>"$workdir/dbg.err" <<EOF
+create bubble scheme=tight c=4
+step 40
+run 400 64
+rewind $seq
+div
+run
+status
+close
+EOF
+
+grep -q '"rewound"' "$workdir/dbg2.out" || {
+    echo "session-smoke: rewind did not round-trip" >&2
+    exit 1
+}
+grep -q '"comparable":true' "$workdir/dbg2.out" || {
+    echo "session-smoke: post-rewind audit was not comparable" >&2
+    exit 1
+}
+if grep -q '"diverged":true' "$workdir/dbg2.out"; then
+    echo "session-smoke: rewound session diverged from the golden trace" >&2
+    exit 1
+fi
+grep -q '"rewinds":1' "$workdir/dbg2.out" || {
+    echo "session-smoke: session view did not count the rewind" >&2
+    exit 1
+}
+grep -q '"type":"done"' "$workdir/dbg2.out" || {
+    echo "session-smoke: rewound session never completed" >&2
+    exit 1
+}
+
+# Phase 3: graceful drain under a live stream. The spin kernel runs
+# ~1.5M reference steps (4 per iteration), so the streaming run is
+# still in flight when the daemon is told to shut down.
+cat >"$workdir/spin.s" <<'EOF'
+    addi r1, r0, 6000
+    slli r1, r1, 6         ; 384000 iterations
+loop:
+    beq  r1, r0, done
+    addi r2, r2, 1
+    addi r1, r1, -1
+    j    loop
+done:
+    sw   r2, out(r0)
+    halt
+.data 0x1000
+out: .word 0
+EOF
+{
+    echo "loadasm $workdir/spin.s"
+    echo "run 2000000000 8"
+} | "$workdir/ckptdbg" -addr "http://$addr" >"$workdir/dbg3.out" 2>>"$workdir/dbg.err" &
+dbg_pid=$!
+
+i=0
+while ! grep -q '"type":"cycle"' "$workdir/dbg3.out" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 250 ]; then
+        echo "session-smoke: streaming run never started" >&2
+        exit 1
+    fi
+    sleep 0.02
+done
+kill -TERM "$ckptd_pid"
+if ! wait "$ckptd_pid"; then
+    echo "session-smoke: ckptd did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+ckptd_pid=""
+wait "$dbg_pid" || true
+
+grep -q "drained clean" "$logfile" || {
+    echo "session-smoke: ckptd log missing clean-drain marker" >&2
+    exit 1
+}
+grep -q '"type":"closed"' "$workdir/dbg3.out" || {
+    echo "session-smoke: streaming client never saw the drain close event" >&2
+    exit 1
+}
+grep -q '"reason":"daemon draining"' "$workdir/dbg3.out" || {
+    echo "session-smoke: drain close event missing its reason" >&2
+    exit 1
+}
+
+status=0
+echo "session-smoke: ok (rewind round-trip verified, no divergence, drain closed the live stream)"
