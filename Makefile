@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke cluster-smoke session-smoke clean-store ci
+.PHONY: build vet test race fastpath bench bench-smoke experiments faultcamp profile serve loadtest smoke cluster-smoke session-smoke rv32-smoke clean-store ci
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,15 @@ test: build
 
 # Race-check the concurrency-sensitive surface: the parallel experiment
 # engine, the whole-machine golden tests it drives, the memoized
-# workload loaders shared across workers, the fault-injection campaign
-# fan-out (16 concurrent injected machines, including kill-and-resume),
-# the serving layer's single-flight cache and queue (64 concurrent
-# identical submissions), and the two-tier result store (concurrent
-# same-key writers/readers, store round-trip, corruption recovery).
+# workload loaders shared across workers (including the rv32 frontend's
+# content-hash program cache and all-schemes corpus sweep), the
+# fault-injection campaign fan-out (16 concurrent injected machines,
+# including kill-and-resume), the serving layer's single-flight cache
+# and queue (64 concurrent identical submissions), and the two-tier
+# result store (concurrent same-key writers/readers, store round-trip,
+# corruption recovery).
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/fault/ ./internal/service/ ./internal/session/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race ./internal/experiments/ ./internal/machine/ ./internal/workload/ ./internal/rv32/ ./internal/fault/ ./internal/service/ ./internal/session/ ./internal/store/ ./internal/cluster/
 
 # Fast-path equivalence: cycle skipping, trace replay, and the
 # batch-lockstep engine must change nothing observable (full-result
@@ -91,4 +93,11 @@ cluster-smoke:
 session-smoke:
 	sh scripts/session_smoke.sh
 
-ci: vet test fastpath race bench-smoke smoke cluster-smoke session-smoke
+# rv32 frontend smoke test: every embedded compiled-rv32 corpus binary
+# golden-checked across scheme shapes, then served through ckptd (corpus
+# reference + inline image + mini fault campaign, which must stay clean
+# for the covered classes) and debugged via ckptdbg loadrv32.
+rv32-smoke:
+	sh scripts/rv32_smoke.sh
+
+ci: vet test fastpath race bench-smoke smoke cluster-smoke session-smoke rv32-smoke

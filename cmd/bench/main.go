@@ -59,6 +59,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/refsim"
+	"repro/internal/rv32"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/workload"
@@ -209,7 +210,7 @@ type daemonBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output JSON path")
+	out := flag.String("o", "BENCH_8.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", 300*time.Millisecond, "target time per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after all benchmarks) to this file")
@@ -279,6 +280,47 @@ func main() {
 			}
 		})
 		rep.add("machine/"+name, r, retired)
+	}
+
+	// Compiled rv32 corpus binaries through the machine (BENCH_8):
+	// CorpusProgram memoizes translation, so the loop measures
+	// steady-state simulation of real compiled code, and the separate
+	// frontend entry isolates decode+translate+validate throughput.
+	for _, name := range rv32.CorpusNames() {
+		p, err := rv32.CorpusProgram(name)
+		if err != nil {
+			fatal(err)
+		}
+		var retired int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(p, machineCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired = res.Stats.Retired
+			}
+		})
+		rep.add("rv32/"+name, r, retired)
+	}
+	{
+		data, err := rv32.CorpusBytes("mix")
+		if err != nil {
+			fatal(err)
+		}
+		rep.add("rv32/frontend-mix", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				img, err := rv32.Load("mix", data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rv32.Translate(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), 0)
 	}
 
 	{

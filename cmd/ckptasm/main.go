@@ -7,6 +7,7 @@
 //	ckptasm -run prog.s        # assemble and execute on the reference interpreter
 //	ckptasm -encode prog.s     # assemble and dump the binary word stream
 //	ckptasm -kernel fib        # disassemble a built-in kernel
+//	ckptasm -rv32 prog.bin     # rv32 translation listing (corpus name, flat binary, or ELF)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/internal/refsim"
+	"repro/internal/rv32"
 	"repro/internal/workload"
 )
 
@@ -26,9 +28,22 @@ func main() {
 	runIt := flag.Bool("run", false, "execute on the reference interpreter")
 	encode := flag.Bool("encode", false, "dump the binary encoding")
 	kernel := flag.String("kernel", "", "operate on a built-in kernel instead of a file")
+	rv32Mode := flag.Bool("rv32", false, "print the rv32 translation listing for a compiled image (corpus name or file)")
 	version := buildinfo.Flag()
 	flag.Parse()
 	version()
+
+	if *rv32Mode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "ckptasm: -rv32 wants one argument: a corpus name or an image file")
+			os.Exit(1)
+		}
+		if err := rv32Listing(flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "ckptasm:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var p *prog.Program
 	var err error
@@ -80,6 +95,29 @@ func main() {
 		fmt.Printf("; %d instructions, %d branches (b=%.1f), %d loads, %d stores\n",
 			st.Insts, st.Branches, st.BranchEvery, st.Loads, st.Stores)
 	}
+}
+
+// rv32Listing prints the side-by-side rv32 → internal-ISA translation
+// for an embedded corpus binary (by name) or an image file on disk.
+func rv32Listing(arg string) error {
+	name, data := arg, []byte(nil)
+	if b, err := rv32.CorpusBytes(arg); err == nil {
+		data = b
+	} else if b, ferr := os.ReadFile(arg); ferr == nil {
+		data = b
+	} else {
+		return fmt.Errorf("%q is neither a corpus binary (%v) nor a readable file (%v)", arg, err, ferr)
+	}
+	img, err := rv32.Load(name, data)
+	if err != nil {
+		return err
+	}
+	listing, err := rv32.Listing(img)
+	if err != nil {
+		return err
+	}
+	fmt.Print(listing)
+	return nil
 }
 
 func pct(a, b int) float64 {

@@ -13,6 +13,7 @@
 //
 //	create <workload> [scheme=S c=N mem=M ...]   open a session on a built-in kernel
 //	loadasm <file.s> [scheme=S ...]              open a session on assembly source
+//	loadrv32 <file> [scheme=S ...]               open a session on a compiled rv32 image
 //	sessions                                     list open sessions
 //	attach <id>                                  switch the current session
 //	status                                       full session view
@@ -106,7 +107,7 @@ func (d *debugger) prompt() string {
 // need returns the current session id or an instructive error.
 func (d *debugger) need() (string, error) {
 	if d.id == "" {
-		return "", fmt.Errorf("no current session (use create, loadasm, or attach)")
+		return "", fmt.Errorf("no current session (use create, loadasm, loadrv32, or attach)")
 	}
 	return d.id, nil
 }
@@ -115,17 +116,26 @@ func (d *debugger) dispatch(cmd string, args []string) error {
 	ctx := context.Background()
 	switch cmd {
 	case "help":
-		fmt.Println("commands: create loadasm sessions attach status regs step run runpc ckpts rewind mem div close help quit")
+		fmt.Println("commands: create loadasm loadrv32 sessions attach status regs step run runpc ckpts rewind mem div close help quit")
 		return nil
 
-	case "create", "loadasm":
+	case "create", "loadasm", "loadrv32":
 		if len(args) < 1 {
-			return fmt.Errorf("usage: %s <%s> [key=value ...]", cmd, map[string]string{"create": "workload", "loadasm": "file.s"}[cmd])
+			return fmt.Errorf("usage: %s <%s> [key=value ...]",
+				cmd, map[string]string{"create": "workload", "loadasm": "file.s", "loadrv32": "file"}[cmd])
 		}
 		req := client.SessionCreate{}
-		if cmd == "create" {
+		switch cmd {
+		case "create":
 			req.Workload = args[0]
-		} else {
+		case "loadrv32":
+			img, err := os.ReadFile(args[0])
+			if err != nil {
+				return err
+			}
+			req.RV32 = img
+			req.Name = args[0]
+		default:
 			src, err := os.ReadFile(args[0])
 			if err != nil {
 				return err

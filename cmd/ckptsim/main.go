@@ -7,7 +7,13 @@
 //	ckptsim -kernel pagedemo -scheme loose -ce 2 -cb 4 -dist 12 -mem 3b
 //	ckptsim -prog myprog.s -scheme direct -pred gshare -trace
 //	ckptsim -kernel sieve -scheme e -c 2 -dist 8 -nospec
+//	ckptsim -kernel rv32:crc32 -scheme loose
+//	ckptsim -prog internal/rv32/testdata/mix.elf -scheme tight -c 4
 //	ckptsim -list
+//
+// Compiled rv32 images passed via -prog are autodetected (ELF magic,
+// or a .bin/.rv32 extension for flat binaries) and translated onto the
+// internal ISA; everything else is treated as assembly source.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/bpred"
@@ -23,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/prog"
 	"repro/internal/refsim"
+	"repro/internal/rv32"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -56,6 +65,9 @@ func main() {
 	if *list {
 		for _, k := range workload.Kernels() {
 			fmt.Printf("%-10s %s\n", k.Name, k.Description)
+		}
+		for _, name := range workload.RV32Names() {
+			fmt.Printf("%-10s compiled rv32 corpus binary\n", name)
 		}
 		return
 	}
@@ -166,6 +178,9 @@ func loadProgram(kernel, progFile string) (*prog.Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if isRV32File(progFile, src) {
+			return rv32.LoadProgram(progFile, src)
+		}
 		return asm.Assemble(progFile, string(src))
 	case kernel != "":
 		k, err := workload.ByName(kernel)
@@ -176,6 +191,19 @@ func loadProgram(kernel, progFile string) (*prog.Program, error) {
 	default:
 		return nil, fmt.Errorf("specify -kernel or -prog (or -list)")
 	}
+}
+
+// isRV32File autodetects compiled rv32 images: ELF by magic, flat
+// binaries by extension.
+func isRV32File(path string, data []byte) bool {
+	if rv32.IsELF(data) {
+		return true
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bin", ".rv32":
+		return true
+	}
+	return false
 }
 
 // reportJSON emits the run statistics as a single JSON object.

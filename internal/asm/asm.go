@@ -313,7 +313,7 @@ func (a *assembler) encode(pc int, si srcInst) (isa.Inst, error) {
 		}
 		in.Imm, err = a.branchTarget(si.line, pc, f[2])
 	case isa.FormatJ:
-		if si.op == isa.OpJAL {
+		if si.op.WritesRd() {
 			if err = need(2); err != nil {
 				return in, err
 			}
@@ -328,7 +328,7 @@ func (a *assembler) encode(pc int, si srcInst) (isa.Inst, error) {
 			in.Imm, err = a.codeTarget(si.line, f[0])
 		}
 	case isa.FormatJR:
-		if si.op == isa.OpJALR {
+		if si.op.WritesRd() {
 			if err = need(2); err != nil {
 				return in, err
 			}
@@ -341,6 +341,21 @@ func (a *assembler) encode(pc int, si srcInst) (isa.Inst, error) {
 				return in, err
 			}
 			in.Rs1, err = a.reg(si.line, f[0])
+		}
+	case isa.FormatJRI:
+		if si.op.WritesRd() {
+			if err = need(2); err != nil {
+				return in, err
+			}
+			if in.Rd, err = a.reg(si.line, f[0]); err != nil {
+				return in, err
+			}
+			in.Imm, in.Rs1, err = a.memOperand(si.line, f[1])
+		} else {
+			if err = need(1); err != nil {
+				return in, err
+			}
+			in.Imm, in.Rs1, err = a.memOperand(si.line, f[0])
 		}
 	case isa.FormatSys:
 		if si.op == isa.OpTRAP {

@@ -68,14 +68,14 @@ const (
 	OpSLT  // rd = 1 if rs1 < rs2 (signed) else 0
 	OpSLTU // rd = 1 if rs1 < rs2 (unsigned) else 0
 
-	// Register-immediate ALU operations. Imm is sign-extended 16 bits
-	// except for the logical operations, which zero-extend, and the
-	// shifts, which use the low 5 bits.
+	// Register-immediate ALU operations. Imm is a full 32-bit value
+	// (assemblers conventionally write 16-bit literals); the shifts use
+	// the low 5 bits.
 	OpADDI  // rd = rs1 + imm
 	OpADDIV // rd = rs1 + imm, overflow trap
-	OpANDI  // rd = rs1 & uimm
-	OpORI   // rd = rs1 | uimm
-	OpXORI  // rd = rs1 ^ uimm
+	OpANDI  // rd = rs1 & imm
+	OpORI   // rd = rs1 | imm
+	OpXORI  // rd = rs1 ^ imm
 	OpSLTI  // rd = 1 if rs1 < imm (signed) else 0
 	OpSLLI  // rd = rs1 << shamt
 	OpSRLI  // rd = rs1 >> shamt logical
@@ -118,6 +118,24 @@ const (
 	OpVLW  // rd+i  = mem32[rs1+imm+4i], i in [0,VectorLen)
 	OpVSW  // mem32[rs1+imm+4i] = rs2+i
 	OpVADD // rd+i  = (rs1+i) + (rs2+i)
+
+	// rv32 frontend extensions (internal/rv32). These exist so the
+	// rv32i translator has a clean 1:1 lowering where the base ISA
+	// differs from RISC-V: full 32-bit immediates (LI covers LUI and
+	// AUIPC with the constant precomputed at translation time),
+	// unsigned immediate compares, halfword memory accesses, and
+	// byte-addressed indirect jumps. Register-resident code pointers in
+	// translated programs are rv32 byte addresses; the *A control
+	// transfers convert at the boundary (link = 4*(pc+1), target =
+	// byte address / 4) and fault on word-misaligned targets.
+	OpLI    // rd = imm (full 32-bit immediate)
+	OpSLTIU // rd = 1 if rs1 < imm (unsigned) else 0
+	OpLH    // rd = sign-extended mem16[ea]; ea must be 2-aligned
+	OpLHU   // rd = zero-extended mem16[ea]; ea must be 2-aligned
+	OpSH    // mem16[ea] = low half of rs2; ea must be 2-aligned
+	OpJALA  // rd = 4*(pc+1); pc = imm (instruction index)
+	OpJRA   // pc = (rs1+imm)/4; misaligned-target fault
+	OpJALRA // rd = 4*(pc+1); pc = (rs1+imm)/4; misaligned-target fault
 
 	numOps
 )
@@ -174,6 +192,7 @@ const (
 	FormatJ                 // op target / op rd, target (JAL)
 	FormatJR                // op rs1 / op rd, rs1 (JALR)
 	FormatSys               // op imm (TRAP) or bare op (HALT, NOP)
+	FormatJRI               // op imm(rs1) / op rd, imm(rs1) (JRA, JALRA)
 )
 
 type opInfo struct {
@@ -244,6 +263,15 @@ var opTable = [numOps]opInfo{
 	OpVLW:  {name: "vlw", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
 	OpVSW:  {name: "vsw", class: ClassStore, format: FormatMem, readsRs1: true, readsRs2: true, canFault: true},
 	OpVADD: {name: "vadd", class: ClassALU, format: FormatRRR, readsRs1: true, readsRs2: true, writesRd: true},
+
+	OpLI:    {name: "li", class: ClassALU, format: FormatRI, writesRd: true},
+	OpSLTIU: {name: "sltiu", class: ClassALU, format: FormatRRI, readsRs1: true, writesRd: true},
+	OpLH:    {name: "lh", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpLHU:   {name: "lhu", class: ClassLoad, format: FormatMem, readsRs1: true, writesRd: true, canFault: true},
+	OpSH:    {name: "sh", class: ClassStore, format: FormatMem, readsRs1: true, readsRs2: true, canFault: true},
+	OpJALA:  {name: "jala", class: ClassJump, format: FormatJ, writesRd: true},
+	OpJRA:   {name: "jra", class: ClassJump, format: FormatJRI, readsRs1: true, canFault: true},
+	OpJALRA: {name: "jalra", class: ClassJump, format: FormatJRI, readsRs1: true, writesRd: true, canFault: true},
 }
 
 // Ops returns the number of operations the instruction contains: 1 for
@@ -355,15 +383,20 @@ func (in Inst) String() string {
 	case FormatBr:
 		return fmt.Sprintf("%s %s, %s, %+d", in.Op, in.Rs1, in.Rs2, in.Imm)
 	case FormatJ:
-		if in.Op == OpJAL {
+		if in.Op.WritesRd() {
 			return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
 		}
 		return fmt.Sprintf("%s %d", in.Op, in.Imm)
 	case FormatJR:
-		if in.Op == OpJALR {
+		if in.Op.WritesRd() {
 			return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
 		}
 		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case FormatJRI:
+		if in.Op.WritesRd() {
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s %d(%s)", in.Op, in.Imm, in.Rs1)
 	case FormatSys:
 		if in.Op == OpTRAP {
 			return fmt.Sprintf("%s %d", in.Op, in.Imm)
@@ -386,6 +419,16 @@ func (in Inst) IsControl() bool {
 
 // IsMemWrite reports whether the instruction writes memory.
 func (in Inst) IsMemWrite() bool { return in.Op.Class() == ClassStore }
+
+// IsIndirectJump reports whether the opcode transfers control to a
+// register-determined target (resolved at execute, not decode).
+func (op Op) IsIndirectJump() bool {
+	switch op {
+	case OpJR, OpJALR, OpJRA, OpJALRA:
+		return true
+	}
+	return false
+}
 
 // Sources returns the architectural registers read by the instruction.
 // The result is at most two registers; absent sources are reported by n.

@@ -41,7 +41,9 @@ func TestTrapFaultPartition(t *testing.T) {
 	faults := map[Op]bool{
 		OpDIV: true, OpREM: true,
 		OpLW: true, OpLB: true, OpLBU: true, OpSW: true, OpSB: true,
+		OpLH: true, OpLHU: true, OpSH: true,
 		OpVLW: true, OpVSW: true,
+		OpJRA: true, OpJALRA: true,
 		OpInvalid: true,
 	}
 	for op := Op(0); op < Op(NumOps()); op++ {

@@ -913,7 +913,13 @@ func (m *Machine) deliver(op *ooo.Op) {
 			// it, so its PC is the actual target and alignment resumes.
 			m.aligned = !m.shadow.Halted() && m.shadow.PC() == actualNext
 		}
-	case op.Inst.Op == isa.OpJR || op.Inst.Op == isa.OpJALR:
+	case op.Inst.Op.IsIndirectJump():
+		if op.Exc != isa.ExcCodeNone {
+			// The jump faulted (misaligned target): there is no resolved
+			// target. Fetch stays stalled until the scheme's E-repair
+			// redirects it (RedirectFetch clears the stall).
+			return
+		}
 		m.jumpStall = false
 		m.fetchPC = op.Target
 		if m.fetchPC < 0 || m.fetchPC >= len(m.prog.Code) {
@@ -974,7 +980,9 @@ func (m *Machine) deliverPrecise(op *ooo.Op) {
 		} else {
 			m.fetchPC = op.PC + 1
 		}
-	case op.Inst.Op == isa.OpJR || op.Inst.Op == isa.OpJALR:
+	case op.Inst.Op.Class() == isa.ClassJump:
+		// Direct and indirect alike: the executed target is authoritative
+		// (a faulting indirect jump took the exception path above).
 		m.fetchPC = op.Target
 	case op.Halt:
 		m.done = true
@@ -1329,7 +1337,7 @@ func (m *Machine) issueOne(in isa.Inst) {
 			nextPC = -1
 		}
 	case isa.ClassJump:
-		if in.Op == isa.OpJ || in.Op == isa.OpJAL {
+		if in.Op.Format() == isa.FormatJ {
 			nextPC = int(in.Imm)
 		} else {
 			m.jumpStall = true

@@ -203,10 +203,11 @@ func (m *Memory) MappedRange(addr, size uint32) bool {
 }
 
 // check validates an access and returns the exception code it raises,
-// or isa.ExcCodeNone. Longword accesses must be 4-aligned; an aligned
-// longword never straddles a page.
+// or isa.ExcCodeNone. Multi-byte accesses must be naturally aligned
+// (longwords 4-aligned, halfwords 2-aligned); a naturally aligned
+// access never straddles a page.
 func (m *Memory) check(addr, size uint32) isa.ExcCode {
-	if size == isa.WordSize && addr%isa.WordSize != 0 {
+	if size > 1 && addr%size != 0 {
 		return isa.ExcCodeMisaligned
 	}
 	// Fast path: the access lies within one mapped page (true for every

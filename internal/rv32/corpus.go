@@ -1,0 +1,347 @@
+package rv32
+
+import (
+	"crypto/sha256"
+	"embed"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+
+	"repro/internal/prog"
+)
+
+// The hermetic test-binary corpus: four real compiled rv32 programs
+// committed under testdata/ and embedded into the binary. No RISC-V
+// toolchain is needed anywhere — the binaries are produced by the
+// package's own Builder (see BuildCorpus), cmd gen regenerates them,
+// and TestCorpusRegeneration pins the committed bytes to the builders.
+
+//go:embed testdata/*.bin testdata/*.elf
+var corpusFS embed.FS
+
+//go:embed testdata/golden.json
+var goldenJSON []byte
+
+// GoldenJSON returns the committed golden-digest table (see
+// gen/main.go for the format).
+func GoldenJSON() []byte { return goldenJSON }
+
+// CorpusNames lists the embedded corpus binaries in sorted order.
+func CorpusNames() []string {
+	ents, err := corpusFS.ReadDir("testdata")
+	if err != nil {
+		panic(err) // embed is compile-time; cannot fail at run time
+	}
+	var names []string
+	for _, e := range ents {
+		ext := path.Ext(e.Name())
+		if ext == ".bin" || ext == ".elf" {
+			names = append(names, e.Name()[:len(e.Name())-len(ext)])
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CorpusBytes returns the raw image bytes of an embedded corpus binary.
+func CorpusBytes(name string) ([]byte, error) {
+	for _, ext := range []string{".bin", ".elf"} {
+		if data, err := corpusFS.ReadFile("testdata/" + name + ext); err == nil {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("rv32: no corpus binary %q (have %v)", name, CorpusNames())
+}
+
+// CorpusProgram loads, translates, and memoizes an embedded corpus
+// binary.
+func CorpusProgram(name string) (*prog.Program, error) {
+	data, err := CorpusBytes(name)
+	if err != nil {
+		return nil, err
+	}
+	return LoadProgram(name, data)
+}
+
+// progCache interns translated programs by content hash so identical
+// bytes always yield the same *prog.Program instance — which is what
+// keeps refsim trace memos (attached to the program) and batch-lockstep
+// grouping warm across repeated loads.
+var progCache sync.Map // [sha256.Size]byte -> *prog.Program
+
+// LoadProgram loads an rv32 binary (flat or ELF, autodetected) and
+// translates it, memoizing the result by a hash of (name, content).
+func LoadProgram(name string, data []byte) (*prog.Program, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s:", len(name), name)
+	h.Write(data)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	if v, ok := progCache.Load(key); ok {
+		return v.(*prog.Program), nil
+	}
+	img, err := Load(name, data)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Translate(img)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := progCache.LoadOrStore(key, p)
+	return v.(*prog.Program), nil
+}
+
+// BuildCorpus deterministically regenerates every corpus binary from
+// the in-tree builders. gen/main.go writes these to testdata/;
+// TestCorpusRegeneration asserts they match the committed bytes.
+func BuildCorpus() (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for name, build := range corpusBuilders {
+		data, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", name, err)
+		}
+		out[name] = data
+	}
+	return out, nil
+}
+
+var corpusBuilders = map[string]func() ([]byte, error){
+	"sort.bin":  buildSort,
+	"crc32.bin": buildCRC32,
+	"fib.bin":   buildFib,
+	"mix.elf":   buildMix,
+}
+
+// buildSort: fill a 32-word array at 0x1000 from an LCG, bubble-sort
+// it in place, fold a checksum, store it at 0x1100, ebreak. Dense
+// data-dependent branching — the swap branch is close to random.
+func buildSort() ([]byte, error) {
+	b := NewBuilder(0)
+	const arr, n = 0x1000, 32
+	b.Li(5, arr)
+	b.Li(6, n)
+	b.Li(7, 12345)      // LCG state
+	b.Li(9, 1103515245) // LCG multiplier
+	b.Li(10, 12345)     // LCG increment
+	b.Li(8, 0)          // i
+	b.L("fill")
+	b.R(OpMUL, 7, 7, 9)
+	b.R(OpADD, 7, 7, 10)
+	b.I(OpSLLI, 11, 8, 2)
+	b.R(OpADD, 11, 11, 5)
+	b.S(OpSW, 7, 11, 0)
+	b.I(OpADDI, 8, 8, 1)
+	b.Br(OpBLT, 8, 6, "fill")
+
+	b.Li(8, 0) // i
+	b.L("outer")
+	b.I(OpADDI, 12, 6, -1)
+	b.R(OpSUB, 12, 12, 8) // limit = n-1-i
+	b.Li(13, 0)           // j
+	b.L("inner")
+	b.Br(OpBGE, 13, 12, "inner_done")
+	b.I(OpSLLI, 14, 13, 2)
+	b.R(OpADD, 14, 14, 5)
+	b.I(OpLW, 15, 14, 0)
+	b.I(OpLW, 16, 14, 4)
+	b.Br(OpBGE, 16, 15, "no_swap") // already ordered
+	b.S(OpSW, 16, 14, 0)
+	b.S(OpSW, 15, 14, 4)
+	b.L("no_swap")
+	b.I(OpADDI, 13, 13, 1)
+	b.Jal(0, "inner")
+	b.L("inner_done")
+	b.I(OpADDI, 8, 8, 1)
+	b.I(OpADDI, 12, 6, -1)
+	b.Br(OpBLT, 8, 12, "outer")
+
+	// checksum = sum of arr[k]*k (order-sensitive: wrong sort → wrong sum)
+	b.Li(8, 0)
+	b.Li(17, 0)
+	b.L("sum")
+	b.I(OpSLLI, 14, 8, 2)
+	b.R(OpADD, 14, 14, 5)
+	b.I(OpLW, 15, 14, 0)
+	b.R(OpMUL, 15, 15, 8)
+	b.R(OpADD, 17, 17, 15)
+	b.I(OpADDI, 8, 8, 1)
+	b.Br(OpBLT, 8, 6, "sum")
+	b.Li(5, 0x1100)
+	b.S(OpSW, 17, 5, 0)
+	b.Sys(OpEBREAK)
+	return b.Assemble()
+}
+
+// buildCRC32: bit-wise CRC-32 (reflected 0xEDB88320) over a 64-byte
+// message embedded after the code — a flat image whose tail is data,
+// exercising the data-in-text path and a tight 8-iteration inner loop.
+func buildCRC32() ([]byte, error) {
+	b := NewBuilder(0)
+	b.Jal(1, "crc")
+	b.Li(5, 0x1800)
+	b.S(OpSW, 10, 5, 0)
+	b.Sys(OpEBREAK)
+
+	b.L("crc")
+	b.La(5, "msg")
+	b.Li(6, 64)
+	b.Li(10, -1)
+	b.Li(9, -306674912) // 0xEDB88320
+	b.L("byteloop")
+	b.I(OpLBU, 7, 5, 0)
+	b.R(OpXOR, 10, 10, 7)
+	b.Li(8, 8)
+	b.L("bitloop")
+	b.I(OpANDI, 11, 10, 1)
+	b.I(OpSRLI, 10, 10, 1)
+	b.Br(OpBEQ, 11, 0, "nobit")
+	b.R(OpXOR, 10, 10, 9)
+	b.L("nobit")
+	b.I(OpADDI, 8, 8, -1)
+	b.Br(OpBNE, 8, 0, "bitloop")
+	b.I(OpADDI, 5, 5, 1)
+	b.I(OpADDI, 6, 6, -1)
+	b.Br(OpBNE, 6, 0, "byteloop")
+	b.I(OpXORI, 10, 10, -1)
+	b.Ret()
+
+	b.L("msg")
+	msg := make([]byte, 64)
+	copy(msg, []byte("checkpoint repair for out-of-order execution machines, 1987."))
+	b.Bytes(msg)
+	return b.Assemble()
+}
+
+// buildFib: recursive fib(12) with a real call stack near 0x80000 —
+// every frame's first store page-faults into fresh demand-mapped
+// pages, and every return is an indirect jump through x1.
+func buildFib() ([]byte, error) {
+	b := NewBuilder(0)
+	b.Li(2, 0x80000) // sp
+	b.Li(10, 12)
+	b.Jal(1, "fib")
+	b.Li(5, 0x1000)
+	b.S(OpSW, 10, 5, 0)
+	b.Sys(OpEBREAK)
+
+	b.L("fib")
+	b.I(OpADDI, 2, 2, -16)
+	b.S(OpSW, 1, 2, 12)
+	b.S(OpSW, 8, 2, 8)
+	b.S(OpSW, 9, 2, 4)
+	b.Li(5, 2)
+	b.Br(OpBLT, 10, 5, "done")
+	b.R(OpADD, 8, 0, 10)
+	b.I(OpADDI, 10, 8, -1)
+	b.Jal(1, "fib")
+	b.R(OpADD, 9, 0, 10)
+	b.I(OpADDI, 10, 8, -2)
+	b.Jal(1, "fib")
+	b.R(OpADD, 10, 10, 9)
+	b.L("done")
+	b.I(OpLW, 9, 2, 4)
+	b.I(OpLW, 8, 2, 8)
+	b.I(OpLW, 1, 2, 12)
+	b.I(OpADDI, 2, 2, 16)
+	b.Ret()
+	return b.Assemble()
+}
+
+// buildMix: a dhrystone-style mix packaged as an ELF32 executable with
+// text at 0x1000 and a data segment at 0x2000: string copy and compare
+// (byte loads/stores), a signed halfword sum (lh/sh), a call through a
+// function pointer (jalr with a link register), an ecall (software
+// trap), and a mul/div/rem tail.
+func buildMix() ([]byte, error) {
+	const textBase, dataBase = 0x1000, 0x2000
+	const src, dst, harr, res = dataBase, dataBase + 0x100, dataBase + 0x80, dataBase + 0x180
+
+	b := NewBuilder(textBase)
+	b.L("_start")
+	b.Li(5, src)
+	b.Li(6, dst)
+	b.Jal(1, "strcpy")
+	b.Li(5, src)
+	b.Li(6, dst)
+	b.Jal(1, "strcmp")
+	b.Li(7, res)
+	b.S(OpSW, 10, 7, 0) // expect 0
+	b.La(28, "hsum")    // function pointer
+	b.I(OpJALR, 1, 28, 0)
+	b.Li(7, res)
+	b.S(OpSH, 10, 7, 4) // halfword store of the sum
+	b.Sys(OpECALL)      // logged software trap; execution continues
+	b.I(OpSRAI, 12, 10, 2)
+	b.I(OpSLTIU, 13, 12, 500)
+	b.Li(7, 3)
+	b.R(OpDIV, 14, 10, 7)
+	b.R(OpREM, 15, 10, 7)
+	b.R(OpMUL, 16, 14, 7)
+	b.R(OpSLTU, 17, 16, 10)
+	b.Li(7, res)
+	b.S(OpSW, 14, 7, 8)
+	b.S(OpSW, 15, 7, 12)
+	b.S(OpSW, 17, 7, 16)
+	b.Sys(OpEBREAK)
+
+	b.L("strcpy") // (x5 src, x6 dst), clobbers x7
+	b.L("cploop")
+	b.I(OpLB, 7, 5, 0)
+	b.S(OpSB, 7, 6, 0)
+	b.I(OpADDI, 5, 5, 1)
+	b.I(OpADDI, 6, 6, 1)
+	b.Br(OpBNE, 7, 0, "cploop")
+	b.Ret()
+
+	b.L("strcmp") // (x5, x6) -> x10
+	b.L("cmploop")
+	b.I(OpLB, 7, 5, 0)
+	b.I(OpLB, 8, 6, 0)
+	b.Br(OpBNE, 7, 8, "cmpdiff")
+	b.Br(OpBEQ, 7, 0, "cmpeq")
+	b.I(OpADDI, 5, 5, 1)
+	b.I(OpADDI, 6, 6, 1)
+	b.Jal(0, "cmploop")
+	b.L("cmpdiff")
+	b.R(OpSUB, 10, 7, 8)
+	b.Ret()
+	b.L("cmpeq")
+	b.Li(10, 0)
+	b.Ret()
+
+	b.L("hsum") // sum 16 signed halfwords at harr -> x10
+	b.Li(5, harr)
+	b.Li(6, 16)
+	b.Li(10, 0)
+	b.L("hloop")
+	b.I(OpLH, 7, 5, 0)
+	b.R(OpADD, 10, 10, 7)
+	b.I(OpADDI, 5, 5, 2)
+	b.I(OpADDI, 6, 6, -1)
+	b.Br(OpBNE, 6, 0, "hloop")
+	b.Ret()
+
+	text, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+
+	data := make([]byte, 0x200)
+	copy(data, []byte("the quick brown fox jumps over the lazy dog"))
+	hvals := []int16{1000, -700, 123, -1, 32767, -32768, 55, -999, 13, 0, 8191, -4096, 77, -77, 500, -500}
+	for i, v := range hvals {
+		data[0x80+2*i] = byte(v)
+		data[0x80+2*i+1] = byte(uint16(v) >> 8)
+	}
+	img := &Image{
+		Name:     "mix",
+		Entry:    textBase,
+		TextBase: textBase,
+		Text:     text,
+		Data:     []prog.Segment{{Addr: dataBase, Data: data}},
+	}
+	return WriteELF(img), nil
+}

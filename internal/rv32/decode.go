@@ -1,0 +1,323 @@
+// Package rv32 is the real-program frontend: it decodes RISC-V rv32i
+// machine code, loads flat binaries and minimal ELF32 executables, and
+// translates them into prog.Program over the internal ISA so compiled
+// programs run through the checkpoint-repair machinery unchanged.
+//
+// The translation is strictly one internal instruction per rv32 word
+// with an identity address mapping (internal instruction index = rv32
+// byte address / 4). Register-resident code pointers — return
+// addresses, jump-table entries — therefore stay rv32 byte addresses,
+// and the byte-addressed control transfers added to internal/isa
+// (JALA/JRA/JALRA) convert at the boundary. See DESIGN.md §12 for the
+// full lowering table.
+package rv32
+
+import "fmt"
+
+// Op enumerates the rv32 instructions the decoder understands: the
+// full rv32i base set plus the RV32M multiply/divide group (which
+// compilers emit freely; the translator accepts MUL/DIV/REM and
+// rejects the rest).
+type Op uint8
+
+// rv32 opcodes.
+const (
+	OpInvalid Op = iota
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpFENCE
+	OpFENCEI
+	OpECALL
+	OpEBREAK
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpLUI:     "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori", OpORI: "ori", OpANDI: "andi",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai",
+	OpADD: "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt", OpSLTU: "sltu",
+	OpXOR: "xor", OpSRL: "srl", OpSRA: "sra", OpOR: "or", OpAND: "and",
+	OpFENCE: "fence", OpFENCEI: "fence.i", OpECALL: "ecall", OpEBREAK: "ebreak",
+	OpMUL: "mul", OpMULH: "mulh", OpMULHSU: "mulhsu", OpMULHU: "mulhu",
+	OpDIV: "div", OpDIVU: "divu", OpREM: "rem", OpREMU: "remu",
+}
+
+// String returns the standard RISC-V mnemonic.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("rv32op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Inst is one decoded rv32 instruction. Imm holds the fully decoded,
+// sign-extended immediate of the instruction's format: I/S-immediates
+// are byte offsets, B/J-immediates are pc-relative byte displacements,
+// U-immediates are the already-shifted upper-20-bit value, and shift
+// immediates are the 5-bit shamt.
+type Inst struct {
+	Op           Op
+	Rd, Rs1, Rs2 uint8
+	Imm          int32
+}
+
+// DecodeError reports an undecodable instruction word.
+type DecodeError struct {
+	Word   uint32
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("rv32: cannot decode %#08x: %s", e.Word, e.Reason)
+}
+
+// Major opcode field values (w & 0x7f).
+const (
+	opcLUI    = 0x37
+	opcAUIPC  = 0x17
+	opcJAL    = 0x6f
+	opcJALR   = 0x67
+	opcBranch = 0x63
+	opcLoad   = 0x03
+	opcStore  = 0x23
+	opcOpImm  = 0x13
+	opcOp     = 0x33
+	opcMisc   = 0x0f
+	opcSystem = 0x73
+)
+
+func immI(w uint32) int32 { return int32(w) >> 20 }
+
+func immS(w uint32) int32 {
+	return (int32(w)>>25)<<5 | int32(w>>7&0x1f)
+}
+
+func immB(w uint32) int32 {
+	return (int32(w)>>31)<<12 | int32(w>>7&1)<<11 | int32(w>>25&0x3f)<<5 | int32(w>>8&0xf)<<1
+}
+
+func immU(w uint32) int32 { return int32(w & 0xfffff000) }
+
+func immJ(w uint32) int32 {
+	return (int32(w)>>31)<<20 | int32(w>>12&0xff)<<12 | int32(w>>20&1)<<11 | int32(w>>21&0x3ff)<<1
+}
+
+// Decode decodes one 32-bit rv32 instruction word.
+func Decode(w uint32) (Inst, error) {
+	if w&0x3 != 0x3 {
+		// 16-bit compressed encoding space; the frontend requires
+		// binaries built without the C extension.
+		return Inst{}, &DecodeError{w, "compressed (RVC) encoding not supported"}
+	}
+	in := Inst{
+		Rd:  uint8(w >> 7 & 0x1f),
+		Rs1: uint8(w >> 15 & 0x1f),
+		Rs2: uint8(w >> 20 & 0x1f),
+	}
+	f3 := w >> 12 & 0x7
+	f7 := w >> 25
+
+	switch w & 0x7f {
+	case opcLUI:
+		in.Op, in.Imm = OpLUI, immU(w)
+	case opcAUIPC:
+		in.Op, in.Imm = OpAUIPC, immU(w)
+	case opcJAL:
+		in.Op, in.Imm = OpJAL, immJ(w)
+	case opcJALR:
+		if f3 != 0 {
+			return Inst{}, &DecodeError{w, "JALR with nonzero funct3"}
+		}
+		in.Op, in.Imm = OpJALR, immI(w)
+	case opcBranch:
+		ops := [8]Op{OpBEQ, OpBNE, 0, 0, OpBLT, OpBGE, OpBLTU, OpBGEU}
+		if ops[f3] == 0 {
+			return Inst{}, &DecodeError{w, fmt.Sprintf("branch funct3 %d", f3)}
+		}
+		in.Op, in.Imm = ops[f3], immB(w)
+	case opcLoad:
+		ops := [8]Op{OpLB, OpLH, OpLW, 0, OpLBU, OpLHU, 0, 0}
+		if ops[f3] == 0 {
+			return Inst{}, &DecodeError{w, fmt.Sprintf("load funct3 %d", f3)}
+		}
+		in.Op, in.Imm = ops[f3], immI(w)
+	case opcStore:
+		ops := [8]Op{OpSB, OpSH, OpSW, 0, 0, 0, 0, 0}
+		if ops[f3] == 0 {
+			return Inst{}, &DecodeError{w, fmt.Sprintf("store funct3 %d", f3)}
+		}
+		in.Op, in.Imm = ops[f3], immS(w)
+	case opcOpImm:
+		switch f3 {
+		case 0:
+			in.Op, in.Imm = OpADDI, immI(w)
+		case 2:
+			in.Op, in.Imm = OpSLTI, immI(w)
+		case 3:
+			in.Op, in.Imm = OpSLTIU, immI(w)
+		case 4:
+			in.Op, in.Imm = OpXORI, immI(w)
+		case 6:
+			in.Op, in.Imm = OpORI, immI(w)
+		case 7:
+			in.Op, in.Imm = OpANDI, immI(w)
+		case 1:
+			if f7 != 0 {
+				return Inst{}, &DecodeError{w, "SLLI with nonzero funct7"}
+			}
+			in.Op, in.Imm = OpSLLI, int32(in.Rs2)
+		case 5:
+			switch f7 {
+			case 0:
+				in.Op, in.Imm = OpSRLI, int32(in.Rs2)
+			case 0x20:
+				in.Op, in.Imm = OpSRAI, int32(in.Rs2)
+			default:
+				return Inst{}, &DecodeError{w, fmt.Sprintf("shift funct7 %#x", f7)}
+			}
+		}
+	case opcOp:
+		switch f7 {
+		case 0:
+			ops := [8]Op{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}
+			in.Op = ops[f3]
+		case 0x20:
+			switch f3 {
+			case 0:
+				in.Op = OpSUB
+			case 5:
+				in.Op = OpSRA
+			default:
+				return Inst{}, &DecodeError{w, fmt.Sprintf("funct7=0x20 funct3 %d", f3)}
+			}
+		case 1: // RV32M
+			ops := [8]Op{OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+			in.Op = ops[f3]
+		default:
+			return Inst{}, &DecodeError{w, fmt.Sprintf("OP funct7 %#x", f7)}
+		}
+	case opcMisc:
+		switch f3 {
+		case 0:
+			in.Op = OpFENCE
+		case 1:
+			in.Op = OpFENCEI
+		default:
+			return Inst{}, &DecodeError{w, fmt.Sprintf("MISC-MEM funct3 %d", f3)}
+		}
+		// The ordering-hint fields (pred/succ/rs1/rd) do not change the
+		// instruction's meaning here; normalize them away.
+		in.Rd, in.Rs1, in.Rs2, in.Imm = 0, 0, 0, 0
+	case opcSystem:
+		if f3 != 0 {
+			return Inst{}, &DecodeError{w, "CSR instructions not supported"}
+		}
+		switch w >> 20 {
+		case 0:
+			in.Op = OpECALL
+		case 1:
+			in.Op = OpEBREAK
+		default:
+			return Inst{}, &DecodeError{w, fmt.Sprintf("SYSTEM imm %#x", w>>20)}
+		}
+		if in.Rd != 0 || in.Rs1 != 0 {
+			return Inst{}, &DecodeError{w, "ECALL/EBREAK with nonzero register fields"}
+		}
+	default:
+		return Inst{}, &DecodeError{w, fmt.Sprintf("major opcode %#02x", w&0x7f)}
+	}
+
+	// Zero the register fields the instruction's format does not use —
+	// their bits belong to the immediate (or are absent) and would
+	// otherwise leak encoding noise into Inst equality and re-encoding.
+	switch in.Op {
+	case OpLUI, OpAUIPC, OpJAL:
+		in.Rs1, in.Rs2 = 0, 0
+	case OpJALR, OpLB, OpLH, OpLW, OpLBU, OpLHU,
+		OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI,
+		OpSLLI, OpSRLI, OpSRAI:
+		in.Rs2 = 0
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpSB, OpSH, OpSW:
+		in.Rd = 0
+	case OpECALL, OpEBREAK:
+		// The distinguishing imm bit (bits 20+) is part of the opcode
+		// identity, not an operand.
+		in.Rs2 = 0
+	}
+	return in, nil
+}
+
+// String renders the instruction in standard RISC-V assembly syntax.
+// Branch and jump displacements print as pc-relative byte offsets.
+func (in Inst) String() string {
+	x := func(r uint8) string { return fmt.Sprintf("x%d", r) }
+	switch in.Op {
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s, %#x", in.Op, x(in.Rd), uint32(in.Imm)>>12)
+	case OpJAL:
+		return fmt.Sprintf("%s %s, %+d", in.Op, x(in.Rd), in.Imm)
+	case OpJALR:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, x(in.Rd), in.Imm, x(in.Rs1))
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, %+d", in.Op, x(in.Rs1), x(in.Rs2), in.Imm)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, x(in.Rd), in.Imm, x(in.Rs1))
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, x(in.Rs2), in.Imm, x(in.Rs1))
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, x(in.Rd), x(in.Rs1), in.Imm)
+	case OpFENCE, OpFENCEI, OpECALL, OpEBREAK:
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, x(in.Rd), x(in.Rs1), x(in.Rs2))
+	}
+}

@@ -1,0 +1,159 @@
+package rv32
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Minimal ELF32 executable parsing: little-endian EM_RISCV ET_EXEC
+// files described entirely by their program headers (sections are
+// ignored). Exactly one PT_LOAD segment may be executable — it becomes
+// the Image text — and the rest load as initialised data.
+
+const (
+	elfClass32   = 1
+	elfData2LSB  = 1
+	elfTypeExec  = 2
+	elfMachRISCV = 243
+	ptLoad       = 1
+	pfX          = 1
+)
+
+// ELF file layout offsets (32-bit class).
+const (
+	ehSize = 52
+	phSize = 32
+)
+
+// LoadELF parses a minimal ELF32 rv32 executable.
+func LoadELF(name string, data []byte) (*Image, error) {
+	fail := func(format string, args ...any) (*Image, error) {
+		return nil, &LoadError{name, fmt.Sprintf(format, args...)}
+	}
+	if len(data) < ehSize {
+		return fail("truncated ELF header (%d bytes)", len(data))
+	}
+	if !IsELF(data) {
+		return fail("bad ELF magic")
+	}
+	if data[4] != elfClass32 {
+		return fail("not a 32-bit ELF (EI_CLASS %d)", data[4])
+	}
+	if data[5] != elfData2LSB {
+		return fail("not little-endian (EI_DATA %d)", data[5])
+	}
+	le := binary.LittleEndian
+	if t := le.Uint16(data[16:]); t != elfTypeExec {
+		return fail("not an executable (e_type %d)", t)
+	}
+	if m := le.Uint16(data[18:]); m != elfMachRISCV {
+		return fail("not RISC-V (e_machine %d)", m)
+	}
+	entry := le.Uint32(data[24:])
+	phoff := le.Uint32(data[28:])
+	phentsize := le.Uint16(data[42:])
+	phnum := le.Uint16(data[44:])
+	if phnum == 0 {
+		return fail("no program headers")
+	}
+	if phentsize < phSize {
+		return fail("e_phentsize %d too small", phentsize)
+	}
+
+	img := &Image{Name: name, Entry: entry}
+	for i := 0; i < int(phnum); i++ {
+		off := uint64(phoff) + uint64(i)*uint64(phentsize)
+		if off+phSize > uint64(len(data)) {
+			return fail("program header %d out of file bounds", i)
+		}
+		ph := data[off:]
+		if le.Uint32(ph[0:]) != ptLoad {
+			continue
+		}
+		pOffset := le.Uint32(ph[4:])
+		pVaddr := le.Uint32(ph[8:])
+		pFilesz := le.Uint32(ph[16:])
+		pMemsz := le.Uint32(ph[20:])
+		pFlags := le.Uint32(ph[24:])
+		if pMemsz < pFilesz {
+			return fail("segment %d: memsz %d < filesz %d", i, pMemsz, pFilesz)
+		}
+		if uint64(pOffset)+uint64(pFilesz) > uint64(len(data)) {
+			return fail("segment %d: file range out of bounds", i)
+		}
+		if uint64(pVaddr)+uint64(pMemsz) > 1<<32 {
+			return fail("segment %d: address range wraps", i)
+		}
+		seg := make([]byte, pMemsz)
+		copy(seg, data[pOffset:pOffset+pFilesz])
+		if pFlags&pfX != 0 {
+			if img.Text != nil {
+				return fail("multiple executable segments")
+			}
+			if pVaddr%4 != 0 {
+				return fail("executable segment at %#x is not 4-aligned", pVaddr)
+			}
+			for len(seg)%4 != 0 {
+				seg = append(seg, 0)
+			}
+			img.TextBase = pVaddr
+			img.Text = seg
+		} else {
+			img.Data = append(img.Data, prog.Segment{Addr: pVaddr, Data: seg})
+		}
+	}
+	if img.Text == nil {
+		return fail("no executable segment")
+	}
+	if entry < img.TextBase || entry >= img.TextBase+uint32(len(img.Text)) {
+		return fail("entry %#x outside text [%#x,%#x)", entry, img.TextBase, img.TextBase+uint32(len(img.Text)))
+	}
+	if entry%4 != 0 {
+		return fail("entry %#x is not 4-aligned", entry)
+	}
+	return img, nil
+}
+
+// WriteELF serialises an Image as a minimal ELF32 executable — the
+// inverse of LoadELF, used by the corpus generator so the loader's ELF
+// path has a committed real input.
+func WriteELF(img *Image) []byte {
+	le := binary.LittleEndian
+	segs := 1 + len(img.Data)
+	hdr := make([]byte, ehSize+phSize*segs)
+	copy(hdr, elfMagic)
+	hdr[4] = elfClass32
+	hdr[5] = elfData2LSB
+	hdr[6] = 1 // EV_CURRENT
+	le.PutUint16(hdr[16:], elfTypeExec)
+	le.PutUint16(hdr[18:], elfMachRISCV)
+	le.PutUint32(hdr[20:], 1) // e_version
+	le.PutUint32(hdr[24:], img.Entry)
+	le.PutUint32(hdr[28:], ehSize) // e_phoff
+	le.PutUint16(hdr[40:], ehSize) // e_ehsize
+	le.PutUint16(hdr[42:], phSize)
+	le.PutUint16(hdr[44:], uint16(segs))
+
+	var body []byte
+	fileOff := uint32(len(hdr))
+	ph := func(i int, vaddr uint32, data []byte, flags uint32) {
+		p := hdr[ehSize+phSize*i:]
+		le.PutUint32(p[0:], ptLoad)
+		le.PutUint32(p[4:], fileOff)
+		le.PutUint32(p[8:], vaddr)
+		le.PutUint32(p[12:], vaddr) // p_paddr
+		le.PutUint32(p[16:], uint32(len(data)))
+		le.PutUint32(p[20:], uint32(len(data)))
+		le.PutUint32(p[24:], flags)
+		le.PutUint32(p[28:], 4) // p_align
+		body = append(body, data...)
+		fileOff += uint32(len(data))
+	}
+	ph(0, img.TextBase, img.Text, pfX|4) // R+X
+	for i, s := range img.Data {
+		ph(1+i, s.Addr, s.Data, 4|2) // R+W
+	}
+	return append(hdr, body...)
+}

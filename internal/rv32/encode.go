@@ -1,0 +1,329 @@
+package rv32
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode produces the machine-code word for an instruction — the exact
+// inverse of Decode for every instruction Decode accepts. It exists so
+// the test-binary corpus can be regenerated hermetically (no RISC-V
+// toolchain) and so round-trip tests pin the decoder against it.
+func Encode(in Inst) (uint32, error) {
+	r := func(v uint8, name string) (uint32, error) {
+		if v > 31 {
+			return 0, fmt.Errorf("rv32: encode %v: %s out of range", in.Op, name)
+		}
+		return uint32(v), nil
+	}
+	rd, err := r(in.Rd, "rd")
+	if err != nil {
+		return 0, err
+	}
+	rs1, err := r(in.Rs1, "rs1")
+	if err != nil {
+		return 0, err
+	}
+	rs2, err := r(in.Rs2, "rs2")
+	if err != nil {
+		return 0, err
+	}
+
+	encI := func(opc, f3 uint32) (uint32, error) {
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("rv32: encode %v: immediate %d out of I range", in.Op, in.Imm)
+		}
+		return uint32(in.Imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | opc, nil
+	}
+	encShift := func(f7, f3 uint32) (uint32, error) {
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("rv32: encode %v: shamt %d out of range", in.Op, in.Imm)
+		}
+		return f7<<25 | uint32(in.Imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOpImm, nil
+	}
+	encR := func(f7, f3 uint32) (uint32, error) {
+		return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOp, nil
+	}
+	encS := func(f3 uint32) (uint32, error) {
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("rv32: encode %v: immediate %d out of S range", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		return imm>>5<<25&0xfe000000 | rs2<<20 | rs1<<15 | f3<<12 | imm&0x1f<<7 | opcStore, nil
+	}
+	encB := func(f3 uint32) (uint32, error) {
+		if in.Imm < -4096 || in.Imm > 4095 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: encode %v: displacement %d out of B range", in.Op, in.Imm)
+		}
+		imm := uint32(in.Imm)
+		return imm>>12&1<<31 | imm>>5&0x3f<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+			imm>>1&0xf<<8 | imm>>11&1<<7 | opcBranch, nil
+	}
+	encU := func(opc uint32) (uint32, error) {
+		if uint32(in.Imm)&0xfff != 0 {
+			return 0, fmt.Errorf("rv32: encode %v: U immediate %#x has low bits set", in.Op, in.Imm)
+		}
+		return uint32(in.Imm) | rd<<7 | opc, nil
+	}
+
+	switch in.Op {
+	case OpLUI:
+		return encU(opcLUI)
+	case OpAUIPC:
+		return encU(opcAUIPC)
+	case OpJAL:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: encode jal: displacement %d out of J range", in.Imm)
+		}
+		imm := uint32(in.Imm)
+		return imm>>20&1<<31 | imm>>1&0x3ff<<21 | imm>>11&1<<20 | imm>>12&0xff<<12 | rd<<7 | opcJAL, nil
+	case OpJALR:
+		return encI(opcJALR, 0)
+	case OpBEQ:
+		return encB(0)
+	case OpBNE:
+		return encB(1)
+	case OpBLT:
+		return encB(4)
+	case OpBGE:
+		return encB(5)
+	case OpBLTU:
+		return encB(6)
+	case OpBGEU:
+		return encB(7)
+	case OpLB:
+		return encI(opcLoad, 0)
+	case OpLH:
+		return encI(opcLoad, 1)
+	case OpLW:
+		return encI(opcLoad, 2)
+	case OpLBU:
+		return encI(opcLoad, 4)
+	case OpLHU:
+		return encI(opcLoad, 5)
+	case OpSB:
+		return encS(0)
+	case OpSH:
+		return encS(1)
+	case OpSW:
+		return encS(2)
+	case OpADDI:
+		return encI(opcOpImm, 0)
+	case OpSLTI:
+		return encI(opcOpImm, 2)
+	case OpSLTIU:
+		return encI(opcOpImm, 3)
+	case OpXORI:
+		return encI(opcOpImm, 4)
+	case OpORI:
+		return encI(opcOpImm, 6)
+	case OpANDI:
+		return encI(opcOpImm, 7)
+	case OpSLLI:
+		return encShift(0, 1)
+	case OpSRLI:
+		return encShift(0, 5)
+	case OpSRAI:
+		return encShift(0x20, 5)
+	case OpADD:
+		return encR(0, 0)
+	case OpSUB:
+		return encR(0x20, 0)
+	case OpSLL:
+		return encR(0, 1)
+	case OpSLT:
+		return encR(0, 2)
+	case OpSLTU:
+		return encR(0, 3)
+	case OpXOR:
+		return encR(0, 4)
+	case OpSRL:
+		return encR(0, 5)
+	case OpSRA:
+		return encR(0x20, 5)
+	case OpOR:
+		return encR(0, 6)
+	case OpAND:
+		return encR(0, 7)
+	case OpMUL:
+		return encR(1, 0)
+	case OpMULH:
+		return encR(1, 1)
+	case OpMULHSU:
+		return encR(1, 2)
+	case OpMULHU:
+		return encR(1, 3)
+	case OpDIV:
+		return encR(1, 4)
+	case OpDIVU:
+		return encR(1, 5)
+	case OpREM:
+		return encR(1, 6)
+	case OpREMU:
+		return encR(1, 7)
+	case OpFENCE:
+		return opcMisc, nil
+	case OpFENCEI:
+		return 1<<12 | opcMisc, nil
+	case OpECALL:
+		return opcSystem, nil
+	case OpEBREAK:
+		return 1<<20 | opcSystem, nil
+	}
+	return 0, fmt.Errorf("rv32: encode: unknown op %v", in.Op)
+}
+
+// Builder is a tiny one-pass rv32 assembler used to write the corpus
+// test programs as Go code. Labels resolve to byte addresses; forward
+// branch/jump references are fixed up at Assemble time.
+type Builder struct {
+	base   uint32
+	words  []uint32
+	labels map[string]uint32
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	word  int    // index into words
+	label string // target label
+	in    Inst   // re-encoded with the resolved displacement
+	la    bool   // two-word lui+addi address-load fixup
+}
+
+// NewBuilder starts a program image at the given base byte address.
+func NewBuilder(base uint32) *Builder {
+	return &Builder{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the byte address of the next emitted word.
+func (b *Builder) PC() uint32 { return b.base + 4*uint32(len(b.words)) }
+
+// L defines a label at the current position.
+func (b *Builder) L(name string) {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("rv32: builder: duplicate label %q", name)
+	}
+	b.labels[name] = b.PC()
+}
+
+func (b *Builder) emit(in Inst) {
+	w, err := Encode(in)
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	b.words = append(b.words, w)
+}
+
+// R emits a register-register instruction (R-type, including RV32M).
+func (b *Builder) R(op Op, rd, rs1, rs2 int) {
+	b.emit(Inst{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// I emits an immediate-type instruction (OP-IMM, loads, JALR).
+func (b *Builder) I(op Op, rd, rs1 int, imm int32) {
+	b.emit(Inst{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+
+// S emits a store: S(op, rs2, rs1, imm) stores rs2 at imm(rs1).
+func (b *Builder) S(op Op, rs2, rs1 int, imm int32) {
+	b.emit(Inst{Op: op, Rs2: uint8(rs2), Rs1: uint8(rs1), Imm: imm})
+}
+
+// U emits LUI/AUIPC with the given upper-20-bit value (pre-shifted).
+func (b *Builder) U(op Op, rd int, imm uint32) {
+	b.emit(Inst{Op: op, Rd: uint8(rd), Imm: int32(imm & 0xfffff000)})
+}
+
+// Br emits a conditional branch to a label.
+func (b *Builder) Br(op Op, rs1, rs2 int, label string) {
+	in := Inst{Op: op, Rs1: uint8(rs1), Rs2: uint8(rs2)}
+	b.fixups = append(b.fixups, fixup{word: len(b.words), label: label, in: in})
+	b.words = append(b.words, 0)
+}
+
+// Jal emits jal rd, label.
+func (b *Builder) Jal(rd int, label string) {
+	in := Inst{Op: OpJAL, Rd: uint8(rd)}
+	b.fixups = append(b.fixups, fixup{word: len(b.words), label: label, in: in})
+	b.words = append(b.words, 0)
+}
+
+// La loads a label's byte address into rd. It always emits a lui+addi
+// pair so forward references have a fixed size.
+func (b *Builder) La(rd int, label string) {
+	b.fixups = append(b.fixups, fixup{word: len(b.words), label: label, in: Inst{Rd: uint8(rd)}, la: true})
+	b.words = append(b.words, 0, 0)
+}
+
+// Ret emits jalr x0, 0(x1) — return through the standard link register.
+func (b *Builder) Ret() { b.I(OpJALR, 0, 1, 0) }
+
+// Sys emits ecall, ebreak, or a fence.
+func (b *Builder) Sys(op Op) { b.emit(Inst{Op: op}) }
+
+// Li loads a full 32-bit constant: one addi when it fits in 12 signed
+// bits, else the standard lui+addi pair.
+func (b *Builder) Li(rd int, v int32) {
+	if v >= -2048 && v <= 2047 {
+		b.I(OpADDI, rd, 0, v)
+		return
+	}
+	lo := v << 20 >> 20 // sign-extended low 12 bits
+	b.U(OpLUI, rd, uint32(v-lo))
+	if lo != 0 {
+		b.I(OpADDI, rd, rd, lo)
+	}
+}
+
+// Word emits a raw data word (e.g. an inline constant pool).
+func (b *Builder) Word(v uint32) { b.words = append(b.words, v) }
+
+// Bytes emits raw bytes, zero-padded to a word boundary.
+func (b *Builder) Bytes(p []byte) {
+	for len(p)%4 != 0 {
+		p = append(p, 0)
+	}
+	for i := 0; i < len(p); i += 4 {
+		b.words = append(b.words, binary.LittleEndian.Uint32(p[i:]))
+	}
+}
+
+// Assemble resolves fixups and returns the little-endian image bytes.
+func (b *Builder) Assemble() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("rv32: builder: undefined label %q", f.label)
+		}
+		if f.la {
+			v := int32(target)
+			lo := v << 20 >> 20
+			lui, err := Encode(Inst{Op: OpLUI, Rd: f.in.Rd, Imm: v - lo})
+			if err != nil {
+				return nil, err
+			}
+			addi, err := Encode(Inst{Op: OpADDI, Rd: f.in.Rd, Rs1: f.in.Rd, Imm: lo})
+			if err != nil {
+				return nil, err
+			}
+			b.words[f.word], b.words[f.word+1] = lui, addi
+			continue
+		}
+		in := f.in
+		in.Imm = int32(target) - int32(b.base+4*uint32(f.word))
+		w, err := Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		b.words[f.word] = w
+	}
+	out := make([]byte, 4*len(b.words))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint32(out[4*i:], w)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package rv32
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode: the decoder must never panic, and everything it accepts
+// must re-encode to the identical word (Decode and Encode are exact
+// inverses over the accepted set).
+func FuzzDecode(f *testing.F) {
+	for _, in := range sampleInsts() {
+		w, err := Encode(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w)
+	}
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	f.Add(uint32(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v, which does not re-encode: %v", w, in, err)
+		}
+		if w2 != w {
+			// The only legal normalization is fence/fence.i hint bits.
+			if in.Op != OpFENCE && in.Op != OpFENCEI {
+				t.Fatalf("decode(%#08x) = %v re-encodes to %#08x", w, in, w2)
+			}
+			in2, err := Decode(w2)
+			if err != nil || in2 != in {
+				t.Fatalf("fence normalization unstable: %#08x -> %v -> %#08x -> %v (%v)", w, in, w2, in2, err)
+			}
+		}
+	})
+}
+
+// FuzzLoad: arbitrary bytes through the full load+translate pipeline
+// must never panic — malformed ELF headers, truncated section tables,
+// and garbage flat images all surface as errors.
+func FuzzLoad(f *testing.F) {
+	corpus, err := BuildCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, data := range corpus {
+		f.Add(data)
+		if len(data) > 8 {
+			f.Add(data[:len(data)/2]) // truncated
+		}
+	}
+	// A well-formed ELF prefix with a mangled body reaches deep into the
+	// program-header walk.
+	f.Add(append(bytes.Clone(elfMagic), make([]byte, 60)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Load("fuzz", data)
+		if err != nil {
+			return
+		}
+		if len(img.Text) == 0 || len(img.Text)%4 != 0 {
+			t.Fatalf("loader accepted image with bad text size %d", len(img.Text))
+		}
+		if _, err := Translate(img); err != nil {
+			// Translation may reject (huge base, entry games); it must
+			// only do so via an error.
+			return
+		}
+	})
+}
+
+// FuzzBuilderRoundTrip: any word the decoder accepts must survive a
+// flat-load + translate without panicking, even embedded among valid
+// code.
+func FuzzBuilderRoundTrip(f *testing.F) {
+	f.Add(uint32(0x00000013)) // addi x0,x0,0
+	f.Add(uint32(0x00100073)) // ebreak
+	f.Fuzz(func(t *testing.T, w uint32) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint32(buf[:], w)
+		binary.LittleEndian.PutUint32(buf[4:], 0x00100073) // ebreak backstop
+		img, err := LoadFlat("fuzzword", buf[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Translate(img); err != nil {
+			// Only unlowerable-but-decodable words (MULHU etc.) may
+			// reject; undecodable words become data.
+			if _, isTranslate := err.(*TranslateError); !isTranslate {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+// Command gen regenerates internal/rv32/testdata: it rebuilds every
+// corpus binary from the in-tree builders, runs each translated
+// program on the reference interpreter, and rewrites golden.json with
+// the resulting architectural digests. Run it from the repo root after
+// changing the corpus builders or the lowering:
+//
+//	go run ./internal/rv32/gen
+//
+// TestCorpusRegeneration and TestCorpusGolden pin the committed files
+// to what this command produces.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/refsim"
+	"repro/internal/rv32"
+)
+
+// Golden is the per-binary digest record in golden.json.
+type Golden struct {
+	Entry      int    `json:"entry"`      // internal instruction index
+	Retired    int    `json:"retired"`    // instructions architecturally completed
+	Halted     bool   `json:"halted"`     // must be true for corpus programs
+	Exceptions int    `json:"exceptions"` // traps + faults observed (incl. demand paging)
+	StateHash  string `json:"state_hash"` // refsim.ArchState.Hash of the final state
+}
+
+func main() {
+	log.SetFlags(0)
+	outDir := "internal/rv32/testdata"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	corpus, err := rv32.BuildCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	files := make([]string, 0, len(corpus))
+	for f := range corpus {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	goldens := make(map[string]Golden)
+	for _, f := range files {
+		data := corpus[f]
+		if err := os.WriteFile(filepath.Join(outDir, f), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(f, filepath.Ext(f))
+		p, err := rv32.LoadProgram(name, data)
+		if err != nil {
+			log.Fatalf("%s: %v", f, err)
+		}
+		res, err := refsim.Run(p, refsim.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", f, err)
+		}
+		if !res.Halted {
+			log.Fatalf("%s: did not halt (retired %d, timed out %v)", f, res.Retired, res.TimedOut)
+		}
+		st := &refsim.ArchState{Regs: res.Regs, Mem: res.Mem}
+		goldens[name] = Golden{
+			Entry:      p.Entry,
+			Retired:    res.Retired,
+			Halted:     res.Halted,
+			Exceptions: len(res.Exceptions),
+			StateHash:  st.Hash(),
+		}
+		fmt.Printf("%-12s %6d bytes  retired %-8d exceptions %-3d %s\n",
+			f, len(data), res.Retired, len(res.Exceptions), goldens[name].StateHash[:16])
+	}
+
+	j, err := json.MarshalIndent(goldens, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "golden.json"), append(j, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d binaries + golden.json to %s\n", len(files), outDir)
+}

@@ -1,0 +1,60 @@
+package rv32
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Image is a loaded rv32 program before translation: one executable
+// text region plus any initialised data regions, all byte-addressed in
+// the rv32 address space.
+type Image struct {
+	Name     string
+	Entry    uint32 // byte address of the first instruction
+	TextBase uint32 // byte address of Text[0]; 4-aligned
+	Text     []byte // executable bytes; length a multiple of 4
+	Data     []prog.Segment
+}
+
+// LoadError reports a malformed binary image.
+type LoadError struct {
+	Name   string
+	Reason string
+}
+
+func (e *LoadError) Error() string { return fmt.Sprintf("rv32: load %q: %s", e.Name, e.Reason) }
+
+var elfMagic = []byte{0x7f, 'E', 'L', 'F'}
+
+// IsELF reports whether data begins with the ELF magic.
+func IsELF(data []byte) bool { return bytes.HasPrefix(data, elfMagic) }
+
+// Load parses a binary image, autodetecting the container: ELF32
+// executables by magic, anything else as a flat binary (text base 0,
+// entry 0).
+func Load(name string, data []byte) (*Image, error) {
+	if IsELF(data) {
+		return LoadELF(name, data)
+	}
+	return LoadFlat(name, data)
+}
+
+// LoadFlat wraps a raw little-endian rv32 image: the whole file is
+// loaded at address 0 and execution starts at 0. Non-instruction words
+// inside the image (inline constants, rodata placed after the code)
+// are tolerated: translation turns them into halting instructions, and
+// the image bytes are also mapped into data memory, so reading them as
+// data works while jumping into them stops the machine.
+func LoadFlat(name string, data []byte) (*Image, error) {
+	if len(data) == 0 {
+		return nil, &LoadError{name, "empty image"}
+	}
+	if len(data)%4 != 0 {
+		return nil, &LoadError{name, fmt.Sprintf("flat image size %d is not a multiple of 4", len(data))}
+	}
+	text := make([]byte, len(data))
+	copy(text, data)
+	return &Image{Name: name, Text: text}, nil
+}

@@ -1,0 +1,167 @@
+package rv32
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleInsts covers every op Decode accepts, with operand values that
+// exercise sign extension and field boundaries.
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: OpLUI, Rd: 1, Imm: 0x12345 << 12},
+		{Op: OpLUI, Rd: 31, Imm: -4096},
+		{Op: OpAUIPC, Rd: 5, Imm: 0x7ffff << 12},
+		{Op: OpJAL, Rd: 1, Imm: 2048},
+		{Op: OpJAL, Rd: 0, Imm: -1048576},
+		{Op: OpJALR, Rd: 1, Rs1: 5, Imm: -2048},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 4094},
+		{Op: OpBNE, Rs1: 31, Rs2: 30, Imm: -4096},
+		{Op: OpBLT, Rs1: 3, Rs2: 4, Imm: -2},
+		{Op: OpBGE, Rs1: 5, Rs2: 6, Imm: 8},
+		{Op: OpBLTU, Rs1: 7, Rs2: 8, Imm: 16},
+		{Op: OpBGEU, Rs1: 9, Rs2: 10, Imm: -256},
+		{Op: OpLB, Rd: 1, Rs1: 2, Imm: -1},
+		{Op: OpLH, Rd: 3, Rs1: 4, Imm: 2},
+		{Op: OpLW, Rd: 5, Rs1: 6, Imm: 2047},
+		{Op: OpLBU, Rd: 7, Rs1: 8, Imm: 0},
+		{Op: OpLHU, Rd: 9, Rs1: 10, Imm: -2048},
+		{Op: OpSB, Rs1: 1, Rs2: 2, Imm: -1},
+		{Op: OpSH, Rs1: 3, Rs2: 4, Imm: 2046},
+		{Op: OpSW, Rs1: 5, Rs2: 6, Imm: -2048},
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: -2048},
+		{Op: OpSLTI, Rd: 3, Rs1: 4, Imm: 2047},
+		{Op: OpSLTIU, Rd: 5, Rs1: 6, Imm: -1},
+		{Op: OpXORI, Rd: 7, Rs1: 8, Imm: -1},
+		{Op: OpORI, Rd: 9, Rs1: 10, Imm: 255},
+		{Op: OpANDI, Rd: 11, Rs1: 12, Imm: -256},
+		{Op: OpSLLI, Rd: 1, Rs1: 2, Imm: 31},
+		{Op: OpSRLI, Rd: 3, Rs1: 4, Imm: 0},
+		{Op: OpSRAI, Rd: 5, Rs1: 6, Imm: 17},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpSLL, Rd: 7, Rs1: 8, Rs2: 9},
+		{Op: OpSLT, Rd: 10, Rs1: 11, Rs2: 12},
+		{Op: OpSLTU, Rd: 13, Rs1: 14, Rs2: 15},
+		{Op: OpXOR, Rd: 16, Rs1: 17, Rs2: 18},
+		{Op: OpSRL, Rd: 19, Rs1: 20, Rs2: 21},
+		{Op: OpSRA, Rd: 22, Rs1: 23, Rs2: 24},
+		{Op: OpOR, Rd: 25, Rs1: 26, Rs2: 27},
+		{Op: OpAND, Rd: 28, Rs1: 29, Rs2: 30},
+		{Op: OpMUL, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpMULH, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: OpMULHSU, Rd: 7, Rs1: 8, Rs2: 9},
+		{Op: OpMULHU, Rd: 10, Rs1: 11, Rs2: 12},
+		{Op: OpDIV, Rd: 13, Rs1: 14, Rs2: 15},
+		{Op: OpDIVU, Rd: 16, Rs1: 17, Rs2: 18},
+		{Op: OpREM, Rd: 19, Rs1: 20, Rs2: 21},
+		{Op: OpREMU, Rd: 22, Rs1: 23, Rs2: 24},
+		{Op: OpFENCE},
+		{Op: OpFENCEI},
+		{Op: OpECALL},
+		{Op: OpEBREAK},
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins Decode as the exact inverse of Encode
+// over every accepted instruction form.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, in := range sampleInsts() {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#08x): %v", in, w, err)
+		}
+		if got != in {
+			t.Errorf("round trip %#08x: encoded %+v, decoded %+v", w, in, got)
+		}
+	}
+}
+
+// TestDecodeRejects pins the malformed-word classes the decoder must
+// refuse (never panic, never mis-decode).
+func TestDecodeRejects(t *testing.T) {
+	bad := map[string]uint32{
+		"rvc halfword":        0x00000001, // compressed encoding space
+		"all zeros":           0x00000000,
+		"all ones":            0xffffffff,
+		"jalr funct3":         0x00001067, // jalr with funct3=1
+		"branch funct3=2":     0x00002063,
+		"load funct3=3":       0x00003003,
+		"store funct3=3":      0x00003023,
+		"op-imm bad funct7":   0x40001013, // slli with funct7=0x20
+		"op bad funct7":       0x40001033, // sll with funct7=0x20
+		"op funct7 garbage":   0x10000033,
+		"csrrw":               0x30001073, // SYSTEM funct3!=0 (Zicsr)
+		"ecall nonzero rd":    0x000000f3,
+		"ebreak nonzero rs1":  0x00108073,
+		"system bad funct12":  0x10500073, // wfi
+		"reserved major 0x5b": 0x0000005b,
+		"misc-mem bad funct3": 0x0000200f,
+		"amoadd (A ext)":      0x0000202f,
+		"flw (F ext)":         0x00002007,
+		"mret":                0x30200073,
+	}
+	for name, w := range bad {
+		if in, err := Decode(w); err == nil {
+			t.Errorf("%s (%#08x): decoded as %v, want error", name, w, in)
+		}
+	}
+}
+
+// TestDecodeFenceNormalized: real-world fences carry pred/succ hint
+// bits; decoding must normalize them so round-trips are stable.
+func TestDecodeFenceNormalized(t *testing.T) {
+	in, err := Decode(0x0ff0000f) // fence iorw, iorw
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != (Inst{Op: OpFENCE}) {
+		t.Errorf("fence decoded with hint fields: %+v", in)
+	}
+}
+
+// TestInstString spot-checks the disassembly syntax.
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"addi x1, x2, -5": {Op: OpADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"lw x5, 8(x2)":    {Op: OpLW, Rd: 5, Rs1: 2, Imm: 8},
+		"sw x6, -4(x2)":   {Op: OpSW, Rs2: 6, Rs1: 2, Imm: -4},
+		"beq x1, x2, +16": {Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 16},
+		"jal x1, -8":      {Op: OpJAL, Rd: 1, Imm: -8},
+		"jalr x0, 0(x1)":  {Op: OpJALR, Rd: 0, Rs1: 1},
+		"lui x3, 0x12345": {Op: OpLUI, Rd: 3, Imm: 0x12345 << 12},
+		"ecall":           {Op: OpECALL},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestBuilderErrors: undefined and duplicate labels, out-of-range
+// immediates all surface from Assemble.
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jal(0, "nowhere")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: got %v", err)
+	}
+
+	b = NewBuilder(0)
+	b.L("x")
+	b.L("x")
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("duplicate label: got %v", err)
+	}
+
+	b = NewBuilder(0)
+	b.I(OpADDI, 1, 0, 99999)
+	if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "out of I range") {
+		t.Errorf("immediate overflow: got %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package rv32
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Translation: one internal instruction per rv32 word, identity
+// address mapping (instruction index = byte address / 4). The whole
+// lowering table lives in lower(); DESIGN.md §12 documents it.
+//
+// The text bytes are also mapped into data memory at their rv32
+// addresses, so PC-relative data reads (jump tables, inline rodata)
+// work — a von Neumann read view over a Harvard execution model.
+// Self-modifying code stays excluded, exactly as in the paper's
+// execution model: stores into the text region hit data memory only.
+
+// maxTextBase bounds the halt-padding prefix that a non-zero text base
+// costs under the identity mapping (1 MiB of address space = 256K
+// padding slots).
+const maxTextBase = 1 << 20
+
+// TranslateError reports an rv32 instruction with no internal-ISA
+// lowering.
+type TranslateError struct {
+	Name   string
+	Addr   uint32 // byte address of the offending word
+	Reason string
+}
+
+func (e *TranslateError) Error() string {
+	return fmt.Sprintf("rv32: translate %q at %#x: %s", e.Name, e.Addr, e.Reason)
+}
+
+// Translate lowers a loaded image into an executable program over the
+// internal ISA.
+func Translate(img *Image) (*prog.Program, error) {
+	if img.TextBase%4 != 0 {
+		return nil, &TranslateError{img.Name, img.TextBase, "text base not 4-aligned"}
+	}
+	if img.TextBase > maxTextBase {
+		return nil, &TranslateError{img.Name, img.TextBase, fmt.Sprintf("text base above %#x unsupported by the identity mapping", maxTextBase)}
+	}
+	if len(img.Text) == 0 || len(img.Text)%4 != 0 {
+		return nil, &TranslateError{img.Name, img.TextBase, "text size not a positive multiple of 4"}
+	}
+	textEnd := img.TextBase + uint32(len(img.Text))
+	if img.Entry < img.TextBase || img.Entry >= textEnd || img.Entry%4 != 0 {
+		return nil, &TranslateError{img.Name, img.Entry, "entry outside text or misaligned"}
+	}
+
+	pad := int(img.TextBase / 4)
+	code := make([]isa.Inst, pad, pad+len(img.Text)/4)
+	for i := range code {
+		// Nothing legitimate executes below the text base; landing there
+		// stops the machine like running off the image does.
+		code[i] = isa.Inst{Op: isa.OpHALT}
+	}
+	for off := 0; off < len(img.Text); off += 4 {
+		addr := img.TextBase + uint32(off)
+		w := binary.LittleEndian.Uint32(img.Text[off:])
+		in, err := lower(w, addr)
+		if err != nil {
+			if _, undecodable := err.(*DecodeError); undecodable {
+				// A data word inside the text image (inline constant
+				// pool, rodata after code). It is readable through the
+				// data view; executing it halts.
+				code = append(code, isa.Inst{Op: isa.OpHALT})
+				continue
+			}
+			return nil, &TranslateError{img.Name, addr, err.Error()}
+		}
+		code = append(code, in)
+	}
+
+	// Data words inside the text image can decode as branches or jumps
+	// whose targets land outside the image (prog.Validate rejects
+	// those). They were never meant to execute, so — like undecodable
+	// data words — they lower to halting instructions. Decodable data
+	// words with in-range targets stay as harmless ordinary
+	// instructions; all engines agree on them either way.
+	for pc, in := range code {
+		var target int
+		switch in.Op.Format() {
+		case isa.FormatBr:
+			target = pc + 1 + int(in.Imm)
+		case isa.FormatJ:
+			target = int(in.Imm)
+		default:
+			continue
+		}
+		if target < 0 || target >= len(code) {
+			code[pc] = isa.Inst{Op: isa.OpHALT}
+		}
+	}
+
+	p := &prog.Program{
+		Name:  img.Name,
+		Code:  code,
+		Entry: int(img.Entry / 4),
+		Symbols: map[string]int32{
+			"_start": int32(img.Entry / 4),
+		},
+	}
+	text := make([]byte, len(img.Text))
+	copy(text, img.Text)
+	p.Data = append(p.Data, prog.Segment{Addr: img.TextBase, Data: text})
+	p.Data = append(p.Data, img.Data...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// lower translates one decodable rv32 word at the given byte address
+// into the equivalent internal instruction.
+func lower(w, addr uint32) (isa.Inst, error) {
+	rin, err := Decode(w)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	rd, rs1, rs2 := isa.Reg(rin.Rd), isa.Reg(rin.Rs1), isa.Reg(rin.Rs2)
+	pc := int32(addr / 4)
+
+	rrr := func(op isa.Op) (isa.Inst, error) {
+		return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	}
+	rri := func(op isa.Op) (isa.Inst, error) {
+		return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: rin.Imm}, nil
+	}
+	load := func(op isa.Op) (isa.Inst, error) {
+		return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: rin.Imm}, nil
+	}
+	store := func(op isa.Op) (isa.Inst, error) {
+		return isa.Inst{Op: op, Rs2: rs2, Rs1: rs1, Imm: rin.Imm}, nil
+	}
+	branch := func(op isa.Op) (isa.Inst, error) {
+		target := addr + uint32(rin.Imm)
+		if target%4 != 0 {
+			// A genuine rv32i branch target is always word-aligned (we
+			// require non-RVC code); a 2-aligned target means this word
+			// is data that happens to decode — treat it like any other
+			// data word (DecodeError → halting slot).
+			return isa.Inst{}, &DecodeError{w, fmt.Sprintf("branch target %#x not 4-aligned (data word or RVC code)", target)}
+		}
+		return isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: int32(target/4) - pc - 1}, nil
+	}
+
+	switch rin.Op {
+	case OpLUI:
+		return isa.Inst{Op: isa.OpLI, Rd: rd, Imm: rin.Imm}, nil
+	case OpAUIPC:
+		// The instruction's absolute address is known at translation
+		// time, so auipc collapses to a constant load.
+		return isa.Inst{Op: isa.OpLI, Rd: rd, Imm: int32(addr) + rin.Imm}, nil
+	case OpJAL:
+		target := addr + uint32(rin.Imm)
+		if target%4 != 0 {
+			return isa.Inst{}, &DecodeError{w, fmt.Sprintf("jump target %#x not 4-aligned (data word or RVC code)", target)}
+		}
+		if rd == 0 {
+			return isa.Inst{Op: isa.OpJ, Imm: int32(target / 4)}, nil
+		}
+		return isa.Inst{Op: isa.OpJALA, Rd: rd, Imm: int32(target / 4)}, nil
+	case OpJALR:
+		if rd == 0 {
+			return isa.Inst{Op: isa.OpJRA, Rs1: rs1, Imm: rin.Imm}, nil
+		}
+		return isa.Inst{Op: isa.OpJALRA, Rd: rd, Rs1: rs1, Imm: rin.Imm}, nil
+	case OpBEQ:
+		return branch(isa.OpBEQ)
+	case OpBNE:
+		return branch(isa.OpBNE)
+	case OpBLT:
+		return branch(isa.OpBLT)
+	case OpBGE:
+		return branch(isa.OpBGE)
+	case OpBLTU:
+		return branch(isa.OpBLTU)
+	case OpBGEU:
+		return branch(isa.OpBGEU)
+	case OpLB:
+		return load(isa.OpLB)
+	case OpLH:
+		return load(isa.OpLH)
+	case OpLW:
+		return load(isa.OpLW)
+	case OpLBU:
+		return load(isa.OpLBU)
+	case OpLHU:
+		return load(isa.OpLHU)
+	case OpSB:
+		return store(isa.OpSB)
+	case OpSH:
+		return store(isa.OpSH)
+	case OpSW:
+		return store(isa.OpSW)
+	case OpADDI:
+		return rri(isa.OpADDI)
+	case OpSLTI:
+		return rri(isa.OpSLTI)
+	case OpSLTIU:
+		return rri(isa.OpSLTIU)
+	case OpXORI:
+		return rri(isa.OpXORI)
+	case OpORI:
+		return rri(isa.OpORI)
+	case OpANDI:
+		return rri(isa.OpANDI)
+	case OpSLLI:
+		return rri(isa.OpSLLI)
+	case OpSRLI:
+		return rri(isa.OpSRLI)
+	case OpSRAI:
+		return rri(isa.OpSRAI)
+	case OpADD:
+		return rrr(isa.OpADD)
+	case OpSUB:
+		return rrr(isa.OpSUB)
+	case OpSLL:
+		return rrr(isa.OpSLL)
+	case OpSLT:
+		return rrr(isa.OpSLT)
+	case OpSLTU:
+		return rrr(isa.OpSLTU)
+	case OpXOR:
+		return rrr(isa.OpXOR)
+	case OpSRL:
+		return rrr(isa.OpSRL)
+	case OpSRA:
+		return rrr(isa.OpSRA)
+	case OpOR:
+		return rrr(isa.OpOR)
+	case OpAND:
+		return rrr(isa.OpAND)
+	case OpMUL:
+		return rrr(isa.OpMUL)
+	case OpDIV:
+		// Divergence note: rv32 DIV by zero returns -1; the internal
+		// ISA faults (ActSkip leaves rd unchanged). DESIGN.md §12.
+		return rrr(isa.OpDIV)
+	case OpREM:
+		return rrr(isa.OpREM)
+	case OpMULH, OpMULHSU, OpMULHU, OpDIVU, OpREMU:
+		return isa.Inst{}, fmt.Errorf("%v has no internal-ISA lowering", rin.Op)
+	case OpFENCE, OpFENCEI:
+		// Single memory, no reordering across the architectural model.
+		return isa.Inst{Op: isa.OpNOP}, nil
+	case OpECALL:
+		// Environment call → software trap 0: logged, execution
+		// continues (ActContinue).
+		return isa.Inst{Op: isa.OpTRAP, Imm: 0}, nil
+	case OpEBREAK:
+		// Termination convention: ebreak stops the machine.
+		return isa.Inst{Op: isa.OpHALT}, nil
+	}
+	return isa.Inst{}, fmt.Errorf("unhandled rv32 op %v", rin.Op)
+}
+
+// Listing renders a side-by-side translation listing: address, raw
+// word, rv32 disassembly, and the lowered internal instruction. Used
+// by ckptasm's -rv32 mode for corpus inspection.
+func Listing(img *Image) (string, error) {
+	p, err := Translate(img)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s: text [%#x,%#x) entry %#x, %d data segment(s)\n",
+		img.Name, img.TextBase, img.TextBase+uint32(len(img.Text)), img.Entry, len(img.Data))
+	for off := 0; off < len(img.Text); off += 4 {
+		addr := img.TextBase + uint32(off)
+		w := binary.LittleEndian.Uint32(img.Text[off:])
+		pc := int(addr / 4)
+		mark := "  "
+		if pc == p.Entry {
+			mark = "=>"
+		}
+		rin, err := Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "%s %#08x: %08x  %-28s %s\n", mark, addr, w, ".word (data)", p.Code[pc])
+			continue
+		}
+		fmt.Fprintf(&b, "%s %#08x: %08x  %-28s %s\n", mark, addr, w, rin.String(), p.Code[pc])
+	}
+	return b.String(), nil
+}

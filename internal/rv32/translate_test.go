@@ -1,0 +1,311 @@
+package rv32
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/refsim"
+)
+
+func mustTranslate(t *testing.T, b *Builder, name string) *prog.Program {
+	t.Helper()
+	text, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadFlat(name, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Translate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLoweringForms pins the per-instruction lowering decisions that
+// carry the identity address mapping: link values are byte addresses,
+// branch displacements are rebased to instruction indices, and
+// auipc/lui collapse to constants.
+func TestLoweringForms(t *testing.T) {
+	b := NewBuilder(0)
+	b.U(OpLUI, 1, 0x12345000) // word 0
+	b.U(OpAUIPC, 2, 0x1000)   // word 1: 0x1000 + 4
+	b.Jal(1, "fn")            // word 2
+	b.Br(OpBNE, 3, 4, "fn")   // word 3
+	b.I(OpJALR, 0, 1, 0)      // word 4
+	b.I(OpJALR, 5, 1, 8)      // word 5
+	b.Sys(OpECALL)            // word 6
+	b.Sys(OpEBREAK)           // word 7
+	b.L("fn")
+	b.Jal(0, "fn") // word 8: jal x0 -> plain J
+	p := mustTranslate(t, b, "forms")
+
+	want := []isa.Inst{
+		{Op: isa.OpLI, Rd: 1, Imm: 0x12345000},
+		{Op: isa.OpLI, Rd: 2, Imm: 0x1004},
+		{Op: isa.OpJALA, Rd: 1, Imm: 8},
+		{Op: isa.OpBNE, Rs1: 3, Rs2: 4, Imm: 8 - 3 - 1},
+		{Op: isa.OpJRA, Rs1: 1},
+		{Op: isa.OpJALRA, Rd: 5, Rs1: 1, Imm: 8},
+		{Op: isa.OpTRAP},
+		{Op: isa.OpHALT},
+		{Op: isa.OpJ, Imm: 8},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("word %d: lowered to %v, want %v", i, p.Code[i], w)
+		}
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+// TestLinkValuesAreByteAddresses: a call/return pair through x1 runs on
+// refsim and the link register holds the rv32 byte return address, not
+// an instruction index.
+func TestLinkValuesAreByteAddresses(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jal(1, "fn")         // word 0: link = 4
+	b.S(OpSW, 1, 0, 0x100) // word 1: store x1
+	b.Sys(OpEBREAK)        // word 2
+	b.L("fn")
+	b.Ret() // word 3
+	p := mustTranslate(t, b, "link")
+	res := refsim.MustRun(p, refsim.Options{})
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if res.Regs[1] != 4 {
+		t.Errorf("link register = %d, want byte address 4", res.Regs[1])
+	}
+	v, _ := res.Mem.Read32(0x100)
+	if v != 4 {
+		t.Errorf("stored link = %d, want 4", v)
+	}
+}
+
+// TestMisalignedIndirectJumpFaults: a jalr to a non-word-aligned target
+// (after the spec's &^1 masking) raises a misaligned fault with no
+// architectural effect, and the handler skips it.
+func TestMisalignedIndirectJumpFaults(t *testing.T) {
+	b := NewBuilder(0)
+	b.Li(5, 10) // target 10: &^1 -> 10, 10%4 != 0 -> fault
+	b.I(OpJALR, 1, 5, 0)
+	b.Sys(OpEBREAK)
+	p := mustTranslate(t, b, "misjump")
+	res := refsim.MustRun(p, refsim.Options{})
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodeMisaligned {
+		t.Fatalf("exceptions = %v, want one misaligned fault", res.Exceptions)
+	}
+	if res.Regs[1] != 0 {
+		t.Errorf("faulting jalr wrote link register: x1 = %d", res.Regs[1])
+	}
+	// The low-bit clear is architectural: target 11 &^ 1 = 10 still
+	// faults, target 5 &^ 1 = 4 does not.
+	b = NewBuilder(0)
+	b.Li(5, 13) // 13 &^ 1 = 12: valid word 3
+	b.I(OpJALR, 0, 5, 0)
+	b.Sys(OpEBREAK) // word 2: skipped by the jump
+	b.Sys(OpECALL)  // word 3: jump target
+	b.Sys(OpEBREAK)
+	p = mustTranslate(t, b, "lowbit")
+	res = refsim.MustRun(p, refsim.Options{})
+	if len(res.Exceptions) != 1 || res.Exceptions[0].Code != isa.ExcCodeSoftware {
+		t.Fatalf("low-bit-masked jump: exceptions = %v, want the ecall trap", res.Exceptions)
+	}
+}
+
+// TestDataInText: words that don't decode (or decode into wild
+// branches) lower to halting instructions but stay readable through
+// the data view.
+func TestDataInText(t *testing.T) {
+	b := NewBuilder(0)
+	b.I(OpLW, 5, 0, 12)    // load the data word
+	b.S(OpSW, 5, 0, 0x100) // copy it out
+	b.Sys(OpEBREAK)
+	b.Word(0xdeadbeef) // word 3: undecodable (major opcode 0x6f is JAL... use a truly bad word)
+	p := mustTranslate(t, b, "datatext")
+	res := refsim.MustRun(p, refsim.Options{})
+	v, _ := res.Mem.Read32(0x100)
+	if v != 0xdeadbeef {
+		t.Errorf("data view read %#x, want 0xdeadbeef", v)
+	}
+}
+
+// TestTranslateNonZeroBase: an image based at 0x1000 pads the low
+// instruction slots with halts and rebases the entry.
+func TestTranslateNonZeroBase(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.L("top")
+	b.I(OpADDI, 1, 1, 1)
+	b.Br(OpBNE, 1, 2, "skip")
+	b.Sys(OpECALL)
+	b.L("skip")
+	b.Sys(OpEBREAK)
+	text, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &Image{Name: "based", Entry: 0x1000, TextBase: 0x1000, Text: text}
+	p, err := Translate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0x400 {
+		t.Errorf("entry = %d, want %d", p.Entry, 0x400)
+	}
+	for i := 0; i < 0x400; i++ {
+		if p.Code[i].Op != isa.OpHALT {
+			t.Fatalf("padding slot %d is %v, not halt", i, p.Code[i])
+		}
+	}
+	if p.Code[0x401] != (isa.Inst{Op: isa.OpBNE, Rs1: 1, Rs2: 2, Imm: 1}) {
+		t.Errorf("rebased branch = %v", p.Code[0x401])
+	}
+	res := refsim.MustRun(p, refsim.Options{})
+	if !res.Halted || res.Regs[1] != 1 {
+		t.Errorf("based image ran wrong: halted=%v x1=%d", res.Halted, res.Regs[1])
+	}
+}
+
+// TestTranslateRejects pins the translation error classes.
+func TestTranslateRejects(t *testing.T) {
+	enc := func(in Inst) []byte {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], w)
+		return buf[:]
+	}
+	cases := []struct {
+		name string
+		img  *Image
+		want string
+	}{
+		{"unlowerable mulhu", &Image{Name: "x", Text: enc(Inst{Op: OpMULHU, Rd: 1, Rs1: 2, Rs2: 3})}, "no internal-ISA lowering"},
+		{"misaligned base", &Image{Name: "x", TextBase: 2, Entry: 2, Text: enc(Inst{Op: OpEBREAK})}, "not 4-aligned"},
+		{"huge base", &Image{Name: "x", TextBase: 1 << 24, Entry: 1 << 24, Text: enc(Inst{Op: OpEBREAK})}, "unsupported"},
+		{"empty text", &Image{Name: "x"}, "not a positive multiple"},
+		{"entry outside", &Image{Name: "x", Entry: 64, Text: enc(Inst{Op: OpEBREAK})}, "entry outside text"},
+	}
+	for _, c := range cases {
+		if _, err := Translate(c.img); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestELFRoundTrip: WriteELF output loads back to an identical image.
+func TestELFRoundTrip(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Sys(OpEBREAK)
+	text, _ := b.Assemble()
+	img := &Image{
+		Name:     "rt",
+		Entry:    0x1000,
+		TextBase: 0x1000,
+		Text:     text,
+		Data:     []prog.Segment{{Addr: 0x2000, Data: []byte{1, 2, 3, 4}}},
+	}
+	got, err := Load("rt", WriteELF(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != img.Entry || got.TextBase != img.TextBase {
+		t.Errorf("entry/base: got %#x/%#x want %#x/%#x", got.Entry, got.TextBase, img.Entry, img.TextBase)
+	}
+	if string(got.Text) != string(img.Text) {
+		t.Errorf("text mismatch")
+	}
+	if len(got.Data) != 1 || got.Data[0].Addr != 0x2000 || string(got.Data[0].Data) != string(img.Data[0].Data) {
+		t.Errorf("data segment mismatch: %+v", got.Data)
+	}
+}
+
+// TestELFRejects pins the malformed-ELF error classes, including the
+// unaligned-executable-segment rule.
+func TestELFRejects(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Sys(OpEBREAK)
+	text, _ := b.Assemble()
+	good := WriteELF(&Image{Name: "g", Entry: 0x1000, TextBase: 0x1000, Text: text})
+
+	mutate := func(mut func(e []byte)) []byte {
+		e := make([]byte, len(good))
+		copy(e, good)
+		mut(e)
+		return e
+	}
+	le := binary.LittleEndian
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"truncated header", good[:20], "truncated ELF header"},
+		{"64-bit class", mutate(func(e []byte) { e[4] = 2 }), "not a 32-bit ELF"},
+		{"big-endian", mutate(func(e []byte) { e[5] = 2 }), "not little-endian"},
+		{"relocatable", mutate(func(e []byte) { le.PutUint16(e[16:], 1) }), "not an executable"},
+		{"wrong machine", mutate(func(e []byte) { le.PutUint16(e[18:], 62) }), "not RISC-V"},
+		{"no phdrs", mutate(func(e []byte) { le.PutUint16(e[44:], 0) }), "no program headers"},
+		{"phdr out of bounds", mutate(func(e []byte) { le.PutUint32(e[28:], uint32(len(good))) }), "out of file bounds"},
+		{"unaligned exec segment", mutate(func(e []byte) {
+			le.PutUint32(e[ehSize+8:], 0x1002) // p_vaddr
+			le.PutUint32(e[24:], 0x1002)       // e_entry chases it
+		}), "not 4-aligned"},
+		{"entry outside text", mutate(func(e []byte) { le.PutUint32(e[24:], 0x9000) }), "outside text"},
+		{"misaligned entry", mutate(func(e []byte) { le.PutUint32(e[24:], 0x1002) }), "not 4-aligned"},
+		{"memsz < filesz", mutate(func(e []byte) { le.PutUint32(e[ehSize+20:], 1) }), "memsz"},
+		{"file range overflow", mutate(func(e []byte) {
+			le.PutUint32(e[ehSize+16:], 1<<30) // p_filesz
+			le.PutUint32(e[ehSize+20:], 1<<30) // p_memsz keeps pace
+		}), "out of bounds"},
+	}
+	for _, c := range cases {
+		if _, err := Load("bad", c.data); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestLoadFlatRejects: empty and odd-sized flat images error.
+func TestLoadFlatRejects(t *testing.T) {
+	if _, err := Load("e", nil); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := Load("o", []byte{1, 2, 3}); err == nil {
+		t.Error("odd-sized image accepted")
+	}
+}
+
+// TestListing smoke-checks the side-by-side translation listing.
+func TestListing(t *testing.T) {
+	data, err := CorpusBytes("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Load("crc32", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Listing(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"=>", "jal x1", ".word (data)", "halt"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}

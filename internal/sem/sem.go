@@ -99,13 +99,15 @@ func EvalALU(in isa.Inst, a, b uint32, pc int) Outcome {
 			o.Exc = isa.ExcCodeOverflow
 		}
 	case isa.OpANDI:
-		o.set(a & uint32(uint16(in.Imm)))
+		o.set(a & uint32(in.Imm))
 	case isa.OpORI:
-		o.set(a | uint32(uint16(in.Imm)))
+		o.set(a | uint32(in.Imm))
 	case isa.OpXORI:
-		o.set(a ^ uint32(uint16(in.Imm)))
+		o.set(a ^ uint32(in.Imm))
 	case isa.OpSLTI:
 		o.set(boolTo32(sa < in.Imm))
+	case isa.OpSLTIU:
+		o.set(boolTo32(a < uint32(in.Imm)))
 	case isa.OpSLLI:
 		o.set(a << (uint32(in.Imm) & 31))
 	case isa.OpSRLI:
@@ -114,6 +116,8 @@ func EvalALU(in isa.Inst, a, b uint32, pc int) Outcome {
 		o.set(uint32(sa >> (uint32(in.Imm) & 31)))
 	case isa.OpLUI:
 		o.set(uint32(in.Imm) << 16)
+	case isa.OpLI:
+		o.set(uint32(in.Imm))
 
 	case isa.OpBEQ:
 		o.branch(a == b, in, pc)
@@ -142,6 +146,33 @@ func EvalALU(in isa.Inst, a, b uint32, pc int) Outcome {
 		o.set(uint32(pc + 1))
 		o.Taken = true
 		o.Target = int(int32(a))
+
+	// Byte-addressed control transfers for translated rv32 programs:
+	// the link value is the byte address of the next instruction, and
+	// indirect targets are byte addresses divided down to instruction
+	// indices. A word-misaligned indirect target faults before any
+	// register write (bit 0 is silently cleared, as rv32 JALR does).
+	case isa.OpJALA:
+		o.set(uint32(4 * (pc + 1)))
+		o.Taken = true
+		o.Target = int(in.Imm)
+	case isa.OpJRA:
+		t := (a + uint32(in.Imm)) &^ 1
+		if t%4 != 0 {
+			o.Exc = isa.ExcCodeMisaligned
+			return o
+		}
+		o.Taken = true
+		o.Target = int(t / 4)
+	case isa.OpJALRA:
+		t := (a + uint32(in.Imm)) &^ 1
+		if t%4 != 0 {
+			o.Exc = isa.ExcCodeMisaligned
+			return o
+		}
+		o.set(uint32(4 * (pc + 1)))
+		o.Taken = true
+		o.Target = int(t / 4)
 
 	case isa.OpTRAP:
 		o.Exc = isa.ExcCodeSoftware
@@ -175,6 +206,8 @@ func AccessSize(op isa.Op) uint32 {
 	switch op {
 	case isa.OpLW, isa.OpSW:
 		return isa.WordSize
+	case isa.OpLH, isa.OpLHU, isa.OpSH:
+		return 2
 	case isa.OpLB, isa.OpLBU, isa.OpSB:
 		return 1
 	}
@@ -194,6 +227,12 @@ func LoadValue(op isa.Op, addr uint32, word uint32) uint32 {
 	case isa.OpLBU:
 		b := byte(word >> (8 * (addr % 4)))
 		return uint32(b)
+	case isa.OpLH:
+		h := uint16(word >> (8 * (addr % 4)))
+		return uint32(int32(int16(h)))
+	case isa.OpLHU:
+		h := uint16(word >> (8 * (addr % 4)))
+		return uint32(h)
 	}
 	return word
 }
@@ -210,6 +249,9 @@ func StoreBytes(op isa.Op, addr uint32, v uint32) (alignedAddr uint32, data uint
 	case isa.OpSB:
 		lane := addr % 4
 		return addr &^ 3, (v & 0xff) << (8 * lane), 1 << lane
+	case isa.OpSH:
+		lane := addr % 4 // 0 or 2: a 2-aligned halfword never straddles
+		return addr &^ 3, (v & 0xffff) << (8 * lane), 0b11 << lane
 	}
 	return addr &^ 3, v, 0b1111
 }

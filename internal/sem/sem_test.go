@@ -103,15 +103,19 @@ func TestImmediates(t *testing.T) {
 	if o := evalImm(isa.OpADDI, 10, -3); o.Result != 7 {
 		t.Errorf("ADDI = %d", o.Result)
 	}
-	// Logical immediates zero-extend 16 bits.
-	if o := evalImm(isa.OpANDI, 0xFFFFFFFF, -1); o.Result != 0xFFFF {
+	// Logical immediates use the full 32-bit immediate (rv32-style:
+	// assemblers write sign-extended literals).
+	if o := evalImm(isa.OpANDI, 0xFFFFFFFF, -1); o.Result != 0xFFFFFFFF {
 		t.Errorf("ANDI = %#x", o.Result)
 	}
-	if o := evalImm(isa.OpORI, 0, -1); o.Result != 0xFFFF {
+	if o := evalImm(isa.OpORI, 0, -1); o.Result != 0xFFFFFFFF {
 		t.Errorf("ORI = %#x", o.Result)
 	}
-	if o := evalImm(isa.OpXORI, 0xFFFF, -1); o.Result != 0 {
+	if o := evalImm(isa.OpXORI, 0xFFFF, -1); o.Result != 0xFFFF0000 {
 		t.Errorf("XORI = %#x", o.Result)
+	}
+	if o := evalImm(isa.OpANDI, 0x1234FFFF, 0xFF); o.Result != 0xFF {
+		t.Errorf("ANDI small = %#x", o.Result)
 	}
 	if o := evalImm(isa.OpSLTI, negu(5), -1); o.Result != 1 {
 		t.Errorf("SLTI = %d", o.Result)

@@ -14,10 +14,12 @@ import (
 )
 
 // SessionCreate is the POST /sessions payload: exactly one of Workload
-// (a built-in kernel) or Asm (assembly source, assembled under Name).
+// (a built-in kernel), Asm (assembly source, assembled under Name), or
+// RV32 (a compiled rv32 image, loaded under Name).
 type SessionCreate struct {
 	Workload string              `json:"workload,omitempty"`
 	Asm      string              `json:"asm,omitempty"`
+	RV32     []byte              `json:"rv32,omitempty"`
 	Name     string              `json:"name,omitempty"`
 	Machine  service.MachineSpec `json:"machine"`
 }

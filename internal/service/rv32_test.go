@@ -1,0 +1,147 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/rv32"
+)
+
+// TestProgramSpecCanonicalization: a corpus name reference in the
+// program descriptor collapses to the equivalent workload spelling
+// (one cache entry for both), inline images are content-addressed, and
+// malformed descriptors fail at canonicalization.
+func TestProgramSpecCanonicalization(t *testing.T) {
+	ref := Spec{Kind: "sim", Program: &ProgramSpec{Kind: " RV32 ", Name: " Fib "}}
+	wl := Spec{Kind: "sim", Workload: "rv32:fib"}
+	if ka, kb := mustKey(t, ref), mustKey(t, wl); ka != kb {
+		t.Errorf("name-ref and workload spellings split the cache: %s vs %s", ka, kb)
+	}
+	canon, err := ref.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Program != nil || canon.Workload != "rv32:fib" {
+		t.Errorf("canonical form kept the descriptor: %+v", canon)
+	}
+
+	data, err := rv32.CorpusBytes("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Data: data}}
+	kInline := mustKey(t, inline)
+	if kInline == mustKey(t, wl) {
+		t.Error("inline image and corpus reference share a cache entry")
+	}
+	// Same bytes, same key; different bytes, different key.
+	dup := append([]byte(nil), data...)
+	if k := mustKey(t, Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Data: dup}}); k != kInline {
+		t.Error("identical inline bytes landed on distinct cache entries")
+	}
+	other, err := rv32.CorpusBytes("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := mustKey(t, Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Data: other}}); k == kInline {
+		t.Error("different inline bytes collided on one cache entry")
+	}
+
+	bad := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown kind", Spec{Kind: "sim", Program: &ProgramSpec{Kind: "elf64", Name: "fib"}}, "program kind"},
+		{"both sources", Spec{Kind: "sim", Workload: "fib", Program: &ProgramSpec{Kind: "rv32", Name: "fib"}}, "exactly one"},
+		{"empty descriptor", Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32"}}, "corpus name or inline data"},
+		{"unknown corpus name", Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Name: "nope"}}, "no corpus binary"},
+		{"malformed image", Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Data: []byte{1, 2, 3}}}, "multiple of 4"},
+		{"campaign both sources", Spec{Kind: "campaign", Workload: "fib", Program: &ProgramSpec{Kind: "rv32", Name: "fib"}}, "exactly one"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Canonicalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// Sweeps cannot carry a program; the canonical form drops it.
+	sw, err := Spec{Kind: "sweep", Experiment: "C5", Program: &ProgramSpec{Kind: "rv32", Name: "fib"}}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Program != nil {
+		t.Error("sweep kept a program descriptor")
+	}
+}
+
+// TestRV32SimJob: an inline rv32 binary submitted as a sim job executes
+// end to end and halts — the full service path (canonicalize, cache
+// key, program load, pooled run) works on compiled code.
+func TestRV32SimJob(t *testing.T) {
+	data, err := rv32.CorpusBytes("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "sim", Program: &ProgramSpec{Kind: "rv32", Name: "crc32-inline", Data: data}}
+	key, canon, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := execute(context.Background(), key, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim == nil || !res.Sim.Halted {
+		t.Fatalf("sim summary: %+v", res.Sim)
+	}
+}
+
+// TestBatchRoundTripRV32: a translated rv32 corpus program survives the
+// cluster wire codec — EncodeBatch accepts it (the extended ISA ops
+// round-trip the instruction encoder), and the decoded program is
+// identical through JSON, so remote batch lanes run exactly what a
+// local run would.
+func TestBatchRoundTripRV32(t *testing.T) {
+	for _, name := range rv32.CorpusNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := rv32.CorpusProgram(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := MachineSpec{}
+			if err := ms.canonicalize(); err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := ms.machineConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, ok := EncodeBatch(p, []machine.Config{cfg})
+			if !ok {
+				t.Fatal("EncodeBatch declined a corpus program")
+			}
+			wire, err := json.Marshal(bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back BatchSpec
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Entry != p.Entry || !reflect.DeepEqual(got.Code, p.Code) || !reflect.DeepEqual(got.Data, p.Data) {
+				t.Error("program did not survive the wire codec byte-identically")
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/machine"
+	"repro/internal/rv32"
 	"repro/internal/session"
 	"repro/internal/workload"
 )
@@ -215,11 +216,15 @@ func sessionError(w http.ResponseWriter, err error) {
 }
 
 // sessionCreateRequest is the POST /sessions body. Exactly one program
-// source: a built-in workload by name, or assembly source text.
+// source: a built-in workload by name, assembly source text, or a
+// compiled rv32 image.
 type sessionCreateRequest struct {
 	Workload string `json:"workload,omitempty"`
 	// Asm is assembly source assembled under Name (default "adhoc").
-	Asm     string      `json:"asm,omitempty"`
+	Asm string `json:"asm,omitempty"`
+	// RV32 is a compiled rv32 image (flat binary or ELF32, base64 over
+	// JSON), loaded under Name (default "rv32").
+	RV32    []byte      `json:"rv32,omitempty"`
 	Name    string      `json:"name,omitempty"`
 	Machine MachineSpec `json:"machine"`
 }
@@ -236,8 +241,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad session spec: %v", err))
 		return
 	}
-	if (req.Workload == "") == (req.Asm == "") {
-		httpError(w, http.StatusBadRequest, "exactly one of workload or asm is required")
+	sources := 0
+	for _, have := range []bool{req.Workload != "", req.Asm != "", len(req.RV32) != 0} {
+		if have {
+			sources++
+		}
+	}
+	if sources != 1 {
+		httpError(w, http.StatusBadRequest, "exactly one of workload, asm, or rv32 is required")
 		return
 	}
 	if err := req.Machine.canonicalize(); err != nil {
@@ -256,6 +267,17 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return session.New(id, k.Load(), cfg)
+		}
+		if len(req.RV32) != 0 {
+			name := req.Name
+			if name == "" {
+				name = "rv32"
+			}
+			prg, err := rv32.LoadProgram(name, req.RV32)
+			if err != nil {
+				return nil, err
+			}
+			return session.New(id, prg, cfg)
 		}
 		name := req.Name
 		if name == "" {

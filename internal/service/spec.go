@@ -32,6 +32,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/prog"
+	"repro/internal/rv32"
 	"repro/internal/workload"
 )
 
@@ -56,6 +57,10 @@ type Spec struct {
 	Kind string `json:"kind"`
 	// Workload names a built-in kernel (sim and campaign jobs).
 	Workload string `json:"workload,omitempty"`
+	// Program is the other program source for sim and campaign jobs: a
+	// compiled rv32 binary, referenced from the embedded corpus by name
+	// or shipped inline. Mutually exclusive with Workload.
+	Program *ProgramSpec `json:"program,omitempty"`
 	// Machine configures the simulated machine (sim and campaign jobs;
 	// sweeps carry their own configurations).
 	Machine MachineSpec `json:"machine"`
@@ -87,6 +92,18 @@ type MachineSpec struct {
 	Speculate *bool  `json:"speculate,omitempty"`  // default: true unless scheme e
 }
 
+// ProgramSpec selects a compiled program. Kind "rv32" is the only kind
+// today: Name references an embedded corpus binary (equivalent to
+// workload "rv32:<name>" — the canonical form collapses it to exactly
+// that, so both spellings share a cache entry), while Data carries an
+// inline image (flat binary or ELF32, base64 over JSON) whose bytes
+// become part of the cache key.
+type ProgramSpec struct {
+	Kind string `json:"kind"`
+	Name string `json:"name,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
 // CampaignSpec parameterises a fault-injection campaign job.
 type CampaignSpec struct {
 	Seed int64 `json:"seed,omitempty"`
@@ -114,14 +131,14 @@ func (s Spec) Canonicalize() (Spec, error) {
 	switch c.Kind {
 	case KindSim:
 		c.Experiment, c.Campaign, c.Batch = "", nil, nil
-		if err := c.canonWorkload(); err != nil {
+		if err := c.canonProgramSource(); err != nil {
 			return c, err
 		}
 		if err := c.Machine.canonicalize(); err != nil {
 			return c, err
 		}
 	case KindSweep:
-		c.Workload, c.Campaign, c.Batch = "", nil, nil
+		c.Workload, c.Program, c.Campaign, c.Batch = "", nil, nil, nil
 		c.Machine = MachineSpec{}
 		e, ok := experiments.ByID(strings.TrimSpace(c.Experiment))
 		if !ok {
@@ -130,7 +147,7 @@ func (s Spec) Canonicalize() (Spec, error) {
 		c.Experiment = e.ID // registry casing is canonical
 	case KindCampaign:
 		c.Experiment, c.Batch = "", nil
-		if err := c.canonWorkload(); err != nil {
+		if err := c.canonProgramSource(); err != nil {
 			return c, err
 		}
 		if err := c.Machine.canonicalize(); err != nil {
@@ -146,6 +163,7 @@ func (s Spec) Canonicalize() (Spec, error) {
 		c.Campaign = &cc
 	case KindBatch:
 		c.Workload, c.Experiment, c.Campaign = "", "", nil
+		c.Program = nil
 		c.Machine = MachineSpec{}
 		if c.Batch == nil {
 			return c, fmt.Errorf("service: batch job needs a batch payload")
@@ -172,6 +190,45 @@ func (s Spec) Canonicalize() (Spec, error) {
 		return c, fmt.Errorf("service: negative timeout_ms %d", c.TimeoutMS)
 	}
 	return c, nil
+}
+
+// canonProgramSource canonicalizes the job's program source: exactly
+// one of Workload (a built-in kernel) or Program (a compiled rv32
+// binary). Corpus name references fold into the workload namespace so
+// either spelling lands on one cache entry; inline images are
+// validated by actually loading them (a malformed binary fails at
+// submit, not deep inside a worker) and their bytes stay in the
+// canonical form, content-addressing the cache on the program itself.
+func (s *Spec) canonProgramSource() error {
+	if s.Program == nil {
+		return s.canonWorkload()
+	}
+	if s.Workload != "" {
+		return fmt.Errorf("service: %s job has both a workload and a program (want exactly one)", s.Kind)
+	}
+	p := *s.Program
+	p.Kind = strings.ToLower(strings.TrimSpace(p.Kind))
+	if p.Kind != "rv32" {
+		return fmt.Errorf("service: unknown program kind %q (want rv32)", p.Kind)
+	}
+	p.Name = strings.ToLower(strings.TrimSpace(p.Name))
+	if len(p.Data) == 0 {
+		if p.Name == "" {
+			return fmt.Errorf("service: rv32 program needs a corpus name or inline data (corpus: %s)",
+				strings.Join(rv32.CorpusNames(), ", "))
+		}
+		s.Workload = "rv32:" + p.Name
+		s.Program = nil
+		return s.canonWorkload()
+	}
+	if p.Name == "" {
+		p.Name = "inline"
+	}
+	if _, err := rv32.LoadProgram(p.Name, p.Data); err != nil {
+		return fmt.Errorf("service: %v", err)
+	}
+	s.Program = &p
+	return nil
 }
 
 func (s *Spec) canonWorkload() error {
@@ -338,8 +395,14 @@ func (s Spec) Key() (string, Spec, error) {
 	return hex.EncodeToString(sum[:]), c, nil
 }
 
-// program loads the spec's workload (canonical specs only).
+// program loads the spec's program source (canonical specs only).
+// Inline rv32 images go through the content-hash memo in rv32, so
+// resubmissions of one binary share a single translated *Program (and
+// with it the memoized reference trace).
 func (s Spec) program() (*prog.Program, error) {
+	if s.Program != nil {
+		return rv32.LoadProgram(s.Program.Name, s.Program.Data)
+	}
 	k, err := workload.ByName(s.Workload)
 	if err != nil {
 		return nil, err

@@ -24,6 +24,10 @@ type Kernel struct {
 	// Excepts marks kernels that architecturally raise exceptions and
 	// therefore need an E-repair-capable scheme.
 	Excepts bool
+	// loader, when non-nil, overrides the assembly path entirely —
+	// rv32 corpus kernels translate compiled binaries instead of
+	// assembling Source.
+	loader func() (*prog.Program, error)
 }
 
 // loadCache memoizes Load: one assembly per kernel per process. Every
@@ -35,6 +39,15 @@ var loadCache sync.Map // kernel name -> *prog.Program
 
 // Load assembles the kernel, memoized per process.
 func (k Kernel) Load() *prog.Program {
+	if k.loader != nil {
+		// Loader-backed kernels (the rv32 corpus) memoize underneath
+		// by content hash.
+		p, err := k.loader()
+		if err != nil {
+			panic(err) // corpus kernels are compile-time-known; cannot fail
+		}
+		return p
+	}
 	if p, ok := loadCache.Load(k.Name); ok {
 		return p.(*prog.Program)
 	}
@@ -56,14 +69,19 @@ func KernelNames() []string {
 	return names
 }
 
-// ByName returns the named kernel.
+// ByName returns the named kernel. Names with an "rv32:" prefix
+// resolve to translated corpus binaries (see rv32.go) rather than
+// assembly kernels.
 func ByName(name string) (Kernel, error) {
+	if strings.HasPrefix(name, rv32Prefix) {
+		return rv32ByName(name)
+	}
 	for _, k := range kernels {
 		if k.Name == name {
 			return k, nil
 		}
 	}
-	return Kernel{}, fmt.Errorf("workload: unknown kernel %q (have %s)", name, strings.Join(KernelNames(), ", "))
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q (have %s, %s)", name, strings.Join(KernelNames(), ", "), strings.Join(RV32Names(), ", "))
 }
 
 var kernels = []Kernel{

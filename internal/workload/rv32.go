@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prog"
+	"repro/internal/rv32"
+)
+
+// rv32 corpus binaries register under an "rv32:" name prefix — the
+// same resolution path every tool already uses ("-workload rv32:fib")
+// now reaches real compiled programs. Kernels() stays the assembly
+// registry; the corpus is an extra namespace, not extra entries in the
+// default experiment matrix.
+const rv32Prefix = "rv32:"
+
+// RV32Names lists the corpus workload names, prefix included.
+func RV32Names() []string {
+	names := rv32.CorpusNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = rv32Prefix + n
+	}
+	return out
+}
+
+// rv32ByName resolves "rv32:<corpus>" to a loader-backed Kernel.
+func rv32ByName(name string) (Kernel, error) {
+	base := strings.TrimPrefix(name, rv32Prefix)
+	data, err := rv32.CorpusBytes(base)
+	if err != nil {
+		return Kernel{}, fmt.Errorf("workload: %w", err)
+	}
+	return Kernel{
+		Name:        name,
+		Description: "rv32 corpus binary " + base + " (compiled rv32i, translated)",
+		// Every corpus binary demand-pages at least one fresh page, so
+		// all of them architecturally except.
+		Excepts: true,
+		loader: func() (*prog.Program, error) {
+			return rv32.LoadProgram(base, data)
+		},
+	}, nil
+}

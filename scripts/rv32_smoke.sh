@@ -1,0 +1,164 @@
+#!/bin/sh
+# rv32 frontend smoke test: real compiled rv32 binaries through every
+# layer that ships them.
+#
+#   1. local sweep: every embedded corpus binary runs on the
+#      out-of-order machine under three scheme shapes with the golden
+#      check on (byte-identical architectural state vs the reference
+#      interpreter), plus a translation listing sanity check;
+#   2. serving: boot ckptd and submit a corpus-reference sim job, an
+#      inline-image sim job (the binary shipped in the spec), and a
+#      mini fault campaign over a corpus binary (strided, covered
+#      models only) which must report zero SDC / hang / crash;
+#   3. debugging: a scripted ckptdbg session loads a compiled binary
+#      with loadrv32, runs it to completion, and reads the result out
+#      of simulated memory;
+#   4. SIGTERM the daemon and require a clean drain.
+#
+# Used by `make rv32-smoke` (and therefore `make ci`).
+set -eu
+
+workdir=$(mktemp -d)
+addrfile="$workdir/ckptd.addr"
+logfile="$workdir/ckptd.log"
+status=1
+
+cleanup() {
+    if [ -n "${ckptd_pid:-}" ] && kill -0 "$ckptd_pid" 2>/dev/null; then
+        kill -TERM "$ckptd_pid" 2>/dev/null || true
+        wait "$ckptd_pid" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "--- ckptd log ---" >&2
+        cat "$logfile" >&2 || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/ckptsim" ./cmd/ckptsim
+go build -o "$workdir/ckptasm" ./cmd/ckptasm
+go build -o "$workdir/ckptd" ./cmd/ckptd
+go build -o "$workdir/ckptdbg" ./cmd/ckptdbg
+
+# Phase 1: local corpus sweep with the golden check on. Three scheme
+# shapes cover the combined schemes and the pure E machine.
+for name in crc32 fib mix sort; do
+    for args in "-scheme tight -c 4" "-scheme loose -ce 2 -cb 4 -dist 12" "-scheme e -c 4 -dist 8 -nospec"; do
+        # shellcheck disable=SC2086
+        "$workdir/ckptsim" -kernel "rv32:$name" $args >"$workdir/sim.out" 2>&1 || {
+            echo "rv32-smoke: ckptsim rv32:$name $args failed" >&2
+            cat "$workdir/sim.out" >&2
+            exit 1
+        }
+        grep -q "golden check: machine state matches" "$workdir/sim.out" || {
+            echo "rv32-smoke: rv32:$name $args skipped the golden check" >&2
+            exit 1
+        }
+    done
+done
+echo "rv32-smoke: corpus sweep ok (4 binaries x 3 schemes, golden-checked)"
+
+# A flat binary straight from disk must autodetect too, and the
+# translation listing must decode real instructions.
+"$workdir/ckptsim" -prog internal/rv32/testdata/fib.bin -scheme tight >"$workdir/sim.out" 2>&1
+grep -q "golden check: machine state matches" "$workdir/sim.out"
+"$workdir/ckptasm" -rv32 crc32 >"$workdir/listing.out"
+grep -q "jal x1" "$workdir/listing.out" || {
+    echo "rv32-smoke: translation listing missing expected rv32 disassembly" >&2
+    exit 1
+}
+
+# Phase 2: the serving path.
+"$workdir/ckptd" -addr 127.0.0.1:0 -addrfile "$addrfile" -workers 2 \
+    >"$logfile" 2>&1 &
+ckptd_pid=$!
+
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "rv32-smoke: ckptd never wrote $addrfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "rv32-smoke: ckptd on $addr"
+
+# Corpus-reference sim job.
+curl -sf -X POST "http://$addr/jobs?wait=1" -H 'Content-Type: application/json' \
+    -d '{"kind":"sim","program":{"kind":"rv32","name":"fib"}}' >"$workdir/job1.out"
+grep -q '"halted": *true' "$workdir/job1.out" || {
+    echo "rv32-smoke: corpus-reference sim job did not halt" >&2
+    cat "$workdir/job1.out" >&2
+    exit 1
+}
+
+# Inline-image sim job: the compiled binary ships inside the spec.
+b64=$(base64 <internal/rv32/testdata/crc32.bin | tr -d '\n')
+printf '{"kind":"sim","program":{"kind":"rv32","name":"crc32-wire","data":"%s"}}' "$b64" >"$workdir/job2.json"
+curl -sf -X POST "http://$addr/jobs?wait=1" -H 'Content-Type: application/json' \
+    -d @"$workdir/job2.json" >"$workdir/job2.out"
+grep -q '"halted": *true' "$workdir/job2.out" || {
+    echo "rv32-smoke: inline-image sim job did not halt" >&2
+    cat "$workdir/job2.out" >&2
+    exit 1
+}
+
+# Mini fault campaign over real compiled code: strided to stay quick,
+# covered models only, and repair must hold (zero SDC / hang / crash).
+curl -sf -X POST "http://$addr/jobs?wait=1" -H 'Content-Type: application/json' \
+    -d '{"kind":"campaign","workload":"rv32:crc32","machine":{"scheme":"e","dist":8},"campaign":{"models":["fu-detected","spurious-exc"],"stride":37}}' \
+    >"$workdir/job3.out"
+grep -q '"sdc": *0' "$workdir/job3.out" || {
+    echo "rv32-smoke: campaign reported silent corruption on rv32 code" >&2
+    cat "$workdir/job3.out" >&2
+    exit 1
+}
+grep -q '"hang": *0' "$workdir/job3.out" && grep -q '"crash": *0' "$workdir/job3.out" || {
+    echo "rv32-smoke: campaign reported hangs or crashes on rv32 code" >&2
+    cat "$workdir/job3.out" >&2
+    exit 1
+}
+grep -q '"sdc": *0' "$workdir/job3.out" && ! grep -q '"executed": *0,' "$workdir/job3.out" || {
+    echo "rv32-smoke: campaign executed no injections" >&2
+    cat "$workdir/job3.out" >&2
+    exit 1
+}
+echo "rv32-smoke: serving ok (reference + inline sim jobs, campaign clean)"
+
+# Phase 3: a time-travel debug session on a compiled binary. fib leaves
+# fib(12) = 144 (0x90) at 0x1000.
+"$workdir/ckptdbg" -addr "http://$addr" -e >"$workdir/dbg.out" 2>"$workdir/dbg.err" <<'EOF'
+loadrv32 internal/rv32/testdata/fib.bin scheme=tight c=4
+run
+mem 0x1000 1
+close
+EOF
+grep -q '"type":"done"' "$workdir/dbg.out" || {
+    echo "rv32-smoke: debug session never completed" >&2
+    cat "$workdir/dbg.out" "$workdir/dbg.err" >&2
+    exit 1
+}
+grep -q '"value":144' "$workdir/dbg.out" || {
+    echo "rv32-smoke: fib(12) result not visible in session memory" >&2
+    cat "$workdir/dbg.out" >&2
+    exit 1
+}
+echo "rv32-smoke: debug session ok (loadrv32, run, memory readback)"
+
+# Phase 4: clean drain.
+kill -TERM "$ckptd_pid"
+if ! wait "$ckptd_pid"; then
+    echo "rv32-smoke: ckptd did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+ckptd_pid=""
+grep -q "drained clean" "$logfile" || {
+    echo "rv32-smoke: ckptd log missing clean-drain marker" >&2
+    exit 1
+}
+
+status=0
+echo "rv32-smoke: ok (corpus golden-checked, wire jobs halted, campaign clean, drain clean)"
